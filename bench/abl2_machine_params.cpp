@@ -1,0 +1,115 @@
+// ABL2 — machine-parameter sensitivity. The paper tailors a program to
+// a machine via four characteristics (processor speed, process startup,
+// message startup, transmission speed). This harness sweeps them and
+// shows how predicted makespan/speedup respond — the crossover where
+// parallelism stops paying is the figure's point.
+#include <cstdio>
+#include <vector>
+
+#include "sched/heuristics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace {
+
+using namespace banger;
+
+machine::Machine cube8(double speed, double proc_startup, double msg_startup,
+                       double bandwidth) {
+  machine::MachineParams p;
+  p.processor_speed = speed;
+  p.process_startup = proc_startup;
+  p.message_startup = msg_startup;
+  p.bytes_per_second = bandwidth;
+  return machine::Machine(machine::Topology::hypercube(3), p);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== ABL2: sensitivity to the four machine parameters ===\n");
+  const auto lu = workloads::lu_taskgraph(10, 8.0);
+  sched::MhScheduler mh;
+  sched::SerialScheduler serial;
+
+  // --- message startup sweep ---
+  std::puts("--- message startup time sweep (bandwidth 1e3 B/s) ---");
+  util::Table t1;
+  t1.set_header({"msg startup (s)", "makespan", "speedup", "procs used"});
+  for (double startup : {0.0, 0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+    const auto m = cube8(1.0, 0.0, startup, 1e3);
+    const auto s = mh.run(lu, m);
+    s.validate(lu, m);
+    const auto metrics = sched::compute_metrics(s, lu, m);
+    t1.add_row({util::format_double(startup, 4),
+                util::format_double(metrics.makespan, 5),
+                util::format_double(metrics.speedup, 4),
+                std::to_string(metrics.procs_used)});
+  }
+  std::fputs(t1.to_string().c_str(), stdout);
+  std::puts("expected: speedup decays toward 1.0 and the scheduler retreats"
+            "\nto fewer processors as messages get dearer.\n");
+
+  // --- transmission speed sweep ---
+  std::puts("--- transmission speed sweep (startup 0.1s) ---");
+  util::Table t2;
+  t2.set_header({"bytes/s", "makespan", "speedup", "procs used"});
+  for (double bw : {1e1, 1e2, 1e3, 1e4, 1e6}) {
+    const auto m = cube8(1.0, 0.0, 0.1, bw);
+    const auto s = mh.run(lu, m);
+    const auto metrics = sched::compute_metrics(s, lu, m);
+    t2.add_row({util::format_double(bw, 4),
+                util::format_double(metrics.makespan, 5),
+                util::format_double(metrics.speedup, 4),
+                std::to_string(metrics.procs_used)});
+  }
+  std::fputs(t2.to_string().c_str(), stdout);
+
+  // --- processor speed: scales everything uniformly ---
+  std::puts("\n--- processor speed sweep (comm fixed: startup 0.1, 1e3 B/s) ---");
+  util::Table t3;
+  t3.set_header({"speed (units/s)", "makespan", "speedup"});
+  for (double speed : {0.5, 1.0, 2.0, 4.0}) {
+    const auto m = cube8(speed, 0.0, 0.1, 1e3);
+    const auto s = mh.run(lu, m);
+    const auto metrics = sched::compute_metrics(s, lu, m);
+    t3.add_row({util::format_double(speed, 3),
+                util::format_double(metrics.makespan, 5),
+                util::format_double(metrics.speedup, 4)});
+  }
+  std::fputs(t3.to_string().c_str(), stdout);
+  std::puts("expected: faster processors *lower* speedup at fixed comm cost"
+            "\n(computation shrinks, messages do not).\n");
+
+  // --- process startup sweep ---
+  std::puts("--- process startup sweep ---");
+  util::Table t4;
+  t4.set_header({"proc startup (s)", "makespan", "speedup"});
+  for (double startup : {0.0, 0.1, 0.5, 2.0}) {
+    const auto m = cube8(1.0, startup, 0.1, 1e3);
+    const auto s = mh.run(lu, m);
+    const auto metrics = sched::compute_metrics(s, lu, m);
+    t4.add_row({util::format_double(startup, 3),
+                util::format_double(metrics.makespan, 5),
+                util::format_double(metrics.speedup, 4)});
+  }
+  std::fputs(t4.to_string().c_str(), stdout);
+
+  // --- the crossover: when does 8 procs lose to 1? ---
+  std::puts("\n--- parallel-vs-serial crossover as comm grows (forkjoin16) ---");
+  const auto fj = workloads::fork_join(16, 2.0, 64.0);
+  util::Table t5;
+  t5.set_header({"msg startup", "mh makespan", "serial makespan", "winner"});
+  for (double startup : {0.01, 0.1, 0.5, 1.0, 2.0, 8.0}) {
+    const auto m = cube8(1.0, 0.0, startup, 1e3);
+    const double par = mh.run(fj, m).makespan();
+    const double ser = serial.run(fj, m).makespan();
+    t5.add_row({util::format_double(startup, 4), util::format_double(par, 5),
+                util::format_double(ser, 5),
+                par < ser - 1e-9 ? "parallel" : "serial (mh matches it)"});
+  }
+  std::fputs(t5.to_string().c_str(), stdout);
+  return 0;
+}

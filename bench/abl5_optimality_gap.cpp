@@ -1,0 +1,106 @@
+// ABL5 — optimality gap. The paper calls PPSE's heuristics "optimal
+// scheduling heuristics"; branch and bound makes that checkable on
+// small instances: how far is each heuristic from the true optimum?
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include "sched/optimal.hpp"
+#include "sched/scheduler.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace {
+
+using namespace banger;
+
+machine::Machine full(int procs, double ccr) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = ccr / 2.0;
+  p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+  return machine::Machine(machine::Topology::fully_connected(procs), p);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== ABL5: heuristic makespan / optimal makespan (1.0 = "
+            "optimal) ===\n");
+
+  struct Case {
+    std::string name;
+    graph::TaskGraph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"lu4", workloads::lu_taskgraph(4, 8.0)});       // 9 tasks
+  cases.push_back({"forkjoin8", workloads::fork_join(8, 2.0, 16.0)});
+  cases.push_back({"diamond3x3", workloads::diamond(3, 3, 2.0, 16.0)});
+  cases.push_back({"chain8", workloads::chain_graph(8, 1.5, 16.0)});
+  for (std::uint64_t seed : {11u, 12u, 13u}) {
+    workloads::RandomGraphSpec spec;
+    spec.layers = 3;
+    spec.width = 4;
+    spec.seed = seed;
+    auto g = workloads::random_layered(spec);
+    if (g.num_tasks() <= 12) {
+      cases.push_back({"random" + std::to_string(seed), std::move(g)});
+    }
+  }
+
+  const std::vector<std::string> heuristics = {"mh",  "mcp",     "etf",
+                                               "dls", "dsh",     "cluster",
+                                               "roundrobin"};
+  std::map<std::string, double> worst;
+
+  for (double ccr : {0.25, 1.0, 4.0}) {
+    std::printf("--- CCR %.2f, fully connected, 3 processors ---\n", ccr);
+    const auto m = full(3, ccr);
+    util::Table table;
+    std::vector<std::string> header{"workload", "optimal"};
+    for (const auto& h : heuristics) header.push_back(h);
+    table.set_header(header);
+    for (const auto& c : cases) {
+      sched::OptimalScheduler::Limits limits;
+      limits.max_tasks = 14;
+      limits.max_nodes = 50'000'000;
+      sched::OptimalScheduler opt(limits, {});
+      double opt_span = 0;
+      try {
+        const auto s = opt.run(c.graph, m);
+        s.validate(c.graph, m);
+        opt_span = s.makespan();
+      } catch (const Error& e) {
+        std::printf("  (skipping %s: %s)\n", c.name.c_str(), e.what());
+        continue;
+      }
+      std::vector<std::string> row{c.name, util::format_double(opt_span, 5)};
+      for (const auto& h : heuristics) {
+        const auto s = sched::make_scheduler(h)->run(c.graph, m);
+        const double ratio = opt_span > 0 ? s.makespan() / opt_span : 1.0;
+        worst[h] = std::max(worst[h], ratio);
+        row.push_back(util::format_double(ratio, 4));
+      }
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::puts("");
+  }
+
+  std::puts("--- worst-case ratio per heuristic over all cases ---");
+  util::Table summary;
+  summary.set_header({"heuristic", "worst ratio"});
+  for (const auto& h : heuristics) {
+    summary.add_row({h, util::format_double(worst[h], 4)});
+  }
+  std::fputs(summary.to_string().c_str(), stdout);
+  std::puts("\nexpected shape: list heuristics within a few percent of the"
+            "\noptimum on these sizes; round-robin much further away. This"
+            "\nsubstantiates the paper's reliance on heuristic scheduling."
+            "\nnote: `optimal` excludes duplication, so DSH may post ratios"
+            "\nbelow 1.0 at high CCR — duplication genuinely beats every"
+            "\nnon-duplicating schedule there.");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// ABL7 — heterogeneous machines. PPSE's mapping heuristic was designed
+// for "arbitrary target machines"; per-processor speed factors are the
+// simplest heterogeneity. This harness compares heuristics on machines
+// mixing fast and slow processors, and shows placement gravitating to
+// the fast ones.
+#include <cstdio>
+
+#include "sched/scheduler.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace {
+
+using namespace banger;
+
+/// `fast` processors at speed `factor`, the rest at nominal speed.
+machine::Machine mixed(int procs, int fast, double factor, double ccr) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = ccr / 2.0;
+  p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+  machine::Machine m(machine::Topology::fully_connected(procs), p);
+  for (int q = 0; q < fast; ++q) {
+    m.set_speed_factor(q, factor);
+  }
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== ABL7: scheduling onto heterogeneous machines ===\n");
+
+  const auto lu = workloads::lu_taskgraph(10, 8.0);
+  std::puts("--- lu10, 8 processors, 2 of them K-times faster (CCR 0.5) ---");
+  util::Table t1;
+  t1.set_header({"speed factor K", "mh", "dls", "dsh", "roundrobin",
+                 "fast-proc busy share"});
+  for (double factor : {1.0, 2.0, 4.0, 8.0}) {
+    const auto m = mixed(8, 2, factor, 0.5);
+    std::vector<std::string> row{util::format_double(factor, 3)};
+    double fast_share = 0;
+    for (const char* name : {"mh", "dls", "dsh", "roundrobin"}) {
+      const auto s = sched::make_scheduler(name)->run(lu, m);
+      s.validate(lu, m);
+      row.push_back(util::format_double(s.makespan(), 5));
+      if (std::string(name) == "mh") {
+        double fast_busy = s.busy(0) + s.busy(1);
+        double total = 0;
+        for (machine::ProcId p = 0; p < 8; ++p) total += s.busy(p);
+        fast_share = total > 0 ? fast_busy / total : 0;
+      }
+    }
+    row.push_back(util::format_double(fast_share, 4));
+    t1.add_row(std::move(row));
+  }
+  std::fputs(t1.to_string().c_str(), stdout);
+  std::puts("expected: makespan falls as K grows for the aware heuristics;"
+            "\nMH's busy time concentrates on the fast processors;"
+            "\nround-robin ignores speeds and falls behind.\n");
+
+  // --- a fully skewed machine: every processor a different speed ---
+  std::puts("--- forkjoin16 on an 8-proc machine with speeds 1..8 ---");
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.05;
+  p.bytes_per_second = 1e4;
+  machine::Machine skew(machine::Topology::fully_connected(8), p);
+  for (machine::ProcId q = 0; q < 8; ++q) {
+    skew.set_speed_factor(q, 1.0 + q);
+  }
+  const auto fj = workloads::fork_join(16, 4.0, 16.0);
+  util::Table t2;
+  t2.set_header({"scheduler", "makespan", "speedup vs 1x-serial"});
+  for (const auto& name : sched::scheduler_names()) {
+    const auto s = sched::make_scheduler(name)->run(fj, skew);
+    s.validate(fj, skew);
+    const auto metrics = sched::compute_metrics(s, fj, skew);
+    t2.add_row({name, util::format_double(s.makespan(), 5),
+                util::format_double(metrics.speedup, 4)});
+  }
+  std::fputs(t2.to_string().c_str(), stdout);
+  std::puts("\nexpected: EFT-family heuristics exploit the fast end of the"
+            "\nmachine (speedup beyond the homogeneous bound); serial and"
+            "\nround-robin cannot.");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// ABL8 — iterative improvement vs one-pass heuristics. The 1990s
+// scheduling literature offered simulated annealing as the
+// "spend-more-get-better" option over list heuristics like PPSE's MH.
+// This harness sweeps the annealing budget and asks: how much makespan
+// does each extra order of magnitude of work buy, and does it ever
+// catch DSH's duplication advantage?
+#include <chrono>
+#include <functional>
+#include <cstdio>
+
+#include "sched/anneal.hpp"
+#include "sched/heuristics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace {
+
+using namespace banger;
+
+machine::Machine cube8(double ccr) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = ccr / 2.0;
+  p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+  return machine::Machine(machine::Topology::hypercube(3), p);
+}
+
+double seconds_of(const std::function<void()>& fn) {
+  const auto t0 = std::chrono::steady_clock::now();
+  fn();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== ABL8: simulated annealing budget vs one-pass heuristics "
+            "===\n");
+
+  struct Case {
+    std::string name;
+    graph::TaskGraph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"lu12", workloads::lu_taskgraph(12, 8.0)});
+  workloads::RandomGraphSpec spec;
+  spec.layers = 6;
+  spec.width = 8;
+  spec.seed = 21;
+  cases.push_back({"random", workloads::random_layered(spec)});
+  cases.push_back({"diamond6x6", workloads::diamond(6, 6, 2.0, 32.0)});
+
+  const auto m = cube8(1.0);
+  for (const auto& c : cases) {
+    std::printf("--- %s (%zu tasks, hypercube-8, CCR 1.0) ---\n",
+                c.name.c_str(), c.graph.num_tasks());
+    const double mh = sched::MhScheduler().run(c.graph, m).makespan();
+    const double dsh = sched::DshScheduler().run(c.graph, m).makespan();
+
+    util::Table table;
+    table.set_header({"method", "makespan", "vs mh", "wall (s)"});
+    table.add_row({"mh (seed)", util::format_double(mh, 5), "1.0", "-"});
+    table.add_row({"dsh", util::format_double(dsh, 5),
+                   util::format_double(dsh / mh, 4), "-"});
+    for (int iters : {100, 1000, 10000}) {
+      sched::AnnealOptions opts;
+      opts.iterations = iters;
+      opts.seed = 99;
+      sched::AnnealScheduler anneal(opts, {});
+      double makespan = 0;
+      const double wall = seconds_of([&] {
+        const auto s = anneal.run(c.graph, m);
+        s.validate(c.graph, m);
+        makespan = s.makespan();
+      });
+      table.add_row({"anneal " + std::to_string(iters),
+                     util::format_double(makespan, 5),
+                     util::format_double(makespan / mh, 4),
+                     util::format_double(wall, 3)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::puts("");
+  }
+  std::puts("expected shape: annealing shaves a few percent off MH with"
+            "\n~1000x the scheduling time, and still cannot reach DSH where"
+            "\nduplication matters — placement alone has a floor. This is"
+            "\nwhy PPSE shipped list heuristics.");
+  return 0;
+}

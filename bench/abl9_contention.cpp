@@ -1,0 +1,108 @@
+// ABL9 — why the topology entry matters. The analytic scheduler treats
+// links as infinitely capacious; the simulator's contention mode makes
+// them real. This harness runs the *same* communication-heavy workload
+// over the paper's topology menu and measures how much per-link
+// queueing inflates the replayed makespan — the star's hub melts, the
+// hypercube shrugs, exactly the trade the Fig. 2 machine-entry step
+// asks the user to weigh.
+#include <cstdio>
+
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/graphs.hpp"
+
+namespace {
+
+using namespace banger;
+
+machine::Machine with_topology(machine::Topology topology) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.3;
+  p.bytes_per_second = 64.0;
+  return machine::Machine(std::move(topology), p);
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== ABL9: link contention across the paper's topologies ===\n");
+  std::puts("workload: all-to-all-ish coupled pipeline, 8 processors,\n"
+            "round-robin placement (maximum traffic), messages 0.3s+32B\n");
+
+  const auto g = workloads::pipeline(6, 8, /*coupled=*/true, 1.0, 32.0);
+  sched::RoundRobinScheduler rr;
+  sched::MhScheduler mh;
+
+  util::Table table;
+  table.set_header({"topology", "bisection", "no contention", "contended",
+                    "inflation", "max queue (s)"});
+  std::vector<machine::Topology> topologies;
+  topologies.push_back(machine::Topology::fully_connected(8));
+  topologies.push_back(machine::Topology::hypercube(3));
+  topologies.push_back(machine::Topology::mesh(2, 4));
+  topologies.push_back(machine::Topology::ring(8));
+  topologies.push_back(machine::Topology::star(8));
+  topologies.push_back(machine::Topology::chain(8));
+
+  for (auto& topology : topologies) {
+    const std::string bisection = std::to_string(topology.bisection_width());
+    const auto m = with_topology(std::move(topology));
+    const auto s = rr.run(g, m);
+    s.validate(g, m);
+    sim::SimOptions free_links;
+    free_links.record_events = false;
+    sim::SimOptions queued;
+    queued.record_events = false;
+    queued.link_contention = true;
+    const auto ideal = sim::simulate(g, m, s, free_links);
+    const auto real = sim::simulate(g, m, s, queued);
+    table.add_row({m.topology().name(), bisection,
+                   util::format_double(ideal.makespan, 5),
+                   util::format_double(real.makespan, 5),
+                   util::format_double(real.makespan / ideal.makespan, 4),
+                   util::format_double(real.max_queue_delay, 4)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::puts(
+      "\nexpected shape: hop *count* is already priced analytically, so"
+      "\nmany-hop networks (chain, ring) show little extra inflation —"
+      "\ntheir penalty sits in the no-contention column. What the analytic"
+      "\nmodel misses is *sharing*: the star funnels every message through"
+      "\nthe hub and inflates the most; full/hypercube barely queue.\n");
+
+  // And the scheduler-aware view: does analytic optimality survive
+  // contention?
+  std::puts("--- same sweep with MH placement instead of round-robin ---");
+  util::Table t2;
+  t2.set_header({"topology", "no contention", "contended", "inflation"});
+  std::vector<machine::Topology> again;
+  again.push_back(machine::Topology::hypercube(3));
+  again.push_back(machine::Topology::star(8));
+  again.push_back(machine::Topology::chain(8));
+  for (auto& topology : again) {
+    const auto m = with_topology(std::move(topology));
+    const auto s = mh.run(g, m);
+    sim::SimOptions free_links;
+    free_links.record_events = false;
+    sim::SimOptions queued;
+    queued.record_events = false;
+    queued.link_contention = true;
+    const auto ideal = sim::simulate(g, m, s, free_links);
+    const auto real = sim::simulate(g, m, s, queued);
+    t2.add_row({m.topology().name(), util::format_double(ideal.makespan, 5),
+                util::format_double(real.makespan, 5),
+                util::format_double(real.makespan / ideal.makespan, 4)});
+  }
+  std::fputs(t2.to_string().c_str(), stdout);
+  std::puts(
+      "expected: MH's tighter schedules leave less slack to hide queueing,"
+      "\nso its *inflation* exceeds round-robin's; on rich networks its"
+      "\ncontended makespan still wins, but on the star the hub bottleneck"
+      "\nerases MH's analytic edge — analytically optimal is not"
+      "\ncontention-optimal on hub topologies, which is exactly the gap"
+      "\nthe simulator exists to expose.");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// FIG2 — reproduces the paper's Figure 2: the network interconnection
+// topologies Banger supports (hypercubes, meshes, trees, stars, and
+// fully-connected networks; plus ring/chain for PPSE generality).
+//
+// For each family the harness prints the structural properties that
+// drive the scheduler's communication model — links, degree, diameter,
+// mean hop distance — over a size sweep, and the DOT form of two small
+// examples (the paper shows two drawings).
+#include <cstdio>
+#include <vector>
+
+#include "machine/topology.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "viz/dot.hpp"
+
+int main() {
+  using namespace banger;
+  using machine::Topology;
+
+  std::puts("=== FIG2: interconnection topologies supported by Banger ===\n");
+
+  util::Table table;
+  table.set_header({"topology", "procs", "links", "max deg", "diameter",
+                    "avg hops", "bisection"});
+  auto row = [&table](const Topology& t) {
+    std::string bisection = "-";
+    try {
+      bisection = std::to_string(t.bisection_width());
+    } catch (const banger::Error&) {
+      // Irregular and too large for the exhaustive cut search.
+    }
+    table.add_row({t.name(), std::to_string(t.num_procs()),
+                   std::to_string(t.num_links()),
+                   std::to_string(t.max_degree()),
+                   std::to_string(t.diameter()),
+                   util::format_double(t.average_distance(), 4),
+                   bisection});
+  };
+
+  for (int dim : {1, 2, 3, 4, 5}) row(Topology::hypercube(dim));
+  table.add_separator();
+  row(Topology::mesh(2, 2));
+  row(Topology::mesh(2, 4));
+  row(Topology::mesh(4, 4));
+  row(Topology::torus(4, 4));
+  table.add_separator();
+  row(Topology::tree(2, 7));
+  row(Topology::tree(2, 15));
+  row(Topology::tree(3, 13));
+  table.add_separator();
+  row(Topology::star(4));
+  row(Topology::star(8));
+  row(Topology::star(16));
+  table.add_separator();
+  row(Topology::ring(8));
+  row(Topology::chain(8));
+  table.add_separator();
+  row(Topology::fully_connected(4));
+  row(Topology::fully_connected(8));
+  row(Topology::fully_connected(16));
+  std::fputs(table.to_string().c_str(), stdout);
+
+  std::puts("\n--- example drawings (as DOT), mirroring the two figures ---");
+  std::fputs(viz::to_dot(Topology::hypercube(3)).c_str(), stdout);
+  std::fputs(viz::to_dot(Topology::mesh(2, 4)).c_str(), stdout);
+  return 0;
+}

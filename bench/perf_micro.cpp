@@ -1,0 +1,170 @@
+// PERF — google-benchmark microbenchmarks of the environment's hot
+// paths: scheduling throughput vs graph size, PITS interpretation rate,
+// simulator event rate, flattening, parsing.
+#include <benchmark/benchmark.h>
+
+#include "graph/serialize.hpp"
+#include "pits/interp.hpp"
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace {
+
+using namespace banger;
+
+machine::Machine cube8() {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.1;
+  p.bytes_per_second = 1e3;
+  return machine::Machine(machine::Topology::hypercube(3), p);
+}
+
+graph::TaskGraph sized_graph(int n) {
+  workloads::RandomGraphSpec spec;
+  spec.layers = n / 8;
+  spec.width = 8;
+  spec.seed = 7;
+  return workloads::random_layered(spec);
+}
+
+void BM_ScheduleMh(benchmark::State& state) {
+  const auto g = sized_graph(static_cast<int>(state.range(0)));
+  const auto m = cube8();
+  sched::MhScheduler mh;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mh.run(g, m));
+  }
+  state.counters["tasks"] = static_cast<double>(g.num_tasks());
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_ScheduleMh)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ScheduleEtf(benchmark::State& state) {
+  const auto g = sized_graph(static_cast<int>(state.range(0)));
+  const auto m = cube8();
+  sched::EtfScheduler etf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(etf.run(g, m));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_ScheduleEtf)->Arg(64)->Arg(256);
+
+void BM_ScheduleDsh(benchmark::State& state) {
+  const auto g = sized_graph(static_cast<int>(state.range(0)));
+  const auto m = cube8();
+  sched::DshScheduler dsh;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dsh.run(g, m));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_ScheduleDsh)->Arg(64)->Arg(256);
+
+void BM_ScheduleValidate(benchmark::State& state) {
+  const auto g = sized_graph(static_cast<int>(state.range(0)));
+  const auto m = cube8();
+  const auto s = sched::MhScheduler().run(g, m);
+  for (auto _ : state) {
+    s.validate(g, m);
+  }
+}
+BENCHMARK(BM_ScheduleValidate)->Arg(256);
+
+void BM_Simulate(benchmark::State& state) {
+  const auto g = sized_graph(static_cast<int>(state.range(0)));
+  const auto m = cube8();
+  const auto s = sched::MhScheduler().run(g, m);
+  sim::SimOptions opts;
+  opts.record_events = false;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::simulate(g, m, s, opts));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_Simulate)->Arg(256)->Arg(1024);
+
+void BM_PitsParse(benchmark::State& state) {
+  const std::string src =
+      "guess := a / 2\n"
+      "i := 0\n"
+      "while i < 20 do\n"
+      "  guess := 0.5 * (guess + a / guess)\n"
+      "  i := i + 1\n"
+      "end\n"
+      "x := guess\n";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pits::Program::parse(src));
+  }
+}
+BENCHMARK(BM_PitsParse);
+
+void BM_PitsInterp(benchmark::State& state) {
+  const auto program = pits::Program::parse(
+      "s := 0\n"
+      "for i := 1 to 1000 do\n"
+      "  s := s + sin(i) * sin(i) + cos(i) * cos(i)\n"
+      "end\n");
+  for (auto _ : state) {
+    pits::Env env;
+    program.execute(env);
+    benchmark::DoNotOptimize(env);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_PitsInterp);
+
+void BM_PitsVectorOps(benchmark::State& state) {
+  const auto program = pits::Program::parse(
+      "v := zeros(1000) + 1\n"
+      "w := v * 3 + 2\n"
+      "d := dot(v, w)\n");
+  for (auto _ : state) {
+    pits::Env env;
+    program.execute(env);
+    benchmark::DoNotOptimize(env);
+  }
+}
+BENCHMARK(BM_PitsVectorOps);
+
+void BM_FlattenLu(benchmark::State& state) {
+  const auto design = workloads::lu3x3_design();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(design.flatten());
+  }
+}
+BENCHMARK(BM_FlattenLu);
+
+void BM_PitlRoundTrip(benchmark::State& state) {
+  const auto design = workloads::lu3x3_design();
+  const std::string text = graph::to_pitl(design);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::parse_design(text));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_PitlRoundTrip);
+
+void BM_TopologyHops(benchmark::State& state) {
+  const auto t = machine::Topology::hypercube(6);
+  for (auto _ : state) {
+    int acc = 0;
+    for (machine::ProcId a = 0; a < t.num_procs(); ++a)
+      for (machine::ProcId b = 0; b < t.num_procs(); ++b)
+        acc += t.hops(a, b);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_TopologyHops);
+
+}  // namespace
+
+BENCHMARK_MAIN();

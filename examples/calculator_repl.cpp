@@ -1,0 +1,108 @@
+// calculator_repl — an interactive session with the PITS calculator,
+// the paper's "programmable pocket calculator" metaphor (Fig. 4).
+//
+// Reads lines from stdin:
+//   expression          evaluate immediately (the "=" key)
+//   name := expression  assign a variable
+//   :prog               enter program mode; finish with :run
+//   :vars               list variables
+//   :buttons            show the panel's button groups
+//   :quit
+//
+// Pipe a script in for non-interactive use:
+//   printf 'x := 9\nsqrt(x) + 1\n:quit\n' | ./build/examples/calculator_repl
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "calc/panel.hpp"
+#include "pits/builtins.hpp"
+#include "pits/interp.hpp"
+#include "util/strings.hpp"
+
+int main() {
+  using namespace banger;
+
+  pits::Env env;
+  bool trace = false;
+  std::puts("banger calculator — type :help for commands");
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    const std::string input(util::trim(line));
+    if (input.empty()) continue;
+
+    if (input == ":quit" || input == ":q") break;
+    if (input == ":help") {
+      std::puts("  expr           evaluate (the \"=\" key)");
+      std::puts("  name := expr   assign");
+      std::puts("  :prog          multi-line program mode, end with :run");
+      std::puts("  :vars          list variables");
+      std::puts("  :buttons       list the panel's function buttons");
+      std::puts("  :trace         toggle single-step assignment tracing");
+      std::puts("  :quit          leave");
+      continue;
+    }
+    if (input == ":trace") {
+      trace = !trace;
+      std::printf("trace %s\n", trace ? "on" : "off");
+      continue;
+    }
+    if (input == ":vars") {
+      for (const auto& [name, value] : env) {
+        std::printf("  %s = %s\n", name.c_str(), value.to_display().c_str());
+      }
+      continue;
+    }
+    if (input == ":buttons") {
+      const auto& reg = pits::BuiltinRegistry::instance();
+      for (const char* group :
+           {"trig", "explog", "round", "vector", "stats", "misc"}) {
+        std::printf("  %-7s %s\n", group,
+                    util::join(reg.group(group), " ").c_str());
+      }
+      std::printf("  consts ");
+      for (const auto& [name, value] : pits::constants()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::puts("");
+      continue;
+    }
+    if (input == ":prog") {
+      std::ostringstream program;
+      while (std::getline(std::cin, line) &&
+             std::string(util::trim(line)) != ":run") {
+        program << line << '\n';
+      }
+      try {
+        pits::ExecOptions opts;
+        opts.out = nullptr;
+        std::ostringstream transcript;
+        opts.out = &transcript;
+        pits::Program::parse(program.str()).execute(env, opts);
+        std::fputs(transcript.str().c_str(), stdout);
+        std::puts("ok");
+      } catch (const Error& e) {
+        std::printf("error: %s\n", e.what());
+      }
+      continue;
+    }
+
+    try {
+      if (input.find(":=") != std::string::npos) {
+        pits::ExecOptions opts;
+        std::ostringstream steps;
+        if (trace) opts.trace = &steps;
+        pits::Program::parse(input).execute(env, opts);
+        std::fputs(steps.str().c_str(), stdout);
+        std::puts("ok");
+      } else {
+        const auto value = pits::eval_expression(input, env);
+        std::printf("= %s\n", value.to_display().c_str());
+      }
+    } catch (const Error& e) {
+      std::printf("error: %s\n", e.what());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,71 @@
+// heat_equation — 1-D explicit heat diffusion with halo exchange: the
+// classic ghost-cell decomposition a computational scientist would
+// sketch, expressed as a Banger design. Segments advance in parallel,
+// exchanging only their edge temperatures each step; the scheduler
+// keeps each segment's chain on one processor and routes the tiny
+// ghost messages between neighbours.
+//
+// Usage: ./build/examples/heat_equation [segments=4] [steps=8] [cells=16]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/project.hpp"
+#include "util/strings.hpp"
+#include "viz/gantt.hpp"
+#include "workloads/designs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace banger;
+
+  const int segments = argc > 1 ? std::max(1, std::atoi(argv[1])) : 4;
+  const int steps = argc > 2 ? std::max(1, std::atoi(argv[2])) : 8;
+  const int cells = argc > 3 ? std::max(2, std::atoi(argv[3])) : 16;
+
+  Project project(workloads::heat_design(segments, steps, cells));
+  const auto s = project.summary();
+  std::printf(
+      "heat rod: %d segments x %d cells, %d steps -> %zu tasks, "
+      "average parallelism %.2f\n\n",
+      segments, cells, steps, s.leaf_tasks, s.average_parallelism);
+
+  machine::MachineParams params;
+  params.processor_speed = 1.0;
+  params.message_startup = 0.02;
+  params.bytes_per_second = 1e5;
+  project.set_machine(machine::Machine(
+      machine::Topology::ring(std::max(3, segments)), params));
+
+  const auto metrics = project.metrics("mh");
+  std::printf("schedule on ring-%d: makespan %.2f, speedup %.2f\n\n",
+              std::max(3, segments), metrics.makespan, metrics.speedup);
+
+  // A heat spike in the middle of the rod.
+  pits::Vector rod(static_cast<std::size_t>(segments * cells), 0.0);
+  rod[rod.size() / 2] = 100.0;
+  const auto result = project.run({{"rod", pits::Value(rod)}});
+  const auto& out = result.outputs.at("result").as_vector();
+
+  // Render the temperature profile as a bar strip.
+  double peak = 0;
+  double total = 0;
+  for (double v : out) {
+    peak = std::max(peak, v);
+    total += v;
+  }
+  std::puts("final temperature profile:");
+  std::string strip;
+  for (double v : out) {
+    static const char* shades = " .:-=+*#%@";
+    const int level =
+        peak > 0 ? static_cast<int>(v / peak * 9.0 + 0.5) : 0;
+    strip += shades[std::min(9, std::max(0, level))];
+  }
+  std::printf("|%s|\n", strip.c_str());
+  std::printf("peak %.3f (spike was 100), heat in rod %.3f\n\n", peak, total);
+
+  std::puts("Gantt chart (segment chains stay put, ghost cells travel):");
+  std::fputs(
+      viz::render_gantt(project.schedule(), project.flattened().graph).c_str(),
+      stdout);
+  return 0;
+}

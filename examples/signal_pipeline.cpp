@@ -1,0 +1,62 @@
+// signal_pipeline — an engineering workload built hierarchically: each
+// channel's filter->rectify->energy chain is a supernode (one drawing,
+// reused per channel), demonstrating programming-in-the-large with
+// decomposable nodes plus scheduling across heuristics.
+//
+// Usage: ./build/examples/signal_pipeline [channels=4]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/project.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "viz/dot.hpp"
+#include "workloads/designs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace banger;
+
+  const int channels = argc > 1 ? std::max(1, std::atoi(argv[1])) : 4;
+  Project project(workloads::signal_pipeline_design(channels));
+
+  const auto summary = project.summary();
+  std::printf(
+      "signal pipeline: %d channels -> %zu leaf tasks, hierarchy depth %d,\n"
+      "average parallelism %.2f\n\n",
+      channels, summary.leaf_tasks, summary.depth,
+      summary.average_parallelism);
+
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.02;
+  p.bytes_per_second = 1e5;
+  project.set_machine(machine::Machine(
+      machine::Topology::mesh(2, std::max(1, (channels + 1) / 2)), p));
+
+  // Compare the heuristics the environment offers.
+  util::Table table;
+  table.set_header({"scheduler", "makespan", "speedup", "duplicates"});
+  for (const char* name : {"mh", "etf", "dsh", "cluster", "serial"}) {
+    const auto m = project.metrics(name);
+    table.add_row({name, util::format_double(m.makespan, 5),
+                   util::format_double(m.speedup, 4),
+                   std::to_string(m.duplicates)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+
+  // A noisy test signal.
+  pits::Vector signal;
+  for (int i = 0; i < 64; ++i) {
+    signal.push_back(std::sin(i * 0.2) + 0.25 * std::sin(i * 1.7));
+  }
+  const auto result = project.run({{"signal", pits::Value(signal)}});
+  std::printf("\nper-channel energies: %s\n",
+              result.outputs.at("energy").to_display().c_str());
+  std::printf("(channel gain c+1 => energies scale as 1:4:9:...; wall %.4fs)\n",
+              result.wall_seconds);
+
+  std::puts("\nhierarchical drawing (DOT):");
+  std::fputs(viz::to_dot(project.design()).c_str(), stdout);
+  return 0;
+}

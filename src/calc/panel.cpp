@@ -1,0 +1,305 @@
+#include "calc/panel.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+#include "pits/builtins.hpp"
+#include "util/strings.hpp"
+
+namespace banger::calc {
+
+std::string_view keycap(Key key) noexcept {
+  switch (key) {
+    case Key::D0: return "0";
+    case Key::D1: return "1";
+    case Key::D2: return "2";
+    case Key::D3: return "3";
+    case Key::D4: return "4";
+    case Key::D5: return "5";
+    case Key::D6: return "6";
+    case Key::D7: return "7";
+    case Key::D8: return "8";
+    case Key::D9: return "9";
+    case Key::Dot: return ".";
+    case Key::Plus: return "+";
+    case Key::Minus: return "-";
+    case Key::Times: return "*";
+    case Key::Divide: return "/";
+    case Key::Power: return "^";
+    case Key::LParen: return "(";
+    case Key::RParen: return ")";
+    case Key::LBracket: return "[";
+    case Key::RBracket: return "]";
+    case Key::Comma: return ",";
+    case Key::Assign: return ":=";
+    case Key::Less: return "<";
+    case Key::LessEq: return "<=";
+    case Key::Greater: return ">";
+    case Key::GreaterEq: return ">=";
+    case Key::Equal: return "=";
+    case Key::NotEqual: return "<>";
+    case Key::And: return "and";
+    case Key::Or: return "or";
+    case Key::Not: return "not";
+    case Key::Mod: return "mod";
+    case Key::If: return "if";
+    case Key::Then: return "then";
+    case Key::Elsif: return "elsif";
+    case Key::Else: return "else";
+    case Key::End: return "end";
+    case Key::While: return "while";
+    case Key::Do: return "do";
+    case Key::Repeat: return "repeat";
+    case Key::TimesWord: return "times";
+    case Key::For: return "for";
+    case Key::To: return "to";
+    case Key::Step: return "step";
+    case Key::Return: return "return";
+    case Key::Enter: return "\n";
+  }
+  return "?";
+}
+
+const std::vector<std::vector<Key>>& panel_layout() {
+  static const std::vector<std::vector<Key>> rows = {
+      {Key::D7, Key::D8, Key::D9, Key::Divide, Key::LParen, Key::RParen},
+      {Key::D4, Key::D5, Key::D6, Key::Times, Key::LBracket, Key::RBracket},
+      {Key::D1, Key::D2, Key::D3, Key::Minus, Key::Less, Key::Greater},
+      {Key::D0, Key::Dot, Key::Comma, Key::Plus, Key::LessEq, Key::GreaterEq},
+      {Key::Assign, Key::Equal, Key::NotEqual, Key::Power, Key::And, Key::Or},
+      {Key::If, Key::Then, Key::Elsif, Key::Else, Key::End, Key::Not},
+      {Key::While, Key::Do, Key::Repeat, Key::TimesWord, Key::Mod, Key::Enter},
+      {Key::For, Key::To, Key::Step, Key::Return},
+  };
+  return rows;
+}
+
+CalculatorPanel::CalculatorPanel(std::string task_name)
+    : name_(std::move(task_name)) {}
+
+namespace {
+void declare(std::vector<std::string>& list, const std::string& name,
+             const char* what) {
+  if (!banger::util::is_identifier(name)) {
+    banger::fail(banger::ErrorCode::Name,
+                 std::string(what) + " `" + name + "` is not a valid identifier");
+  }
+  if (std::find(list.begin(), list.end(), name) != list.end()) {
+    banger::fail(banger::ErrorCode::Name,
+                 std::string(what) + " `" + name + "` already declared");
+  }
+  list.push_back(name);
+}
+}  // namespace
+
+void CalculatorPanel::declare_input(const std::string& name) {
+  declare(inputs_, name, "input");
+}
+void CalculatorPanel::declare_output(const std::string& name) {
+  declare(outputs_, name, "output");
+}
+void CalculatorPanel::declare_local(const std::string& name) {
+  declare(locals_, name, "local");
+}
+
+void CalculatorPanel::append(std::string_view piece, bool keyword_spacing) {
+  undo_.push_back(text_.size());
+  if (keyword_spacing && !text_.empty() && text_.back() != '\n' &&
+      text_.back() != ' ' && text_.back() != '(') {
+    text_ += ' ';
+  }
+  text_ += piece;
+}
+
+void CalculatorPanel::press(Key key) {
+  const std::string_view cap = keycap(key);
+  if (key == Key::Enter) {
+    undo_.push_back(text_.size());
+    text_ += '\n';
+    return;
+  }
+  const bool word = std::isalpha(static_cast<unsigned char>(cap.front())) != 0;
+  const bool digit = std::isdigit(static_cast<unsigned char>(cap.front())) != 0 ||
+                     key == Key::Dot;
+  if (digit) {
+    // Digits chain without spaces but separate from preceding words and
+    // operator glyphs ("x := 12.5", not "x :=12.5").
+    undo_.push_back(text_.size());
+    const char prev = text_.empty() ? '\n' : text_.back();
+    const bool glue = std::isdigit(static_cast<unsigned char>(prev)) != 0 ||
+                      prev == '.' || prev == '(' || prev == '[' ||
+                      prev == ' ' || prev == '\n';
+    if (!glue) text_ += ' ';
+    text_ += cap;
+    return;
+  }
+  append(cap, /*keyword_spacing=*/word || key == Key::Assign ||
+                  key == Key::Plus || key == Key::Minus || key == Key::Times ||
+                  key == Key::Divide || key == Key::Power || key == Key::Less ||
+                  key == Key::LessEq || key == Key::Greater ||
+                  key == Key::GreaterEq || key == Key::Equal ||
+                  key == Key::NotEqual);
+}
+
+void CalculatorPanel::press_function(const std::string& name) {
+  if (pits::BuiltinRegistry::instance().find(name) == nullptr) {
+    fail(ErrorCode::Name, "no function button `" + name + "` on the panel");
+  }
+  append(name + "(", /*keyword_spacing=*/true);
+}
+
+void CalculatorPanel::press_constant(const std::string& name) {
+  if (!pits::constants().contains(name)) {
+    fail(ErrorCode::Name, "no constant button `" + name + "` on the panel");
+  }
+  append(name, /*keyword_spacing=*/true);
+}
+
+void CalculatorPanel::press_variable(const std::string& name) {
+  auto declared = [&](const std::vector<std::string>& list) {
+    return std::find(list.begin(), list.end(), name) != list.end();
+  };
+  if (!declared(inputs_) && !declared(outputs_) && !declared(locals_)) {
+    fail(ErrorCode::Name, "variable `" + name + "` is not in any window");
+  }
+  append(name, /*keyword_spacing=*/true);
+}
+
+void CalculatorPanel::type(std::string_view text) {
+  undo_.push_back(text_.size());
+  text_ += text;
+}
+
+void CalculatorPanel::backspace() {
+  if (undo_.empty()) return;
+  text_.resize(undo_.back());
+  undo_.pop_back();
+}
+
+void CalculatorPanel::clear() {
+  text_.clear();
+  undo_.clear();
+}
+
+void CalculatorPanel::set_program_text(std::string text) {
+  text_ = std::move(text);
+  undo_.clear();
+}
+
+std::vector<std::string> CalculatorPanel::lint() const {
+  std::vector<std::string> issues;
+  pits::Program program;
+  try {
+    program = pits::Program::parse(text_);
+  } catch (const Error& e) {
+    issues.push_back(e.what());
+    return issues;
+  }
+
+  auto declared = [&](const std::string& name) {
+    auto in = [&](const std::vector<std::string>& list) {
+      return std::find(list.begin(), list.end(), name) != list.end();
+    };
+    return in(inputs_) || in(outputs_) || in(locals_);
+  };
+  for (const std::string& name : program.inputs()) {
+    if (!declared(name)) {
+      issues.push_back("reads `" + name + "`, which is in no variable window");
+    }
+  }
+  const auto assigned = program.outputs();
+  for (const std::string& out : outputs_) {
+    if (std::find(assigned.begin(), assigned.end(), out) == assigned.end()) {
+      issues.push_back("output `" + out + "` is never assigned");
+    }
+  }
+  return issues;
+}
+
+TrialResult CalculatorPanel::trial_run(const pits::Env& input_values,
+                                       const pits::ExecOptions& options) const {
+  TrialResult result;
+  std::ostringstream transcript;
+  pits::ExecOptions opts = options;
+  opts.out = &transcript;
+  result.env = input_values;
+  try {
+    pits::Program::parse(text_).execute(result.env, opts);
+    result.ok = true;
+  } catch (const Error& e) {
+    result.ok = false;
+    result.error = e.what();
+  }
+  result.transcript = transcript.str();
+  return result;
+}
+
+graph::Node CalculatorPanel::to_node(double work) const {
+  graph::Node node;
+  node.kind = graph::NodeKind::Task;
+  node.name = name_;
+  node.work = work;
+  node.pits = text_;
+  node.inputs = inputs_;
+  node.outputs = outputs_;
+  return node;
+}
+
+CalculatorPanel CalculatorPanel::from_node(const graph::Node& node) {
+  if (node.kind != graph::NodeKind::Task) {
+    fail(ErrorCode::Graph,
+         "only task nodes can be opened in the calculator");
+  }
+  CalculatorPanel panel(node.name);
+  for (const auto& v : node.inputs) panel.declare_input(v);
+  for (const auto& v : node.outputs) {
+    // A variable may be both input and output; the output window simply
+    // lists it again in the original, so tolerate duplicates here.
+    if (std::find(panel.inputs_.begin(), panel.inputs_.end(), v) ==
+        panel.inputs_.end()) {
+      panel.declare_output(v);
+    } else {
+      panel.outputs_.push_back(v);
+    }
+  }
+  panel.set_program_text(node.pits);
+  return panel;
+}
+
+std::string CalculatorPanel::render() const {
+  std::ostringstream out;
+  const std::string bar(64, '-');
+  out << "+" << bar << "+\n";
+  auto window = [&](const std::string& title,
+                    const std::vector<std::string>& items) {
+    out << "| " << util::pad_right(title + ":", 14);
+    std::string body = util::join(items, ", ");
+    if (body.size() > 46) body = body.substr(0, 43) + "...";
+    out << util::pad_right(body, 48) << " |\n";
+  };
+  out << "| " << util::pad_right("task " + name_, 62) << " |\n";
+  out << "+" << bar << "+\n";
+  window("locals", locals_);
+  window("inputs", inputs_);
+  window("outputs", outputs_);
+  out << "+" << bar << "+\n";
+  for (const auto& row : panel_layout()) {
+    std::string line = "|";
+    for (Key k : row) {
+      std::string cap(k == Key::Enter ? "ENTER" : std::string(keycap(k)));
+      line += " [" + util::pad_right(cap, 6) + "]";
+    }
+    out << util::pad_right(line, 65) << " |\n";
+  }
+  out << "+" << bar << "+\n";
+  for (auto line : util::split(text_, '\n')) {
+    std::string body(line);
+    if (body.size() > 62) body = body.substr(0, 59) + "...";
+    out << "| " << util::pad_right(body, 62) << " |\n";
+  }
+  out << "+" << bar << "+\n";
+  return out.str();
+}
+
+}  // namespace banger::calc

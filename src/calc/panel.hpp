@@ -1,0 +1,125 @@
+// banger/calc/panel.hpp
+//
+// A headless model of the calculator panel in the paper's Figure 4: the
+// upper-right window lists the node's input/output variables, the
+// upper-left window its locals, the middle holds the programming-button
+// matrix, and the lower window shows the textual routine. Banger's GUI
+// built PITS programs by button presses; this class reproduces that
+// keystroke-level interaction so tests and examples can drive exactly
+// what a user would click.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "pits/interp.hpp"
+
+namespace banger::calc {
+
+/// Physical buttons of the panel. Function/constant/variable buttons are
+/// parameterised presses (press_function etc.) since their sets are open.
+enum class Key : std::uint8_t {
+  D0, D1, D2, D3, D4, D5, D6, D7, D8, D9,
+  Dot,
+  Plus, Minus, Times, Divide, Power,
+  LParen, RParen, LBracket, RBracket, Comma,
+  Assign,                 // :=
+  Less, LessEq, Greater, GreaterEq, Equal, NotEqual,
+  And, Or, Not, Mod,
+  If, Then, Elsif, Else, End,
+  While, Do,
+  Repeat, TimesWord,
+  For, To, Step,
+  Return,
+  Enter,                  // newline
+};
+
+/// The keycap text of a button ("7", ":=", "while", ...).
+std::string_view keycap(Key key) noexcept;
+
+/// The button matrix as drawn on the panel, row by row (for rendering
+/// the panel in the Fig. 4 bench and the calculator REPL example).
+const std::vector<std::vector<Key>>& panel_layout();
+
+/// Outcome of pressing "=" (trial run).
+struct TrialResult {
+  bool ok = false;
+  std::string error;        ///< set when !ok
+  pits::Env env;            ///< final variable bindings
+  std::string transcript;   ///< everything print() emitted
+};
+
+class CalculatorPanel {
+ public:
+  explicit CalculatorPanel(std::string task_name = "task");
+
+  [[nodiscard]] const std::string& task_name() const noexcept { return name_; }
+
+  // --- variable windows ---
+  void declare_input(const std::string& name);
+  void declare_output(const std::string& name);
+  void declare_local(const std::string& name);
+  [[nodiscard]] const std::vector<std::string>& inputs() const noexcept {
+    return inputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& outputs() const noexcept {
+    return outputs_;
+  }
+  [[nodiscard]] const std::vector<std::string>& locals() const noexcept {
+    return locals_;
+  }
+
+  // --- program construction (the lower window) ---
+  void press(Key key);
+  /// Function button: inserts `name(`. Throws Error{Name} for unknown
+  /// functions (there is no such button to press).
+  void press_function(const std::string& name);
+  /// Constant button: inserts the constant's name.
+  void press_constant(const std::string& name);
+  /// Click on a variable in one of the windows; must be declared.
+  void press_variable(const std::string& name);
+  /// Free typing into the program window (power users).
+  void type(std::string_view text);
+  /// Deletes the last keystroke's text.
+  void backspace();
+  void clear();
+
+  [[nodiscard]] const std::string& program_text() const noexcept {
+    return text_;
+  }
+  /// Replaces the whole program (loading an existing node).
+  void set_program_text(std::string text);
+
+  // --- feedback ---
+  /// Parse + lint: undeclared reads, outputs never assigned. Empty means
+  /// clean; parse errors come back as a single message.
+  [[nodiscard]] std::vector<std::string> lint() const;
+
+  /// The "=" key: parses and runs the routine against the provided input
+  /// bindings (locals start undefined). Never throws; errors are
+  /// reported in the result, as a GUI would show them.
+  [[nodiscard]] TrialResult trial_run(const pits::Env& input_values,
+                                      const pits::ExecOptions& options = {}) const;
+
+  /// Exports the panel's state as a PITL task node.
+  [[nodiscard]] graph::Node to_node(double work = 1.0) const;
+  /// Loads a PITL task node into the panel.
+  static CalculatorPanel from_node(const graph::Node& node);
+
+  /// ASCII rendering of the whole panel (both variable windows, button
+  /// matrix, program window) — the Fig. 4 reproduction.
+  [[nodiscard]] std::string render() const;
+
+ private:
+  void append(std::string_view piece, bool keyword_spacing);
+
+  std::string name_;
+  std::vector<std::string> inputs_;
+  std::vector<std::string> outputs_;
+  std::vector<std::string> locals_;
+  std::string text_;
+  std::vector<std::size_t> undo_;  ///< text length before each keystroke
+};
+
+}  // namespace banger::calc

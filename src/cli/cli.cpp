@@ -1,0 +1,510 @@
+#include "cli/cli.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "core/html_report.hpp"
+#include "core/lint.hpp"
+#include "sched/explain.hpp"
+#include "transform/transform.hpp"
+#include "core/project.hpp"
+#include "graph/serialize.hpp"
+#include "machine/serialize.hpp"
+#include "pits/interp.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "viz/charts.hpp"
+#include "viz/dot.hpp"
+#include "viz/gantt.hpp"
+#include "viz/trace.hpp"
+
+namespace banger::cli {
+
+namespace {
+
+struct Options {
+  std::vector<std::string> positional;
+  std::string scheduler = "mh";
+  std::string format = "gantt";  // gantt | table | svg
+  std::string output_file;
+  std::vector<int> sizes{1, 2, 4, 8};
+  std::map<std::string, pits::Value> inputs;
+  bool contention = false;
+  std::size_t events = 20;
+  std::string task;  ///< --task filter for explain
+};
+
+[[noreturn]] void usage_error(const std::string& message) {
+  fail(ErrorCode::Generic, message + "\n" + usage());
+}
+
+Options parse_options(const std::vector<std::string>& args,
+                      std::size_t first) {
+  Options o;
+  for (std::size_t i = first; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    auto next = [&]() -> const std::string& {
+      if (i + 1 >= args.size()) usage_error("option " + a + " needs a value");
+      return args[++i];
+    };
+    if (a == "--scheduler") {
+      o.scheduler = next();
+    } else if (a == "--format") {
+      o.format = next();
+      if (o.format != "gantt" && o.format != "table" && o.format != "svg" &&
+          o.format != "trace" && o.format != "html") {
+        usage_error("unknown format `" + o.format + "`");
+      }
+    } else if (a == "-o" || a == "--output") {
+      o.output_file = next();
+    } else if (a == "--sizes") {
+      o.sizes.clear();
+      for (auto part : util::split(next(), ',')) {
+        int v = 0;
+        auto t = util::trim(part);
+        auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
+        if (ec != std::errc{} || p != t.data() + t.size() || v < 1) {
+          usage_error("bad --sizes entry `" + std::string(t) + "`");
+        }
+        o.sizes.push_back(v);
+      }
+      if (o.sizes.empty()) usage_error("--sizes needs at least one size");
+    } else if (a == "--input") {
+      const std::string& kv = next();
+      auto eq = kv.find('=');
+      if (eq == std::string::npos) {
+        usage_error("--input expects VAR=EXPR, got `" + kv + "`");
+      }
+      const std::string var = kv.substr(0, eq);
+      // The value is a PITS expression: numbers, vectors, formulas.
+      o.inputs[var] = pits::eval_expression(kv.substr(eq + 1), {});
+    } else if (a == "--task") {
+      o.task = next();
+    } else if (a == "--contention") {
+      o.contention = true;
+    } else if (a == "--events") {
+      const std::string& v = next();
+      o.events = static_cast<std::size_t>(std::stoul(v));
+    } else if (!a.empty() && a[0] == '-') {
+      usage_error("unknown option `" + a + "`");
+    } else {
+      o.positional.push_back(a);
+    }
+  }
+  return o;
+}
+
+Project load_project(const Options& o, std::size_t index) {
+  if (o.positional.size() <= index) {
+    usage_error("missing design file argument");
+  }
+  return Project::load(o.positional[index]);
+}
+
+machine::Machine load_machine_arg(const Options& o, std::size_t index) {
+  if (o.positional.size() <= index) {
+    usage_error("missing machine file argument");
+  }
+  return machine::load_machine(o.positional[index]);
+}
+
+void write_or_print(const std::string& text, const Options& o,
+                    std::ostream& out) {
+  if (o.output_file.empty()) {
+    out << text;
+  } else {
+    std::ofstream file(o.output_file);
+    if (!file) fail(ErrorCode::Io, "cannot write `" + o.output_file + "`");
+    file << text;
+  }
+}
+
+int cmd_info(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  const auto s = project.summary();
+  out << "design: " << project.design().name() << "\n"
+      << "levels: " << project.design().num_graphs()
+      << "  hierarchy depth: " << s.depth << "\n"
+      << "leaf tasks: " << s.leaf_tasks << "  dependences: " << s.edges
+      << "  stores: " << s.stores << "\n"
+      << "total work: " << util::format_double(s.total_work) << "  critical path: "
+      << util::format_double(s.critical_path_work)
+      << "  average parallelism: "
+      << util::format_double(s.average_parallelism, 4) << "\n";
+  const auto& flat = project.flattened();
+  out << "input stores:";
+  for (std::size_t i : flat.input_stores()) out << ' ' << flat.stores[i].var;
+  out << "\noutput stores:";
+  for (std::size_t i : flat.output_stores()) out << ' ' << flat.stores[i].var;
+  out << "\n";
+  return 0;
+}
+
+int cmd_validate(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);  // ctor validates
+  out << "ok: " << project.design().name() << " ("
+      << project.summary().leaf_tasks << " leaf tasks)\n";
+  return 0;
+}
+
+int cmd_flatten(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  const auto& flat = project.flattened();
+  util::Table table;
+  table.set_header({"task", "work", "preds"});
+  for (graph::TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
+    std::string preds;
+    for (graph::TaskId p : flat.graph.preds(t)) {
+      if (!preds.empty()) preds += ",";
+      preds += flat.graph.task(p).name;
+    }
+    table.add_row({flat.graph.task(t).name,
+                   util::format_double(flat.graph.task(t).work), preds});
+  }
+  out << table.to_string();
+  return 0;
+}
+
+int cmd_dot(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  write_or_print(viz::to_dot(project.design()), o, out);
+  return 0;
+}
+
+int cmd_topo(const Options& o, std::ostream& out) {
+  if (o.positional.empty()) usage_error("topo needs a kind");
+  // Reuse the .machine topology grammar: "topology <kind> k=v...".
+  std::string line = "topology";
+  for (const auto& p : o.positional) line += ' ' + p;
+  const auto machine = machine::parse_machine(line + "\n");
+  const auto& t = machine.topology();
+  out << t.name() << ": " << t.num_procs() << " processors, "
+      << t.num_links() << " links, diameter " << t.diameter()
+      << ", max degree " << t.max_degree() << ", avg hops "
+      << util::format_double(t.average_distance(), 4) << "\n";
+  out << viz::to_dot(t);
+  return 0;
+}
+
+int cmd_schedule(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  const auto& schedule = project.schedule(o.scheduler);
+  const auto metrics = project.metrics(o.scheduler);
+  if (o.format == "svg") {
+    write_or_print(viz::render_gantt_svg(schedule, project.flattened().graph),
+                   o, out);
+    return 0;
+  }
+  if (o.format == "trace") {
+    write_or_print(viz::to_chrome_trace(schedule, project.flattened().graph),
+                   o, out);
+    return 0;
+  }
+  if (o.format == "table") {
+    write_or_print(viz::schedule_table(schedule, project.flattened().graph),
+                   o, out);
+  } else {
+    write_or_print(viz::render_gantt(schedule, project.flattened().graph), o,
+                   out);
+  }
+  out << "makespan " << util::format_double(metrics.makespan, 6)
+      << "  speedup " << util::format_double(metrics.speedup, 4)
+      << "  efficiency " << util::format_double(metrics.efficiency, 4)
+      << "  procs used " << metrics.procs_used << "/" << metrics.procs
+      << "\n";
+  out << viz::render_utilization(schedule);
+  return 0;
+}
+
+int cmd_speedup(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  const auto curve = project.speedup(o.sizes, o.scheduler);
+  util::Table table;
+  table.set_header({"procs", "makespan", "speedup", "efficiency"});
+  for (const auto& pt : curve.points) {
+    table.add_row({std::to_string(pt.procs),
+                   util::format_double(pt.makespan, 6),
+                   util::format_double(pt.speedup, 4),
+                   util::format_double(pt.efficiency, 4)});
+  }
+  out << table.to_string() << "\n"
+      << viz::render_speedup_chart(curve);
+  return 0;
+}
+
+int cmd_simulate(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  sim::SimOptions sim_opts;
+  sim_opts.link_contention = o.contention;
+  const auto result = project.simulate(o.scheduler, sim_opts);
+  if (!o.output_file.empty()) {
+    // -o writes the Chrome trace of the replay for chrome://tracing.
+    write_or_print(viz::to_chrome_trace(result, project.flattened().graph), o,
+                   out);
+  }
+  out << "simulated makespan " << util::format_double(result.makespan, 6)
+      << "s, " << result.num_messages << " messages, max queue delay "
+      << util::format_double(result.max_queue_delay, 4) << "s\n";
+  out << result.animation(o.events);
+  return 0;
+}
+
+void print_run_result(const exec::RunResult& result, std::ostream& out) {
+  for (const auto& [name, value] : result.outputs) {
+    out << name << " = " << value.to_display() << "\n";
+  }
+  if (!result.transcript.empty()) {
+    out << "--- transcript ---\n" << result.transcript;
+  }
+  out << "(" << result.runs.size() << " task executions, wall "
+      << util::format_double(result.wall_seconds, 4) << "s)\n";
+}
+
+int cmd_trial(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  print_run_result(project.trial_run(o.inputs), out);
+  return 0;
+}
+
+int cmd_run(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  print_run_result(project.run(o.inputs, o.scheduler), out);
+  return 0;
+}
+
+int cmd_report(const Options& o, std::ostream& out) {
+  // One self-contained artifact: summary, lint, schedule, utilisation,
+  // speedup, heuristic comparison — markdown by default, --format html
+  // for the browser version with SVG charts.
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  if (o.format == "html") {
+    HtmlReportOptions opts;
+    opts.scheduler = o.scheduler;
+    opts.speedup_sizes = o.sizes;
+    write_or_print(render_html_report(project, opts), o, out);
+    return 0;
+  }
+  std::ostringstream md;
+  const auto s = project.summary();
+  md << "# banger report: " << project.design().name() << "\n\n";
+  md << "## Design\n\n"
+     << "- leaf tasks: " << s.leaf_tasks << ", dependences: " << s.edges
+     << ", stores: " << s.stores << "\n"
+     << "- hierarchy depth: " << s.depth << "\n"
+     << "- total work: " << util::format_double(s.total_work)
+     << ", critical path: " << util::format_double(s.critical_path_work)
+     << ", average parallelism: "
+     << util::format_double(s.average_parallelism, 4) << "\n\n";
+
+  md << "## Lint\n\n";
+  const auto issues = lint_design(project.design());
+  if (issues.empty()) {
+    md << "clean\n\n";
+  } else {
+    for (const auto& issue : issues) md << "- " << issue.to_string() << "\n";
+    md << "\n";
+  }
+
+  md << "## Schedule (" << o.scheduler << " on " << project.machine().name()
+     << ")\n\n```\n"
+     << viz::render_gantt(project.schedule(o.scheduler),
+                          project.flattened().graph)
+     << viz::render_utilization(project.schedule(o.scheduler)) << "```\n\n";
+
+  md << "## Speedup prediction\n\n```\n";
+  const auto curve = project.speedup(o.sizes, o.scheduler);
+  md << viz::render_speedup_chart(curve) << "```\n\n";
+
+  md << "## Heuristic comparison\n\n```\n";
+  util::Table table;
+  table.set_header({"scheduler", "makespan", "speedup", "duplicates"});
+  for (const std::string& name : sched::scheduler_names()) {
+    const auto m = project.metrics(name);
+    table.add_row({name, util::format_double(m.makespan, 6),
+                   util::format_double(m.speedup, 4),
+                   std::to_string(m.duplicates)});
+  }
+  md << table.to_string() << "```\n";
+  write_or_print(md.str(), o, out);
+  return 0;
+}
+
+int cmd_explain(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  const auto& schedule = project.schedule(o.scheduler);
+  out << sched::explain_report(schedule, project.flattened().graph,
+                               project.machine(), o.task);
+  return 0;
+}
+
+int cmd_grain(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  const machine::Machine machine = load_machine_arg(o, 1);
+  const auto& graph = project.flattened().graph;
+  const auto scheduler = sched::make_scheduler(o.scheduler);
+  const auto before = scheduler->run(graph, machine);
+
+  util::Table table;
+  table.set_header({"min grain (s)", "tasks", "edges", "makespan",
+                    "vs unpacked"});
+  table.add_row({"(none)", std::to_string(graph.num_tasks()),
+                 std::to_string(graph.num_edges()),
+                 util::format_double(before.makespan(), 6), "1.0"});
+  for (double grain : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    transform::GrainPackOptions opts;
+    opts.min_grain_seconds = grain;
+    opts.max_grain_seconds = grain * 4;
+    const auto packed = transform::pack_grains(graph, machine, opts);
+    const auto s = scheduler->run(packed.graph, machine);
+    table.add_row({util::format_double(grain, 4),
+                   std::to_string(packed.graph.num_tasks()),
+                   std::to_string(packed.graph.num_edges()),
+                   util::format_double(s.makespan(), 6),
+                   util::format_double(s.makespan() / before.makespan(), 4)});
+  }
+  out << table.to_string();
+  return 0;
+}
+
+int cmd_split(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  const machine::Machine machine = load_machine_arg(o, 1);
+  const auto& graph = project.flattened().graph;
+  const auto scheduler = sched::make_scheduler(o.scheduler);
+  const auto before = scheduler->run(graph, machine);
+  util::Table table;
+  table.set_header({"split threshold (s)", "tasks", "makespan",
+                    "vs unsplit"});
+  table.add_row({"(none)", std::to_string(graph.num_tasks()),
+                 util::format_double(before.makespan(), 6), "1.0"});
+  for (double threshold : {16.0, 8.0, 4.0, 2.0, 1.0}) {
+    const auto split =
+        transform::split_heavy_tasks(graph, machine, threshold, 8);
+    const auto s = scheduler->run(split.graph, machine);
+    table.add_row({util::format_double(threshold, 4),
+                   std::to_string(split.graph.num_tasks()),
+                   util::format_double(s.makespan(), 6),
+                   util::format_double(s.makespan() / before.makespan(), 4)});
+  }
+  out << table.to_string();
+  out << "(planning transform: shards carry work and traffic shares, not"
+         " PITS)\n";
+  return 0;
+}
+
+int cmd_lint(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  const auto issues = lint_design(project.design());
+  for (const LintIssue& issue : issues) {
+    out << issue.to_string() << "\n";
+  }
+  if (issues.empty()) out << "clean: no issues found\n";
+  return has_errors(issues) ? 1 : 0;
+}
+
+int cmd_compare(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  util::Table table;
+  table.set_header({"scheduler", "makespan", "speedup", "efficiency",
+                    "procs used", "duplicates"});
+  for (const std::string& name : sched::scheduler_names()) {
+    const auto m = project.metrics(name);
+    table.add_row({name, util::format_double(m.makespan, 6),
+                   util::format_double(m.speedup, 4),
+                   util::format_double(m.efficiency, 4),
+                   std::to_string(m.procs_used),
+                   std::to_string(m.duplicates)});
+  }
+  out << table.to_string();
+  return 0;
+}
+
+int cmd_codegen(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  write_or_print(project.generate_code(o.inputs, o.scheduler), o, out);
+  return 0;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "usage: banger <command> [arguments] [options]\n"
+      "commands:\n"
+      "  info     <design.pitl>                design summary\n"
+      "  validate <design.pitl>                check a design\n"
+      "  flatten  <design.pitl>                flattened task DAG\n"
+      "  dot      <design.pitl>                Graphviz export\n"
+      "  topo     <kind> key=value...          topology properties\n"
+      "  schedule <design> <machine>           Gantt chart / table / SVG\n"
+      "  speedup  <design> <machine>           speedup prediction\n"
+      "  simulate <design> <machine>           discrete-event replay\n"
+      "  trial    <design>                     sequential trial run\n"
+      "  run      <design> <machine>           threaded execution\n"
+      "  codegen  <design> <machine>           emit standalone C++\n"
+      "  lint     <design.pitl>                design-level diagnostics\n"
+      "  compare  <design> <machine>           all heuristics side by side\n"
+      "  grain    <design> <machine>           grain-packing sweep\n"
+      "  split    <design> <machine>           data-parallel split sweep\n"
+      "  explain  <design> <machine>           placement rationale per task\n"
+      "  report   <design> <machine>           one artifact of it all\n"
+      "                                        (--format html for a browser page)\n"
+      "options:\n"
+      "  --scheduler NAME   mh|mcp|etf|hlfet|dls|dsh|cluster|serial|...\n"
+      "  --input VAR=EXPR   bind an input store (PITS expression)\n"
+      "  --sizes 1,2,4,8    processor counts for speedup\n"
+      "  --format F         gantt|table|svg|trace (schedule)\n"
+      "  --contention       simulate per-link queueing\n"
+      "  --events N         simulation events to print\n"
+      "  -o FILE            write main artifact to FILE\n";
+}
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << usage();
+    return args.empty() ? 2 : 0;
+  }
+  const std::string& command = args[0];
+  try {
+    const Options options = parse_options(args, 1);
+    if (command == "info") return cmd_info(options, out);
+    if (command == "validate") return cmd_validate(options, out);
+    if (command == "flatten") return cmd_flatten(options, out);
+    if (command == "dot") return cmd_dot(options, out);
+    if (command == "topo") return cmd_topo(options, out);
+    if (command == "schedule") return cmd_schedule(options, out);
+    if (command == "speedup") return cmd_speedup(options, out);
+    if (command == "simulate") return cmd_simulate(options, out);
+    if (command == "trial") return cmd_trial(options, out);
+    if (command == "run") return cmd_run(options, out);
+    if (command == "report") return cmd_report(options, out);
+    if (command == "explain") return cmd_explain(options, out);
+    if (command == "grain") return cmd_grain(options, out);
+    if (command == "split") return cmd_split(options, out);
+    if (command == "lint") return cmd_lint(options, out);
+    if (command == "compare") return cmd_compare(options, out);
+    if (command == "codegen") return cmd_codegen(options, out);
+    err << "banger: unknown command `" << command << "`\n" << usage();
+    return 2;
+  } catch (const Error& e) {
+    err << "banger: " << e.what() << "\n";
+    return 1;
+  } catch (const std::exception& e) {
+    err << "banger: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace banger::cli

@@ -1,0 +1,41 @@
+// banger/cli/cli.hpp
+//
+// The environment as a command-line tool. All functionality is exposed
+// through run(), which writes to caller-provided streams — so the CLI
+// is unit-testable and the `banger` binary in tools/ is a three-line
+// main.
+//
+// Commands:
+//   banger info <design.pitl>                     design summary
+//   banger validate <design.pitl>                 exit 0/1
+//   banger flatten <design.pitl>                  flattened task DAG
+//   banger dot <design.pitl>                      Graphviz of the design
+//   banger topo <kind> key=value...               topology properties+DOT
+//   banger schedule <design> <machine> [options]  Gantt/table/SVG
+//   banger speedup <design> <machine> [options]   prediction curve
+//   banger simulate <design> <machine> [options]  discrete-event replay
+//   banger trial <design> [--input v=expr]...     sequential trial run
+//   banger run <design> <machine> [options]       threaded execution
+//   banger codegen <design> <machine> [options]   emit C++ to stdout/-o
+//
+// Common options: --scheduler NAME, --input VAR=PITS_EXPR (repeatable),
+// --sizes 1,2,4, --contention, --events N, --format gantt|table|svg,
+// -o FILE.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace banger::cli {
+
+/// Executes one CLI invocation. `args` excludes the program name.
+/// Returns the process exit code (0 success, 1 user error, 2 usage).
+/// Never throws: user-level Errors are rendered on `err`.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+/// The usage text (also printed on bad invocations).
+std::string usage();
+
+}  // namespace banger::cli

@@ -1,0 +1,264 @@
+#include "codegen/runtime_preamble.hpp"
+
+namespace banger::codegen {
+
+const char* runtime_preamble() {
+  return R"PRE(
+#include <algorithm>
+#include <cmath>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace rt {
+
+struct Val {
+  int kind = 0;  // 0 = number, 1 = vector, 2 = string
+  double num = 0.0;
+  std::vector<double> vec;
+  std::string str;
+};
+
+inline Val num(double x) { Val v; v.kind = 0; v.num = x; return v; }
+inline Val vecv(std::vector<double> x) { Val v; v.kind = 1; v.vec = std::move(x); return v; }
+inline Val strv(std::string s) { Val v; v.kind = 2; v.str = std::move(s); return v; }
+
+[[noreturn]] inline void die(const std::string& msg) {
+  throw std::runtime_error("runtime error: " + msg);
+}
+
+inline double scal(const Val& v) {
+  if (v.kind != 0) die("expected a number");
+  return v.num;
+}
+inline const std::vector<double>& vect(const Val& v) {
+  if (v.kind != 1) die("expected a vector");
+  return v.vec;
+}
+inline bool truthy(const Val& v) {
+  if (v.kind == 0) return v.num != 0.0;
+  if (v.kind == 1) return !v.vec.empty();
+  return !v.str.empty();
+}
+inline bool val_eq(const Val& a, const Val& b) {
+  if (a.kind != b.kind) return false;
+  if (a.kind == 0) return a.num == b.num;
+  if (a.kind == 1) return a.vec == b.vec;
+  return a.str == b.str;
+}
+
+template <typename F>
+inline Val zip(const Val& a, const Val& b, F f, const char* opname) {
+  if (a.kind == 0 && b.kind == 0) return num(f(a.num, b.num));
+  if (a.kind == 1 && b.kind == 1) {
+    if (a.vec.size() != b.vec.size()) die("vector length mismatch");
+    std::vector<double> out(a.vec.size());
+    for (size_t i = 0; i < out.size(); ++i) out[i] = f(a.vec[i], b.vec[i]);
+    return vecv(std::move(out));
+  }
+  if (a.kind == 0 && b.kind == 1) {
+    std::vector<double> out = b.vec;
+    for (double& x : out) x = f(a.num, x);
+    return vecv(std::move(out));
+  }
+  if (a.kind == 1 && b.kind == 0) {
+    std::vector<double> out = a.vec;
+    for (double& x : out) x = f(x, b.num);
+    return vecv(std::move(out));
+  }
+  die(std::string("bad operands for ") + opname);
+}
+
+inline Val add(const Val& a, const Val& b) {
+  if (a.kind == 2 && b.kind == 2) return strv(a.str + b.str);
+  return zip(a, b, [](double x, double y) { return x + y; }, "+");
+}
+inline Val sub(const Val& a, const Val& b) {
+  return zip(a, b, [](double x, double y) { return x - y; }, "-");
+}
+inline Val mul(const Val& a, const Val& b) {
+  return zip(a, b, [](double x, double y) { return x * y; }, "*");
+}
+inline Val divi(const Val& a, const Val& b) {
+  return zip(a, b, [](double x, double y) {
+    if (y == 0) die("division by zero");
+    return x / y;
+  }, "/");
+}
+inline Val mod_(const Val& a, const Val& b) {
+  return zip(a, b, [](double x, double y) {
+    if (y == 0) die("mod by zero");
+    return std::fmod(x, y);
+  }, "mod");
+}
+inline Val pow_(const Val& a, const Val& b) {
+  return zip(a, b, [](double x, double y) { return std::pow(x, y); }, "^");
+}
+inline Val neg(const Val& a) {
+  if (a.kind == 0) return num(-a.num);
+  if (a.kind == 1) {
+    std::vector<double> out = a.vec;
+    for (double& x : out) x = -x;
+    return vecv(std::move(out));
+  }
+  die("cannot negate a string");
+}
+inline int ord(const Val& a, const Val& b) {
+  if (a.kind == 0 && b.kind == 0) return a.num < b.num ? -1 : (a.num > b.num ? 1 : 0);
+  if (a.kind == 2 && b.kind == 2) { int c = a.str.compare(b.str); return c < 0 ? -1 : (c > 0 ? 1 : 0); }
+  die("cannot order these values");
+}
+inline Val idx(const Val& base, const Val& i) {
+  const std::vector<double>& v = vect(base);
+  double r = scal(i);
+  if (std::floor(r) != r || r < 0 || r >= (double)v.size()) die("index out of range");
+  return num(v[(size_t)r]);
+}
+inline void set_idx(Val& base, const Val& i, const Val& x) {
+  if (base.kind != 1) die("indexed assignment to a non-vector");
+  double r = scal(i);
+  if (std::floor(r) != r || r < 0 || r >= (double)base.vec.size()) die("index out of range");
+  base.vec[(size_t)r] = scal(x);
+}
+inline Val make_vec(std::vector<Val> items) {
+  std::vector<double> out;
+  out.reserve(items.size());
+  for (const Val& v : items) out.push_back(scal(v));
+  return vecv(std::move(out));
+}
+
+template <double (*F)(double)>
+inline Val map1(const Val& a) {
+  if (a.kind == 1) {
+    std::vector<double> out = a.vec;
+    for (double& x : out) x = F(x);
+    return vecv(std::move(out));
+  }
+  return num(F(scal(a)));
+}
+inline double f_sin(double x) { return std::sin(x); }
+inline double f_cos(double x) { return std::cos(x); }
+inline double f_tan(double x) { return std::tan(x); }
+inline double f_asin(double x) { return std::asin(x); }
+inline double f_acos(double x) { return std::acos(x); }
+inline double f_atan(double x) { return std::atan(x); }
+inline double f_sinh(double x) { return std::sinh(x); }
+inline double f_cosh(double x) { return std::cosh(x); }
+inline double f_tanh(double x) { return std::tanh(x); }
+inline double f_exp(double x) { return std::exp(x); }
+inline double f_cbrt(double x) { return std::cbrt(x); }
+inline double f_abs(double x) { return std::fabs(x); }
+inline double f_floor(double x) { return std::floor(x); }
+inline double f_ceil(double x) { return std::ceil(x); }
+inline double f_round(double x) { return std::round(x); }
+inline double f_trunc(double x) { return std::trunc(x); }
+inline double f_frac(double x) { return x - std::trunc(x); }
+inline double f_sign(double x) { return x > 0 ? 1.0 : (x < 0 ? -1.0 : 0.0); }
+inline double f_deg(double x) { return x * 57.29577951308232; }
+inline double f_rad(double x) { return x * 0.017453292519943295; }
+inline double f_ln(double x) { if (x <= 0) die("ln of non-positive"); return std::log(x); }
+inline double f_log10(double x) { if (x <= 0) die("log10 of non-positive"); return std::log10(x); }
+inline double f_log2(double x) { if (x <= 0) die("log2 of non-positive"); return std::log2(x); }
+inline double f_sqrt(double x) { if (x < 0) die("sqrt of negative"); return std::sqrt(x); }
+
+inline Val b_min(std::vector<Val> a) { double m = scal(a.at(0)); for (auto& v : a) m = std::min(m, scal(v)); return num(m); }
+inline Val b_max(std::vector<Val> a) { double m = scal(a.at(0)); for (auto& v : a) m = std::max(m, scal(v)); return num(m); }
+inline Val b_clamp(const Val& x, const Val& lo, const Val& hi) { return num(std::min(std::max(scal(x), scal(lo)), scal(hi))); }
+inline double fact_(double n) { if (n < 0 || std::floor(n) != n || n > 170) die("bad fact()"); double r = 1; for (double k = 2; k <= n; ++k) r *= k; return r; }
+inline Val b_fact(const Val& n) { return num(fact_(scal(n))); }
+inline Val b_ncr(const Val& n, const Val& r) { double N = scal(n), R = scal(r); if (R < 0 || R > N) return num(0); return num(std::round(fact_(N) / (fact_(R) * fact_(N - R)))); }
+inline Val b_zeros(const Val& n) { double k = scal(n); if (k < 0 || std::floor(k) != k) die("bad zeros()"); return vecv(std::vector<double>((size_t)k, 0.0)); }
+inline Val b_ones(const Val& n) { double k = scal(n); if (k < 0 || std::floor(k) != k) die("bad ones()"); return vecv(std::vector<double>((size_t)k, 1.0)); }
+inline Val b_range(std::vector<Val> a) {
+  double lo = scal(a.at(0)), hi = scal(a.at(1)), st = a.size() > 2 ? scal(a[2]) : 1.0;
+  if (st == 0) die("range() zero step");
+  std::vector<double> out;
+  if (st > 0) { for (double x = lo; x < hi - 1e-12; x += st) out.push_back(x); }
+  else { for (double x = lo; x > hi + 1e-12; x += st) out.push_back(x); }
+  return vecv(std::move(out));
+}
+inline Val b_append(const Val& v, const Val& x) { std::vector<double> out = vect(v); out.push_back(scal(x)); return vecv(std::move(out)); }
+inline Val b_concat(const Val& u, const Val& v) { std::vector<double> out = vect(u); const auto& w = vect(v); out.insert(out.end(), w.begin(), w.end()); return vecv(std::move(out)); }
+inline Val b_slice(const Val& v, const Val& i, const Val& j) {
+  const auto& w = vect(v); double a = scal(i), b = scal(j);
+  if (std::floor(a) != a || std::floor(b) != b || a < 0 || b > (double)w.size() || a > b) die("slice() bounds");
+  return vecv(std::vector<double>(w.begin() + (size_t)a, w.begin() + (size_t)b));
+}
+inline Val b_reverse(const Val& v) { std::vector<double> out = vect(v); std::reverse(out.begin(), out.end()); return vecv(std::move(out)); }
+inline Val b_sort(const Val& v) { std::vector<double> out = vect(v); std::sort(out.begin(), out.end()); return vecv(std::move(out)); }
+inline Val b_set(const Val& v, const Val& i, const Val& x) { Val out = v; set_idx(out, i, x); return out; }
+inline Val b_get(const Val& v, const Val& i) { return idx(v, i); }
+inline Val b_len(const Val& v) { if (v.kind == 2) return num((double)v.str.size()); return num((double)vect(v).size()); }
+inline Val b_sum(const Val& v) { const auto& w = vect(v); return num(std::accumulate(w.begin(), w.end(), 0.0)); }
+inline Val b_prod(const Val& v) { const auto& w = vect(v); double r = 1; for (double x : w) r *= x; return num(r); }
+inline Val b_mean(const Val& v) { const auto& w = vect(v); if (w.empty()) die("mean() of empty"); return num(std::accumulate(w.begin(), w.end(), 0.0) / (double)w.size()); }
+inline Val b_stddev(const Val& v) { const auto& w = vect(v); if (w.empty()) die("stddev() of empty"); double m = std::accumulate(w.begin(), w.end(), 0.0) / (double)w.size(); double acc = 0; for (double x : w) acc += (x - m) * (x - m); return num(std::sqrt(acc / (double)w.size())); }
+inline Val b_minv(const Val& v) { const auto& w = vect(v); if (w.empty()) die("minv() of empty"); return num(*std::min_element(w.begin(), w.end())); }
+inline Val b_maxv(const Val& v) { const auto& w = vect(v); if (w.empty()) die("maxv() of empty"); return num(*std::max_element(w.begin(), w.end())); }
+inline Val b_dot(const Val& u, const Val& v) { const auto& a = vect(u); const auto& b = vect(v); if (a.size() != b.size()) die("dot() length mismatch"); return num(std::inner_product(a.begin(), a.end(), b.begin(), 0.0)); }
+inline Val b_norm(const Val& v) { const auto& w = vect(v); double acc = 0; for (double x : w) acc += x * x; return num(std::sqrt(acc)); }
+inline Val b_hypot(const Val& x, const Val& y) { return num(std::hypot(scal(x), scal(y))); }
+inline Val b_atan2(const Val& y, const Val& x) { return num(std::atan2(scal(y), scal(x))); }
+inline Val b_pow(const Val& x, const Val& y) { return num(std::pow(scal(x), scal(y))); }
+
+// xoshiro256** — identical to the interpreter's rand() stream.
+struct Rng {
+  uint64_t s[4];
+  explicit Rng(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& w : s) {
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      w = z ^ (z >> 31);
+    }
+  }
+  static uint64_t rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t next() {
+    uint64_t r = rotl(s[1] * 5, 7) * 9, t = s[1] << 17;
+    s[2] ^= s[0]; s[3] ^= s[1]; s[1] ^= s[2]; s[0] ^= s[3]; s[2] ^= t;
+    s[3] = rotl(s[3], 45);
+    return r;
+  }
+  double uniform() { return (double)(next() >> 11) * 0x1.0p-53; }
+};
+inline Val b_rand(Rng& rng) { return num(rng.uniform()); }
+
+inline std::string display(const Val& v) {
+  char buf[64];
+  if (v.kind == 0) { std::snprintf(buf, sizeof buf, "%.12g", v.num); return buf; }
+  if (v.kind == 2) return v.str;
+  std::string out = "[";
+  for (size_t i = 0; i < v.vec.size(); ++i) {
+    if (i) out += ", ";
+    std::snprintf(buf, sizeof buf, "%.12g", v.vec[i]);
+    out += buf;
+  }
+  return out + "]";
+}
+inline std::mutex& io_mutex() { static std::mutex m; return m; }
+inline Val b_print(std::vector<Val> args) {
+  std::lock_guard<std::mutex> lock(io_mutex());
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (i) std::fputc(' ', stdout);
+    std::fputs(display(args[i]).c_str(), stdout);
+  }
+  std::fputc('\n', stdout);
+  return num(0);
+}
+inline Val b_str(const Val& v) { return strv(display(v)); }
+
+}  // namespace rt
+)PRE";
+}
+
+}  // namespace banger::codegen

@@ -1,0 +1,15 @@
+// banger/codegen/runtime_preamble.hpp
+//
+// The fixed runtime preamble embedded into every generated program: a
+// minimal Val type mirroring PITS semantics (scalars, vectors, strings,
+// broadcasting arithmetic) plus the calculator builtins and the
+// mailbox/synchronisation helpers. Kept in its own header so tests can
+// assert properties of the emitted runtime without regenerating it.
+#pragma once
+
+namespace banger::codegen {
+
+/// Returns the preamble text (C++17, no external dependencies).
+const char* runtime_preamble();
+
+}  // namespace banger::codegen

@@ -1,0 +1,27 @@
+// banger/core/html_report.hpp
+//
+// Single-file HTML report: the closest headless stand-in for Banger's
+// GUI windows. Embeds the SVG Gantt chart (hover a task box for its
+// interval), the design summary and lint results, an SVG speedup curve,
+// and the heuristic comparison table — everything the environment would
+// show on screen, openable in any browser with no dependencies.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/project.hpp"
+
+namespace banger {
+
+struct HtmlReportOptions {
+  std::string scheduler = "mh";
+  std::vector<int> speedup_sizes{1, 2, 4, 8};
+};
+
+/// Renders the full report. The project must have a machine set; throws
+/// Error{Machine} otherwise.
+std::string render_html_report(const Project& project,
+                               const HtmlReportOptions& options = {});
+
+}  // namespace banger

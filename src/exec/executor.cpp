@@ -1,0 +1,333 @@
+#include "exec/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <thread>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace banger::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using pits::Env;
+using pits::Value;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Stable per-task seed so duplicate copies (and re-runs) agree.
+std::uint64_t seed_for(const std::string& task_name, std::uint64_t base) {
+  std::uint64_t h = 1469598103934665603ull ^ base;
+  for (char c : task_name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Does this (possibly comma-joined) edge variable list carry `var`?
+bool edge_carries(const std::string& edge_var, const std::string& var) {
+  for (auto part : util::split(edge_var, ',')) {
+    if (util::trim(part) == var) return true;
+  }
+  return false;
+}
+
+struct CompiledTask {
+  pits::Program program;
+  bool runnable = false;
+};
+
+std::vector<CompiledTask> compile_all(const FlattenResult& flat) {
+  std::vector<CompiledTask> out(flat.graph.num_tasks());
+  for (TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
+    const graph::Task& task = flat.graph.task(t);
+    if (util::trim(task.pits).empty()) {
+      if (!task.outputs.empty()) {
+        fail(ErrorCode::Runtime,
+             "task `" + task.name +
+                 "` declares outputs but has no PITS routine");
+      }
+      continue;  // pure synchronisation node: legal no-op
+    }
+    try {
+      out[t].program = pits::Program::parse(task.pits);
+      out[t].runnable = true;
+    } catch (const Error& e) {
+      fail(e.code(), "in task `" + task.name + "`: " + e.message(), e.pos());
+    }
+  }
+  return out;
+}
+
+/// Binds the inputs of task `t` from predecessor outputs / input stores.
+Env bind_inputs(const FlattenResult& flat, TaskId t,
+                const std::map<std::string, Value>& external,
+                const std::vector<std::optional<Env>>& task_outputs) {
+  const graph::TaskGraph& g = flat.graph;
+  const graph::Task& task = g.task(t);
+  Env env;
+  for (const std::string& var : task.inputs) {
+    bool bound = false;
+    // 1. A predecessor whose edge is labelled with this variable.
+    for (graph::EdgeId e : g.in_edges(t)) {
+      const graph::Edge& edge = g.edge(e);
+      if (!edge_carries(edge.var, var)) continue;
+      const auto& produced = task_outputs[edge.from];
+      BANGER_ASSERT(produced.has_value(), "predecessor not yet executed");
+      auto it = produced->find(var);
+      if (it != produced->end()) {
+        env[var] = it->second;
+        bound = true;
+        break;
+      }
+    }
+    if (bound) continue;
+    // 2. Unlabelled precedence edge from a predecessor that declares the
+    // variable as an output (synthetic graphs wire values this way).
+    for (graph::EdgeId e : g.in_edges(t)) {
+      const graph::Edge& edge = g.edge(e);
+      const auto& produced = task_outputs[edge.from];
+      BANGER_ASSERT(produced.has_value(), "predecessor not yet executed");
+      auto it = produced->find(var);
+      if (it != produced->end()) {
+        env[var] = it->second;
+        bound = true;
+        break;
+      }
+    }
+    if (bound) continue;
+    // 2. An external input store of that variable.
+    if (const graph::FlatStore* store = flat.find_store(var);
+        store != nullptr && store->writers.empty()) {
+      auto it = external.find(store->var);
+      if (it == external.end()) {
+        fail(ErrorCode::Runtime, "no value supplied for input store `" +
+                                     store->var + "` needed by task `" +
+                                     task.name + "`");
+      }
+      env[var] = it->second;
+      continue;
+    }
+    fail(ErrorCode::Runtime, "input `" + var + "` of task `" + task.name +
+                                 "` is bound to nothing");
+  }
+  return env;
+}
+
+/// Runs one task, returning its declared outputs.
+Env run_task(const FlattenResult& flat, const CompiledTask& compiled,
+             TaskId t, Env env, const RunOptions& options,
+             std::string* transcript) {
+  const graph::Task& task = flat.graph.task(t);
+  Env outputs;
+  if (!compiled.runnable) return outputs;
+
+  std::ostringstream local;
+  pits::ExecOptions exec_opts = options.pits;
+  exec_opts.seed = seed_for(task.name, options.pits.seed);
+  exec_opts.out = options.capture_transcript ? &local : nullptr;
+  try {
+    compiled.program.execute(env, exec_opts);
+  } catch (const Error& e) {
+    fail(e.code(), "in task `" + task.name + "`: " + e.message(), e.pos());
+  }
+  for (const std::string& var : task.outputs) {
+    auto it = env.find(var);
+    if (it == env.end()) {
+      fail(ErrorCode::Runtime, "task `" + task.name +
+                                   "` never assigned its output `" + var +
+                                   "`");
+    }
+    outputs.emplace(var, it->second);
+  }
+  if (transcript != nullptr && options.capture_transcript) {
+    const std::string text = local.str();
+    if (!text.empty()) {
+      *transcript += "[" + task.name + "]\n" + text;
+    }
+  }
+  return outputs;
+}
+
+/// Collects final store values (writer with the latest position wins; in
+/// practice designs have a single writer per store).
+void collect_stores(const FlattenResult& flat,
+                    const std::vector<std::optional<Env>>& task_outputs,
+                    const std::map<std::string, Value>& external,
+                    RunResult& result) {
+  for (const graph::FlatStore& store : flat.stores) {
+    if (store.writers.empty()) {
+      if (auto it = external.find(store.var); it != external.end()) {
+        result.stores[store.var] = it->second;
+      }
+      continue;
+    }
+    for (TaskId w : store.writers) {
+      const auto& produced = task_outputs[w];
+      if (!produced) continue;
+      if (auto it = produced->find(store.var); it != produced->end()) {
+        result.stores[store.var] = it->second;
+      }
+    }
+    if (store.readers.empty()) {
+      if (auto it = result.stores.find(store.var); it != result.stores.end()) {
+        result.outputs[store.var] = it->second;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RunResult run_sequential(const FlattenResult& flat,
+                         const std::map<std::string, pits::Value>& inputs,
+                         const RunOptions& options) {
+  const auto compiled = compile_all(flat);
+  const auto t0 = Clock::now();
+
+  RunResult result;
+  std::vector<std::optional<Env>> task_outputs(flat.graph.num_tasks());
+  for (TaskId t : flat.graph.topo_order()) {
+    Env env = bind_inputs(flat, t, inputs, task_outputs);
+    TaskRun run;
+    run.task = t;
+    run.proc = 0;
+    run.wall_start = seconds_since(t0);
+    task_outputs[t] =
+        run_task(flat, compiled[t], t, std::move(env), options,
+                 &result.transcript);
+    run.wall_finish = seconds_since(t0);
+    result.runs.push_back(run);
+  }
+  collect_stores(flat, task_outputs, inputs, result);
+  result.wall_seconds = seconds_since(t0);
+  return result;
+}
+
+Executor::Executor(const FlattenResult& flat, const Machine& machine)
+    : flat_(flat), machine_(machine) {}
+
+RunResult Executor::run(const Schedule& schedule,
+                        const std::map<std::string, pits::Value>& inputs,
+                        const RunOptions& options) const {
+  const graph::TaskGraph& g = flat_.graph;
+  if (schedule.num_procs() != machine_.num_procs()) {
+    fail(ErrorCode::Schedule, "schedule/machine processor count mismatch");
+  }
+  const auto compiled = compile_all(flat_);
+
+  // Per-processor lanes in schedule order.
+  std::vector<std::vector<sched::Placement>> lanes(
+      static_cast<std::size_t>(machine_.num_procs()));
+  for (ProcId p = 0; p < machine_.num_procs(); ++p) {
+    lanes[static_cast<std::size_t>(p)] = schedule.lane(p);
+  }
+  {
+    std::vector<int> seen(g.num_tasks(), 0);
+    for (const auto& lane : lanes)
+      for (const auto& pl : lane)
+        if (!pl.duplicate) ++seen[pl.task];
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      if (seen[t] != 1) {
+        fail(ErrorCode::Schedule, "task `" + g.task(t).name +
+                                      "` has no unique primary placement");
+      }
+    }
+  }
+
+  // Shared state.
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<std::optional<Env>> task_outputs(g.num_tasks());
+  std::vector<bool> completed(g.num_tasks(), false);
+  bool failed = false;
+  std::exception_ptr first_error;
+  RunResult result;
+  const auto t0 = Clock::now();
+
+  auto worker = [&](ProcId proc) {
+    try {
+      for (const sched::Placement& pl : lanes[static_cast<std::size_t>(proc)]) {
+        const TaskId t = pl.task;
+        // Wait for predecessors.
+        Env env;
+        {
+          std::unique_lock lock(mutex);
+          cv.wait(lock, [&] {
+            if (failed) return true;
+            for (graph::EdgeId e : g.in_edges(t)) {
+              if (!completed[g.edge(e).from]) return false;
+            }
+            return true;
+          });
+          if (failed) return;
+          env = bind_inputs(flat_, t, inputs, task_outputs);
+        }
+
+        TaskRun run;
+        run.task = t;
+        run.proc = proc;
+        run.duplicate = pl.duplicate;
+        run.wall_start = seconds_since(t0);
+        std::string transcript;
+        Env outputs = run_task(flat_, compiled[t], t, std::move(env), options,
+                               &transcript);
+        run.wall_finish = seconds_since(t0);
+
+        std::lock_guard lock(mutex);
+        if (failed) return;
+        if (!completed[t]) {
+          task_outputs[t] = std::move(outputs);
+          completed[t] = true;
+          result.transcript += transcript;
+        } else if (task_outputs[t].has_value() &&
+                   !(*task_outputs[t] == outputs)) {
+          // Duplicate copies must agree — PITS is deterministic.
+          fail(ErrorCode::Runtime, "duplicate copies of task `" +
+                                       g.task(t).name +
+                                       "` produced different outputs");
+        }
+        result.runs.push_back(run);
+        cv.notify_all();
+      }
+    } catch (...) {
+      std::lock_guard lock(mutex);
+      if (!failed) {
+        failed = true;
+        first_error = std::current_exception();
+      }
+      cv.notify_all();
+    }
+  };
+
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(lanes.size());
+    for (ProcId p = 0; p < machine_.num_procs(); ++p) {
+      if (!lanes[static_cast<std::size_t>(p)].empty()) {
+        threads.emplace_back(worker, p);
+      }
+    }
+  }  // join
+
+  if (failed) std::rethrow_exception(first_error);
+
+  std::sort(result.runs.begin(), result.runs.end(),
+            [](const TaskRun& a, const TaskRun& b) {
+              return a.wall_start < b.wall_start;
+            });
+  collect_stores(flat_, task_outputs, inputs, result);
+  result.wall_seconds = seconds_since(t0);
+  return result;
+}
+
+}  // namespace banger::exec

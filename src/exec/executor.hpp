@@ -1,0 +1,84 @@
+// banger/exec/executor.hpp
+//
+// Actually *runs* a flattened PITL/PITS program. Two modes:
+//
+//   run_sequential  — one thread, topological order: the environment's
+//                     "trial run of an entire program" feedback feature.
+//   Executor::run   — one host thread per machine processor, tasks
+//                     executed in schedule lane order, values flowing
+//                     through thread-safe mailboxes: the stand-in for the
+//                     code generators the paper left as future work.
+//
+// Task semantics: a task's PITS routine sees its declared input variables
+// bound (from predecessor outputs or from the design's input stores) and
+// must assign every declared output. Duplicate copies re-execute the
+// routine; the executor cross-checks that copies produce identical
+// outputs (they must: PITS is deterministic, rand() is seeded per task).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/design.hpp"
+#include "pits/interp.hpp"
+#include "sched/schedule.hpp"
+
+namespace banger::exec {
+
+using graph::FlattenResult;
+using graph::TaskId;
+using machine::Machine;
+using machine::ProcId;
+using sched::Schedule;
+
+struct RunOptions {
+  pits::ExecOptions pits;  ///< step limit / seed base for task routines
+  /// Capture print() output (per task, stitched in completion order).
+  bool capture_transcript = true;
+};
+
+struct TaskRun {
+  TaskId task = graph::kNoTask;
+  ProcId proc = -1;
+  bool duplicate = false;
+  double wall_start = 0.0;   ///< seconds since run start
+  double wall_finish = 0.0;
+};
+
+struct RunResult {
+  /// Final value of every store (inputs echoed, outputs computed).
+  std::map<std::string, pits::Value> stores;
+  /// Output-store values only (the program's results).
+  std::map<std::string, pits::Value> outputs;
+  double wall_seconds = 0.0;
+  std::vector<TaskRun> runs;
+  std::string transcript;
+};
+
+/// One-thread reference execution in topological order. Throws the first
+/// task error (Error{Runtime}/Error{Type}/...) with the task name in the
+/// message.
+RunResult run_sequential(const FlattenResult& flat,
+                         const std::map<std::string, pits::Value>& inputs,
+                         const RunOptions& options = {});
+
+/// Parallel execution honouring a schedule's placement and lane order.
+class Executor {
+ public:
+  Executor(const FlattenResult& flat, const Machine& machine);
+
+  /// Runs on real threads (one per processor the schedule uses). Throws
+  /// the first task error after all workers have stopped. The result's
+  /// outputs are bitwise identical to run_sequential's.
+  [[nodiscard]] RunResult run(
+      const Schedule& schedule,
+      const std::map<std::string, pits::Value>& inputs,
+      const RunOptions& options = {}) const;
+
+ private:
+  const FlattenResult& flat_;
+  const Machine& machine_;
+};
+
+}  // namespace banger::exec

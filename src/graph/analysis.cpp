@@ -1,0 +1,130 @@
+#include "graph/analysis.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace banger::graph {
+
+CostModel CostModel::from_work(const TaskGraph& g) {
+  CostModel cost;
+  cost.task_time.reserve(g.num_tasks());
+  for (const Task& t : g.tasks()) cost.task_time.push_back(t.work);
+  cost.edge_time.assign(g.num_edges(), 0.0);
+  return cost;
+}
+
+CostModel CostModel::uniform(const TaskGraph& g, double speed,
+                             double msg_startup, double bytes_per_second) {
+  BANGER_ASSERT(speed > 0, "processor speed must be positive");
+  CostModel cost;
+  cost.task_time.reserve(g.num_tasks());
+  for (const Task& t : g.tasks()) cost.task_time.push_back(t.work / speed);
+  cost.edge_time.reserve(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    double t = msg_startup;
+    if (bytes_per_second > 0) t += e.bytes / bytes_per_second;
+    cost.edge_time.push_back(t);
+  }
+  return cost;
+}
+
+std::vector<double> t_levels(const TaskGraph& g, const CostModel& cost) {
+  BANGER_ASSERT(cost.task_time.size() == g.num_tasks(), "cost/task mismatch");
+  BANGER_ASSERT(cost.edge_time.size() == g.num_edges(), "cost/edge mismatch");
+  std::vector<double> tl(g.num_tasks(), 0.0);
+  for (TaskId v : g.topo_order()) {
+    for (EdgeId e : g.in_edges(v)) {
+      const Edge& edge = g.edge(e);
+      tl[v] = std::max(
+          tl[v], tl[edge.from] + cost.task_time[edge.from] + cost.edge_time[e]);
+    }
+  }
+  return tl;
+}
+
+std::vector<double> b_levels(const TaskGraph& g, const CostModel& cost) {
+  BANGER_ASSERT(cost.task_time.size() == g.num_tasks(), "cost/task mismatch");
+  BANGER_ASSERT(cost.edge_time.size() == g.num_edges(), "cost/edge mismatch");
+  std::vector<double> bl(g.num_tasks(), 0.0);
+  auto order = g.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const TaskId v = *it;
+    double best = 0.0;
+    for (EdgeId e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      best = std::max(best, cost.edge_time[e] + bl[edge.to]);
+    }
+    bl[v] = cost.task_time[v] + best;
+  }
+  return bl;
+}
+
+std::vector<double> static_levels(const TaskGraph& g, const CostModel& cost) {
+  CostModel no_comm = cost;
+  no_comm.edge_time.assign(g.num_edges(), 0.0);
+  return b_levels(g, no_comm);
+}
+
+double critical_path_length(const TaskGraph& g, const CostModel& cost) {
+  if (g.num_tasks() == 0) return 0.0;
+  auto bl = b_levels(g, cost);
+  return *std::max_element(bl.begin(), bl.end());
+}
+
+std::vector<TaskId> critical_path(const TaskGraph& g, const CostModel& cost) {
+  if (g.num_tasks() == 0) return {};
+  auto bl = b_levels(g, cost);
+  // Start at the entry task with the largest b-level, then repeatedly
+  // follow the successor that dominates (edge + b-level attains v's
+  // remaining path length).
+  TaskId v = 0;
+  for (TaskId u = 1; u < g.num_tasks(); ++u)
+    if (bl[u] > bl[v]) v = u;
+  std::vector<TaskId> path{v};
+  for (;;) {
+    const double remaining = bl[v] - cost.task_time[v];
+    TaskId next = kNoTask;
+    for (EdgeId e : g.out_edges(v)) {
+      const Edge& edge = g.edge(e);
+      if (std::abs(cost.edge_time[e] + bl[edge.to] - remaining) < 1e-12) {
+        if (next == kNoTask || edge.to < next) next = edge.to;
+      }
+    }
+    if (next == kNoTask) break;
+    path.push_back(next);
+    v = next;
+  }
+  return path;
+}
+
+std::size_t LevelProfile::max_width() const noexcept {
+  std::size_t w = 0;
+  for (const auto& level : levels) w = std::max(w, level.size());
+  return w;
+}
+
+LevelProfile level_profile(const TaskGraph& g) {
+  std::vector<int> level(g.num_tasks(), 0);
+  int max_level = -1;
+  for (TaskId v : g.topo_order()) {
+    for (EdgeId e : g.in_edges(v)) {
+      level[v] = std::max(level[v], level[g.edge(e).from] + 1);
+    }
+    max_level = std::max(max_level, level[v]);
+  }
+  LevelProfile profile;
+  profile.levels.resize(static_cast<std::size_t>(max_level + 1));
+  for (TaskId v = 0; v < g.num_tasks(); ++v)
+    profile.levels[static_cast<std::size_t>(level[v])].push_back(v);
+  return profile;
+}
+
+double average_parallelism(const TaskGraph& g) {
+  if (g.num_tasks() == 0) return 0.0;
+  auto cost = CostModel::from_work(g);
+  const double cp = critical_path_length(g, cost);
+  return cp > 0 ? g.total_work() / cp : 0.0;
+}
+
+}  // namespace banger::graph

@@ -1,0 +1,62 @@
+// banger/graph/analysis.hpp
+//
+// Machine-independent DAG analyses used by the scheduling heuristics and
+// by the instant-feedback displays: t-levels, b-levels, critical path,
+// width/parallelism profile. All analyses are parameterised by a cost
+// model (seconds per task, seconds per edge) so a caller can evaluate the
+// same design under different target machines; convenience overloads use
+// raw work units and zero communication.
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+
+namespace banger::graph {
+
+/// Per-task execution times and per-edge communication times (seconds),
+/// aligned with TaskGraph::tasks() / edges().
+struct CostModel {
+  std::vector<double> task_time;
+  std::vector<double> edge_time;
+
+  /// Unit costs: task time == work, communication free.
+  static CostModel from_work(const TaskGraph& g);
+  /// task time = work / speed, edge time = startup + bytes / bandwidth.
+  static CostModel uniform(const TaskGraph& g, double speed,
+                           double msg_startup, double bytes_per_second);
+};
+
+/// t-level: earliest possible start of each task assuming unlimited
+/// processors (length of the longest path *into* the task, exclusive).
+std::vector<double> t_levels(const TaskGraph& g, const CostModel& cost);
+
+/// b-level: longest path from each task to any sink, *inclusive* of the
+/// task's own time. Used as a static priority by HLFET/MH/DLS.
+std::vector<double> b_levels(const TaskGraph& g, const CostModel& cost);
+
+/// Static level: b-level computed with communication ignored (classic
+/// "SL" from the scheduling literature).
+std::vector<double> static_levels(const TaskGraph& g, const CostModel& cost);
+
+/// Critical path length = max over tasks of t_level + task_time… i.e. the
+/// minimum possible makespan with unlimited processors.
+double critical_path_length(const TaskGraph& g, const CostModel& cost);
+
+/// The task ids of one critical path, in execution order.
+std::vector<TaskId> critical_path(const TaskGraph& g, const CostModel& cost);
+
+/// Number of precedence levels (longest path in hops + 1) and the tasks
+/// in each level — the "width profile" that bounds achievable speedup.
+struct LevelProfile {
+  std::vector<std::vector<TaskId>> levels;
+  [[nodiscard]] std::size_t depth() const noexcept { return levels.size(); }
+  [[nodiscard]] std::size_t max_width() const noexcept;
+};
+LevelProfile level_profile(const TaskGraph& g);
+
+/// Average parallelism = total work / critical path work (communication-
+/// free); the classic upper bound on speedup.
+double average_parallelism(const TaskGraph& g);
+
+}  // namespace banger::graph

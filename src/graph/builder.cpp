@@ -1,0 +1,184 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+#include "pits/interp.hpp"
+#include "util/error.hpp"
+
+namespace banger::graph {
+
+DesignBuilder::DesignBuilder(std::string name) : design_(std::move(name)) {
+  current_ = design_.root();
+  graph_ids_.emplace(design_.name(), current_);
+}
+
+DesignBuilder& DesignBuilder::store(const std::string& name, double bytes) {
+  Node n;
+  n.kind = NodeKind::Storage;
+  n.name = name;
+  n.bytes = bytes;
+  design_.graph(current_).add_node(std::move(n));
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::task(const std::string& name,
+                                   const std::string& pits, double work) {
+  // Infer the interface from the routine itself.
+  const auto program = pits::Program::parse(pits);
+  return task(name, pits, work, program.inputs(), program.outputs());
+}
+
+DesignBuilder& DesignBuilder::task(const std::string& name,
+                                   const std::string& pits, double work,
+                                   std::vector<std::string> inputs,
+                                   std::vector<std::string> outputs) {
+  Node n;
+  n.kind = NodeKind::Task;
+  n.name = name;
+  n.work = work;
+  n.pits = pits;
+  n.inputs = std::move(inputs);
+  n.outputs = std::move(outputs);
+  design_.graph(current_).add_node(std::move(n));
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::super(const std::string& name,
+                                    const std::string& child,
+                                    std::vector<std::string> inputs,
+                                    std::vector<std::string> outputs) {
+  auto it = graph_ids_.find(child);
+  GraphId child_id;
+  if (it == graph_ids_.end()) {
+    child_id = design_.add_graph(child);
+    graph_ids_.emplace(child, child_id);
+  } else {
+    child_id = it->second;
+  }
+  if (child_id == design_.root()) {
+    fail(ErrorCode::Graph, "supernode cannot reference the root graph");
+  }
+  Node n;
+  n.kind = NodeKind::Super;
+  n.name = name;
+  n.subgraph = child_id;
+  n.inputs = std::move(inputs);
+  n.outputs = std::move(outputs);
+  design_.graph(current_).add_node(std::move(n));
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::graph(const std::string& name) {
+  if (name.empty() || name == design_.name()) {
+    current_ = design_.root();
+    return *this;
+  }
+  auto it = graph_ids_.find(name);
+  if (it == graph_ids_.end()) {
+    current_ = design_.add_graph(name);
+    graph_ids_.emplace(name, current_);
+  } else {
+    current_ = it->second;
+  }
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::arc(const std::string& from,
+                                  const std::string& to,
+                                  const std::string& var, double bytes) {
+  auto& g = design_.graph(current_);
+  g.connect(from, to, var, bytes);
+  explicit_arcs_.emplace(current_, g.require(from), g.require(to));
+  return *this;
+}
+
+DesignBuilder& DesignBuilder::var_bytes(const std::string& var,
+                                        double bytes) {
+  var_bytes_[var] = bytes;
+  return *this;
+}
+
+double DesignBuilder::bytes_for(const std::string& var) const {
+  auto it = var_bytes_.find(var);
+  return it == var_bytes_.end() ? 8.0 : it->second;
+}
+
+void DesignBuilder::auto_wire(DataflowGraph& g) {
+  // Index producers per variable: stores by their own name, tasks and
+  // supernodes by their output lists.
+  std::map<std::string, std::vector<NodeId>> producers;
+  std::map<std::string, NodeId> stores;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    const Node& n = g.node(v);
+    if (n.kind == NodeKind::Storage) {
+      stores.emplace(n.name, v);
+    } else {
+      for (const std::string& out : n.outputs) {
+        producers[out].push_back(v);
+      }
+    }
+  }
+
+  const GraphId gid = [&] {
+    for (const auto& [name, id] : graph_ids_) {
+      if (&design_.graph(id) == &g) return id;
+    }
+    return design_.root();
+  }();
+
+  auto already = [&](NodeId from, NodeId to) {
+    if (explicit_arcs_.contains({gid, from, to})) return true;
+    for (ArcId a : g.out_arcs(from)) {
+      if (g.arc(a).to == to) return true;
+    }
+    return false;
+  };
+
+  const auto node_count = static_cast<NodeId>(g.num_nodes());
+  for (NodeId v = 0; v < node_count; ++v) {
+    const Node n = g.node(v);  // copy: we add arcs below
+    if (n.kind == NodeKind::Storage) continue;
+
+    // Inputs: prefer a same-named store, else every producer task.
+    for (const std::string& var : n.inputs) {
+      if (auto s = stores.find(var); s != stores.end()) {
+        if (!already(s->second, v)) {
+          g.add_arc({s->second, v, var, g.node(s->second).bytes});
+        }
+        continue;
+      }
+      if (auto p = producers.find(var); p != producers.end()) {
+        for (NodeId from : p->second) {
+          if (from != v && !already(from, v)) {
+            g.add_arc({from, v, var, bytes_for(var)});
+          }
+        }
+      }
+      // Unbound inputs are left for validate()/lint to report.
+    }
+    // Outputs into same-named stores.
+    for (const std::string& var : n.outputs) {
+      if (auto s = stores.find(var); s != stores.end()) {
+        if (!already(v, s->second)) {
+          g.add_arc({v, s->second, var, g.node(s->second).bytes});
+        }
+      }
+    }
+  }
+}
+
+Design DesignBuilder::build_unchecked() {
+  for (GraphId gid = 0; gid < static_cast<GraphId>(design_.num_graphs());
+       ++gid) {
+    auto_wire(design_.graph(gid));
+  }
+  return std::move(design_);
+}
+
+Design DesignBuilder::build() {
+  Design design = build_unchecked();
+  design.validate();
+  return design;
+}
+
+}  // namespace banger::graph

@@ -1,0 +1,90 @@
+// banger/graph/builder.hpp
+//
+// Fluent construction of hierarchical designs — the programmatic stand-
+// in for the drawing editor. Two conveniences carry most of the weight:
+//
+//   * IO inference: a task's declared inputs/outputs default to the free
+//     and assigned variables of its PITS routine, so the builder user
+//     writes the routine once and the interface follows;
+//   * auto-wiring: after all nodes exist, arcs are derived from variable
+//     names — task outputs flow into same-named stores, stores and
+//     producer tasks feed same-named task inputs.
+//
+// Example (the quickstart design in six statements):
+//
+//   auto design = DesignBuilder("quadratic")
+//                     .store("xs", 256)
+//                     .store("ys", 256)
+//                     .task("square_term", "sq := 3 * xs * xs", 4)
+//                     .task("linear_term", "lin := 2 * xs", 2)
+//                     .task("combine", "ys := sq + lin", 1)
+//                     .build();          // auto-wires + validates
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+
+#include "graph/design.hpp"
+
+namespace banger::graph {
+
+class DesignBuilder {
+ public:
+  explicit DesignBuilder(std::string name);
+
+  /// Adds a store to the current graph.
+  DesignBuilder& store(const std::string& name, double bytes = 8.0);
+
+  /// Adds a task; inputs/outputs inferred from the PITS source (free
+  /// variables in, assigned variables out; assigned-then-read locals
+  /// stay internal because they are not free).
+  DesignBuilder& task(const std::string& name, const std::string& pits,
+                      double work = 1.0);
+
+  /// Adds a task with an explicit interface (no inference).
+  DesignBuilder& task(const std::string& name, const std::string& pits,
+                      double work, std::vector<std::string> inputs,
+                      std::vector<std::string> outputs);
+
+  /// Adds a supernode referencing a child graph by name; the child is
+  /// created on first reference (populate it via graph()).
+  DesignBuilder& super(const std::string& name, const std::string& child,
+                       std::vector<std::string> inputs,
+                       std::vector<std::string> outputs);
+
+  /// Switches the current graph (creating it if needed); "" or the
+  /// design name selects the root.
+  DesignBuilder& graph(const std::string& name);
+
+  /// Explicit arc in the current graph (auto-wiring adds the rest).
+  DesignBuilder& arc(const std::string& from, const std::string& to,
+                     const std::string& var = {}, double bytes = 8.0);
+
+  /// Default message size for auto-wired task-to-task arcs carrying
+  /// `var` (stores use their own size).
+  DesignBuilder& var_bytes(const std::string& var, double bytes);
+
+  /// Auto-wires every graph, validates, and returns the design. The
+  /// builder is left empty (moved-from).
+  Design build();
+
+  /// build() without validation — for tests that want to inspect
+  /// deliberately broken designs.
+  Design build_unchecked();
+
+ private:
+  void auto_wire(DataflowGraph& g);
+  [[nodiscard]] double bytes_for(const std::string& var) const;
+
+  Design design_;
+  GraphId current_;
+  std::map<std::string, GraphId> graph_ids_;
+  std::map<std::string, double> var_bytes_;
+  // Arcs the user added explicitly: (graph, from, to) — auto-wiring
+  // must not duplicate them.
+  std::set<std::tuple<GraphId, NodeId, NodeId>> explicit_arcs_;
+};
+
+}  // namespace banger::graph

@@ -1,0 +1,169 @@
+#include "graph/task_graph.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/error.hpp"
+
+namespace banger::graph {
+
+TaskId TaskGraph::add_task(Task task) {
+  if (task.name.empty()) {
+    fail(ErrorCode::Name, "task with empty name");
+  }
+  if (by_name_.contains(task.name)) {
+    fail(ErrorCode::Name, "duplicate task name `" + task.name + "`");
+  }
+  if (task.work < 0) {
+    fail(ErrorCode::Graph, "task `" + task.name + "` has negative work");
+  }
+  const auto id = static_cast<TaskId>(tasks_.size());
+  by_name_.emplace(task.name, id);
+  tasks_.push_back(std::move(task));
+  in_edges_.emplace_back();
+  out_edges_.emplace_back();
+  return id;
+}
+
+EdgeId TaskGraph::add_edge(TaskId from, TaskId to, double bytes,
+                           std::string var) {
+  if (from >= tasks_.size() || to >= tasks_.size()) {
+    fail(ErrorCode::Graph, "edge endpoint out of range");
+  }
+  if (from == to) {
+    fail(ErrorCode::Graph, "self-dependence on task `" + tasks_[from].name + "`");
+  }
+  if (bytes < 0) {
+    fail(ErrorCode::Graph, "edge with negative byte count");
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(from) << 32) | static_cast<std::uint64_t>(to);
+  if (auto it = edge_index_.find(key); it != edge_index_.end()) {
+    Edge& e = edges_[it->second];
+    e.bytes += bytes;
+    if (!var.empty()) {
+      if (!e.var.empty()) e.var += ',';
+      e.var += var;
+    }
+    return it->second;
+  }
+  const auto id = static_cast<EdgeId>(edges_.size());
+  edges_.push_back({from, to, bytes, std::move(var)});
+  out_edges_[from].push_back(id);
+  in_edges_[to].push_back(id);
+  edge_index_.emplace(key, id);
+  return id;
+}
+
+const Task& TaskGraph::task(TaskId id) const {
+  BANGER_ASSERT(id < tasks_.size(), "task id out of range");
+  return tasks_[id];
+}
+
+Task& TaskGraph::task(TaskId id) {
+  BANGER_ASSERT(id < tasks_.size(), "task id out of range");
+  return tasks_[id];
+}
+
+const Edge& TaskGraph::edge(EdgeId id) const {
+  BANGER_ASSERT(id < edges_.size(), "edge id out of range");
+  return edges_[id];
+}
+
+std::optional<TaskId> TaskGraph::find(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+TaskId TaskGraph::require(const std::string& name) const {
+  auto id = find(name);
+  if (!id) fail(ErrorCode::Name, "no task named `" + name + "`");
+  return *id;
+}
+
+const std::vector<EdgeId>& TaskGraph::in_edges(TaskId id) const {
+  BANGER_ASSERT(id < in_edges_.size(), "task id out of range");
+  return in_edges_[id];
+}
+
+const std::vector<EdgeId>& TaskGraph::out_edges(TaskId id) const {
+  BANGER_ASSERT(id < out_edges_.size(), "task id out of range");
+  return out_edges_[id];
+}
+
+std::vector<TaskId> TaskGraph::preds(TaskId id) const {
+  std::vector<TaskId> out;
+  out.reserve(in_edges(id).size());
+  for (EdgeId e : in_edges(id)) out.push_back(edges_[e].from);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::succs(TaskId id) const {
+  std::vector<TaskId> out;
+  out.reserve(out_edges(id).size());
+  for (EdgeId e : out_edges(id)) out.push_back(edges_[e].to);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::sources() const {
+  std::vector<TaskId> out;
+  for (TaskId v = 0; v < tasks_.size(); ++v)
+    if (in_edges_[v].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::sinks() const {
+  std::vector<TaskId> out;
+  for (TaskId v = 0; v < tasks_.size(); ++v)
+    if (out_edges_[v].empty()) out.push_back(v);
+  return out;
+}
+
+std::vector<TaskId> TaskGraph::topo_order() const {
+  std::vector<std::size_t> indegree(tasks_.size(), 0);
+  for (const Edge& e : edges_) ++indegree[e.to];
+
+  std::vector<TaskId> frontier;
+  for (TaskId v = 0; v < tasks_.size(); ++v)
+    if (indegree[v] == 0) frontier.push_back(v);
+
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!frontier.empty()) {
+    auto it = std::min_element(frontier.begin(), frontier.end());
+    TaskId v = *it;
+    frontier.erase(it);
+    order.push_back(v);
+    for (EdgeId e : out_edges_[v]) {
+      if (--indegree[edges_[e].to] == 0) frontier.push_back(edges_[e].to);
+    }
+  }
+  if (order.size() != tasks_.size()) {
+    fail(ErrorCode::Graph, "task graph contains a cycle");
+  }
+  return order;
+}
+
+bool TaskGraph::is_acyclic() const {
+  try {
+    (void)topo_order();
+    return true;
+  } catch (const Error&) {
+    return false;
+  }
+}
+
+double TaskGraph::total_work() const noexcept {
+  return std::accumulate(tasks_.begin(), tasks_.end(), 0.0,
+                         [](double acc, const Task& t) { return acc + t.work; });
+}
+
+double TaskGraph::total_bytes() const noexcept {
+  return std::accumulate(edges_.begin(), edges_.end(), 0.0,
+                         [](double acc, const Edge& e) { return acc + e.bytes; });
+}
+
+}  // namespace banger::graph

@@ -1,0 +1,99 @@
+// banger/graph/task_graph.hpp
+//
+// The flattened, leaf-level task DAG that scheduling, simulation, and
+// execution operate on. Flattening a hierarchical Design (design.hpp)
+// expands supernodes and converts storage nodes into direct task->task
+// data dependences, so a TaskGraph contains only primitive tasks and
+// weighted communication edges.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace banger::graph {
+
+using TaskId = std::uint32_t;
+using EdgeId = std::uint32_t;
+inline constexpr TaskId kNoTask = static_cast<TaskId>(-1);
+
+/// A primitive task after flattening.
+struct Task {
+  /// Fully-qualified name ("root.solve.f121"), unique in the TaskGraph.
+  std::string name;
+  /// Work estimate in abstract units.
+  double work = 1.0;
+  /// PITS source for the body (may be empty for skeleton designs).
+  std::string pits;
+  /// Variables consumed / produced, in declaration order.
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+};
+
+/// A data dependence: `to` may not start before `from` finishes, and if
+/// they run on different processors, `bytes` of data must be shipped.
+struct Edge {
+  TaskId from = kNoTask;
+  TaskId to = kNoTask;
+  double bytes = 0.0;
+  /// Variable name(s) carried, comma-joined when several stores merge.
+  std::string var;
+};
+
+/// Immutable-after-build DAG of primitive tasks. Parallel edges between
+/// the same task pair are merged at insert time (their byte counts add:
+/// two distinct variables both have to travel).
+class TaskGraph {
+ public:
+  TaskId add_task(Task task);
+
+  /// Adds (or merges into an existing) edge. Endpoints must exist and
+  /// differ.
+  EdgeId add_edge(TaskId from, TaskId to, double bytes, std::string var = {});
+
+  [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
+  [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
+
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] Task& task(TaskId id);
+  [[nodiscard]] const Edge& edge(EdgeId id) const;
+  [[nodiscard]] const std::vector<Task>& tasks() const noexcept { return tasks_; }
+  [[nodiscard]] const std::vector<Edge>& edges() const noexcept { return edges_; }
+
+  [[nodiscard]] std::optional<TaskId> find(const std::string& name) const;
+  [[nodiscard]] TaskId require(const std::string& name) const;
+
+  /// Edge ids entering / leaving a task.
+  [[nodiscard]] const std::vector<EdgeId>& in_edges(TaskId id) const;
+  [[nodiscard]] const std::vector<EdgeId>& out_edges(TaskId id) const;
+
+  /// Predecessor / successor task ids (derived from edges).
+  [[nodiscard]] std::vector<TaskId> preds(TaskId id) const;
+  [[nodiscard]] std::vector<TaskId> succs(TaskId id) const;
+
+  /// Tasks with no predecessors / successors.
+  [[nodiscard]] std::vector<TaskId> sources() const;
+  [[nodiscard]] std::vector<TaskId> sinks() const;
+
+  /// Deterministic topological order; throws Error{Graph} if cyclic.
+  [[nodiscard]] std::vector<TaskId> topo_order() const;
+  [[nodiscard]] bool is_acyclic() const;
+
+  /// Sum of all task work.
+  [[nodiscard]] double total_work() const noexcept;
+  /// Sum of all edge bytes.
+  [[nodiscard]] double total_bytes() const noexcept;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<Edge> edges_;
+  std::vector<std::vector<EdgeId>> in_edges_;
+  std::vector<std::vector<EdgeId>> out_edges_;
+  std::unordered_map<std::string, TaskId> by_name_;
+  // Merge map for parallel edges: (from,to) -> edge id.
+  std::unordered_map<std::uint64_t, EdgeId> edge_index_;
+};
+
+}  // namespace banger::graph

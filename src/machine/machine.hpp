@@ -1,0 +1,100 @@
+// banger/machine/machine.hpp
+//
+// The target machine model. The paper tailors a program to a machine by
+// exactly four characteristics:
+//   1. Processor speed            (work units per second)
+//   2. Process startup time       (seconds added to every task launch)
+//   3. Message passing startup time (seconds per message per hop)
+//   4. Message transmission speed (bytes per second per link)
+// plus, for distributed-memory machines, the interconnection topology.
+// Machine wraps those parameters and answers the two questions every
+// scheduler asks: how long does work W take on processor P, and how long
+// does a B-byte message take from P to Q.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "machine/topology.hpp"
+
+namespace banger::machine {
+
+/// How multi-hop messages accumulate cost.
+enum class Routing : std::uint8_t {
+  /// 1990-era store-and-forward: the full message is re-sent at each hop,
+  /// so cost = hops * (startup + bytes/bandwidth). PPSE's model.
+  StoreAndForward,
+  /// Wormhole/cut-through: one startup plus pipelined transmission,
+  /// cost = startup + hops * header_overhead… modeled here as
+  /// startup + bytes/bandwidth + (hops-1) * per_hop_latency.
+  CutThrough,
+};
+
+std::string_view to_string(Routing routing) noexcept;
+
+struct MachineParams {
+  /// Work units each processor retires per second.
+  double processor_speed = 1.0;
+  /// Fixed overhead charged to every task execution.
+  double process_startup = 0.0;
+  /// Fixed overhead per message (per hop under store-and-forward).
+  double message_startup = 0.0;
+  /// Link bandwidth; <= 0 means infinitely fast links.
+  double bytes_per_second = 0.0;
+  /// Extra per-hop latency under cut-through routing.
+  double per_hop_latency = 0.0;
+  Routing routing = Routing::StoreAndForward;
+
+  /// Throws Error{Machine} when parameters are out of range.
+  void validate() const;
+};
+
+class Machine {
+ public:
+  Machine(Topology topology, MachineParams params, std::string name = {});
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+  [[nodiscard]] const MachineParams& params() const noexcept { return params_; }
+  [[nodiscard]] int num_procs() const noexcept { return topology_.num_procs(); }
+
+  /// Heterogeneity: a per-processor speed multiplier (1.0 = nominal).
+  void set_speed_factor(ProcId p, double factor);
+  [[nodiscard]] double speed_factor(ProcId p) const;
+  [[nodiscard]] bool homogeneous() const noexcept;
+
+  /// Seconds to execute `work` units on processor `p`, including process
+  /// startup.
+  [[nodiscard]] double task_time(double work, ProcId p) const;
+
+  /// Seconds for `bytes` to travel from `from` to `to`. Zero when the
+  /// processors coincide (local memory).
+  [[nodiscard]] double comm_time(double bytes, ProcId from, ProcId to) const;
+
+  /// comm_time for a given hop count (lets schedulers cache distances).
+  [[nodiscard]] double comm_time_hops(double bytes, int hops) const;
+
+  /// Granularity diagnostic: communication-to-computation ratio of a
+  /// one-unit task exchanging `bytes` over one hop.
+  [[nodiscard]] double ccr(double bytes) const;
+
+ private:
+  std::string name_;
+  Topology topology_;
+  MachineParams params_;
+  std::vector<double> speed_factor_;
+};
+
+/// Ready-made machines used by the benches and examples.
+namespace presets {
+
+/// An iPSC/2-like hypercube: modest links relative to CPU speed.
+Machine hypercube(int dim, double ccr = 0.5);
+/// Fully connected shared-bus style machine (communication nearly free).
+Machine shared_memory(int num_procs);
+/// Workstation LAN: star topology, expensive message startup.
+Machine lan(int num_procs);
+
+}  // namespace presets
+
+}  // namespace banger::machine

@@ -1,0 +1,32 @@
+// banger/machine/serialize.hpp
+//
+// Text serialisation for target machine descriptions — what the Banger
+// user enters in the machine-definition step. A `.machine` file:
+//
+//   machine ipsc8
+//   topology hypercube dim=3
+//   speed 1.0
+//   process_startup 0.1
+//   message_startup 0.05
+//   bandwidth 1e6
+//   routing store-and-forward
+//   speed_factor 2 1.5          # optional heterogeneity
+//
+// Topology lines: `hypercube dim=D`, `mesh rows=R cols=C`,
+// `torus rows=R cols=C`, `tree arity=A procs=P`, `star procs=P`,
+// `ring procs=P`, `chain procs=P`, `full procs=P`,
+// `custom procs=P links=0-1,1-2,...`.
+#pragma once
+
+#include <string>
+
+#include "machine/machine.hpp"
+
+namespace banger::machine {
+
+Machine parse_machine(std::string_view text);
+Machine load_machine(const std::string& path);
+std::string to_text(const Machine& machine);
+void save_machine(const Machine& machine, const std::string& path);
+
+}  // namespace banger::machine

@@ -1,0 +1,137 @@
+// banger/pits/ast.hpp
+//
+// Abstract syntax of PITS programs. Nodes are a closed variant set; the
+// interpreter and the pretty-printer visit with std::visit.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace banger::pits {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : std::uint8_t {
+  Add, Sub, Mul, Div, Mod, Pow,
+  Eq, Ne, Lt, Le, Gt, Ge,
+  And, Or,
+};
+enum class UnOp : std::uint8_t { Neg, Not };
+
+std::string_view to_string(BinOp op) noexcept;
+std::string_view to_string(UnOp op) noexcept;
+
+struct NumberLit {
+  double value = 0.0;
+};
+struct StringLit {
+  std::string value;
+};
+struct VarRef {
+  std::string name;
+};
+struct VectorLit {
+  std::vector<ExprPtr> elements;
+};
+struct Unary {
+  UnOp op = UnOp::Neg;
+  ExprPtr operand;
+};
+struct Binary {
+  BinOp op = BinOp::Add;
+  ExprPtr lhs;
+  ExprPtr rhs;
+};
+/// base[index]; base must evaluate to a vector, index to a number.
+struct Index {
+  ExprPtr base;
+  ExprPtr index;
+};
+/// Builtin (calculator button) invocation: sqrt(x), dot(a,b), ...
+struct Call {
+  std::string callee;
+  std::vector<ExprPtr> args;
+};
+
+struct Expr {
+  SourcePos pos;
+  std::variant<NumberLit, StringLit, VarRef, VectorLit, Unary, Binary, Index,
+               Call>
+      node;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+/// `name := expr` or `name[i] := expr` (element assignment).
+struct AssignStmt {
+  std::string target;
+  ExprPtr index;  ///< null for whole-variable assignment
+  ExprPtr value;
+};
+struct IfStmt {
+  struct Arm {
+    ExprPtr cond;
+    Block body;
+  };
+  std::vector<Arm> arms;  ///< if + elsif chain, in order
+  Block else_body;
+};
+struct WhileStmt {
+  ExprPtr cond;
+  Block body;
+};
+/// `repeat n times ... end` — the calculator's friendly counted loop.
+struct RepeatStmt {
+  ExprPtr count;
+  Block body;
+};
+struct ForStmt {
+  std::string var;
+  ExprPtr from;
+  ExprPtr to;
+  ExprPtr step;  ///< null means step 1
+  Block body;
+};
+struct ReturnStmt {};
+/// `formula name(p1, p2) := expr` — a pure user function of its
+/// parameters (and the constants); it cannot read task variables.
+/// Formulas may call other formulas (and themselves) defined earlier.
+struct FormulaDef {
+  std::string name;
+  std::vector<std::string> params;
+  ExprPtr body;
+};
+/// Expression evaluated for effect; only calls make sense (print).
+struct ExprStmt {
+  ExprPtr expr;
+};
+
+struct Stmt {
+  SourcePos pos;
+  std::variant<AssignStmt, IfStmt, WhileStmt, RepeatStmt, ForStmt, ReturnStmt,
+               FormulaDef, ExprStmt>
+      node;
+};
+
+/// Parses a whole routine body; throws Error{Parse}.
+Block parse_block(std::string_view source);
+
+/// Renders a Block back to canonical PITS source (used by the calculator
+/// panel's program window and by the round-trip tests).
+std::string to_source(const Block& block, int indent = 0);
+
+/// Free variables: names read before being assigned anywhere on some
+/// path — the routine's implicit inputs. Sorted, unique.
+std::vector<std::string> free_variables(const Block& block);
+
+/// Names assigned anywhere — the candidates for outputs. Sorted, unique.
+std::vector<std::string> assigned_variables(const Block& block);
+
+}  // namespace banger::pits

@@ -1,0 +1,475 @@
+#include "pits/interp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "pits/builtins.hpp"
+#include "util/rng.hpp"
+
+namespace banger::pits {
+
+namespace {
+
+enum class Flow : std::uint8_t { Normal, Return };
+
+class Interp {
+ public:
+  Interp(Env& env, const ExecOptions& options)
+      : env_(env), scope_(&env), options_(options), rng_(options.seed) {
+    ctx_.rng = &rng_;
+    ctx_.out = options.out;
+  }
+
+  void run(const Block& block) { (void)exec_block(block); }
+
+  Value eval_public(const Expr& e) { return eval(e); }
+
+ private:
+  [[noreturn]] void error(ErrorCode code, const std::string& msg,
+                          SourcePos pos) {
+    fail(code, msg, pos);
+  }
+
+  void tick(SourcePos pos) {
+    if (++steps_ > options_.step_limit) {
+      error(ErrorCode::Limit,
+            "step limit of " + std::to_string(options_.step_limit) +
+                " exceeded (infinite loop?)",
+            pos);
+    }
+  }
+
+  Flow exec_block(const Block& block) {
+    for (const StmtPtr& s : block) {
+      if (exec_stmt(*s) == Flow::Return) return Flow::Return;
+    }
+    return Flow::Normal;
+  }
+
+  Flow exec_stmt(const Stmt& s) {
+    tick(s.pos);
+    return std::visit(
+        [&](const auto& node) -> Flow {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, AssignStmt>) {
+            Value value = eval(*node.value);
+            if (node.index) {
+              auto it = scope_->find(node.target);
+              if (it == scope_->end()) {
+                error(ErrorCode::Name,
+                      "indexed assignment to undefined variable `" +
+                          node.target + "`",
+                      s.pos);
+              }
+              if (!it->second.is_vector()) {
+                error(ErrorCode::Type,
+                      "`" + node.target + "` is not a vector", s.pos);
+              }
+              Vector& vec = it->second.as_vector();
+              const std::size_t i = index_of(*node.index, vec.size());
+              vec[i] = value.as_scalar();
+            } else {
+              (*scope_)[node.target] = std::move(value);
+            }
+            if (options_.trace != nullptr) {
+              *options_.trace << "line " << s.pos.line << ": " << node.target
+                              << " = "
+                              << scope_->at(node.target).to_display() << "\n";
+            }
+            return Flow::Normal;
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            for (const auto& arm : node.arms) {
+              if (eval(*arm.cond).truthy()) return exec_block(arm.body);
+            }
+            return exec_block(node.else_body);
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            while (eval(*node.cond).truthy()) {
+              tick(s.pos);
+              if (exec_block(node.body) == Flow::Return) return Flow::Return;
+            }
+            return Flow::Normal;
+          } else if constexpr (std::is_same_v<T, RepeatStmt>) {
+            const double n = eval(*node.count).as_scalar();
+            if (n < 0 || std::floor(n) != n) {
+              error(ErrorCode::Runtime,
+                    "repeat count must be a non-negative integer", s.pos);
+            }
+            for (double k = 0; k < n; ++k) {
+              tick(s.pos);
+              if (exec_block(node.body) == Flow::Return) return Flow::Return;
+            }
+            return Flow::Normal;
+          } else if constexpr (std::is_same_v<T, ForStmt>) {
+            const double from = eval(*node.from).as_scalar();
+            const double to = eval(*node.to).as_scalar();
+            const double step =
+                node.step ? eval(*node.step).as_scalar() : 1.0;
+            if (step == 0) {
+              error(ErrorCode::Runtime, "for loop with zero step", s.pos);
+            }
+            for (double x = from; step > 0 ? x <= to + 1e-12 : x >= to - 1e-12;
+                 x += step) {
+              tick(s.pos);
+              (*scope_)[node.var] = Value(x);
+              if (exec_block(node.body) == Flow::Return) return Flow::Return;
+            }
+            return Flow::Normal;
+          } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+            return Flow::Return;
+          } else if constexpr (std::is_same_v<T, FormulaDef>) {
+            if (node.name == "when") {
+              error(ErrorCode::Name,
+                    "`when` is the conditional special form", s.pos);
+            }
+            if (BuiltinRegistry::instance().find(node.name) != nullptr) {
+              error(ErrorCode::Name,
+                    "formula `" + node.name +
+                        "` would shadow a calculator button",
+                    s.pos);
+            }
+            if (constants().contains(node.name)) {
+              error(ErrorCode::Name,
+                    "formula `" + node.name + "` would shadow a constant",
+                    s.pos);
+            }
+            formulas_[node.name] = &node;
+            return Flow::Normal;
+          } else if constexpr (std::is_same_v<T, ExprStmt>) {
+            (void)eval(*node.expr);
+            return Flow::Normal;
+          }
+        },
+        s.node);
+  }
+
+  std::size_t index_of(const Expr& index_expr, std::size_t size) {
+    const double raw = eval(index_expr).as_scalar();
+    if (std::floor(raw) != raw) {
+      error(ErrorCode::Runtime, "index must be an integer", index_expr.pos);
+    }
+    if (raw < 0 || raw >= static_cast<double>(size)) {
+      error(ErrorCode::Runtime,
+            "index " + std::to_string(static_cast<long long>(raw)) +
+                " out of range [0," + std::to_string(size) + ")",
+            index_expr.pos);
+    }
+    return static_cast<std::size_t>(raw);
+  }
+
+  Value eval(const Expr& e) {
+    return std::visit(
+        [&](const auto& node) -> Value {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, NumberLit>) {
+            return Value(node.value);
+          } else if constexpr (std::is_same_v<T, StringLit>) {
+            return Value(node.value);
+          } else if constexpr (std::is_same_v<T, VarRef>) {
+            if (auto it = scope_->find(node.name); it != scope_->end()) {
+              return it->second;
+            }
+            if (auto c = constants().find(node.name); c != constants().end()) {
+              return Value(c->second);
+            }
+            error(ErrorCode::Name, "undefined variable `" + node.name + "`",
+                  e.pos);
+          } else if constexpr (std::is_same_v<T, VectorLit>) {
+            Vector out;
+            out.reserve(node.elements.size());
+            for (const auto& el : node.elements) {
+              out.push_back(eval_scalar(*el));
+            }
+            return Value(std::move(out));
+          } else if constexpr (std::is_same_v<T, Unary>) {
+            return eval_unary(node, e.pos);
+          } else if constexpr (std::is_same_v<T, Binary>) {
+            return eval_binary(node, e.pos);
+          } else if constexpr (std::is_same_v<T, Index>) {
+            Value base = eval(*node.base);
+            if (!base.is_vector()) {
+              error(ErrorCode::Type,
+                    "cannot index a " + std::string(base.type_name()), e.pos);
+            }
+            const Vector& v = base.as_vector();
+            return Value(v[index_of(*node.index, v.size())]);
+          } else if constexpr (std::is_same_v<T, Call>) {
+            return eval_call(node, e.pos);
+          }
+        },
+        e.node);
+  }
+
+  double eval_scalar(const Expr& e) {
+    Value v = eval(e);
+    if (!v.is_scalar()) {
+      error(ErrorCode::Type,
+            "expected a number, got a " + std::string(v.type_name()), e.pos);
+    }
+    return v.as_scalar();
+  }
+
+  Value eval_unary(const Unary& node, SourcePos pos) {
+    if (node.op == UnOp::Not) {
+      return Value(eval(*node.operand).truthy() ? 0.0 : 1.0);
+    }
+    Value v = eval(*node.operand);
+    if (v.is_vector()) {
+      Vector out = v.as_vector();
+      for (double& x : out) x = -x;
+      return Value(std::move(out));
+    }
+    if (v.is_string()) {
+      error(ErrorCode::Type, "cannot negate a string", pos);
+    }
+    return Value(-v.as_scalar());
+  }
+
+  Value eval_binary(const Binary& node, SourcePos pos) {
+    // Short-circuit logicals first.
+    if (node.op == BinOp::And) {
+      if (!eval(*node.lhs).truthy()) return Value(0.0);
+      return Value(eval(*node.rhs).truthy() ? 1.0 : 0.0);
+    }
+    if (node.op == BinOp::Or) {
+      if (eval(*node.lhs).truthy()) return Value(1.0);
+      return Value(eval(*node.rhs).truthy() ? 1.0 : 0.0);
+    }
+
+    Value lhs = eval(*node.lhs);
+    Value rhs = eval(*node.rhs);
+
+    switch (node.op) {
+      case BinOp::Eq: return Value(lhs.equals(rhs) ? 1.0 : 0.0);
+      case BinOp::Ne: return Value(lhs.equals(rhs) ? 0.0 : 1.0);
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge:
+        return compare(node.op, lhs, rhs, pos);
+      default:
+        break;
+    }
+
+    // String concatenation is the only string arithmetic.
+    if (lhs.is_string() || rhs.is_string()) {
+      if (node.op == BinOp::Add && lhs.is_string() && rhs.is_string()) {
+        return Value(lhs.as_string() + rhs.as_string());
+      }
+      error(ErrorCode::Type,
+            "operator `" + std::string(to_string(node.op)) +
+                "` is not defined for strings",
+            pos);
+    }
+
+    return arith(node.op, lhs, rhs, pos);
+  }
+
+  Value compare(BinOp op, const Value& lhs, const Value& rhs, SourcePos pos) {
+    double cmp = 0;
+    if (lhs.is_scalar() && rhs.is_scalar()) {
+      const double a = lhs.as_scalar();
+      const double b = rhs.as_scalar();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else if (lhs.is_string() && rhs.is_string()) {
+      const int c = lhs.as_string().compare(rhs.as_string());
+      cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+    } else {
+      error(ErrorCode::Type,
+            "cannot order a " + std::string(lhs.type_name()) + " against a " +
+                std::string(rhs.type_name()),
+            pos);
+    }
+    switch (op) {
+      case BinOp::Lt: return Value(cmp < 0 ? 1.0 : 0.0);
+      case BinOp::Le: return Value(cmp <= 0 ? 1.0 : 0.0);
+      case BinOp::Gt: return Value(cmp > 0 ? 1.0 : 0.0);
+      default: return Value(cmp >= 0 ? 1.0 : 0.0);
+    }
+  }
+
+  double scalar_op(BinOp op, double a, double b, SourcePos pos) {
+    switch (op) {
+      case BinOp::Add: return a + b;
+      case BinOp::Sub: return a - b;
+      case BinOp::Mul: return a * b;
+      case BinOp::Div:
+        if (b == 0) error(ErrorCode::Runtime, "division by zero", pos);
+        return a / b;
+      case BinOp::Mod:
+        if (b == 0) error(ErrorCode::Runtime, "mod by zero", pos);
+        return std::fmod(a, b);
+      case BinOp::Pow: {
+        const double r = std::pow(a, b);
+        if (std::isnan(r) && !std::isnan(a) && !std::isnan(b)) {
+          error(ErrorCode::Runtime, "invalid power (negative base?)", pos);
+        }
+        return r;
+      }
+      default:
+        BANGER_ASSERT(false, "unreachable arithmetic op");
+    }
+  }
+
+  Value arith(BinOp op, const Value& lhs, const Value& rhs, SourcePos pos) {
+    if (lhs.is_scalar() && rhs.is_scalar()) {
+      return Value(scalar_op(op, lhs.as_scalar(), rhs.as_scalar(), pos));
+    }
+    if (lhs.is_vector() && rhs.is_vector()) {
+      const Vector& a = lhs.as_vector();
+      const Vector& b = rhs.as_vector();
+      if (a.size() != b.size()) {
+        error(ErrorCode::Type,
+              "elementwise `" + std::string(to_string(op)) +
+                  "` on vectors of lengths " + std::to_string(a.size()) +
+                  " and " + std::to_string(b.size()),
+              pos);
+      }
+      Vector out(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] = scalar_op(op, a[i], b[i], pos);
+      }
+      return Value(std::move(out));
+    }
+    // scalar <op> vector broadcast.
+    if (lhs.is_scalar() && rhs.is_vector()) {
+      const double a = lhs.as_scalar();
+      Vector out = rhs.as_vector();
+      for (double& x : out) x = scalar_op(op, a, x, pos);
+      return Value(std::move(out));
+    }
+    if (lhs.is_vector() && rhs.is_scalar()) {
+      const double b = rhs.as_scalar();
+      Vector out = lhs.as_vector();
+      for (double& x : out) x = scalar_op(op, x, b, pos);
+      return Value(std::move(out));
+    }
+    error(ErrorCode::Type,
+          "operator `" + std::string(to_string(op)) + "` on a " +
+              std::string(lhs.type_name()) + " and a " +
+              std::string(rhs.type_name()),
+          pos);
+  }
+
+  Value eval_call(const Call& node, SourcePos pos) {
+    // `when(cond, a, b)` is a special form: only the selected branch is
+    // evaluated, which is what makes recursive formulas terminate.
+    if (node.callee == "when") {
+      if (node.args.size() != 3) {
+        error(ErrorCode::Type, "when() expects (condition, then, else)",
+              pos);
+      }
+      return eval(*node.args[eval(*node.args[0]).truthy() ? 1 : 2]);
+    }
+    if (auto it = formulas_.find(node.callee); it != formulas_.end()) {
+      return eval_formula(*it->second, node, pos);
+    }
+    const Builtin* fn = BuiltinRegistry::instance().find(node.callee);
+    if (fn == nullptr) {
+      error(ErrorCode::Name, "unknown function `" + node.callee + "`", pos);
+    }
+    const int n = static_cast<int>(node.args.size());
+    if (n < fn->min_args || (fn->max_args >= 0 && n > fn->max_args)) {
+      error(ErrorCode::Type,
+            "`" + node.callee + "` expects " + std::to_string(fn->min_args) +
+                (fn->max_args == fn->min_args
+                     ? ""
+                     : (fn->max_args < 0
+                            ? "+"
+                            : ".." + std::to_string(fn->max_args))) +
+                " arguments, got " + std::to_string(n),
+            pos);
+    }
+    std::vector<Value> args;
+    args.reserve(node.args.size());
+    for (const auto& a : node.args) args.push_back(eval(*a));
+    try {
+      return fn->fn(args, ctx_);
+    } catch (const Error& e) {
+      // Re-throw with the call position attached.
+      fail(e.code(), e.message() + " in `" + node.callee + "`", pos);
+    }
+  }
+
+  Value eval_formula(const FormulaDef& def, const Call& call,
+                     SourcePos pos) {
+    if (call.args.size() != def.params.size()) {
+      error(ErrorCode::Type,
+            "formula `" + def.name + "` expects " +
+                std::to_string(def.params.size()) + " arguments, got " +
+                std::to_string(call.args.size()),
+            pos);
+    }
+    if (++formula_depth_ > 256) {
+      --formula_depth_;
+      error(ErrorCode::Limit,
+            "formula recursion deeper than 256 (`" + def.name + "`)", pos);
+    }
+    // Arguments evaluate in the caller's scope; the body sees only its
+    // parameters (plus constants) — formulas are pure.
+    Env frame;
+    for (std::size_t i = 0; i < call.args.size(); ++i) {
+      frame.emplace(def.params[i], eval(*call.args[i]));
+    }
+    Env* saved = scope_;
+    scope_ = &frame;
+    Value result;
+    try {
+      tick(pos);
+      result = eval(*def.body);
+    } catch (...) {
+      scope_ = saved;
+      --formula_depth_;
+      throw;
+    }
+    scope_ = saved;
+    --formula_depth_;
+    return result;
+  }
+
+  Env& env_;
+  Env* scope_;
+  std::map<std::string, const FormulaDef*> formulas_;
+  int formula_depth_ = 0;
+  const ExecOptions& options_;
+  util::Rng rng_;
+  BuiltinContext ctx_;
+  std::uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+Program Program::parse(std::string_view source) {
+  auto body = std::make_shared<Block>(parse_block(source));
+  Program p;
+  p.body_ = std::move(body);
+  return p;
+}
+
+void Program::execute(Env& env, const ExecOptions& options) const {
+  Interp interp(env, options);
+  interp.run(*body_);
+}
+
+std::vector<std::string> Program::inputs() const {
+  std::vector<std::string> out;
+  for (const std::string& name : free_variables(*body_)) {
+    if (constants().contains(name)) continue;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<std::string> Program::outputs() const {
+  return assigned_variables(*body_);
+}
+
+Value eval_expression(std::string_view expression, const Env& env,
+                      const ExecOptions& options) {
+  // Wrap as `__result := (expr)` and execute against a copy.
+  Env scratch = env;
+  const std::string source = "__result := " + std::string(expression);
+  Program::parse(source).execute(scratch, options);
+  return scratch.at("__result");
+}
+
+}  // namespace banger::pits

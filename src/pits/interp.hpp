@@ -1,0 +1,74 @@
+// banger/pits/interp.hpp
+//
+// The PITS interpreter: executes a parsed routine against an environment
+// of named values. This is what runs when the Banger user presses the
+// calculator's "=" key (trial run of one task) and what the runtime
+// executor calls for every task of a whole-program run.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pits/ast.hpp"
+#include "pits/value.hpp"
+
+namespace banger::pits {
+
+/// Variable bindings; inputs are placed here before execute, outputs are
+/// read from here afterwards.
+using Env = std::map<std::string, Value>;
+
+struct ExecOptions {
+  /// Abort with Error{Limit} after this many evaluated statements —
+  /// non-programmers write infinite loops, and instant feedback must not
+  /// hang the environment.
+  std::uint64_t step_limit = 50'000'000;
+  /// Seed for rand().
+  std::uint64_t seed = 42;
+  /// Trial-run transcript for print(); null discards.
+  std::ostream* out = nullptr;
+  /// Single-step trace: every assignment is echoed as
+  /// "line N: var = value" (the calculator's step mode). Null disables.
+  std::ostream* trace = nullptr;
+};
+
+/// An immutable, shareable parsed routine.
+class Program {
+ public:
+  Program() : body_(std::make_shared<Block>()) {}
+
+  /// Parses PITS source; throws Error{Parse} with positions.
+  static Program parse(std::string_view source);
+
+  [[nodiscard]] bool empty() const noexcept { return body_->empty(); }
+  [[nodiscard]] const Block& body() const noexcept { return *body_; }
+
+  /// Runs the routine, mutating `env`. Throws Error{Runtime} (division by
+  /// zero, bad index, unknown name...), Error{Type}, or Error{Limit}.
+  void execute(Env& env, const ExecOptions& options = {}) const;
+
+  /// Canonical source text (pretty-printed AST).
+  [[nodiscard]] std::string to_source() const { return pits::to_source(*body_); }
+
+  /// Free variables the routine reads — excluding constants and builtin
+  /// names — i.e. the inputs the PITL node must supply.
+  [[nodiscard]] std::vector<std::string> inputs() const;
+  /// Variables the routine assigns — the candidate outputs.
+  [[nodiscard]] std::vector<std::string> outputs() const;
+
+ private:
+  explicit Program(std::shared_ptr<const Block> body)
+      : body_(std::move(body)) {}
+  std::shared_ptr<const Block> body_;
+};
+
+/// Convenience: parse and evaluate a single expression against an
+/// environment (the calculator's display line).
+Value eval_expression(std::string_view expression, const Env& env,
+                      const ExecOptions& options = {});
+
+}  // namespace banger::pits

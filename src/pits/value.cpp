@@ -1,0 +1,63 @@
+#include "pits/value.hpp"
+
+#include "util/strings.hpp"
+
+namespace banger::pits {
+
+std::string_view Value::type_name() const noexcept {
+  if (is_scalar()) return "number";
+  if (is_vector()) return "vector";
+  return "string";
+}
+
+Scalar Value::as_scalar() const {
+  if (const auto* s = std::get_if<Scalar>(&data_)) return *s;
+  fail(ErrorCode::Type,
+       "expected a number, got a " + std::string(type_name()));
+}
+
+const Vector& Value::as_vector() const {
+  if (const auto* v = std::get_if<Vector>(&data_)) return *v;
+  fail(ErrorCode::Type,
+       "expected a vector, got a " + std::string(type_name()));
+}
+
+Vector& Value::as_vector() {
+  if (auto* v = std::get_if<Vector>(&data_)) return *v;
+  fail(ErrorCode::Type,
+       "expected a vector, got a " + std::string(type_name()));
+}
+
+const Str& Value::as_string() const {
+  if (const auto* s = std::get_if<Str>(&data_)) return *s;
+  fail(ErrorCode::Type,
+       "expected a string, got a " + std::string(type_name()));
+}
+
+bool Value::truthy() const noexcept {
+  if (const auto* s = std::get_if<Scalar>(&data_)) return *s != 0.0;
+  if (const auto* v = std::get_if<Vector>(&data_)) return !v->empty();
+  return !std::get<Str>(data_).empty();
+}
+
+bool Value::equals(const Value& other) const noexcept {
+  return data_ == other.data_;
+}
+
+std::string Value::to_display() const {
+  if (const auto* s = std::get_if<Scalar>(&data_)) {
+    return util::format_double(*s, 12);
+  }
+  if (const auto* v = std::get_if<Vector>(&data_)) {
+    std::string out = "[";
+    for (std::size_t i = 0; i < v->size(); ++i) {
+      if (i > 0) out += ", ";
+      out += util::format_double((*v)[i], 12);
+    }
+    out += "]";
+    return out;
+  }
+  return std::get<Str>(data_);
+}
+
+}  // namespace banger::pits

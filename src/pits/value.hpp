@@ -1,0 +1,67 @@
+// banger/pits/value.hpp
+//
+// Runtime values of the PITS calculator language. The calculator is a
+// scientific instrument: it computes with real scalars, numeric vectors
+// (for the engineering workloads: signals, matrix rows), and strings
+// (labels for the instant-feedback `print`).
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace banger::pits {
+
+using Scalar = double;
+using Vector = std::vector<double>;
+using Str = std::string;
+
+class Value {
+ public:
+  Value() : data_(0.0) {}
+  Value(double v) : data_(v) {}                 // NOLINT(google-explicit-constructor)
+  Value(Vector v) : data_(std::move(v)) {}      // NOLINT(google-explicit-constructor)
+  Value(Str v) : data_(std::move(v)) {}         // NOLINT(google-explicit-constructor)
+  Value(const char* v) : data_(Str(v)) {}       // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool is_scalar() const noexcept {
+    return std::holds_alternative<Scalar>(data_);
+  }
+  [[nodiscard]] bool is_vector() const noexcept {
+    return std::holds_alternative<Vector>(data_);
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return std::holds_alternative<Str>(data_);
+  }
+
+  /// "number", "vector", or "string" — used in error messages.
+  [[nodiscard]] std::string_view type_name() const noexcept;
+
+  /// Accessors that throw Error{Type} (with position context added by the
+  /// interpreter) on mismatch.
+  [[nodiscard]] Scalar as_scalar() const;
+  [[nodiscard]] const Vector& as_vector() const;
+  [[nodiscard]] Vector& as_vector();
+  [[nodiscard]] const Str& as_string() const;
+
+  /// Truthiness: nonzero scalar / nonempty vector / nonempty string.
+  [[nodiscard]] bool truthy() const noexcept;
+
+  /// Structural equality (scalar==scalar elementwise etc.; values of
+  /// different types are never equal).
+  [[nodiscard]] bool equals(const Value& other) const noexcept;
+
+  /// Calculator-display rendering ("3.5", "[1, 2, 3]", "text").
+  [[nodiscard]] std::string to_display() const;
+
+  friend bool operator==(const Value& a, const Value& b) noexcept {
+    return a.equals(b);
+  }
+
+ private:
+  std::variant<Scalar, Vector, Str> data_;
+};
+
+}  // namespace banger::pits

@@ -1,0 +1,77 @@
+#include "sched/anneal.hpp"
+
+#include <cmath>
+
+#include "sched/heuristics.hpp"
+#include "sched/list_core.hpp"
+#include "util/rng.hpp"
+
+namespace banger::sched {
+
+Schedule AnnealScheduler::run(const TaskGraph& graph,
+                              const Machine& machine) const {
+  accepted_ = 0;
+  if (graph.num_tasks() == 0) {
+    return Schedule(machine.num_procs(), name());
+  }
+
+  // Seed with MH's assignment: annealing refines, it does not start cold.
+  const Schedule seed_schedule = MhScheduler().run(graph, machine);
+  std::vector<ProcId> assignment(graph.num_tasks(), 0);
+  for (const Placement& p : seed_schedule.placements()) {
+    if (!p.duplicate) assignment[p.task] = p.proc;
+  }
+
+  auto evaluate = [&](const std::vector<ProcId>& a) {
+    return schedule_fixed_assignment(graph, machine, a, opts_.insertion,
+                                     name())
+        .makespan();
+  };
+
+  util::Rng rng(anneal_.seed);
+  double current = evaluate(assignment);
+  std::vector<ProcId> best_assignment = assignment;
+  double best = current;
+
+  double temperature = anneal_.initial_temperature * std::max(current, 1e-9);
+  const int cooling_period = std::max(1, anneal_.iterations / 100);
+
+  for (int iter = 0; iter < anneal_.iterations; ++iter) {
+    std::vector<ProcId> candidate = assignment;
+    if (machine.num_procs() > 1) {
+      if (rng.chance(anneal_.swap_probability) && graph.num_tasks() > 1) {
+        const auto a = static_cast<graph::TaskId>(
+            rng.next_below(graph.num_tasks()));
+        auto b = static_cast<graph::TaskId>(
+            rng.next_below(graph.num_tasks()));
+        if (a == b) b = (b + 1) % graph.num_tasks();
+        std::swap(candidate[a], candidate[b]);
+      } else {
+        const auto t = static_cast<graph::TaskId>(
+            rng.next_below(graph.num_tasks()));
+        candidate[t] = static_cast<ProcId>(
+            rng.next_below(static_cast<std::uint64_t>(machine.num_procs())));
+      }
+    }
+    const double value = evaluate(candidate);
+    const double delta = value - current;
+    if (delta <= 0 ||
+        (temperature > 0 && rng.chance(std::exp(-delta / temperature)))) {
+      assignment = std::move(candidate);
+      current = value;
+      ++accepted_;
+      if (current < best - 1e-12) {
+        best = current;
+        best_assignment = assignment;
+      }
+    }
+    if ((iter + 1) % cooling_period == 0) {
+      temperature *= anneal_.cooling;
+    }
+  }
+
+  return schedule_fixed_assignment(graph, machine, best_assignment,
+                                   opts_.insertion, name());
+}
+
+}  // namespace banger::sched

@@ -1,0 +1,47 @@
+// banger/sched/anneal.hpp
+//
+// Iterative-improvement scheduling by simulated annealing over task->
+// processor assignments: start from the MH schedule's assignment, move
+// single tasks (or swap pairs) to random processors, re-time with the
+// constrained list scheduler, accept worse moves with Boltzmann
+// probability under a geometric cooling schedule. The 1990s literature
+// positioned annealing as the "spend more cycles, get closer to
+// optimal" alternative to one-pass heuristics; ABL8 measures whether
+// that held.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace banger::sched {
+
+struct AnnealOptions {
+  /// Total candidate moves examined.
+  int iterations = 4000;
+  /// Initial temperature as a fraction of the seed makespan.
+  double initial_temperature = 0.08;
+  /// Geometric cooling factor applied every `iterations / 100` moves.
+  double cooling = 0.95;
+  /// Probability that a move swaps two tasks instead of moving one.
+  double swap_probability = 0.3;
+  std::uint64_t seed = 1;
+};
+
+class AnnealScheduler final : public Scheduler {
+ public:
+  explicit AnnealScheduler(AnnealOptions anneal = {},
+                           SchedulerOptions opts = {})
+      : Scheduler(opts), anneal_(anneal) {}
+
+  [[nodiscard]] std::string name() const override { return "anneal"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+
+  /// Moves accepted during the last run (diagnostics for the bench).
+  [[nodiscard]] int accepted_moves() const noexcept { return accepted_; }
+
+ private:
+  AnnealOptions anneal_;
+  mutable int accepted_ = 0;
+};
+
+}  // namespace banger::sched

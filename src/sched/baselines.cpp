@@ -1,0 +1,45 @@
+// Baseline strategies: serial, round-robin, random. They fix the
+// assignment up front and rely on the constrained list scheduler for
+// feasible timing, which is exactly how a naive user would place tasks
+// by hand — the comparison Banger's automatic scheduling argues against.
+#include <numeric>
+
+#include "sched/heuristics.hpp"
+#include "sched/list_core.hpp"
+#include "util/rng.hpp"
+
+namespace banger::sched {
+
+Schedule SerialScheduler::run(const TaskGraph& graph,
+                              const Machine& machine) const {
+  std::vector<ProcId> assignment(graph.num_tasks(), 0);
+  return schedule_fixed_assignment(graph, machine, assignment,
+                                   opts_.insertion, name());
+}
+
+Schedule RoundRobinScheduler::run(const TaskGraph& graph,
+                                  const Machine& machine) const {
+  std::vector<ProcId> assignment(graph.num_tasks(), 0);
+  const auto topo = graph.topo_order();
+  ProcId next = 0;
+  for (TaskId t : topo) {
+    assignment[t] = next;
+    next = static_cast<ProcId>((next + 1) % machine.num_procs());
+  }
+  return schedule_fixed_assignment(graph, machine, assignment,
+                                   opts_.insertion, name());
+}
+
+Schedule RandomScheduler::run(const TaskGraph& graph,
+                              const Machine& machine) const {
+  util::Rng rng(opts_.seed);
+  std::vector<ProcId> assignment(graph.num_tasks(), 0);
+  for (auto& p : assignment) {
+    p = static_cast<ProcId>(
+        rng.next_below(static_cast<std::uint64_t>(machine.num_procs())));
+  }
+  return schedule_fixed_assignment(graph, machine, assignment,
+                                   opts_.insertion, name());
+}
+
+}  // namespace banger::sched

@@ -1,0 +1,107 @@
+#include "sched/explain.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace banger::sched {
+
+std::vector<PlacementRationale> explain_schedule(const Schedule& schedule,
+                                                 const TaskGraph& graph,
+                                                 const Machine& machine) {
+  std::vector<PlacementRationale> out;
+  out.reserve(graph.num_tasks());
+
+  // Order tasks by primary start time (schedule order).
+  std::vector<Placement> primaries;
+  for (const Placement& p : schedule.placements()) {
+    if (!p.duplicate) primaries.push_back(p);
+  }
+  std::sort(primaries.begin(), primaries.end(),
+            [](const Placement& a, const Placement& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.task < b.task;
+            });
+
+  for (const Placement& p : primaries) {
+    PlacementRationale r;
+    r.task = p.task;
+    r.chosen = p.proc;
+    r.start = p.start;
+    r.data_ready.assign(static_cast<std::size_t>(machine.num_procs()), 0.0);
+
+    for (ProcId q = 0; q < machine.num_procs(); ++q) {
+      double ready = 0.0;
+      TaskId critical = graph::kNoTask;
+      for (graph::EdgeId e : graph.in_edges(p.task)) {
+        const graph::Edge& edge = graph.edge(e);
+        double best = std::numeric_limits<double>::infinity();
+        for (const Placement& copy : schedule.copies_of(edge.from)) {
+          best = std::min(best, copy.finish + machine.comm_time(
+                                                  edge.bytes, copy.proc, q));
+        }
+        if (best > ready) {
+          ready = best;
+          critical = edge.from;
+        }
+      }
+      r.data_ready[static_cast<std::size_t>(q)] = ready;
+      if (q == p.proc) r.critical_parent = critical;
+    }
+
+    const double chosen_ready =
+        r.data_ready[static_cast<std::size_t>(p.proc)];
+    // Previous finish on the processor before this task.
+    double prev_finish = 0.0;
+    for (const Placement& other : schedule.placements()) {
+      if (other.proc == p.proc && other.finish <= p.start + 1e-12 &&
+          !(other.task == p.task && !other.duplicate)) {
+        prev_finish = std::max(prev_finish, other.finish);
+      }
+    }
+    r.queue_wait = std::max(0.0, p.start - std::max(chosen_ready, prev_finish));
+    const double best_ready =
+        *std::min_element(r.data_ready.begin(), r.data_ready.end());
+    r.arrival_penalty = chosen_ready - best_ready;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+std::string explain_report(const Schedule& schedule, const TaskGraph& graph,
+                           const Machine& machine, const std::string& only) {
+  const auto rationales = explain_schedule(schedule, graph, machine);
+  std::ostringstream out;
+  util::Table table;
+  table.set_header({"task", "proc", "start", "data ready", "best elsewhere",
+                    "penalty", "critical parent"});
+  for (const PlacementRationale& r : rationales) {
+    const std::string& name = graph.task(r.task).name;
+    if (!only.empty() && name != only) continue;
+    const double chosen_ready =
+        r.data_ready[static_cast<std::size_t>(r.chosen)];
+    const double best =
+        *std::min_element(r.data_ready.begin(), r.data_ready.end());
+    table.add_row(
+        {name, std::to_string(r.chosen), util::format_double(r.start, 5),
+         util::format_double(chosen_ready, 5), util::format_double(best, 5),
+         util::format_double(r.arrival_penalty, 4),
+         r.critical_parent == graph::kNoTask
+             ? "-"
+             : graph.task(r.critical_parent).name});
+  }
+  if (table.num_rows() == 0 && !only.empty()) {
+    fail(ErrorCode::Name, "no task named `" + only + "` in the schedule");
+  }
+  out << table.to_string();
+  out << "penalty = how much later the data was complete on the chosen\n"
+         "processor vs the best one; zero means the placement was\n"
+         "data-optimal (occupancy decides the rest).\n";
+  return out.str();
+}
+
+}  // namespace banger::sched

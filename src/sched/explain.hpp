@@ -1,0 +1,47 @@
+// banger/sched/explain.hpp
+//
+// Placement rationale: for each task of a finished schedule, reconstruct
+// the data-arrival picture the scheduler faced — when the task's inputs
+// could have been ready on every processor — and report why the chosen
+// processor made sense (or how much was left on the table). This is the
+// environment answering the non-programmer's natural question about a
+// Gantt chart: "why is my task over there?"
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace banger::sched {
+
+struct PlacementRationale {
+  TaskId task = graph::kNoTask;
+  ProcId chosen = -1;
+  double start = 0.0;
+  /// Earliest time the task's data could be complete on each processor,
+  /// given the schedule's actual copies (ignores processor occupancy).
+  std::vector<double> data_ready;
+  /// The predecessor whose message constrains the chosen processor
+  /// (kNoTask for source tasks).
+  TaskId critical_parent = graph::kNoTask;
+  /// Idle gap the task waited on its processor after data was ready
+  /// (start - max(data_ready[chosen], prev finish on proc)).
+  double queue_wait = 0.0;
+  /// data_ready[chosen] - min over procs of data_ready: what moving the
+  /// task to the data-optimal processor could have saved *in arrival
+  /// time* (occupancy may still have made the choice right).
+  double arrival_penalty = 0.0;
+};
+
+/// Computes rationales for every task (primary copies, schedule order).
+std::vector<PlacementRationale> explain_schedule(const Schedule& schedule,
+                                                 const TaskGraph& graph,
+                                                 const Machine& machine);
+
+/// Human-readable report; `only` restricts to one task name ("" = all).
+std::string explain_report(const Schedule& schedule, const TaskGraph& graph,
+                           const Machine& machine,
+                           const std::string& only = {});
+
+}  // namespace banger::sched

@@ -1,0 +1,107 @@
+// banger/sched/heuristics.hpp
+//
+// Concrete scheduler classes. Most callers go through make_scheduler();
+// the classes are exposed so tests and ablation benches can construct
+// them with explicit options.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace banger::sched {
+
+/// Mapping Heuristic (El-Rewini & Lewis, JPDC 1990): dynamic ready list
+/// ordered by communication-aware b-level; earliest-finish processor with
+/// slot insertion; hop-based message delays over the machine topology.
+class MhScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "mh"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+/// Earliest Task First: among all (ready task, processor) pairs pick the
+/// globally earliest start; ties broken by higher static level.
+class EtfScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "etf"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+/// Highest Level First with Estimated Times: static (communication-free)
+/// level priority; earliest-start processor choice.
+class HlfetScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "hlfet"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+/// Dynamic Level Scheduling (Sih & Lee): maximises SL(t) - EST(t,p).
+class DlsScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "dls"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+/// Duplication Scheduling Heuristic (Kruatrachue & Lewis): MH-style list
+/// scheduling that copies critical parents into idle slots when doing so
+/// lets a task start earlier, trading redundant computation for
+/// communication.
+class DshScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "dsh"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+/// Grain packing via Sarkar-style edge zeroing: repeatedly merge the
+/// endpoints of heavy edges into clusters while the estimated parallel
+/// time does not grow, then map clusters to processors by load balancing
+/// and derive times with the constrained list scheduler.
+class ClusterScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "cluster"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+
+  /// Exposed for tests: the cluster id per task after edge zeroing.
+  [[nodiscard]] std::vector<int> clusters_of(const TaskGraph& graph,
+                                             const Machine& machine) const;
+};
+
+/// All tasks on processor 0 in priority order: the speedup denominator.
+class SerialScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "serial"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+/// Tasks dealt to processors round-robin in topological order.
+class RoundRobinScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "roundrobin"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+/// Uniformly random assignment (seeded); timing still feasible.
+class RandomScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "random"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+}  // namespace banger::sched

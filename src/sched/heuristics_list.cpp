@@ -1,0 +1,180 @@
+// List-scheduling heuristics: MH, ETF, HLFET, DLS. All share the
+// BuildState machinery; they differ only in how the next (task,
+// processor) pair is chosen.
+#include <algorithm>
+
+#include "sched/heuristics.hpp"
+#include "sched/list_core.hpp"
+#include "util/error.hpp"
+
+namespace banger::sched {
+
+namespace {
+
+/// Ready-list driver: repeatedly asks `pick` to choose among ready tasks,
+/// then asks `place` for the processor decision.
+template <typename Pick, typename Place>
+Schedule drive(const TaskGraph& graph, const Machine& machine,
+               const std::string& name, Pick&& pick, Place&& place) {
+  BuildState state(graph, machine);
+  std::vector<std::size_t> remaining(graph.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    remaining[t] = graph.in_edges(t).size();
+    if (remaining[t] == 0) ready.push_back(t);
+  }
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const std::size_t idx = pick(state, ready);
+    const TaskId t = ready[idx];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    const ProcChoice choice = place(state, t);
+    state.commit(t, choice.proc, choice.start, /*duplicate=*/false);
+    ++scheduled;
+
+    for (graph::EdgeId e : graph.out_edges(t)) {
+      const TaskId succ = graph.edge(e).to;
+      if (--remaining[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (scheduled != graph.num_tasks()) {
+    fail(ErrorCode::Schedule, "task graph contains a cycle");
+  }
+  return state.finish(name);
+}
+
+}  // namespace
+
+Schedule MhScheduler::run(const TaskGraph& graph,
+                          const Machine& machine) const {
+  const auto priority = comm_b_levels(graph, machine);
+  return drive(
+      graph, machine, name(),
+      [&](const BuildState&, const std::vector<TaskId>& ready) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < ready.size(); ++i) {
+          if (priority[ready[i]] > priority[ready[best]] ||
+              (priority[ready[i]] == priority[ready[best]] &&
+               ready[i] < ready[best])) {
+            best = i;
+          }
+        }
+        return best;
+      },
+      [&](const BuildState& state, TaskId t) {
+        return best_eft(state, t, opts_.insertion);
+      });
+}
+
+Schedule EtfScheduler::run(const TaskGraph& graph,
+                           const Machine& machine) const {
+  const auto level = comp_levels(graph, machine);
+  // ETF evaluates every (ready task, processor) pair each round; the pick
+  // step already determines the processor, so it is cached for place.
+  struct Choice {
+    ProcChoice pc;
+  };
+  auto cached = std::make_shared<Choice>();
+  return drive(
+      graph, machine, name(),
+      [&, cached](const BuildState& state, const std::vector<TaskId>& ready) {
+        std::size_t best_idx = 0;
+        ProcChoice best;
+        best.start = kInf;
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+          const TaskId t = ready[i];
+          for (ProcId p = 0; p < machine.num_procs(); ++p) {
+            const double dur = state.duration(t, p);
+            const double rt = state.data_ready(t, p);
+            const double start =
+                state.timeline().earliest_slot(p, rt, dur, opts_.insertion);
+            const bool better =
+                start < best.start - 1e-12 ||
+                (std::abs(start - best.start) <= 1e-12 &&
+                 level[t] > level[ready[best_idx]] + 1e-12) ||
+                (std::abs(start - best.start) <= 1e-12 &&
+                 std::abs(level[t] - level[ready[best_idx]]) <= 1e-12 &&
+                 t < ready[best_idx]);
+            if (better) {
+              best = {p, start, start + dur};
+              best_idx = i;
+            }
+          }
+        }
+        cached->pc = best;
+        return best_idx;
+      },
+      [cached](const BuildState&, TaskId) { return cached->pc; });
+}
+
+Schedule HlfetScheduler::run(const TaskGraph& graph,
+                             const Machine& machine) const {
+  const auto level = comp_levels(graph, machine);
+  return drive(
+      graph, machine, name(),
+      [&](const BuildState&, const std::vector<TaskId>& ready) {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < ready.size(); ++i) {
+          if (level[ready[i]] > level[ready[best]] ||
+              (level[ready[i]] == level[ready[best]] &&
+               ready[i] < ready[best])) {
+            best = i;
+          }
+        }
+        return best;
+      },
+      [&](const BuildState& state, TaskId t) {
+        // Classic HLFET: earliest *start* processor.
+        ProcChoice best;
+        best.start = kInf;
+        for (ProcId p = 0; p < machine.num_procs(); ++p) {
+          const double dur = state.duration(t, p);
+          const double rt = state.data_ready(t, p);
+          const double start =
+              state.timeline().earliest_slot(p, rt, dur, opts_.insertion);
+          if (start < best.start - 1e-12) {
+            best = {p, start, start + dur};
+          }
+        }
+        return best;
+      });
+}
+
+Schedule DlsScheduler::run(const TaskGraph& graph,
+                           const Machine& machine) const {
+  const auto level = comp_levels(graph, machine);
+  struct Choice {
+    ProcChoice pc;
+  };
+  auto cached = std::make_shared<Choice>();
+  return drive(
+      graph, machine, name(),
+      [&, cached](const BuildState& state, const std::vector<TaskId>& ready) {
+        std::size_t best_idx = 0;
+        ProcChoice best_pc;
+        double best_dl = -kInf;
+        for (std::size_t i = 0; i < ready.size(); ++i) {
+          const TaskId t = ready[i];
+          for (ProcId p = 0; p < machine.num_procs(); ++p) {
+            const double dur = state.duration(t, p);
+            const double rt = state.data_ready(t, p);
+            const double start =
+                state.timeline().earliest_slot(p, rt, dur, opts_.insertion);
+            const double dl = level[t] - start;
+            if (dl > best_dl + 1e-12 ||
+                (std::abs(dl - best_dl) <= 1e-12 && t < ready[best_idx])) {
+              best_dl = dl;
+              best_pc = {p, start, start + dur};
+              best_idx = i;
+            }
+          }
+        }
+        cached->pc = best_pc;
+        return best_idx;
+      },
+      [cached](const BuildState&, TaskId) { return cached->pc; });
+}
+
+}  // namespace banger::sched

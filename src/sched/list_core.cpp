@@ -1,0 +1,234 @@
+#include "sched/list_core.hpp"
+
+#include <algorithm>
+
+#include "graph/analysis.hpp"
+#include "util/error.hpp"
+
+namespace banger::sched {
+
+Timeline::Timeline(int num_procs) {
+  BANGER_ASSERT(num_procs > 0, "timeline needs processors");
+  lanes_.resize(static_cast<std::size_t>(num_procs));
+}
+
+double Timeline::earliest_slot(ProcId proc, double ready, double duration,
+                               bool insertion) const {
+  const auto& lane = lanes_[static_cast<std::size_t>(proc)];
+  if (!insertion) {
+    const double tail = lane.empty() ? 0.0 : lane.back().second;
+    return std::max(ready, tail);
+  }
+  double candidate = std::max(0.0, ready);
+  for (const auto& [s, f] : lane) {
+    if (candidate + duration <= s + 1e-12) {
+      return candidate;  // fits in the gap before this interval
+    }
+    candidate = std::max(candidate, f);
+  }
+  return candidate;
+}
+
+void Timeline::occupy(ProcId proc, double start, double duration) {
+  auto& lane = lanes_[static_cast<std::size_t>(proc)];
+  const std::pair<double, double> iv{start, start + duration};
+  auto it = std::lower_bound(lane.begin(), lane.end(), iv);
+  // Zero-duration tasks may legitimately share a boundary instant.
+  if (it != lane.begin()) {
+    BANGER_ASSERT(std::prev(it)->second <= start + 1e-9,
+                  "overlapping occupation (before)");
+  }
+  if (it != lane.end()) {
+    BANGER_ASSERT(iv.second <= it->first + 1e-9,
+                  "overlapping occupation (after)");
+  }
+  lane.insert(it, iv);
+}
+
+double Timeline::avail(ProcId proc) const {
+  const auto& lane = lanes_[static_cast<std::size_t>(proc)];
+  return lane.empty() ? 0.0 : lane.back().second;
+}
+
+const std::vector<std::pair<double, double>>& Timeline::lane(
+    ProcId proc) const {
+  return lanes_[static_cast<std::size_t>(proc)];
+}
+
+BuildState::BuildState(const TaskGraph& graph, const Machine& machine)
+    : graph_(graph),
+      machine_(machine),
+      timeline_(machine.num_procs()),
+      copies_(graph.num_tasks()) {}
+
+double BuildState::edge_arrival(graph::EdgeId e, ProcId proc,
+                                const Copy** winner) const {
+  const graph::Edge& edge = graph_.edge(e);
+  BANGER_ASSERT(placed(edge.from), "predecessor not yet placed");
+  double best = kInf;
+  const Copy* best_copy = nullptr;
+  for (const Copy& c : copies_[edge.from]) {
+    const double arrival =
+        c.finish + machine_.comm_time(edge.bytes, c.proc, proc);
+    if (arrival < best) {
+      best = arrival;
+      best_copy = &c;
+    }
+  }
+  if (winner != nullptr) *winner = best_copy;
+  return best;
+}
+
+double BuildState::data_ready(TaskId t, ProcId proc,
+                              TaskId* critical_parent) const {
+  double ready = 0.0;
+  TaskId critical = graph::kNoTask;
+  for (graph::EdgeId e : graph_.in_edges(t)) {
+    const double arrival = edge_arrival(e, proc);
+    if (arrival > ready) {
+      ready = arrival;
+      critical = graph_.edge(e).from;
+    }
+  }
+  if (critical_parent != nullptr) *critical_parent = critical;
+  return ready;
+}
+
+void BuildState::commit(TaskId t, ProcId proc, double start, bool duplicate) {
+  const double dur = duration(t, proc);
+  timeline_.occupy(proc, start, dur);
+  copies_[t].push_back({proc, start, start + dur});
+  placements_.push_back({t, proc, start, start + dur, duplicate});
+}
+
+Schedule BuildState::finish(const std::string& scheduler_name) const {
+  Schedule schedule(machine_.num_procs(), scheduler_name);
+  for (const Placement& p : placements_) {
+    schedule.place(p.task, p.proc, p.start, p.finish, p.duplicate);
+  }
+  // Reconstruct the winning message for every edge into every primary
+  // copy, for Gantt displays and the simulator.
+  for (const Placement& p : placements_) {
+    if (p.duplicate) continue;
+    for (graph::EdgeId e : graph_.in_edges(p.task)) {
+      const Copy* winner = nullptr;
+      (void)edge_arrival(e, p.proc, &winner);
+      BANGER_ASSERT(winner != nullptr, "edge without producer copy");
+      if (winner->proc != p.proc) {
+        Message m;
+        m.edge = e;
+        m.from = winner->proc;
+        m.to = p.proc;
+        m.send = winner->finish;
+        m.arrive = winner->finish + machine_.comm_time(graph_.edge(e).bytes,
+                                                       winner->proc, p.proc);
+        schedule.add_message(m);
+      }
+    }
+  }
+  return schedule;
+}
+
+ProcChoice best_eft(const BuildState& state, TaskId t, bool insertion) {
+  ProcChoice best;
+  best.finish = kInf;
+  for (ProcId p = 0; p < state.machine().num_procs(); ++p) {
+    const double ready = state.data_ready(t, p);
+    const double dur = state.duration(t, p);
+    const double start =
+        state.timeline().earliest_slot(p, ready, dur, insertion);
+    const double finish = start + dur;
+    if (finish < best.finish - 1e-12) {
+      best = {p, start, finish};
+    }
+  }
+  BANGER_ASSERT(best.proc >= 0, "no processor chosen");
+  return best;
+}
+
+std::vector<double> comm_b_levels(const TaskGraph& graph,
+                                  const Machine& machine) {
+  graph::CostModel cost;
+  cost.task_time.reserve(graph.num_tasks());
+  for (const graph::Task& t : graph.tasks()) {
+    // Priority uses nominal (factor-1) speed; per-processor factors are
+    // handled at placement time.
+    cost.task_time.push_back(machine.params().process_startup +
+                             t.work / machine.params().processor_speed);
+  }
+  cost.edge_time.reserve(graph.num_edges());
+  for (const graph::Edge& e : graph.edges()) {
+    cost.edge_time.push_back(machine.comm_time_hops(e.bytes, 1));
+  }
+  return b_levels(graph, cost);
+}
+
+std::vector<double> comp_levels(const TaskGraph& graph,
+                                const Machine& machine) {
+  graph::CostModel cost;
+  cost.task_time.reserve(graph.num_tasks());
+  for (const graph::Task& t : graph.tasks()) {
+    cost.task_time.push_back(machine.params().process_startup +
+                             t.work / machine.params().processor_speed);
+  }
+  cost.edge_time.assign(graph.num_edges(), 0.0);
+  return b_levels(graph, cost);
+}
+
+Schedule schedule_fixed_assignment(const TaskGraph& graph,
+                                   const Machine& machine,
+                                   const std::vector<ProcId>& assignment,
+                                   bool insertion,
+                                   const std::string& scheduler_name) {
+  BANGER_ASSERT(assignment.size() == graph.num_tasks(),
+                "assignment arity mismatch");
+  for (ProcId p : assignment) {
+    if (p < 0 || p >= machine.num_procs()) {
+      fail(ErrorCode::Schedule, "assignment references processor " +
+                                    std::to_string(p) + " of " +
+                                    std::to_string(machine.num_procs()));
+    }
+  }
+
+  BuildState state(graph, machine);
+  const auto priority = comm_b_levels(graph, machine);
+
+  // Dynamic ready list: among ready tasks pick the highest priority and
+  // place it on its assigned processor at the earliest feasible time.
+  std::vector<std::size_t> remaining_preds(graph.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    remaining_preds[t] = graph.in_edges(t).size();
+    if (remaining_preds[t] == 0) ready.push_back(t);
+  }
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    auto it = std::max_element(
+        ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+          if (priority[a] != priority[b]) return priority[a] < priority[b];
+          return a > b;  // prefer the smaller id
+        });
+    const TaskId t = *it;
+    ready.erase(it);
+
+    const ProcId p = assignment[t];
+    const double dur = state.duration(t, p);
+    const double ready_time = state.data_ready(t, p);
+    const double start =
+        state.timeline().earliest_slot(p, ready_time, dur, insertion);
+    state.commit(t, p, start, /*duplicate=*/false);
+    ++scheduled;
+
+    for (graph::EdgeId e : graph.out_edges(t)) {
+      const TaskId succ = graph.edge(e).to;
+      if (--remaining_preds[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (scheduled != graph.num_tasks()) {
+    fail(ErrorCode::Schedule, "task graph contains a cycle");
+  }
+  return state.finish(scheduler_name);
+}
+
+}  // namespace banger::sched

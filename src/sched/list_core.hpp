@@ -1,0 +1,131 @@
+// banger/sched/list_core.hpp
+//
+// Shared machinery for every list-scheduling heuristic: processor
+// timelines with insertion-based gap search, data-ready-time computation
+// over already-placed task copies, and the constrained scheduler that
+// turns a fixed task->processor assignment into a feasible timed
+// schedule. Exposed as a real header (not an anonymous namespace) so the
+// tests can exercise the machinery directly.
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace banger::sched {
+
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Occupied intervals per processor, kept sorted by start time.
+class Timeline {
+ public:
+  explicit Timeline(int num_procs);
+
+  /// Earliest time >= `ready` at which an uninterrupted slot of length
+  /// `duration` exists on `proc`. With `insertion` false, only the region
+  /// after the last occupied interval is considered.
+  [[nodiscard]] double earliest_slot(ProcId proc, double ready,
+                                     double duration, bool insertion) const;
+
+  /// Marks [start, start+duration) occupied on `proc`. The caller must
+  /// have obtained `start` from earliest_slot (overlap is a logic error).
+  void occupy(ProcId proc, double start, double duration);
+
+  /// End of the last occupied interval (0 when idle).
+  [[nodiscard]] double avail(ProcId proc) const;
+
+  [[nodiscard]] int num_procs() const noexcept {
+    return static_cast<int>(lanes_.size());
+  }
+
+  [[nodiscard]] const std::vector<std::pair<double, double>>& lane(
+      ProcId proc) const;
+
+ private:
+  std::vector<std::vector<std::pair<double, double>>> lanes_;
+};
+
+/// One placed copy of a task during scheduling.
+struct Copy {
+  ProcId proc = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+/// Incremental schedule state shared by the heuristics: the timeline plus
+/// all copies placed so far, with data-ready-time queries.
+class BuildState {
+ public:
+  BuildState(const TaskGraph& graph, const Machine& machine);
+
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return graph_; }
+  [[nodiscard]] const Machine& machine() const noexcept { return machine_; }
+  [[nodiscard]] Timeline& timeline() noexcept { return timeline_; }
+  [[nodiscard]] const Timeline& timeline() const noexcept { return timeline_; }
+
+  [[nodiscard]] bool placed(TaskId t) const {
+    return !copies_[t].empty();
+  }
+  [[nodiscard]] const std::vector<Copy>& copies(TaskId t) const {
+    return copies_[t];
+  }
+
+  /// Earliest time all of t's inputs can be present on `proc`, given the
+  /// currently placed copies of its predecessors (which must all be
+  /// placed). Optionally reports which predecessor constrains the result
+  /// (the "critical parent") and that parent's best-arrival time.
+  [[nodiscard]] double data_ready(TaskId t, ProcId proc,
+                                  TaskId* critical_parent = nullptr) const;
+
+  /// Arrival time on `proc` of the edge's data from the best copy of the
+  /// producer; also reports which copy wins.
+  [[nodiscard]] double edge_arrival(graph::EdgeId e, ProcId proc,
+                                    const Copy** winner = nullptr) const;
+
+  /// Places a copy and occupies the timeline.
+  void commit(TaskId t, ProcId proc, double start, bool duplicate);
+
+  /// Finalises: emits the Schedule (placements + inferred messages).
+  [[nodiscard]] Schedule finish(const std::string& scheduler_name) const;
+
+  /// Task duration on a processor.
+  [[nodiscard]] double duration(TaskId t, ProcId proc) const {
+    return machine_.task_time(graph_.task(t).work, proc);
+  }
+
+ private:
+  const TaskGraph& graph_;
+  const Machine& machine_;
+  Timeline timeline_;
+  std::vector<std::vector<Copy>> copies_;
+  std::vector<Placement> placements_;  // in commit order
+};
+
+/// Computes the earliest-finish-time processor for task `t` over all
+/// processors. Returns the chosen processor; fills start/finish.
+struct ProcChoice {
+  ProcId proc = -1;
+  double start = 0.0;
+  double finish = 0.0;
+};
+ProcChoice best_eft(const BuildState& state, TaskId t, bool insertion);
+
+/// Builds a feasible timed schedule from a fixed task->processor map,
+/// releasing tasks in communication-aware b-level order. Used by the
+/// cluster/round-robin/random/serial strategies.
+Schedule schedule_fixed_assignment(const TaskGraph& graph,
+                                   const Machine& machine,
+                                   const std::vector<ProcId>& assignment,
+                                   bool insertion,
+                                   const std::string& scheduler_name);
+
+/// Communication-aware b-levels under this machine's cost model with
+/// one-hop communication estimates (the standard static priority).
+std::vector<double> comm_b_levels(const TaskGraph& graph,
+                                  const Machine& machine);
+/// Communication-free static levels (SL).
+std::vector<double> comp_levels(const TaskGraph& graph,
+                                const Machine& machine);
+
+}  // namespace banger::sched

@@ -1,0 +1,268 @@
+#include "sched/optimal.hpp"
+
+#include <algorithm>
+
+#include "graph/analysis.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/list_core.hpp"
+#include "util/error.hpp"
+
+namespace banger::sched {
+
+namespace {
+
+/// Depth-first branch and bound. For a fixed (topological order,
+/// assignment) pair, starting every task at
+/// max(processor available, data ready) is dominant, so enumerating
+/// those pairs with pruning is exact.
+class BnB {
+ public:
+  BnB(const TaskGraph& graph, const Machine& machine,
+      const OptimalScheduler::Limits& limits)
+      : graph_(graph),
+        machine_(machine),
+        limits_(limits),
+        n_(graph.num_tasks()),
+        procs_(machine.num_procs()),
+        finish_(n_, 0.0),
+        proc_of_(n_, -1),
+        remaining_preds_(n_, 0),
+        avail_(static_cast<std::size_t>(procs_), 0.0) {
+    // Communication-free levels for the critical-path lower bound.
+    graph::CostModel cost;
+    cost.task_time.reserve(n_);
+    for (const graph::Task& t : graph.tasks()) {
+      cost.task_time.push_back(machine.params().process_startup +
+                               t.work / machine.params().processor_speed);
+    }
+    cost.edge_time.assign(graph.num_edges(), 0.0);
+    level0_ = b_levels(graph, cost);
+
+    for (TaskId t = 0; t < n_; ++t) {
+      remaining_preds_[t] = graph.in_edges(t).size();
+    }
+    remaining_work_ = 0.0;
+    for (const graph::Task& t : graph.tasks()) {
+      remaining_work_ += machine.params().process_startup +
+                         t.work / machine.params().processor_speed;
+    }
+    symmetric_ = machine.topology().kind() ==
+                     machine::TopologyKind::FullyConnected &&
+                 machine.homogeneous();
+  }
+
+  Schedule solve(std::uint64_t* nodes_out) {
+    // Incumbent: the MH heuristic (already near-optimal on most inputs).
+    best_schedule_ = MhScheduler().run(graph_, machine_);
+    best_ = best_schedule_.makespan();
+
+    decisions_.reserve(n_);
+    dfs(0, 0.0);
+    if (nodes_out != nullptr) *nodes_out = nodes_;
+    return best_schedule_;
+  }
+
+ private:
+  struct Decision {
+    TaskId task;
+    machine::ProcId proc;
+    double start;
+  };
+
+  [[nodiscard]] double data_ready(TaskId t, machine::ProcId p) const {
+    double ready = 0.0;
+    for (graph::EdgeId e : graph_.in_edges(t)) {
+      const graph::Edge& edge = graph_.edge(e);
+      ready = std::max(ready,
+                       finish_[edge.from] +
+                           machine_.comm_time(edge.bytes, proc_of_[edge.from],
+                                              p));
+    }
+    return ready;
+  }
+
+  /// Lower bound on the completion of any extension of the current
+  /// partial schedule.
+  [[nodiscard]] double lower_bound(double makespan_so_far) const {
+    double lb = makespan_so_far;
+    // Critical path: earliest conceivable start of each unscheduled task
+    // (scheduled preds' finishes, communication optimistically free),
+    // propagated topologically, plus its comm-free downward level.
+    // A cheap variant: for tasks whose preds are all scheduled, the
+    // bound is tight; deeper tasks inherit through level0_.
+    for (TaskId t = 0; t < n_; ++t) {
+      if (proc_of_[t] >= 0) continue;
+      double est = 0.0;
+      for (graph::EdgeId e : graph_.in_edges(t)) {
+        const TaskId u = graph_.edge(e).from;
+        if (proc_of_[u] >= 0) est = std::max(est, finish_[u]);
+      }
+      lb = std::max(lb, est + level0_[t]);
+    }
+    // Load: remaining work cannot beat perfect balance over current
+    // availability.
+    double avail_sum = 0.0;
+    for (double a : avail_) avail_sum += a;
+    lb = std::max(lb, (avail_sum + remaining_work_) /
+                          static_cast<double>(procs_));
+    return lb;
+  }
+
+  void dfs(std::size_t scheduled, double makespan_so_far) {
+    if (++nodes_ > limits_.max_nodes) {
+      fail(ErrorCode::Limit, "optimal scheduler node budget exhausted");
+    }
+    if (scheduled == n_) {
+      if (makespan_so_far < best_ - 1e-12) {
+        best_ = makespan_so_far;
+        Schedule s(procs_, "optimal");
+        for (const Decision& d : decisions_) {
+          s.place(d.task, d.proc, d.start,
+                  d.start + machine_.task_time(graph_.task(d.task).work,
+                                               d.proc));
+        }
+        best_schedule_ = std::move(s);
+      }
+      return;
+    }
+    if (lower_bound(makespan_so_far) >= best_ - 1e-12) return;
+
+    // Ready tasks, highest level first (find good incumbents early).
+    std::vector<TaskId> ready;
+    for (TaskId t = 0; t < n_; ++t) {
+      if (proc_of_[t] < 0 && remaining_preds_[t] == 0) ready.push_back(t);
+    }
+    std::sort(ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+      return level0_[a] > level0_[b];
+    });
+
+    for (TaskId t : ready) {
+      bool tried_empty = false;
+      for (machine::ProcId p = 0; p < procs_; ++p) {
+        const bool empty = avail_[static_cast<std::size_t>(p)] == 0.0;
+        if (symmetric_ && empty) {
+          // All empty processors of a symmetric machine are equivalent.
+          if (tried_empty) continue;
+          tried_empty = true;
+        }
+        const double start =
+            std::max(avail_[static_cast<std::size_t>(p)], data_ready(t, p));
+        const double dur = machine_.task_time(graph_.task(t).work, p);
+        const double finish = start + dur;
+        if (finish >= best_ - 1e-12 && finish > makespan_so_far) {
+          // This branch cannot strictly improve; its extensions only grow.
+          if (finish + 0 >= best_ - 1e-12) continue;
+        }
+
+        // apply
+        const double saved_avail = avail_[static_cast<std::size_t>(p)];
+        proc_of_[t] = p;
+        finish_[t] = finish;
+        avail_[static_cast<std::size_t>(p)] = finish;
+        remaining_work_ -= dur;
+        for (graph::EdgeId e : graph_.out_edges(t)) {
+          --remaining_preds_[graph_.edge(e).to];
+        }
+        decisions_.push_back({t, p, start});
+
+        dfs(scheduled + 1, std::max(makespan_so_far, finish));
+
+        // undo
+        decisions_.pop_back();
+        for (graph::EdgeId e : graph_.out_edges(t)) {
+          ++remaining_preds_[graph_.edge(e).to];
+        }
+        remaining_work_ += dur;
+        avail_[static_cast<std::size_t>(p)] = saved_avail;
+        finish_[t] = 0.0;
+        proc_of_[t] = -1;
+      }
+    }
+  }
+
+  const TaskGraph& graph_;
+  const Machine& machine_;
+  OptimalScheduler::Limits limits_;
+  std::size_t n_;
+  machine::ProcId procs_;
+  std::vector<double> level0_;
+  std::vector<double> finish_;
+  std::vector<machine::ProcId> proc_of_;
+  std::vector<std::size_t> remaining_preds_;
+  std::vector<double> avail_;
+  std::vector<Decision> decisions_;
+  double remaining_work_ = 0.0;
+  bool symmetric_ = false;
+  std::uint64_t nodes_ = 0;
+  double best_ = 0.0;
+  Schedule best_schedule_;
+};
+
+}  // namespace
+
+Schedule OptimalScheduler::run(const TaskGraph& graph,
+                               const Machine& machine) const {
+  if (graph.num_tasks() > limits_.max_tasks) {
+    fail(ErrorCode::Limit,
+         "optimal scheduler limited to " + std::to_string(limits_.max_tasks) +
+             " tasks, got " + std::to_string(graph.num_tasks()));
+  }
+  if (graph.num_tasks() == 0) {
+    return Schedule(machine.num_procs(), "optimal");
+  }
+  BnB search(graph, machine, limits_);
+  Schedule s = search.solve(&nodes_explored_);
+  // The incumbent may have been the MH schedule; rebrand consistently.
+  if (s.scheduler_name() != "optimal") {
+    Schedule renamed(machine.num_procs(), "optimal");
+    for (const Placement& p : s.placements()) {
+      renamed.place(p.task, p.proc, p.start, p.finish, p.duplicate);
+    }
+    return renamed;
+  }
+  return s;
+}
+
+Schedule McpScheduler::run(const TaskGraph& graph,
+                           const Machine& machine) const {
+  // ALAP = critical path length - communication-aware b-level; smaller
+  // ALAP (less slack) goes first.
+  const auto bl = comm_b_levels(graph, machine);
+  const double cp = graph.num_tasks() == 0
+                        ? 0.0
+                        : *std::max_element(bl.begin(), bl.end());
+  std::vector<double> alap(graph.num_tasks());
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) alap[t] = cp - bl[t];
+
+  BuildState state(graph, machine);
+  std::vector<std::size_t> remaining(graph.num_tasks());
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    remaining[t] = graph.in_edges(t).size();
+    if (remaining[t] == 0) ready.push_back(t);
+  }
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    auto it = std::min_element(ready.begin(), ready.end(),
+                               [&](TaskId a, TaskId b) {
+                                 if (alap[a] != alap[b])
+                                   return alap[a] < alap[b];
+                                 return a < b;
+                               });
+    const TaskId t = *it;
+    ready.erase(it);
+    const ProcChoice choice = best_eft(state, t, opts_.insertion);
+    state.commit(t, choice.proc, choice.start, false);
+    ++scheduled;
+    for (graph::EdgeId e : graph.out_edges(t)) {
+      const TaskId succ = graph.edge(e).to;
+      if (--remaining[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (scheduled != graph.num_tasks()) {
+    fail(ErrorCode::Schedule, "task graph contains a cycle");
+  }
+  return state.finish(name());
+}
+
+}  // namespace banger::sched

@@ -1,0 +1,57 @@
+// banger/sched/optimal.hpp
+//
+// Exhaustive branch-and-bound scheduler for *small* instances. Useless
+// in production (exponential), invaluable for evaluation: it gives the
+// true optimum against which ABL5 measures every heuristic's gap —
+// turning the paper's "optimal scheduling heuristics" phrasing into a
+// measurable claim.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace banger::sched {
+
+/// Branch and bound over (task order x processor) decisions with
+/// critical-path lower bounds. Optimal among schedules *without task
+/// duplication* — DSH can legitimately beat it on communication-heavy
+/// instances by replicating work. Throws Error{Limit} when the instance
+/// exceeds `max_tasks` or the node budget, so callers cannot hang the
+/// environment by accident.
+class OptimalScheduler final : public Scheduler {
+ public:
+  struct Limits {
+    std::size_t max_tasks = 14;
+    /// Search nodes explored before giving up.
+    std::uint64_t max_nodes = 20'000'000;
+  };
+
+  explicit OptimalScheduler(SchedulerOptions opts = {}) : Scheduler(opts) {}
+  OptimalScheduler(Limits limits, SchedulerOptions opts)
+      : Scheduler(opts), limits_(limits) {}
+
+  [[nodiscard]] std::string name() const override { return "optimal"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+
+  /// Number of branch-and-bound nodes the last run() explored.
+  [[nodiscard]] std::uint64_t nodes_explored() const noexcept {
+    return nodes_explored_;
+  }
+
+ private:
+  Limits limits_;
+  mutable std::uint64_t nodes_explored_ = 0;
+};
+
+/// Modified Critical Path (MCP, Wu & Gajski): static priority by ALAP
+/// (as-late-as-possible) start time — tasks whose latest feasible start
+/// is earliest go first; earliest-finish processor with insertion.
+class McpScheduler final : public Scheduler {
+ public:
+  using Scheduler::Scheduler;
+  [[nodiscard]] std::string name() const override { return "mcp"; }
+  [[nodiscard]] Schedule run(const TaskGraph& graph,
+                             const Machine& machine) const override;
+};
+
+}  // namespace banger::sched

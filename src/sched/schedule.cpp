@@ -1,0 +1,192 @@
+#include "sched/schedule.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.hpp"
+
+namespace banger::sched {
+
+Schedule::Schedule(int num_procs, std::string scheduler_name)
+    : num_procs_(num_procs), scheduler_name_(std::move(scheduler_name)) {
+  if (num_procs <= 0) {
+    fail(ErrorCode::Schedule, "schedule needs at least one processor");
+  }
+}
+
+void Schedule::place(TaskId task, ProcId proc, double start, double finish,
+                     bool duplicate) {
+  if (proc < 0 || proc >= num_procs_) {
+    fail(ErrorCode::Schedule,
+         "placement on processor " + std::to_string(proc) + " of " +
+             std::to_string(num_procs_));
+  }
+  if (!(start >= 0) || !(finish >= start)) {
+    fail(ErrorCode::Schedule, "malformed placement interval [" +
+                                  std::to_string(start) + "," +
+                                  std::to_string(finish) + "]");
+  }
+  placements_.push_back({task, proc, start, finish, duplicate});
+}
+
+std::optional<Placement> Schedule::placement_of(TaskId task) const {
+  for (const Placement& p : placements_) {
+    if (p.task == task && !p.duplicate) return p;
+  }
+  return std::nullopt;
+}
+
+std::vector<Placement> Schedule::copies_of(TaskId task) const {
+  std::vector<Placement> out;
+  for (const Placement& p : placements_)
+    if (p.task == task) out.push_back(p);
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Placement& a, const Placement& b) {
+                     return a.duplicate < b.duplicate;
+                   });
+  return out;
+}
+
+std::vector<Placement> Schedule::lane(ProcId proc) const {
+  std::vector<Placement> out;
+  for (const Placement& p : placements_)
+    if (p.proc == proc) out.push_back(p);
+  std::sort(out.begin(), out.end(), [](const Placement& a, const Placement& b) {
+    return a.start < b.start;
+  });
+  return out;
+}
+
+double Schedule::makespan() const noexcept {
+  double m = 0.0;
+  for (const Placement& p : placements_) m = std::max(m, p.finish);
+  return m;
+}
+
+double Schedule::busy(ProcId proc) const noexcept {
+  double b = 0.0;
+  for (const Placement& p : placements_)
+    if (p.proc == proc) b += p.length();
+  return b;
+}
+
+double Schedule::utilization() const noexcept {
+  const double span = makespan();
+  if (span <= 0 || num_procs_ == 0) return 0.0;
+  double total = 0.0;
+  for (const Placement& p : placements_) total += p.length();
+  return total / (span * num_procs_);
+}
+
+int Schedule::procs_used() const noexcept {
+  std::vector<bool> used(static_cast<std::size_t>(num_procs_), false);
+  for (const Placement& p : placements_)
+    used[static_cast<std::size_t>(p.proc)] = true;
+  return static_cast<int>(std::count(used.begin(), used.end(), true));
+}
+
+int Schedule::num_duplicates() const noexcept {
+  return static_cast<int>(
+      std::count_if(placements_.begin(), placements_.end(),
+                    [](const Placement& p) { return p.duplicate; }));
+}
+
+void Schedule::validate(const TaskGraph& graph, const Machine& machine,
+                        double tolerance) const {
+  if (num_procs_ != machine.num_procs()) {
+    fail(ErrorCode::Schedule, "schedule has " + std::to_string(num_procs_) +
+                                  " processors, machine has " +
+                                  std::to_string(machine.num_procs()));
+  }
+
+  // Exactly one primary copy per task.
+  std::vector<int> primaries(graph.num_tasks(), 0);
+  for (const Placement& p : placements_) {
+    if (p.task >= graph.num_tasks()) {
+      fail(ErrorCode::Schedule, "placement of unknown task id " +
+                                    std::to_string(p.task));
+    }
+    if (!p.duplicate) ++primaries[p.task];
+  }
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    if (primaries[t] != 1) {
+      fail(ErrorCode::Schedule, "task `" + graph.task(t).name + "` has " +
+                                    std::to_string(primaries[t]) +
+                                    " primary copies (expected 1)");
+    }
+  }
+
+  // No overlap within a lane.
+  for (ProcId p = 0; p < num_procs_; ++p) {
+    auto tasks = lane(p);
+    for (std::size_t i = 1; i < tasks.size(); ++i) {
+      if (tasks[i].start + tolerance < tasks[i - 1].finish) {
+        fail(ErrorCode::Schedule,
+             "tasks `" + graph.task(tasks[i - 1].task).name + "` and `" +
+                 graph.task(tasks[i].task).name + "` overlap on processor " +
+                 std::to_string(p));
+      }
+    }
+  }
+
+  // Durations consistent with the machine (primaries and duplicates both
+  // execute the full task).
+  for (const Placement& p : placements_) {
+    const double want = machine.task_time(graph.task(p.task).work, p.proc);
+    if (std::abs(p.length() - want) > tolerance + 1e-9 * std::abs(want)) {
+      fail(ErrorCode::Schedule,
+           "task `" + graph.task(p.task).name + "` runs for " +
+               std::to_string(p.length()) + "s, machine predicts " +
+               std::to_string(want) + "s");
+    }
+  }
+
+  // Every consumer copy must have all inputs arrive on time from *some*
+  // copy of each producer.
+  for (const graph::Edge& e : graph.edges()) {
+    const auto producers = copies_of(e.from);
+    for (const Placement& consumer : copies_of(e.to)) {
+      bool satisfied = false;
+      for (const Placement& producer : producers) {
+        const double arrival =
+            producer.finish +
+            machine.comm_time(e.bytes, producer.proc, consumer.proc);
+        if (arrival <= consumer.start + tolerance) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        fail(ErrorCode::Schedule,
+             "data for edge `" + graph.task(e.from).name + "` -> `" +
+                 graph.task(e.to).name + "` cannot arrive by start of the " +
+                 (consumer.duplicate ? "duplicate" : "primary") + " copy at t=" +
+                 std::to_string(consumer.start));
+      }
+    }
+  }
+}
+
+ScheduleMetrics compute_metrics(const Schedule& schedule,
+                                const TaskGraph& graph,
+                                const Machine& machine) {
+  ScheduleMetrics m;
+  m.makespan = schedule.makespan();
+  // Serial reference: all tasks back-to-back on one nominal processor
+  // (speed factor 1), no communication.
+  double serial = 0.0;
+  for (const graph::Task& t : graph.tasks()) {
+    serial += machine.params().process_startup +
+              t.work / machine.params().processor_speed;
+  }
+  m.serial_time = serial;
+  m.speedup = m.makespan > 0 ? serial / m.makespan : 0.0;
+  m.procs = schedule.num_procs();
+  m.procs_used = schedule.procs_used();
+  m.efficiency = m.procs > 0 ? m.speedup / m.procs : 0.0;
+  m.utilization = schedule.utilization();
+  m.duplicates = schedule.num_duplicates();
+  return m;
+}
+
+}  // namespace banger::sched

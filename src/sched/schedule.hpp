@@ -1,0 +1,121 @@
+// banger/sched/schedule.hpp
+//
+// The Gantt-chart data model (paper Fig. 3): which task copy runs on
+// which processor over which time interval, plus derived metrics
+// (makespan, speedup, efficiency, utilisation) and a feasibility
+// validator that re-checks every precedence constraint under the machine
+// communication model.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "machine/machine.hpp"
+
+namespace banger::sched {
+
+using graph::TaskGraph;
+using graph::TaskId;
+using machine::Machine;
+using machine::ProcId;
+
+/// One task copy on one processor. Duplication heuristics may place
+/// several copies of the same task; exactly one is the primary copy.
+struct Placement {
+  TaskId task = graph::kNoTask;
+  ProcId proc = -1;
+  double start = 0.0;
+  double finish = 0.0;
+  bool duplicate = false;
+
+  [[nodiscard]] double length() const noexcept { return finish - start; }
+};
+
+/// A message implied by the schedule, retained for visualisation and for
+/// seeding the discrete-event simulator.
+struct Message {
+  graph::EdgeId edge = 0;
+  ProcId from = -1;
+  ProcId to = -1;
+  double send = 0.0;
+  double arrive = 0.0;
+};
+
+class Schedule {
+ public:
+  Schedule() = default;
+  explicit Schedule(int num_procs, std::string scheduler_name = {});
+
+  [[nodiscard]] int num_procs() const noexcept { return num_procs_; }
+  [[nodiscard]] const std::string& scheduler_name() const noexcept {
+    return scheduler_name_;
+  }
+
+  /// Records a task copy. Throws Error{Schedule} on malformed intervals.
+  void place(TaskId task, ProcId proc, double start, double finish,
+             bool duplicate = false);
+  void add_message(Message m) { messages_.push_back(m); }
+
+  [[nodiscard]] const std::vector<Placement>& placements() const noexcept {
+    return placements_;
+  }
+  [[nodiscard]] const std::vector<Message>& messages() const noexcept {
+    return messages_;
+  }
+
+  /// Primary placement of a task; nullopt if the task was never placed.
+  [[nodiscard]] std::optional<Placement> placement_of(TaskId task) const;
+  /// All copies of a task (primary first).
+  [[nodiscard]] std::vector<Placement> copies_of(TaskId task) const;
+
+  /// Placements on one processor, sorted by start time.
+  [[nodiscard]] std::vector<Placement> lane(ProcId proc) const;
+
+  /// Latest finish over all placements (0 for an empty schedule).
+  [[nodiscard]] double makespan() const noexcept;
+  /// Busy time on a processor.
+  [[nodiscard]] double busy(ProcId proc) const noexcept;
+  /// Mean busy fraction = sum busy / (P * makespan).
+  [[nodiscard]] double utilization() const noexcept;
+  /// Number of processors that actually run something.
+  [[nodiscard]] int procs_used() const noexcept;
+  /// Total number of placements that are duplicates.
+  [[nodiscard]] int num_duplicates() const noexcept;
+
+  /// Full feasibility check against the graph and machine:
+  ///   - every task has exactly one primary copy;
+  ///   - no two copies overlap on the same processor;
+  ///   - for every edge (u,v) and every copy of v, some copy of u
+  ///     finishes early enough that its data arrives (comm model applied)
+  ///     by v's start.
+  /// Throws Error{Schedule} describing the first violation.
+  void validate(const TaskGraph& graph, const Machine& machine,
+                double tolerance = 1e-9) const;
+
+ private:
+  int num_procs_ = 0;
+  std::string scheduler_name_;
+  std::vector<Placement> placements_;
+  std::vector<Message> messages_;
+};
+
+/// Speedup/efficiency summary of a schedule relative to the serial time
+/// of the same graph on one (nominal-speed) processor of the machine.
+struct ScheduleMetrics {
+  double makespan = 0.0;
+  double serial_time = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;   ///< speedup / processors
+  double utilization = 0.0;
+  int procs = 0;
+  int procs_used = 0;
+  int duplicates = 0;
+};
+
+ScheduleMetrics compute_metrics(const Schedule& schedule,
+                                const TaskGraph& graph,
+                                const Machine& machine);
+
+}  // namespace banger::sched

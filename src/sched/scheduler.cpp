@@ -1,0 +1,41 @@
+#include "sched/scheduler.hpp"
+
+#include "sched/heuristics.hpp"
+#include "sched/anneal.hpp"
+#include "sched/optimal.hpp"
+#include "util/error.hpp"
+
+namespace banger::sched {
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          SchedulerOptions opts) {
+  if (name == "mh") return std::make_unique<MhScheduler>(opts);
+  if (name == "mcp") return std::make_unique<McpScheduler>(opts);
+  if (name == "etf") return std::make_unique<EtfScheduler>(opts);
+  if (name == "hlfet") return std::make_unique<HlfetScheduler>(opts);
+  if (name == "dls") return std::make_unique<DlsScheduler>(opts);
+  if (name == "dsh") return std::make_unique<DshScheduler>(opts);
+  if (name == "cluster") return std::make_unique<ClusterScheduler>(opts);
+  if (name == "serial") return std::make_unique<SerialScheduler>(opts);
+  if (name == "roundrobin") return std::make_unique<RoundRobinScheduler>(opts);
+  if (name == "random") return std::make_unique<RandomScheduler>(opts);
+  // Iterative improvement; resolvable by name but excluded from the
+  // default list (it costs ~1000x a list scheduler's time).
+  if (name == "anneal") {
+    AnnealOptions anneal;
+    anneal.seed = opts.seed;
+    return std::make_unique<AnnealScheduler>(anneal, opts);
+  }
+  // Exhaustive search; resolvable by name but excluded from
+  // scheduler_names() because it only accepts small instances.
+  if (name == "optimal")
+    return std::make_unique<OptimalScheduler>(OptimalScheduler::Limits{}, opts);
+  fail(ErrorCode::Name, "unknown scheduler `" + name + "`");
+}
+
+std::vector<std::string> scheduler_names() {
+  return {"mh",      "mcp",    "etf",        "hlfet",  "dls",
+          "dsh",     "cluster", "serial",    "roundrobin", "random"};
+}
+
+}  // namespace banger::sched

@@ -1,0 +1,75 @@
+// banger/sched/scheduler.hpp
+//
+// The scheduling heuristics at the heart of Banger's second principle:
+// "machine-independent parallel programming can be made efficient by
+// optimal scheduling heuristics which find the shortest elapsed execution
+// time schedule for a specific parallel program, given a specific target
+// machine."
+//
+// Implemented heuristics (all handle arbitrary topologies and hop-based
+// communication delays):
+//   mh        Mapping Heuristic of El-Rewini & Lewis (JPDC 1990): dynamic
+//             ready list ordered by communication-aware b-level, earliest-
+//             finish-time processor choice with slot insertion. Banger's
+//             production scheduler.
+//   etf       Earliest Task First (Hwang et al.): globally earliest
+//             (task, processor) start among ready tasks.
+//   hlfet     Highest Level First with Estimated Times: static level
+//             priority, earliest-start processor.
+//   dls       Dynamic Level Scheduling (Sih & Lee): maximises
+//             SL(t) - EST(t,p) over ready pairs.
+//   dsh       Duplication Scheduling Heuristic (Kruatrachue & Lewis):
+//             copies critical parents into idle slots to erase
+//             communication delays.
+//   cluster   Grain packing: Sarkar-style edge-zeroing clustering, then
+//             load-balanced mapping of clusters onto processors.
+//   serial    Everything on processor 0 (the speedup baseline).
+//   roundrobin / random  Placement baselines with feasible timing.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace banger::sched {
+
+struct SchedulerOptions {
+  /// Allow filling idle gaps between already-placed tasks (insertion-
+  /// based list scheduling) instead of only appending after the last one.
+  bool insertion = true;
+  /// Maximum ancestor chain the DSH heuristic will duplicate per task.
+  int duplication_depth = 4;
+  /// Seed for the `random` baseline.
+  std::uint64_t seed = 1;
+};
+
+class Scheduler {
+ public:
+  explicit Scheduler(SchedulerOptions opts = {}) : opts_(opts) {}
+  virtual ~Scheduler() = default;
+
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Produces a feasible schedule of `graph` on `machine`. The result
+  /// passes Schedule::validate for the same arguments.
+  [[nodiscard]] virtual Schedule run(const TaskGraph& graph,
+                                     const Machine& machine) const = 0;
+
+ protected:
+  SchedulerOptions opts_;
+};
+
+/// Factory by name ("mh", "etf", "hlfet", "dls", "dsh", "cluster",
+/// "serial", "roundrobin", "random"). Throws Error{Name} on unknown names.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& name,
+                                          SchedulerOptions opts = {});
+
+/// All registered heuristic names, in canonical order.
+std::vector<std::string> scheduler_names();
+
+}  // namespace banger::sched

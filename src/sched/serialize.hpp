@@ -1,0 +1,32 @@
+// banger/sched/serialize.hpp
+//
+// Text serialisation of schedules (`.sched`): lets a user save the
+// result of the scheduling step, exchange it, or hand-edit a placement
+// and re-validate — the environment treats the schedule as a first-class
+// artifact, not just a transient display.
+//
+//   schedule mh procs=4
+//   place fan1 proc=0 start=0 finish=2
+//   place upd2 proc=0 start=2 finish=6 dup
+//   ...
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+
+namespace banger::sched {
+
+/// Renders a schedule; task ids become names via the graph.
+std::string to_text(const Schedule& schedule, const TaskGraph& graph);
+
+/// Parses a `.sched` document against the graph it was made for (names
+/// must resolve). Throws Error{Parse} / Error{Name}.
+Schedule parse_schedule(std::string_view text, const TaskGraph& graph);
+
+/// File helpers; throw Error{Io}.
+void save_schedule(const Schedule& schedule, const TaskGraph& graph,
+                   const std::string& path);
+Schedule load_schedule(const std::string& path, const TaskGraph& graph);
+
+}  // namespace banger::sched

@@ -1,0 +1,42 @@
+#include "sched/speedup.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace banger::sched {
+
+int SpeedupCurve::saturation_procs(double epsilon) const {
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    if (points[i].speedup - points[i - 1].speedup < epsilon) {
+      return points[i - 1].procs;
+    }
+  }
+  return points.empty() ? 0 : points.back().procs;
+}
+
+double SpeedupCurve::max_speedup() const {
+  double best = 0.0;
+  for (const auto& p : points) best = std::max(best, p.speedup);
+  return best;
+}
+
+SpeedupCurve predict_speedup(const TaskGraph& graph,
+                             const Scheduler& scheduler,
+                             const MachineFactory& factory,
+                             const std::vector<int>& sizes) {
+  SpeedupCurve curve;
+  curve.scheduler = scheduler.name();
+  for (int procs : sizes) {
+    const Machine machine = factory(procs);
+    if (curve.machine_family.empty()) curve.machine_family = machine.name();
+    const Schedule schedule = scheduler.run(graph, machine);
+    schedule.validate(graph, machine);
+    const ScheduleMetrics m = compute_metrics(schedule, graph, machine);
+    curve.points.push_back({machine.num_procs(), m.makespan, m.speedup,
+                            m.efficiency, m.procs_used});
+  }
+  return curve;
+}
+
+}  // namespace banger::sched

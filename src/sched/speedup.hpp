@@ -1,0 +1,48 @@
+// banger/sched/speedup.hpp
+//
+// Speedup prediction (the right-hand chart of the paper's Fig. 3):
+// schedule the same PITL design onto a family of machines of growing
+// size and report makespan / speedup / efficiency per size. This is
+// Banger's headline "instant feedback" artifact — the user sees how far
+// their design scales before any code exists.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace banger::sched {
+
+struct SpeedupPoint {
+  int procs = 0;
+  double makespan = 0.0;
+  double speedup = 0.0;
+  double efficiency = 0.0;
+  int procs_used = 0;
+};
+
+struct SpeedupCurve {
+  std::string scheduler;
+  std::string machine_family;
+  std::vector<SpeedupPoint> points;
+
+  /// Smallest processor count beyond which speedup improves by less than
+  /// `epsilon` (the knee); returns the last size if it never flattens.
+  [[nodiscard]] int saturation_procs(double epsilon = 0.05) const;
+  [[nodiscard]] double max_speedup() const;
+};
+
+/// Builds one machine of the family per requested size.
+using MachineFactory = std::function<Machine(int procs)>;
+
+/// Runs `scheduler` over every size, validating each schedule. The
+/// speedup baseline is the serial time on one processor of the same
+/// family (see compute_metrics).
+SpeedupCurve predict_speedup(const TaskGraph& graph,
+                             const Scheduler& scheduler,
+                             const MachineFactory& factory,
+                             const std::vector<int>& sizes);
+
+}  // namespace banger::sched

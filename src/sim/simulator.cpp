@@ -1,0 +1,262 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <queue>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace banger::sim {
+
+std::string_view to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::TaskStart: return "start";
+    case EventKind::TaskFinish: return "finish";
+    case EventKind::MsgSend: return "send";
+    case EventKind::MsgHop: return "hop";
+    case EventKind::MsgArrive: return "arrive";
+  }
+  return "?";
+}
+
+std::string SimResult::animation(std::size_t limit) const {
+  std::ostringstream out;
+  std::size_t shown = 0;
+  for (const SimEvent& e : events) {
+    if (shown++ >= limit) {
+      out << "... (" << events.size() - limit << " more events)\n";
+      break;
+    }
+    out << "t=" << util::pad_left(util::format_double(e.time, 6), 10) << "  "
+        << util::pad_right(std::string(to_string(e.kind)), 7) << " proc "
+        << e.proc;
+    if (e.kind == EventKind::TaskStart || e.kind == EventKind::TaskFinish) {
+      out << "  task " << e.task;
+    } else {
+      out << "  edge " << e.edge;
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+namespace {
+
+struct CopyRef {
+  graph::TaskId task = graph::kNoTask;
+  ProcId proc = -1;
+  double sched_start = 0.0;
+  double sched_finish = 0.0;
+  bool duplicate = false;
+  // Simulation state:
+  int lane_index = -1;        // position within the processor's lane
+  bool lane_pred_done = true; // no predecessor by default
+  double lane_ready = 0.0;
+  std::size_t pending_msgs = 0;
+  double msg_ready = 0.0;
+  bool started = false;
+  double start = 0.0;
+  double finish = 0.0;
+};
+
+}  // namespace
+
+SimResult simulate(const TaskGraph& graph, const Machine& machine,
+                   const Schedule& schedule, const SimOptions& options) {
+  const auto& placements = schedule.placements();
+  if (placements.empty() && graph.num_tasks() > 0) {
+    fail(ErrorCode::Schedule, "cannot simulate an empty schedule");
+  }
+
+  // ---- Build copy table and per-processor lanes. ----
+  std::vector<CopyRef> copies;
+  copies.reserve(placements.size());
+  std::vector<std::vector<std::size_t>> copies_of_task(graph.num_tasks());
+  for (const sched::Placement& p : placements) {
+    if (p.task >= graph.num_tasks()) {
+      fail(ErrorCode::Schedule, "placement of unknown task");
+    }
+    CopyRef c;
+    c.task = p.task;
+    c.proc = p.proc;
+    c.sched_start = p.start;
+    c.sched_finish = p.finish;
+    c.duplicate = p.duplicate;
+    copies_of_task[p.task].push_back(copies.size());
+    copies.push_back(c);
+  }
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    if (copies_of_task[t].empty()) {
+      fail(ErrorCode::Schedule,
+           "task `" + graph.task(t).name + "` has no placement");
+    }
+  }
+
+  // Lanes ordered by scheduled start.
+  std::vector<std::vector<std::size_t>> lanes(
+      static_cast<std::size_t>(machine.num_procs()));
+  for (std::size_t ci = 0; ci < copies.size(); ++ci) {
+    lanes[static_cast<std::size_t>(copies[ci].proc)].push_back(ci);
+  }
+  for (auto& lane : lanes) {
+    std::sort(lane.begin(), lane.end(), [&](std::size_t a, std::size_t b) {
+      if (copies[a].sched_start != copies[b].sched_start)
+        return copies[a].sched_start < copies[b].sched_start;
+      return a < b;
+    });
+    for (std::size_t i = 0; i < lane.size(); ++i) {
+      copies[lane[i]].lane_index = static_cast<int>(i);
+      if (i > 0) copies[lane[i]].lane_pred_done = false;
+    }
+  }
+
+  // ---- Static message routing: which producer copy feeds which consumer
+  // copy, chosen exactly as the scheduler chose (min scheduled arrival).
+  struct Delivery {
+    graph::EdgeId edge = 0;
+    std::size_t to_copy = 0;
+  };
+  std::vector<std::vector<Delivery>> outbox(copies.size());
+  for (std::size_t ci = 0; ci < copies.size(); ++ci) {
+    CopyRef& consumer = copies[ci];
+    for (graph::EdgeId e : graph.in_edges(consumer.task)) {
+      const graph::Edge& edge = graph.edge(e);
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_copy = 0;
+      for (std::size_t pi : copies_of_task[edge.from]) {
+        const double arrival =
+            copies[pi].sched_finish +
+            machine.comm_time(edge.bytes, copies[pi].proc, consumer.proc);
+        if (arrival < best - 1e-15) {
+          best = arrival;
+          best_copy = pi;
+        }
+      }
+      outbox[best_copy].push_back({e, ci});
+      ++consumer.pending_msgs;
+    }
+  }
+
+  // ---- Event-driven replay. ----
+  SimResult result;
+  result.tasks.resize(graph.num_tasks());
+  result.proc_busy.assign(static_cast<std::size_t>(machine.num_procs()), 0.0);
+
+  auto record = [&](double time, EventKind kind, graph::TaskId task,
+                    graph::EdgeId edge, ProcId proc) {
+    if (options.record_events) result.events.push_back({time, kind, task, edge, proc});
+  };
+
+  // Directed-link availability for contention: (a<<32|b) -> free time.
+  std::map<std::uint64_t, double> link_free;
+  auto link_key = [](ProcId a, ProcId b) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(a)) << 32) |
+           static_cast<std::uint32_t>(b);
+  };
+
+  using QItem = std::pair<double, std::size_t>;  // (finish time, copy)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
+
+  auto try_start = [&](std::size_t ci) {
+    CopyRef& c = copies[ci];
+    if (c.started || !c.lane_pred_done || c.pending_msgs > 0) return;
+    c.started = true;
+    c.start = std::max(c.lane_ready, c.msg_ready);
+    const double dur = machine.task_time(graph.task(c.task).work, c.proc);
+    c.finish = c.start + dur;
+    record(c.start, EventKind::TaskStart, c.task, 0, c.proc);
+    queue.push({c.finish, ci});
+  };
+
+  for (std::size_t ci = 0; ci < copies.size(); ++ci) try_start(ci);
+
+  std::size_t finished = 0;
+  while (!queue.empty()) {
+    const auto [time, ci] = queue.top();
+    queue.pop();
+    CopyRef& c = copies[ci];
+    ++finished;
+    record(time, EventKind::TaskFinish, c.task, 0, c.proc);
+    result.proc_busy[static_cast<std::size_t>(c.proc)] += time - c.start;
+    result.makespan = std::max(result.makespan, time);
+    if (!c.duplicate) {
+      result.tasks[c.task] = {c.start, c.finish, c.proc};
+    }
+
+    // Release the lane successor.
+    const auto& lane = lanes[static_cast<std::size_t>(c.proc)];
+    const auto next_index = static_cast<std::size_t>(c.lane_index) + 1;
+    if (next_index < lane.size()) {
+      CopyRef& succ = copies[lane[next_index]];
+      succ.lane_pred_done = true;
+      succ.lane_ready = time;
+      try_start(lane[next_index]);
+    }
+
+    // Deliver messages.
+    for (const Delivery& d : outbox[ci]) {
+      CopyRef& consumer = copies[d.to_copy];
+      const graph::Edge& edge = graph.edge(d.edge);
+      double arrival = time;
+      if (consumer.proc != c.proc) {
+        ++result.num_messages;
+        record(time, EventKind::MsgSend, consumer.task, d.edge, c.proc);
+        if (options.link_contention &&
+            machine.params().routing == machine::Routing::StoreAndForward) {
+          // Hop-by-hop with per-link queueing.
+          const auto path = machine.topology().route(c.proc, consumer.proc);
+          double at = time;
+          for (std::size_t h = 0; h + 1 < path.size(); ++h) {
+            const double traversal = machine.comm_time_hops(edge.bytes, 1);
+            double& free_at = link_free[link_key(path[h], path[h + 1])];
+            const double depart = std::max(at, free_at);
+            result.max_queue_delay =
+                std::max(result.max_queue_delay, depart - at);
+            free_at = depart + traversal;
+            at = depart + traversal;
+            result.total_link_time += traversal;
+            record(at, EventKind::MsgHop, consumer.task, d.edge, path[h + 1]);
+          }
+          arrival = at;
+        } else {
+          arrival = time + machine.comm_time(edge.bytes, c.proc, consumer.proc);
+          result.total_link_time +=
+              machine.comm_time(edge.bytes, c.proc, consumer.proc);
+        }
+        record(arrival, EventKind::MsgArrive, consumer.task, d.edge,
+               consumer.proc);
+      }
+      consumer.msg_ready = std::max(consumer.msg_ready, arrival);
+      BANGER_ASSERT(consumer.pending_msgs > 0, "message accounting broken");
+      --consumer.pending_msgs;
+      try_start(d.to_copy);
+    }
+  }
+
+  if (finished != copies.size()) {
+    fail(ErrorCode::Schedule,
+         "simulation deadlocked: " + std::to_string(copies.size() - finished) +
+             " copies never became ready (infeasible schedule?)");
+  }
+
+  std::stable_sort(result.events.begin(), result.events.end(),
+                   [](const SimEvent& a, const SimEvent& b) {
+                     return a.time < b.time;
+                   });
+  return result;
+}
+
+Schedule as_schedule(const SimResult& result, int num_procs,
+                     const std::string& label) {
+  Schedule schedule(num_procs, label);
+  for (graph::TaskId t = 0; t < result.tasks.size(); ++t) {
+    const TaskTiming& timing = result.tasks[t];
+    schedule.place(t, timing.proc, timing.start, timing.finish);
+  }
+  return schedule;
+}
+
+}  // namespace banger::sim

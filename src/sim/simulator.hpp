@@ -1,0 +1,90 @@
+// banger/sim/simulator.hpp
+//
+// Discrete-event simulation of a scheduled PITL program on a target
+// machine. The scheduler predicts times analytically; the simulator
+// *replays* the schedule — tasks execute in their per-processor order,
+// each starting when its processor is free and its input messages have
+// arrived, messages travel the topology hop by hop — and reports what
+// actually happens, optionally with link contention (which the analytic
+// model ignores; ablation ABL3 quantifies the gap).
+//
+// The simulator also produces the time-ordered event log behind Banger's
+// "graphical displays and animations" feedback.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/schedule.hpp"
+
+namespace banger::sim {
+
+using graph::TaskGraph;
+using machine::Machine;
+using machine::ProcId;
+using sched::Schedule;
+
+struct SimOptions {
+  /// Serialise messages through each directed link (store-and-forward
+  /// queueing). Off = infinite link capacity, matching the scheduler's
+  /// analytic assumption.
+  bool link_contention = false;
+  /// Record the animation event log (costs memory on big runs).
+  bool record_events = true;
+};
+
+enum class EventKind : std::uint8_t {
+  TaskStart,
+  TaskFinish,
+  MsgSend,
+  MsgHop,
+  MsgArrive,
+};
+
+std::string_view to_string(EventKind kind) noexcept;
+
+struct SimEvent {
+  double time = 0.0;
+  EventKind kind = EventKind::TaskStart;
+  graph::TaskId task = graph::kNoTask;  ///< task or message's edge target
+  graph::EdgeId edge = 0;               ///< message events only
+  ProcId proc = -1;                     ///< where it happened
+};
+
+struct TaskTiming {
+  double start = 0.0;
+  double finish = 0.0;
+  ProcId proc = -1;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  /// Primary-copy timings per task id.
+  std::vector<TaskTiming> tasks;
+  /// Busy seconds per processor.
+  std::vector<double> proc_busy;
+  std::size_t num_messages = 0;
+  /// Seconds of link occupation summed over all hops.
+  double total_link_time = 0.0;
+  /// Largest queueing delay any message suffered (0 without contention).
+  double max_queue_delay = 0.0;
+  std::vector<SimEvent> events;  ///< time-ordered when recorded
+
+  /// Renders the first `limit` events as an animation script — one line
+  /// per event, the text form of Banger's schedule animation.
+  [[nodiscard]] std::string animation(std::size_t limit = 100) const;
+};
+
+/// Simulates `schedule` (which must be feasible for graph+machine).
+/// Throws Error{Schedule} if the schedule is structurally unusable
+/// (missing placements).
+SimResult simulate(const TaskGraph& graph, const Machine& machine,
+                   const Schedule& schedule, const SimOptions& options = {});
+
+/// Repackages simulated (actual) task timings as a Schedule so every
+/// schedule renderer (Gantt, SVG, Chrome trace) can draw planned vs
+/// simulated side by side. Duplicate copies are not reconstructed.
+Schedule as_schedule(const SimResult& result, int num_procs,
+                     const std::string& label = "simulated");
+
+}  // namespace banger::sim

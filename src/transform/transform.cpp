@@ -1,0 +1,327 @@
+#include "transform/transform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <numeric>
+#include <string>
+
+#include "util/error.hpp"
+
+namespace banger::transform {
+
+namespace {
+
+/// Working view during packing: clusters of original tasks.
+struct Cluster {
+  std::vector<TaskId> members;
+  double work = 0.0;
+  bool dead = false;
+};
+
+struct WorkEdge {
+  int from;
+  int to;
+  double bytes;
+};
+
+/// Aggregated inter-cluster edges (parallel edges merged, byte-summed).
+std::vector<WorkEdge> cluster_edges(const TaskGraph& graph,
+                                    const std::vector<int>& cluster_of) {
+  std::map<std::pair<int, int>, double> agg;
+  for (const graph::Edge& e : graph.edges()) {
+    const int a = cluster_of[e.from];
+    const int b = cluster_of[e.to];
+    if (a != b) agg[{a, b}] += e.bytes;
+  }
+  std::vector<WorkEdge> out;
+  out.reserve(agg.size());
+  for (const auto& [key, bytes] : agg) {
+    out.push_back({key.first, key.second, bytes});
+  }
+  return out;
+}
+
+/// True if a path a ->+ b of length >= 2 exists in the cluster graph
+/// (i.e. merging a and b along their direct edge would close a cycle).
+bool has_indirect_path(const std::vector<WorkEdge>& edges, int num_clusters,
+                       int a, int b) {
+  std::vector<std::vector<int>> succ(static_cast<std::size_t>(num_clusters));
+  for (const WorkEdge& e : edges) {
+    succ[static_cast<std::size_t>(e.from)].push_back(e.to);
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(num_clusters), false);
+  std::deque<int> queue;
+  for (int s : succ[static_cast<std::size_t>(a)]) {
+    if (s != b && !seen[static_cast<std::size_t>(s)]) {
+      seen[static_cast<std::size_t>(s)] = true;
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    const int u = queue.front();
+    queue.pop_front();
+    if (u == b) return true;
+    for (int s : succ[static_cast<std::size_t>(u)]) {
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        queue.push_back(s);
+      }
+    }
+  }
+  return seen[static_cast<std::size_t>(b)];
+}
+
+std::string grain_name(const TaskGraph& graph,
+                       const std::vector<TaskId>& members) {
+  if (members.size() == 1) return graph.task(members[0]).name;
+  std::string name = "grain_" + graph.task(members[0]).name;
+  name += "_x" + std::to_string(members.size());
+  return name;
+}
+
+}  // namespace
+
+TaskId Transformed::find_origin(TaskId original) const {
+  for (TaskId t = 0; t < origin.size(); ++t) {
+    for (TaskId o : origin[t]) {
+      if (o == original) return t;
+    }
+  }
+  return graph::kNoTask;
+}
+
+Transformed pack_grains(const TaskGraph& graph,
+                        const machine::Machine& machine,
+                        const GrainPackOptions& options) {
+  const double speed = machine.params().processor_speed;
+  auto time_of = [&](double work) {
+    return machine.params().process_startup + work / speed;
+  };
+
+  std::vector<Cluster> clusters(graph.num_tasks());
+  std::vector<int> cluster_of(graph.num_tasks());
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    clusters[t].members = {t};
+    clusters[t].work = graph.task(t).work;
+    cluster_of[t] = static_cast<int>(t);
+  }
+
+  std::size_t merges = 0;
+  for (;;) {
+    if (merges >= options.max_merges) break;
+    const auto edges = cluster_edges(graph, cluster_of);
+
+    // Smallest live cluster below the grain threshold.
+    int small = -1;
+    for (std::size_t c = 0; c < clusters.size(); ++c) {
+      if (clusters[c].dead) continue;
+      if (time_of(clusters[c].work) >= options.min_grain_seconds) continue;
+      if (small < 0 || clusters[c].work < clusters[static_cast<std::size_t>(
+                                              small)].work) {
+        small = static_cast<int>(c);
+      }
+    }
+    if (small < 0) break;
+
+    // Heaviest incident edge whose merge is legal.
+    std::vector<const WorkEdge*> incident;
+    for (const WorkEdge& e : edges) {
+      if (e.from == small || e.to == small) incident.push_back(&e);
+    }
+    std::sort(incident.begin(), incident.end(),
+              [](const WorkEdge* a, const WorkEdge* b) {
+                if (a->bytes != b->bytes) return a->bytes > b->bytes;
+                return std::make_pair(a->from, a->to) <
+                       std::make_pair(b->from, b->to);
+              });
+    bool merged = false;
+    for (const WorkEdge* e : incident) {
+      const int other = e->from == small ? e->to : e->from;
+      const double combined = clusters[static_cast<std::size_t>(small)].work +
+                              clusters[static_cast<std::size_t>(other)].work;
+      if (time_of(combined) > options.max_grain_seconds) continue;
+      if (has_indirect_path(edges, static_cast<int>(clusters.size()), e->from,
+                            e->to)) {
+        continue;  // would close a cycle
+      }
+      // Merge `small` into `other` (keep the lower id live for
+      // determinism of naming).
+      const int keep = std::min(small, other);
+      const int drop = std::max(small, other);
+      auto& k = clusters[static_cast<std::size_t>(keep)];
+      auto& d = clusters[static_cast<std::size_t>(drop)];
+      k.members.insert(k.members.end(), d.members.begin(), d.members.end());
+      k.work += d.work;
+      d.dead = true;
+      for (int& c : cluster_of) {
+        if (c == drop) c = keep;
+      }
+      ++merges;
+      merged = true;
+      break;
+    }
+    if (!merged) {
+      // This small cluster is stuck (every merge illegal/oversized);
+      // mark it satisfied by excluding it from future consideration.
+      // Bumping min via member trick: temporarily treat as done by
+      // setting a flag through work? Simplest: stop if *every* small
+      // cluster is stuck — detect by trying them all.
+      bool any = false;
+      for (std::size_t c = 0; c < clusters.size() && !any; ++c) {
+        if (clusters[c].dead || static_cast<int>(c) == small) continue;
+        if (time_of(clusters[c].work) >= options.min_grain_seconds) continue;
+        for (const WorkEdge& e : edges) {
+          const int cc = static_cast<int>(c);
+          if (e.from != cc && e.to != cc) continue;
+          const int other = e.from == cc ? e.to : e.from;
+          const double combined =
+              clusters[c].work + clusters[static_cast<std::size_t>(other)].work;
+          if (time_of(combined) > options.max_grain_seconds) continue;
+          if (!has_indirect_path(edges, static_cast<int>(clusters.size()),
+                                 e.from, e.to)) {
+            any = true;
+            break;
+          }
+        }
+      }
+      if (!any) break;
+      // Exclude the stuck cluster by inflating a shadow threshold: mark
+      // it "done" via a sentinel — simplest is to treat its members as
+      // immutable by giving the cluster synthetic extra weight in the
+      // candidate search. We encode that by moving it to the back of
+      // consideration: give it a tiny work epsilon bump so another
+      // cluster becomes "smallest".
+      clusters[static_cast<std::size_t>(small)].work +=
+          options.min_grain_seconds * speed;  // permanently above threshold
+    }
+  }
+
+  // ---- rebuild ----
+  Transformed out;
+  std::vector<int> new_id(clusters.size(), -1);
+  for (std::size_t c = 0; c < clusters.size(); ++c) {
+    if (clusters[c].dead) continue;
+    // Recompute true work from members (the stuck-cluster bump above
+    // must not leak into the output).
+    double work = 0.0;
+    for (TaskId m : clusters[c].members) work += graph.task(m).work;
+    std::sort(clusters[c].members.begin(), clusters[c].members.end());
+    graph::Task task;
+    task.name = grain_name(graph, clusters[c].members);
+    task.work = work;
+    new_id[c] = static_cast<int>(out.graph.add_task(std::move(task)));
+    out.origin.push_back(clusters[c].members);
+  }
+  for (const WorkEdge& e : cluster_edges(graph, cluster_of)) {
+    out.graph.add_edge(static_cast<TaskId>(new_id[static_cast<std::size_t>(
+                           e.from)]),
+                       static_cast<TaskId>(new_id[static_cast<std::size_t>(
+                           e.to)]),
+                       e.bytes);
+  }
+  if (!out.graph.is_acyclic()) {
+    fail(ErrorCode::Graph, "grain packing produced a cycle (internal bug)");
+  }
+  return out;
+}
+
+Transformed split_data_parallel(const TaskGraph& graph, TaskId task,
+                                int ways) {
+  if (task >= graph.num_tasks()) {
+    fail(ErrorCode::Graph, "split of unknown task id");
+  }
+  if (ways < 1 || ways > 4096) {
+    fail(ErrorCode::Graph, "split ways must be in [1, 4096]");
+  }
+
+  Transformed out;
+  std::vector<TaskId> remap(graph.num_tasks(), graph::kNoTask);
+  std::vector<TaskId> shards;
+
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    const graph::Task& src = graph.task(t);
+    if (t == task) {
+      for (int k = 0; k < ways; ++k) {
+        graph::Task shard;
+        shard.name = src.name + "#" + std::to_string(k);
+        shard.work = src.work / ways;
+        const TaskId id = out.graph.add_task(std::move(shard));
+        shards.push_back(id);
+        out.origin.push_back({t});
+      }
+    } else {
+      graph::Task copy = src;
+      remap[t] = out.graph.add_task(std::move(copy));
+      out.origin.push_back({t});
+    }
+  }
+  // origin entries were appended in creation order; fix ordering: they
+  // already are (add order == origin push order).
+
+  for (const graph::Edge& e : graph.edges()) {
+    const bool from_split = e.from == task;
+    const bool to_split = e.to == task;
+    if (!from_split && !to_split) {
+      out.graph.add_edge(remap[e.from], remap[e.to], e.bytes, e.var);
+    } else if (from_split && !to_split) {
+      for (TaskId s : shards) {
+        out.graph.add_edge(s, remap[e.to], e.bytes / ways, e.var);
+      }
+    } else if (!from_split && to_split) {
+      for (TaskId s : shards) {
+        out.graph.add_edge(remap[e.from], s, e.bytes / ways, e.var);
+      }
+    }
+    // from_split && to_split impossible (no self loops).
+  }
+  return out;
+}
+
+Transformed split_heavy_tasks(const TaskGraph& graph,
+                              const machine::Machine& machine,
+                              double threshold_seconds, int max_ways) {
+  if (threshold_seconds <= 0) {
+    fail(ErrorCode::Graph, "split threshold must be positive");
+  }
+  // Split tasks one at a time (ids shift after each split, so we track
+  // by name).
+  Transformed current;
+  current.graph = graph;  // copy
+  current.origin.resize(graph.num_tasks());
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) current.origin[t] = {t};
+
+  for (;;) {
+    TaskId target = graph::kNoTask;
+    int ways = 1;
+    for (TaskId t = 0; t < current.graph.num_tasks(); ++t) {
+      const graph::Task& task = current.graph.task(t);
+      if (task.name.find('#') != std::string::npos) continue;  // a shard
+      const double time = machine.params().process_startup +
+                          task.work / machine.params().processor_speed;
+      if (time > threshold_seconds) {
+        target = t;
+        ways = std::min(
+            max_ways,
+            static_cast<int>(std::ceil(time / threshold_seconds)));
+        break;
+      }
+    }
+    if (target == graph::kNoTask || ways < 2) break;
+    Transformed next = split_data_parallel(current.graph, target, ways);
+    // Compose origins.
+    for (auto& origins : next.origin) {
+      std::vector<TaskId> composed;
+      for (TaskId mid : origins) {
+        const auto& deeper = current.origin[mid];
+        composed.insert(composed.end(), deeper.begin(), deeper.end());
+      }
+      origins = std::move(composed);
+    }
+    current = std::move(next);
+  }
+  return current;
+}
+
+}  // namespace banger::transform

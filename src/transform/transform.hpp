@@ -1,0 +1,73 @@
+// banger/transform/transform.hpp
+//
+// Graph transformations the paper's lineage and future-work sections
+// call for:
+//
+//  * grain packing (Kruatrachue & Lewis): merge tasks that are too
+//    small to pay for their messages into coarser grains *before*
+//    scheduling — the complement of the cluster scheduler, applied to
+//    the graph itself;
+//
+//  * data-parallel splitting (the paper's Results §2: Banger "can be
+//    extended to encompass fine-grained parallelism through the use of
+//    machine-independent data-parallel constructs"): replace a task by
+//    k shards, each doing 1/k of the work with 1/k of the traffic.
+//
+// Both return a new TaskGraph plus a mapping to trace tasks back to the
+// original design (for feedback displays).
+#pragma once
+
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "machine/machine.hpp"
+
+namespace banger::transform {
+
+using graph::TaskGraph;
+using graph::TaskId;
+
+/// Result of a transformation: the new graph and, for every new task,
+/// the list of original task ids it contains (grain packing) or the
+/// single original it shards (splitting).
+struct Transformed {
+  TaskGraph graph;
+  std::vector<std::vector<TaskId>> origin;  ///< per new task
+
+  /// New task id holding a given original; kNoTask if absent.
+  [[nodiscard]] TaskId find_origin(TaskId original) const;
+};
+
+struct GrainPackOptions {
+  /// Tasks whose execution time (at nominal machine speed) is below
+  /// `min_grain_seconds` are merge candidates.
+  double min_grain_seconds = 1.0;
+  /// Never grow a grain beyond this execution time.
+  double max_grain_seconds = 16.0;
+  /// Upper bound on merges (safety valve).
+  std::size_t max_merges = 100000;
+};
+
+/// Merges small tasks along their heaviest incident edge when doing so
+/// cannot create a cycle. Merged tasks execute their constituents
+/// back-to-back (work adds, internal traffic disappears); external
+/// edges are re-attached with byte counts preserved.
+Transformed pack_grains(const TaskGraph& graph,
+                        const machine::Machine& machine,
+                        const GrainPackOptions& options = {});
+
+/// Splits `task` into `ways` shards: each shard gets work/ways and a
+/// 1/ways share of every incoming and outgoing edge's bytes. Shard
+/// names are "<name>#i". PITS bodies do not survive splitting (the
+/// shards are scheduling placeholders), so this is a planning transform.
+Transformed split_data_parallel(const TaskGraph& graph, TaskId task,
+                                int ways);
+
+/// Convenience sweep: splits every task whose execution time exceeds
+/// `threshold_seconds` into ceil(time/threshold) shards, capped at
+/// `max_ways`.
+Transformed split_heavy_tasks(const TaskGraph& graph,
+                              const machine::Machine& machine,
+                              double threshold_seconds, int max_ways = 8);
+
+}  // namespace banger::transform

@@ -1,0 +1,60 @@
+#include "util/error.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace banger {
+
+namespace {
+
+std::string format_what(ErrorCode code, const std::string& message,
+                        SourcePos pos) {
+  std::string out(to_string(code));
+  out += " error";
+  if (pos.valid()) {
+    out += " at ";
+    out += std::to_string(pos.line);
+    out += ':';
+    out += std::to_string(pos.column);
+  }
+  out += ": ";
+  out += message;
+  return out;
+}
+
+}  // namespace
+
+std::string_view to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::Generic: return "generic";
+    case ErrorCode::Parse: return "parse";
+    case ErrorCode::Name: return "name";
+    case ErrorCode::Type: return "type";
+    case ErrorCode::Graph: return "graph";
+    case ErrorCode::Machine: return "machine";
+    case ErrorCode::Schedule: return "schedule";
+    case ErrorCode::Runtime: return "runtime";
+    case ErrorCode::Io: return "io";
+    case ErrorCode::Limit: return "limit";
+  }
+  return "unknown";
+}
+
+Error::Error(ErrorCode code, std::string message, SourcePos pos)
+    : std::runtime_error(format_what(code, message, pos)),
+      code_(code),
+      pos_(pos),
+      message_(std::move(message)) {}
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "banger internal error: %s:%d: assertion `%s` failed: %s\n",
+               file, line, expr, msg.c_str());
+  std::abort();
+}
+
+void fail(ErrorCode code, std::string message, SourcePos pos) {
+  throw Error(code, std::move(message), pos);
+}
+
+}  // namespace banger

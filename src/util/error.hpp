@@ -1,0 +1,74 @@
+// banger/util/error.hpp
+//
+// User-facing error type for the Banger environment. All recoverable,
+// user-caused failures (parse errors, malformed graphs, infeasible
+// schedules) are reported by throwing banger::Error. Internal invariant
+// violations use BANGER_ASSERT, which is fatal.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace banger {
+
+/// Broad classification of user-facing errors, used by tests and by CLI
+/// tools to decide how to present a failure.
+enum class ErrorCode : std::uint8_t {
+  Generic,       ///< Unclassified failure.
+  Parse,         ///< PITS / .pitl / .machine text could not be parsed.
+  Name,          ///< Unknown or duplicate name (variable, node, function).
+  Type,          ///< Value of the wrong shape (scalar vs vector, arity).
+  Graph,         ///< Structurally invalid dataflow graph (cycle, dangling arc).
+  Machine,       ///< Invalid machine description (bad topology, params).
+  Schedule,      ///< Scheduling failed or produced an infeasible schedule.
+  Runtime,       ///< PITS runtime error (division by zero, bad index).
+  Io,            ///< File could not be read or written.
+  Limit,         ///< A configured limit was exceeded (step count, memory).
+};
+
+/// Returns a stable lowercase name for an error code ("parse", "graph", ...).
+std::string_view to_string(ErrorCode code) noexcept;
+
+/// Source position inside a PITS program or serialized file. Lines and
+/// columns are 1-based; {0,0} means "no position available".
+struct SourcePos {
+  int line = 0;
+  int column = 0;
+
+  [[nodiscard]] bool valid() const noexcept { return line > 0; }
+  friend bool operator==(const SourcePos&, const SourcePos&) = default;
+};
+
+/// The single exception type thrown by all banger libraries for
+/// user-recoverable failures.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, std::string message, SourcePos pos = {});
+
+  [[nodiscard]] ErrorCode code() const noexcept { return code_; }
+  [[nodiscard]] SourcePos pos() const noexcept { return pos_; }
+  /// Message without the "code:line:col" prefix that what() carries.
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+ private:
+  ErrorCode code_;
+  SourcePos pos_;
+  std::string message_;
+};
+
+/// Internal invariant check; aborts with a diagnostic when violated.
+/// Used for programmer errors, never for user input validation.
+[[noreturn]] void assert_fail(const char* expr, const char* file, int line,
+                              const std::string& msg);
+
+#define BANGER_ASSERT(expr, msg)                                     \
+  do {                                                               \
+    if (!(expr)) ::banger::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+/// Throws Error with the given code; convenience for validation sites.
+[[noreturn]] void fail(ErrorCode code, std::string message, SourcePos pos = {});
+
+}  // namespace banger

@@ -1,0 +1,44 @@
+// banger/util/strings.hpp
+//
+// Small string utilities shared by the serializers, the PITS lexer, and
+// the text renderers. Everything operates on std::string_view and never
+// allocates unless it must return an owning string.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace banger::util {
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view trim(std::string_view s) noexcept;
+
+/// Splits on a single character; empty fields are preserved.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Splits on runs of ASCII whitespace; no empty fields are produced.
+std::vector<std::string_view> split_ws(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix or suffix.
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Joins the elements with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lowercase copy.
+std::string to_lower(std::string_view s);
+
+/// True if `s` is a valid identifier: [A-Za-z_][A-Za-z0-9_]*.
+bool is_identifier(std::string_view s) noexcept;
+
+/// Formats a double compactly ("3", "3.5", "0.001") with up to
+/// `max_digits` significant digits and no trailing zeros.
+std::string format_double(double v, int max_digits = 6);
+
+/// Left/right pads `s` with spaces to at least `width` columns.
+std::string pad_left(std::string_view s, std::size_t width);
+std::string pad_right(std::string_view s, std::size_t width);
+
+}  // namespace banger::util

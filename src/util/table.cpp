@@ -1,0 +1,91 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace banger::util {
+
+namespace {
+bool looks_numeric(const std::string& s) {
+  if (s.empty()) return false;
+  std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+  if (i >= s.size()) return false;
+  return std::isdigit(static_cast<unsigned char>(s[i])) != 0;
+}
+}  // namespace
+
+void Table::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    BANGER_ASSERT(row.size() == header_.size(),
+                  "table row arity must match header");
+  }
+  rows_.push_back({std::move(row), false});
+}
+
+void Table::add_row_numeric(const std::string& label,
+                            const std::vector<double>& values, int digits) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_double(v, digits));
+  add_row(std::move(row));
+}
+
+void Table::add_separator() { rows_.push_back({{}, true}); }
+
+std::string Table::to_string(int indent) const {
+  // Column widths.
+  std::vector<std::size_t> widths;
+  auto absorb = [&](const std::vector<std::string>& cells) {
+    if (cells.size() > widths.size()) widths.resize(cells.size(), 0);
+    for (std::size_t i = 0; i < cells.size(); ++i)
+      widths[i] = std::max(widths[i], cells[i].size());
+  };
+  if (!header_.empty()) absorb(header_);
+  for (const auto& row : rows_)
+    if (!row.separator) absorb(row.cells);
+
+  const std::string prefix(static_cast<std::size_t>(indent), ' ');
+  std::string out;
+  auto emit = [&](const std::vector<std::string>& cells, bool numeric_align) {
+    out += prefix;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) out += "  ";
+      const bool right = numeric_align && looks_numeric(cells[i]) && i > 0;
+      out += right ? pad_left(cells[i], widths[i])
+                   : pad_right(cells[i], widths[i]);
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  auto rule = [&] {
+    out += prefix;
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      if (i > 0) out += "  ";
+      out.append(widths[i], '-');
+    }
+    out += '\n';
+  };
+
+  if (!header_.empty()) {
+    emit(header_, false);
+    rule();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      rule();
+    } else {
+      emit(row.cells, true);
+    }
+  }
+  return out;
+}
+
+}  // namespace banger::util

@@ -1,0 +1,45 @@
+// banger/util/table.hpp
+//
+// A minimal text table builder used by the bench report binaries to print
+// the rows/series that mirror the paper's figures. Columns are sized to
+// their widest cell; numeric cells are right-aligned.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace banger::util {
+
+class Table {
+ public:
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends one data row; its arity must match the header (if set) or
+  /// the first row added.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with format_double.
+  void add_row_numeric(const std::string& label,
+                       const std::vector<double>& values, int digits = 6);
+
+  /// Adds a horizontal separator line at the current position.
+  void add_separator();
+
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+
+  /// Renders the table with aligned columns. `indent` spaces prefix each
+  /// line.
+  [[nodiscard]] std::string to_string(int indent = 0) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace banger::util

@@ -1,0 +1,107 @@
+#include "viz/charts.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace banger::viz {
+
+std::string render_speedup_chart(const sched::SpeedupCurve& curve, int height,
+                                 int width) {
+  std::ostringstream out;
+  out << "Predicted speedup (" << curve.scheduler << " on "
+      << curve.machine_family << ")\n";
+  if (curve.points.empty()) return out.str();
+
+  const int max_procs = curve.points.back().procs;
+  const double max_y =
+      std::max(1.0, std::ceil(std::max(curve.max_speedup(),
+                                       static_cast<double>(1))));
+  std::vector<std::string> grid(static_cast<std::size_t>(height),
+                                std::string(static_cast<std::size_t>(width),
+                                            ' '));
+  auto plot = [&](double procs, double speedup, char mark) {
+    const int col = static_cast<int>(
+        std::round((procs - 1) / std::max(1.0, max_procs - 1.0) * (width - 1)));
+    const int row = static_cast<int>(
+        std::round((1.0 - speedup / max_y) * (height - 1)));
+    if (row >= 0 && row < height && col >= 0 && col < width) {
+      char& cell = grid[static_cast<std::size_t>(row)]
+                       [static_cast<std::size_t>(col)];
+      if (cell == ' ' || mark == 'o') cell = mark;
+    }
+  };
+  // Ideal linear speedup reference.
+  for (int p = 1; p <= max_procs; ++p) {
+    plot(p, std::min(static_cast<double>(p), max_y), '.');
+  }
+  // Measured points, connected with '-' along processor steps.
+  for (std::size_t i = 0; i < curve.points.size(); ++i) {
+    plot(curve.points[i].procs, curve.points[i].speedup, 'o');
+    if (i > 0) {
+      const auto& a = curve.points[i - 1];
+      const auto& b = curve.points[i];
+      for (int step = 1; step < 8; ++step) {
+        const double f = step / 8.0;
+        plot(a.procs + f * (b.procs - a.procs),
+             a.speedup + f * (b.speedup - a.speedup), '-');
+      }
+    }
+  }
+
+  for (int row = 0; row < height; ++row) {
+    const double y = max_y * (1.0 - static_cast<double>(row) / (height - 1));
+    out << util::pad_left(util::format_double(y, 3), 6) << " |"
+        << grid[static_cast<std::size_t>(row)] << "\n";
+  }
+  out << "       +" << std::string(static_cast<std::size_t>(width), '-')
+      << "\n";
+  out << "        procs: 1"
+      << util::pad_left(std::to_string(max_procs),
+                        static_cast<std::size_t>(width) - 2)
+      << "\n";
+  out << "        (o = predicted, . = ideal linear)\n";
+  return out.str();
+}
+
+std::string render_utilization(const sched::Schedule& schedule, int width) {
+  std::ostringstream out;
+  const double span = schedule.makespan();
+  out << "processor utilisation (makespan "
+      << util::format_double(span, 5) << "):\n";
+  for (machine::ProcId p = 0; p < schedule.num_procs(); ++p) {
+    const double busy = schedule.busy(p);
+    const double frac = span > 0 ? busy / span : 0.0;
+    const int bars = static_cast<int>(std::round(frac * width));
+    out << "P" << util::pad_right(std::to_string(p), 3) << "|"
+        << std::string(static_cast<std::size_t>(bars), '#')
+        << std::string(static_cast<std::size_t>(width - bars), ' ') << "| "
+        << util::format_double(frac * 100, 3) << "%\n";
+  }
+  return out.str();
+}
+
+std::string render_bars(const std::vector<std::pair<std::string, double>>& data,
+                        int width) {
+  std::ostringstream out;
+  double max_v = 0;
+  std::size_t label_w = 0;
+  for (const auto& [label, value] : data) {
+    max_v = std::max(max_v, value);
+    label_w = std::max(label_w, label.size());
+  }
+  if (max_v <= 0) max_v = 1;
+  for (const auto& [label, value] : data) {
+    const int bars = static_cast<int>(std::round(value / max_v * width));
+    out << util::pad_right(label, label_w) << " |"
+        << std::string(static_cast<std::size_t>(bars), '#')
+        << util::pad_left(util::format_double(value, 5),
+                          static_cast<std::size_t>(width - bars) + 9)
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace banger::viz

@@ -1,0 +1,28 @@
+// banger/viz/charts.hpp
+//
+// ASCII chart rendering for the instant-feedback displays that are not
+// Gantt charts: the speedup-prediction curve of Fig. 3 and generic
+// labelled bar charts used by the ablation benches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/speedup.hpp"
+
+namespace banger::viz {
+
+/// Speedup-vs-processors line chart (y = speedup, x = processor count),
+/// with the ideal linear speedup marked for reference.
+std::string render_speedup_chart(const sched::SpeedupCurve& curve,
+                                 int height = 12, int width = 56);
+
+/// Horizontal bar chart: one labelled bar per (label, value).
+std::string render_bars(const std::vector<std::pair<std::string, double>>& data,
+                        int width = 48);
+
+/// Per-processor utilisation bars for a schedule (busy / makespan).
+std::string render_utilization(const sched::Schedule& schedule,
+                               int width = 40);
+
+}  // namespace banger::viz

@@ -1,0 +1,123 @@
+#include "viz/dot.hpp"
+
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace banger::viz {
+
+namespace {
+
+std::string quoted(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void emit_level(std::ostringstream& out, const graph::DataflowGraph& g,
+                const std::string& prefix, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent), ' ');
+  for (const graph::Node& n : g.nodes()) {
+    out << pad << quoted(prefix + n.name) << " [label=" << quoted(n.name);
+    switch (n.kind) {
+      case graph::NodeKind::Task:
+        out << ", shape=ellipse";
+        break;
+      case graph::NodeKind::Super:
+        out << ", shape=ellipse, penwidth=2.5";
+        break;
+      case graph::NodeKind::Storage:
+        out << ", shape=box";
+        break;
+    }
+    out << "];\n";
+  }
+  for (const graph::Arc& a : g.arcs()) {
+    out << pad << quoted(prefix + g.node(a.from).name) << " -> "
+        << quoted(prefix + g.node(a.to).name);
+    if (!a.var.empty()) out << " [label=" << quoted(a.var) << "]";
+    out << ";\n";
+  }
+}
+
+}  // namespace
+
+std::string to_dot(const graph::DataflowGraph& level) {
+  std::ostringstream out;
+  out << "digraph " << quoted(level.name()) << " {\n";
+  out << "  rankdir=TB;\n  node [fontname=\"Helvetica\"];\n";
+  emit_level(out, level, "", 2);
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const graph::Design& design) {
+  std::ostringstream out;
+  out << "digraph " << quoted(design.name()) << " {\n";
+  out << "  rankdir=TB;\n  compound=true;\n"
+      << "  node [fontname=\"Helvetica\"];\n";
+  for (graph::GraphId gid = 0;
+       gid < static_cast<graph::GraphId>(design.num_graphs()); ++gid) {
+    const graph::DataflowGraph& g = design.graph(gid);
+    const std::string prefix = "g" + std::to_string(gid) + ".";
+    out << "  subgraph cluster_" << gid << " {\n";
+    out << "    label=" << quoted(g.name()) << ";\n";
+    emit_level(out, g, prefix, 4);
+    out << "  }\n";
+  }
+  // Expansion links: supernode -> first node of its child graph.
+  for (graph::GraphId gid = 0;
+       gid < static_cast<graph::GraphId>(design.num_graphs()); ++gid) {
+    const graph::DataflowGraph& g = design.graph(gid);
+    for (const graph::Node& n : g.nodes()) {
+      if (n.kind == graph::NodeKind::Super && n.subgraph >= 0 &&
+          design.graph(n.subgraph).num_nodes() > 0) {
+        out << "  " << quoted("g" + std::to_string(gid) + "." + n.name)
+            << " -> "
+            << quoted("g" + std::to_string(n.subgraph) + "." +
+                      design.graph(n.subgraph).node(0).name)
+            << " [style=dashed, color=gray, lhead=cluster_" << n.subgraph
+            << "];\n";
+      }
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const graph::TaskGraph& graph) {
+  std::ostringstream out;
+  out << "digraph tasks {\n  rankdir=TB;\n";
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    out << "  " << quoted(graph.task(t).name) << " [label="
+        << quoted(graph.task(t).name + "\\nw=" +
+                  util::format_double(graph.task(t).work, 4))
+        << "];\n";
+  }
+  for (const graph::Edge& e : graph.edges()) {
+    out << "  " << quoted(graph.task(e.from).name) << " -> "
+        << quoted(graph.task(e.to).name) << " [label="
+        << quoted(util::format_double(e.bytes, 4) + "B") << "];\n";
+  }
+  out << "}\n";
+  return out.str();
+}
+
+std::string to_dot(const machine::Topology& topology) {
+  std::ostringstream out;
+  out << "graph " << quoted(topology.name()) << " {\n  node [shape=circle];\n";
+  for (machine::ProcId a = 0; a < topology.num_procs(); ++a) {
+    out << "  " << a << ";\n";
+    for (machine::ProcId b : topology.neighbors(a)) {
+      if (a < b) out << "  " << a << " -- " << b << ";\n";
+    }
+  }
+  out << "}\n";
+  return out.str();
+}
+
+}  // namespace banger::viz

@@ -1,0 +1,30 @@
+// banger/viz/dot.hpp
+//
+// Graphviz DOT export — what the Banger editor *drew*, in a form a
+// modern user can render: hierarchical designs as clustered digraphs
+// (tasks = ovals, stores = boxes, supernodes = bold ovals, matching the
+// paper's Figure 1 conventions), flattened task graphs, and machine
+// topologies (Figure 2).
+#pragma once
+
+#include <string>
+
+#include "graph/design.hpp"
+#include "machine/topology.hpp"
+
+namespace banger::viz {
+
+/// The root drawing of a design, supernodes rendered bold (not expanded).
+std::string to_dot(const graph::DataflowGraph& level);
+
+/// The whole hierarchy: each level a subgraph cluster, supernodes linked
+/// to their expansions with dashed arrows.
+std::string to_dot(const graph::Design& design);
+
+/// The flattened task DAG with edge byte weights.
+std::string to_dot(const graph::TaskGraph& graph);
+
+/// The interconnection network (undirected).
+std::string to_dot(const machine::Topology& topology);
+
+}  // namespace banger::viz

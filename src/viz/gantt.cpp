@@ -1,0 +1,158 @@
+#include "viz/gantt.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace banger::viz {
+
+namespace {
+
+/// Short label: final path segment of a task name ("solve.f121" -> "f121").
+std::string short_name(const std::string& name) {
+  auto pos = name.rfind('.');
+  return pos == std::string::npos ? name : name.substr(pos + 1);
+}
+
+}  // namespace
+
+std::string render_gantt(const sched::Schedule& schedule,
+                         const graph::TaskGraph& graph,
+                         const GanttOptions& options) {
+  const double span = schedule.makespan();
+  std::ostringstream out;
+  out << "Gantt chart (" << schedule.scheduler_name() << ", "
+      << schedule.num_procs() << " procs, makespan "
+      << util::format_double(span, 6) << ")\n";
+  if (span <= 0) return out.str();
+
+  const int width = std::max(options.width, 20);
+  const double scale = width / span;
+
+  for (machine::ProcId p = 0; p < schedule.num_procs(); ++p) {
+    std::string line(static_cast<std::size_t>(width) + 1, '.');
+    for (const sched::Placement& pl : schedule.lane(p)) {
+      auto c0 = static_cast<std::size_t>(std::floor(pl.start * scale));
+      auto c1 = static_cast<std::size_t>(std::ceil(pl.finish * scale));
+      c0 = std::min(c0, line.size() - 1);
+      c1 = std::min(std::max(c1, c0 + 1), line.size());
+      for (std::size_t c = c0; c < c1; ++c) line[c] = '#';
+      if (options.labels) {
+        std::string label = short_name(graph.task(pl.task).name);
+        if (options.mark_duplicates && pl.duplicate) label += '*';
+        if (label.size() + 2 <= c1 - c0) {
+          line[c0] = '[';
+          line[c1 - 1] = ']';
+          for (std::size_t i = 0; i < label.size() && c0 + 1 + i < c1 - 1; ++i)
+            line[c0 + 1 + i] = label[i];
+        }
+      }
+    }
+    out << "P" << util::pad_right(std::to_string(p), 3) << "|" << line << "|\n";
+  }
+
+  // Time axis.
+  out << "    +" << std::string(static_cast<std::size_t>(width) + 1, '-')
+      << "+\n";
+  out << "     0" << util::pad_left("t=" + util::format_double(span, 5),
+                                    static_cast<std::size_t>(width) - 1)
+      << "\n";
+  return out.str();
+}
+
+std::string schedule_table(const sched::Schedule& schedule,
+                           const graph::TaskGraph& graph) {
+  util::Table table;
+  table.set_header({"task", "proc", "start", "finish", "dup"});
+  auto rows = schedule.placements();
+  std::sort(rows.begin(), rows.end(),
+            [](const sched::Placement& a, const sched::Placement& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.proc < b.proc;
+            });
+  for (const sched::Placement& pl : rows) {
+    table.add_row({graph.task(pl.task).name, std::to_string(pl.proc),
+                   util::format_double(pl.start, 6),
+                   util::format_double(pl.finish, 6),
+                   pl.duplicate ? "yes" : ""});
+  }
+  return table.to_string();
+}
+
+std::string render_gantt_svg(const sched::Schedule& schedule,
+                             const graph::TaskGraph& graph,
+                             const SvgOptions& options) {
+  const double span = std::max(schedule.makespan(), 1e-9);
+  const int margin_left = 50;
+  const int margin_top = 30;
+  const int lane_h = options.lane_height;
+  const int chart_w = options.width - margin_left - 20;
+  const int height = margin_top + lane_h * schedule.num_procs() + 40;
+  const double scale = chart_w / span;
+
+  // A small colorblind-safe palette cycled over tasks.
+  static const char* palette[] = {"#4477aa", "#ee6677", "#228833", "#ccbb44",
+                                  "#66ccee", "#aa3377", "#bbbbbb"};
+
+  std::ostringstream svg;
+  svg << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+      << "\" height=\"" << height << "\" font-family=\"monospace\">\n";
+  svg << "<text x=\"" << margin_left << "\" y=\"18\" font-size=\"13\">"
+      << "schedule: " << schedule.scheduler_name() << "  makespan: "
+      << util::format_double(schedule.makespan(), 6) << "</text>\n";
+
+  for (machine::ProcId p = 0; p < schedule.num_procs(); ++p) {
+    const int y = margin_top + p * lane_h;
+    svg << "<text x=\"8\" y=\"" << y + lane_h / 2 + 4
+        << "\" font-size=\"12\">P" << p << "</text>\n";
+    svg << "<line x1=\"" << margin_left << "\" y1=\"" << y + lane_h
+        << "\" x2=\"" << margin_left + chart_w << "\" y2=\"" << y + lane_h
+        << "\" stroke=\"#dddddd\"/>\n";
+    for (const sched::Placement& pl : schedule.lane(p)) {
+      const double x = margin_left + pl.start * scale;
+      const double w = std::max(1.0, pl.length() * scale);
+      const char* color = palette[pl.task % 7];
+      svg << "<rect x=\"" << x << "\" y=\"" << y + 4 << "\" width=\"" << w
+          << "\" height=\"" << lane_h - 8 << "\" fill=\"" << color
+          << "\" stroke=\"#333333\""
+          << (pl.duplicate ? " fill-opacity=\"0.45\"" : "") << ">"
+          << "<title>" << graph.task(pl.task).name << " ["
+          << util::format_double(pl.start, 6) << ", "
+          << util::format_double(pl.finish, 6) << ")"
+          << (pl.duplicate ? " duplicate" : "") << "</title></rect>\n";
+      if (w > 40) {
+        svg << "<text x=\"" << x + 3 << "\" y=\"" << y + lane_h / 2 + 4
+            << "\" font-size=\"10\" fill=\"#ffffff\">"
+            << short_name(graph.task(pl.task).name)
+            << (pl.duplicate ? "*" : "") << "</text>\n";
+      }
+    }
+  }
+
+  if (options.show_messages) {
+    for (const sched::Message& m : schedule.messages()) {
+      const double x1 = margin_left + m.send * scale;
+      const double x2 = margin_left + m.arrive * scale;
+      const int y1 = margin_top + m.from * lane_h + lane_h / 2;
+      const int y2 = margin_top + m.to * lane_h + lane_h / 2;
+      svg << "<line x1=\"" << x1 << "\" y1=\"" << y1 << "\" x2=\"" << x2
+          << "\" y2=\"" << y2
+          << "\" stroke=\"#999999\" stroke-dasharray=\"3,2\"/>\n";
+    }
+  }
+
+  // Axis.
+  const int axis_y = margin_top + lane_h * schedule.num_procs() + 14;
+  svg << "<text x=\"" << margin_left << "\" y=\"" << axis_y
+      << "\" font-size=\"11\">0</text>\n";
+  svg << "<text x=\"" << margin_left + chart_w - 40 << "\" y=\"" << axis_y
+      << "\" font-size=\"11\">t=" << util::format_double(schedule.makespan(), 5)
+      << "</text>\n";
+  svg << "</svg>\n";
+  return svg.str();
+}
+
+}  // namespace banger::viz

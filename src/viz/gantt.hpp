@@ -1,0 +1,46 @@
+// banger/viz/gantt.hpp
+//
+// Gantt-chart rendering (paper Fig. 3): one lane per processor, task
+// boxes placed along a time axis. ASCII output for terminals and tests;
+// SVG output for reports. Both show the same data the Banger GUI drew.
+#pragma once
+
+#include <string>
+
+#include "graph/task_graph.hpp"
+#include "sched/schedule.hpp"
+
+namespace banger::viz {
+
+struct GanttOptions {
+  /// Total character width of the time axis (ASCII).
+  int width = 72;
+  /// Show task names inside boxes when they fit.
+  bool labels = true;
+  /// Mark duplicate copies with '*' after the label.
+  bool mark_duplicates = true;
+};
+
+/// ASCII Gantt chart. Lanes are ordered by processor id; the time axis
+/// is scaled to the makespan.
+std::string render_gantt(const sched::Schedule& schedule,
+                         const graph::TaskGraph& graph,
+                         const GanttOptions& options = {});
+
+struct SvgOptions {
+  int width = 900;
+  int lane_height = 34;
+  bool show_messages = true;  ///< draw message arrows between lanes
+};
+
+/// Standalone SVG document of the same chart.
+std::string render_gantt_svg(const sched::Schedule& schedule,
+                             const graph::TaskGraph& graph,
+                             const SvgOptions& options = {});
+
+/// Plain schedule table: task, processor, start, finish — the textual
+/// fallback display.
+std::string schedule_table(const sched::Schedule& schedule,
+                           const graph::TaskGraph& graph);
+
+}  // namespace banger::viz

@@ -1,0 +1,28 @@
+// banger/viz/trace.hpp
+//
+// Chrome trace-event export (the `chrome://tracing` / Perfetto JSON
+// format): a modern rendering of the schedule animations the paper's
+// "instant feedback through graphical displays and animations" principle
+// calls for. Processors become trace threads, task executions become
+// duration events, and messages become flow arrows.
+#pragma once
+
+#include <string>
+
+#include "sched/schedule.hpp"
+#include "sim/simulator.hpp"
+
+namespace banger::viz {
+
+/// The planned schedule as a trace: one duration event per placement,
+/// one flow arrow per recorded message. Times are exported in
+/// microseconds (Chrome's unit) at 1s = 1e6 us.
+std::string to_chrome_trace(const sched::Schedule& schedule,
+                            const graph::TaskGraph& graph);
+
+/// A simulation's actual event log as a trace (uses the simulated task
+/// timings; message hops appear as instant events on the hop processor).
+std::string to_chrome_trace(const sim::SimResult& result,
+                            const graph::TaskGraph& graph);
+
+}  // namespace banger::viz

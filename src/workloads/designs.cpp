@@ -1,0 +1,317 @@
+#include "workloads/designs.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace banger::workloads {
+
+using graph::Design;
+using graph::Node;
+using graph::NodeKind;
+
+namespace {
+
+Node store(std::string name, double bytes) {
+  Node n;
+  n.kind = NodeKind::Storage;
+  n.name = std::move(name);
+  n.bytes = bytes;
+  return n;
+}
+
+Node task(std::string name, double work, std::vector<std::string> in,
+          std::vector<std::string> out, std::string pits) {
+  Node n;
+  n.kind = NodeKind::Task;
+  n.name = std::move(name);
+  n.work = work;
+  n.inputs = std::move(in);
+  n.outputs = std::move(out);
+  n.pits = std::move(pits);
+  return n;
+}
+
+}  // namespace
+
+Design montecarlo_design(int workers, int samples) {
+  if (workers < 1 || samples < 1) {
+    fail(ErrorCode::Graph, "montecarlo needs workers, samples >= 1");
+  }
+  Design design("montecarlo");
+  graph::DataflowGraph& root = design.root_graph();
+  root.add_node(store("pi_est", 8));
+
+  std::vector<std::string> hit_vars;
+  for (int w = 0; w < workers; ++w) {
+    const std::string hv = "h" + std::to_string(w);
+    hit_vars.push_back(hv);
+    // Each sampler draws from its own task-seeded rand() stream.
+    root.add_node(task(
+        "sample" + std::to_string(w), samples / 50.0 + 1.0, {}, {hv},
+        "hits := 0\n"
+        "repeat " + std::to_string(samples) + " times\n"
+        "  px := rand()\n"
+        "  py := rand()\n"
+        "  if px * px + py * py <= 1 then\n"
+        "    hits := hits + 1\n"
+        "  end\n"
+        "end\n" +
+        hv + " := hits\n"));
+  }
+
+  std::string reduce_src = "total := 0\n";
+  for (const std::string& hv : hit_vars) {
+    reduce_src += "total := total + " + hv + "\n";
+  }
+  reduce_src += "pi_est := 4 * total / " +
+                std::to_string(static_cast<long long>(workers) * samples) +
+                "\n";
+  root.add_node(task("reduce", workers / 4.0 + 1.0, hit_vars, {"pi_est"},
+                     reduce_src));
+  for (int w = 0; w < workers; ++w) {
+    root.connect("sample" + std::to_string(w), "reduce", hit_vars[static_cast<std::size_t>(w)], 8);
+  }
+  root.connect("reduce", "pi_est", "pi_est", 8);
+  design.validate();
+  return design;
+}
+
+Design signal_pipeline_design(int channels, int window) {
+  if (channels < 1 || window < 1) {
+    fail(ErrorCode::Graph, "signal pipeline needs channels, window >= 1");
+  }
+  Design design("signal_pipeline");
+  graph::DataflowGraph& root = design.root_graph();
+  root.add_node(store("signal", 1024));
+  root.add_node(store("energy", 8.0 * channels));
+
+  std::vector<std::string> energy_vars;
+  for (int c = 0; c < channels; ++c) {
+    const std::string ev = "e" + std::to_string(c);
+    energy_vars.push_back(ev);
+
+    // Each channel chain is a supernode expanding to filter->rectify->
+    // energy — the "hierarchical decomposition" workflow of the paper.
+    const graph::GraphId child =
+        design.add_graph("chain" + std::to_string(c));
+    graph::DataflowGraph& sub = design.graph(child);
+    const std::string scale = std::to_string(c + 1);
+    sub.add_node(task(
+        "bandpass", 8, {"signal"}, {"f"},
+        "n := len(signal)\n"
+        "f := zeros(n)\n"
+        "i := 0\n"
+        "while i < n do\n"
+        "  acc := 0\n"
+        "  j := 0\n"
+        "  while j < " + std::to_string(window) + " do\n"
+        "    k := i - j\n"
+        "    if k >= 0 then\n"
+        "      acc := acc + signal[k]\n"
+        "    end\n"
+        "    j := j + 1\n"
+        "  end\n"
+        "  f[i] := acc / " + std::to_string(window) + " * " + scale + "\n"
+        "  i := i + 1\n"
+        "end\n"));
+    sub.add_node(task("rectify", 2, {"f"}, {"r"}, "r := abs(f)\n"));
+    sub.add_node(task("energy", 3, {"r"}, {ev},
+                      ev + " := dot(r, r)\n"));
+    sub.connect("bandpass", "rectify", "f", 1024);
+    sub.connect("rectify", "energy", "r", 1024);
+
+    Node super;
+    super.kind = NodeKind::Super;
+    super.name = "chan" + std::to_string(c);
+    super.subgraph = child;
+    super.inputs = {"signal"};
+    super.outputs = {ev};
+    root.add_node(std::move(super));
+    root.connect("signal", "chan" + std::to_string(c), "signal", 1024);
+  }
+
+  std::string gather_src = "energy := zeros(" + std::to_string(channels) + ")\n";
+  for (int c = 0; c < channels; ++c) {
+    gather_src += "energy[" + std::to_string(c) + "] := " +
+                  energy_vars[static_cast<std::size_t>(c)] + "\n";
+  }
+  root.add_node(task("gather", 1, energy_vars, {"energy"}, gather_src));
+  for (int c = 0; c < channels; ++c) {
+    root.connect("chan" + std::to_string(c), "gather",
+                 energy_vars[static_cast<std::size_t>(c)], 8);
+  }
+  root.connect("gather", "energy", "energy", 8.0 * channels);
+  design.validate();
+  return design;
+}
+
+Design polyeval_design(int workers) {
+  if (workers < 1) fail(ErrorCode::Graph, "polyeval needs workers >= 1");
+  Design design("polyeval");
+  graph::DataflowGraph& root = design.root_graph();
+  root.add_node(store("coeffs", 64));
+  root.add_node(store("xs", 1024));
+  root.add_node(store("ys", 1024));
+
+  std::vector<std::string> part_vars;
+  for (int w = 0; w < workers; ++w) {
+    const std::string pv = "y" + std::to_string(w);
+    part_vars.push_back(pv);
+    const std::string W = std::to_string(workers);
+    const std::string I = std::to_string(w);
+    root.add_node(task(
+        "eval" + std::to_string(w), 8, {"coeffs", "xs"}, {pv},
+        "n := len(xs)\n"
+        "lo := floor(" + I + " * n / " + W + ")\n"
+        "hi := floor((" + I + " + 1) * n / " + W + ")\n"
+        "part := zeros(hi - lo)\n"
+        "i := lo\n"
+        "while i < hi do\n"
+        "  acc := 0\n"
+        "  j := len(coeffs) - 1\n"
+        "  while j >= 0 do\n"
+        "    acc := acc * xs[i] + coeffs[j]\n"
+        "    j := j - 1\n"
+        "  end\n"
+        "  part[i - lo] := acc\n"
+        "  i := i + 1\n"
+        "end\n" +
+        pv + " := part\n"));
+    root.connect("coeffs", "eval" + std::to_string(w), "coeffs", 64);
+    root.connect("xs", "eval" + std::to_string(w), "xs", 1024);
+  }
+
+  std::string gather_src = "ys := y0\n";
+  for (int w = 1; w < workers; ++w) {
+    gather_src += "ys := concat(ys, y" + std::to_string(w) + ")\n";
+  }
+  root.add_node(task("gather", workers / 2.0 + 1.0, part_vars, {"ys"},
+                     gather_src));
+  for (int w = 0; w < workers; ++w) {
+    root.connect("eval" + std::to_string(w), "gather",
+                 part_vars[static_cast<std::size_t>(w)], 1024.0 / workers);
+  }
+  root.connect("gather", "ys", "ys", 1024);
+  design.validate();
+  return design;
+}
+
+}  // namespace banger::workloads
+
+namespace banger::workloads {
+
+Design heat_design(int segments, int steps, int cells, double alpha) {
+  if (segments < 1 || steps < 1 || cells < 2) {
+    fail(ErrorCode::Graph, "heat_design needs segments,steps >= 1, cells >= 2");
+  }
+  if (alpha <= 0 || alpha >= 0.5) {
+    fail(ErrorCode::Graph, "heat_design alpha must be in (0, 0.5)");
+  }
+  Design design("heat1d");
+  graph::DataflowGraph& root = design.root_graph();
+  const double chunk_bytes = 8.0 * cells;
+  root.add_node(store("rod", chunk_bytes * segments));
+  root.add_node(store("result", chunk_bytes * segments));
+
+  auto u = [](int t, int s) {
+    return "u" + std::to_string(t) + "_" + std::to_string(s);
+  };
+  auto el = [](int t, int s) {
+    return "el" + std::to_string(t) + "_" + std::to_string(s);
+  };
+  auto er = [](int t, int s) {
+    return "er" + std::to_string(t) + "_" + std::to_string(s);
+  };
+
+  // t = 0: slice the rod into per-segment chunks.
+  for (int s = 0; s < segments; ++s) {
+    const std::string lo = std::to_string(s * cells);
+    const std::string hi = std::to_string((s + 1) * cells);
+    root.add_node(task(
+        "init" + std::to_string(s), 1.0, {"rod"},
+        {u(0, s), el(0, s), er(0, s)},
+        u(0, s) + " := slice(rod, " + lo + ", " + hi + ")\n" +
+            el(0, s) + " := " + u(0, s) + "[0]\n" +
+            er(0, s) + " := " + u(0, s) + "[" + std::to_string(cells - 1) +
+            "]\n"));
+    root.connect("rod", "init" + std::to_string(s), "rod",
+                 chunk_bytes * segments);
+  }
+
+  // t = 1..steps: stencil updates with ghost cells from the neighbours.
+  const std::string a = util::format_double(alpha, 12);
+  for (int t = 1; t <= steps; ++t) {
+    for (int s = 0; s < segments; ++s) {
+      const std::string prev = u(t - 1, s);
+      std::vector<std::string> in{prev};
+      std::string ghost_left = "0";
+      std::string ghost_right = "0";
+      if (s > 0) {
+        in.push_back(er(t - 1, s - 1));
+        ghost_left = er(t - 1, s - 1);
+      }
+      if (s + 1 < segments) {
+        in.push_back(el(t - 1, s + 1));
+        ghost_right = el(t - 1, s + 1);
+      }
+      const std::string name =
+          "st" + std::to_string(t) + "_" + std::to_string(s);
+      root.add_node(task(
+          name, static_cast<double>(cells) / 4.0, in,
+          {u(t, s), el(t, s), er(t, s)},
+          "n := len(" + prev + ")\n"
+          "un := zeros(n)\n"
+          "i := 0\n"
+          "while i < n do\n"
+          "  lft := when(i > 0, " + prev + "[i - 1], " + ghost_left + ")\n"
+          "  rgt := when(i < n - 1, " + prev + "[i + 1], " + ghost_right +
+          ")\n"
+          "  un[i] := " + prev + "[i] + " + a + " * (lft - 2 * " + prev +
+          "[i] + rgt)\n"
+          "  i := i + 1\n"
+          "end\n" +
+          u(t, s) + " := un\n" + el(t, s) + " := un[0]\n" + er(t, s) +
+          " := un[n - 1]\n"));
+
+      const std::string prev_task =
+          t == 1 ? "init" + std::to_string(s)
+                 : "st" + std::to_string(t - 1) + "_" + std::to_string(s);
+      root.connect(prev_task, name, prev, chunk_bytes);
+      if (s > 0) {
+        const std::string left_task =
+            t == 1 ? "init" + std::to_string(s - 1)
+                   : "st" + std::to_string(t - 1) + "_" +
+                         std::to_string(s - 1);
+        root.connect(left_task, name, er(t - 1, s - 1), 8);
+      }
+      if (s + 1 < segments) {
+        const std::string right_task =
+            t == 1 ? "init" + std::to_string(s + 1)
+                   : "st" + std::to_string(t - 1) + "_" +
+                         std::to_string(s + 1);
+        root.connect(right_task, name, el(t - 1, s + 1), 8);
+      }
+    }
+  }
+
+  // Gather the final chunks.
+  std::vector<std::string> final_chunks;
+  std::string gather_src = "result := " + u(steps, 0) + "\n";
+  final_chunks.push_back(u(steps, 0));
+  for (int s = 1; s < segments; ++s) {
+    gather_src += "result := concat(result, " + u(steps, s) + ")\n";
+    final_chunks.push_back(u(steps, s));
+  }
+  root.add_node(task("gather", 1.0, final_chunks, {"result"}, gather_src));
+  for (int s = 0; s < segments; ++s) {
+    root.connect("st" + std::to_string(steps) + "_" + std::to_string(s),
+                 "gather", u(steps, s), chunk_bytes);
+  }
+  root.connect("gather", "result", "result", chunk_bytes * segments);
+  design.validate();
+  return design;
+}
+
+}  // namespace banger::workloads

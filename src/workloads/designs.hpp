@@ -1,0 +1,38 @@
+// banger/workloads/designs.hpp
+//
+// Complete executable PITL designs beyond the paper's LU example — the
+// "quick-and-dirty scientific programs" the introduction motivates. Each
+// has PITS routines throughout, so it schedules, simulates, AND runs.
+#pragma once
+
+#include "graph/design.hpp"
+
+namespace banger::workloads {
+
+/// Monte-Carlo estimation of pi: `workers` independent sampler tasks
+/// (each drawing `samples` seeded points) fan into a reduce task that
+/// writes output store `pi_est`. Input store `unused`? none: samplers
+/// are self-seeding sources.
+graph::Design montecarlo_design(int workers, int samples);
+
+/// A signal-processing pipeline over `channels` independent channels:
+/// input store `signal` (one vector per run) -> per-channel bandpass
+/// (moving average) -> rectify -> per-channel energy -> reduce to output
+/// store `energy`. Two-level: each channel chain is a supernode.
+graph::Design signal_pipeline_design(int channels, int window = 4);
+
+/// Polynomial evaluation ensemble: input store `coeffs` and `xs`;
+/// `workers` tasks evaluate a Horner polynomial over slices of `xs`;
+/// a gather task concatenates into output store `ys`.
+graph::Design polyeval_design(int workers);
+
+/// 1-D explicit heat diffusion with halo exchange: the rod (input store
+/// `rod`, segments*cells values) is split across `segments` chains of
+/// `steps` update tasks; neighbouring segments exchange edge
+/// temperatures each step (the classic ghost-cell pattern). Output
+/// store `result` holds the final temperatures. alpha is the stability
+/// parameter (< 0.5), boundary condition is fixed zero.
+graph::Design heat_design(int segments, int steps, int cells,
+                          double alpha = 0.2);
+
+}  // namespace banger::workloads

@@ -1,0 +1,248 @@
+#include "workloads/graphs.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace banger::workloads {
+
+using graph::TaskGraph;
+using graph::TaskId;
+
+namespace {
+
+TaskId add(TaskGraph& g, std::string name, double work) {
+  graph::Task t;
+  t.name = std::move(name);
+  t.work = work;
+  return g.add_task(std::move(t));
+}
+
+bool power_of_two(int n) { return n > 0 && (n & (n - 1)) == 0; }
+
+}  // namespace
+
+TaskGraph fft_taskgraph(int n, double work, double bytes) {
+  if (!power_of_two(n) || n < 2) {
+    fail(ErrorCode::Graph, "fft_taskgraph requires a power of two >= 2");
+  }
+  int stages = 0;
+  while ((1 << stages) < n) ++stages;
+
+  TaskGraph g;
+  std::vector<TaskId> prev(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    prev[static_cast<std::size_t>(i)] =
+        add(g, "s0_" + std::to_string(i), work);
+  }
+  for (int s = 1; s <= stages; ++s) {
+    const int stride = 1 << (s - 1);
+    std::vector<TaskId> cur(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      cur[static_cast<std::size_t>(i)] =
+          add(g, "s" + std::to_string(s) + "_" + std::to_string(i), work);
+      const int partner = i ^ stride;
+      g.add_edge(prev[static_cast<std::size_t>(i)],
+                 cur[static_cast<std::size_t>(i)], bytes);
+      g.add_edge(prev[static_cast<std::size_t>(partner)],
+                 cur[static_cast<std::size_t>(i)], bytes);
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph fork_join(int width, double worker_work, double bytes) {
+  if (width < 1) fail(ErrorCode::Graph, "fork_join requires width >= 1");
+  TaskGraph g;
+  const TaskId source = add(g, "fork", 1.0);
+  const TaskId sink = add(g, "join", 1.0);
+  for (int w = 0; w < width; ++w) {
+    const TaskId worker = add(g, "work" + std::to_string(w), worker_work);
+    g.add_edge(source, worker, bytes);
+    g.add_edge(worker, sink, bytes);
+  }
+  return g;
+}
+
+TaskGraph pipeline(int stages, int width, bool coupled, double work,
+                   double bytes) {
+  if (stages < 1 || width < 1) {
+    fail(ErrorCode::Graph, "pipeline requires stages, width >= 1");
+  }
+  TaskGraph g;
+  std::vector<TaskId> prev;
+  for (int s = 0; s < stages; ++s) {
+    std::vector<TaskId> cur;
+    cur.reserve(static_cast<std::size_t>(width));
+    for (int w = 0; w < width; ++w) {
+      cur.push_back(
+          add(g, "p" + std::to_string(s) + "_" + std::to_string(w), work));
+      if (s > 0) {
+        g.add_edge(prev[static_cast<std::size_t>(w)], cur.back(), bytes);
+        if (coupled && w > 0) {
+          g.add_edge(prev[static_cast<std::size_t>(w - 1)], cur.back(),
+                     bytes);
+        }
+        if (coupled && w + 1 < width) {
+          g.add_edge(prev[static_cast<std::size_t>(w + 1)], cur.back(),
+                     bytes);
+        }
+      }
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph diamond(int rows, int cols, double work, double bytes) {
+  if (rows < 1 || cols < 1) {
+    fail(ErrorCode::Graph, "diamond requires rows, cols >= 1");
+  }
+  TaskGraph g;
+  std::vector<std::vector<TaskId>> grid(
+      static_cast<std::size_t>(rows),
+      std::vector<TaskId>(static_cast<std::size_t>(cols)));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+          add(g, "d" + std::to_string(r) + "_" + std::to_string(c), work);
+      if (r > 0) {
+        g.add_edge(grid[static_cast<std::size_t>(r - 1)]
+                       [static_cast<std::size_t>(c)],
+                   grid[static_cast<std::size_t>(r)]
+                       [static_cast<std::size_t>(c)],
+                   bytes);
+      }
+      if (c > 0) {
+        g.add_edge(grid[static_cast<std::size_t>(r)]
+                       [static_cast<std::size_t>(c - 1)],
+                   grid[static_cast<std::size_t>(r)]
+                       [static_cast<std::size_t>(c)],
+                   bytes);
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph reduction_tree(int leaves, double work, double bytes) {
+  if (!power_of_two(leaves)) {
+    fail(ErrorCode::Graph, "reduction_tree requires a power-of-two leaves");
+  }
+  TaskGraph g;
+  std::vector<TaskId> level;
+  for (int i = 0; i < leaves; ++i) {
+    level.push_back(add(g, "leaf" + std::to_string(i), work));
+  }
+  int depth = 0;
+  while (level.size() > 1) {
+    ++depth;
+    std::vector<TaskId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const TaskId parent = add(
+          g, "r" + std::to_string(depth) + "_" + std::to_string(i / 2), work);
+      g.add_edge(level[i], parent, bytes);
+      g.add_edge(level[i + 1], parent, bytes);
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  return g;
+}
+
+TaskGraph divide_conquer(int depth, double work, double bytes) {
+  if (depth < 1 || depth > 20) {
+    fail(ErrorCode::Graph, "divide_conquer depth must be in [1,20]");
+  }
+  TaskGraph g;
+  // Divide phase: out-tree.
+  std::vector<std::vector<TaskId>> down(static_cast<std::size_t>(depth + 1));
+  down[0].push_back(add(g, "div0_0", work));
+  for (int d = 1; d <= depth; ++d) {
+    for (std::size_t i = 0; i < down[static_cast<std::size_t>(d - 1)].size();
+         ++i) {
+      for (int child = 0; child < 2; ++child) {
+        const TaskId id =
+            add(g,
+                "div" + std::to_string(d) + "_" +
+                    std::to_string(2 * i + static_cast<std::size_t>(child)),
+                work);
+        g.add_edge(down[static_cast<std::size_t>(d - 1)][i], id, bytes);
+        down[static_cast<std::size_t>(d)].push_back(id);
+      }
+    }
+  }
+  // Conquer phase: mirror in-tree.
+  std::vector<TaskId> level = down[static_cast<std::size_t>(depth)];
+  int up = 0;
+  while (level.size() > 1) {
+    ++up;
+    std::vector<TaskId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      const TaskId parent = add(
+          g, "con" + std::to_string(up) + "_" + std::to_string(i / 2), work);
+      g.add_edge(level[i], parent, bytes);
+      g.add_edge(level[i + 1], parent, bytes);
+      next.push_back(parent);
+    }
+    level = std::move(next);
+  }
+  return g;
+}
+
+TaskGraph chain_graph(int length, double work, double bytes) {
+  if (length < 1) fail(ErrorCode::Graph, "chain requires length >= 1");
+  TaskGraph g;
+  TaskId prev = add(g, "c0", work);
+  for (int i = 1; i < length; ++i) {
+    const TaskId cur = add(g, "c" + std::to_string(i), work);
+    g.add_edge(prev, cur, bytes);
+    prev = cur;
+  }
+  return g;
+}
+
+TaskGraph random_layered(const RandomGraphSpec& spec) {
+  if (spec.layers < 1 || spec.width < 1) {
+    fail(ErrorCode::Graph, "random_layered requires layers, width >= 1");
+  }
+  util::Rng rng(spec.seed);
+  TaskGraph g;
+  std::vector<TaskId> prev;
+  for (int layer = 0; layer < spec.layers; ++layer) {
+    // Layer width varies a little around the nominal width.
+    const int w = std::max<int>(
+        1, spec.width +
+               static_cast<int>(rng.uniform_int(-spec.width / 3,
+                                                spec.width / 3)));
+    std::vector<TaskId> cur;
+    cur.reserve(static_cast<std::size_t>(w));
+    for (int i = 0; i < w; ++i) {
+      graph::Task t;
+      t.name = "t" + std::to_string(layer) + "_" + std::to_string(i);
+      t.work = rng.uniform(spec.work_lo, spec.work_hi);
+      const TaskId id = g.add_task(std::move(t));
+      cur.push_back(id);
+      if (!prev.empty()) {
+        bool wired = false;
+        for (TaskId p : prev) {
+          if (rng.chance(spec.edge_probability)) {
+            g.add_edge(p, id, rng.uniform(spec.bytes_lo, spec.bytes_hi));
+            wired = true;
+          }
+        }
+        if (!wired) {
+          // Keep every non-root task reachable: at least one parent.
+          const TaskId p = prev[rng.next_below(prev.size())];
+          g.add_edge(p, id, rng.uniform(spec.bytes_lo, spec.bytes_hi));
+        }
+      }
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+}  // namespace banger::workloads

@@ -1,0 +1,62 @@
+// banger/workloads/graphs.hpp
+//
+// Canonical task-graph generators used by tests and by the ablation
+// benches: classic parallel-computing DAG shapes with work and message
+// sizes that follow their textbook cost models. All generators produce
+// deterministic graphs; random_layered is seeded.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/task_graph.hpp"
+
+namespace banger::workloads {
+
+/// FFT butterfly DAG: log2(n) stages of n tasks; each stage-s task feeds
+/// the two tasks of the next stage that share its butterfly. n must be a
+/// power of two >= 2.
+graph::TaskGraph fft_taskgraph(int n, double work = 1.0, double bytes = 8.0);
+
+/// Fork-join: source -> `width` independent workers -> sink.
+graph::TaskGraph fork_join(int width, double worker_work = 1.0,
+                           double bytes = 8.0);
+
+/// `stages` x `width` pipeline grid: stage s task w depends on stage s-1
+/// task w (and on its neighbour for `coupled` stencils).
+graph::TaskGraph pipeline(int stages, int width, bool coupled = false,
+                          double work = 1.0, double bytes = 8.0);
+
+/// Diamond / wavefront grid of `rows` x `cols`: (r,c) depends on (r-1,c)
+/// and (r,c-1) — Gauss-Seidel style sweep.
+graph::TaskGraph diamond(int rows, int cols, double work = 1.0,
+                         double bytes = 8.0);
+
+/// Binary in-tree reduction of `leaves` (power of two) inputs.
+graph::TaskGraph reduction_tree(int leaves, double work = 1.0,
+                                double bytes = 8.0);
+
+/// Binary out-tree (divide) of the given depth, then optionally a mirror
+/// in-tree (conquer) — the divide-and-conquer diamond.
+graph::TaskGraph divide_conquer(int depth, double work = 1.0,
+                                double bytes = 8.0);
+
+/// Linear chain of `length` tasks (zero exploitable parallelism).
+graph::TaskGraph chain_graph(int length, double work = 1.0,
+                             double bytes = 8.0);
+
+/// Seeded random layered DAG: `layers` layers of ~`width` tasks, each
+/// task wired to 1..3 tasks of the previous layer; work in
+/// [work_lo, work_hi], bytes in [bytes_lo, bytes_hi].
+struct RandomGraphSpec {
+  int layers = 6;
+  int width = 8;
+  double edge_probability = 0.35;
+  double work_lo = 1.0;
+  double work_hi = 10.0;
+  double bytes_lo = 8.0;
+  double bytes_hi = 512.0;
+  std::uint64_t seed = 1;
+};
+graph::TaskGraph random_layered(const RandomGraphSpec& spec);
+
+}  // namespace banger::workloads

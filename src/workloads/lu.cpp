@@ -1,0 +1,172 @@
+#include "workloads/lu.hpp"
+
+#include <string>
+
+#include "util/error.hpp"
+
+namespace banger::workloads {
+
+using graph::Design;
+using graph::Node;
+using graph::NodeKind;
+using graph::TaskGraph;
+
+namespace {
+
+Node store(std::string name, double bytes) {
+  Node n;
+  n.kind = NodeKind::Storage;
+  n.name = std::move(name);
+  n.bytes = bytes;
+  return n;
+}
+
+Node task(std::string name, double work, std::vector<std::string> in,
+          std::vector<std::string> out, std::string pits) {
+  Node n;
+  n.kind = NodeKind::Task;
+  n.name = std::move(name);
+  n.work = work;
+  n.inputs = std::move(in);
+  n.outputs = std::move(out);
+  n.pits = std::move(pits);
+  return n;
+}
+
+}  // namespace
+
+Design lu3x3_design() {
+  Design design("lu3x3");
+  graph::DataflowGraph& root = design.root_graph();
+
+  // ---- stores (the open rectangles of Fig. 1) ----
+  root.add_node(store("A", 72));  // 9 doubles, row-major
+  root.add_node(store("b", 24));
+  root.add_node(store("L", 72));
+  root.add_node(store("U", 72));
+  root.add_node(store("x", 24));
+
+  // ---- elimination tasks ----
+  root.add_node(task("fan1", 2, {"A"}, {"l21", "l31"},
+                     "l21 := A[3] / A[0]\n"
+                     "l31 := A[6] / A[0]\n"));
+  root.add_node(task("upd2", 4, {"A", "l21"}, {"u22", "u23"},
+                     "u22 := A[4] - l21 * A[1]\n"
+                     "u23 := A[5] - l21 * A[2]\n"));
+  root.add_node(task("upd3", 4, {"A", "l31"}, {"a32p", "a33p"},
+                     "a32p := A[7] - l31 * A[1]\n"
+                     "a33p := A[8] - l31 * A[2]\n"));
+  root.add_node(task("fan2", 1, {"a32p", "u22"}, {"l32"},
+                     "l32 := a32p / u22\n"));
+  root.add_node(task("upd4", 2, {"a33p", "l32", "u23"}, {"u33"},
+                     "u33 := a33p - l32 * u23\n"));
+  root.add_node(task("packL", 3, {"l21", "l31", "l32"}, {"L"},
+                     "L := [1, 0, 0, l21, 1, 0, l31, l32, 1]\n"));
+  root.add_node(task("packU", 3, {"A", "u22", "u23", "u33"}, {"U"},
+                     "U := [A[0], A[1], A[2], 0, u22, u23, 0, 0, u33]\n"));
+
+  // ---- the bold `solve` supernode and its expansion ----
+  {
+    Node solve;
+    solve.kind = NodeKind::Super;
+    solve.name = "solve";
+    solve.inputs = {"L", "U", "b"};
+    solve.outputs = {"x"};
+    const graph::GraphId child = design.add_graph("solve_sub");
+    solve.subgraph = child;
+    root.add_node(std::move(solve));
+
+    graph::DataflowGraph& sub = design.graph(child);
+    sub.add_node(store("y", 24));
+    sub.add_node(task("fwd", 6, {"L", "b"}, {"y"},
+                      "-- forward substitution: L y = b\n"
+                      "y1 := b[0]\n"
+                      "y2 := b[1] - L[3] * y1\n"
+                      "y3 := b[2] - L[6] * y1 - L[7] * y2\n"
+                      "y := [y1, y2, y3]\n"));
+    sub.add_node(task("back", 9, {"U", "y"}, {"x"},
+                      "-- back substitution: U x = y\n"
+                      "x3 := y[2] / U[8]\n"
+                      "x2 := (y[1] - U[5] * x3) / U[4]\n"
+                      "x1 := (y[0] - U[1] * x2 - U[2] * x3) / U[0]\n"
+                      "x := [x1, x2, x3]\n"));
+    sub.connect("fwd", "y", "y", 24);
+    sub.connect("y", "back", "y", 24);
+  }
+
+  // ---- root arcs ----
+  root.connect("A", "fan1", "A", 72);
+  root.connect("A", "upd2", "A", 72);
+  root.connect("A", "upd3", "A", 72);
+  root.connect("A", "packU", "A", 72);
+  root.connect("fan1", "upd2", "l21", 8);
+  root.connect("fan1", "upd3", "l31", 8);
+  root.connect("fan1", "packL", "l21", 8);
+  root.connect("fan1", "packL", "l31", 8);
+  root.connect("upd2", "fan2", "u22", 8);
+  root.connect("upd3", "fan2", "a32p", 8);
+  root.connect("upd2", "upd4", "u23", 8);
+  root.connect("upd3", "upd4", "a33p", 8);
+  root.connect("fan2", "upd4", "l32", 8);
+  root.connect("fan2", "packL", "l32", 8);
+  root.connect("upd2", "packU", "u22", 8);
+  root.connect("upd2", "packU", "u23", 8);
+  root.connect("upd4", "packU", "u33", 8);
+  root.connect("packL", "L", "L", 72);
+  root.connect("packU", "U", "U", 72);
+  root.connect("L", "solve", "L", 72);
+  root.connect("U", "solve", "U", 72);
+  root.connect("b", "solve", "b", 24);
+  root.connect("solve", "x", "x", 24);
+
+  design.validate();
+  return design;
+}
+
+TaskGraph lu_taskgraph(int n, double element_bytes) {
+  if (n < 2) {
+    fail(ErrorCode::Graph, "lu_taskgraph requires n >= 2");
+  }
+  TaskGraph g;
+  // fan[k]: computes column multipliers at step k (n-1-k divisions).
+  // upd[k][i]: updates row i (k < i < n) at step k (2*(n-1-k) flops).
+  std::vector<std::vector<graph::TaskId>> upd(
+      static_cast<std::size_t>(n),
+      std::vector<graph::TaskId>(static_cast<std::size_t>(n), graph::kNoTask));
+  std::vector<graph::TaskId> fan(static_cast<std::size_t>(n), graph::kNoTask);
+
+  for (int k = 0; k + 1 < n; ++k) {
+    const double remaining = n - 1 - k;
+    graph::Task fan_task;
+    fan_task.name = "fan" + std::to_string(k);
+    fan_task.work = remaining;
+    fan[static_cast<std::size_t>(k)] = g.add_task(std::move(fan_task));
+    if (k > 0) {
+      // The pivot row of step k is produced by upd[k-1][k].
+      g.add_edge(upd[static_cast<std::size_t>(k - 1)]
+                    [static_cast<std::size_t>(k)],
+                 fan[static_cast<std::size_t>(k)], remaining * element_bytes,
+                 "row" + std::to_string(k));
+    }
+    for (int i = k + 1; i < n; ++i) {
+      graph::Task upd_task;
+      upd_task.name = "upd" + std::to_string(k) + "_" + std::to_string(i);
+      upd_task.work = 2 * remaining;
+      const graph::TaskId id = g.add_task(std::move(upd_task));
+      upd[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)] = id;
+      // Needs this step's multipliers...
+      g.add_edge(fan[static_cast<std::size_t>(k)], id, element_bytes,
+                 "l" + std::to_string(k));
+      // ...and row i as left by the previous step.
+      if (k > 0) {
+        g.add_edge(upd[static_cast<std::size_t>(k - 1)]
+                      [static_cast<std::size_t>(i)],
+                   id, remaining * element_bytes,
+                   "row" + std::to_string(i));
+      }
+    }
+  }
+  return g;
+}
+
+}  // namespace banger::workloads

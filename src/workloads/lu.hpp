@@ -1,0 +1,27 @@
+// banger/workloads/lu.hpp
+//
+// The paper's running example (Fig. 1): LU decomposition of a 3x3 system
+// Ax = b as a two-level hierarchical PITL design — complete with PITS
+// routines, so the design not only schedules but actually *solves* the
+// system through the executor. Also a scalable LU task-graph generator
+// for the benches.
+#pragma once
+
+#include "graph/design.hpp"
+
+namespace banger::workloads {
+
+/// Figure 1: two-level hierarchical design. Root level: stores A, b, L,
+/// U, x; fan/update tasks of Doolittle elimination; a bold `solve`
+/// supernode. Child level: forward/back substitution through store y.
+/// Every task has a working PITS routine; flatten + execute with
+/// inputs {A: 9 values row-major, b: 3 values} yields output store x.
+graph::Design lu3x3_design();
+
+/// Scalable LU elimination DAG (no PITS): per step k a pivot/fan task
+/// producing the column multipliers and one update task per remaining
+/// row. Task work follows flop counts; edge bytes follow row sizes with
+/// `element_bytes` per element. n >= 2.
+graph::TaskGraph lu_taskgraph(int n, double element_bytes = 8.0);
+
+}  // namespace banger::workloads

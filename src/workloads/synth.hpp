@@ -1,0 +1,29 @@
+// banger/workloads/synth.hpp
+//
+// Makes arbitrary generated task graphs *executable*: synthesizes a PITS
+// busy-work routine per task (deterministic numeric mixing of its inputs,
+// loop length proportional to task work) and wires variable names along
+// edges. Used by the prediction-accuracy ablation, which compares the
+// scheduler's predicted makespan against real threaded wall time.
+#pragma once
+
+#include "graph/design.hpp"
+
+namespace banger::workloads {
+
+struct SynthOptions {
+  /// Inner-loop iterations per unit of task work (calibrates how long a
+  /// work unit takes on the host).
+  int iterations_per_work = 200;
+};
+
+/// Fills every task's pits/inputs/outputs in place: task `t` outputs one
+/// scalar named after itself, consuming its predecessors' scalars; edges
+/// get matching variable labels.
+void synthesize_pits(graph::TaskGraph& graph, const SynthOptions& options = {});
+
+/// Wraps a (synthesized) task graph as a FlattenResult so the executor
+/// can run it directly (no stores: sources self-seed).
+graph::FlattenResult as_flatten(graph::TaskGraph graph);
+
+}  // namespace banger::workloads

@@ -1,0 +1,96 @@
+// Simulated-annealing scheduler: improvement over its seed, determinism
+// per seed, feasibility.
+#include <gtest/gtest.h>
+
+#include "sched/anneal.hpp"
+#include "sched/heuristics.hpp"
+#include "sched/optimal.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::sched {
+namespace {
+
+Machine full(int procs, double ccr) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = ccr / 2.0;
+  p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+  return Machine(machine::Topology::fully_connected(procs), p);
+}
+
+TEST(Anneal, NeverWorseThanItsSeed) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    workloads::RandomGraphSpec spec;
+    spec.seed = seed;
+    auto g = workloads::random_layered(spec);
+    const auto m = full(4, 1.0);
+    const double mh = MhScheduler().run(g, m).makespan();
+    AnnealOptions opts;
+    opts.iterations = 800;
+    const auto s = AnnealScheduler(opts, {}).run(g, m);
+    s.validate(g, m);
+    EXPECT_LE(s.makespan(), mh + 1e-9) << seed;
+  }
+}
+
+TEST(Anneal, DeterministicPerSeed) {
+  auto g = workloads::lu_taskgraph(6, 8.0);
+  const auto m = full(3, 1.0);
+  AnnealOptions opts;
+  opts.iterations = 300;
+  opts.seed = 7;
+  const double a = AnnealScheduler(opts, {}).run(g, m).makespan();
+  const double b = AnnealScheduler(opts, {}).run(g, m).makespan();
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Anneal, FindsOptimumOnSmallInstance) {
+  // Independent works {3,3,2,2,1,1} on 2 procs: optimum 6.
+  graph::TaskGraph g;
+  for (double w : {3.0, 3.0, 2.0, 2.0, 1.0, 1.0}) {
+    g.add_task({"t" + std::to_string(g.num_tasks()), w, "", {}, {}});
+  }
+  const auto m = full(2, 0.0);
+  AnnealOptions opts;
+  opts.iterations = 2000;
+  const auto s = AnnealScheduler(opts, {}).run(g, m);
+  s.validate(g, m);
+  const auto opt = OptimalScheduler().run(g, m);
+  EXPECT_DOUBLE_EQ(s.makespan(), opt.makespan());
+}
+
+TEST(Anneal, AcceptsMovesAndReports) {
+  auto g = workloads::diamond(4, 4, 2.0, 16.0);
+  const auto m = full(4, 0.5);
+  AnnealOptions opts;
+  opts.iterations = 500;
+  AnnealScheduler scheduler(opts, {});
+  (void)scheduler.run(g, m);
+  EXPECT_GT(scheduler.accepted_moves(), 0);
+}
+
+TEST(Anneal, SingleProcessorDegenerate) {
+  auto g = workloads::chain_graph(4, 1.0, 8.0);
+  const auto m = full(1, 1.0);
+  AnnealOptions opts;
+  opts.iterations = 50;
+  const auto s = AnnealScheduler(opts, {}).run(g, m);
+  s.validate(g, m);
+  EXPECT_DOUBLE_EQ(s.makespan(), 4.0);
+}
+
+TEST(Anneal, EmptyGraph) {
+  graph::TaskGraph g;
+  const auto s = AnnealScheduler().run(g, full(2, 0.5));
+  EXPECT_DOUBLE_EQ(s.makespan(), 0.0);
+}
+
+TEST(Anneal, ResolvableViaFactoryButNotListed) {
+  auto s = make_scheduler("anneal");
+  EXPECT_EQ(s->name(), "anneal");
+  for (const auto& n : scheduler_names()) EXPECT_NE(n, "anneal");
+}
+
+}  // namespace
+}  // namespace banger::sched

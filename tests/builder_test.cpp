@@ -1,0 +1,148 @@
+// DesignBuilder: IO inference from PITS, auto-wiring, hierarchy.
+#include <gtest/gtest.h>
+
+#include "exec/executor.hpp"
+#include "graph/builder.hpp"
+#include "sched/heuristics.hpp"
+#include "util/error.hpp"
+
+namespace banger::graph {
+namespace {
+
+TEST(Builder, QuickstartInSixStatements) {
+  auto design = DesignBuilder("quadratic")
+                    .store("xs", 256)
+                    .store("ys", 256)
+                    .task("square_term", "sq := 3 * xs * xs\n", 4)
+                    .task("linear_term", "lin := 2 * xs\n", 2)
+                    .task("combine", "ys := sq + lin\n", 1)
+                    .build();
+  const auto flat = design.flatten();
+  EXPECT_EQ(flat.graph.num_tasks(), 3u);
+  // combine depends on both term tasks.
+  const auto combine = flat.graph.require("combine");
+  EXPECT_EQ(flat.graph.preds(combine).size(), 2u);
+  // ...and the whole thing actually runs.
+  pits::Vector xs{0, 1, 2};
+  const auto result = exec::run_sequential(flat, {{"xs", pits::Value(xs)}});
+  EXPECT_EQ(result.outputs.at("ys").as_vector(), (pits::Vector{0, 5, 16}));
+}
+
+TEST(Builder, IoInferenceIgnoresLocalsAndConstants) {
+  auto design = DesignBuilder("d")
+                    .store("a")
+                    .task("t",
+                          "tmp := a * pi\n"
+                          "formula f(x) := x + 1\n"
+                          "out := f(tmp)\n")
+                    .build();
+  const auto& node =
+      design.root_graph().node(design.root_graph().require("t"));
+  EXPECT_EQ(node.inputs, (std::vector<std::string>{"a"}));
+  // tmp, out, and the formula's bookkeeping all count as assigned; only
+  // `a` is free (pi is a constant, x a parameter).
+  EXPECT_NE(std::find(node.outputs.begin(), node.outputs.end(), "out"),
+            node.outputs.end());
+}
+
+TEST(Builder, ExplicitInterfaceOverridesInference) {
+  auto design = DesignBuilder("d")
+                    .store("a")
+                    .task("t", "out := a\nscratch := 1\n", 1.0, {"a"},
+                          {"out"})
+                    .build();
+  const auto& node =
+      design.root_graph().node(design.root_graph().require("t"));
+  EXPECT_EQ(node.outputs, (std::vector<std::string>{"out"}));
+}
+
+TEST(Builder, TaskToTaskWiringWithoutStores) {
+  auto design = DesignBuilder("d")
+                    .task("producer", "v := 42\n")
+                    .task("consumer", "w := v * 2\n")
+                    .var_bytes("v", 128)
+                    .build();
+  const auto flat = design.flatten();
+  ASSERT_EQ(flat.graph.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(flat.graph.edge(0).bytes, 128.0);
+  EXPECT_EQ(flat.graph.edge(0).var, "v");
+}
+
+TEST(Builder, ExplicitArcsNotDuplicated) {
+  auto design = DesignBuilder("d")
+                    .store("a", 64)
+                    .task("t", "out := a\n")
+                    .arc("a", "t", "a", 64)
+                    .build();
+  // One arc a->t, not two.
+  std::size_t arcs_into_t = 0;
+  const auto& g = design.root_graph();
+  for (const Arc& arc : g.arcs()) {
+    if (g.node(arc.to).name == "t") ++arcs_into_t;
+  }
+  EXPECT_EQ(arcs_into_t, 1u);
+}
+
+TEST(Builder, HierarchyViaSuperAndGraph) {
+  auto design = DesignBuilder("top")
+                    .store("in_data", 64)
+                    .store("out_data", 64)
+                    .super("stage", "inner", {"in_data"}, {"out_data"})
+                    .graph("inner")
+                    .task("work", "out_data := in_data * 2\n", 3)
+                    .build();
+  EXPECT_EQ(design.depth(), 2);
+  const auto flat = design.flatten();
+  EXPECT_TRUE(flat.graph.find("stage.work").has_value());
+  const auto result = exec::run_sequential(
+      flat, {{"in_data", pits::Value(pits::Vector{1, 2})}});
+  EXPECT_EQ(result.outputs.at("out_data").as_vector(), (pits::Vector{2, 4}));
+}
+
+TEST(Builder, BuildValidates) {
+  DesignBuilder bad("d");
+  bad.task("a", "x := y\n", 1.0, {"y"}, {"x"});
+  bad.task("b", "y := x\n", 1.0, {"x"}, {"y"});
+  // a and b feed each other: auto-wiring creates a cycle.
+  EXPECT_THROW((void)bad.build(), Error);
+}
+
+TEST(Builder, BuildUncheckedSkipsValidation) {
+  DesignBuilder bad("d");
+  bad.task("a", "x := y\n", 1.0, {"y"}, {"x"});
+  bad.task("b", "y := x\n", 1.0, {"x"}, {"y"});
+  const auto design = bad.build_unchecked();
+  EXPECT_FALSE(design.root_graph().is_acyclic());
+}
+
+TEST(Builder, RejectsBadPitsAtTaskTime) {
+  DesignBuilder b("d");
+  EXPECT_THROW(b.task("t", "x := := 1\n"), Error);
+}
+
+TEST(Builder, WholeWorkflowThroughProjectStack) {
+  auto design = DesignBuilder("dotprod")
+                    .store("u", 128)
+                    .store("v", 128)
+                    .store("d", 8)
+                    .task("multiply", "w := u * v\n", 4)
+                    .task("reduce", "d := sum(w)\n", 2)
+                    .var_bytes("w", 128)
+                    .build();
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.01;
+  p.bytes_per_second = 1e5;
+  machine::Machine m(machine::Topology::fully_connected(2), p);
+  const auto flat = design.flatten();
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  schedule.validate(flat.graph, m);
+  exec::Executor executor(flat, m);
+  const auto result = executor.run(
+      schedule, {{"u", pits::Value(pits::Vector{1, 2, 3})},
+                 {"v", pits::Value(pits::Vector{4, 5, 6})}});
+  EXPECT_DOUBLE_EQ(result.outputs.at("d").as_scalar(), 32.0);
+}
+
+}  // namespace
+}  // namespace banger::graph

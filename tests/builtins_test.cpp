@@ -1,0 +1,175 @@
+// The calculator's button functions: registry and semantics of every
+// group, via the interpreter.
+#include <gtest/gtest.h>
+
+#include "pits/builtins.hpp"
+#include "pits/interp.hpp"
+#include "util/error.hpp"
+
+namespace banger::pits {
+namespace {
+
+double evald(const std::string& expr, Env env = {}) {
+  return eval_expression(expr, env).as_scalar();
+}
+
+Vector evalv(const std::string& expr, Env env = {}) {
+  return eval_expression(expr, env).as_vector();
+}
+
+TEST(Registry, HasCoreButtons) {
+  const auto& reg = BuiltinRegistry::instance();
+  for (const char* name :
+       {"sin", "cos", "sqrt", "exp", "ln", "abs", "min", "max", "len", "sum",
+        "dot", "zeros", "range", "print", "rand"}) {
+    EXPECT_NE(reg.find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.find("no_such_fn"), nullptr);
+  EXPECT_GT(reg.size(), 40u);
+}
+
+TEST(Registry, GroupsPartitionButtons) {
+  const auto& reg = BuiltinRegistry::instance();
+  EXPECT_FALSE(reg.group("trig").empty());
+  EXPECT_FALSE(reg.group("vector").empty());
+  EXPECT_FALSE(reg.group("stats").empty());
+  std::size_t total = 0;
+  for (const char* g : {"trig", "explog", "round", "vector", "stats", "misc"}) {
+    total += reg.group(g).size();
+  }
+  EXPECT_EQ(total, reg.size());
+}
+
+TEST(Registry, EveryButtonHasHelpText) {
+  const auto& reg = BuiltinRegistry::instance();
+  for (const auto& name : reg.names()) {
+    EXPECT_FALSE(reg.find(name)->help.empty()) << name;
+  }
+}
+
+TEST(Trig, BasicsAndInverses) {
+  EXPECT_NEAR(evald("sin(pi / 2)"), 1.0, 1e-12);
+  EXPECT_NEAR(evald("cos(0)"), 1.0, 1e-12);
+  EXPECT_NEAR(evald("tan(pi / 4)"), 1.0, 1e-12);
+  EXPECT_NEAR(evald("asin(1)"), 1.5707963267948966, 1e-12);
+  EXPECT_NEAR(evald("atan2(1, 1)"), 0.7853981633974483, 1e-12);
+  EXPECT_NEAR(evald("deg(pi)"), 180.0, 1e-9);
+  EXPECT_NEAR(evald("rad(180)"), 3.14159265358979, 1e-9);
+  EXPECT_NEAR(evald("tanh(100)"), 1.0, 1e-12);
+}
+
+TEST(Trig, BroadcastsOverVectors) {
+  const auto v = evalv("sin([0, pi / 2])");
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NEAR(v[0], 0.0, 1e-12);
+  EXPECT_NEAR(v[1], 1.0, 1e-12);
+}
+
+TEST(ExpLog, DomainsEnforced) {
+  EXPECT_NEAR(evald("ln(e)"), 1.0, 1e-12);
+  EXPECT_NEAR(evald("log10(1000)"), 3.0, 1e-12);
+  EXPECT_NEAR(evald("log2(8)"), 3.0, 1e-12);
+  EXPECT_NEAR(evald("sqrt(16)"), 4.0, 1e-12);
+  EXPECT_NEAR(evald("cbrt(-27)"), -3.0, 1e-12);
+  EXPECT_NEAR(evald("hypot(3, 4)"), 5.0, 1e-12);
+  EXPECT_THROW(evald("ln(0)"), Error);
+  EXPECT_THROW(evald("sqrt(-1)"), Error);
+  EXPECT_THROW(evald("log10(-5)"), Error);
+}
+
+TEST(Rounding, AllForms) {
+  EXPECT_DOUBLE_EQ(evald("floor(2.7)"), 2.0);
+  EXPECT_DOUBLE_EQ(evald("ceil(2.1)"), 3.0);
+  EXPECT_DOUBLE_EQ(evald("round(2.5)"), 3.0);
+  EXPECT_DOUBLE_EQ(evald("trunc(-2.7)"), -2.0);
+  EXPECT_NEAR(evald("frac(2.75)"), 0.75, 1e-12);
+  EXPECT_DOUBLE_EQ(evald("sign(-9)"), -1.0);
+  EXPECT_DOUBLE_EQ(evald("sign(0)"), 0.0);
+  EXPECT_DOUBLE_EQ(evald("abs(-4)"), 4.0);
+}
+
+TEST(MinMaxClamp, Variadic) {
+  EXPECT_DOUBLE_EQ(evald("min(3, 1, 2)"), 1.0);
+  EXPECT_DOUBLE_EQ(evald("max(3, 1, 2)"), 3.0);
+  EXPECT_DOUBLE_EQ(evald("min(5)"), 5.0);
+  EXPECT_DOUBLE_EQ(evald("clamp(10, 0, 5)"), 5.0);
+  EXPECT_DOUBLE_EQ(evald("clamp(-1, 0, 5)"), 0.0);
+  EXPECT_THROW(evald("clamp(1, 5, 0)"), Error);
+}
+
+TEST(Combinatorics, FactAndNcr) {
+  EXPECT_DOUBLE_EQ(evald("fact(5)"), 120.0);
+  EXPECT_DOUBLE_EQ(evald("fact(0)"), 1.0);
+  EXPECT_DOUBLE_EQ(evald("ncr(5, 2)"), 10.0);
+  EXPECT_DOUBLE_EQ(evald("ncr(5, 7)"), 0.0);
+  EXPECT_THROW(evald("fact(-1)"), Error);
+  EXPECT_THROW(evald("fact(2.5)"), Error);
+  EXPECT_THROW(evald("fact(200)"), Error);
+}
+
+TEST(VectorOps, ConstructionButtons) {
+  EXPECT_EQ(evalv("zeros(3)"), (Vector{0, 0, 0}));
+  EXPECT_EQ(evalv("ones(2)"), (Vector{1, 1}));
+  EXPECT_EQ(evalv("range(0, 4)"), (Vector{0, 1, 2, 3}));
+  EXPECT_EQ(evalv("range(1, 2, 0.5)"), (Vector{1, 1.5}));
+  EXPECT_EQ(evalv("range(3, 0, -1)"), (Vector{3, 2, 1}));
+  EXPECT_THROW(evalv("range(0, 1, 0)"), Error);
+  EXPECT_THROW(evalv("zeros(-1)"), Error);
+}
+
+TEST(VectorOps, Manipulation) {
+  EXPECT_EQ(evalv("append([1, 2], 3)"), (Vector{1, 2, 3}));
+  EXPECT_EQ(evalv("concat([1], [2, 3])"), (Vector{1, 2, 3}));
+  EXPECT_EQ(evalv("slice([1, 2, 3, 4], 1, 3)"), (Vector{2, 3}));
+  EXPECT_EQ(evalv("reverse([1, 2, 3])"), (Vector{3, 2, 1}));
+  EXPECT_EQ(evalv("sort([3, 1, 2])"), (Vector{1, 2, 3}));
+  EXPECT_EQ(evalv("set([1, 2, 3], 1, 9)"), (Vector{1, 9, 3}));
+  EXPECT_DOUBLE_EQ(evald("get([5, 6], 1)"), 6.0);
+  EXPECT_THROW(evalv("slice([1], 0, 5)"), Error);
+  EXPECT_THROW(evald("get([1], 3)"), Error);
+}
+
+TEST(Stats, Reductions) {
+  EXPECT_DOUBLE_EQ(evald("len([1, 2, 3])"), 3.0);
+  EXPECT_DOUBLE_EQ(evald("len(\"hello\")"), 5.0);
+  EXPECT_DOUBLE_EQ(evald("sum([1, 2, 3])"), 6.0);
+  EXPECT_DOUBLE_EQ(evald("prod([2, 3, 4])"), 24.0);
+  EXPECT_DOUBLE_EQ(evald("mean([1, 2, 3])"), 2.0);
+  EXPECT_NEAR(evald("stddev([2, 4, 4, 4, 5, 5, 7, 9])"), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(evald("minv([3, 1, 2])"), 1.0);
+  EXPECT_DOUBLE_EQ(evald("maxv([3, 1, 2])"), 3.0);
+  EXPECT_DOUBLE_EQ(evald("dot([1, 2], [3, 4])"), 11.0);
+  EXPECT_DOUBLE_EQ(evald("norm([3, 4])"), 5.0);
+  EXPECT_THROW(evald("mean([])"), Error);
+  EXPECT_THROW(evald("dot([1], [1, 2])"), Error);
+}
+
+TEST(Misc, StrRendersValues) {
+  Env env;
+  EXPECT_EQ(eval_expression("str(3.5)", env).as_string(), "3.5");
+  EXPECT_EQ(eval_expression("str([1, 2])", env).as_string(), "[1, 2]");
+}
+
+TEST(Misc, ArityErrors) {
+  EXPECT_THROW(evald("sqrt()"), Error);
+  EXPECT_THROW(evald("sqrt(1, 2)"), Error);
+  EXPECT_THROW(evald("dot([1])"), Error);
+  EXPECT_THROW(evald("min()"), Error);
+}
+
+TEST(Misc, TypeErrors) {
+  EXPECT_THROW(evald("sum(3)"), Error);
+  EXPECT_THROW(evald("sqrt([1], 2)"), Error);
+  EXPECT_THROW(evald("zeros([1])"), Error);
+}
+
+TEST(Constants, PhysicsTable) {
+  const auto& c = constants();
+  EXPECT_NEAR(c.at("pi"), 3.141592653589793, 1e-15);
+  EXPECT_NEAR(c.at("g_accel"), 9.80665, 1e-12);
+  EXPECT_NEAR(c.at("c_light"), 299792458.0, 1.0);
+  EXPECT_GT(c.size(), 8u);
+}
+
+}  // namespace
+}  // namespace banger::pits

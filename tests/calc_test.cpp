@@ -1,0 +1,198 @@
+// The calculator panel: keystroke program construction, variable
+// windows, lint, trial runs — the Figure 4 interaction model.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "calc/panel.hpp"
+#include "util/error.hpp"
+
+namespace banger::calc {
+namespace {
+
+TEST(Panel, DeclaresVariables) {
+  CalculatorPanel panel("SquareRoot");
+  panel.declare_input("a");
+  panel.declare_output("x");
+  panel.declare_local("guess");
+  EXPECT_EQ(panel.inputs(), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(panel.outputs(), (std::vector<std::string>{"x"}));
+  EXPECT_EQ(panel.locals(), (std::vector<std::string>{"guess"}));
+  EXPECT_THROW(panel.declare_input("a"), banger::Error);
+  EXPECT_THROW(panel.declare_local("bad name"), banger::Error);
+}
+
+TEST(Panel, KeystrokesBuildProgramText) {
+  CalculatorPanel panel;
+  panel.declare_input("a");
+  panel.declare_local("g");
+  panel.press_variable("g");
+  panel.press(Key::Assign);
+  panel.press_variable("a");
+  panel.press(Key::Divide);
+  panel.press(Key::D2);
+  panel.press(Key::Enter);
+  EXPECT_EQ(panel.program_text(), "g := a / 2\n");
+}
+
+TEST(Panel, DigitsChainWithoutSpaces) {
+  CalculatorPanel panel;
+  panel.declare_local("x");
+  panel.press_variable("x");
+  panel.press(Key::Assign);
+  panel.press(Key::D1);
+  panel.press(Key::D2);
+  panel.press(Key::Dot);
+  panel.press(Key::D5);
+  EXPECT_EQ(panel.program_text(), "x := 12.5");
+}
+
+TEST(Panel, FunctionAndConstantButtons) {
+  CalculatorPanel panel;
+  panel.declare_local("y");
+  panel.press_variable("y");
+  panel.press(Key::Assign);
+  panel.press_function("sin");
+  panel.press_constant("pi");
+  panel.press(Key::RParen);
+  EXPECT_EQ(panel.program_text(), "y := sin(pi)");
+  // And it parses and runs.
+  const auto result = panel.trial_run({});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NEAR(result.env.at("y").as_scalar(), 0.0, 1e-12);
+}
+
+TEST(Panel, RejectsUnknownButtons) {
+  CalculatorPanel panel;
+  EXPECT_THROW(panel.press_function("frobnicate"), banger::Error);
+  EXPECT_THROW(panel.press_constant("tau"), banger::Error);
+  EXPECT_THROW(panel.press_variable("undeclared"), banger::Error);
+}
+
+TEST(Panel, BackspaceUndoesKeystrokes) {
+  CalculatorPanel panel;
+  panel.declare_local("x");
+  panel.press_variable("x");
+  panel.press(Key::Assign);
+  panel.press(Key::D7);
+  panel.backspace();
+  panel.press(Key::D8);
+  EXPECT_EQ(panel.program_text(), "x := 8");
+  panel.clear();
+  EXPECT_EQ(panel.program_text(), "");
+}
+
+TEST(Panel, KeycapsCoverLayout) {
+  for (const auto& row : panel_layout()) {
+    for (Key k : row) {
+      EXPECT_FALSE(std::string(keycap(k)).empty());
+    }
+  }
+}
+
+TEST(Panel, TrialRunSquareRoot) {
+  // The Figure 4 scenario: Newton-Raphson sqrt as a panel program.
+  CalculatorPanel panel("SquareRoot");
+  panel.declare_input("a");
+  panel.declare_output("x");
+  panel.declare_local("guess");
+  panel.declare_local("i");
+  panel.set_program_text(
+      "guess := a / 2\n"
+      "i := 0\n"
+      "while i < 20 do\n"
+      "  guess := 0.5 * (guess + a / guess)\n"
+      "  i := i + 1\n"
+      "end\n"
+      "x := guess\n");
+  EXPECT_TRUE(panel.lint().empty());
+  const auto result = panel.trial_run({{"a", pits::Value(2.0)}});
+  ASSERT_TRUE(result.ok) << result.error;
+  EXPECT_NEAR(result.env.at("x").as_scalar(), std::sqrt(2.0), 1e-12);
+}
+
+TEST(Panel, TrialRunReportsErrorsInsteadOfThrowing) {
+  CalculatorPanel panel;
+  panel.set_program_text("x := 1 / 0\n");
+  const auto result = panel.trial_run({});
+  EXPECT_FALSE(result.ok);
+  EXPECT_NE(result.error.find("division by zero"), std::string::npos);
+}
+
+TEST(Panel, TrialRunCapturesTranscript) {
+  CalculatorPanel panel;
+  panel.set_program_text("print(\"hello\", 1 + 1)\n");
+  const auto result = panel.trial_run({});
+  ASSERT_TRUE(result.ok);
+  EXPECT_EQ(result.transcript, "hello 2\n");
+}
+
+TEST(Panel, LintFindsUndeclaredReads) {
+  CalculatorPanel panel;
+  panel.declare_output("y");
+  panel.set_program_text("y := mystery + 1\n");
+  const auto issues = panel.lint();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("mystery"), std::string::npos);
+}
+
+TEST(Panel, LintFindsUnassignedOutputs) {
+  CalculatorPanel panel;
+  panel.declare_output("result");
+  panel.set_program_text("tmp := 1\n");
+  const auto issues = panel.lint();
+  // tmp is undeclared AND result never assigned.
+  EXPECT_EQ(issues.size(), 1u);  // tmp is assigned, not read -> only output issue
+  EXPECT_NE(issues[0].find("result"), std::string::npos);
+}
+
+TEST(Panel, LintReportsParseErrors) {
+  CalculatorPanel panel;
+  panel.set_program_text("x := := 1\n");
+  const auto issues = panel.lint();
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].find("parse"), std::string::npos);
+}
+
+TEST(Panel, ToNodeAndBack) {
+  CalculatorPanel panel("compute");
+  panel.declare_input("a");
+  panel.declare_output("b");
+  panel.set_program_text("b := a * 2\n");
+  const auto node = panel.to_node(5.0);
+  EXPECT_EQ(node.kind, graph::NodeKind::Task);
+  EXPECT_EQ(node.name, "compute");
+  EXPECT_DOUBLE_EQ(node.work, 5.0);
+  EXPECT_EQ(node.inputs, (std::vector<std::string>{"a"}));
+  EXPECT_EQ(node.outputs, (std::vector<std::string>{"b"}));
+
+  const auto panel2 = CalculatorPanel::from_node(node);
+  EXPECT_EQ(panel2.task_name(), "compute");
+  EXPECT_EQ(panel2.program_text(), panel.program_text());
+  EXPECT_EQ(panel2.inputs(), panel.inputs());
+  EXPECT_EQ(panel2.outputs(), panel.outputs());
+}
+
+TEST(Panel, FromNodeRejectsNonTasks) {
+  graph::Node store;
+  store.kind = graph::NodeKind::Storage;
+  store.name = "s";
+  EXPECT_THROW((void)CalculatorPanel::from_node(store), banger::Error);
+}
+
+TEST(Panel, RenderShowsAllWindows) {
+  CalculatorPanel panel("SquareRoot");
+  panel.declare_input("a");
+  panel.declare_output("x");
+  panel.declare_local("guess");
+  panel.set_program_text("guess := a / 2\nx := guess\n");
+  const std::string view = panel.render();
+  for (const char* needle :
+       {"task SquareRoot", "inputs:", "outputs:", "locals:", "guess",
+        "[while", "guess := a / 2"}) {
+    EXPECT_NE(view.find(needle), std::string::npos) << needle;
+  }
+}
+
+}  // namespace
+}  // namespace banger::calc

@@ -1,0 +1,327 @@
+// CLI tests: every command driven through cli::run with captured
+// streams, exercising the tool exactly as a shell user would.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "cli/cli.hpp"
+#include "graph/serialize.hpp"
+#include "machine/serialize.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::cli {
+namespace {
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult invoke(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult r;
+  r.code = run(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+class CliFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    design_path_ = testing::TempDir() + "/cli_lu.pitl";
+    machine_path_ = testing::TempDir() + "/cli_cube.machine";
+    graph::save_design(workloads::lu3x3_design(), design_path_);
+    std::ofstream(machine_path_) << "machine cube4\n"
+                                    "topology hypercube dim=2\n"
+                                    "speed 1\n"
+                                    "message_startup 0.05\n"
+                                    "bandwidth 512\n";
+  }
+  std::string design_path_;
+  std::string machine_path_;
+};
+
+TEST(Cli, NoArgsShowsUsageWithCode2) {
+  const auto r = invoke({});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.out.find("usage: banger"), std::string::npos);
+}
+
+TEST(Cli, HelpExitsZero) {
+  const auto r = invoke({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("commands:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommand) {
+  const auto r = invoke({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, MissingFileIsUserError) {
+  const auto r = invoke({"info", "/no/such/file.pitl"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("banger:"), std::string::npos);
+}
+
+TEST_F(CliFiles, Info) {
+  const auto r = invoke({"info", design_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("leaf tasks: 9"), std::string::npos);
+  EXPECT_NE(r.out.find("input stores: A b"), std::string::npos);
+  EXPECT_NE(r.out.find("output stores: x"), std::string::npos);
+}
+
+TEST_F(CliFiles, Validate) {
+  const auto r = invoke({"validate", design_path_});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("ok:"), std::string::npos);
+}
+
+TEST_F(CliFiles, Flatten) {
+  const auto r = invoke({"flatten", design_path_});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("solve.back"), std::string::npos);
+  EXPECT_NE(r.out.find("fan1"), std::string::npos);
+}
+
+TEST_F(CliFiles, DotToStdoutAndFile) {
+  const auto r = invoke({"dot", design_path_});
+  ASSERT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("digraph"), std::string::npos);
+
+  const std::string path = testing::TempDir() + "/cli_out.dot";
+  const auto r2 = invoke({"dot", design_path_, "-o", path});
+  ASSERT_EQ(r2.code, 0);
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_NE(first.find("digraph"), std::string::npos);
+}
+
+TEST(Cli, Topo) {
+  const auto r = invoke({"topo", "mesh", "rows=2", "cols=3"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("6 processors"), std::string::npos);
+  EXPECT_NE(r.out.find("7 links"), std::string::npos);
+}
+
+TEST_F(CliFiles, ScheduleGantt) {
+  const auto r = invoke({"schedule", design_path_, machine_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("Gantt chart"), std::string::npos);
+  EXPECT_NE(r.out.find("makespan"), std::string::npos);
+}
+
+TEST_F(CliFiles, ScheduleTableAndSvg) {
+  const auto table = invoke(
+      {"schedule", design_path_, machine_path_, "--format", "table"});
+  ASSERT_EQ(table.code, 0);
+  EXPECT_NE(table.out.find("start"), std::string::npos);
+
+  const auto svg = invoke(
+      {"schedule", design_path_, machine_path_, "--format", "svg"});
+  ASSERT_EQ(svg.code, 0);
+  EXPECT_NE(svg.out.find("<svg"), std::string::npos);
+}
+
+TEST_F(CliFiles, ScheduleWithExplicitScheduler) {
+  for (const char* name : {"mcp", "dsh", "cluster", "serial"}) {
+    const auto r = invoke(
+        {"schedule", design_path_, machine_path_, "--scheduler", name});
+    EXPECT_EQ(r.code, 0) << name << ": " << r.err;
+  }
+  const auto bad = invoke(
+      {"schedule", design_path_, machine_path_, "--scheduler", "nope"});
+  EXPECT_EQ(bad.code, 1);
+}
+
+TEST_F(CliFiles, Speedup) {
+  const auto r = invoke(
+      {"speedup", design_path_, machine_path_, "--sizes", "1,2,4"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("procs"), std::string::npos);
+  EXPECT_NE(r.out.find("ideal linear"), std::string::npos);
+}
+
+TEST_F(CliFiles, SpeedupRejectsBadSizes) {
+  const auto r = invoke(
+      {"speedup", design_path_, machine_path_, "--sizes", "1,zero"});
+  EXPECT_EQ(r.code, 1);
+}
+
+TEST_F(CliFiles, Simulate) {
+  const auto r = invoke(
+      {"simulate", design_path_, machine_path_, "--events", "5"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("simulated makespan"), std::string::npos);
+  EXPECT_NE(r.out.find("t="), std::string::npos);
+}
+
+TEST_F(CliFiles, SimulateWithContention) {
+  const auto r = invoke(
+      {"simulate", design_path_, machine_path_, "--contention"});
+  ASSERT_EQ(r.code, 0) << r.err;
+}
+
+TEST_F(CliFiles, TrialRunSolvesSystem) {
+  const auto r = invoke({"trial", design_path_, "--input",
+                         "A=[4,3,2,8,8,5,4,7,9]", "--input", "b=[16,39,45]"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("x = [1, 2, 3]"), std::string::npos);
+}
+
+TEST_F(CliFiles, RunMatchesTrial) {
+  const auto r = invoke({"run", design_path_, machine_path_, "--input",
+                         "A=[4,3,2,8,8,5,4,7,9]", "--input", "b=[16,39,45]"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("x = [1, 2, 3]"), std::string::npos);
+}
+
+TEST_F(CliFiles, InputsAreFullPitsExpressions) {
+  const auto r = invoke({"trial", design_path_, "--input",
+                         "A=[4,3,2,8,8,5,4,7,9]", "--input",
+                         "b=[2^4, 39, 40+5]"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("x = [1, 2, 3]"), std::string::npos);
+}
+
+TEST_F(CliFiles, TrialMissingInputFails) {
+  const auto r = invoke({"trial", design_path_});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("input store"), std::string::npos);
+}
+
+TEST_F(CliFiles, Codegen) {
+  const auto r = invoke({"codegen", design_path_, machine_path_, "--input",
+                         "A=[4,3,2,8,8,5,4,7,9]", "--input", "b=[16,39,45]"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("int main()"), std::string::npos);
+  EXPECT_NE(r.out.find("task_0"), std::string::npos);
+}
+
+TEST_F(CliFiles, ScheduleTraceFormat) {
+  const auto r = invoke(
+      {"schedule", design_path_, machine_path_, "--format", "trace"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '[');
+  EXPECT_NE(r.out.find("\"ph\": \"X\""), std::string::npos);
+}
+
+TEST_F(CliFiles, SimulateWritesTraceFile) {
+  const std::string path = testing::TempDir() + "/cli_sim_trace.json";
+  const auto r = invoke({"simulate", design_path_, machine_path_, "-o", path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "[");
+}
+
+TEST_F(CliFiles, LintCleanDesign) {
+  const auto r = invoke({"lint", design_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("clean"), std::string::npos);
+}
+
+TEST(Cli, LintBrokenDesignExitsOne) {
+  const std::string path = testing::TempDir() + "/cli_broken.pitl";
+  std::ofstream(path) << "design broken\n"
+                         "graph broken\n"
+                         "  task t out=r\n"
+                         "  pits {\n"
+                         "    r := mystery\n"
+                         "  }\n";
+  const auto r = invoke({"lint", path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("error:"), std::string::npos);
+}
+
+TEST_F(CliFiles, CompareListsAllHeuristics) {
+  const auto r = invoke({"compare", design_path_, machine_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (const char* name : {"mh", "mcp", "etf", "dsh", "cluster", "serial"}) {
+    EXPECT_NE(r.out.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(CliFiles, GrainSweep) {
+  const auto r = invoke({"grain", design_path_, machine_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("min grain"), std::string::npos);
+  EXPECT_NE(r.out.find("(none)"), std::string::npos);
+}
+
+TEST_F(CliFiles, ScheduleShowsUtilization) {
+  const auto r = invoke({"schedule", design_path_, machine_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("processor utilisation"), std::string::npos);
+}
+
+TEST_F(CliFiles, ExplainReport) {
+  const auto r = invoke({"explain", design_path_, machine_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("critical parent"), std::string::npos);
+  EXPECT_NE(r.out.find("fan1"), std::string::npos);
+  const auto one = invoke(
+      {"explain", design_path_, machine_path_, "--task", "solve.back"});
+  ASSERT_EQ(one.code, 0) << one.err;
+  EXPECT_NE(one.out.find("solve.back"), std::string::npos);
+}
+
+TEST_F(CliFiles, ReportIsSelfContainedMarkdown) {
+  const auto r = invoke({"report", design_path_, machine_path_, "--sizes",
+                         "1,2,4"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  for (const char* needle :
+       {"# banger report: lu3x3", "## Design", "## Lint", "clean",
+        "## Schedule", "## Speedup prediction", "## Heuristic comparison",
+        "Gantt chart"}) {
+    EXPECT_NE(r.out.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST_F(CliFiles, SplitSweep) {
+  const auto r = invoke({"split", design_path_, machine_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("split threshold"), std::string::npos);
+  EXPECT_NE(r.out.find("(none)"), std::string::npos);
+}
+
+TEST_F(CliFiles, HtmlReport) {
+  const auto r = invoke({"report", design_path_, machine_path_, "--format",
+                         "html", "--sizes", "1,2,4"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.rfind("<!DOCTYPE html>", 0), 0u);
+  for (const char* needle :
+       {"<svg", "Heuristic comparison", "Speedup prediction", "lu3x3",
+        "</html>"}) {
+    EXPECT_NE(r.out.find(needle), std::string::npos) << needle;
+  }
+  // Gantt SVG plus speedup SVG.
+  std::size_t svgs = 0;
+  for (auto pos = r.out.find("<svg"); pos != std::string::npos;
+       pos = r.out.find("<svg", pos + 1)) {
+    ++svgs;
+  }
+  EXPECT_EQ(svgs, 2u);
+}
+
+TEST_F(CliFiles, BadOptionIsUsageError) {
+  const auto r = invoke({"info", design_path_, "--bogus"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST_F(CliFiles, BadInputSyntax) {
+  const auto r = invoke({"trial", design_path_, "--input", "no_equals"});
+  EXPECT_EQ(r.code, 1);
+}
+
+}  // namespace
+}  // namespace banger::cli

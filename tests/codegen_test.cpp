@@ -1,0 +1,197 @@
+// Code generator tests: structure of the emitted program, and (when a
+// host compiler is available) compile-and-run agreement with the
+// interpreter.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "codegen/codegen.hpp"
+#include "codegen/runtime_preamble.hpp"
+#include "exec/executor.hpp"
+#include "sched/heuristics.hpp"
+#include "workloads/designs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::codegen {
+namespace {
+
+using pits::Value;
+using pits::Vector;
+
+machine::Machine make_machine(int procs) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.01;
+  p.bytes_per_second = 1e6;
+  return machine::Machine(machine::Topology::fully_connected(procs), p);
+}
+
+std::map<std::string, Value> lu_inputs() {
+  return {{"A", Value(Vector{4, 3, 2, 8, 8, 5, 4, 7, 9})},
+          {"b", Value(Vector{16, 39, 45})}};
+}
+
+TEST(Preamble, ContainsRuntimeEssentials) {
+  const std::string pre = runtime_preamble();
+  for (const char* needle :
+       {"struct Val", "inline Val add", "struct Rng", "b_print", "b_dot",
+        "set_idx", "division by zero"}) {
+    EXPECT_NE(pre.find(needle), std::string::npos) << needle;
+  }
+}
+
+TEST(Generate, LuProgramStructure) {
+  auto flat = workloads::lu3x3_design().flatten();
+  auto m = make_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  const std::string src = generate_cpp(flat, schedule, lu_inputs());
+
+  for (const char* needle :
+       {"int main()", "static void task_0()", "publish(", "fetch(",
+        "std::thread", "x = %s"}) {
+    EXPECT_NE(src.find(needle), std::string::npos) << needle;
+  }
+  // One task function per task.
+  for (graph::TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
+    EXPECT_NE(src.find("static void task_" + std::to_string(t) + "()"),
+              std::string::npos);
+  }
+  // Input store values are baked in.
+  EXPECT_NE(src.find("rt::vecv({4"), std::string::npos);
+}
+
+TEST(Generate, TranslatesControlFlow) {
+  graph::TaskGraph g;
+  graph::Task t;
+  t.name = "looper";
+  t.work = 1;
+  t.outputs = {"r"};
+  t.pits =
+      "r := 0\n"
+      "for i := 1 to 10 do\n"
+      "  if i mod 2 = 0 then\n"
+      "    r := r + i\n"
+      "  elsif i = 5 then\n"
+      "    r := r + 100\n"
+      "  else\n"
+      "    r := r - 1\n"
+      "  end\n"
+      "end\n"
+      "while r > 20 do\n"
+      "  r := r - 1\n"
+      "end\n"
+      "repeat 2 times\n"
+      "  r := r + 100\n"
+      "end\n";
+  g.add_task(std::move(t));
+  graph::FlattenResult flat;
+  flat.graph = std::move(g);
+  auto m = make_machine(1);
+  const auto schedule = sched::SerialScheduler().run(flat.graph, m);
+  const std::string src = generate_cpp(flat, schedule, {});
+  EXPECT_NE(src.find("for (double"), std::string::npos);
+  EXPECT_NE(src.find("while (rt::truthy("), std::string::npos);
+  EXPECT_NE(src.find("} else if"), std::string::npos) << src;
+}
+
+TEST(Generate, RandGetsTaskSeededRng) {
+  auto flat = workloads::montecarlo_design(2, 10).flatten();
+  auto m = make_machine(2);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  const std::string src = generate_cpp(flat, schedule, {});
+  EXPECT_NE(src.find("rt::Rng rng("), std::string::npos);
+  EXPECT_NE(src.find("rt::b_rand(rng)"), std::string::npos);
+}
+
+TEST(Generate, FailsOnMissingInput) {
+  auto flat = workloads::lu3x3_design().flatten();
+  auto m = make_machine(2);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  EXPECT_THROW((void)generate_cpp(flat, schedule, {}), Error);
+}
+
+TEST(Generate, TimingOptionAddsChrono) {
+  auto flat = workloads::lu3x3_design().flatten();
+  auto m = make_machine(2);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  CodegenOptions opts;
+  opts.emit_timing = true;
+  const std::string src = generate_cpp(flat, schedule, lu_inputs(), opts);
+  EXPECT_NE(src.find("#include <chrono>"), std::string::npos);
+  EXPECT_NE(src.find("steady_clock"), std::string::npos);
+}
+
+// ---- compile-and-run integration (skipped without a compiler) ----
+
+bool have_compiler() {
+  return std::system("c++ --version > /dev/null 2>&1") == 0;
+}
+
+std::string run_generated(const std::string& src, const std::string& tag) {
+  const std::string dir = testing::TempDir();
+  const std::string cpp = dir + "/gen_" + tag + ".cpp";
+  const std::string bin = dir + "/gen_" + tag;
+  std::ofstream(cpp) << src;
+  const std::string compile =
+      "c++ -std=c++17 -O1 -pthread -o " + bin + " " + cpp + " 2> " + bin +
+      ".log";
+  if (std::system(compile.c_str()) != 0) {
+    std::ifstream log(bin + ".log");
+    std::string line, all;
+    while (std::getline(log, line)) all += line + "\n";
+    ADD_FAILURE() << "generated program failed to compile:\n" << all;
+    return {};
+  }
+  const std::string out_path = bin + ".out";
+  if (std::system((bin + " > " + out_path).c_str()) != 0) {
+    ADD_FAILURE() << "generated program crashed";
+    return {};
+  }
+  std::ifstream out(out_path);
+  std::string line, all;
+  while (std::getline(out, line)) all += line + "\n";
+  return all;
+}
+
+TEST(GeneratedProgram, LuSolvesSameSystem) {
+  if (!have_compiler()) GTEST_SKIP() << "no host compiler";
+  auto flat = workloads::lu3x3_design().flatten();
+  auto m = make_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  const std::string output = run_generated(
+      generate_cpp(flat, schedule, lu_inputs()), "lu");
+  EXPECT_NE(output.find("x = [1, 2, 3]"), std::string::npos) << output;
+}
+
+TEST(GeneratedProgram, MontecarloMatchesInterpreter) {
+  if (!have_compiler()) GTEST_SKIP() << "no host compiler";
+  auto flat = workloads::montecarlo_design(3, 400).flatten();
+  auto m = make_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  const std::string output =
+      run_generated(generate_cpp(flat, schedule, {}), "mc");
+
+  const auto interp = exec::run_sequential(flat, {});
+  const std::string expect =
+      "pi_est = " + interp.outputs.at("pi_est").to_display();
+  EXPECT_NE(output.find(expect), std::string::npos)
+      << "generated: " << output << "\nexpected: " << expect;
+}
+
+TEST(GeneratedProgram, DuplicateSchedulesStillCorrect) {
+  if (!have_compiler()) GTEST_SKIP() << "no host compiler";
+  auto flat = workloads::lu3x3_design().flatten();
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 5.0;  // push DSH toward duplication
+  machine::Machine m(machine::Topology::fully_connected(3), p);
+  const auto schedule = sched::DshScheduler().run(flat.graph, m);
+  const std::string output = run_generated(
+      generate_cpp(flat, schedule, lu_inputs()), "ludup");
+  EXPECT_NE(output.find("x = [1, 2, 3]"), std::string::npos) << output;
+}
+
+}  // namespace
+}  // namespace banger::codegen

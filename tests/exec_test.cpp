@@ -1,0 +1,278 @@
+// Runtime executor tests: sequential trial runs, parallel execution on
+// real threads, value routing, determinism, error propagation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/executor.hpp"
+#include "sched/heuristics.hpp"
+#include "workloads/designs.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+#include "workloads/synth.hpp"
+
+namespace banger::exec {
+namespace {
+
+using pits::Value;
+using pits::Vector;
+
+Machine make_machine(int procs) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.01;
+  p.bytes_per_second = 1e6;
+  return Machine(machine::Topology::fully_connected(procs), p);
+}
+
+std::map<std::string, Value> lu_inputs() {
+  // A = [[4,3,2],[8,8,5],[4,7,9]]  (no pivoting needed), b chosen so x = [1,2,3].
+  return {{"A", Value(Vector{4, 3, 2, 8, 8, 5, 4, 7, 9})},
+          {"b", Value(Vector{4 + 6 + 6, 8 + 16 + 15, 4 + 14 + 27})}};
+}
+
+TEST(Sequential, LuSolvesSystem) {
+  auto flat = workloads::lu3x3_design().flatten();
+  const auto result = run_sequential(flat, lu_inputs());
+  ASSERT_TRUE(result.outputs.contains("x"));
+  const auto& x = result.outputs.at("x").as_vector();
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_NEAR(x[0], 1.0, 1e-9);
+  EXPECT_NEAR(x[1], 2.0, 1e-9);
+  EXPECT_NEAR(x[2], 3.0, 1e-9);
+}
+
+TEST(Sequential, StoresEchoInputsAndIntermediates) {
+  auto flat = workloads::lu3x3_design().flatten();
+  const auto result = run_sequential(flat, lu_inputs());
+  EXPECT_TRUE(result.stores.contains("A"));
+  EXPECT_TRUE(result.stores.contains("L"));
+  EXPECT_TRUE(result.stores.contains("U"));
+  // L's diagonal is ones.
+  const auto& L = result.stores.at("L").as_vector();
+  EXPECT_DOUBLE_EQ(L[0], 1.0);
+  EXPECT_DOUBLE_EQ(L[4], 1.0);
+  EXPECT_DOUBLE_EQ(L[8], 1.0);
+}
+
+TEST(Sequential, RunsRecordTopologicalOrder) {
+  auto flat = workloads::lu3x3_design().flatten();
+  const auto result = run_sequential(flat, lu_inputs());
+  ASSERT_EQ(result.runs.size(), flat.graph.num_tasks());
+  // fan1 precedes upd2 and solve.back comes last-ish: check precedence.
+  std::map<graph::TaskId, std::size_t> position;
+  for (std::size_t i = 0; i < result.runs.size(); ++i) {
+    position[result.runs[i].task] = i;
+  }
+  for (const auto& e : flat.graph.edges()) {
+    EXPECT_LT(position.at(e.from), position.at(e.to));
+  }
+}
+
+TEST(Sequential, MissingInputStoreValueFails) {
+  auto flat = workloads::lu3x3_design().flatten();
+  EXPECT_THROW((void)run_sequential(flat, {{"A", Value(Vector{1})}}), Error);
+}
+
+TEST(Sequential, TaskErrorNamesTheTask) {
+  auto flat = workloads::lu3x3_design().flatten();
+  auto inputs = lu_inputs();
+  inputs["A"] = Value(Vector{0, 3, 2, 8, 8, 5, 4, 7, 9});  // zero pivot
+  try {
+    (void)run_sequential(flat, inputs);
+    FAIL() << "expected division by zero";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Runtime);
+    EXPECT_NE(std::string(e.what()).find("fan1"), std::string::npos);
+  }
+}
+
+TEST(Parallel, MatchesSequentialOnLu) {
+  auto flat = workloads::lu3x3_design().flatten();
+  auto m = make_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  const auto par = executor.run(schedule, lu_inputs());
+  const auto seq = run_sequential(flat, lu_inputs());
+  ASSERT_TRUE(par.outputs.contains("x"));
+  EXPECT_EQ(par.outputs.at("x"), seq.outputs.at("x"));
+  EXPECT_EQ(par.stores.at("U"), seq.stores.at("U"));
+}
+
+TEST(Parallel, EveryScheduleGivesSameAnswer) {
+  auto flat = workloads::lu3x3_design().flatten();
+  auto m = make_machine(4);
+  const auto seq = run_sequential(flat, lu_inputs());
+  for (const char* heuristic :
+       {"mh", "etf", "hlfet", "dls", "dsh", "cluster", "serial",
+        "roundrobin"}) {
+    const auto scheduler = sched::make_scheduler(heuristic);
+    const auto schedule = scheduler->run(flat.graph, m);
+    Executor executor(flat, m);
+    const auto par = executor.run(schedule, lu_inputs());
+    EXPECT_EQ(par.outputs.at("x"), seq.outputs.at("x")) << heuristic;
+  }
+}
+
+TEST(Parallel, MontecarloDeterministicAcrossModes) {
+  auto flat = workloads::montecarlo_design(4, 500).flatten();
+  auto m = make_machine(4);
+  const auto seq = run_sequential(flat, {});
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  const auto par = executor.run(schedule, {});
+  // rand() streams are task-seeded: parallel == sequential exactly.
+  EXPECT_EQ(par.outputs.at("pi_est"), seq.outputs.at("pi_est"));
+  const double pi_est = seq.outputs.at("pi_est").as_scalar();
+  EXPECT_NEAR(pi_est, 3.14159, 0.3);
+}
+
+TEST(Parallel, SignalPipelineRuns) {
+  auto flat = workloads::signal_pipeline_design(3).flatten();
+  auto m = make_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  pits::Vector signal;
+  for (int i = 0; i < 32; ++i) signal.push_back(std::sin(i * 0.3));
+  const auto result =
+      executor.run(schedule, {{"signal", Value(signal)}});
+  ASSERT_TRUE(result.outputs.contains("energy"));
+  const auto& energy = result.outputs.at("energy").as_vector();
+  ASSERT_EQ(energy.size(), 3u);
+  // Channel scales are 1, 2, 3: energies must increase quadratically.
+  EXPECT_NEAR(energy[1] / energy[0], 4.0, 1e-9);
+  EXPECT_NEAR(energy[2] / energy[0], 9.0, 1e-9);
+}
+
+TEST(Parallel, PolyevalConcatenatesSlices) {
+  auto flat = workloads::polyeval_design(3).flatten();
+  auto m = make_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  // p(x) = 1 + 2x + x^2 over xs = 0..7
+  pits::Vector xs;
+  for (int i = 0; i < 8; ++i) xs.push_back(i);
+  const auto result = executor.run(
+      schedule, {{"coeffs", Value(Vector{1, 2, 1})}, {"xs", Value(xs)}});
+  const auto& ys = result.outputs.at("ys").as_vector();
+  ASSERT_EQ(ys.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_NEAR(ys[static_cast<std::size_t>(i)], (i + 1.0) * (i + 1.0), 1e-9);
+  }
+}
+
+TEST(Parallel, HeatDiffusionConservesAndSpreads) {
+  auto flat = workloads::heat_design(3, 6, 8).flatten();
+  auto m = make_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  pits::Vector rod(24, 0.0);
+  rod[12] = 60.0;
+  const auto result = executor.run(schedule, {{"rod", pits::Value(rod)}});
+  const auto& out = result.outputs.at("result").as_vector();
+  ASSERT_EQ(out.size(), 24u);
+  double total = 0;
+  double peak = 0;
+  for (double v : out) {
+    EXPECT_GE(v, 0.0);
+    total += v;
+    peak = std::max(peak, v);
+  }
+  // Interior spike: no boundary loss yet, heat conserved, peak flattened.
+  EXPECT_NEAR(total, 60.0, 1e-9);
+  EXPECT_LT(peak, 60.0);
+  EXPECT_GT(out[11], 0.0);  // spread to the neighbours across segments
+  EXPECT_GT(out[13], 0.0);
+  // Agreement with the sequential trial run.
+  const auto seq = run_sequential(flat, {{"rod", pits::Value(rod)}});
+  EXPECT_EQ(seq.outputs.at("result"), result.outputs.at("result"));
+}
+
+TEST(Parallel, SynthesizedGraphExecutes) {
+  auto g = workloads::fft_taskgraph(4, 0.05, 8.0);
+  workloads::synthesize_pits(g);
+  auto flat = workloads::as_flatten(std::move(g));
+  auto m = make_machine(4);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  const auto result = executor.run(schedule, {});
+  EXPECT_EQ(result.runs.size(), flat.graph.num_tasks());
+  EXPECT_GT(result.wall_seconds, 0.0);
+}
+
+TEST(Parallel, ErrorPropagatesFromWorkerThread) {
+  auto flat = workloads::lu3x3_design().flatten();
+  auto m = make_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  auto inputs = lu_inputs();
+  inputs["A"] = Value(Vector{0, 3, 2, 8, 8, 5, 4, 7, 9});
+  EXPECT_THROW((void)executor.run(schedule, inputs), Error);
+}
+
+TEST(Parallel, DuplicateCopiesAgree) {
+  auto g = workloads::fork_join(6, 0.05, 8.0);
+  workloads::synthesize_pits(g);
+  auto flat = workloads::as_flatten(std::move(g));
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 2.0;  // force DSH to duplicate
+  Machine m(machine::Topology::fully_connected(4), p);
+  const auto schedule = sched::DshScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  const auto result = executor.run(schedule, {});
+  // Runs include duplicates, all successfully cross-checked.
+  EXPECT_GE(result.runs.size(), flat.graph.num_tasks());
+}
+
+TEST(Parallel, TranscriptCapturedOnce) {
+  graph::TaskGraph g;
+  graph::Task t;
+  t.name = "talker";
+  t.work = 1;
+  t.pits = "print(\"from task\")\nout := 1\n";
+  t.outputs = {"out"};
+  g.add_task(std::move(t));
+  auto flat = workloads::as_flatten(std::move(g));
+  auto m = make_machine(2);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  const auto result = executor.run(schedule, {});
+  EXPECT_EQ(result.transcript, "[talker]\nfrom task\n");
+}
+
+TEST(Parallel, EmptyPitsWithOutputsRejected) {
+  graph::TaskGraph g;
+  graph::Task t;
+  t.name = "hollow";
+  t.outputs = {"x"};
+  g.add_task(std::move(t));
+  auto flat = workloads::as_flatten(std::move(g));
+  EXPECT_THROW((void)run_sequential(flat, {}), Error);
+}
+
+TEST(Parallel, StressRepeatedRunsStayDeterministic) {
+  // Shake out races: many parallel runs of the same program must agree
+  // exactly with each other and with the sequential reference.
+  auto flat = workloads::montecarlo_design(6, 200).flatten();
+  auto m = make_machine(6);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  Executor executor(flat, m);
+  const auto reference = run_sequential(flat, {});
+  for (int round = 0; round < 25; ++round) {
+    const auto result = executor.run(schedule, {});
+    ASSERT_EQ(result.outputs.at("pi_est"), reference.outputs.at("pi_est"))
+        << "round " << round;
+  }
+}
+
+TEST(Parallel, PureSyncTasksAllowed) {
+  graph::TaskGraph g;
+  g.add_task({"barrier", 1, "", {}, {}});
+  auto flat = workloads::as_flatten(std::move(g));
+  const auto result = run_sequential(flat, {});
+  EXPECT_EQ(result.runs.size(), 1u);
+}
+
+}  // namespace
+}  // namespace banger::exec

@@ -1,0 +1,100 @@
+// Placement-rationale reporting (the "why is my task over there?"
+// feedback).
+#include <gtest/gtest.h>
+
+#include "sched/explain.hpp"
+#include "sched/heuristics.hpp"
+#include "util/error.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::sched {
+namespace {
+
+Machine full(int procs, double ccr) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = ccr / 2.0;
+  p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+  return Machine(machine::Topology::fully_connected(procs), p);
+}
+
+TEST(Explain, CoversEveryTaskInScheduleOrder) {
+  const auto g = workloads::lu_taskgraph(5);
+  const auto m = full(4, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  const auto rationales = explain_schedule(s, g, m);
+  ASSERT_EQ(rationales.size(), g.num_tasks());
+  for (std::size_t i = 1; i < rationales.size(); ++i) {
+    EXPECT_LE(rationales[i - 1].start, rationales[i].start + 1e-12);
+  }
+}
+
+TEST(Explain, SourceTasksHaveNoCriticalParent) {
+  const auto g = workloads::fork_join(4, 1.0, 8.0);
+  const auto m = full(2, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  const auto rationales = explain_schedule(s, g, m);
+  for (const auto& r : rationales) {
+    if (g.in_edges(r.task).empty()) {
+      EXPECT_EQ(r.critical_parent, graph::kNoTask);
+      for (double ready : r.data_ready) EXPECT_DOUBLE_EQ(ready, 0.0);
+    } else {
+      EXPECT_NE(r.critical_parent, graph::kNoTask);
+    }
+  }
+}
+
+TEST(Explain, DataReadyConsistentWithStart) {
+  // A task can never start before its data is ready on its processor.
+  const auto g = workloads::diamond(4, 4, 2.0, 16.0);
+  const auto m = full(4, 1.0);
+  for (const char* name : {"mh", "dsh", "roundrobin"}) {
+    const auto s = make_scheduler(name)->run(g, m);
+    for (const auto& r : explain_schedule(s, g, m)) {
+      EXPECT_GE(r.start + 1e-9,
+                r.data_ready[static_cast<std::size_t>(r.chosen)])
+          << name;
+      EXPECT_GE(r.arrival_penalty, -1e-12) << name;
+    }
+  }
+}
+
+TEST(Explain, SameProcessorPlacementHasZeroPenalty) {
+  // Two-task chain: MH keeps the consumer beside its producer, so the
+  // consumer's arrival penalty is zero.
+  graph::TaskGraph g;
+  g.add_task({"a", 2, "", {}, {}});
+  g.add_task({"b", 2, "", {}, {}});
+  g.add_edge(0, 1, 64);
+  const auto m = full(3, 2.0);
+  const auto s = MhScheduler().run(g, m);
+  const auto rationales = explain_schedule(s, g, m);
+  EXPECT_DOUBLE_EQ(rationales[1].arrival_penalty, 0.0);
+  EXPECT_EQ(rationales[1].critical_parent, 0u);
+}
+
+TEST(Explain, ReportFiltersByTask) {
+  const auto g = workloads::lu_taskgraph(4);
+  const auto m = full(3, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  const std::string all = explain_report(s, g, m);
+  EXPECT_NE(all.find("fan0"), std::string::npos);
+  EXPECT_NE(all.find("penalty"), std::string::npos);
+  const std::string one = explain_report(s, g, m, "fan1");
+  EXPECT_NE(one.find("fan1"), std::string::npos);
+  EXPECT_EQ(one.find("upd0_1 "), std::string::npos);
+  EXPECT_THROW((void)explain_report(s, g, m, "nosuch"), Error);
+}
+
+TEST(Explain, QueueWaitNonNegative) {
+  const auto g = workloads::fft_taskgraph(8, 1.0, 32.0);
+  const auto m = full(4, 1.0);
+  const auto s = EtfScheduler().run(g, m);
+  for (const auto& r : explain_schedule(s, g, m)) {
+    EXPECT_GE(r.queue_wait, -1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace banger::sched

@@ -1,0 +1,75 @@
+// Golden determinism: the exact MH schedule of the paper's LU design on
+// the FIG3 hypercube-8 machine is pinned placement by placement. Any
+// change to tie-breaking, priorities, or the communication model shows
+// up here first — update deliberately, alongside EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sched/serialize.hpp"
+#include "sched/speedup.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::sched {
+namespace {
+
+Machine fig3_machine() {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.process_startup = 0.0;
+  p.message_startup = 0.05;
+  p.bytes_per_second = 512.0;
+  return Machine(machine::Topology::hypercube(3), p);
+}
+
+TEST(Golden, Fig3LuScheduleIsPinned) {
+  const auto flat = workloads::lu3x3_design().flatten();
+  const auto m = fig3_machine();
+  const auto s = MhScheduler().run(flat.graph, m);
+  s.validate(flat.graph, m);
+
+  // The exact serialised schedule. If a deliberate scheduler change
+  // lands, regenerate with:
+  //   std::cout << sched::to_text(s, flat.graph);
+  const char* expected =
+      "schedule mh procs=8\n"
+      "place fan1 proc=0 start=0 finish=2\n"
+      "place upd2 proc=0 start=2 finish=6\n"
+      "place upd3 proc=1 start=2.0656249999999998 finish=6.0656249999999998\n"
+      "place fan2 proc=1 start=6.0656249999999998 finish=7.0656249999999998\n"
+      "place packL proc=1 start=7.0656249999999998 finish=10.065625000000001\n"
+      "place solve.fwd proc=1 start=10.065625000000001 "
+      "finish=16.065625000000001\n"
+      "place upd4 proc=0 start=7.1312499999999996 "
+      "finish=9.1312499999999996\n"
+      "place packU proc=0 start=9.1312499999999996 finish=12.13125\n"
+      "place solve.back proc=1 start=16.065625000000001 "
+      "finish=25.065625000000001\n";
+  EXPECT_EQ(to_text(s, flat.graph), expected);
+  EXPECT_NEAR(s.makespan(), 25.065625, 1e-9);
+}
+
+TEST(Golden, Fig3SpeedupSeriesIsPinned) {
+  const auto flat = workloads::lu3x3_design().flatten();
+  MhScheduler scheduler;
+  const auto curve = predict_speedup(
+      flat.graph, scheduler,
+      [](int procs) {
+        machine::MachineParams p;
+        p.processor_speed = 1.0;
+        p.message_startup = 0.05;
+        p.bytes_per_second = 512.0;
+        int dim = 0;
+        while ((1 << dim) < procs) ++dim;
+        return Machine(machine::Topology::hypercube(dim), p);
+      },
+      {1, 2, 4, 8});
+  ASSERT_EQ(curve.points.size(), 4u);
+  EXPECT_DOUBLE_EQ(curve.points[0].makespan, 34.0);
+  // 34 / 25.065625 = 1.35644...
+  EXPECT_NEAR(curve.points[1].speedup, 1.3564, 1e-4);
+  EXPECT_NEAR(curve.points[2].speedup, 1.3564, 1e-4);
+  EXPECT_NEAR(curve.points[3].speedup, 1.3564, 1e-4);
+}
+
+}  // namespace
+}  // namespace banger::sched

@@ -1,0 +1,327 @@
+// Behavioural and property tests for all scheduling heuristics: every
+// heuristic must produce feasible schedules on every workload/machine
+// combination (TEST_P sweep), plus targeted checks of each heuristic's
+// characteristic behaviour.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::sched {
+namespace {
+
+using graph::TaskGraph;
+using workloads::RandomGraphSpec;
+
+Machine make_machine(const std::string& kind, int procs, double ccr) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = ccr / 2.0;
+  p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+  if (kind == "hypercube") {
+    int dim = 0;
+    while ((1 << dim) < procs) ++dim;
+    return Machine(machine::Topology::hypercube(dim), p);
+  }
+  if (kind == "mesh") {
+    return Machine(machine::Topology::mesh(2, (procs + 1) / 2), p);
+  }
+  if (kind == "star") return Machine(machine::Topology::star(procs), p);
+  return Machine(machine::Topology::fully_connected(procs), p);
+}
+
+TEST(MakeScheduler, AllNamesResolve) {
+  for (const auto& name : scheduler_names()) {
+    auto s = make_scheduler(name);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->name(), name);
+  }
+  EXPECT_THROW((void)make_scheduler("nope"), Error);
+}
+
+TEST(SerialScheduler, UsesOneProcessor) {
+  auto g = workloads::fork_join(6, 2.0);
+  auto m = make_machine("full", 4, 0.5);
+  const auto s = SerialScheduler().run(g, m);
+  s.validate(g, m);
+  EXPECT_EQ(s.procs_used(), 1);
+  EXPECT_DOUBLE_EQ(s.makespan(), g.total_work());
+}
+
+TEST(RoundRobin, SpreadsTasks) {
+  auto g = workloads::fork_join(7, 2.0);
+  auto m = make_machine("full", 3, 0.01);
+  const auto s = RoundRobinScheduler().run(g, m);
+  s.validate(g, m);
+  EXPECT_EQ(s.procs_used(), 3);
+}
+
+TEST(RandomScheduler, SeedReproducible) {
+  auto g = workloads::random_layered({});
+  auto m = make_machine("full", 4, 0.2);
+  SchedulerOptions opts;
+  opts.seed = 99;
+  const auto s1 = RandomScheduler(opts).run(g, m);
+  const auto s2 = RandomScheduler(opts).run(g, m);
+  ASSERT_EQ(s1.placements().size(), s2.placements().size());
+  for (std::size_t i = 0; i < s1.placements().size(); ++i) {
+    EXPECT_EQ(s1.placements()[i].proc, s2.placements()[i].proc);
+    EXPECT_DOUBLE_EQ(s1.placements()[i].start, s2.placements()[i].start);
+  }
+  opts.seed = 100;
+  const auto s3 = RandomScheduler(opts).run(g, m);
+  bool differs = false;
+  for (std::size_t i = 0; i < s1.placements().size(); ++i) {
+    differs |= s1.placements()[i].proc != s3.placements()[i].proc;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(MhScheduler, ParallelizesForkJoin) {
+  auto g = workloads::fork_join(8, 4.0, 8.0);
+  auto m = make_machine("full", 4, 0.1);
+  const auto s = MhScheduler().run(g, m);
+  s.validate(g, m);
+  // 8 workers of 4s over 4 procs: roughly 2 rounds; far below serial 34s.
+  EXPECT_LT(s.makespan(), 34.0 / 2);
+  EXPECT_EQ(s.procs_used(), 4);
+}
+
+TEST(MhScheduler, KeepsChainOnOneProcessor) {
+  auto g = workloads::chain_graph(10, 1.0, 64.0);
+  auto m = make_machine("full", 4, 2.0);  // expensive communication
+  const auto s = MhScheduler().run(g, m);
+  s.validate(g, m);
+  // A chain gains nothing from extra processors when comm is costly.
+  EXPECT_EQ(s.procs_used(), 1);
+  EXPECT_DOUBLE_EQ(s.makespan(), 10.0);
+}
+
+TEST(MhScheduler, BeatsSerialWhenParallelismExists) {
+  auto g = workloads::fft_taskgraph(8, 4.0, 8.0);
+  auto m = make_machine("hypercube", 8, 0.2);
+  const auto mh = MhScheduler().run(g, m);
+  const auto serial = SerialScheduler().run(g, m);
+  mh.validate(g, m);
+  EXPECT_LT(mh.makespan(), serial.makespan() * 0.6);
+}
+
+TEST(EtfScheduler, FeasibleAndCompetitive) {
+  auto g = workloads::diamond(5, 5, 2.0, 16.0);
+  auto m = make_machine("mesh", 4, 0.3);
+  const auto etf = EtfScheduler().run(g, m);
+  etf.validate(g, m);
+  const auto serial = SerialScheduler().run(g, m);
+  EXPECT_LE(etf.makespan(), serial.makespan() + 1e-9);
+}
+
+TEST(HlfetScheduler, PrioritizesCriticalPath) {
+  // Two chains: heavy (3x work 5) and light (3x work 1), independent.
+  TaskGraph g;
+  for (int i = 0; i < 3; ++i)
+    g.add_task({"h" + std::to_string(i), 5, "", {}, {}});
+  for (int i = 0; i < 3; ++i)
+    g.add_task({"l" + std::to_string(i), 1, "", {}, {}});
+  g.add_edge(0, 1, 0);
+  g.add_edge(1, 2, 0);
+  g.add_edge(3, 4, 0);
+  g.add_edge(4, 5, 0);
+  auto m = make_machine("full", 2, 0.0);
+  const auto s = HlfetScheduler().run(g, m);
+  s.validate(g, m);
+  // Optimal: heavy chain on one proc (15), light on the other (3).
+  EXPECT_DOUBLE_EQ(s.makespan(), 15.0);
+}
+
+TEST(DlsScheduler, FeasibleOnRandomGraphs) {
+  RandomGraphSpec spec;
+  spec.seed = 5;
+  auto g = workloads::random_layered(spec);
+  auto m = make_machine("hypercube", 4, 0.5);
+  const auto s = DlsScheduler().run(g, m);
+  s.validate(g, m);
+  EXPECT_EQ(s.placements().size(), g.num_tasks());
+}
+
+TEST(DshScheduler, DuplicatesUnderExpensiveComm) {
+  // One producer feeding many consumers with costly messages: DSH should
+  // duplicate the producer and beat plain MH.
+  TaskGraph g;
+  g.add_task({"src", 1, "", {}, {}});
+  for (int i = 0; i < 6; ++i) {
+    g.add_task({"c" + std::to_string(i), 1, "", {}, {}});
+    g.add_edge(0, static_cast<graph::TaskId>(i + 1), 8.0);
+  }
+  auto m = make_machine("full", 4, 4.0);  // comm 4x task cost
+  const auto dsh = DshScheduler().run(g, m);
+  dsh.validate(g, m);
+  const auto mh = MhScheduler().run(g, m);
+  EXPECT_GT(dsh.num_duplicates(), 0);
+  EXPECT_LE(dsh.makespan(), mh.makespan() + 1e-9);
+}
+
+TEST(DshScheduler, NoDuplicationWhenCommFree) {
+  auto g = workloads::fork_join(6, 2.0, 8.0);
+  auto m = make_machine("full", 3, 0.0);
+  const auto s = DshScheduler().run(g, m);
+  s.validate(g, m);
+  EXPECT_EQ(s.num_duplicates(), 0);
+}
+
+TEST(DshScheduler, DuplicatesAncestorChains) {
+  // chain a->b->c->sink plus heavy comm: duplication should copy the
+  // chain rather than pay three messages.
+  auto g = workloads::chain_graph(3, 1.0, 8.0);
+  graph::TaskId extra = g.add_task({"side", 1, "", {}, {}});
+  g.add_edge(extra, 2, 8.0);
+  auto m = make_machine("full", 2, 3.0);
+  SchedulerOptions opts;
+  opts.duplication_depth = 4;
+  const auto s = DshScheduler(opts).run(g, m);
+  s.validate(g, m);
+}
+
+TEST(ClusterScheduler, ZeroesHeavyEdges) {
+  // Heavy chain + light independent task.
+  TaskGraph g;
+  g.add_task({"a", 1, "", {}, {}});
+  g.add_task({"b", 1, "", {}, {}});
+  g.add_task({"c", 1, "", {}, {}});
+  g.add_edge(0, 1, 1000.0);
+  g.add_edge(1, 2, 1000.0);
+  auto m = make_machine("full", 2, 1.0);
+  ClusterScheduler scheduler;
+  const auto clusters = scheduler.clusters_of(g, m);
+  EXPECT_EQ(clusters[0], clusters[1]);
+  EXPECT_EQ(clusters[1], clusters[2]);
+  const auto s = scheduler.run(g, m);
+  s.validate(g, m);
+  EXPECT_EQ(s.procs_used(), 1);
+}
+
+TEST(ClusterScheduler, KeepsIndependentTasksApart) {
+  TaskGraph g;
+  g.add_task({"a", 5, "", {}, {}});
+  g.add_task({"b", 5, "", {}, {}});
+  auto m = make_machine("full", 2, 0.5);
+  const auto s = ClusterScheduler().run(g, m);
+  s.validate(g, m);
+  EXPECT_EQ(s.procs_used(), 2);
+  EXPECT_DOUBLE_EQ(s.makespan(), 5.0);
+}
+
+// ---- property sweep: feasibility + sanity for every heuristic ----
+
+struct SweepCase {
+  std::string scheduler;
+  std::string workload;
+  std::string topology;
+  int procs;
+  double ccr;
+};
+
+void PrintTo(const SweepCase& c, std::ostream* os) {
+  *os << c.scheduler << "_" << c.workload << "_" << c.topology << c.procs;
+}
+
+TaskGraph workload_by_name(const std::string& name) {
+  if (name == "lu8") return workloads::lu_taskgraph(8);
+  if (name == "fft8") return workloads::fft_taskgraph(8, 2.0, 64.0);
+  if (name == "forkjoin") return workloads::fork_join(12, 3.0, 32.0);
+  if (name == "diamond") return workloads::diamond(4, 6, 1.5, 16.0);
+  if (name == "chain") return workloads::chain_graph(9, 2.0, 8.0);
+  if (name == "random") {
+    RandomGraphSpec spec;
+    spec.seed = 17;
+    return workloads::random_layered(spec);
+  }
+  if (name == "single") {
+    TaskGraph g;
+    g.add_task({"only", 3, "", {}, {}});
+    return g;
+  }
+  throw std::runtime_error("unknown workload " + name);
+}
+
+class SchedulerSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(SchedulerSweep, ProducesFeasibleSchedule) {
+  const SweepCase& c = GetParam();
+  const TaskGraph g = workload_by_name(c.workload);
+  const Machine m = make_machine(c.topology, c.procs, c.ccr);
+  const auto scheduler = make_scheduler(c.scheduler);
+  const Schedule s = scheduler->run(g, m);
+
+  // The heart of the property: every schedule passes full validation.
+  ASSERT_NO_THROW(s.validate(g, m));
+
+  // Makespan is bounded below by the critical path with no comm and
+  // above by the serial time (all list schedulers, incl. baselines,
+  // never idle *every* processor while work is ready).
+  const auto metrics = compute_metrics(s, g, m);
+  EXPECT_GT(metrics.makespan, 0.0);
+  EXPECT_GE(metrics.speedup, 0.0);
+
+  // Primary copies exactly cover the task set.
+  std::size_t primaries = 0;
+  for (const auto& p : s.placements()) primaries += !p.duplicate;
+  EXPECT_EQ(primaries, g.num_tasks());
+}
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  for (const char* sched :
+       {"mh", "etf", "hlfet", "dls", "dsh", "cluster", "serial",
+        "roundrobin", "random"}) {
+    for (const char* wl :
+         {"lu8", "fft8", "forkjoin", "diamond", "chain", "random", "single"}) {
+      cases.push_back({sched, wl, "hypercube", 4, 0.5});
+    }
+    cases.push_back({sched, "fft8", "star", 5, 1.0});
+    cases.push_back({sched, "diamond", "mesh", 6, 0.25});
+    cases.push_back({sched, "forkjoin", "full", 1, 0.5});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerSweep,
+                         ::testing::ValuesIn(sweep_cases()),
+                         [](const auto& info) {
+                           const SweepCase& c = info.param;
+                           return c.scheduler + "_" + c.workload + "_" +
+                                  c.topology + std::to_string(c.procs);
+                         });
+
+// MH should never lose badly to the naive baselines on parallel graphs.
+TEST(SchedulerQuality, MhNotWorseThanRoundRobin) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    RandomGraphSpec spec;
+    spec.seed = seed;
+    auto g = workloads::random_layered(spec);
+    auto m = make_machine("hypercube", 8, 0.5);
+    const double mh = MhScheduler().run(g, m).makespan();
+    const double rr = RoundRobinScheduler().run(g, m).makespan();
+    EXPECT_LE(mh, rr * 1.05) << "seed " << seed;
+  }
+}
+
+TEST(SchedulerQuality, InsertionNeverHurtsMh) {
+  for (std::uint64_t seed : {7u, 8u, 9u}) {
+    RandomGraphSpec spec;
+    spec.seed = seed;
+    auto g = workloads::random_layered(spec);
+    auto m = make_machine("hypercube", 4, 1.0);
+    SchedulerOptions with;
+    with.insertion = true;
+    SchedulerOptions without;
+    without.insertion = false;
+    const double a = MhScheduler(with).run(g, m).makespan();
+    const double b = MhScheduler(without).run(g, m).makespan();
+    EXPECT_LE(a, b + 1e-9) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace banger::sched

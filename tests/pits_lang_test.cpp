@@ -1,0 +1,233 @@
+// Lexer, parser, pretty-printer, and static-analysis tests for PITS.
+#include <gtest/gtest.h>
+
+#include "pits/ast.hpp"
+#include "pits/token.hpp"
+#include "util/error.hpp"
+
+namespace banger::pits {
+namespace {
+
+TEST(Lexer, NumbersIdentsOperators) {
+  auto toks = lex("x := 3.5 + y2 * 2e3");
+  ASSERT_GE(toks.size(), 8u);
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].kind, Tok::Assign);
+  EXPECT_EQ(toks[2].kind, Tok::Number);
+  EXPECT_DOUBLE_EQ(toks[2].number, 3.5);
+  EXPECT_EQ(toks[3].kind, Tok::Plus);
+  EXPECT_EQ(toks[4].text, "y2");
+  EXPECT_EQ(toks[5].kind, Tok::Star);
+  EXPECT_DOUBLE_EQ(toks[6].number, 2000.0);
+}
+
+TEST(Lexer, KeywordsRecognized) {
+  auto toks = lex("if while do end repeat times for to step and or not mod");
+  const Tok expected[] = {Tok::KwIf,    Tok::KwWhile, Tok::KwDo,
+                          Tok::KwEnd,   Tok::KwRepeat, Tok::KwTimes,
+                          Tok::KwFor,   Tok::KwTo,    Tok::KwStep,
+                          Tok::KwAnd,   Tok::KwOr,    Tok::KwNot,
+                          Tok::KwMod};
+  for (std::size_t i = 0; i < std::size(expected); ++i) {
+    EXPECT_EQ(toks[i].kind, expected[i]) << i;
+  }
+}
+
+TEST(Lexer, CommentsStripped) {
+  auto toks = lex("x := 1 -- the answer\ny := 2");
+  // x := 1 NEWLINE y := 2 NEWLINE EOF
+  EXPECT_EQ(toks[3].kind, Tok::Newline);
+  EXPECT_EQ(toks[4].text, "y");
+}
+
+TEST(Lexer, StringEscapes) {
+  auto toks = lex(R"(s := "a\nb\"c")");
+  EXPECT_EQ(toks[2].kind, Tok::String);
+  EXPECT_EQ(toks[2].text, "a\nb\"c");
+}
+
+TEST(Lexer, PositionsTracked) {
+  auto toks = lex("x := 1\n  y := 2");
+  EXPECT_EQ(toks[0].pos.line, 1);
+  EXPECT_EQ(toks[4].pos.line, 2);
+  EXPECT_EQ(toks[4].pos.column, 3);
+}
+
+TEST(Lexer, ComparisonOperators) {
+  auto toks = lex("< <= > >= = <>");
+  EXPECT_EQ(toks[0].kind, Tok::Lt);
+  EXPECT_EQ(toks[1].kind, Tok::Le);
+  EXPECT_EQ(toks[2].kind, Tok::Gt);
+  EXPECT_EQ(toks[3].kind, Tok::Ge);
+  EXPECT_EQ(toks[4].kind, Tok::Eq);
+  EXPECT_EQ(toks[5].kind, Tok::Ne);
+}
+
+TEST(Lexer, Errors) {
+  EXPECT_THROW((void)lex("x : 1"), Error);       // lone colon
+  EXPECT_THROW((void)lex("s := \"open"), Error);  // unterminated string
+  EXPECT_THROW((void)lex("x := @"), Error);       // illegal char
+}
+
+TEST(Lexer, SemicolonActsAsNewline) {
+  auto toks = lex("x := 1; y := 2");
+  EXPECT_EQ(toks[3].kind, Tok::Newline);
+}
+
+// ---- parser ----
+
+TEST(Parser, SimpleAssignment) {
+  auto block = parse_block("x := 1 + 2 * 3");
+  ASSERT_EQ(block.size(), 1u);
+  const auto& assign = std::get<AssignStmt>(block[0]->node);
+  EXPECT_EQ(assign.target, "x");
+  // Precedence: 1 + (2*3)
+  const auto& add = std::get<Binary>(assign.value->node);
+  EXPECT_EQ(add.op, BinOp::Add);
+  const auto& mul = std::get<Binary>(add.rhs->node);
+  EXPECT_EQ(mul.op, BinOp::Mul);
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  auto block = parse_block("x := 2 ^ 3 ^ 2");
+  const auto& assign = std::get<AssignStmt>(block[0]->node);
+  const auto& outer = std::get<Binary>(assign.value->node);
+  EXPECT_EQ(outer.op, BinOp::Pow);
+  EXPECT_TRUE(std::holds_alternative<NumberLit>(outer.lhs->node));
+  EXPECT_TRUE(std::holds_alternative<Binary>(outer.rhs->node));
+}
+
+TEST(Parser, IfElsifElse) {
+  auto block = parse_block(
+      "if x < 0 then\n y := 1\nelsif x = 0 then\n y := 2\nelse\n y := 3\nend");
+  const auto& ifs = std::get<IfStmt>(block[0]->node);
+  EXPECT_EQ(ifs.arms.size(), 2u);
+  EXPECT_EQ(ifs.else_body.size(), 1u);
+}
+
+TEST(Parser, WhileRepeatFor) {
+  auto block = parse_block(
+      "while x > 0 do\n x := x - 1\nend\n"
+      "repeat 3 times\n y := y + 1\nend\n"
+      "for i := 1 to 10 step 2 do\n s := s + i\nend");
+  ASSERT_EQ(block.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<WhileStmt>(block[0]->node));
+  EXPECT_TRUE(std::holds_alternative<RepeatStmt>(block[1]->node));
+  const auto& loop = std::get<ForStmt>(block[2]->node);
+  EXPECT_EQ(loop.var, "i");
+  EXPECT_NE(loop.step, nullptr);
+}
+
+TEST(Parser, IndexedAssignment) {
+  auto block = parse_block("v[i + 1] := 2");
+  const auto& assign = std::get<AssignStmt>(block[0]->node);
+  EXPECT_EQ(assign.target, "v");
+  ASSERT_NE(assign.index, nullptr);
+  EXPECT_TRUE(std::holds_alternative<Binary>(assign.index->node));
+}
+
+TEST(Parser, VectorLiteralAndIndexing) {
+  auto block = parse_block("x := [1, 2, 3][1]");
+  const auto& assign = std::get<AssignStmt>(block[0]->node);
+  const auto& ix = std::get<Index>(assign.value->node);
+  EXPECT_TRUE(std::holds_alternative<VectorLit>(ix.base->node));
+}
+
+TEST(Parser, CallStatement) {
+  auto block = parse_block("print(\"hello\", 42)");
+  const auto& stmt = std::get<ExprStmt>(block[0]->node);
+  const auto& call = std::get<Call>(stmt.expr->node);
+  EXPECT_EQ(call.callee, "print");
+  EXPECT_EQ(call.args.size(), 2u);
+}
+
+TEST(Parser, ReturnStatement) {
+  auto block = parse_block("if x then\n return\nend\ny := 1");
+  EXPECT_EQ(block.size(), 2u);
+}
+
+TEST(Parser, LogicalPrecedence) {
+  // a or b and not c < d  ==  a or (b and (not (c < d)))
+  auto block = parse_block("x := a or b and not c < d");
+  const auto& assign = std::get<AssignStmt>(block[0]->node);
+  const auto& orx = std::get<Binary>(assign.value->node);
+  EXPECT_EQ(orx.op, BinOp::Or);
+  const auto& andx = std::get<Binary>(orx.rhs->node);
+  EXPECT_EQ(andx.op, BinOp::And);
+  EXPECT_TRUE(std::holds_alternative<Unary>(andx.rhs->node));
+}
+
+TEST(Parser, UnaryMinusBindsTighterThanMul) {
+  // -2 ^ 2 parses as -(2^2) per the unary->power chain.
+  auto block = parse_block("x := -2 ^ 2");
+  const auto& assign = std::get<AssignStmt>(block[0]->node);
+  EXPECT_TRUE(std::holds_alternative<Unary>(assign.value->node));
+}
+
+TEST(Parser, ErrorsWithPositions) {
+  try {
+    (void)parse_block("x := ");
+    FAIL();
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Parse);
+    EXPECT_EQ(e.pos().line, 1);
+  }
+  EXPECT_THROW((void)parse_block("if x then"), Error);   // missing end
+  EXPECT_THROW((void)parse_block("x + 1"), Error);       // not a statement
+  EXPECT_THROW((void)parse_block("while do end"), Error);
+  EXPECT_THROW((void)parse_block("x := (1"), Error);
+  EXPECT_THROW((void)parse_block("x := [1, "), Error);
+}
+
+TEST(Printer, RoundTripFixpoint) {
+  const char* src =
+      "guess := a / 2\n"
+      "i := 0\n"
+      "while i < 20 do\n"
+      "  guess := 0.5 * (guess + (a / guess))\n"
+      "  i := i + 1\n"
+      "end\n"
+      "x := guess\n";
+  const std::string once = to_source(parse_block(src));
+  const std::string twice = to_source(parse_block(once));
+  EXPECT_EQ(once, twice);
+  EXPECT_NE(once.find("while i < 20 do"), std::string::npos);
+}
+
+TEST(Printer, RendersAllConstructs) {
+  const char* src =
+      "if a then\nx := 1\nelsif b then\nx := 2\nelse\nx := 3\nend\n"
+      "repeat 2 times\nprint(\"hi\")\nend\n"
+      "for i := 0 to 5 do\nv[i] := -i\nend\n"
+      "return";
+  const std::string out = to_source(parse_block(src));
+  for (const char* needle :
+       {"elsif", "else", "repeat 2 times", "for i := 0 to 5 do", "v[i] :=",
+        "return", "print(\"hi\")"}) {
+    EXPECT_NE(out.find(needle), std::string::npos) << needle;
+  }
+  // And the printed form re-parses.
+  EXPECT_NO_THROW((void)parse_block(out));
+}
+
+TEST(Analysis, FreeAndAssignedVariables) {
+  auto block = parse_block(
+      "y := x + 1\n"
+      "z := y * w\n"
+      "v[k] := 0\n");
+  const auto free = free_variables(block);
+  // x, w read before assignment; v read (element update), k read.
+  EXPECT_EQ(free, (std::vector<std::string>{"k", "v", "w", "x"}));
+  const auto assigned = assigned_variables(block);
+  EXPECT_EQ(assigned, (std::vector<std::string>{"v", "y", "z"}));
+}
+
+TEST(Analysis, ForLoopVarIsAssigned) {
+  auto block = parse_block("for i := 0 to n do\ns := s + i\nend");
+  const auto free = free_variables(block);
+  EXPECT_EQ(free, (std::vector<std::string>{"n", "s"}));
+}
+
+}  // namespace
+}  // namespace banger::pits

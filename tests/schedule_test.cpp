@@ -1,0 +1,232 @@
+// Tests for the Schedule model, validator, metrics, Timeline and
+// BuildState machinery.
+#include <gtest/gtest.h>
+
+#include "sched/list_core.hpp"
+#include "sched/schedule.hpp"
+#include "util/error.hpp"
+
+namespace banger::sched {
+namespace {
+
+using graph::TaskGraph;
+
+TaskGraph two_task_graph(double bytes = 100.0) {
+  TaskGraph g;
+  g.add_task({"a", 2, "", {}, {}});
+  g.add_task({"b", 3, "", {}, {}});
+  g.add_edge(0, 1, bytes);
+  return g;
+}
+
+Machine simple_machine(int procs = 2) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 1.0;
+  p.bytes_per_second = 100.0;
+  return Machine(machine::Topology::fully_connected(procs), p);
+}
+
+TEST(Schedule, MakespanAndBusy) {
+  Schedule s(2, "test");
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 1, 4.0, 7.0);
+  EXPECT_DOUBLE_EQ(s.makespan(), 7.0);
+  EXPECT_DOUBLE_EQ(s.busy(0), 2.0);
+  EXPECT_DOUBLE_EQ(s.busy(1), 3.0);
+  EXPECT_EQ(s.procs_used(), 2);
+  EXPECT_NEAR(s.utilization(), 5.0 / 14.0, 1e-12);
+}
+
+TEST(Schedule, LaneSortedByStart) {
+  Schedule s(1, "test");
+  s.place(1, 0, 5.0, 6.0);
+  s.place(0, 0, 0.0, 2.0);
+  const auto lane = s.lane(0);
+  ASSERT_EQ(lane.size(), 2u);
+  EXPECT_EQ(lane[0].task, 0u);
+  EXPECT_EQ(lane[1].task, 1u);
+}
+
+TEST(Schedule, PlacementOfReturnsPrimary) {
+  Schedule s(2, "test");
+  s.place(0, 1, 1.0, 2.0, /*duplicate=*/true);
+  s.place(0, 0, 0.0, 1.0, /*duplicate=*/false);
+  const auto primary = s.placement_of(0);
+  ASSERT_TRUE(primary.has_value());
+  EXPECT_EQ(primary->proc, 0);
+  EXPECT_EQ(s.copies_of(0).size(), 2u);
+  EXPECT_FALSE(s.copies_of(0)[0].duplicate);  // primary first
+  EXPECT_EQ(s.num_duplicates(), 1);
+}
+
+TEST(Schedule, RejectsBadPlacements) {
+  Schedule s(2, "test");
+  EXPECT_THROW(s.place(0, 5, 0, 1), Error);
+  EXPECT_THROW(s.place(0, 0, 2, 1), Error);
+  EXPECT_THROW(s.place(0, 0, -1, 1), Error);
+  EXPECT_THROW(Schedule(0, "x"), Error);
+}
+
+TEST(ScheduleValidate, AcceptsFeasibleSchedule) {
+  auto g = two_task_graph();
+  auto m = simple_machine();
+  Schedule s(2, "manual");
+  s.place(0, 0, 0.0, 2.0);
+  // comm = 1 + 100/100 = 2s; b may start at 4 on proc 1.
+  s.place(1, 1, 4.0, 7.0);
+  EXPECT_NO_THROW(s.validate(g, m));
+}
+
+TEST(ScheduleValidate, RejectsCommViolation) {
+  auto g = two_task_graph();
+  auto m = simple_machine();
+  Schedule s(2, "manual");
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 1, 3.0, 6.0);  // data arrives at 4, starts at 3: infeasible
+  EXPECT_THROW(s.validate(g, m), Error);
+}
+
+TEST(ScheduleValidate, SameProcNeedsNoComm) {
+  auto g = two_task_graph();
+  auto m = simple_machine();
+  Schedule s(2, "manual");
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 0, 2.0, 5.0);
+  EXPECT_NO_THROW(s.validate(g, m));
+}
+
+TEST(ScheduleValidate, RejectsOverlap) {
+  auto g = two_task_graph(0);
+  auto m = simple_machine();
+  Schedule s(2, "manual");
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 0, 1.0, 4.0);
+  EXPECT_THROW(s.validate(g, m), Error);
+}
+
+TEST(ScheduleValidate, RejectsMissingTask) {
+  auto g = two_task_graph();
+  auto m = simple_machine();
+  Schedule s(2, "manual");
+  s.place(0, 0, 0.0, 2.0);
+  EXPECT_THROW(s.validate(g, m), Error);
+}
+
+TEST(ScheduleValidate, RejectsWrongDuration) {
+  auto g = two_task_graph();
+  auto m = simple_machine();
+  Schedule s(2, "manual");
+  s.place(0, 0, 0.0, 1.0);  // work 2 at speed 1 must take 2s
+  s.place(1, 0, 1.0, 4.0);
+  EXPECT_THROW(s.validate(g, m), Error);
+}
+
+TEST(ScheduleValidate, DuplicateSatisfiesConsumer) {
+  auto g = two_task_graph(1e6);  // huge message: remote copy useless
+  auto m = simple_machine();
+  Schedule s(2, "manual");
+  s.place(0, 0, 0.0, 2.0);                     // primary of a
+  s.place(0, 1, 0.0, 2.0, /*duplicate=*/true); // duplicate of a on proc 1
+  s.place(1, 1, 2.0, 5.0);                     // b fed by local duplicate
+  EXPECT_NO_THROW(s.validate(g, m));
+}
+
+TEST(Metrics, SpeedupAgainstSerialTime) {
+  auto g = two_task_graph(0);
+  auto m = simple_machine();
+  Schedule s(2, "manual");
+  s.place(0, 0, 0.0, 2.0);
+  s.place(1, 0, 2.0, 5.0);
+  const auto metrics = compute_metrics(s, g, m);
+  EXPECT_DOUBLE_EQ(metrics.serial_time, 5.0);
+  EXPECT_DOUBLE_EQ(metrics.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(metrics.speedup, 1.0);
+  EXPECT_DOUBLE_EQ(metrics.efficiency, 0.5);
+}
+
+// ---- Timeline ----
+
+TEST(Timeline, AppendsAfterReadyTime) {
+  Timeline t(1);
+  EXPECT_DOUBLE_EQ(t.earliest_slot(0, 3.0, 2.0, true), 3.0);
+  t.occupy(0, 3.0, 2.0);
+  EXPECT_DOUBLE_EQ(t.avail(0), 5.0);
+  EXPECT_DOUBLE_EQ(t.earliest_slot(0, 0.0, 1.0, false), 5.0);
+}
+
+TEST(Timeline, InsertionFindsGap) {
+  Timeline t(1);
+  t.occupy(0, 0.0, 2.0);
+  t.occupy(0, 5.0, 2.0);
+  // Gap [2,5) fits a 3-unit task with insertion.
+  EXPECT_DOUBLE_EQ(t.earliest_slot(0, 0.0, 3.0, true), 2.0);
+  // Without insertion it must append at 7.
+  EXPECT_DOUBLE_EQ(t.earliest_slot(0, 0.0, 3.0, false), 7.0);
+  // A 4-unit task does not fit the gap.
+  EXPECT_DOUBLE_EQ(t.earliest_slot(0, 0.0, 4.0, true), 7.0);
+}
+
+TEST(Timeline, GapRespectsReadyTime) {
+  Timeline t(1);
+  t.occupy(0, 0.0, 2.0);
+  t.occupy(0, 10.0, 1.0);
+  // Ready at 4: the gap [2,10) is usable from 4.
+  EXPECT_DOUBLE_EQ(t.earliest_slot(0, 4.0, 3.0, true), 4.0);
+  // Ready at 8: remaining gap too small for 3 units.
+  EXPECT_DOUBLE_EQ(t.earliest_slot(0, 8.0, 3.0, true), 11.0);
+}
+
+// ---- BuildState ----
+
+TEST(BuildState, DataReadyPicksBestCopyAndCriticalParent) {
+  TaskGraph g;
+  g.add_task({"a", 1, "", {}, {}});
+  g.add_task({"b", 1, "", {}, {}});
+  g.add_task({"c", 1, "", {}, {}});
+  g.add_edge(0, 2, 100);  // 2s across procs
+  g.add_edge(1, 2, 400);  // 5s across procs
+  auto m = simple_machine(2);
+  BuildState state(g, m);
+  state.commit(0, 0, 0.0, false);  // a: [0,1) on p0
+  state.commit(1, 0, 1.0, false);  // b: [1,2) on p0
+  graph::TaskId critical = graph::kNoTask;
+  // On p0 everything is local: ready = max finish = 2.
+  EXPECT_DOUBLE_EQ(state.data_ready(2, 0, &critical), 2.0);
+  // On p1: a arrives at 1+2=3, b arrives at 2+5=7.
+  EXPECT_DOUBLE_EQ(state.data_ready(2, 1, &critical), 7.0);
+  EXPECT_EQ(critical, 1u);
+}
+
+TEST(BuildState, FinishEmitsMessagesForRemoteEdges) {
+  auto g = two_task_graph();
+  auto m = simple_machine();
+  BuildState state(g, m);
+  state.commit(0, 0, 0.0, false);
+  state.commit(1, 1, 4.0, false);
+  const Schedule s = state.finish("x");
+  ASSERT_EQ(s.messages().size(), 1u);
+  EXPECT_EQ(s.messages()[0].from, 0);
+  EXPECT_EQ(s.messages()[0].to, 1);
+  EXPECT_DOUBLE_EQ(s.messages()[0].send, 2.0);
+  EXPECT_DOUBLE_EQ(s.messages()[0].arrive, 4.0);
+}
+
+TEST(FixedAssignment, ProducesFeasibleSchedule) {
+  auto g = two_task_graph();
+  auto m = simple_machine();
+  const auto s =
+      schedule_fixed_assignment(g, m, {0, 1}, /*insertion=*/true, "fixed");
+  EXPECT_NO_THROW(s.validate(g, m));
+  EXPECT_DOUBLE_EQ(s.makespan(), 7.0);  // 2 + comm 2 + 3
+}
+
+TEST(FixedAssignment, RejectsBadProcessor) {
+  auto g = two_task_graph();
+  auto m = simple_machine();
+  EXPECT_THROW(
+      (void)schedule_fixed_assignment(g, m, {0, 9}, true, "fixed"), Error);
+}
+
+}  // namespace
+}  // namespace banger::sched

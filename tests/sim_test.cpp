@@ -1,0 +1,199 @@
+// Discrete-event simulator tests: agreement with the analytic schedule,
+// contention effects, event logs.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::sim {
+namespace {
+
+using sched::MhScheduler;
+using sched::SerialScheduler;
+
+Machine make_machine(int procs, double ccr,
+                     const std::string& kind = "full") {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = ccr / 2.0;
+  p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+  if (kind == "chain") return Machine(machine::Topology::chain(procs), p);
+  if (kind == "star") return Machine(machine::Topology::star(procs), p);
+  return Machine(machine::Topology::fully_connected(procs), p);
+}
+
+TEST(Simulator, MatchesScheduleOnSerialPlan) {
+  auto g = workloads::fork_join(5, 2.0, 16.0);
+  auto m = make_machine(2, 0.5);
+  const auto s = SerialScheduler().run(g, m);
+  const auto result = simulate(g, m, s);
+  EXPECT_NEAR(result.makespan, s.makespan(), 1e-9);
+  EXPECT_EQ(result.num_messages, 0u);  // everything local
+}
+
+TEST(Simulator, NeverSlowerThanScheduleWithoutContention) {
+  // Replaying lane order with as-early-as-possible starts can only keep
+  // or compact the analytic schedule, never exceed it.
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    workloads::RandomGraphSpec spec;
+    spec.seed = seed;
+    auto g = workloads::random_layered(spec);
+    auto m = make_machine(4, 0.5);
+    const auto s = MhScheduler().run(g, m);
+    const auto result = simulate(g, m, s);
+    EXPECT_LE(result.makespan, s.makespan() + 1e-9) << "seed " << seed;
+    EXPECT_GT(result.makespan, 0.0);
+  }
+}
+
+TEST(Simulator, TaskTimingsConsistent) {
+  auto g = workloads::diamond(3, 3, 2.0, 16.0);
+  auto m = make_machine(3, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  const auto result = simulate(g, m, s);
+  ASSERT_EQ(result.tasks.size(), g.num_tasks());
+  for (graph::TaskId t = 0; t < g.num_tasks(); ++t) {
+    const auto& timing = result.tasks[t];
+    EXPECT_NEAR(timing.finish - timing.start,
+                m.task_time(g.task(t).work, timing.proc), 1e-9);
+    // Precedence respected with actual times.
+    for (graph::EdgeId e : g.in_edges(t)) {
+      EXPECT_LE(result.tasks[g.edge(e).from].finish, timing.start + 1e-9);
+    }
+  }
+}
+
+TEST(Simulator, BusyTimeMatchesWork) {
+  auto g = workloads::fork_join(6, 3.0, 8.0);
+  auto m = make_machine(3, 0.2);
+  const auto s = MhScheduler().run(g, m);
+  const auto result = simulate(g, m, s);
+  double busy = 0;
+  for (double b : result.proc_busy) busy += b;
+  EXPECT_NEAR(busy, g.total_work(), 1e-9);  // speed 1, no startup
+}
+
+TEST(Simulator, ContentionDelaysSharedLinks) {
+  // Star topology: all traffic crosses the hub; many simultaneous
+  // messages must queue when contention is on.
+  auto g = workloads::fork_join(8, 1.0, 64.0);
+  auto m = make_machine(5, 2.0, "star");
+  const auto s = sched::RoundRobinScheduler().run(g, m);
+  SimOptions off;
+  off.link_contention = false;
+  SimOptions on;
+  on.link_contention = true;
+  const auto free_run = simulate(g, m, s, off);
+  const auto contended = simulate(g, m, s, on);
+  EXPECT_GT(contended.makespan, free_run.makespan);
+  EXPECT_GT(contended.max_queue_delay, 0.0);
+  EXPECT_DOUBLE_EQ(free_run.max_queue_delay, 0.0);
+}
+
+TEST(Simulator, EventLogOrderedAndComplete) {
+  auto g = workloads::lu_taskgraph(4);
+  auto m = make_machine(3, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  const auto result = simulate(g, m, s);
+  ASSERT_FALSE(result.events.empty());
+  std::size_t starts = 0;
+  std::size_t finishes = 0;
+  for (std::size_t i = 0; i < result.events.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(result.events[i].time, result.events[i - 1].time);
+    }
+    starts += result.events[i].kind == EventKind::TaskStart;
+    finishes += result.events[i].kind == EventKind::TaskFinish;
+  }
+  EXPECT_EQ(starts, g.num_tasks());
+  EXPECT_EQ(finishes, g.num_tasks());
+}
+
+TEST(Simulator, RecordEventsOffKeepsResultsSmall) {
+  auto g = workloads::lu_taskgraph(4);
+  auto m = make_machine(3, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  SimOptions opts;
+  opts.record_events = false;
+  const auto result = simulate(g, m, s, opts);
+  EXPECT_TRUE(result.events.empty());
+  EXPECT_GT(result.makespan, 0.0);
+}
+
+TEST(Simulator, AnimationRendersEvents) {
+  auto g = workloads::fork_join(3, 1.0, 8.0);
+  auto m = make_machine(2, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  const auto result = simulate(g, m, s);
+  const std::string anim = result.animation(5);
+  EXPECT_NE(anim.find("start"), std::string::npos);
+  EXPECT_NE(anim.find("t="), std::string::npos);
+}
+
+TEST(Simulator, CountsMessages) {
+  auto g = workloads::fork_join(4, 1.0, 8.0);
+  auto m = make_machine(4, 0.1);
+  const auto s = sched::RoundRobinScheduler().run(g, m);
+  const auto result = simulate(g, m, s);
+  // Round-robin spreads workers off the fork/join processor: messages
+  // must flow.
+  EXPECT_GT(result.num_messages, 0u);
+  EXPECT_GT(result.total_link_time, 0.0);
+}
+
+TEST(Simulator, MultiHopMessagesTraverseRoutes) {
+  auto g = workloads::chain_graph(2, 1.0, 16.0);
+  auto m = make_machine(4, 1.0, "chain");
+  // Force the two tasks to opposite ends of the chain.
+  sched::Schedule s(4, "manual");
+  s.place(0, 0, 0.0, 1.0);
+  const double comm = m.comm_time(16.0, 0, 3);
+  s.place(1, 3, 1.0 + comm, 2.0 + comm);
+  s.validate(g, m);
+  SimOptions opts;
+  opts.link_contention = true;
+  const auto result = simulate(g, m, s, opts);
+  // Hop events at each intermediate processor.
+  std::size_t hops = 0;
+  for (const auto& e : result.events) hops += e.kind == EventKind::MsgHop;
+  EXPECT_EQ(hops, 3u);
+  EXPECT_NEAR(result.makespan, s.makespan(), 1e-9);
+}
+
+TEST(Simulator, DuplicateCopiesRun) {
+  auto g = workloads::fork_join(6, 1.0, 8.0);
+  auto m = make_machine(4, 4.0);
+  const auto s = sched::DshScheduler().run(g, m);
+  if (s.num_duplicates() == 0) GTEST_SKIP() << "no duplicates generated";
+  const auto result = simulate(g, m, s);
+  EXPECT_LE(result.makespan, s.makespan() + 1e-9);
+}
+
+TEST(Simulator, AsScheduleRoundTripsTimings) {
+  auto g = workloads::lu_taskgraph(4);
+  auto m = make_machine(3, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  const auto result = simulate(g, m, s);
+  const auto replay = as_schedule(result, m.num_procs());
+  EXPECT_EQ(replay.scheduler_name(), "simulated");
+  EXPECT_NEAR(replay.makespan(), result.makespan, 1e-12);
+  for (graph::TaskId t = 0; t < g.num_tasks(); ++t) {
+    const auto pl = replay.placement_of(t);
+    ASSERT_TRUE(pl.has_value());
+    EXPECT_DOUBLE_EQ(pl->start, result.tasks[t].start);
+    EXPECT_EQ(pl->proc, result.tasks[t].proc);
+  }
+}
+
+TEST(Simulator, RejectsIncompleteSchedule) {
+  auto g = workloads::fork_join(2, 1.0, 8.0);
+  auto m = make_machine(2, 0.5);
+  sched::Schedule s(2, "broken");
+  s.place(0, 0, 0.0, 1.0);  // other tasks missing
+  EXPECT_THROW((void)simulate(g, m, s), Error);
+}
+
+}  // namespace
+}  // namespace banger::sim

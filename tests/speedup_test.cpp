@@ -1,0 +1,202 @@
+// Speedup prediction (the Fig. 3 right-hand chart) and the viz renderers.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sched/speedup.hpp"
+#include "viz/charts.hpp"
+#include "viz/dot.hpp"
+#include "viz/gantt.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::sched {
+namespace {
+
+MachineFactory hypercube_family(double ccr) {
+  return [ccr](int procs) {
+    machine::MachineParams p;
+    p.processor_speed = 1.0;
+    p.message_startup = ccr / 2.0;
+    p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+    int dim = 0;
+    while ((1 << dim) < procs) ++dim;
+    return Machine(machine::Topology::hypercube(dim), p);
+  };
+}
+
+TEST(Speedup, MonotoneNonDegradingForParallelWork) {
+  const auto g = workloads::fork_join(16, 4.0, 8.0);
+  MhScheduler scheduler;
+  const auto curve =
+      predict_speedup(g, scheduler, hypercube_family(0.1), {1, 2, 4, 8});
+  ASSERT_EQ(curve.points.size(), 4u);
+  EXPECT_NEAR(curve.points[0].speedup, 1.0, 1e-9);
+  for (std::size_t i = 1; i < curve.points.size(); ++i) {
+    EXPECT_GE(curve.points[i].speedup, curve.points[i - 1].speedup - 1e-9);
+  }
+  EXPECT_GT(curve.points.back().speedup, 2.0);
+}
+
+TEST(Speedup, BoundedByProcessorsAndParallelism) {
+  const auto g = workloads::lu_taskgraph(6);
+  MhScheduler scheduler;
+  const auto curve =
+      predict_speedup(g, scheduler, hypercube_family(0.5), {1, 2, 4, 8, 16});
+  for (const auto& pt : curve.points) {
+    EXPECT_LE(pt.speedup, pt.procs + 1e-9);
+  }
+  // The small LU graph saturates: 16 procs gain little over 8 (the
+  // paper's qualitative Fig. 3 observation).
+  const double s8 = curve.points[3].speedup;
+  const double s16 = curve.points[4].speedup;
+  EXPECT_LT(s16 - s8, 0.75);
+}
+
+TEST(Speedup, ChainNeverSpeedsUp) {
+  const auto g = workloads::chain_graph(10, 2.0, 64.0);
+  MhScheduler scheduler;
+  const auto curve =
+      predict_speedup(g, scheduler, hypercube_family(1.0), {1, 2, 4});
+  for (const auto& pt : curve.points) {
+    EXPECT_NEAR(pt.speedup, 1.0, 1e-9);
+  }
+  EXPECT_EQ(curve.saturation_procs(), 1);
+}
+
+TEST(Speedup, SaturationDetection) {
+  SpeedupCurve curve;
+  curve.points = {{1, 10, 1.0, 1.0, 1},
+                  {2, 5, 2.0, 1.0, 2},
+                  {4, 4.9, 2.04, 0.5, 3},
+                  {8, 4.9, 2.04, 0.25, 3}};
+  EXPECT_EQ(curve.saturation_procs(), 2);
+  EXPECT_DOUBLE_EQ(curve.max_speedup(), 2.04);
+}
+
+TEST(Speedup, CurveCarriesNames) {
+  const auto g = workloads::fork_join(4, 1.0, 8.0);
+  EtfScheduler scheduler;
+  const auto curve = predict_speedup(g, scheduler, hypercube_family(0.5), {2});
+  EXPECT_EQ(curve.scheduler, "etf");
+  EXPECT_NE(curve.machine_family.find("hypercube"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace banger::sched
+
+namespace banger::viz {
+namespace {
+
+sched::Schedule lu_schedule(const graph::TaskGraph& g,
+                            const machine::Machine& m) {
+  auto s = sched::MhScheduler().run(g, m);
+  s.validate(g, m);
+  return s;
+}
+
+machine::Machine cube8() {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.25;
+  p.bytes_per_second = 32;
+  return machine::Machine(machine::Topology::hypercube(3), p);
+}
+
+TEST(Gantt, AsciiShowsLanesAndAxis) {
+  const auto g = workloads::lu_taskgraph(5);
+  const auto m = cube8();
+  const auto s = lu_schedule(g, m);
+  const std::string chart = render_gantt(s, g);
+  for (int p = 0; p < 8; ++p) {
+    EXPECT_NE(chart.find("P" + std::to_string(p)), std::string::npos);
+  }
+  EXPECT_NE(chart.find("makespan"), std::string::npos);
+  EXPECT_NE(chart.find("#"), std::string::npos);
+  EXPECT_NE(chart.find("t="), std::string::npos);
+}
+
+TEST(Gantt, EmptyScheduleRendersHeaderOnly) {
+  sched::Schedule s(2, "empty");
+  graph::TaskGraph g;
+  const std::string chart = render_gantt(s, g);
+  EXPECT_NE(chart.find("makespan 0"), std::string::npos);
+}
+
+TEST(Gantt, SvgIsWellFormedish) {
+  const auto g = workloads::lu_taskgraph(4);
+  const auto m = cube8();
+  const auto s = lu_schedule(g, m);
+  const std::string svg = render_gantt_svg(s, g);
+  EXPECT_EQ(svg.find("<svg"), 0u);
+  EXPECT_NE(svg.find("</svg>"), std::string::npos);
+  EXPECT_NE(svg.find("<rect"), std::string::npos);
+  // Every placement yields a rect with a title tooltip.
+  std::size_t rects = 0;
+  for (std::size_t pos = svg.find("<rect"); pos != std::string::npos;
+       pos = svg.find("<rect", pos + 1)) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, s.placements().size());
+}
+
+TEST(Gantt, TableListsAllPlacements) {
+  const auto g = workloads::lu_taskgraph(4);
+  const auto m = cube8();
+  const auto s = lu_schedule(g, m);
+  const std::string table = schedule_table(s, g);
+  for (const auto& t : g.tasks()) {
+    EXPECT_NE(table.find(t.name), std::string::npos) << t.name;
+  }
+}
+
+TEST(Charts, SpeedupChartPlotsPoints) {
+  sched::SpeedupCurve curve;
+  curve.scheduler = "mh";
+  curve.machine_family = "hypercube8";
+  curve.points = {{1, 10, 1.0, 1.0, 1}, {2, 6, 1.7, 0.85, 2},
+                  {4, 4, 2.5, 0.63, 4}, {8, 3.5, 2.9, 0.36, 6}};
+  const std::string chart = render_speedup_chart(curve);
+  EXPECT_NE(chart.find("o"), std::string::npos);
+  EXPECT_NE(chart.find("procs: 1"), std::string::npos);
+  EXPECT_NE(chart.find("ideal linear"), std::string::npos);
+}
+
+TEST(Charts, BarsScaleToMax) {
+  const std::string bars =
+      render_bars({{"mh", 10.0}, {"serial", 40.0}}, 20);
+  // serial gets the full 20 hashes, mh gets 5.
+  EXPECT_NE(bars.find(std::string(20, '#')), std::string::npos);
+  EXPECT_NE(bars.find(std::string(5, '#')), std::string::npos);
+}
+
+TEST(Dot, DesignExportHasClustersAndShapes) {
+  const auto design = workloads::lu3x3_design();
+  const std::string dot = to_dot(design);
+  EXPECT_NE(dot.find("subgraph cluster_0"), std::string::npos);
+  EXPECT_NE(dot.find("subgraph cluster_1"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // stores
+  EXPECT_NE(dot.find("penwidth=2.5"), std::string::npos);   // supernode
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // expansion link
+}
+
+TEST(Dot, TaskGraphAndTopologyExports) {
+  const auto g = workloads::lu_taskgraph(3);
+  const std::string dot = to_dot(g);
+  EXPECT_NE(dot.find("digraph tasks"), std::string::npos);
+  EXPECT_NE(dot.find("fan0"), std::string::npos);
+
+  const auto topo = machine::Topology::hypercube(2);
+  const std::string tdot = to_dot(topo);
+  EXPECT_NE(tdot.find("graph \"hypercube4\""), std::string::npos);
+  EXPECT_NE(tdot.find("0 -- 1"), std::string::npos);
+}
+
+TEST(Dot, SingleLevelExport) {
+  const auto design = workloads::lu3x3_design();
+  const std::string dot = to_dot(design.root_graph());
+  EXPECT_EQ(dot.find("digraph"), 0u);
+  EXPECT_NE(dot.find("\"fan1\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace banger::viz

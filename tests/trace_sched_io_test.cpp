@@ -1,0 +1,140 @@
+// Chrome-trace export and .sched serialisation round trips.
+#include <gtest/gtest.h>
+
+#include "sched/heuristics.hpp"
+#include "sched/serialize.hpp"
+#include "sim/simulator.hpp"
+#include "viz/trace.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger {
+namespace {
+
+machine::Machine cube(int dim) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.1;
+  p.bytes_per_second = 256;
+  return machine::Machine(machine::Topology::hypercube(dim), p);
+}
+
+TEST(ChromeTrace, ScheduleExportsDurationEvents) {
+  const auto g = workloads::lu_taskgraph(4);
+  const auto m = cube(2);
+  const auto s = sched::MhScheduler().run(g, m);
+  const std::string json = viz::to_chrome_trace(s, g);
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  // One X event per placement.
+  std::size_t count = 0;
+  for (auto pos = json.find("\"ph\": \"X\""); pos != std::string::npos;
+       pos = json.find("\"ph\": \"X\"", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, s.placements().size());
+  // Flow arrows for remote messages.
+  if (!s.messages().empty()) {
+    EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  }
+}
+
+TEST(ChromeTrace, DuplicatesAnnotated) {
+  auto g = workloads::fork_join(6, 1.0, 8.0);
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 3.0;
+  machine::Machine m(machine::Topology::fully_connected(4), p);
+  const auto s = sched::DshScheduler().run(g, m);
+  if (s.num_duplicates() == 0) GTEST_SKIP() << "no duplicates";
+  const std::string json = viz::to_chrome_trace(s, g);
+  EXPECT_NE(json.find("\"duplicate\": true"), std::string::npos);
+}
+
+TEST(ChromeTrace, SimulationExport) {
+  const auto g = workloads::lu_taskgraph(4);
+  const auto m = cube(2);
+  const auto s = sched::MhScheduler().run(g, m);
+  const auto result = sim::simulate(g, m, s);
+  const std::string json = viz::to_chrome_trace(result, g);
+  EXPECT_NE(json.find("fan0"), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"task\""), std::string::npos);
+}
+
+TEST(SchedIo, RoundTrip) {
+  const auto g = workloads::lu_taskgraph(5);
+  const auto m = cube(2);
+  const auto s = sched::MhScheduler().run(g, m);
+  const std::string text = sched::to_text(s, g);
+  const auto again = sched::parse_schedule(text, g);
+  EXPECT_EQ(again.num_procs(), s.num_procs());
+  EXPECT_EQ(again.scheduler_name(), s.scheduler_name());
+  ASSERT_EQ(again.placements().size(), s.placements().size());
+  again.validate(g, m);  // still feasible after the round trip
+  EXPECT_DOUBLE_EQ(again.makespan(), s.makespan());
+}
+
+TEST(SchedIo, DuplicatesSurvive) {
+  auto g = workloads::fork_join(6, 1.0, 8.0);
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 3.0;
+  machine::Machine m(machine::Topology::fully_connected(4), p);
+  const auto s = sched::DshScheduler().run(g, m);
+  const auto again = sched::parse_schedule(sched::to_text(s, g), g);
+  EXPECT_EQ(again.num_duplicates(), s.num_duplicates());
+  again.validate(g, m);
+}
+
+TEST(SchedIo, FilesSaveLoad) {
+  const auto g = workloads::lu_taskgraph(4);
+  const auto m = cube(2);
+  const auto s = sched::MhScheduler().run(g, m);
+  const std::string path = testing::TempDir() + "/test.sched";
+  sched::save_schedule(s, g, path);
+  const auto loaded = sched::load_schedule(path, g);
+  EXPECT_DOUBLE_EQ(loaded.makespan(), s.makespan());
+}
+
+TEST(SchedIo, HandEditedScheduleValidates) {
+  // The workflow the format enables: a user edits a placement and the
+  // validator tells them whether it is still feasible.
+  graph::TaskGraph g;
+  g.add_task({"a", 2, "", {}, {}});
+  g.add_task({"b", 3, "", {}, {}});
+  g.add_edge(0, 1, 0);
+  const auto m = cube(1);
+  const auto ok = sched::parse_schedule(
+      "schedule handmade procs=2\n"
+      "place a proc=0 start=0 finish=2\n"
+      "place b proc=0 start=2 finish=5\n",
+      g);
+  EXPECT_NO_THROW(ok.validate(g, m));
+  const auto bad = sched::parse_schedule(
+      "schedule handmade procs=2\n"
+      "place a proc=0 start=0 finish=2\n"
+      "place b proc=0 start=1 finish=4\n",  // overlaps a
+      g);
+  EXPECT_THROW(bad.validate(g, m), Error);
+}
+
+TEST(SchedIo, ParseErrors) {
+  graph::TaskGraph g;
+  g.add_task({"a", 1, "", {}, {}});
+  EXPECT_THROW((void)sched::parse_schedule("place a proc=0\n", g), Error);
+  EXPECT_THROW(
+      (void)sched::parse_schedule(
+          "schedule x procs=2\nplace nosuch proc=0 start=0 finish=1\n", g),
+      Error);
+  EXPECT_THROW(
+      (void)sched::parse_schedule("schedule x procs=2\nbogus\n", g), Error);
+  EXPECT_THROW((void)sched::parse_schedule("", g), Error);
+  EXPECT_THROW(
+      (void)sched::parse_schedule(
+          "schedule x procs=2\nplace a proc=0 start=zz finish=1\n", g),
+      Error);
+}
+
+}  // namespace
+}  // namespace banger

@@ -1,0 +1,192 @@
+// Graph transformations: grain packing and data-parallel splitting.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "sched/heuristics.hpp"
+#include "transform/transform.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::transform {
+namespace {
+
+machine::Machine unit_machine(double speed = 1.0) {
+  machine::MachineParams p;
+  p.processor_speed = speed;
+  p.message_startup = 0.5;
+  p.bytes_per_second = 16.0;
+  return machine::Machine(machine::Topology::fully_connected(4), p);
+}
+
+TEST(GrainPack, MergesTinyChainTasks) {
+  // Ten 0.1-work tasks in a chain, threshold 1s: should pack into a few
+  // grains with total work preserved.
+  auto g = workloads::chain_graph(10, 0.1, 64.0);
+  GrainPackOptions opts;
+  opts.min_grain_seconds = 1.0;
+  opts.max_grain_seconds = 2.0;
+  const auto packed = pack_grains(g, unit_machine(), opts);
+  EXPECT_LT(packed.graph.num_tasks(), g.num_tasks());
+  EXPECT_NEAR(packed.graph.total_work(), g.total_work(), 1e-9);
+  EXPECT_TRUE(packed.graph.is_acyclic());
+}
+
+TEST(GrainPack, PreservesMembership) {
+  auto g = workloads::chain_graph(6, 0.2, 8.0);
+  const auto packed = pack_grains(g, unit_machine());
+  // Every original appears exactly once.
+  std::vector<int> seen(g.num_tasks(), 0);
+  for (const auto& members : packed.origin) {
+    for (graph::TaskId m : members) ++seen[m];
+  }
+  for (int count : seen) EXPECT_EQ(count, 1);
+  // find_origin agrees.
+  for (graph::TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_NE(packed.find_origin(t), graph::kNoTask);
+  }
+}
+
+TEST(GrainPack, LeavesBigTasksAlone) {
+  auto g = workloads::fork_join(5, 10.0, 8.0);  // workers already 10s
+  GrainPackOptions opts;
+  opts.min_grain_seconds = 1.0;
+  const auto packed = pack_grains(g, unit_machine(), opts);
+  // fork (1s) and join (1s) may merge with a worker, but workers stay
+  // distinct from each other (merging two would exceed max_grain 16).
+  EXPECT_GE(packed.graph.num_tasks(), 4u);
+}
+
+TEST(GrainPack, RespectsMaxGrain) {
+  auto g = workloads::chain_graph(20, 0.5, 8.0);
+  GrainPackOptions opts;
+  opts.min_grain_seconds = 10.0;  // everything is "small"
+  opts.max_grain_seconds = 2.0;   // ...but grains cap at 2s
+  const auto packed = pack_grains(g, unit_machine(), opts);
+  for (const auto& t : packed.graph.tasks()) {
+    EXPECT_LE(t.work, 2.0 + 1e-9);
+  }
+}
+
+TEST(GrainPack, NeverCreatesCycles) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    workloads::RandomGraphSpec spec;
+    spec.seed = seed;
+    spec.work_lo = 0.1;
+    spec.work_hi = 2.0;
+    auto g = workloads::random_layered(spec);
+    GrainPackOptions opts;
+    opts.min_grain_seconds = 1.5;
+    opts.max_grain_seconds = 6.0;
+    const auto packed = pack_grains(g, unit_machine(), opts);
+    EXPECT_TRUE(packed.graph.is_acyclic()) << seed;
+    EXPECT_NEAR(packed.graph.total_work(), g.total_work(), 1e-9) << seed;
+  }
+}
+
+TEST(GrainPack, ImprovesScheduleOnFineGrainGraph) {
+  // Fine-grained diamond with costly messages: packing should not hurt
+  // and usually helps the scheduled makespan.
+  auto g = workloads::diamond(6, 6, 0.2, 64.0);
+  const auto m = unit_machine();
+  const auto before = sched::MhScheduler().run(g, m);
+  GrainPackOptions opts;
+  opts.min_grain_seconds = 1.0;
+  opts.max_grain_seconds = 4.0;
+  const auto packed = pack_grains(g, m, opts);
+  const auto after = sched::MhScheduler().run(packed.graph, m);
+  after.validate(packed.graph, m);
+  EXPECT_LT(after.makespan(), before.makespan());
+}
+
+TEST(Split, ShardsWorkAndTraffic) {
+  auto g = workloads::fork_join(1, 8.0, 64.0);  // fork -> work0 -> join
+  const auto work0 = g.require("work0");
+  const auto split = split_data_parallel(g, work0, 4);
+  EXPECT_EQ(split.graph.num_tasks(), 6u);  // fork, join, 4 shards
+  EXPECT_NEAR(split.graph.total_work(), g.total_work(), 1e-9);
+  for (int k = 0; k < 4; ++k) {
+    const auto shard = split.graph.require("work0#" + std::to_string(k));
+    EXPECT_DOUBLE_EQ(split.graph.task(shard).work, 2.0);
+    EXPECT_EQ(split.graph.preds(shard).size(), 1u);
+    EXPECT_EQ(split.graph.succs(shard).size(), 1u);
+  }
+  // Total traffic preserved: each shard edge carries bytes/4.
+  EXPECT_NEAR(split.graph.total_bytes(), g.total_bytes(), 1e-9);
+}
+
+TEST(Split, OriginTracksShards) {
+  auto g = workloads::fork_join(2, 4.0, 8.0);
+  const auto target = g.require("work1");
+  const auto split = split_data_parallel(g, target, 3);
+  int shards = 0;
+  for (graph::TaskId t = 0; t < split.graph.num_tasks(); ++t) {
+    if (split.origin[t] == std::vector<graph::TaskId>{target}) ++shards;
+  }
+  EXPECT_EQ(shards, 3 + 0);  // the three shards only... plus none others
+}
+
+TEST(Split, WaysOneIsIdentityShaped) {
+  auto g = workloads::chain_graph(3, 2.0, 8.0);
+  const auto split = split_data_parallel(g, 1, 1);
+  EXPECT_EQ(split.graph.num_tasks(), 3u);
+  EXPECT_EQ(split.graph.num_edges(), 2u);
+}
+
+TEST(Split, RejectsBadArguments) {
+  auto g = workloads::chain_graph(3, 2.0, 8.0);
+  EXPECT_THROW((void)split_data_parallel(g, 99, 2), Error);
+  EXPECT_THROW((void)split_data_parallel(g, 0, 0), Error);
+  EXPECT_THROW((void)split_data_parallel(g, 0, 5000), Error);
+}
+
+TEST(Split, UnlocksSpeedupOnSerialBottleneck) {
+  // One heavy task dominates: splitting it 4 ways lets 4 processors
+  // help — the paper's fine-grained extension in action.
+  graph::TaskGraph g;
+  const auto pre = g.add_task({"pre", 1, "", {}, {}});
+  const auto heavy = g.add_task({"heavy", 16, "", {}, {}});
+  const auto post = g.add_task({"post", 1, "", {}, {}});
+  g.add_edge(pre, heavy, 8);
+  g.add_edge(heavy, post, 8);
+
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = 0.05;
+  p.bytes_per_second = 1e4;
+  machine::Machine m(machine::Topology::fully_connected(4), p);
+
+  const auto before = sched::MhScheduler().run(g, m);
+  const auto split = split_data_parallel(g, heavy, 4);
+  const auto after = sched::MhScheduler().run(split.graph, m);
+  after.validate(split.graph, m);
+  EXPECT_LT(after.makespan(), before.makespan() * 0.5);
+}
+
+TEST(SplitHeavy, SweepsAllOversizedTasks) {
+  auto g = workloads::lu_taskgraph(6, 8.0);
+  const auto m = unit_machine();
+  const auto split = split_heavy_tasks(g, m, 2.0, 4);
+  EXPECT_GT(split.graph.num_tasks(), g.num_tasks());
+  EXPECT_NEAR(split.graph.total_work(), g.total_work(), 1e-9);
+  for (const auto& t : split.graph.tasks()) {
+    // No unsplit task above threshold remains (shards may still exceed
+    // it when capped at max_ways).
+    if (t.name.find('#') == std::string::npos) {
+      EXPECT_LE(t.work, 2.0 + 1e-9) << t.name;
+    }
+  }
+  EXPECT_TRUE(split.graph.is_acyclic());
+}
+
+TEST(SplitHeavy, ComposedOriginsCoverOriginals) {
+  auto g = workloads::lu_taskgraph(5, 8.0);
+  const auto split = split_heavy_tasks(g, unit_machine(), 2.0, 4);
+  std::vector<bool> covered(g.num_tasks(), false);
+  for (const auto& members : split.origin) {
+    for (graph::TaskId m : members) covered[m] = true;
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+}  // namespace
+}  // namespace banger::transform

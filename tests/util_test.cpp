@@ -1,0 +1,164 @@
+// Unit tests for banger::util — strings, rng, table, error.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace banger::util {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim(" \t "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, SplitPreservesEmptyFields) {
+  auto parts = split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+}
+
+TEST(Strings, SplitSingleFieldWhenNoSeparator) {
+  auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, SplitWsDropsEmptyFields) {
+  auto parts = split_ws("  a \t b\nc  ");
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("banger", "ban"));
+  EXPECT_FALSE(starts_with("ban", "banger"));
+  EXPECT_TRUE(ends_with("banger", "ger"));
+  EXPECT_FALSE(ends_with("ger", "banger"));
+}
+
+TEST(Strings, JoinConcatenatesWithSeparator) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"one"}, ","), "one");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("abc_123"));
+  EXPECT_TRUE(is_identifier("_x"));
+  EXPECT_FALSE(is_identifier("1abc"));
+  EXPECT_FALSE(is_identifier(""));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier("a.b"));
+}
+
+TEST(Strings, FormatDoubleCompact) {
+  EXPECT_EQ(format_double(3.0), "3");
+  EXPECT_EQ(format_double(3.5), "3.5");
+  EXPECT_EQ(format_double(-0.25), "-0.25");
+  EXPECT_EQ(format_double(std::nan("")), "nan");
+  EXPECT_EQ(format_double(1.0 / 0.0), "inf");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcd", 2), "abcd");
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.next_below(7), 7u);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Table, AlignsColumnsAndRightAlignsNumbers) {
+  Table t;
+  t.set_header({"name", "value"});
+  t.add_row({"x", "10"});
+  t.add_row({"longer", "3.5"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  // Numeric column right-aligned: "10" should be padded left.
+  EXPECT_NE(s.find("    10"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper) {
+  Table t;
+  t.add_row_numeric("row", {1.0, 2.5});
+  EXPECT_EQ(t.num_rows(), 1u);
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("2.5"), std::string::npos);
+}
+
+TEST(Error, CarriesCodeAndPosition) {
+  try {
+    fail(ErrorCode::Parse, "bad token", {3, 7});
+    FAIL() << "fail() must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Parse);
+    EXPECT_EQ(e.pos().line, 3);
+    EXPECT_EQ(e.pos().column, 7);
+    EXPECT_NE(std::string(e.what()).find("parse error at 3:7"),
+              std::string::npos);
+    EXPECT_EQ(e.message(), "bad token");
+  }
+}
+
+TEST(Error, CodeNames) {
+  EXPECT_EQ(to_string(ErrorCode::Graph), "graph");
+  EXPECT_EQ(to_string(ErrorCode::Machine), "machine");
+  EXPECT_EQ(to_string(ErrorCode::Runtime), "runtime");
+}
+
+}  // namespace
+}  // namespace banger::util

@@ -1,0 +1,192 @@
+// Workload generator tests: structural invariants of every canonical
+// graph family.
+#include <gtest/gtest.h>
+
+#include "graph/analysis.hpp"
+#include "workloads/designs.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+#include "workloads/synth.hpp"
+
+namespace banger::workloads {
+namespace {
+
+using graph::TaskGraph;
+
+TEST(Lu, TaskGraphCounts) {
+  // Steps k = 0..n-2: 1 fan + (n-1-k) updates.
+  for (int n : {2, 3, 5, 8}) {
+    const auto g = lu_taskgraph(n);
+    std::size_t expect = 0;
+    for (int k = 0; k + 1 < n; ++k)
+      expect += 1 + static_cast<std::size_t>(n - 1 - k);
+    EXPECT_EQ(g.num_tasks(), expect) << n;
+    EXPECT_TRUE(g.is_acyclic());
+  }
+  EXPECT_THROW((void)lu_taskgraph(1), Error);
+}
+
+TEST(Lu, DependenceStructure) {
+  const auto g = lu_taskgraph(4);
+  // fan1 depends on upd0_1; upd1_2 depends on fan1 and upd0_2.
+  const auto fan1 = g.require("fan1");
+  const auto upd0_1 = g.require("upd0_1");
+  const auto preds = g.preds(fan1);
+  EXPECT_EQ(preds, std::vector<graph::TaskId>{upd0_1});
+  const auto upd1_2 = g.require("upd1_2");
+  EXPECT_EQ(g.preds(upd1_2).size(), 2u);
+}
+
+TEST(Lu, ParallelismShrinksWithSteps) {
+  const auto g = lu_taskgraph(8);
+  const auto profile = graph::level_profile(g);
+  EXPECT_GE(profile.levels[1].size(), profile.levels.back().size());
+}
+
+TEST(Fft, ButterflyStructure) {
+  const auto g = fft_taskgraph(8);
+  EXPECT_EQ(g.num_tasks(), 8u * 4);  // (log2(8)+1) stages of 8
+  EXPECT_TRUE(g.is_acyclic());
+  // Every non-first-stage task has exactly two parents.
+  for (graph::TaskId t = 8; t < g.num_tasks(); ++t) {
+    EXPECT_EQ(g.in_edges(t).size(), 2u);
+  }
+  EXPECT_THROW((void)fft_taskgraph(6), Error);
+  EXPECT_THROW((void)fft_taskgraph(1), Error);
+}
+
+TEST(ForkJoin, Structure) {
+  const auto g = fork_join(5, 2.0);
+  EXPECT_EQ(g.num_tasks(), 7u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(graph::level_profile(g).max_width(), 5u);
+}
+
+TEST(Pipeline, CoupledAddsStencilEdges) {
+  const auto plain = pipeline(3, 4, false);
+  const auto coupled = pipeline(3, 4, true);
+  EXPECT_EQ(plain.num_tasks(), coupled.num_tasks());
+  EXPECT_GT(coupled.num_edges(), plain.num_edges());
+}
+
+TEST(Diamond, WavefrontDepth) {
+  const auto g = diamond(3, 4);
+  EXPECT_EQ(g.num_tasks(), 12u);
+  // Longest path has rows+cols-1 levels.
+  EXPECT_EQ(graph::level_profile(g).depth(), 6u);
+}
+
+TEST(ReductionTree, Structure) {
+  const auto g = reduction_tree(8);
+  EXPECT_EQ(g.num_tasks(), 15u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+  EXPECT_EQ(g.sources().size(), 8u);
+}
+
+TEST(DivideConquer, DiamondShape) {
+  const auto g = divide_conquer(3);
+  // Out-tree: 1+2+4+8 = 15; in-tree: 4+2+1 = 7.
+  EXPECT_EQ(g.num_tasks(), 22u);
+  EXPECT_EQ(g.sources().size(), 1u);
+  EXPECT_EQ(g.sinks().size(), 1u);
+}
+
+TEST(Chain, NoParallelism) {
+  const auto g = chain_graph(5);
+  EXPECT_DOUBLE_EQ(graph::average_parallelism(g), 1.0);
+}
+
+TEST(RandomLayered, SeededAndConnected) {
+  RandomGraphSpec spec;
+  spec.seed = 11;
+  const auto g1 = random_layered(spec);
+  const auto g2 = random_layered(spec);
+  EXPECT_EQ(g1.num_tasks(), g2.num_tasks());
+  EXPECT_EQ(g1.num_edges(), g2.num_edges());
+  EXPECT_TRUE(g1.is_acyclic());
+  // Every non-source task has at least one parent by construction.
+  std::size_t sources = g1.sources().size();
+  EXPECT_LE(sources, static_cast<std::size_t>(spec.width * 2));
+
+  spec.seed = 12;
+  const auto g3 = random_layered(spec);
+  EXPECT_TRUE(g1.num_edges() != g3.num_edges() ||
+              g1.num_tasks() != g3.num_tasks());
+}
+
+TEST(RandomLayered, RespectsWorkBounds) {
+  RandomGraphSpec spec;
+  spec.work_lo = 2.0;
+  spec.work_hi = 3.0;
+  const auto g = random_layered(spec);
+  for (const auto& t : g.tasks()) {
+    EXPECT_GE(t.work, 2.0);
+    EXPECT_LT(t.work, 3.0);
+  }
+}
+
+TEST(Designs, MontecarloShape) {
+  const auto d = montecarlo_design(5, 100);
+  const auto flat = d.flatten();
+  EXPECT_EQ(flat.graph.num_tasks(), 6u);  // 5 samplers + reduce
+  EXPECT_EQ(flat.output_stores().size(), 1u);
+}
+
+TEST(Designs, SignalPipelineHierarchy) {
+  const auto d = signal_pipeline_design(4);
+  EXPECT_EQ(d.depth(), 2);
+  const auto flat = d.flatten();
+  EXPECT_EQ(flat.graph.num_tasks(), 4u * 3 + 1);
+  EXPECT_TRUE(flat.graph.find("chan2.bandpass").has_value());
+}
+
+TEST(Designs, PolyevalShape) {
+  const auto flat = polyeval_design(4).flatten();
+  EXPECT_EQ(flat.graph.num_tasks(), 5u);
+  EXPECT_EQ(flat.input_stores().size(), 2u);  // coeffs, xs
+}
+
+TEST(Designs, HeatDesignShape) {
+  const auto d = heat_design(3, 4, 8);
+  const auto flat = d.flatten();
+  // 3 init + 3*4 stencil + 1 gather.
+  EXPECT_EQ(flat.graph.num_tasks(), 3u + 12u + 1u);
+  EXPECT_TRUE(flat.graph.is_acyclic());
+  EXPECT_EQ(flat.input_stores().size(), 1u);
+  EXPECT_EQ(flat.output_stores().size(), 1u);
+  // Interior stencil tasks have 3 predecessors (own chunk + 2 ghosts).
+  const auto mid = flat.graph.require("st2_1");
+  EXPECT_EQ(flat.graph.preds(mid).size(), 3u);
+  // Edge segments only 2.
+  const auto edge = flat.graph.require("st2_0");
+  EXPECT_EQ(flat.graph.preds(edge).size(), 2u);
+}
+
+TEST(Designs, HeatDesignRejectsBadParams) {
+  EXPECT_THROW((void)heat_design(0, 1, 4), Error);
+  EXPECT_THROW((void)heat_design(2, 2, 1), Error);
+  EXPECT_THROW((void)heat_design(2, 2, 4, 0.9), Error);
+}
+
+TEST(Synth, FillsProgramsAndInterfaces) {
+  auto g = fork_join(3, 0.1);
+  synthesize_pits(g);
+  for (graph::TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_FALSE(g.task(t).pits.empty());
+    EXPECT_EQ(g.task(t).outputs.size(), 1u);
+    EXPECT_EQ(g.task(t).inputs.size(), g.preds(t).size());
+  }
+}
+
+TEST(Synth, WorkScalesIterations) {
+  auto g = chain_graph(2);
+  g.task(0).work = 1.0;
+  g.task(1).work = 10.0;
+  synthesize_pits(g);
+  EXPECT_NE(g.task(0).pits.find("repeat 200 times"), std::string::npos);
+  EXPECT_NE(g.task(1).pits.find("repeat 2000 times"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace banger::workloads

@@ -1,0 +1,11 @@
+// The `banger` command-line environment; all logic lives in cli/cli.cpp.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return banger::cli::run(args, std::cout, std::cerr);
+}
