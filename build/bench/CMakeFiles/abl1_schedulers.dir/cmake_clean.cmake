@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl1_schedulers.dir/abl1_schedulers.cpp.o"
+  "CMakeFiles/abl1_schedulers.dir/abl1_schedulers.cpp.o.d"
+  "abl1_schedulers"
+  "abl1_schedulers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl1_schedulers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

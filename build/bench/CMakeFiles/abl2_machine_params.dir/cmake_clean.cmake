@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl2_machine_params.dir/abl2_machine_params.cpp.o"
+  "CMakeFiles/abl2_machine_params.dir/abl2_machine_params.cpp.o.d"
+  "abl2_machine_params"
+  "abl2_machine_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl2_machine_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

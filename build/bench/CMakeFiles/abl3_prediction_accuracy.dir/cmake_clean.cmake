@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl3_prediction_accuracy.dir/abl3_prediction_accuracy.cpp.o"
+  "CMakeFiles/abl3_prediction_accuracy.dir/abl3_prediction_accuracy.cpp.o.d"
+  "abl3_prediction_accuracy"
+  "abl3_prediction_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl3_prediction_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl4_duplication.dir/abl4_duplication.cpp.o"
+  "CMakeFiles/abl4_duplication.dir/abl4_duplication.cpp.o.d"
+  "abl4_duplication"
+  "abl4_duplication.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl4_duplication.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl5_optimality_gap.dir/abl5_optimality_gap.cpp.o"
+  "CMakeFiles/abl5_optimality_gap.dir/abl5_optimality_gap.cpp.o.d"
+  "abl5_optimality_gap"
+  "abl5_optimality_gap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl5_optimality_gap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl7_heterogeneous.dir/abl7_heterogeneous.cpp.o"
+  "CMakeFiles/abl7_heterogeneous.dir/abl7_heterogeneous.cpp.o.d"
+  "abl7_heterogeneous"
+  "abl7_heterogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl7_heterogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl8_annealing.dir/abl8_annealing.cpp.o"
+  "CMakeFiles/abl8_annealing.dir/abl8_annealing.cpp.o.d"
+  "abl8_annealing"
+  "abl8_annealing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl8_annealing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/abl9_contention.cpp" "bench/CMakeFiles/abl9_contention.dir/abl9_contention.cpp.o" "gcc" "bench/CMakeFiles/abl9_contention.dir/abl9_contention.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/banger_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/banger_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/banger_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/banger_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/banger_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/exec/CMakeFiles/banger_exec.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/banger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/calc/CMakeFiles/banger_calc.dir/DependInfo.cmake"
+  "/root/repo/build/src/pits/CMakeFiles/banger_pits.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/banger_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/banger_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/banger_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/banger_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

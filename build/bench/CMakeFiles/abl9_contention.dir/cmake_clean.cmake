@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl9_contention.dir/abl9_contention.cpp.o"
+  "CMakeFiles/abl9_contention.dir/abl9_contention.cpp.o.d"
+  "abl9_contention"
+  "abl9_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl9_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_lu_graph.dir/fig1_lu_graph.cpp.o"
+  "CMakeFiles/fig1_lu_graph.dir/fig1_lu_graph.cpp.o.d"
+  "fig1_lu_graph"
+  "fig1_lu_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_lu_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

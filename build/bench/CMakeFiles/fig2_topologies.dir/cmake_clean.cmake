@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_topologies.dir/fig2_topologies.cpp.o"
+  "CMakeFiles/fig2_topologies.dir/fig2_topologies.cpp.o.d"
+  "fig2_topologies"
+  "fig2_topologies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_topologies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

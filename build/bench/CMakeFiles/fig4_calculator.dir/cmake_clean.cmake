@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_calculator.dir/fig4_calculator.cpp.o"
+  "CMakeFiles/fig4_calculator.dir/fig4_calculator.cpp.o.d"
+  "fig4_calculator"
+  "fig4_calculator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_calculator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/bench
+# Build directory: /root/repo/build/bench
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(bench_fig1_lu_graph "/root/repo/build/bench/fig1_lu_graph")
+set_tests_properties(bench_fig1_lu_graph PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;16;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig2_topologies "/root/repo/build/bench/fig2_topologies")
+set_tests_properties(bench_fig2_topologies PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;17;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig3_schedules "/root/repo/build/bench/fig3_schedules")
+set_tests_properties(bench_fig3_schedules PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;18;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_fig4_calculator "/root/repo/build/bench/fig4_calculator")
+set_tests_properties(bench_fig4_calculator PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;19;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl1_schedulers "/root/repo/build/bench/abl1_schedulers")
+set_tests_properties(bench_abl1_schedulers PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;20;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl2_machine_params "/root/repo/build/bench/abl2_machine_params")
+set_tests_properties(bench_abl2_machine_params PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;21;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl3_prediction_accuracy "/root/repo/build/bench/abl3_prediction_accuracy")
+set_tests_properties(bench_abl3_prediction_accuracy PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;22;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl4_duplication "/root/repo/build/bench/abl4_duplication")
+set_tests_properties(bench_abl4_duplication PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;23;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl5_optimality_gap "/root/repo/build/bench/abl5_optimality_gap")
+set_tests_properties(bench_abl5_optimality_gap PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;24;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl6_granularity "/root/repo/build/bench/abl6_granularity")
+set_tests_properties(bench_abl6_granularity PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;25;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl7_heterogeneous "/root/repo/build/bench/abl7_heterogeneous")
+set_tests_properties(bench_abl7_heterogeneous PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;26;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl8_annealing "/root/repo/build/bench/abl8_annealing")
+set_tests_properties(bench_abl8_annealing PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;27;banger_report;/root/repo/bench/CMakeLists.txt;0;")
+add_test(bench_abl9_contention "/root/repo/build/bench/abl9_contention")
+set_tests_properties(bench_abl9_contention PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/bench/CMakeLists.txt;12;add_test;/root/repo/bench/CMakeLists.txt;28;banger_report;/root/repo/bench/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calculator_repl.dir/calculator_repl.cpp.o"
+  "CMakeFiles/calculator_repl.dir/calculator_repl.cpp.o.d"
+  "calculator_repl"
+  "calculator_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calculator_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/montecarlo_pipeline.dir/montecarlo_pipeline.cpp.o"
+  "CMakeFiles/montecarlo_pipeline.dir/montecarlo_pipeline.cpp.o.d"
+  "montecarlo_pipeline"
+  "montecarlo_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/montecarlo_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

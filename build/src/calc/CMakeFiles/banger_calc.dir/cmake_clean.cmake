@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_calc.dir/panel.cpp.o"
+  "CMakeFiles/banger_calc.dir/panel.cpp.o.d"
+  "libbanger_calc.a"
+  "libbanger_calc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_calc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_cli.dir/cli.cpp.o"
+  "CMakeFiles/banger_cli.dir/cli.cpp.o.d"
+  "libbanger_cli.a"
+  "libbanger_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

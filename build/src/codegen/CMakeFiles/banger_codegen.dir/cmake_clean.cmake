@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_codegen.dir/codegen.cpp.o"
+  "CMakeFiles/banger_codegen.dir/codegen.cpp.o.d"
+  "CMakeFiles/banger_codegen.dir/runtime_preamble.cpp.o"
+  "CMakeFiles/banger_codegen.dir/runtime_preamble.cpp.o.d"
+  "libbanger_codegen.a"
+  "libbanger_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+src/codegen/CMakeFiles/banger_codegen.dir/runtime_preamble.cpp.o: \
+ /root/repo/src/codegen/runtime_preamble.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/codegen/runtime_preamble.hpp

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_core.dir/html_report.cpp.o"
+  "CMakeFiles/banger_core.dir/html_report.cpp.o.d"
+  "CMakeFiles/banger_core.dir/lint.cpp.o"
+  "CMakeFiles/banger_core.dir/lint.cpp.o.d"
+  "CMakeFiles/banger_core.dir/project.cpp.o"
+  "CMakeFiles/banger_core.dir/project.cpp.o.d"
+  "libbanger_core.a"
+  "libbanger_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_exec.dir/executor.cpp.o"
+  "CMakeFiles/banger_exec.dir/executor.cpp.o.d"
+  "libbanger_exec.a"
+  "libbanger_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

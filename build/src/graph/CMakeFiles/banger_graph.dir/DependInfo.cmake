@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/analysis.cpp" "src/graph/CMakeFiles/banger_graph.dir/analysis.cpp.o" "gcc" "src/graph/CMakeFiles/banger_graph.dir/analysis.cpp.o.d"
+  "/root/repo/src/graph/builder.cpp" "src/graph/CMakeFiles/banger_graph.dir/builder.cpp.o" "gcc" "src/graph/CMakeFiles/banger_graph.dir/builder.cpp.o.d"
+  "/root/repo/src/graph/design.cpp" "src/graph/CMakeFiles/banger_graph.dir/design.cpp.o" "gcc" "src/graph/CMakeFiles/banger_graph.dir/design.cpp.o.d"
+  "/root/repo/src/graph/graph.cpp" "src/graph/CMakeFiles/banger_graph.dir/graph.cpp.o" "gcc" "src/graph/CMakeFiles/banger_graph.dir/graph.cpp.o.d"
+  "/root/repo/src/graph/serialize.cpp" "src/graph/CMakeFiles/banger_graph.dir/serialize.cpp.o" "gcc" "src/graph/CMakeFiles/banger_graph.dir/serialize.cpp.o.d"
+  "/root/repo/src/graph/task_graph.cpp" "src/graph/CMakeFiles/banger_graph.dir/task_graph.cpp.o" "gcc" "src/graph/CMakeFiles/banger_graph.dir/task_graph.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pits/CMakeFiles/banger_pits.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/banger_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_graph.dir/analysis.cpp.o"
+  "CMakeFiles/banger_graph.dir/analysis.cpp.o.d"
+  "CMakeFiles/banger_graph.dir/builder.cpp.o"
+  "CMakeFiles/banger_graph.dir/builder.cpp.o.d"
+  "CMakeFiles/banger_graph.dir/design.cpp.o"
+  "CMakeFiles/banger_graph.dir/design.cpp.o.d"
+  "CMakeFiles/banger_graph.dir/graph.cpp.o"
+  "CMakeFiles/banger_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/banger_graph.dir/serialize.cpp.o"
+  "CMakeFiles/banger_graph.dir/serialize.cpp.o.d"
+  "CMakeFiles/banger_graph.dir/task_graph.cpp.o"
+  "CMakeFiles/banger_graph.dir/task_graph.cpp.o.d"
+  "libbanger_graph.a"
+  "libbanger_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

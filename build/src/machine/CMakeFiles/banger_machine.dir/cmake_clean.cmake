@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_machine.dir/machine.cpp.o"
+  "CMakeFiles/banger_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/banger_machine.dir/serialize.cpp.o"
+  "CMakeFiles/banger_machine.dir/serialize.cpp.o.d"
+  "CMakeFiles/banger_machine.dir/topology.cpp.o"
+  "CMakeFiles/banger_machine.dir/topology.cpp.o.d"
+  "libbanger_machine.a"
+  "libbanger_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbanger_machine.a"
+)

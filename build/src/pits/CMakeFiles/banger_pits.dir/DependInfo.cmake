@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pits/builtins.cpp" "src/pits/CMakeFiles/banger_pits.dir/builtins.cpp.o" "gcc" "src/pits/CMakeFiles/banger_pits.dir/builtins.cpp.o.d"
+  "/root/repo/src/pits/interp.cpp" "src/pits/CMakeFiles/banger_pits.dir/interp.cpp.o" "gcc" "src/pits/CMakeFiles/banger_pits.dir/interp.cpp.o.d"
+  "/root/repo/src/pits/lexer.cpp" "src/pits/CMakeFiles/banger_pits.dir/lexer.cpp.o" "gcc" "src/pits/CMakeFiles/banger_pits.dir/lexer.cpp.o.d"
+  "/root/repo/src/pits/parser.cpp" "src/pits/CMakeFiles/banger_pits.dir/parser.cpp.o" "gcc" "src/pits/CMakeFiles/banger_pits.dir/parser.cpp.o.d"
+  "/root/repo/src/pits/printer.cpp" "src/pits/CMakeFiles/banger_pits.dir/printer.cpp.o" "gcc" "src/pits/CMakeFiles/banger_pits.dir/printer.cpp.o.d"
+  "/root/repo/src/pits/value.cpp" "src/pits/CMakeFiles/banger_pits.dir/value.cpp.o" "gcc" "src/pits/CMakeFiles/banger_pits.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/banger_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_pits.dir/builtins.cpp.o"
+  "CMakeFiles/banger_pits.dir/builtins.cpp.o.d"
+  "CMakeFiles/banger_pits.dir/interp.cpp.o"
+  "CMakeFiles/banger_pits.dir/interp.cpp.o.d"
+  "CMakeFiles/banger_pits.dir/lexer.cpp.o"
+  "CMakeFiles/banger_pits.dir/lexer.cpp.o.d"
+  "CMakeFiles/banger_pits.dir/parser.cpp.o"
+  "CMakeFiles/banger_pits.dir/parser.cpp.o.d"
+  "CMakeFiles/banger_pits.dir/printer.cpp.o"
+  "CMakeFiles/banger_pits.dir/printer.cpp.o.d"
+  "CMakeFiles/banger_pits.dir/value.cpp.o"
+  "CMakeFiles/banger_pits.dir/value.cpp.o.d"
+  "libbanger_pits.a"
+  "libbanger_pits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_pits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/anneal.cpp" "src/sched/CMakeFiles/banger_sched.dir/anneal.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/anneal.cpp.o.d"
+  "/root/repo/src/sched/baselines.cpp" "src/sched/CMakeFiles/banger_sched.dir/baselines.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/baselines.cpp.o.d"
+  "/root/repo/src/sched/clustering.cpp" "src/sched/CMakeFiles/banger_sched.dir/clustering.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/clustering.cpp.o.d"
+  "/root/repo/src/sched/dsh.cpp" "src/sched/CMakeFiles/banger_sched.dir/dsh.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/dsh.cpp.o.d"
+  "/root/repo/src/sched/explain.cpp" "src/sched/CMakeFiles/banger_sched.dir/explain.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/explain.cpp.o.d"
+  "/root/repo/src/sched/heuristics_list.cpp" "src/sched/CMakeFiles/banger_sched.dir/heuristics_list.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/heuristics_list.cpp.o.d"
+  "/root/repo/src/sched/list_core.cpp" "src/sched/CMakeFiles/banger_sched.dir/list_core.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/list_core.cpp.o.d"
+  "/root/repo/src/sched/optimal.cpp" "src/sched/CMakeFiles/banger_sched.dir/optimal.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/optimal.cpp.o.d"
+  "/root/repo/src/sched/schedule.cpp" "src/sched/CMakeFiles/banger_sched.dir/schedule.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/schedule.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/banger_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/scheduler.cpp.o.d"
+  "/root/repo/src/sched/serialize.cpp" "src/sched/CMakeFiles/banger_sched.dir/serialize.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/serialize.cpp.o.d"
+  "/root/repo/src/sched/speedup.cpp" "src/sched/CMakeFiles/banger_sched.dir/speedup.cpp.o" "gcc" "src/sched/CMakeFiles/banger_sched.dir/speedup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/banger_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/banger_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/banger_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pits/CMakeFiles/banger_pits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_sched.dir/anneal.cpp.o"
+  "CMakeFiles/banger_sched.dir/anneal.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/baselines.cpp.o"
+  "CMakeFiles/banger_sched.dir/baselines.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/clustering.cpp.o"
+  "CMakeFiles/banger_sched.dir/clustering.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/dsh.cpp.o"
+  "CMakeFiles/banger_sched.dir/dsh.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/explain.cpp.o"
+  "CMakeFiles/banger_sched.dir/explain.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/heuristics_list.cpp.o"
+  "CMakeFiles/banger_sched.dir/heuristics_list.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/list_core.cpp.o"
+  "CMakeFiles/banger_sched.dir/list_core.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/optimal.cpp.o"
+  "CMakeFiles/banger_sched.dir/optimal.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/schedule.cpp.o"
+  "CMakeFiles/banger_sched.dir/schedule.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/banger_sched.dir/scheduler.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/serialize.cpp.o"
+  "CMakeFiles/banger_sched.dir/serialize.cpp.o.d"
+  "CMakeFiles/banger_sched.dir/speedup.cpp.o"
+  "CMakeFiles/banger_sched.dir/speedup.cpp.o.d"
+  "libbanger_sched.a"
+  "libbanger_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

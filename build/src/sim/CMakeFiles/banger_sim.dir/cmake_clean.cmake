@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_sim.dir/simulator.cpp.o"
+  "CMakeFiles/banger_sim.dir/simulator.cpp.o.d"
+  "libbanger_sim.a"
+  "libbanger_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

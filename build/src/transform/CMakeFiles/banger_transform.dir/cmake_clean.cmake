@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_transform.dir/transform.cpp.o"
+  "CMakeFiles/banger_transform.dir/transform.cpp.o.d"
+  "libbanger_transform.a"
+  "libbanger_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

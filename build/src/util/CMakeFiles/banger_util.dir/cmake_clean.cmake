@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_util.dir/error.cpp.o"
+  "CMakeFiles/banger_util.dir/error.cpp.o.d"
+  "CMakeFiles/banger_util.dir/strings.cpp.o"
+  "CMakeFiles/banger_util.dir/strings.cpp.o.d"
+  "CMakeFiles/banger_util.dir/table.cpp.o"
+  "CMakeFiles/banger_util.dir/table.cpp.o.d"
+  "libbanger_util.a"
+  "libbanger_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/charts.cpp" "src/viz/CMakeFiles/banger_viz.dir/charts.cpp.o" "gcc" "src/viz/CMakeFiles/banger_viz.dir/charts.cpp.o.d"
+  "/root/repo/src/viz/dot.cpp" "src/viz/CMakeFiles/banger_viz.dir/dot.cpp.o" "gcc" "src/viz/CMakeFiles/banger_viz.dir/dot.cpp.o.d"
+  "/root/repo/src/viz/gantt.cpp" "src/viz/CMakeFiles/banger_viz.dir/gantt.cpp.o" "gcc" "src/viz/CMakeFiles/banger_viz.dir/gantt.cpp.o.d"
+  "/root/repo/src/viz/trace.cpp" "src/viz/CMakeFiles/banger_viz.dir/trace.cpp.o" "gcc" "src/viz/CMakeFiles/banger_viz.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/banger_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/banger_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/banger_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/banger_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/banger_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pits/CMakeFiles/banger_pits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_viz.dir/charts.cpp.o"
+  "CMakeFiles/banger_viz.dir/charts.cpp.o.d"
+  "CMakeFiles/banger_viz.dir/dot.cpp.o"
+  "CMakeFiles/banger_viz.dir/dot.cpp.o.d"
+  "CMakeFiles/banger_viz.dir/gantt.cpp.o"
+  "CMakeFiles/banger_viz.dir/gantt.cpp.o.d"
+  "CMakeFiles/banger_viz.dir/trace.cpp.o"
+  "CMakeFiles/banger_viz.dir/trace.cpp.o.d"
+  "libbanger_viz.a"
+  "libbanger_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/designs.cpp" "src/workloads/CMakeFiles/banger_workloads.dir/designs.cpp.o" "gcc" "src/workloads/CMakeFiles/banger_workloads.dir/designs.cpp.o.d"
+  "/root/repo/src/workloads/graphs.cpp" "src/workloads/CMakeFiles/banger_workloads.dir/graphs.cpp.o" "gcc" "src/workloads/CMakeFiles/banger_workloads.dir/graphs.cpp.o.d"
+  "/root/repo/src/workloads/lu.cpp" "src/workloads/CMakeFiles/banger_workloads.dir/lu.cpp.o" "gcc" "src/workloads/CMakeFiles/banger_workloads.dir/lu.cpp.o.d"
+  "/root/repo/src/workloads/synth.cpp" "src/workloads/CMakeFiles/banger_workloads.dir/synth.cpp.o" "gcc" "src/workloads/CMakeFiles/banger_workloads.dir/synth.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/banger_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/banger_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pits/CMakeFiles/banger_pits.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger_workloads.dir/designs.cpp.o"
+  "CMakeFiles/banger_workloads.dir/designs.cpp.o.d"
+  "CMakeFiles/banger_workloads.dir/graphs.cpp.o"
+  "CMakeFiles/banger_workloads.dir/graphs.cpp.o.d"
+  "CMakeFiles/banger_workloads.dir/lu.cpp.o"
+  "CMakeFiles/banger_workloads.dir/lu.cpp.o.d"
+  "CMakeFiles/banger_workloads.dir/synth.cpp.o"
+  "CMakeFiles/banger_workloads.dir/synth.cpp.o.d"
+  "libbanger_workloads.a"
+  "libbanger_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

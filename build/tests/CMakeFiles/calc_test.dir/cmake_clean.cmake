@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calc_test.dir/calc_test.cpp.o"
+  "CMakeFiles/calc_test.dir/calc_test.cpp.o.d"
+  "calc_test"
+  "calc_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pits_fuzz_test.dir/pits_fuzz_test.cpp.o"
+  "CMakeFiles/pits_fuzz_test.dir/pits_fuzz_test.cpp.o.d"
+  "pits_fuzz_test"
+  "pits_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pits_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pits_lang_test.dir/pits_lang_test.cpp.o"
+  "CMakeFiles/pits_lang_test.dir/pits_lang_test.cpp.o.d"
+  "pits_lang_test"
+  "pits_lang_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pits_lang_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/samples_test.dir/samples_test.cpp.o"
+  "CMakeFiles/samples_test.dir/samples_test.cpp.o.d"
+  "samples_test"
+  "samples_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/samples_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

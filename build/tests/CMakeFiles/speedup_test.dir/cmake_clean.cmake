@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speedup_test.dir/speedup_test.cpp.o"
+  "CMakeFiles/speedup_test.dir/speedup_test.cpp.o.d"
+  "speedup_test"
+  "speedup_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speedup_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banger.dir/banger_main.cpp.o"
+  "CMakeFiles/banger.dir/banger_main.cpp.o.d"
+  "banger"
+  "banger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
