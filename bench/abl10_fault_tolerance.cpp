@@ -1,0 +1,119 @@
+// ABL10 — fault tolerance. The paper's environment assumes a reliable
+// machine; this ablation asks what each scheduling family gives up when
+// that assumption breaks. For every schedule we kill its busiest
+// processor (the most damaging single fail-stop fault) partway through
+// the run, rebuild the stranded frontier on the survivors with the
+// repair scheduler, and report the degraded makespan. Duplication (DSH)
+// doubles as cheap redundancy: a task whose copy survives on another
+// processor needs no re-execution, so DSH schedules should lose less
+// makespan than single-copy MH schedules as CCR grows.
+#include <cstdio>
+
+#include "core/recovery.hpp"
+#include "fault/fault.hpp"
+#include "sched/heuristics.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+#include "workloads/graphs.hpp"
+#include "workloads/lu.hpp"
+
+namespace {
+
+using namespace banger;
+
+machine::Machine full4(double ccr) {
+  machine::MachineParams p;
+  p.processor_speed = 1.0;
+  p.message_startup = ccr / 2.0;
+  p.bytes_per_second = ccr > 0 ? 8.0 / (ccr / 2.0) : 0.0;
+  return machine::Machine(machine::Topology::fully_connected(4), p);
+}
+
+struct Outcome {
+  double baseline = 0.0;
+  double degraded = 0.0;
+  double overhead = 0.0;
+  int reexecuted = 0;
+};
+
+Outcome crash_busiest(const graph::TaskGraph& g, const machine::Machine& m,
+                      const sched::Schedule& s, double fraction) {
+  const auto plan = fault::plan_crash_busiest(s, fraction);
+  const auto report = core::run_with_faults(g, m, s, plan);
+  Outcome o;
+  o.baseline = report.baseline_makespan;
+  o.degraded = report.degraded_makespan;
+  o.overhead = report.recovery_overhead;
+  o.reexecuted = static_cast<int>(report.repair.reexecuted.size());
+  return o;
+}
+
+}  // namespace
+
+int main() {
+  std::puts("=== ABL10: fault tolerance under a busiest-processor crash "
+            "(DSH duplication as redundancy vs MH) ===\n");
+
+  struct Case {
+    std::string name;
+    graph::TaskGraph graph;
+  };
+  std::vector<Case> cases;
+  cases.push_back({"forkjoin12", workloads::fork_join(12, 1.0, 8.0)});
+  cases.push_back({"outtree", workloads::divide_conquer(4, 1.0, 8.0)});
+  cases.push_back({"fft8", workloads::fft_taskgraph(8, 1.0, 8.0)});
+  cases.push_back({"lu8", workloads::lu_taskgraph(8, 8.0)});
+
+  for (const auto& c : cases) {
+    std::printf("--- %s (crash at 50%% of each schedule's makespan) ---\n",
+                c.name.c_str());
+    util::Table table;
+    table.set_header({"CCR", "mh base", "mh degr", "mh lost", "dsh base",
+                      "dsh degr", "dsh lost", "dsh reexec"});
+    for (double ccr : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+      const auto m = full4(ccr);
+      const auto mh = sched::MhScheduler().run(c.graph, m);
+      const auto dsh = sched::DshScheduler().run(c.graph, m);
+      const auto omh = crash_busiest(c.graph, m, mh, 0.5);
+      const auto odsh = crash_busiest(c.graph, m, dsh, 0.5);
+      table.add_row({util::format_double(ccr, 3),
+                     util::format_double(omh.baseline, 5),
+                     util::format_double(omh.degraded, 5),
+                     util::format_double(omh.overhead, 5),
+                     util::format_double(odsh.baseline, 5),
+                     util::format_double(odsh.degraded, 5),
+                     util::format_double(odsh.overhead, 5),
+                     std::to_string(odsh.reexecuted)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+    std::puts("");
+  }
+
+  std::puts("--- crash-time sweep (forkjoin12, CCR 2): when does the fault "
+            "hurt most? ---");
+  {
+    const auto g = workloads::fork_join(12, 1.0, 8.0);
+    const auto m = full4(2.0);
+    const auto mh = sched::MhScheduler().run(g, m);
+    const auto dsh = sched::DshScheduler().run(g, m);
+    util::Table table;
+    table.set_header({"crash frac", "mh lost", "dsh lost"});
+    for (double f : {0.1, 0.3, 0.5, 0.7, 0.9}) {
+      const auto omh = crash_busiest(g, m, mh, f);
+      const auto odsh = crash_busiest(g, m, dsh, f);
+      table.add_row({util::format_double(f, 3),
+                     util::format_double(omh.overhead, 5),
+                     util::format_double(odsh.overhead, 5)});
+    }
+    std::fputs(table.to_string().c_str(), stdout);
+  }
+
+  std::puts("\nexpected shape: losing the busiest processor always costs"
+            "\nmakespan (lost >= 0), and the cost grows the later the crash"
+            "\nlands (more finished work dies with the processor). As CCR"
+            "\ngrows, DSH's duplicated ancestors survive on other processors"
+            "\nand feed the repair pass for free, so DSH loses less makespan"
+            "\nthan single-copy MH. Re-executed counts shrink for DSH for the"
+            "\nsame reason.");
+  return 0;
+}

@@ -8,6 +8,8 @@
 
 #include "core/html_report.hpp"
 #include "core/lint.hpp"
+#include "core/recovery.hpp"
+#include "fault/fault.hpp"
 #include "sched/explain.hpp"
 #include "transform/transform.hpp"
 #include "core/project.hpp"
@@ -34,7 +36,8 @@ struct Options {
   std::map<std::string, pits::Value> inputs;
   bool contention = false;
   std::size_t events = 20;
-  std::string task;  ///< --task filter for explain
+  std::string task;             ///< --task filter for explain
+  std::string fault_plan_file;  ///< --fault-plan for simulate/run/faults
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -83,6 +86,8 @@ Options parse_options(const std::vector<std::string>& args,
       o.inputs[var] = pits::eval_expression(kv.substr(eq + 1), {});
     } else if (a == "--task") {
       o.task = next();
+    } else if (a == "--fault-plan") {
+      o.fault_plan_file = next();
     } else if (a == "--contention") {
       o.contention = true;
     } else if (a == "--events") {
@@ -242,6 +247,11 @@ int cmd_simulate(const Options& o, std::ostream& out) {
   project.set_machine(load_machine_arg(o, 1));
   sim::SimOptions sim_opts;
   sim_opts.link_contention = o.contention;
+  fault::FaultPlan plan;
+  if (!o.fault_plan_file.empty()) {
+    plan = fault::FaultPlan::load(o.fault_plan_file);
+    sim_opts.faults = &plan;
+  }
   const auto result = project.simulate(o.scheduler, sim_opts);
   if (!o.output_file.empty()) {
     // -o writes the Chrome trace of the replay for chrome://tracing.
@@ -251,6 +261,12 @@ int cmd_simulate(const Options& o, std::ostream& out) {
   out << "simulated makespan " << util::format_double(result.makespan, 6)
       << "s, " << result.num_messages << " messages, max queue delay "
       << util::format_double(result.max_queue_delay, 4) << "s\n";
+  if (sim_opts.faults != nullptr) {
+    out << "fault plan `" << plan.name() << "`: "
+        << (result.complete ? "completed despite faults"
+                            : "incomplete - work stranded")
+        << ", " << result.killed.size() << " copies killed\n";
+  }
   out << result.animation(o.events);
   return 0;
 }
@@ -275,7 +291,65 @@ int cmd_trial(const Options& o, std::ostream& out) {
 int cmd_run(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
   project.set_machine(load_machine_arg(o, 1));
-  print_run_result(project.run(o.inputs, o.scheduler), out);
+  exec::RunOptions run_opts;
+  fault::FaultPlan plan;
+  if (!o.fault_plan_file.empty()) {
+    plan = fault::FaultPlan::load(o.fault_plan_file);
+    run_opts.faults = &plan;
+  }
+  const auto result = project.run(o.inputs, o.scheduler, run_opts);
+  print_run_result(result, out);
+  if (run_opts.faults != nullptr) {
+    out << "fault plan `" << plan.name() << "`: " << result.workers_died
+        << " workers died, " << result.tasks_rescued
+        << " tasks rescued, recovery overhead "
+        << util::format_double(result.recovery_overhead_seconds, 4) << "s\n";
+  }
+  return 0;
+}
+
+int cmd_faults(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  const auto& schedule = project.schedule(o.scheduler);
+  const auto& graph = project.flattened().graph;
+
+  fault::FaultPlan plan;
+  if (!o.fault_plan_file.empty()) {
+    plan = fault::FaultPlan::load(o.fault_plan_file);
+  } else {
+    // Default scenario: kill the busiest processor halfway through.
+    plan = fault::plan_crash_busiest(schedule, 0.5);
+  }
+
+  core::FaultRunOptions opts;
+  opts.sim.link_contention = o.contention;
+  const auto report =
+      core::run_with_faults(graph, project.machine(), schedule, plan, opts);
+
+  viz::FaultOverlay overlay;
+  for (const fault::CrashFault& c : plan.crashes()) {
+    overlay.crashes.push_back({c.proc, c.at});
+  }
+  for (const sched::Placement& p : report.repair.new_placements) {
+    overlay.reexecuted.push_back(p.task);
+  }
+  const sched::Schedule& shown =
+      report.crashed ? report.repair.schedule : schedule;
+
+  if (o.format == "svg") {
+    write_or_print(viz::render_gantt_svg(shown, graph, overlay), o, out);
+    return 0;
+  }
+  out << "fault plan `" << plan.name() << "` (seed " << plan.seed() << ") on "
+      << schedule.scheduler_name() << " schedule\n";
+  out << report.summary();
+  out << viz::render_gantt(shown, graph, overlay);
+  if (o.events > 0) {
+    sim::SimResult merged;
+    merged.events = report.events;
+    out << merged.animation(o.events);
+  }
   return 0;
 }
 
@@ -450,6 +524,7 @@ std::string usage() {
       "  schedule <design> <machine>           Gantt chart / table / SVG\n"
       "  speedup  <design> <machine>           speedup prediction\n"
       "  simulate <design> <machine>           discrete-event replay\n"
+      "  faults   <design> <machine>           crash injection + repair report\n"
       "  trial    <design>                     sequential trial run\n"
       "  run      <design> <machine>           threaded execution\n"
       "  codegen  <design> <machine>           emit standalone C++\n"
@@ -466,6 +541,8 @@ std::string usage() {
       "  --sizes 1,2,4,8    processor counts for speedup\n"
       "  --format F         gantt|table|svg|trace (schedule)\n"
       "  --contention       simulate per-link queueing\n"
+      "  --fault-plan F     inject a .fault plan (simulate/run/faults;\n"
+      "                     faults defaults to a busiest-proc crash)\n"
       "  --events N         simulation events to print\n"
       "  -o FILE            write main artifact to FILE\n";
 }
@@ -487,6 +564,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "schedule") return cmd_schedule(options, out);
     if (command == "speedup") return cmd_speedup(options, out);
     if (command == "simulate") return cmd_simulate(options, out);
+    if (command == "faults") return cmd_faults(options, out);
     if (command == "trial") return cmd_trial(options, out);
     if (command == "run") return cmd_run(options, out);
     if (command == "report") return cmd_report(options, out);

@@ -1,0 +1,137 @@
+#include "core/recovery.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace banger::core {
+
+std::string FaultRunReport::summary() const {
+  std::ostringstream out;
+  auto line = [&](std::string_view label, const std::string& value) {
+    out << "  " << util::pad_right(label, 22) << value << '\n';
+  };
+  out << "fault recovery report\n";
+  line("baseline makespan", util::format_double(baseline_makespan));
+  line("degraded makespan", util::format_double(degraded_makespan));
+  std::string overhead = util::format_double(recovery_overhead);
+  if (baseline_makespan > 0) {
+    overhead += " (" +
+                util::format_double(100.0 * recovery_overhead /
+                                    baseline_makespan, 3) +
+                "%)";
+  }
+  line("recovery overhead", overhead);
+  if (crashed) {
+    line("repair", std::to_string(repair.new_placements.size()) +
+                       " placements on survivors, " +
+                       std::to_string(repair.reexecuted.size()) +
+                       " finished tasks re-executed");
+  } else {
+    line("repair", "not needed (no work stranded)");
+  }
+  line("work lost", util::format_double(lost_seconds) + " s");
+  line("work re-executed", util::format_double(reexec_seconds) + " s");
+  return out.str();
+}
+
+FaultRunReport run_with_faults(const graph::TaskGraph& graph,
+                               const machine::Machine& machine,
+                               const sched::Schedule& schedule,
+                               const fault::FaultPlan& plan,
+                               const FaultRunOptions& options) {
+  plan.validate(machine.num_procs());
+
+  FaultRunReport report;
+  sim::SimOptions base_opts = options.sim;
+  base_opts.faults = nullptr;
+  report.baseline = sim::simulate(graph, machine, schedule, base_opts);
+  report.baseline_makespan = report.baseline.makespan;
+
+  sim::SimOptions faulty_opts = options.sim;
+  faulty_opts.faults = &plan;
+  report.faulty = sim::simulate(graph, machine, schedule, faulty_opts);
+
+  for (const sim::SimResult::Killed& k : report.faulty.killed) {
+    report.lost_seconds += k.at - k.start;
+  }
+  report.events = report.faulty.events;
+
+  if (report.faulty.complete) {
+    // Slowdowns / message faults may stretch the run, but nothing was
+    // stranded, so no repair pass is needed.
+    report.degraded_makespan = report.faulty.makespan;
+    report.recovery_overhead =
+        report.degraded_makespan - report.baseline_makespan;
+    return report;
+  }
+
+  // ---- Detect: the repair epoch starts at the last crash the replay
+  // observed; processors crashing later than that are treated as still
+  // alive for this epoch.
+  report.crashed = true;
+  double now = 0.0;
+  const auto latest =
+      plan.latest_crash_before(report.faulty.makespan + 1e-12);
+  if (latest.has_value()) {
+    now = *latest;
+  } else {
+    // Corner case: the crash stranded work that had not started yet, so
+    // no activity reached the crash time. Detection still happens at the
+    // crash itself.
+    for (const fault::CrashFault& c : plan.crashes()) {
+      now = std::max(now, c.at);
+    }
+  }
+  std::vector<machine::ProcId> dead;
+  for (machine::ProcId p : plan.crashed_procs()) {
+    if (*plan.crash_time(p) <= now + 1e-12) dead.push_back(p);
+  }
+
+  // ---- Repair: reschedule the unfinished frontier on the survivors.
+  sched::RepairRequest request;
+  request.completed = report.faulty.finished_copies;
+  request.dead = std::move(dead);
+  request.now = now;
+  request.insertion = options.insertion;
+  request.label = schedule.scheduler_name().empty()
+                      ? std::string("repair")
+                      : schedule.scheduler_name() + "+repair";
+  report.repair = sched::repair_schedule(graph, machine, request);
+
+  // ---- Resume: the merged timeline is the faulty history plus the
+  // repaired frontier (we do not re-simulate — the repair schedule's
+  // analytic times are the resumed plan).
+  report.degraded_makespan =
+      std::max(report.faulty.makespan, report.repair.makespan);
+  report.recovery_overhead =
+      report.degraded_makespan - report.baseline_makespan;
+  report.lost_seconds += report.repair.lost_seconds;
+  report.reexec_seconds = report.repair.reexec_seconds;
+
+  std::vector<char> ran_before(graph.num_tasks(), 0);
+  for (graph::TaskId t = 0; t < graph.num_tasks(); ++t) {
+    if (!report.faulty.task_finished.empty() &&
+        report.faulty.task_finished[t] != 0) {
+      ran_before[t] = 1;
+    }
+  }
+  for (const sim::SimResult::Killed& k : report.faulty.killed) {
+    ran_before[k.task] = 1;
+  }
+  for (const sched::Placement& p : report.repair.new_placements) {
+    const auto kind = ran_before[p.task] ? sim::EventKind::TaskReexec
+                                         : sim::EventKind::TaskStart;
+    report.events.push_back({p.start, kind, p.task, 0, p.proc});
+    report.events.push_back(
+        {p.finish, sim::EventKind::TaskFinish, p.task, 0, p.proc});
+  }
+  std::stable_sort(report.events.begin(), report.events.end(),
+                   [](const sim::SimEvent& a, const sim::SimEvent& b) {
+                     return a.time < b.time;
+                   });
+  return report;
+}
+
+}  // namespace banger::core

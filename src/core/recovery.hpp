@@ -1,0 +1,69 @@
+// banger/core/recovery.hpp
+//
+// Detect → repair → resume orchestration for faulted runs. The pipeline
+// replays a schedule through the discrete-event simulator under a
+// FaultPlan; if the crash strands part of the frontier, the repair
+// scheduler rebuilds the remainder on the surviving processors and the
+// report merges both halves into one timeline with recovery metrics:
+//
+//   degraded makespan  — when the program actually finishes,
+//   recovery overhead  — degraded minus fault-free makespan,
+//   lost seconds       — finished work invalidated by the crash plus
+//                        work killed in flight,
+//   re-executed seconds — everything the repair pass schedules.
+//
+// Everything is deterministic: same plan + same schedule => identical
+// report, event log included.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fault/fault.hpp"
+#include "sched/repair.hpp"
+#include "sim/simulator.hpp"
+
+namespace banger::core {
+
+struct FaultRunOptions {
+  /// Simulator options for both the baseline and the faulty replay (the
+  /// `faults` member is overwritten by run_with_faults).
+  sim::SimOptions sim;
+  /// Insertion-based gap search during repair.
+  bool insertion = true;
+};
+
+struct FaultRunReport {
+  /// Fault-free replay of the same schedule (the yardstick).
+  sim::SimResult baseline;
+  /// Replay under the plan; `faulty.complete == false` iff repair ran.
+  sim::SimResult faulty;
+  /// True when a crash stranded work and a repair schedule was built.
+  bool crashed = false;
+  /// The repair output (meaningful only when `crashed`).
+  sched::RepairResult repair;
+
+  double baseline_makespan = 0.0;
+  double degraded_makespan = 0.0;
+  double recovery_overhead = 0.0;  ///< degraded - baseline
+  double lost_seconds = 0.0;       ///< work thrown away by the crash
+  double reexec_seconds = 0.0;     ///< work the repair pass re-schedules
+
+  /// Faulty-run events merged with synthetic TaskReexec/TaskStart/
+  /// TaskFinish events for the repaired placements, time-ordered.
+  std::vector<sim::SimEvent> events;
+
+  /// Human-readable recovery summary block.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Runs the full detect→repair→resume pipeline. The plan must validate
+/// against the machine; an empty plan yields a report with
+/// crashed=false and zero overhead.
+FaultRunReport run_with_faults(const graph::TaskGraph& graph,
+                               const machine::Machine& machine,
+                               const sched::Schedule& schedule,
+                               const fault::FaultPlan& plan,
+                               const FaultRunOptions& options = {});
+
+}  // namespace banger::core

@@ -244,60 +244,151 @@ RunResult Executor::run(const Schedule& schedule,
     }
   }
 
+  const fault::FaultPlan* plan =
+      (options.faults != nullptr && !options.faults->empty()) ? options.faults
+                                                              : nullptr;
+  if (plan != nullptr) plan->validate(machine_.num_procs());
+
   // Shared state.
   std::mutex mutex;
   std::condition_variable cv;
   std::vector<std::optional<Env>> task_outputs(g.num_tasks());
   std::vector<bool> completed(g.num_tasks(), false);
+  std::size_t completed_count = 0;
+  std::vector<sched::Placement> orphans;  // stranded lanes of dead workers
   bool failed = false;
   std::exception_ptr first_error;
   RunResult result;
   const auto t0 = Clock::now();
+  const auto poll =
+      std::chrono::duration<double>(std::max(1e-4, options.rescue_poll_seconds));
+
+  auto preds_done = [&](TaskId t) {
+    for (graph::EdgeId e : g.in_edges(t)) {
+      if (!completed[g.edge(e).from]) return false;
+    }
+    return true;
+  };
+
+  // Mutex held: claims the first orphan whose inputs are available,
+  // discarding orphans of tasks that completed meanwhile.
+  auto claim_orphan = [&]() -> std::optional<sched::Placement> {
+    for (std::size_t i = 0; i < orphans.size();) {
+      if (completed[orphans[i].task]) {
+        orphans.erase(orphans.begin() + static_cast<std::ptrdiff_t>(i));
+        continue;
+      }
+      if (preds_done(orphans[i].task)) {
+        const sched::Placement pl = orphans[i];
+        orphans.erase(orphans.begin() + static_cast<std::ptrdiff_t>(i));
+        return pl;
+      }
+      ++i;
+    }
+    return std::nullopt;
+  };
+
+  // Runs one placement on `proc` (predecessors must already be complete)
+  // and records the outcome.
+  auto execute_placement = [&](const sched::Placement& pl, ProcId proc,
+                               bool rescued) {
+    const TaskId t = pl.task;
+    Env env;
+    {
+      std::lock_guard lock(mutex);
+      if (failed) return;
+      env = bind_inputs(flat_, t, inputs, task_outputs);
+    }
+
+    TaskRun run;
+    run.task = t;
+    run.proc = proc;
+    run.duplicate = pl.duplicate;
+    run.rescued = rescued;
+    run.wall_start = seconds_since(t0);
+    std::string transcript;
+    Env outputs =
+        run_task(flat_, compiled[t], t, std::move(env), options, &transcript);
+    run.wall_finish = seconds_since(t0);
+
+    std::lock_guard lock(mutex);
+    if (failed) return;
+    if (!completed[t]) {
+      task_outputs[t] = std::move(outputs);
+      completed[t] = true;
+      ++completed_count;
+      result.transcript += transcript;
+    } else if (task_outputs[t].has_value() && !(*task_outputs[t] == outputs)) {
+      // Duplicate copies must agree — PITS is deterministic.
+      fail(ErrorCode::Runtime, "duplicate copies of task `" +
+                                   g.task(t).name +
+                                   "` produced different outputs");
+    }
+    if (rescued) {
+      ++result.tasks_rescued;
+      result.recovery_overhead_seconds += run.wall_finish - run.wall_start;
+    }
+    result.runs.push_back(run);
+    cv.notify_all();
+  };
 
   auto worker = [&](ProcId proc) {
     try {
-      for (const sched::Placement& pl : lanes[static_cast<std::size_t>(proc)]) {
-        const TaskId t = pl.task;
-        // Wait for predecessors.
-        Env env;
+      const auto& lane = lanes[static_cast<std::size_t>(proc)];
+      std::optional<double> crash_at;
+      if (plan != nullptr) crash_at = plan->crash_time(proc);
+
+      for (std::size_t i = 0; i < lane.size(); ++i) {
+        const sched::Placement& pl = lane[i];
+        if (crash_at.has_value() && pl.start >= *crash_at - 1e-12) {
+          // Fail-stop: this worker dies here; the rest of its lane is
+          // stranded for the survivors to adopt.
+          std::lock_guard lock(mutex);
+          ++result.workers_died;
+          orphans.insert(orphans.end(), lane.begin() + static_cast<std::ptrdiff_t>(i),
+                         lane.end());
+          cv.notify_all();
+          return;
+        }
+
+        // Wait for predecessors; under a fault plan, rescue stranded
+        // work instead of sleeping.
         {
           std::unique_lock lock(mutex);
-          cv.wait(lock, [&] {
-            if (failed) return true;
-            for (graph::EdgeId e : g.in_edges(t)) {
-              if (!completed[g.edge(e).from]) return false;
+          if (plan == nullptr) {
+            cv.wait(lock, [&] { return failed || preds_done(pl.task); });
+            if (failed) return;
+          } else {
+            for (;;) {
+              if (failed) return;
+              if (preds_done(pl.task)) break;
+              if (auto orphan = claim_orphan()) {
+                lock.unlock();
+                execute_placement(*orphan, proc, /*rescued=*/true);
+                lock.lock();
+                continue;
+              }
+              cv.wait_for(lock, poll);
             }
-            return true;
-          });
-          if (failed) return;
-          env = bind_inputs(flat_, t, inputs, task_outputs);
+          }
         }
+        execute_placement(pl, proc, /*rescued=*/false);
+      }
 
-        TaskRun run;
-        run.task = t;
-        run.proc = proc;
-        run.duplicate = pl.duplicate;
-        run.wall_start = seconds_since(t0);
-        std::string transcript;
-        Env outputs = run_task(flat_, compiled[t], t, std::move(env), options,
-                               &transcript);
-        run.wall_finish = seconds_since(t0);
-
-        std::lock_guard lock(mutex);
-        if (failed) return;
-        if (!completed[t]) {
-          task_outputs[t] = std::move(outputs);
-          completed[t] = true;
-          result.transcript += transcript;
-        } else if (task_outputs[t].has_value() &&
-                   !(*task_outputs[t] == outputs)) {
-          // Duplicate copies must agree — PITS is deterministic.
-          fail(ErrorCode::Runtime, "duplicate copies of task `" +
-                                       g.task(t).name +
-                                       "` produced different outputs");
+      // Own lane done: survivors drain the orphan queue until the whole
+      // program has completed.
+      if (plan != nullptr) {
+        std::unique_lock lock(mutex);
+        for (;;) {
+          if (failed || completed_count == g.num_tasks()) return;
+          if (auto orphan = claim_orphan()) {
+            lock.unlock();
+            execute_placement(*orphan, proc, /*rescued=*/true);
+            lock.lock();
+            continue;
+          }
+          cv.wait_for(lock, poll);
         }
-        result.runs.push_back(run);
-        cv.notify_all();
       }
     } catch (...) {
       std::lock_guard lock(mutex);
@@ -320,6 +411,12 @@ RunResult Executor::run(const Schedule& schedule,
   }  // join
 
   if (failed) std::rethrow_exception(first_error);
+  if (plan != nullptr && completed_count != g.num_tasks()) {
+    fail(ErrorCode::Runtime,
+         "all capable workers crashed: " +
+             std::to_string(g.num_tasks() - completed_count) +
+             " tasks never executed");
+  }
 
   std::sort(result.runs.begin(), result.runs.end(),
             [](const TaskRun& a, const TaskRun& b) {

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
 #include "graph/design.hpp"
 #include "pits/interp.hpp"
 #include "sched/schedule.hpp"
@@ -35,13 +36,25 @@ using sched::Schedule;
 struct RunOptions {
   pits::ExecOptions pits;  ///< step limit / seed base for task routines
   /// Capture print() output (per task, stitched in completion order).
+  /// Turning this off only drops the transcript text; `runs` and all
+  /// other result fields are still populated.
   bool capture_transcript = true;
+  /// Optional fault plan: a worker whose processor has a registered
+  /// crash fail-stops at the first lane placement whose *scheduled*
+  /// start is at or past the crash time (so injection is deterministic
+  /// regardless of wall-clock jitter). Surviving workers adopt the dead
+  /// worker's stranded tasks. Not owned; must outlive run().
+  const fault::FaultPlan* faults = nullptr;
+  /// How long an idle worker sleeps between rescue scans when a fault
+  /// plan is active.
+  double rescue_poll_seconds = 0.01;
 };
 
 struct TaskRun {
   TaskId task = graph::kNoTask;
   ProcId proc = -1;
   bool duplicate = false;
+  bool rescued = false;      ///< re-run by a survivor after a worker died
   double wall_start = 0.0;   ///< seconds since run start
   double wall_finish = 0.0;
 };
@@ -54,6 +67,11 @@ struct RunResult {
   double wall_seconds = 0.0;
   std::vector<TaskRun> runs;
   std::string transcript;
+  // ---- Fault recovery accounting (non-zero only with RunOptions::faults).
+  int workers_died = 0;
+  std::size_t tasks_rescued = 0;
+  /// Wall seconds survivors spent re-running stranded work.
+  double recovery_overhead_seconds = 0.0;
 };
 
 /// One-thread reference execution in topological order. Throws the first
@@ -70,7 +88,9 @@ class Executor {
 
   /// Runs on real threads (one per processor the schedule uses). Throws
   /// the first task error after all workers have stopped. The result's
-  /// outputs are bitwise identical to run_sequential's.
+  /// outputs are bitwise identical to run_sequential's — including under
+  /// an injected worker crash, as long as at least one worker survives
+  /// (all workers dead is Error{Runtime}).
   [[nodiscard]] RunResult run(
       const Schedule& schedule,
       const std::map<std::string, pits::Value>& inputs,

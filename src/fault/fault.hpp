@@ -1,0 +1,178 @@
+// banger/fault/fault.hpp
+//
+// Deterministic fault models for the Banger environment. The paper's
+// machine is assumed reliable; production targets are not. A FaultPlan
+// is a seeded, serialisable description of everything that goes wrong
+// during one run:
+//
+//   - fail-stop processor crashes at a given time,
+//   - transient processor slowdown windows (thermal throttling, noisy
+//     neighbours),
+//   - message loss with bounded retry/backoff (the retransmission of a
+//     dropped packet costs a full re-send plus a backoff pause; the
+//     final permitted attempt always succeeds, so delivery is delayed
+//     but never infinite),
+//   - message delay jitter (a deterministic pseudo-random fraction of
+//     the base latency added per message).
+//
+// Every query is a pure function of the plan text plus its seed, so the
+// simulator's event log and the repair scheduler's output are
+// bit-reproducible: same seed + same plan => identical runs.
+//
+// `.fault` text serialisation:
+//
+//   faultplan demo seed=7
+//   crash proc=2 at=3.5
+//   slow proc=0 from=1 to=4 factor=2
+//   msgloss prob=0.2 retries=3 backoff=0.1
+//   msgdelay jitter=0.25
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/task_graph.hpp"
+#include "machine/machine.hpp"
+
+namespace banger::sched {
+class Schedule;
+}
+
+namespace banger::fault {
+
+using machine::ProcId;
+
+/// Fail-stop: processor `proc` dies at time `at` and never recovers.
+/// Work in flight at `at` is lost; data resident on the processor
+/// becomes unreachable.
+struct CrashFault {
+  ProcId proc = -1;
+  double at = 0.0;
+};
+
+/// Transient slowdown: during [from, to) tasks on `proc` run `factor`
+/// times slower than nominal. Overlapping windows take the max factor.
+struct SlowdownFault {
+  ProcId proc = -1;
+  double from = 0.0;
+  double to = 0.0;
+  double factor = 1.0;
+};
+
+/// Per-message loss model: each transmission attempt is dropped with
+/// probability `prob`; after a drop the sender waits `backoff` seconds
+/// and retransmits. At most `retries` drops are possible — the attempt
+/// after the last permitted drop always succeeds (bounded retry), so
+/// faulty links delay messages instead of wedging the program.
+struct MsgLossModel {
+  double prob = 0.0;
+  int retries = 3;
+  double backoff = 0.0;
+};
+
+/// Per-message jitter: a deterministic pseudo-random extra delay in
+/// [0, jitter) * base latency is added to every remote message.
+struct MsgDelayModel {
+  double jitter = 0.0;
+};
+
+/// Deterministic outcome for one message (one edge delivery between two
+/// processors): how many transmission attempts it takes and the jitter
+/// draw in [0, 1).
+struct MsgFate {
+  int attempts = 1;
+  double jitter_fraction = 0.0;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(std::string name, std::uint64_t seed = 1)
+      : name_(std::move(name)), seed_(seed) {}
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  void set_seed(std::uint64_t seed) noexcept { seed_ = seed; }
+
+  /// True when the plan injects nothing at all.
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Registers faults. Throws Error{Machine} on malformed entries
+  /// (negative times, factor < 1, duplicate crash for one processor).
+  void add_crash(ProcId proc, double at);
+  void add_slowdown(ProcId proc, double from, double to, double factor);
+  void set_msg_loss(MsgLossModel model);
+  void set_msg_delay(MsgDelayModel model);
+
+  [[nodiscard]] const std::vector<CrashFault>& crashes() const noexcept {
+    return crashes_;
+  }
+  [[nodiscard]] const std::vector<SlowdownFault>& slowdowns() const noexcept {
+    return slowdowns_;
+  }
+  [[nodiscard]] const MsgLossModel& msg_loss() const noexcept {
+    return msg_loss_;
+  }
+  [[nodiscard]] const MsgDelayModel& msg_delay() const noexcept {
+    return msg_delay_;
+  }
+
+  /// Throws Error{Machine} if any fault names a processor outside
+  /// [0, num_procs).
+  void validate(int num_procs) const;
+
+  /// Crash time of a processor, if it crashes at all.
+  [[nodiscard]] std::optional<double> crash_time(ProcId proc) const;
+  /// All processors with a registered crash, ascending.
+  [[nodiscard]] std::vector<ProcId> crashed_procs() const;
+  /// Latest crash time <= horizon; nullopt when no crash occurred yet.
+  [[nodiscard]] std::optional<double> latest_crash_before(
+      double horizon) const;
+
+  /// Slowdown multiplier (>= 1) in force on `proc` at time `t`.
+  [[nodiscard]] double slowdown_factor(ProcId proc, double t) const;
+
+  /// Finish time of a task of `nominal` fault-free duration started at
+  /// `start` on `proc`, integrating the slowdown windows piecewise.
+  [[nodiscard]] double task_finish(ProcId proc, double start,
+                                   double nominal) const;
+
+  /// True when the loss or jitter model perturbs remote messages.
+  [[nodiscard]] bool perturbs_messages() const noexcept;
+
+  /// Deterministic fate of the message for graph edge `e` travelling
+  /// from processor `from` to processor `to`: a hash of (seed, e, from,
+  /// to) seeds a private RNG, so the answer is independent of event
+  /// ordering inside the simulator.
+  [[nodiscard]] MsgFate msg_fate(graph::EdgeId e, ProcId from,
+                                 ProcId to) const;
+
+  /// `.fault` text round trip.
+  [[nodiscard]] std::string to_text() const;
+  static FaultPlan parse(std::string_view text);
+
+  /// File helpers; throw Error{Io}.
+  void save(const std::string& path) const;
+  static FaultPlan load(const std::string& path);
+
+ private:
+  std::string name_ = "unnamed";
+  std::uint64_t seed_ = 1;
+  std::vector<CrashFault> crashes_;
+  std::vector<SlowdownFault> slowdowns_;
+  MsgLossModel msg_loss_;
+  MsgDelayModel msg_delay_;
+};
+
+/// Scenario helper: a plan whose single crash kills `proc` at time `at`.
+FaultPlan plan_crash(ProcId proc, double at, std::uint64_t seed = 1);
+
+/// Scenario helper: crashes the processor carrying the most primary
+/// work in `schedule` at `fraction` of the makespan — the most damaging
+/// single fail-stop fault for that schedule. Used by the fault-tolerance
+/// ablation and the demos.
+FaultPlan plan_crash_busiest(const sched::Schedule& schedule, double fraction,
+                             std::uint64_t seed = 1);
+
+}  // namespace banger::fault

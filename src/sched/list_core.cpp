@@ -101,6 +101,14 @@ void BuildState::commit(TaskId t, ProcId proc, double start, bool duplicate) {
   placements_.push_back({t, proc, start, start + dur, duplicate});
 }
 
+void BuildState::commit_fixed(TaskId t, ProcId proc, double start,
+                              double finish, bool duplicate) {
+  BANGER_ASSERT(finish >= start, "fixed copy with negative duration");
+  timeline_.occupy(proc, start, finish - start);
+  copies_[t].push_back({proc, start, finish});
+  placements_.push_back({t, proc, start, finish, duplicate});
+}
+
 Schedule BuildState::finish(const std::string& scheduler_name) const {
   Schedule schedule(machine_.num_procs(), scheduler_name);
   for (const Placement& p : placements_) {

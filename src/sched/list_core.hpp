@@ -86,6 +86,13 @@ class BuildState {
   /// Places a copy and occupies the timeline.
   void commit(TaskId t, ProcId proc, double start, bool duplicate);
 
+  /// Places a copy with an explicit finish time instead of recomputing
+  /// the duration from the machine model. The repair scheduler uses this
+  /// to pre-commit copies that already executed (possibly at faulted,
+  /// slowdown-stretched speed) before scheduling the remaining frontier.
+  void commit_fixed(TaskId t, ProcId proc, double start, double finish,
+                    bool duplicate);
+
   /// Finalises: emits the Schedule (placements + inferred messages).
   [[nodiscard]] Schedule finish(const std::string& scheduler_name) const;
 

@@ -1,0 +1,194 @@
+#include "sched/repair.hpp"
+
+#include <algorithm>
+
+#include "util/error.hpp"
+
+namespace banger::sched {
+
+namespace {
+
+double nominal_seconds(const graph::TaskGraph& graph, const Machine& machine,
+                       TaskId t) {
+  return machine.params().process_startup +
+         graph.task(t).work / machine.params().processor_speed;
+}
+
+}  // namespace
+
+RepairResult repair_schedule(const graph::TaskGraph& graph,
+                             const Machine& machine,
+                             const RepairRequest& request) {
+  const std::size_t n = graph.num_tasks();
+  const int num_procs = machine.num_procs();
+
+  std::vector<char> is_dead(static_cast<std::size_t>(num_procs), 0);
+  for (ProcId p : request.dead) {
+    if (p < 0 || p >= num_procs) {
+      fail(ErrorCode::Schedule, "repair request kills processor " +
+                                    std::to_string(p) + " of " +
+                                    std::to_string(num_procs));
+    }
+    is_dead[static_cast<std::size_t>(p)] = 1;
+  }
+  if (std::count(is_dead.begin(), is_dead.end(), char{1}) == num_procs) {
+    fail(ErrorCode::Schedule, "no processor survives the fault plan");
+  }
+
+  for (const CompletedCopy& c : request.completed) {
+    if (c.task >= n || c.proc < 0 || c.proc >= num_procs ||
+        c.finish < c.start) {
+      fail(ErrorCode::Schedule, "malformed completed copy in repair request");
+    }
+  }
+
+  // alive: the task's result is reachable (finished on a survivor).
+  // executed: some copy finished somewhere, even a dead processor.
+  std::vector<char> alive(n, 0);
+  std::vector<char> executed(n, 0);
+  for (const CompletedCopy& c : request.completed) {
+    executed[c.task] = 1;
+    if (!is_dead[static_cast<std::size_t>(c.proc)]) alive[c.task] = 1;
+  }
+
+  // Reverse-topological need analysis (see header).
+  const std::vector<TaskId> topo = graph.topo_order();
+  std::vector<char> to_run(n, 0);
+  for (auto it = topo.rbegin(); it != topo.rend(); ++it) {
+    const TaskId t = *it;
+    if (alive[t]) continue;
+    bool needed = !executed[t];
+    if (!needed) {
+      for (graph::EdgeId e : graph.out_edges(t)) {
+        if (to_run[graph.edge(e).to]) {
+          needed = true;
+          break;
+        }
+      }
+    }
+    to_run[t] = needed ? 1 : 0;
+  }
+
+  // Pre-commit the surviving history so data_ready() sees real copies
+  // (and never a dead one) and the timeline blocks their intervals.
+  BuildState state(graph, machine);
+  for (const CompletedCopy& c : request.completed) {
+    if (is_dead[static_cast<std::size_t>(c.proc)]) continue;
+    state.commit_fixed(c.task, c.proc, c.start, c.finish, c.duplicate);
+  }
+
+  // Release the frontier in priority order. Every predecessor of a
+  // to_run task is either alive (pre-committed above) or itself to_run,
+  // so data_ready's all-preds-placed invariant holds throughout.
+  const auto priority = comm_b_levels(graph, machine);
+  std::vector<std::size_t> remaining_preds(n, 0);
+  std::vector<TaskId> ready;
+  std::size_t frontier_size = 0;
+  for (TaskId t = 0; t < n; ++t) {
+    if (!to_run[t]) continue;
+    ++frontier_size;
+    std::size_t preds = 0;
+    for (graph::EdgeId e : graph.in_edges(t)) {
+      if (to_run[graph.edge(e).from]) ++preds;
+    }
+    remaining_preds[t] = preds;
+    if (preds == 0) ready.push_back(t);
+  }
+
+  RepairResult result;
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    auto it = std::max_element(
+        ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
+          if (priority[a] != priority[b]) return priority[a] < priority[b];
+          return a > b;  // prefer the smaller id
+        });
+    const TaskId t = *it;
+    ready.erase(it);
+
+    ProcChoice best;
+    best.finish = kInf;
+    for (ProcId p = 0; p < num_procs; ++p) {
+      if (is_dead[static_cast<std::size_t>(p)]) continue;
+      const double ready_time =
+          std::max(request.now, state.data_ready(t, p));
+      const double dur = state.duration(t, p);
+      const double start = state.timeline().earliest_slot(
+          p, ready_time, dur, request.insertion);
+      if (start + dur < best.finish - 1e-12) {
+        best = {p, start, start + dur};
+      }
+    }
+    BANGER_ASSERT(best.proc >= 0, "no surviving processor chosen");
+    state.commit(t, best.proc, best.start, /*duplicate=*/false);
+    result.new_placements.push_back(
+        {t, best.proc, best.start, best.finish, false});
+    ++scheduled;
+
+    for (graph::EdgeId e : graph.out_edges(t)) {
+      const TaskId succ = graph.edge(e).to;
+      if (!to_run[succ]) continue;
+      if (--remaining_preds[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (scheduled != frontier_size) {
+    fail(ErrorCode::Schedule, "task graph contains a cycle");
+  }
+
+  // Assemble the repaired schedule. Primary selection per task:
+  //   - re-run task: the new placement is primary, history demotes to
+  //     duplicates;
+  //   - surviving task: earliest alive finished copy is primary
+  //     (promoting a duplicate if the original primary died);
+  //   - finished-on-dead-only and unneeded: the dead copy stays primary
+  //     as a historical record.
+  Schedule schedule(num_procs, request.label);
+  std::vector<const CompletedCopy*> history_primary(n, nullptr);
+  for (const CompletedCopy& c : request.completed) {
+    if (to_run[c.task]) continue;
+    const CompletedCopy* cur = history_primary[c.task];
+    const bool c_alive = !is_dead[static_cast<std::size_t>(c.proc)];
+    const bool cur_alive =
+        cur != nullptr && !is_dead[static_cast<std::size_t>(cur->proc)];
+    if (cur == nullptr || (c_alive && !cur_alive) ||
+        (c_alive == cur_alive && c.finish < cur->finish)) {
+      history_primary[c.task] = &c;
+    }
+  }
+  for (const CompletedCopy& c : request.completed) {
+    const bool primary = history_primary[c.task] == &c;
+    schedule.place(c.task, c.proc, c.start, c.finish, !primary);
+  }
+  for (const Placement& p : result.new_placements) {
+    schedule.place(p.task, p.proc, p.start, p.finish, /*duplicate=*/false);
+    for (graph::EdgeId e : graph.in_edges(p.task)) {
+      const Copy* winner = nullptr;
+      (void)state.edge_arrival(e, p.proc, &winner);
+      BANGER_ASSERT(winner != nullptr, "edge without producer copy");
+      if (winner->proc != p.proc) {
+        Message m;
+        m.edge = e;
+        m.from = winner->proc;
+        m.to = p.proc;
+        m.send = winner->finish;
+        m.arrive = winner->finish + machine.comm_time(graph.edge(e).bytes,
+                                                      winner->proc, p.proc);
+        schedule.add_message(m);
+      }
+    }
+  }
+
+  for (TaskId t = 0; t < n; ++t) {
+    if (!to_run[t]) continue;
+    result.reexec_seconds += nominal_seconds(graph, machine, t);
+    if (executed[t]) {
+      result.reexecuted.push_back(t);
+      result.lost_seconds += nominal_seconds(graph, machine, t);
+    }
+  }
+  result.makespan = schedule.makespan();
+  result.schedule = std::move(schedule);
+  return result;
+}
+
+}  // namespace banger::sched

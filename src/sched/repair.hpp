@@ -1,0 +1,81 @@
+// banger/sched/repair.hpp
+//
+// Fault-recovery rescheduling: given the copies that finished before a
+// fail-stop crash and the set of dead processors, rebuild a feasible
+// schedule for everything that still has to run, using only surviving
+// processors and never sourcing data from a dead one. The re-execution
+// frontier is computed conservatively in reverse-topological order:
+//
+//   to_run[t] = result of t is unreachable (no finished copy on a
+//               surviving processor) AND t is still needed (it never
+//               executed at all, or some successor has to run).
+//
+// A task that finished only on a dead processor and is needed by a
+// surviving successor must re-execute, because its data died with the
+// processor. A finished task nobody downstream needs keeps its (dead)
+// copy as a historical record and is not re-run.
+//
+// The rescheduling pass reuses the list-scheduler core: surviving
+// finished copies are pre-committed at their actual times, then the
+// frontier is released in communication-aware b-level order and placed
+// EFT over the surviving processors, starting no earlier than the
+// detection time `now`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/list_core.hpp"
+#include "sched/schedule.hpp"
+
+namespace banger::sched {
+
+/// One task copy that ran to completion before recovery began (as
+/// reported by the simulator or the executor).
+struct CompletedCopy {
+  TaskId task = graph::kNoTask;
+  ProcId proc = -1;
+  double start = 0.0;
+  double finish = 0.0;
+  bool duplicate = false;
+};
+
+struct RepairRequest {
+  /// Copies that finished before the crash, on any processor.
+  std::vector<CompletedCopy> completed;
+  /// Processors that are dead at detection time.
+  std::vector<ProcId> dead;
+  /// Detection time: no re-executed work may start before this.
+  double now = 0.0;
+  /// Insertion-based gap search for the rescheduled frontier.
+  bool insertion = true;
+  /// scheduler_name() of the produced schedule.
+  std::string label = "repair";
+};
+
+struct RepairResult {
+  /// Full repaired schedule: re-run copies are primaries, every
+  /// historical finished copy is kept as a duplicate (or stays primary
+  /// when the task does not re-run).
+  Schedule schedule;
+  /// Tasks that had finished but whose results died with a processor
+  /// and were scheduled again.
+  std::vector<TaskId> reexecuted;
+  /// The newly scheduled placements only (the re-run frontier).
+  std::vector<Placement> new_placements;
+  /// Nominal seconds of finished work invalidated by the crash.
+  double lost_seconds = 0.0;
+  /// Nominal seconds of all work scheduled by the repair pass.
+  double reexec_seconds = 0.0;
+  /// Makespan of the repaired schedule (includes history).
+  double makespan = 0.0;
+};
+
+/// Reschedules the unfinished frontier after a crash. Throws
+/// Error{Schedule} when no processor survives or the request is
+/// malformed. Deterministic: same request => identical result.
+RepairResult repair_schedule(const graph::TaskGraph& graph,
+                             const Machine& machine,
+                             const RepairRequest& request);
+
+}  // namespace banger::sched

@@ -18,6 +18,11 @@ std::string_view to_string(EventKind kind) noexcept {
     case EventKind::MsgSend: return "send";
     case EventKind::MsgHop: return "hop";
     case EventKind::MsgArrive: return "arrive";
+    case EventKind::ProcCrash: return "crash";
+    case EventKind::TaskKill: return "kill";
+    case EventKind::MsgDrop: return "drop";
+    case EventKind::MsgRetry: return "retry";
+    case EventKind::TaskReexec: return "reexec";
   }
   return "?";
 }
@@ -33,10 +38,18 @@ std::string SimResult::animation(std::size_t limit) const {
     out << "t=" << util::pad_left(util::format_double(e.time, 6), 10) << "  "
         << util::pad_right(std::string(to_string(e.kind)), 7) << " proc "
         << e.proc;
-    if (e.kind == EventKind::TaskStart || e.kind == EventKind::TaskFinish) {
-      out << "  task " << e.task;
-    } else {
-      out << "  edge " << e.edge;
+    switch (e.kind) {
+      case EventKind::TaskStart:
+      case EventKind::TaskFinish:
+      case EventKind::TaskKill:
+      case EventKind::TaskReexec:
+        out << "  task " << e.task;
+        break;
+      case EventKind::ProcCrash:
+        break;  // the processor column says it all
+      default:
+        out << "  edge " << e.edge;
+        break;
     }
     out << '\n';
   }
@@ -58,6 +71,7 @@ struct CopyRef {
   std::size_t pending_msgs = 0;
   double msg_ready = 0.0;
   bool started = false;
+  bool killed = false;  // dies with its processor before finishing
   double start = 0.0;
   double finish = 0.0;
 };
@@ -70,6 +84,13 @@ SimResult simulate(const TaskGraph& graph, const Machine& machine,
   if (placements.empty() && graph.num_tasks() > 0) {
     fail(ErrorCode::Schedule, "cannot simulate an empty schedule");
   }
+
+  // An absent or empty plan must reproduce the fault-free replay
+  // byte-for-byte, so normalise both to nullptr up front.
+  const fault::FaultPlan* plan =
+      (options.faults != nullptr && !options.faults->empty()) ? options.faults
+                                                              : nullptr;
+  if (plan != nullptr) plan->validate(machine.num_procs());
 
   // ---- Build copy table and per-processor lanes. ----
   std::vector<CopyRef> copies;
@@ -163,10 +184,23 @@ SimResult simulate(const TaskGraph& graph, const Machine& machine,
   auto try_start = [&](std::size_t ci) {
     CopyRef& c = copies[ci];
     if (c.started || !c.lane_pred_done || c.pending_msgs > 0) return;
-    c.started = true;
-    c.start = std::max(c.lane_ready, c.msg_ready);
+    const double start = std::max(c.lane_ready, c.msg_ready);
     const double dur = machine.task_time(graph.task(c.task).work, c.proc);
-    c.finish = c.start + dur;
+    double finish = start + dur;
+    if (plan != nullptr) {
+      const auto crash = plan->crash_time(c.proc);
+      if (crash.has_value() && *crash <= start) {
+        return;  // fail-stop: the processor is already dead
+      }
+      finish = plan->task_finish(c.proc, start, dur);
+      if (crash.has_value() && *crash < finish) {
+        c.killed = true;  // dies mid-execution; the work is lost
+        finish = *crash;
+      }
+    }
+    c.started = true;
+    c.start = start;
+    c.finish = finish;
     record(c.start, EventKind::TaskStart, c.task, 0, c.proc);
     queue.push({c.finish, ci});
   };
@@ -178,6 +212,15 @@ SimResult simulate(const TaskGraph& graph, const Machine& machine,
     const auto [time, ci] = queue.top();
     queue.pop();
     CopyRef& c = copies[ci];
+    if (c.killed) {
+      // Crash mid-task: partial busy time is burnt, nothing is
+      // delivered, and the rest of the lane never becomes ready.
+      record(time, EventKind::TaskKill, c.task, 0, c.proc);
+      result.proc_busy[static_cast<std::size_t>(c.proc)] += time - c.start;
+      result.makespan = std::max(result.makespan, time);
+      result.killed.push_back({c.task, c.proc, c.start, time});
+      continue;
+    }
     ++finished;
     record(time, EventKind::TaskFinish, c.task, 0, c.proc);
     result.proc_busy[static_cast<std::size_t>(c.proc)] += time - c.start;
@@ -226,6 +269,26 @@ SimResult simulate(const TaskGraph& graph, const Machine& machine,
           result.total_link_time +=
               machine.comm_time(edge.bytes, c.proc, consumer.proc);
         }
+        if (plan != nullptr && plan->perturbs_messages() &&
+            arrival > time) {
+          // Dropped attempts each burn a full transmission plus backoff;
+          // the final attempt lands with a jitter fraction of the base
+          // latency added. The fate hash keys on (edge, from, to), so
+          // replays are order-independent.
+          const double latency = arrival - time;
+          const fault::MsgFate fate =
+              plan->msg_fate(d.edge, c.proc, consumer.proc);
+          double sent = time;
+          for (int attempt = 1; attempt < fate.attempts; ++attempt) {
+            record(sent + latency, EventKind::MsgDrop, consumer.task, d.edge,
+                   consumer.proc);
+            sent += latency + plan->msg_loss().backoff;
+            record(sent, EventKind::MsgRetry, consumer.task, d.edge, c.proc);
+            result.total_link_time += latency;
+          }
+          arrival = sent + latency +
+                    plan->msg_delay().jitter * fate.jitter_fraction * latency;
+        }
         record(arrival, EventKind::MsgArrive, consumer.task, d.edge,
                consumer.proc);
       }
@@ -236,10 +299,31 @@ SimResult simulate(const TaskGraph& graph, const Machine& machine,
     }
   }
 
-  if (finished != copies.size()) {
-    fail(ErrorCode::Schedule,
-         "simulation deadlocked: " + std::to_string(copies.size() - finished) +
-             " copies never became ready (infeasible schedule?)");
+  if (plan == nullptr) {
+    if (finished != copies.size()) {
+      fail(ErrorCode::Schedule,
+           "simulation deadlocked: " +
+               std::to_string(copies.size() - finished) +
+               " copies never became ready (infeasible schedule?)");
+    }
+  } else {
+    // Stranded copies are the expected outcome of a crash; report the
+    // completion state instead of failing.
+    result.task_finished.assign(graph.num_tasks(), 0);
+    for (const CopyRef& c : copies) {
+      if (!c.started || c.killed) continue;
+      result.task_finished[c.task] = 1;
+      result.finished_copies.push_back(
+          {c.task, c.proc, c.start, c.finish, c.duplicate});
+    }
+    result.complete =
+        std::find(result.task_finished.begin(), result.task_finished.end(),
+                  std::uint8_t{0}) == result.task_finished.end();
+    for (const fault::CrashFault& crash : plan->crashes()) {
+      if (crash.at <= result.makespan + 1e-12) {
+        record(crash.at, EventKind::ProcCrash, graph::kNoTask, 0, crash.proc);
+      }
+    }
   }
 
   std::stable_sort(result.events.begin(), result.events.end(),

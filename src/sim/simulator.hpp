@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "fault/fault.hpp"
+#include "sched/repair.hpp"
 #include "sched/schedule.hpp"
 
 namespace banger::sim {
@@ -29,8 +31,15 @@ struct SimOptions {
   /// queueing). Off = infinite link capacity, matching the scheduler's
   /// analytic assumption.
   bool link_contention = false;
-  /// Record the animation event log (costs memory on big runs).
+  /// Record the animation event log (costs memory on big runs). Turning
+  /// this off only drops the `events` vector; per-task `TaskTiming`,
+  /// processor busy times, and all the scalar metrics are still
+  /// populated.
   bool record_events = true;
+  /// Optional fault plan to inject (crashes, slowdowns, message loss /
+  /// jitter). Not owned; must outlive the simulate() call. nullptr or an
+  /// empty plan reproduces the fault-free replay exactly.
+  const fault::FaultPlan* faults = nullptr;
 };
 
 enum class EventKind : std::uint8_t {
@@ -39,6 +48,12 @@ enum class EventKind : std::uint8_t {
   MsgSend,
   MsgHop,
   MsgArrive,
+  // Fault events (only emitted when SimOptions::faults is set):
+  ProcCrash,  ///< a processor fail-stopped
+  TaskKill,   ///< a running copy died mid-execution with its processor
+  MsgDrop,    ///< a transmission attempt was lost
+  MsgRetry,   ///< the sender retransmitted after backoff
+  TaskReexec, ///< a repair pass re-ran a lost task (emitted by core)
 };
 
 std::string_view to_string(EventKind kind) noexcept;
@@ -59,16 +74,39 @@ struct TaskTiming {
 
 struct SimResult {
   double makespan = 0.0;
-  /// Primary-copy timings per task id.
+  /// Primary-copy timings per task id. Always populated, even with
+  /// record_events=false. Under a fault plan a task whose primary copy
+  /// never finished keeps the default {0, 0, -1} entry.
   std::vector<TaskTiming> tasks;
   /// Busy seconds per processor.
   std::vector<double> proc_busy;
   std::size_t num_messages = 0;
-  /// Seconds of link occupation summed over all hops.
+  /// Seconds of link occupation summed over all hops (retransmissions
+  /// of dropped messages count each attempt).
   double total_link_time = 0.0;
   /// Largest queueing delay any message suffered (0 without contention).
   double max_queue_delay = 0.0;
   std::vector<SimEvent> events;  ///< time-ordered when recorded
+
+  // ---- Fault reporting (filled only when SimOptions::faults is set;
+  // without a plan `complete` stays true and the vectors stay empty). --
+  /// One in-flight copy killed by a processor crash.
+  struct Killed {
+    graph::TaskId task = graph::kNoTask;
+    ProcId proc = -1;
+    double start = 0.0;  ///< when the doomed copy started
+    double at = 0.0;     ///< crash time = when the work was lost
+  };
+  /// True when every task finished at least one copy (fault-free runs
+  /// always complete; a crash usually strands part of the frontier).
+  bool complete = true;
+  /// Per task id: 1 when some copy finished anywhere.
+  std::vector<std::uint8_t> task_finished;
+  /// Every copy that ran to completion, in placement order — the input
+  /// the repair scheduler needs.
+  std::vector<sched::CompletedCopy> finished_copies;
+  /// Copies that died mid-execution.
+  std::vector<Killed> killed;
 
   /// Renders the first `limit` events as an animation script — one line
   /// per event, the text form of Banger's schedule animation.
@@ -77,7 +115,9 @@ struct SimResult {
 
 /// Simulates `schedule` (which must be feasible for graph+machine).
 /// Throws Error{Schedule} if the schedule is structurally unusable
-/// (missing placements).
+/// (missing placements). Without a fault plan, a wedged replay is a
+/// deadlock error; with one, stranded work is expected and reported via
+/// SimResult::complete / task_finished instead.
 SimResult simulate(const TaskGraph& graph, const Machine& machine,
                    const Schedule& schedule, const SimOptions& options = {});
 

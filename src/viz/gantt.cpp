@@ -17,11 +17,20 @@ std::string short_name(const std::string& name) {
   return pos == std::string::npos ? name : name.substr(pos + 1);
 }
 
-}  // namespace
+std::vector<char> reexec_mask(const FaultOverlay* overlay, std::size_t n) {
+  std::vector<char> mask(n, 0);
+  if (overlay != nullptr) {
+    for (graph::TaskId t : overlay->reexecuted) {
+      if (t < n) mask[t] = 1;
+    }
+  }
+  return mask;
+}
 
-std::string render_gantt(const sched::Schedule& schedule,
-                         const graph::TaskGraph& graph,
-                         const GanttOptions& options) {
+std::string render_gantt_impl(const sched::Schedule& schedule,
+                              const graph::TaskGraph& graph,
+                              const FaultOverlay* overlay,
+                              const GanttOptions& options) {
   const double span = schedule.makespan();
   std::ostringstream out;
   out << "Gantt chart (" << schedule.scheduler_name() << ", "
@@ -31,6 +40,7 @@ std::string render_gantt(const sched::Schedule& schedule,
 
   const int width = std::max(options.width, 20);
   const double scale = width / span;
+  const auto reexec = reexec_mask(overlay, graph.num_tasks());
 
   for (machine::ProcId p = 0; p < schedule.num_procs(); ++p) {
     std::string line(static_cast<std::size_t>(width) + 1, '.');
@@ -43,12 +53,20 @@ std::string render_gantt(const sched::Schedule& schedule,
       if (options.labels) {
         std::string label = short_name(graph.task(pl.task).name);
         if (options.mark_duplicates && pl.duplicate) label += '*';
+        if (!pl.duplicate && reexec[pl.task]) label += '!';
         if (label.size() + 2 <= c1 - c0) {
           line[c0] = '[';
           line[c1 - 1] = ']';
           for (std::size_t i = 0; i < label.size() && c0 + 1 + i < c1 - 1; ++i)
             line[c0 + 1 + i] = label[i];
         }
+      }
+    }
+    if (overlay != nullptr) {
+      for (const FaultOverlay::Crash& crash : overlay->crashes) {
+        if (crash.proc != p) continue;
+        auto col = static_cast<std::size_t>(std::floor(crash.at * scale));
+        line[std::min(col, line.size() - 1)] = 'X';
       }
     }
     out << "P" << util::pad_right(std::to_string(p), 3) << "|" << line << "|\n";
@@ -60,7 +78,27 @@ std::string render_gantt(const sched::Schedule& schedule,
   out << "     0" << util::pad_left("t=" + util::format_double(span, 5),
                                     static_cast<std::size_t>(width) - 1)
       << "\n";
+  if (overlay != nullptr && !overlay->crashes.empty()) {
+    out << "     X = processor crash";
+    if (!overlay->reexecuted.empty()) out << "   ! = re-executed after crash";
+    out << "\n";
+  }
   return out.str();
+}
+
+}  // namespace
+
+std::string render_gantt(const sched::Schedule& schedule,
+                         const graph::TaskGraph& graph,
+                         const GanttOptions& options) {
+  return render_gantt_impl(schedule, graph, nullptr, options);
+}
+
+std::string render_gantt(const sched::Schedule& schedule,
+                         const graph::TaskGraph& graph,
+                         const FaultOverlay& overlay,
+                         const GanttOptions& options) {
+  return render_gantt_impl(schedule, graph, &overlay, options);
 }
 
 std::string schedule_table(const sched::Schedule& schedule,
@@ -82,10 +120,14 @@ std::string schedule_table(const sched::Schedule& schedule,
   return table.to_string();
 }
 
-std::string render_gantt_svg(const sched::Schedule& schedule,
-                             const graph::TaskGraph& graph,
-                             const SvgOptions& options) {
+namespace {
+
+std::string render_gantt_svg_impl(const sched::Schedule& schedule,
+                                  const graph::TaskGraph& graph,
+                                  const FaultOverlay* overlay,
+                                  const SvgOptions& options) {
   const double span = std::max(schedule.makespan(), 1e-9);
+  const auto reexec = reexec_mask(overlay, graph.num_tasks());
   const int margin_left = 50;
   const int margin_top = 30;
   const int lane_h = options.lane_height;
@@ -115,10 +157,12 @@ std::string render_gantt_svg(const sched::Schedule& schedule,
       const double x = margin_left + pl.start * scale;
       const double w = std::max(1.0, pl.length() * scale);
       const char* color = palette[pl.task % 7];
+      const bool reexecuted = !pl.duplicate && reexec[pl.task] != 0;
       svg << "<rect x=\"" << x << "\" y=\"" << y + 4 << "\" width=\"" << w
           << "\" height=\"" << lane_h - 8 << "\" fill=\"" << color
-          << "\" stroke=\"#333333\""
-          << (pl.duplicate ? " fill-opacity=\"0.45\"" : "") << ">"
+          << (reexecuted ? "\" stroke=\"#cc0000\" stroke-width=\"2"
+                         : "\" stroke=\"#333333")
+          << "\"" << (pl.duplicate ? " fill-opacity=\"0.45\"" : "") << ">"
           << "<title>" << graph.task(pl.task).name << " ["
           << util::format_double(pl.start, 6) << ", "
           << util::format_double(pl.finish, 6) << ")"
@@ -144,6 +188,19 @@ std::string render_gantt_svg(const sched::Schedule& schedule,
     }
   }
 
+  if (overlay != nullptr) {
+    for (const FaultOverlay::Crash& crash : overlay->crashes) {
+      if (crash.proc < 0 || crash.proc >= schedule.num_procs()) continue;
+      const double x = margin_left + crash.at * scale;
+      const int y = margin_top + crash.proc * lane_h;
+      svg << "<line x1=\"" << x << "\" y1=\"" << y << "\" x2=\"" << x
+          << "\" y2=\"" << y + lane_h
+          << "\" stroke=\"#cc0000\" stroke-width=\"3\">"
+          << "<title>P" << crash.proc << " crashed at t="
+          << util::format_double(crash.at, 6) << "</title></line>\n";
+    }
+  }
+
   // Axis.
   const int axis_y = margin_top + lane_h * schedule.num_procs() + 14;
   svg << "<text x=\"" << margin_left << "\" y=\"" << axis_y
@@ -153,6 +210,21 @@ std::string render_gantt_svg(const sched::Schedule& schedule,
       << "</text>\n";
   svg << "</svg>\n";
   return svg.str();
+}
+
+}  // namespace
+
+std::string render_gantt_svg(const sched::Schedule& schedule,
+                             const graph::TaskGraph& graph,
+                             const SvgOptions& options) {
+  return render_gantt_svg_impl(schedule, graph, nullptr, options);
+}
+
+std::string render_gantt_svg(const sched::Schedule& schedule,
+                             const graph::TaskGraph& graph,
+                             const FaultOverlay& overlay,
+                             const SvgOptions& options) {
+  return render_gantt_svg_impl(schedule, graph, &overlay, options);
 }
 
 }  // namespace banger::viz

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "graph/task_graph.hpp"
 #include "sched/schedule.hpp"
@@ -21,10 +22,29 @@ struct GanttOptions {
   bool mark_duplicates = true;
 };
 
+/// Fault annotations drawn over a (repaired) schedule: crosses where
+/// processors died and highlights on tasks a repair pass re-ran.
+struct FaultOverlay {
+  struct Crash {
+    machine::ProcId proc = -1;
+    double at = 0.0;
+  };
+  std::vector<Crash> crashes;
+  std::vector<graph::TaskId> reexecuted;
+};
+
 /// ASCII Gantt chart. Lanes are ordered by processor id; the time axis
 /// is scaled to the makespan.
 std::string render_gantt(const sched::Schedule& schedule,
                          const graph::TaskGraph& graph,
+                         const GanttOptions& options = {});
+
+/// ASCII chart with fault annotations: 'X' at the crash instant on the
+/// dead processor's lane, '!' after the labels of re-executed tasks,
+/// plus a legend line.
+std::string render_gantt(const sched::Schedule& schedule,
+                         const graph::TaskGraph& graph,
+                         const FaultOverlay& overlay,
                          const GanttOptions& options = {});
 
 struct SvgOptions {
@@ -36,6 +56,13 @@ struct SvgOptions {
 /// Standalone SVG document of the same chart.
 std::string render_gantt_svg(const sched::Schedule& schedule,
                              const graph::TaskGraph& graph,
+                             const SvgOptions& options = {});
+
+/// SVG chart with fault annotations: a red crash marker on the dead
+/// lane and red outlines around re-executed task boxes.
+std::string render_gantt_svg(const sched::Schedule& schedule,
+                             const graph::TaskGraph& graph,
+                             const FaultOverlay& overlay,
                              const SvgOptions& options = {});
 
 /// Plain schedule table: task, processor, start, finish — the textual

@@ -219,10 +219,47 @@ TEST(Parallel, DuplicateCopiesAgree) {
   p.message_startup = 2.0;  // force DSH to duplicate
   Machine m(machine::Topology::fully_connected(4), p);
   const auto schedule = sched::DshScheduler().run(flat.graph, m);
+  // The whole point is exercising duplicate copies: fail loudly if the
+  // machine params stop forcing DSH to duplicate.
+  ASSERT_GT(schedule.num_duplicates(), 0);
   Executor executor(flat, m);
   const auto result = executor.run(schedule, {});
   // Runs include duplicates, all successfully cross-checked.
-  EXPECT_GE(result.runs.size(), flat.graph.num_tasks());
+  EXPECT_GT(result.runs.size(), flat.graph.num_tasks());
+  std::size_t duplicates = 0;
+  for (const auto& r : result.runs) duplicates += r.duplicate;
+  EXPECT_EQ(duplicates,
+            static_cast<std::size_t>(schedule.num_duplicates()));
+  // Values still agree with the one-thread reference.
+  const auto seq = run_sequential(flat, {});
+  for (const auto& [name, value] : seq.outputs) {
+    EXPECT_EQ(result.outputs.at(name), value) << name;
+  }
+}
+
+TEST(Parallel, ManualDuplicateScheduleCrossChecks) {
+  // A hand-built schedule with an explicit duplicate copy: the producer
+  // runs on both processors, the consumer reads the local copy, and the
+  // executor cross-checks that both copies computed the same value.
+  auto g = workloads::chain_graph(2, 1.0, 8.0);
+  workloads::synthesize_pits(g);
+  auto flat = workloads::as_flatten(std::move(g));
+  auto m = make_machine(2);
+  const double dur = m.task_time(1.0, 0);
+  sched::Schedule schedule(2, "manual");
+  schedule.place(0, 0, 0.0, dur);
+  schedule.place(0, 1, 0.0, dur, /*duplicate=*/true);
+  schedule.place(1, 1, dur, 2.0 * dur);
+  schedule.validate(flat.graph, m);
+  ASSERT_EQ(schedule.num_duplicates(), 1);
+
+  Executor executor(flat, m);
+  const auto par = executor.run(schedule, {});
+  EXPECT_EQ(par.runs.size(), 3u);  // two copies of task 0 plus task 1
+  const auto seq = run_sequential(flat, {});
+  for (const auto& [name, value] : seq.outputs) {
+    EXPECT_EQ(par.outputs.at(name), value) << name;
+  }
 }
 
 TEST(Parallel, TranscriptCapturedOnce) {

@@ -6,6 +6,7 @@
 
 #include "core/lint.hpp"
 #include "core/project.hpp"
+#include "fault/fault.hpp"
 #include "graph/serialize.hpp"
 #include "machine/serialize.hpp"
 
@@ -71,6 +72,21 @@ TEST_F(Samples, SqrtFanoutRunsOnEveryMachine) {
     const auto result = project.run({{"xs", pits::Value(xs)}});
     EXPECT_EQ(result.outputs.at("roots").as_vector(), expect) << name;
   }
+}
+
+TEST_F(Samples, DemoFaultPlanLoadsAndRoundTrips) {
+  const auto plan = fault::FaultPlan::load(dir_ + "/demo.fault");
+  EXPECT_EQ(plan.name(), "demo");
+  EXPECT_EQ(plan.seed(), 7u);
+  ASSERT_EQ(plan.crashes().size(), 1u);
+  EXPECT_EQ(plan.crashes()[0].proc, 1);
+  ASSERT_EQ(plan.slowdowns().size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.msg_loss().prob, 0.2);
+  EXPECT_DOUBLE_EQ(plan.msg_delay().jitter, 0.25);
+  const auto again = fault::FaultPlan::parse(plan.to_text());
+  EXPECT_EQ(again.to_text(), plan.to_text());
+  // Valid for every shipped sample machine (all have >= 5 processors).
+  plan.validate(5);
 }
 
 TEST_F(Samples, LanCommunicationCostsBite) {

@@ -122,6 +122,30 @@ TEST(Simulator, RecordEventsOffKeepsResultsSmall) {
   EXPECT_GT(result.makespan, 0.0);
 }
 
+TEST(Simulator, RecordEventsOffStillPopulatesTimings) {
+  // record_events only suppresses the animation log; per-task timings,
+  // busy time, and the scalar metrics must be identical either way.
+  auto g = workloads::lu_taskgraph(4);
+  auto m = make_machine(3, 0.5);
+  const auto s = MhScheduler().run(g, m);
+  const auto with_events = simulate(g, m, s);
+  SimOptions opts;
+  opts.record_events = false;
+  const auto without = simulate(g, m, s, opts);
+  EXPECT_DOUBLE_EQ(without.makespan, with_events.makespan);
+  EXPECT_EQ(without.num_messages, with_events.num_messages);
+  ASSERT_EQ(without.tasks.size(), with_events.tasks.size());
+  for (std::size_t t = 0; t < without.tasks.size(); ++t) {
+    EXPECT_DOUBLE_EQ(without.tasks[t].start, with_events.tasks[t].start);
+    EXPECT_DOUBLE_EQ(without.tasks[t].finish, with_events.tasks[t].finish);
+    EXPECT_EQ(without.tasks[t].proc, with_events.tasks[t].proc);
+  }
+  ASSERT_EQ(without.proc_busy.size(), with_events.proc_busy.size());
+  for (std::size_t p = 0; p < without.proc_busy.size(); ++p) {
+    EXPECT_DOUBLE_EQ(without.proc_busy[p], with_events.proc_busy[p]);
+  }
+}
+
 TEST(Simulator, AnimationRendersEvents) {
   auto g = workloads::fork_join(3, 1.0, 8.0);
   auto m = make_machine(2, 0.5);
