@@ -1,0 +1,44 @@
+#include "analyze/analyze.hpp"
+
+#include "util/strings.hpp"
+
+namespace banger::analyze {
+
+std::vector<Diagnostic> analyze_design(const graph::Design& design,
+                                       const AnalyzeOptions& options) {
+  const auto flat = design.flatten();
+  std::vector<Diagnostic> diagnostics;
+
+  if (options.interface_rules) {
+    run_interface_rules(flat, options, diagnostics);
+  }
+
+  if (options.pits_rules) {
+    for (graph::TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
+      const graph::Task& task = flat.graph.task(t);
+      if (util::trim(task.pits).empty()) continue;
+      pits::Block body;
+      try {
+        body = pits::parse_block(task.pits);
+      } catch (const Error&) {
+        continue;  // BAN003 (interface layer) reports parse failures
+      }
+      RoutineContext ctx;
+      ctx.subject = task.name;
+      ctx.inputs = task.inputs;
+      ctx.outputs = task.outputs;
+      ctx.pits_line = task.pits_line;
+      ctx.pits_indent = task.pits_indent;
+      analyze_routine(body, ctx, diagnostics);
+    }
+  }
+
+  if (options.determinacy_rules) {
+    run_determinacy_rules(flat, diagnostics);
+  }
+
+  sort_and_dedupe(diagnostics);
+  return diagnostics;
+}
+
+}  // namespace banger::analyze

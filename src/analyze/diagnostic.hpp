@@ -1,0 +1,91 @@
+// banger/analyze/diagnostic.hpp
+//
+// The unified diagnostic model of the static-analysis subsystem. Every
+// before-run check in the environment — drawing-level interface rules,
+// PITS routine dataflow, graph determinacy — reports through the same
+// `Diagnostic` record with a stable code (BAN001..), a severity, the
+// subject it is attached to, and (when the design came from a `.pitl`
+// file) a real source span. Emitters render a diagnostic set as plain
+// text, JSON, or SARIF 2.1.0 for editor/CI integration.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace banger::analyze {
+
+enum class Severity : std::uint8_t {
+  Note,     ///< informational; never affects exit status
+  Warning,  ///< probably a mistake, the design still runs
+  Error,    ///< will fail or be nondeterministic at run time
+};
+
+std::string_view to_string(Severity severity) noexcept;
+
+/// One finding of the analysis engine.
+struct Diagnostic {
+  /// Stable rule code ("BAN104"); catalogued in diagnostic_rules().
+  std::string code;
+  Severity severity = Severity::Warning;
+  /// "task", "store", "graph" — what the finding is attached to.
+  std::string subject_kind;
+  /// Qualified name of the subject ("solve.fan1").
+  std::string subject;
+  std::string message;
+  /// Optional fix-it hint ("add `x` to the task's in= list").
+  std::string hint;
+  /// Position in the `.pitl` file; {0,0} when unavailable
+  /// (programmatically built designs).
+  SourcePos pos;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Catalog entry for one rule: every code the engine can emit, with its
+/// default severity and a one-line title (used by `docs/analysis.md`, the
+/// SARIF rules array, and the tests' completeness check).
+struct DiagnosticRule {
+  std::string_view code;
+  Severity severity = Severity::Warning;
+  std::string_view title;
+};
+
+/// All rules, sorted by code.
+const std::vector<DiagnosticRule>& diagnostic_rules();
+
+/// Catalog lookup; nullptr for unknown codes.
+const DiagnosticRule* find_rule(std::string_view code);
+
+/// Deterministic order: severity (errors first), subject kind, subject,
+/// line, code, message. Duplicates (all fields equal) are removed.
+void sort_and_dedupe(std::vector<Diagnostic>& diagnostics);
+
+/// True if any diagnostic is at least `threshold` severe.
+bool has_severity(const std::vector<Diagnostic>& diagnostics,
+                  Severity threshold);
+
+/// Rendering context shared by the emitters.
+struct EmitOptions {
+  /// Path of the analysed `.pitl` file, used as the location prefix in
+  /// text output and the artifact URI in SARIF; may be empty.
+  std::string file;
+};
+
+/// One line per diagnostic (`file:line:col: error[BAN104]: ...`) plus an
+/// indented `hint:` line when present, and a trailing summary line.
+std::string emit_text(const std::vector<Diagnostic>& diagnostics,
+                      const EmitOptions& options = {});
+
+/// A JSON array of diagnostic objects (stable key order).
+std::string emit_json(const std::vector<Diagnostic>& diagnostics,
+                      const EmitOptions& options = {});
+
+/// A SARIF 2.1.0 log with one run; the tool's rules array carries the
+/// whole catalog so codes resolve even when they did not fire.
+std::string emit_sarif(const std::vector<Diagnostic>& diagnostics,
+                       const EmitOptions& options = {});
+
+}  // namespace banger::analyze

@@ -6,6 +6,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analyze/analyze.hpp"
 #include "core/html_report.hpp"
 #include "core/lint.hpp"
 #include "core/recovery.hpp"
@@ -38,6 +39,8 @@ struct Options {
   std::size_t events = 20;
   std::string task;             ///< --task filter for explain
   std::string fault_plan_file;  ///< --fault-plan for simulate/run/faults
+  std::string fail_on = "error";  ///< --fail-on threshold for check
+  bool json = false;              ///< --json for lint
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -58,7 +61,8 @@ Options parse_options(const std::vector<std::string>& args,
     } else if (a == "--format") {
       o.format = next();
       if (o.format != "gantt" && o.format != "table" && o.format != "svg" &&
-          o.format != "trace" && o.format != "html") {
+          o.format != "trace" && o.format != "html" && o.format != "text" &&
+          o.format != "json" && o.format != "sarif") {
         usage_error("unknown format `" + o.format + "`");
       }
     } else if (a == "-o" || a == "--output") {
@@ -88,6 +92,14 @@ Options parse_options(const std::vector<std::string>& args,
       o.task = next();
     } else if (a == "--fault-plan") {
       o.fault_plan_file = next();
+    } else if (a == "--fail-on") {
+      o.fail_on = next();
+      if (o.fail_on != "warning" && o.fail_on != "error") {
+        usage_error("--fail-on expects `warning` or `error`, got `" +
+                    o.fail_on + "`");
+      }
+    } else if (a == "--json") {
+      o.json = true;
     } else if (a == "--contention") {
       o.contention = true;
     } else if (a == "--events") {
@@ -477,12 +489,45 @@ int cmd_split(const Options& o, std::ostream& out) {
 
 int cmd_lint(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
+  if (o.json) {
+    // Same interface-layer rules, rendered by the analysis engine's JSON
+    // emitter (positions and rule codes included).
+    analyze::AnalyzeOptions opts;
+    opts.pits_rules = false;
+    opts.determinacy_rules = false;
+    const auto diagnostics = analyze::analyze_design(project.design(), opts);
+    analyze::EmitOptions emit;
+    emit.file = o.positional[0];
+    write_or_print(analyze::emit_json(diagnostics, emit), o, out);
+    return analyze::has_severity(diagnostics, analyze::Severity::Error) ? 1
+                                                                        : 0;
+  }
   const auto issues = lint_design(project.design());
   for (const LintIssue& issue : issues) {
     out << issue.to_string() << "\n";
   }
   if (issues.empty()) out << "clean: no issues found\n";
   return has_errors(issues) ? 1 : 0;
+}
+
+int cmd_check(const Options& o, std::ostream& out) {
+  Project project = load_project(o, 0);
+  const auto diagnostics =
+      analyze::analyze_design(project.design(), analyze::AnalyzeOptions{});
+  analyze::EmitOptions emit;
+  emit.file = o.positional[0];
+  std::string rendered;
+  if (o.format == "json") {
+    rendered = analyze::emit_json(diagnostics, emit);
+  } else if (o.format == "sarif") {
+    rendered = analyze::emit_sarif(diagnostics, emit);
+  } else {
+    rendered = analyze::emit_text(diagnostics, emit);
+  }
+  write_or_print(rendered, o, out);
+  const auto threshold = o.fail_on == "warning" ? analyze::Severity::Warning
+                                                : analyze::Severity::Error;
+  return analyze::has_severity(diagnostics, threshold) ? 1 : 0;
 }
 
 int cmd_compare(const Options& o, std::ostream& out) {
@@ -528,7 +573,13 @@ std::string usage() {
       "  trial    <design>                     sequential trial run\n"
       "  run      <design> <machine>           threaded execution\n"
       "  codegen  <design> <machine>           emit standalone C++\n"
-      "  lint     <design.pitl>                design-level diagnostics\n"
+      "  lint     <design.pitl>                interface diagnostics\n"
+      "                                        (--json for machine output;\n"
+      "                                        exits 1 when errors are found)\n"
+      "  check    <design.pitl>                full static analysis: interface,\n"
+      "                                        PITS dataflow, determinacy/races\n"
+      "                                        (--format text|json|sarif,\n"
+      "                                        --fail-on warning|error)\n"
       "  compare  <design> <machine>           all heuristics side by side\n"
       "  grain    <design> <machine>           grain-packing sweep\n"
       "  split    <design> <machine>           data-parallel split sweep\n"
@@ -539,7 +590,10 @@ std::string usage() {
       "  --scheduler NAME   mh|mcp|etf|hlfet|dls|dsh|cluster|serial|...\n"
       "  --input VAR=EXPR   bind an input store (PITS expression)\n"
       "  --sizes 1,2,4,8    processor counts for speedup\n"
-      "  --format F         gantt|table|svg|trace (schedule)\n"
+      "  --format F         gantt|table|svg|trace (schedule);\n"
+      "                     text|json|sarif (check)\n"
+      "  --fail-on S        check exit threshold: warning|error (default error)\n"
+      "  --json             lint: emit diagnostics as JSON\n"
       "  --contention       simulate per-link queueing\n"
       "  --fault-plan F     inject a .fault plan (simulate/run/faults;\n"
       "                     faults defaults to a busiest-proc crash)\n"
@@ -572,6 +626,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (command == "grain") return cmd_grain(options, out);
     if (command == "split") return cmd_split(options, out);
     if (command == "lint") return cmd_lint(options, out);
+    if (command == "check") return cmd_check(options, out);
     if (command == "compare") return cmd_compare(options, out);
     if (command == "codegen") return cmd_codegen(options, out);
     err << "banger: unknown command `" << command << "`\n" << usage();

@@ -1,160 +1,16 @@
 #include "core/lint.hpp"
 
 #include <algorithm>
-#include <set>
 
-#include "pits/interp.hpp"
-#include "util/strings.hpp"
+#include "analyze/analyze.hpp"
 
 namespace banger {
 
-namespace {
-
-using graph::FlatStore;
-using graph::FlattenResult;
-using graph::TaskId;
-
-void check_task_interfaces(const FlattenResult& flat,
-                           const LintOptions& options,
-                           std::vector<LintIssue>& issues) {
-  for (TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
-    const graph::Task& task = flat.graph.task(t);
-    const bool empty_body = util::trim(task.pits).empty();
-
-    if (empty_body) {
-      if (!task.outputs.empty()) {
-        issues.push_back({LintSeverity::Error, "task", task.name,
-                          "declares outputs but has no PITS routine"});
-      } else if (options.require_pits) {
-        issues.push_back({LintSeverity::Warning, "task", task.name,
-                          "has no PITS routine (skeleton node)"});
-      }
-      continue;
-    }
-
-    pits::Program program;
-    try {
-      program = pits::Program::parse(task.pits);
-    } catch (const Error& e) {
-      issues.push_back({LintSeverity::Error, "task", task.name,
-                        std::string("PITS does not parse: ") + e.what()});
-      continue;
-    }
-
-    // Reads the routine performs but the node does not declare.
-    const auto reads = program.inputs();
-    for (const std::string& var : reads) {
-      if (std::find(task.inputs.begin(), task.inputs.end(), var) ==
-          task.inputs.end()) {
-        issues.push_back({LintSeverity::Error, "task", task.name,
-                          "routine reads `" + var +
-                              "` which is not a declared input"});
-      }
-    }
-    // Declared inputs the routine never touches.
-    for (const std::string& var : task.inputs) {
-      if (std::find(reads.begin(), reads.end(), var) == reads.end()) {
-        issues.push_back({LintSeverity::Warning, "task", task.name,
-                          "declared input `" + var + "` is never read"});
-      }
-    }
-    // Declared outputs the routine never assigns.
-    const auto writes = program.outputs();
-    for (const std::string& var : task.outputs) {
-      if (std::find(writes.begin(), writes.end(), var) == writes.end()) {
-        issues.push_back({LintSeverity::Error, "task", task.name,
-                          "declared output `" + var +
-                              "` is never assigned"});
-      }
-    }
-
-    if (options.work_estimate_factor > 0) {
-      // Crude but useful: statement count as a work proxy.
-      const auto statements = static_cast<double>(
-          std::count(task.pits.begin(), task.pits.end(), '\n'));
-      if (statements > 0 && task.work > 0) {
-        const double ratio = task.work / statements;
-        if (ratio > options.work_estimate_factor ||
-            ratio < 1.0 / options.work_estimate_factor) {
-          issues.push_back(
-              {LintSeverity::Warning, "task", task.name,
-               "work estimate " + util::format_double(task.work) +
-                   " looks far from routine size (" +
-                   util::format_double(statements) + " lines)"});
-        }
-      }
-    }
-  }
-}
-
-void check_stores(const FlattenResult& flat, std::vector<LintIssue>& issues) {
-  for (const FlatStore& store : flat.stores) {
-    if (store.writers.empty() && store.readers.empty()) {
-      issues.push_back({LintSeverity::Warning, "store", store.name,
-                        "is never read or written (dead store)"});
-    }
-  }
-  // Input variables a task needs but nothing supplies: flatten already
-  // guarantees producer edges or input stores for store-mediated
-  // variables; check the leftover case of a declared input with neither.
-  for (TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
-    const graph::Task& task = flat.graph.task(t);
-    for (const std::string& var : task.inputs) {
-      bool supplied = false;
-      for (graph::EdgeId e : flat.graph.in_edges(t)) {
-        const auto& outputs = flat.graph.task(flat.graph.edge(e).from).outputs;
-        if (std::find(outputs.begin(), outputs.end(), var) != outputs.end()) {
-          supplied = true;
-          break;
-        }
-      }
-      if (!supplied) {
-        const FlatStore* store = flat.find_store(var);
-        supplied = store != nullptr && store->writers.empty();
-      }
-      if (!supplied) {
-        issues.push_back({LintSeverity::Error, "task", task.name,
-                          "input `" + var + "` is bound to nothing"});
-      }
-    }
-  }
-}
-
-void check_graph_shape(const FlattenResult& flat,
-                       std::vector<LintIssue>& issues) {
-  // Tasks disconnected from every output store do work nobody observes.
-  std::set<TaskId> useful;
-  std::vector<TaskId> frontier;
-  for (const FlatStore& store : flat.stores) {
-    if (store.readers.empty()) {
-      for (TaskId w : store.writers) frontier.push_back(w);
-    }
-  }
-  // Tasks feeding sinks with declared outputs also count as observable.
-  for (TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
-    if (flat.graph.out_edges(t).empty() &&
-        !flat.graph.task(t).outputs.empty()) {
-      frontier.push_back(t);
-    }
-  }
-  while (!frontier.empty()) {
-    const TaskId t = frontier.back();
-    frontier.pop_back();
-    if (!useful.insert(t).second) continue;
-    for (TaskId p : flat.graph.preds(t)) frontier.push_back(p);
-  }
-  if (!useful.empty()) {
-    for (TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
-      if (!useful.contains(t)) {
-        issues.push_back({LintSeverity::Warning, "task",
-                          flat.graph.task(t).name,
-                          "contributes to no output store"});
-      }
-    }
-  }
-}
-
-}  // namespace
+// lint_design is now a compatibility projection of the analysis engine's
+// interface layer (src/analyze): same rules, same message text, but the
+// engine owns rule logic, ordering, and deduplication. The projection
+// drops positions and hints; callers who want those (or the PITS
+// dataflow / determinacy layers) use analyze::analyze_design directly.
 
 std::string LintIssue::to_string() const {
   return std::string(severity == LintSeverity::Error ? "error" : "warning") +
@@ -163,17 +19,23 @@ std::string LintIssue::to_string() const {
 
 std::vector<LintIssue> lint_design(const graph::Design& design,
                                    const LintOptions& options) {
-  const auto flat = design.flatten();
+  analyze::AnalyzeOptions opts;
+  opts.interface_rules = true;
+  opts.pits_rules = false;
+  opts.determinacy_rules = false;
+  opts.require_pits = options.require_pits;
+  opts.work_estimate_factor = options.work_estimate_factor;
+
+  auto diagnostics = analyze::analyze_design(design, opts);
   std::vector<LintIssue> issues;
-  check_task_interfaces(flat, options, issues);
-  check_stores(flat, issues);
-  check_graph_shape(flat, issues);
-  std::stable_sort(issues.begin(), issues.end(),
-                   [](const LintIssue& a, const LintIssue& b) {
-                     if (a.severity != b.severity)
-                       return a.severity == LintSeverity::Error;
-                     return a.subject < b.subject;
-                   });
+  issues.reserve(diagnostics.size());
+  for (auto& d : diagnostics) {
+    issues.push_back({d.severity == analyze::Severity::Error
+                          ? LintSeverity::Error
+                          : LintSeverity::Warning,
+                      std::move(d.subject_kind), std::move(d.subject),
+                      std::move(d.message)});
+  }
   return issues;
 }
 

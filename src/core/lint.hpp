@@ -40,8 +40,13 @@ struct LintOptions {
   double work_estimate_factor = 0.0;
 };
 
-/// Runs every check over a validated design. Returns issues sorted by
-/// severity (errors first), then subject.
+/// Runs the interface-layer checks (BAN001-BAN010 in the analysis
+/// engine) over a validated design. Returns issues in a fully
+/// deterministic order — severity (errors first), subject kind, subject,
+/// source position, rule code, message — with exact duplicates removed.
+/// This is a compatibility wrapper over analyze::analyze_design; new
+/// callers should use the engine directly for positions, hints, and the
+/// dataflow/determinacy layers.
 std::vector<LintIssue> lint_design(const graph::Design& design,
                                    const LintOptions& options = {});
 

@@ -270,6 +270,9 @@ FlattenResult Design::flatten() const {
     t.pits = wn.node.pits;
     t.inputs = wn.node.inputs;
     t.outputs = wn.node.outputs;
+    t.pos = wn.node.pos;
+    t.pits_line = wn.node.pits_line;
+    t.pits_indent = wn.node.pits_indent;
     task_of.emplace(wi, result.graph.add_task(std::move(t)));
   }
 
@@ -292,6 +295,7 @@ FlattenResult Design::flatten() const {
     store.name = wn.node.name;
     store.var = unqualified(wn.node.name);
     store.bytes = wn.node.bytes;
+    store.pos = wn.node.pos;
     for (const WorkArc& a : warcs) {
       if (a.dead) continue;
       if (a.to == wi && wnodes[a.from].node.kind == NodeKind::Task)

@@ -36,6 +36,9 @@ struct FlatStore {
   double bytes = 8.0;
   std::vector<TaskId> writers;
   std::vector<TaskId> readers;
+  /// Declaration site of the storage node in the `.pitl` file ({0,0}
+  /// for programmatic designs).
+  SourcePos pos;
 };
 
 /// Result of Design::flatten().

@@ -62,6 +62,14 @@ struct Node {
   /// Child graph index for Super nodes; kNoGraph otherwise.
   GraphId subgraph = kNoGraph;
 
+  /// Where the node directive appears in the `.pitl` file ({0,0} when the
+  /// design was built programmatically), the file line of the first PITS
+  /// body line (0 when unknown), and the indentation stripped from the
+  /// block. Diagnostics use these to point at real source locations.
+  SourcePos pos;
+  int pits_line = 0;
+  int pits_indent = 0;
+
   /// Ordered variable names the node consumes / produces. For Storage
   /// nodes these are implicit (the store's own name) and stay empty.
   std::vector<std::string> inputs;

@@ -114,6 +114,7 @@ Design parse_design(std::string_view text) {
       if (tokens.size() < 2 || tokens[1] != "{") {
         fail(ErrorCode::Parse, "expected `pits {`", {lineno, 1});
       }
+      const int body_first_line = lineno + 1;
       std::vector<std::string> body_lines;
       bool closed = false;
       while (++li < lines.size()) {
@@ -142,6 +143,8 @@ Design parse_design(std::string_view text) {
         body += '\n';
       }
       current->node(last_task).pits = body;
+      current->node(last_task).pits_line = body_first_line;
+      current->node(last_task).pits_indent = static_cast<int>(common);
       continue;
     }
 
@@ -191,6 +194,7 @@ Design parse_design(std::string_view text) {
       auto kv = parse_kv(tokens, 2, lineno);
       Node node;
       node.name = std::string(tokens[1]);
+      node.pos = {lineno, 1};
       if (head == "task") {
         node.kind = NodeKind::Task;
         node.work = kv.num("work", 1.0, lineno);

@@ -13,6 +13,8 @@
 #include <unordered_map>
 #include <vector>
 
+#include "util/error.hpp"
+
 namespace banger::graph {
 
 using TaskId = std::uint32_t;
@@ -30,6 +32,15 @@ struct Task {
   /// Variables consumed / produced, in declaration order.
   std::vector<std::string> inputs;
   std::vector<std::string> outputs;
+
+  /// Source location of the originating node directive in the `.pitl`
+  /// file ({0,0} for programmatic designs), the file line of the first
+  /// PITS body line (0 when unknown), and the indentation stripped from
+  /// the pits block. Carried through flattening so diagnostics can point
+  /// at real locations.
+  SourcePos pos;
+  int pits_line = 0;
+  int pits_indent = 0;
 };
 
 /// A data dependence: `to` may not start before `from` finishes, and if
