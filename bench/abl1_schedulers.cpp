@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "sched/compare.hpp"
 #include "sched/scheduler.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -72,12 +73,12 @@ int main() {
     for (const auto& n : names) header.push_back(n);
     table.set_header(header);
     for (const auto& wl : loads) {
+      // One bake-off per workload, heuristics running concurrently.
+      const auto entries =
+          sched::compare_schedulers(wl.graph, machine, names);
       std::vector<std::string> row{wl.name};
-      for (const auto& n : names) {
-        const auto scheduler = sched::make_scheduler(n);
-        const auto s = scheduler->run(wl.graph, machine);
-        s.validate(wl.graph, machine);
-        row.push_back(util::format_double(s.makespan(), 5));
+      for (const auto& e : entries) {
+        row.push_back(util::format_double(e.schedule.makespan(), 5));
       }
       table.add_row(std::move(row));
     }
@@ -90,10 +91,8 @@ int main() {
   const auto machine = make_machine("hypercube", 8, 0.5);
   const auto lu16 = workloads::lu_taskgraph(16, 8.0);
   std::vector<std::pair<std::string, double>> bars;
-  for (const auto& n : names) {
-    const auto s = sched::make_scheduler(n)->run(lu16, machine);
-    const auto m = sched::compute_metrics(s, lu16, machine);
-    bars.emplace_back(n, m.speedup);
+  for (const auto& e : sched::compare_schedulers(lu16, machine, names)) {
+    bars.emplace_back(e.scheduler, e.metrics.speedup);
   }
   std::fputs(viz::render_bars(bars).c_str(), stdout);
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "sched/heuristics.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "workloads/graphs.hpp"
@@ -26,6 +27,14 @@ machine::Machine cube8(double speed, double proc_startup, double msg_startup,
   return machine::Machine(machine::Topology::hypercube(3), p);
 }
 
+/// Runs one full scheduling pass per sweep value on all cores; rows come
+/// back in sweep order, so the tables are identical to the serial run.
+template <typename Fn>
+std::vector<sched::ScheduleMetrics> sweep(const std::vector<double>& values,
+                                          Fn&& fn) {
+  return util::parallel_map(values, /*jobs=*/0, fn);
+}
+
 }  // namespace
 
 int main() {
@@ -38,15 +47,18 @@ int main() {
   std::puts("--- message startup time sweep (bandwidth 1e3 B/s) ---");
   util::Table t1;
   t1.set_header({"msg startup (s)", "makespan", "speedup", "procs used"});
-  for (double startup : {0.0, 0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0}) {
+  const std::vector<double> startups{0.0, 0.05, 0.2, 0.5, 1.0, 2.0, 5.0, 20.0};
+  const auto r1 = sweep(startups, [&](double startup) {
     const auto m = cube8(1.0, 0.0, startup, 1e3);
     const auto s = mh.run(lu, m);
     s.validate(lu, m);
-    const auto metrics = sched::compute_metrics(s, lu, m);
-    t1.add_row({util::format_double(startup, 4),
-                util::format_double(metrics.makespan, 5),
-                util::format_double(metrics.speedup, 4),
-                std::to_string(metrics.procs_used)});
+    return sched::compute_metrics(s, lu, m);
+  });
+  for (std::size_t i = 0; i < startups.size(); ++i) {
+    t1.add_row({util::format_double(startups[i], 4),
+                util::format_double(r1[i].makespan, 5),
+                util::format_double(r1[i].speedup, 4),
+                std::to_string(r1[i].procs_used)});
   }
   std::fputs(t1.to_string().c_str(), stdout);
   std::puts("expected: speedup decays toward 1.0 and the scheduler retreats"
@@ -56,14 +68,16 @@ int main() {
   std::puts("--- transmission speed sweep (startup 0.1s) ---");
   util::Table t2;
   t2.set_header({"bytes/s", "makespan", "speedup", "procs used"});
-  for (double bw : {1e1, 1e2, 1e3, 1e4, 1e6}) {
+  const std::vector<double> bandwidths{1e1, 1e2, 1e3, 1e4, 1e6};
+  const auto r2 = sweep(bandwidths, [&](double bw) {
     const auto m = cube8(1.0, 0.0, 0.1, bw);
-    const auto s = mh.run(lu, m);
-    const auto metrics = sched::compute_metrics(s, lu, m);
-    t2.add_row({util::format_double(bw, 4),
-                util::format_double(metrics.makespan, 5),
-                util::format_double(metrics.speedup, 4),
-                std::to_string(metrics.procs_used)});
+    return sched::compute_metrics(mh.run(lu, m), lu, m);
+  });
+  for (std::size_t i = 0; i < bandwidths.size(); ++i) {
+    t2.add_row({util::format_double(bandwidths[i], 4),
+                util::format_double(r2[i].makespan, 5),
+                util::format_double(r2[i].speedup, 4),
+                std::to_string(r2[i].procs_used)});
   }
   std::fputs(t2.to_string().c_str(), stdout);
 

@@ -5,8 +5,10 @@
 
 #include "graph/serialize.hpp"
 #include "pits/interp.hpp"
+#include "sched/compare.hpp"
 #include "sched/heuristics.hpp"
 #include "sim/simulator.hpp"
+#include "util/parallel.hpp"
 #include "workloads/graphs.hpp"
 #include "workloads/lu.hpp"
 
@@ -53,7 +55,7 @@ void BM_ScheduleEtf(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(g.num_tasks()));
 }
-BENCHMARK(BM_ScheduleEtf)->Arg(64)->Arg(256);
+BENCHMARK(BM_ScheduleEtf)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
 
 void BM_ScheduleDsh(benchmark::State& state) {
   const auto g = sized_graph(static_cast<int>(state.range(0)));
@@ -65,7 +67,30 @@ void BM_ScheduleDsh(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(g.num_tasks()));
 }
-BENCHMARK(BM_ScheduleDsh)->Arg(64)->Arg(256);
+BENCHMARK(BM_ScheduleDsh)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Bake-off of all heuristics on one graph; range(1) is the worker
+// count (0 = all cores), encoded in the benchmark name — a counter
+// would abort the CSV reporter, which requires every run to share the
+// same counter set. jobs=1 vs jobs=N shows the thread-pool win.
+void BM_CompareSchedulers(benchmark::State& state) {
+  const auto g = sized_graph(static_cast<int>(state.range(0)));
+  const auto m = cube8();
+  const auto names = sched::scheduler_names();
+  const int jobs = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sched::compare_schedulers(g, m, names, {}, jobs));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(names.size()));
+}
+BENCHMARK(BM_CompareSchedulers)
+    ->Args({256, 1})
+    ->Args({256, 0})
+    ->Args({1024, 1})
+    ->Args({1024, 0})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ScheduleValidate(benchmark::State& state) {
   const auto g = sized_graph(static_cast<int>(state.range(0)));

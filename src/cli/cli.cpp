@@ -11,6 +11,7 @@
 #include "core/lint.hpp"
 #include "core/recovery.hpp"
 #include "fault/fault.hpp"
+#include "sched/compare.hpp"
 #include "sched/explain.hpp"
 #include "transform/transform.hpp"
 #include "core/project.hpp"
@@ -41,6 +42,8 @@ struct Options {
   std::string fault_plan_file;  ///< --fault-plan for simulate/run/faults
   std::string fail_on = "error";  ///< --fail-on threshold for check
   bool json = false;              ///< --json for lint
+  int jobs = 0;    ///< --jobs worker threads (0 = BANGER_JOBS or all cores)
+  int trials = 1;  ///< --trials Monte Carlo runs for faults
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -105,6 +108,22 @@ Options parse_options(const std::vector<std::string>& args,
     } else if (a == "--events") {
       const std::string& v = next();
       o.events = static_cast<std::size_t>(std::stoul(v));
+    } else if (a == "--jobs") {
+      const std::string& v = next();
+      int jobs = 0;
+      auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), jobs);
+      if (ec != std::errc{} || p != v.data() + v.size() || jobs < 1) {
+        usage_error("--jobs expects a positive integer, got `" + v + "`");
+      }
+      o.jobs = jobs;
+    } else if (a == "--trials") {
+      const std::string& v = next();
+      int trials = 0;
+      auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), trials);
+      if (ec != std::errc{} || p != v.data() + v.size() || trials < 1) {
+        usage_error("--trials expects a positive integer, got `" + v + "`");
+      }
+      o.trials = trials;
     } else if (!a.empty() && a[0] == '-') {
       usage_error("unknown option `" + a + "`");
     } else {
@@ -240,7 +259,7 @@ int cmd_schedule(const Options& o, std::ostream& out) {
 int cmd_speedup(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
   project.set_machine(load_machine_arg(o, 1));
-  const auto curve = project.speedup(o.sizes, o.scheduler);
+  const auto curve = project.speedup(o.sizes, o.scheduler, o.jobs);
   util::Table table;
   table.set_header({"procs", "makespan", "speedup", "efficiency"});
   for (const auto& pt : curve.points) {
@@ -356,6 +375,17 @@ int cmd_faults(const Options& o, std::ostream& out) {
   out << "fault plan `" << plan.name() << "` (seed " << plan.seed() << ") on "
       << schedule.scheduler_name() << " schedule\n";
   out << report.summary();
+  if (o.trials > 1) {
+    // Monte Carlo over the plan's stochastic outcomes: trial k runs
+    // with seed + k, aggregated deterministically for any --jobs.
+    core::FaultMonteCarloOptions mc;
+    mc.trials = o.trials;
+    mc.jobs = o.jobs;
+    mc.run = opts;
+    out << core::fault_monte_carlo(graph, project.machine(), schedule, plan,
+                                   mc)
+               .summary();
+  }
   out << viz::render_gantt(shown, graph, overlay);
   if (o.events > 0) {
     sim::SimResult merged;
@@ -406,17 +436,19 @@ int cmd_report(const Options& o, std::ostream& out) {
      << viz::render_utilization(project.schedule(o.scheduler)) << "```\n\n";
 
   md << "## Speedup prediction\n\n```\n";
-  const auto curve = project.speedup(o.sizes, o.scheduler);
+  const auto curve = project.speedup(o.sizes, o.scheduler, o.jobs);
   md << viz::render_speedup_chart(curve) << "```\n\n";
 
   md << "## Heuristic comparison\n\n```\n";
   util::Table table;
   table.set_header({"scheduler", "makespan", "speedup", "duplicates"});
-  for (const std::string& name : sched::scheduler_names()) {
-    const auto m = project.metrics(name);
-    table.add_row({name, util::format_double(m.makespan, 6),
-                   util::format_double(m.speedup, 4),
-                   std::to_string(m.duplicates)});
+  const auto entries = sched::compare_schedulers(
+      project.flattened().graph, project.machine(), sched::scheduler_names(),
+      {}, o.jobs);
+  for (const sched::CompareEntry& e : entries) {
+    table.add_row({e.scheduler, util::format_double(e.metrics.makespan, 6),
+                   util::format_double(e.metrics.speedup, 4),
+                   std::to_string(e.metrics.duplicates)});
   }
   md << table.to_string() << "```\n";
   write_or_print(md.str(), o, out);
@@ -533,12 +565,15 @@ int cmd_check(const Options& o, std::ostream& out) {
 int cmd_compare(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
   project.set_machine(load_machine_arg(o, 1));
+  const auto entries = sched::compare_schedulers(
+      project.flattened().graph, project.machine(), sched::scheduler_names(),
+      {}, o.jobs);
   util::Table table;
   table.set_header({"scheduler", "makespan", "speedup", "efficiency",
                     "procs used", "duplicates"});
-  for (const std::string& name : sched::scheduler_names()) {
-    const auto m = project.metrics(name);
-    table.add_row({name, util::format_double(m.makespan, 6),
+  for (const sched::CompareEntry& e : entries) {
+    const auto& m = e.metrics;
+    table.add_row({e.scheduler, util::format_double(m.makespan, 6),
                    util::format_double(m.speedup, 4),
                    util::format_double(m.efficiency, 4),
                    std::to_string(m.procs_used),
@@ -598,6 +633,10 @@ std::string usage() {
       "  --fault-plan F     inject a .fault plan (simulate/run/faults;\n"
       "                     faults defaults to a busiest-proc crash)\n"
       "  --events N         simulation events to print\n"
+      "  --jobs N           worker threads for compare/speedup/faults/report\n"
+      "                     (default: BANGER_JOBS env or all cores; results\n"
+      "                     are identical for every value)\n"
+      "  --trials N         faults: Monte Carlo over N seed-varied runs\n"
       "  -o FILE            write main artifact to FILE\n";
 }
 

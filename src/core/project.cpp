@@ -82,11 +82,12 @@ machine::Machine Project::resized_machine(int procs) const {
 }
 
 sched::SpeedupCurve Project::speedup(const std::vector<int>& sizes,
-                                     const std::string& heuristic) const {
+                                     const std::string& heuristic,
+                                     int jobs) const {
   const auto scheduler = sched::make_scheduler(heuristic);
   return sched::predict_speedup(
       flat_.graph, *scheduler,
-      [this](int procs) { return resized_machine(procs); }, sizes);
+      [this](int procs) { return resized_machine(procs); }, sizes, jobs);
 }
 
 sim::SimResult Project::simulate(const std::string& heuristic,

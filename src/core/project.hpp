@@ -57,9 +57,11 @@ class Project {
   /// Step 4b: speedup prediction over machines of the same family as the
   /// current machine (same parameters, topology resized). `sizes` are
   /// processor counts; hypercubes round up to the next power of two.
+  /// `jobs` > 1 schedules the sizes concurrently (<= 0 means
+  /// util::default_jobs()); the curve is identical for every value.
   [[nodiscard]] sched::SpeedupCurve speedup(
-      const std::vector<int>& sizes,
-      const std::string& heuristic = "mh") const;
+      const std::vector<int>& sizes, const std::string& heuristic = "mh",
+      int jobs = 1) const;
 
   /// Step 4c: discrete-event replay of a schedule.
   [[nodiscard]] sim::SimResult simulate(

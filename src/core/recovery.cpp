@@ -1,8 +1,10 @@
 #include "core/recovery.hpp"
 
 #include <algorithm>
+#include <numeric>
 #include <sstream>
 
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace banger::core {
@@ -132,6 +134,87 @@ FaultRunReport run_with_faults(const graph::TaskGraph& graph,
                      return a.time < b.time;
                    });
   return report;
+}
+
+std::string FaultMonteCarloStats::summary() const {
+  std::ostringstream out;
+  auto line = [&](std::string_view label, const std::string& value) {
+    out << "  " << util::pad_right(label, 22) << value << '\n';
+  };
+  out << "fault monte carlo (" << trials << " trials)\n";
+  line("baseline makespan", util::format_double(baseline_makespan));
+  line("crashed runs", std::to_string(crashed_runs) + "/" +
+                           std::to_string(trials));
+  line("degraded mean", util::format_double(mean_degraded));
+  line("degraded p50", util::format_double(p50_degraded));
+  line("degraded p95", util::format_double(p95_degraded));
+  line("degraded worst", util::format_double(worst_degraded));
+  std::string overhead = util::format_double(mean_overhead);
+  if (baseline_makespan > 0) {
+    overhead += " (" +
+                util::format_double(100.0 * mean_overhead / baseline_makespan,
+                                    3) +
+                "%)";
+  }
+  line("overhead mean", overhead);
+  line("overhead worst", util::format_double(worst_overhead));
+  return out.str();
+}
+
+FaultMonteCarloStats fault_monte_carlo(const graph::TaskGraph& graph,
+                                       const machine::Machine& machine,
+                                       const sched::Schedule& schedule,
+                                       const fault::FaultPlan& plan,
+                                       const FaultMonteCarloOptions& options) {
+  struct Trial {
+    double degraded = 0.0;
+    double overhead = 0.0;
+    bool crashed = false;
+    double baseline = 0.0;
+  };
+
+  const int trials = std::max(1, options.trials);
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(trials));
+  std::iota(seeds.begin(), seeds.end(), plan.seed());
+
+  // Trials only differ in the plan seed; run_with_faults is pure, so
+  // they parallelise freely and parallel_map keeps trial order.
+  const std::vector<Trial> results = util::parallel_map(
+      seeds, options.jobs, [&](std::uint64_t seed) {
+        fault::FaultPlan trial_plan = plan;
+        trial_plan.set_seed(seed);
+        const FaultRunReport report =
+            run_with_faults(graph, machine, schedule, trial_plan, options.run);
+        return Trial{report.degraded_makespan, report.recovery_overhead,
+                     report.crashed, report.baseline_makespan};
+      });
+
+  FaultMonteCarloStats stats;
+  stats.trials = trials;
+  stats.baseline_makespan = results.front().baseline;
+  std::vector<double> degraded;
+  degraded.reserve(results.size());
+  for (const Trial& t : results) {
+    degraded.push_back(t.degraded);
+    stats.mean_degraded += t.degraded;
+    stats.mean_overhead += t.overhead;
+    stats.worst_degraded = std::max(stats.worst_degraded, t.degraded);
+    stats.worst_overhead = std::max(stats.worst_overhead, t.overhead);
+    if (t.crashed) ++stats.crashed_runs;
+  }
+  stats.mean_degraded /= trials;
+  stats.mean_overhead /= trials;
+
+  // Nearest-rank percentiles over the sorted degraded makespans.
+  std::sort(degraded.begin(), degraded.end());
+  auto rank = [&](double q) {
+    const auto n = degraded.size();
+    const auto idx = static_cast<std::size_t>(q * static_cast<double>(n));
+    return degraded[std::min(n - 1, idx)];
+  };
+  stats.p50_degraded = rank(0.50);
+  stats.p95_degraded = rank(0.95);
+  return stats;
 }
 
 }  // namespace banger::core

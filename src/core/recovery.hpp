@@ -66,4 +66,42 @@ FaultRunReport run_with_faults(const graph::TaskGraph& graph,
                                const fault::FaultPlan& plan,
                                const FaultRunOptions& options = {});
 
+struct FaultMonteCarloOptions {
+  /// Number of independent trials; trial k re-runs the plan with seed
+  /// base_seed + k, resampling every stochastic message fate (loss
+  /// retries and delay jitter). Crash and slowdown entries are part of
+  /// the scenario and stay fixed.
+  int trials = 32;
+  /// Worker threads (<= 0 means util::default_jobs()). Statistics are
+  /// bit-identical for every worker count.
+  int jobs = 1;
+  /// Options forwarded to each trial's run_with_faults.
+  FaultRunOptions run;
+};
+
+/// Distribution summary over the trials' degraded makespans.
+struct FaultMonteCarloStats {
+  int trials = 0;
+  int crashed_runs = 0;  ///< trials that needed a repair pass
+  double baseline_makespan = 0.0;
+  double mean_degraded = 0.0;
+  double p50_degraded = 0.0;
+  double p95_degraded = 0.0;
+  double worst_degraded = 0.0;
+  double mean_overhead = 0.0;
+  double worst_overhead = 0.0;
+
+  /// Human-readable block matching FaultRunReport::summary's style.
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Monte Carlo over the plan's stochastic outcomes: runs `trials`
+/// seed-varied copies of the plan through run_with_faults (concurrently
+/// when jobs > 1) and aggregates degraded-makespan statistics.
+/// Deterministic: same inputs => identical stats, any jobs value.
+FaultMonteCarloStats fault_monte_carlo(
+    const graph::TaskGraph& graph, const machine::Machine& machine,
+    const sched::Schedule& schedule, const fault::FaultPlan& plan,
+    const FaultMonteCarloOptions& options = {});
+
 }  // namespace banger::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <queue>
 
 #include "util/error.hpp"
 
@@ -126,19 +127,20 @@ std::vector<TaskId> TaskGraph::topo_order() const {
   std::vector<std::size_t> indegree(tasks_.size(), 0);
   for (const Edge& e : edges_) ++indegree[e.to];
 
-  std::vector<TaskId> frontier;
+  // Min-heap frontier: each step releases the smallest ready id — the
+  // same order a linear min scan produces — in O(E log V).
+  std::priority_queue<TaskId, std::vector<TaskId>, std::greater<>> frontier;
   for (TaskId v = 0; v < tasks_.size(); ++v)
-    if (indegree[v] == 0) frontier.push_back(v);
+    if (indegree[v] == 0) frontier.push(v);
 
   std::vector<TaskId> order;
   order.reserve(tasks_.size());
   while (!frontier.empty()) {
-    auto it = std::min_element(frontier.begin(), frontier.end());
-    TaskId v = *it;
-    frontier.erase(it);
+    const TaskId v = frontier.top();
+    frontier.pop();
     order.push_back(v);
     for (EdgeId e : out_edges_[v]) {
-      if (--indegree[edges_[e].to] == 0) frontier.push_back(edges_[e].to);
+      if (--indegree[edges_[e].to] == 0) frontier.push(edges_[e].to);
     }
   }
   if (order.size() != tasks_.size()) {

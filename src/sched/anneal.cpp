@@ -1,12 +1,25 @@
 #include "sched/anneal.hpp"
 
 #include <cmath>
+#include <numeric>
 
 #include "sched/heuristics.hpp"
 #include "sched/list_core.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 
 namespace banger::sched {
+
+namespace {
+
+/// Outcome of one independent annealing chain.
+struct ChainResult {
+  std::vector<ProcId> assignment;
+  double makespan = 0.0;
+  int accepted = 0;
+};
+
+}  // namespace
 
 Schedule AnnealScheduler::run(const TaskGraph& graph,
                               const Machine& machine) const {
@@ -17,9 +30,9 @@ Schedule AnnealScheduler::run(const TaskGraph& graph,
 
   // Seed with MH's assignment: annealing refines, it does not start cold.
   const Schedule seed_schedule = MhScheduler().run(graph, machine);
-  std::vector<ProcId> assignment(graph.num_tasks(), 0);
+  std::vector<ProcId> seed_assignment(graph.num_tasks(), 0);
   for (const Placement& p : seed_schedule.placements()) {
-    if (!p.duplicate) assignment[p.task] = p.proc;
+    if (!p.duplicate) seed_assignment[p.task] = p.proc;
   }
 
   auto evaluate = [&](const std::vector<ProcId>& a) {
@@ -28,49 +41,74 @@ Schedule AnnealScheduler::run(const TaskGraph& graph,
         .makespan();
   };
 
-  util::Rng rng(anneal_.seed);
-  double current = evaluate(assignment);
-  std::vector<ProcId> best_assignment = assignment;
-  double best = current;
+  // One chain: classic single-threaded annealing with its own RNG.
+  auto run_chain = [&](std::uint64_t chain_seed) {
+    ChainResult result;
+    std::vector<ProcId> assignment = seed_assignment;
 
-  double temperature = anneal_.initial_temperature * std::max(current, 1e-9);
-  const int cooling_period = std::max(1, anneal_.iterations / 100);
+    util::Rng rng(chain_seed);
+    double current = evaluate(assignment);
+    std::vector<ProcId> best_assignment = assignment;
+    double best = current;
 
-  for (int iter = 0; iter < anneal_.iterations; ++iter) {
-    std::vector<ProcId> candidate = assignment;
-    if (machine.num_procs() > 1) {
-      if (rng.chance(anneal_.swap_probability) && graph.num_tasks() > 1) {
-        const auto a = static_cast<graph::TaskId>(
-            rng.next_below(graph.num_tasks()));
-        auto b = static_cast<graph::TaskId>(
-            rng.next_below(graph.num_tasks()));
-        if (a == b) b = (b + 1) % graph.num_tasks();
-        std::swap(candidate[a], candidate[b]);
-      } else {
-        const auto t = static_cast<graph::TaskId>(
-            rng.next_below(graph.num_tasks()));
-        candidate[t] = static_cast<ProcId>(
-            rng.next_below(static_cast<std::uint64_t>(machine.num_procs())));
+    double temperature = anneal_.initial_temperature * std::max(current, 1e-9);
+    const int cooling_period = std::max(1, anneal_.iterations / 100);
+
+    for (int iter = 0; iter < anneal_.iterations; ++iter) {
+      std::vector<ProcId> candidate = assignment;
+      if (machine.num_procs() > 1) {
+        if (rng.chance(anneal_.swap_probability) && graph.num_tasks() > 1) {
+          const auto a = static_cast<graph::TaskId>(
+              rng.next_below(graph.num_tasks()));
+          auto b = static_cast<graph::TaskId>(
+              rng.next_below(graph.num_tasks()));
+          if (a == b) b = (b + 1) % graph.num_tasks();
+          std::swap(candidate[a], candidate[b]);
+        } else {
+          const auto t = static_cast<graph::TaskId>(
+              rng.next_below(graph.num_tasks()));
+          candidate[t] = static_cast<ProcId>(
+              rng.next_below(static_cast<std::uint64_t>(machine.num_procs())));
+        }
+      }
+      const double value = evaluate(candidate);
+      const double delta = value - current;
+      if (delta <= 0 ||
+          (temperature > 0 && rng.chance(std::exp(-delta / temperature)))) {
+        assignment = std::move(candidate);
+        current = value;
+        ++result.accepted;
+        if (current < best - 1e-12) {
+          best = current;
+          best_assignment = assignment;
+        }
+      }
+      if ((iter + 1) % cooling_period == 0) {
+        temperature *= anneal_.cooling;
       }
     }
-    const double value = evaluate(candidate);
-    const double delta = value - current;
-    if (delta <= 0 ||
-        (temperature > 0 && rng.chance(std::exp(-delta / temperature)))) {
-      assignment = std::move(candidate);
-      current = value;
-      ++accepted_;
-      if (current < best - 1e-12) {
-        best = current;
-        best_assignment = assignment;
-      }
-    }
-    if ((iter + 1) % cooling_period == 0) {
-      temperature *= anneal_.cooling;
-    }
+
+    result.assignment = std::move(best_assignment);
+    result.makespan = best;
+    return result;
+  };
+
+  // Multi-restart: chain k gets seed + k; chains are independent, so
+  // they run in parallel and the outcome is identical for any jobs.
+  const int restarts = std::max(1, anneal_.restarts);
+  std::vector<std::uint64_t> chain_seeds(static_cast<std::size_t>(restarts));
+  std::iota(chain_seeds.begin(), chain_seeds.end(), anneal_.seed);
+  const std::vector<ChainResult> chains = util::parallel_map(
+      chain_seeds, anneal_.jobs,
+      [&](std::uint64_t chain_seed) { return run_chain(chain_seed); });
+
+  std::size_t winner = 0;
+  for (std::size_t k = 1; k < chains.size(); ++k) {
+    if (chains[k].makespan < chains[winner].makespan - 1e-12) winner = k;
   }
+  for (const ChainResult& c : chains) accepted_ += c.accepted;
 
-  return schedule_fixed_assignment(graph, machine, best_assignment,
+  return schedule_fixed_assignment(graph, machine, chains[winner].assignment,
                                    opts_.insertion, name());
 }
 

@@ -24,6 +24,14 @@ struct AnnealOptions {
   /// Probability that a move swaps two tasks instead of moving one.
   double swap_probability = 0.3;
   std::uint64_t seed = 1;
+  /// Independent annealing chains; chain k runs with seed + k and the
+  /// best result wins (ties go to the lowest chain index). restarts = 1
+  /// reproduces the single-chain behaviour exactly.
+  int restarts = 1;
+  /// Worker threads for running chains concurrently (restarts > 1).
+  /// <= 0 means util::default_jobs(). The result is independent of the
+  /// thread count.
+  int jobs = 1;
 };
 
 class AnnealScheduler final : public Scheduler {

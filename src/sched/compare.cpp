@@ -1,0 +1,24 @@
+#include "sched/compare.hpp"
+
+#include "util/parallel.hpp"
+
+namespace banger::sched {
+
+std::vector<CompareEntry> compare_schedulers(
+    const TaskGraph& graph, const Machine& machine,
+    const std::vector<std::string>& names, SchedulerOptions opts, int jobs) {
+  // Each heuristic is a pure function of (graph, machine, opts), so the
+  // bake-off parallelises over names with no shared mutable state;
+  // parallel_map keeps results in input order.
+  return util::parallel_map(names, jobs, [&](const std::string& name) {
+    const auto scheduler = make_scheduler(name, opts);
+    CompareEntry entry;
+    entry.scheduler = name;
+    entry.schedule = scheduler->run(graph, machine);
+    entry.schedule.validate(graph, machine);
+    entry.metrics = compute_metrics(entry.schedule, graph, machine);
+    return entry;
+  });
+}
+
+}  // namespace banger::sched

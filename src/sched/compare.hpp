@@ -1,0 +1,32 @@
+// banger/sched/compare.hpp
+//
+// Batch scheduler bake-off: run several heuristics over the same
+// (graph, machine) pair — concurrently when asked — and return their
+// validated schedules plus metrics. The result vector follows the
+// input name order and is bit-identical for every worker count, so
+// `banger compare --jobs N` differs from `--jobs 1` only in wall-clock
+// time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace banger::sched {
+
+struct CompareEntry {
+  std::string scheduler;
+  Schedule schedule;
+  ScheduleMetrics metrics;
+};
+
+/// Runs each named heuristic (default: all of scheduler_names()) and
+/// returns one validated entry per name, in input order. `jobs` is the
+/// worker-thread count; <= 0 means util::default_jobs().
+std::vector<CompareEntry> compare_schedulers(
+    const TaskGraph& graph, const Machine& machine,
+    const std::vector<std::string>& names, SchedulerOptions opts = {},
+    int jobs = 0);
+
+}  // namespace banger::sched

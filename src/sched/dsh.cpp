@@ -163,22 +163,15 @@ Schedule DshScheduler::run(const TaskGraph& graph,
   const auto priority = comm_b_levels(graph, machine);
 
   std::vector<std::size_t> remaining(graph.num_tasks());
-  std::vector<TaskId> ready;
+  ReadyQueue ready(priority);
   for (TaskId t = 0; t < graph.num_tasks(); ++t) {
     remaining[t] = graph.in_edges(t).size();
-    if (remaining[t] == 0) ready.push_back(t);
+    if (remaining[t] == 0) ready.push(t);
   }
 
   std::size_t scheduled = 0;
   while (!ready.empty()) {
-    auto it = std::max_element(ready.begin(), ready.end(),
-                               [&](TaskId a, TaskId b) {
-                                 if (priority[a] != priority[b])
-                                   return priority[a] < priority[b];
-                                 return a > b;
-                               });
-    const TaskId t = *it;
-    ready.erase(it);
+    const TaskId t = ready.pop();
 
     Evaluation best;
     best.finish = kInf;
@@ -197,7 +190,7 @@ Schedule DshScheduler::run(const TaskGraph& graph,
 
     for (graph::EdgeId e : graph.out_edges(t)) {
       const TaskId succ = graph.edge(e).to;
-      if (--remaining[succ] == 0) ready.push_back(succ);
+      if (--remaining[succ] == 0) ready.push(succ);
     }
   }
   if (scheduled != graph.num_tasks()) {

@@ -1,7 +1,18 @@
 // List-scheduling heuristics: MH, ETF, HLFET, DLS. All share the
 // BuildState machinery; they differ only in how the next (task,
 // processor) pair is chosen.
+//
+// Hot-path structure: MH and HLFET order the ready list with a static
+// priority, so they pop from an O(log n) ReadyQueue. ETF and DLS rank
+// every (ready task, processor) pair by a dynamic key, so they keep a
+// per-(task, proc) cache of earliest-start times and refresh only the
+// entries whose data-ready row or timeline lane changed since the last
+// round (BuildState::pred_epoch / Timeline::lane_epoch). The comparison
+// scan itself replays the original loop order, so choices — and the
+// resulting schedules — are byte-identical to the straightforward
+// implementation.
 #include <algorithm>
+#include <optional>
 
 #include "sched/heuristics.hpp"
 #include "sched/list_core.hpp"
@@ -11,8 +22,19 @@ namespace banger::sched {
 
 namespace {
 
-/// Ready-list driver: repeatedly asks `pick` to choose among ready tasks,
-/// then asks `place` for the processor decision.
+/// What a pick step decided: which ready-list entry to schedule and —
+/// for heuristics whose pick already evaluated processors — the
+/// processor choice, so place() does not re-derive it. (This replaces
+/// the old shared_ptr<Choice> mutable-cache hack: pick and place now
+/// communicate through the driver.)
+struct PickDecision {
+  std::size_t index = 0;
+  std::optional<ProcChoice> choice;
+};
+
+/// Ready-list driver for the dynamic-key heuristics (ETF, DLS):
+/// repeatedly asks `pick` to choose among ready tasks, then asks
+/// `place` for the processor decision unless pick already made it.
 template <typename Pick, typename Place>
 Schedule drive(const TaskGraph& graph, const Machine& machine,
                const std::string& name, Pick&& pick, Place&& place) {
@@ -26,11 +48,12 @@ Schedule drive(const TaskGraph& graph, const Machine& machine,
 
   std::size_t scheduled = 0;
   while (!ready.empty()) {
-    const std::size_t idx = pick(state, ready);
-    const TaskId t = ready[idx];
-    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(idx));
+    const PickDecision decision = pick(state, ready);
+    const TaskId t = ready[decision.index];
+    ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(decision.index));
 
-    const ProcChoice choice = place(state, t);
+    const ProcChoice choice =
+        decision.choice ? *decision.choice : place(state, t);
     state.commit(t, choice.proc, choice.start, /*duplicate=*/false);
     ++scheduled;
 
@@ -45,51 +68,178 @@ Schedule drive(const TaskGraph& graph, const Machine& machine,
   return state.finish(name);
 }
 
+/// Ready-queue driver for the static-priority heuristics (MH, HLFET):
+/// pop the best task in O(log n), then ask `place` for the processor.
+template <typename Place>
+Schedule drive_static(const TaskGraph& graph, const Machine& machine,
+                      const std::string& name,
+                      const std::vector<double>& priority, Place&& place) {
+  BuildState state(graph, machine);
+  std::vector<std::size_t> remaining(graph.num_tasks());
+  ReadyQueue ready(priority);
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    remaining[t] = graph.in_edges(t).size();
+    if (remaining[t] == 0) ready.push(t);
+  }
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const TaskId t = ready.pop();
+    const ProcChoice choice = place(state, t);
+    state.commit(t, choice.proc, choice.start, /*duplicate=*/false);
+    ++scheduled;
+
+    for (graph::EdgeId e : graph.out_edges(t)) {
+      const TaskId succ = graph.edge(e).to;
+      if (--remaining[succ] == 0) ready.push(succ);
+    }
+  }
+  if (scheduled != graph.num_tasks()) {
+    fail(ErrorCode::Schedule, "task graph contains a cycle");
+  }
+  return state.finish(name);
+}
+
+/// Incrementally maintained earliest-start table for the pair-ranking
+/// heuristics: start(t, p) = earliest_slot(p, data_ready(t, p), dur).
+/// Each pick round opens with begin_round(), refreshes and scans one
+/// row at a time via refresh_task(), and closes with end_round(). A
+/// commit changes exactly one timeline lane, so the steady-state round
+/// refreshes at most one slot per ready task; rows whose predecessor
+/// set gained a copy (and tasks newly ready) recompute in full.
+class StartCache {
+ public:
+  StartCache(const BuildState& state, bool insertion)
+      : state_(state),
+        insertion_(insertion),
+        num_procs_(state.machine().num_procs()),
+        start_(state.graph().num_tasks() *
+                   static_cast<std::size_t>(num_procs_),
+               0.0),
+        dur_(start_.size(), 0.0),
+        pred_seen_(state.graph().num_tasks(),
+                   std::numeric_limits<std::uint64_t>::max()),
+        lane_seen_(static_cast<std::size_t>(num_procs_),
+                   std::numeric_limits<std::uint64_t>::max()) {}
+
+  /// Opens a pick round: records which timeline lanes changed since the
+  /// previous round (one, after a commit). For a lane that gained
+  /// exactly one interval in insertion mode, a cached slot ending at or
+  /// before that interval's start keeps its value (the scan's prefix
+  /// and its first-fit gap are unchanged; an earlier fit would
+  /// contradict the cached answer), as does one starting at or after
+  /// its finish (the interval only shrinks gaps that already rejected
+  /// every earlier fit, and contributes at most its finish — which is
+  /// below such a slot — to the scan's running candidate). Those
+  /// entries skip recomputation on a compare each.
+  void begin_round() {
+    const Timeline& timeline = state_.timeline();
+    changed_.clear();
+    for (ProcId p = 0; p < num_procs_; ++p) {
+      const std::uint64_t epoch = timeline.lane_epoch(p);
+      if (lane_seen_[static_cast<std::size_t>(p)] == epoch) continue;
+      ChangedLane lane{p, -kInf, kInf};
+      if (insertion_ && epoch > 0 &&
+          epoch == lane_seen_[static_cast<std::size_t>(p)] + 1) {
+        lane.skip_before = timeline.last_occupy_start(p);
+        lane.skip_after = timeline.last_occupy_finish(p);
+      }
+      changed_.push_back(lane);
+    }
+  }
+
+  /// Brings t's row up to date for this round and returns its
+  /// per-processor earliest starts. Callers scan the row immediately,
+  /// while it is hot.
+  const double* refresh_task(TaskId t) {
+    const Timeline& timeline = state_.timeline();
+    const std::size_t row =
+        static_cast<std::size_t>(t) * static_cast<std::size_t>(num_procs_);
+    if (pred_seen_[t] != state_.pred_epoch(t)) {
+      const double* ready_row = state_.data_ready_row(t);
+      for (ProcId q = 0; q < num_procs_; ++q) {
+        const std::size_t s = row + static_cast<std::size_t>(q);
+        dur_[s] = state_.duration(t, q);  // run-invariant, computed once
+        start_[s] =
+            timeline.earliest_slot(q, ready_row[q], dur_[s], insertion_);
+      }
+      pred_seen_[t] = state_.pred_epoch(t);
+    } else if (!changed_.empty()) {
+      const double* ready_row = state_.data_ready_row(t);
+      for (const ChangedLane& lane : changed_) {
+        const std::size_t s = row + static_cast<std::size_t>(lane.proc);
+        if (start_[s] + dur_[s] <= lane.skip_before + 1e-12 ||
+            start_[s] >= lane.skip_after) {
+          continue;
+        }
+        start_[s] = timeline.earliest_slot(lane.proc, ready_row[lane.proc],
+                                           dur_[s], insertion_);
+      }
+    }
+    return &start_[row];
+  }
+
+  /// Closes the round once every ready task was refreshed.
+  void end_round() {
+    for (const ChangedLane& lane : changed_) {
+      lane_seen_[static_cast<std::size_t>(lane.proc)] =
+          state_.timeline().lane_epoch(lane.proc);
+    }
+  }
+
+ private:
+  struct ChangedLane {
+    ProcId proc;
+    double skip_before;  // cached slots ending here or earlier hold
+    double skip_after;   // cached slots starting here or later hold
+  };
+
+  const BuildState& state_;
+  bool insertion_;
+  int num_procs_;
+  std::vector<double> start_;
+  std::vector<double> dur_;               // durations, filled with rows
+  std::vector<std::uint64_t> pred_seen_;  // per task
+  std::vector<std::uint64_t> lane_seen_;  // per lane, at last refresh
+  std::vector<ChangedLane> changed_;      // lanes stale this round
+};
+
 }  // namespace
 
 Schedule MhScheduler::run(const TaskGraph& graph,
                           const Machine& machine) const {
   const auto priority = comm_b_levels(graph, machine);
-  return drive(
-      graph, machine, name(),
-      [&](const BuildState&, const std::vector<TaskId>& ready) {
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < ready.size(); ++i) {
-          if (priority[ready[i]] > priority[ready[best]] ||
-              (priority[ready[i]] == priority[ready[best]] &&
-               ready[i] < ready[best])) {
-            best = i;
-          }
-        }
-        return best;
-      },
-      [&](const BuildState& state, TaskId t) {
-        return best_eft(state, t, opts_.insertion);
-      });
+  return drive_static(graph, machine, name(), priority,
+                      [&](const BuildState& state, TaskId t) {
+                        return best_eft(state, t, opts_.insertion);
+                      });
 }
 
 Schedule EtfScheduler::run(const TaskGraph& graph,
                            const Machine& machine) const {
   const auto level = comp_levels(graph, machine);
-  // ETF evaluates every (ready task, processor) pair each round; the pick
-  // step already determines the processor, so it is cached for place.
-  struct Choice {
-    ProcChoice pc;
-  };
-  auto cached = std::make_shared<Choice>();
+  // ETF evaluates every (ready task, processor) pair each round; the
+  // pick step already determines the processor, so the decision carries
+  // it to the driver.
+  std::optional<StartCache> cache;
   return drive(
       graph, machine, name(),
-      [&, cached](const BuildState& state, const std::vector<TaskId>& ready) {
-        std::size_t best_idx = 0;
+      [&](const BuildState& state, const std::vector<TaskId>& ready) {
+        if (!cache) cache.emplace(state, opts_.insertion);
+        cache->begin_round();
+        PickDecision decision;
         ProcChoice best;
         best.start = kInf;
+        std::size_t best_idx = 0;
+        const int num_procs = machine.num_procs();
         for (std::size_t i = 0; i < ready.size(); ++i) {
           const TaskId t = ready[i];
-          for (ProcId p = 0; p < machine.num_procs(); ++p) {
-            const double dur = state.duration(t, p);
-            const double rt = state.data_ready(t, p);
-            const double start =
-                state.timeline().earliest_slot(p, rt, dur, opts_.insertion);
+          const double* starts = cache->refresh_task(t);
+          for (ProcId p = 0; p < num_procs; ++p) {
+            const double start = starts[p];
+            // A start above best + 1e-12 can satisfy neither the strict
+            // improvement nor the tie clauses — reject on one compare.
+            if (start > best.start + 1e-12) continue;
             const bool better =
                 start < best.start - 1e-12 ||
                 (std::abs(start - best.start) <= 1e-12 &&
@@ -98,33 +248,27 @@ Schedule EtfScheduler::run(const TaskGraph& graph,
                  std::abs(level[t] - level[ready[best_idx]]) <= 1e-12 &&
                  t < ready[best_idx]);
             if (better) {
-              best = {p, start, start + dur};
+              best = {p, start, start + state.duration(t, p)};
               best_idx = i;
             }
           }
         }
-        cached->pc = best;
-        return best_idx;
+        cache->end_round();
+        decision.index = best_idx;
+        decision.choice = best;
+        return decision;
       },
-      [cached](const BuildState&, TaskId) { return cached->pc; });
+      [](const BuildState&, TaskId) -> ProcChoice {
+        BANGER_ASSERT(false, "etf pick always carries the choice");
+        return {};
+      });
 }
 
 Schedule HlfetScheduler::run(const TaskGraph& graph,
                              const Machine& machine) const {
   const auto level = comp_levels(graph, machine);
-  return drive(
-      graph, machine, name(),
-      [&](const BuildState&, const std::vector<TaskId>& ready) {
-        std::size_t best = 0;
-        for (std::size_t i = 1; i < ready.size(); ++i) {
-          if (level[ready[i]] > level[ready[best]] ||
-              (level[ready[i]] == level[ready[best]] &&
-               ready[i] < ready[best])) {
-            best = i;
-          }
-        }
-        return best;
-      },
+  return drive_static(
+      graph, machine, name(), level,
       [&](const BuildState& state, TaskId t) {
         // Classic HLFET: earliest *start* processor.
         ProcChoice best;
@@ -145,36 +289,44 @@ Schedule HlfetScheduler::run(const TaskGraph& graph,
 Schedule DlsScheduler::run(const TaskGraph& graph,
                            const Machine& machine) const {
   const auto level = comp_levels(graph, machine);
-  struct Choice {
-    ProcChoice pc;
-  };
-  auto cached = std::make_shared<Choice>();
+  std::optional<StartCache> cache;
   return drive(
       graph, machine, name(),
-      [&, cached](const BuildState& state, const std::vector<TaskId>& ready) {
-        std::size_t best_idx = 0;
+      [&](const BuildState& state, const std::vector<TaskId>& ready) {
+        if (!cache) cache.emplace(state, opts_.insertion);
+        cache->begin_round();
+        PickDecision decision;
         ProcChoice best_pc;
         double best_dl = -kInf;
+        std::size_t best_idx = 0;
+        const int num_procs = machine.num_procs();
         for (std::size_t i = 0; i < ready.size(); ++i) {
           const TaskId t = ready[i];
-          for (ProcId p = 0; p < machine.num_procs(); ++p) {
-            const double dur = state.duration(t, p);
-            const double rt = state.data_ready(t, p);
-            const double start =
-                state.timeline().earliest_slot(p, rt, dur, opts_.insertion);
-            const double dl = level[t] - start;
+          const double lvl = level[t];
+          const double* starts = cache->refresh_task(t);
+          for (ProcId p = 0; p < num_procs; ++p) {
+            const double start = starts[p];
+            const double dl = lvl - start;
+            // Below best - 1e-12 fails both the improvement and the tie
+            // clause — reject on one compare.
+            if (dl < best_dl - 1e-12) continue;
             if (dl > best_dl + 1e-12 ||
                 (std::abs(dl - best_dl) <= 1e-12 && t < ready[best_idx])) {
               best_dl = dl;
-              best_pc = {p, start, start + dur};
+              best_pc = {p, start, start + state.duration(t, p)};
               best_idx = i;
             }
           }
         }
-        cached->pc = best_pc;
-        return best_idx;
+        cache->end_round();
+        decision.index = best_idx;
+        decision.choice = best_pc;
+        return decision;
       },
-      [cached](const BuildState&, TaskId) { return cached->pc; });
+      [](const BuildState&, TaskId) -> ProcChoice {
+        BANGER_ASSERT(false, "dls pick always carries the choice");
+        return {};
+      });
 }
 
 }  // namespace banger::sched

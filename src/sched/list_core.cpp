@@ -10,17 +10,31 @@ namespace banger::sched {
 Timeline::Timeline(int num_procs) {
   BANGER_ASSERT(num_procs > 0, "timeline needs processors");
   lanes_.resize(static_cast<std::size_t>(num_procs));
+  gaps_.resize(static_cast<std::size_t>(num_procs));
+  max_gap_.assign(static_cast<std::size_t>(num_procs), -kInf);
+  tails_.assign(static_cast<std::size_t>(num_procs), 0.0);
+  lane_epochs_.assign(static_cast<std::size_t>(num_procs), 0);
+  last_starts_.assign(static_cast<std::size_t>(num_procs), 0.0);
+  last_finishes_.assign(static_cast<std::size_t>(num_procs), 0.0);
 }
 
-double Timeline::earliest_slot(ProcId proc, double ready, double duration,
-                               bool insertion) const {
+double Timeline::gap_scan(ProcId proc, double ready, double duration) const {
   const auto& lane = lanes_[static_cast<std::size_t>(proc)];
-  if (!insertion) {
-    const double tail = lane.empty() ? 0.0 : lane.back().second;
-    return std::max(ready, tail);
-  }
+  // Intervals are sorted and non-overlapping, so their end times are
+  // non-decreasing (up to the 1e-9 boundary slack occupy tolerates):
+  // binary-search past every interval that finishes well before `ready`
+  // (those can neither host the slot nor advance the candidate beyond
+  // `ready`) and replay the original scan from there. The margin is
+  // 1e-6 — far wider than both the fit epsilon and the slack — so the
+  // search is immune to sub-epsilon non-monotonicity.
+  const auto first = std::partition_point(
+      lane.begin(), lane.end(),
+      [&](const std::pair<double, double>& iv) {
+        return iv.second < ready - 1e-6;
+      });
   double candidate = std::max(0.0, ready);
-  for (const auto& [s, f] : lane) {
+  for (auto it = first; it != lane.end(); ++it) {
+    const auto& [s, f] = *it;
     if (candidate + duration <= s + 1e-12) {
       return candidate;  // fits in the gap before this interval
     }
@@ -42,7 +56,33 @@ void Timeline::occupy(ProcId proc, double start, double duration) {
     BANGER_ASSERT(iv.second <= it->first + 1e-9,
                   "overlapping occupation (after)");
   }
+
+  // Maintain the gap index. The free region the new interval lands in
+  // runs from the previous interval's end (or 0) to the next interval's
+  // start (or the unbounded tail, which is not indexed).
+  auto& gaps = gaps_[static_cast<std::size_t>(proc)];
+  const double prev_end = it == lane.begin() ? 0.0 : std::prev(it)->second;
+  if (it != lane.end()) {
+    const double old_gap = it->first - prev_end;
+    if (old_gap > 0.0) {
+      const auto g = gaps.find(old_gap);
+      BANGER_ASSERT(g != gaps.end(), "gap index out of sync");
+      gaps.erase(g);
+    }
+    const double right = it->first - iv.second;
+    if (right > 0.0) gaps.insert(right);
+  }
+  const double left = start - prev_end;
+  if (left > 0.0) gaps.insert(left);
+  max_gap_[static_cast<std::size_t>(proc)] =
+      gaps.empty() ? -kInf : *gaps.rbegin();
+
   lane.insert(it, iv);
+  tails_[static_cast<std::size_t>(proc)] =
+      std::max(tails_[static_cast<std::size_t>(proc)], iv.second);
+  ++lane_epochs_[static_cast<std::size_t>(proc)];
+  last_starts_[static_cast<std::size_t>(proc)] = start;
+  last_finishes_[static_cast<std::size_t>(proc)] = iv.second;
 }
 
 double Timeline::avail(ProcId proc) const {
@@ -55,11 +95,75 @@ const std::vector<std::pair<double, double>>& Timeline::lane(
   return lanes_[static_cast<std::size_t>(proc)];
 }
 
+void ReadyQueue::push(TaskId t) {
+  heap_.push_back(t);
+  sift_up(heap_.size() - 1);
+}
+
+TaskId ReadyQueue::pop() {
+  BANGER_ASSERT(!heap_.empty(), "pop from empty ready queue");
+  const TaskId top = heap_.front();
+  heap_.front() = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) sift_down(0);
+  return top;
+}
+
+void ReadyQueue::sift_up(std::size_t i) {
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 2;
+    if (!before(heap_[i], heap_[parent])) break;
+    std::swap(heap_[i], heap_[parent]);
+    i = parent;
+  }
+}
+
+void ReadyQueue::sift_down(std::size_t i) {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    std::size_t best = i;
+    const std::size_t l = 2 * i + 1;
+    const std::size_t r = 2 * i + 2;
+    if (l < n && before(heap_[l], heap_[best])) best = l;
+    if (r < n && before(heap_[r], heap_[best])) best = r;
+    if (best == i) return;
+    std::swap(heap_[i], heap_[best]);
+    i = best;
+  }
+}
+
 BuildState::BuildState(const TaskGraph& graph, const Machine& machine)
     : graph_(graph),
       machine_(machine),
       timeline_(machine.num_procs()),
-      copies_(graph.num_tasks()) {}
+      num_procs_(machine.num_procs()),
+      copies_(graph.num_tasks()) {
+  placements_.reserve(graph.num_tasks());
+  const auto procs = static_cast<std::size_t>(num_procs_);
+  hop_matrix_.resize(procs * procs);
+  for (ProcId p = 0; p < num_procs_; ++p) {
+    for (ProcId q = 0; q < num_procs_; ++q) {
+      hop_matrix_[static_cast<std::size_t>(p) * procs +
+                  static_cast<std::size_t>(q)] =
+          p == q ? 0 : machine.topology().hops(p, q);
+    }
+  }
+  const auto& params = machine.params();
+  msg_startup_ = params.message_startup;
+  per_hop_latency_ = params.per_hop_latency;
+  store_and_forward_ = params.routing == machine::Routing::StoreAndForward;
+  edge_wire_.reserve(graph.num_edges());
+  for (const graph::Edge& e : graph.edges()) {
+    edge_wire_.push_back(params.bytes_per_second > 0
+                             ? e.bytes / params.bytes_per_second
+                             : 0.0);
+  }
+
+  drt_cache_.assign(graph.num_tasks() * procs, 0.0);
+  drt_critical_.assign(graph.num_tasks() * procs, graph::kNoTask);
+  drt_valid_.assign(graph.num_tasks(), 0);
+  pred_epochs_.assign(graph.num_tasks(), 0);
+}
 
 double BuildState::edge_arrival(graph::EdgeId e, ProcId proc,
                                 const Copy** winner) const {
@@ -68,8 +172,7 @@ double BuildState::edge_arrival(graph::EdgeId e, ProcId proc,
   double best = kInf;
   const Copy* best_copy = nullptr;
   for (const Copy& c : copies_[edge.from]) {
-    const double arrival =
-        c.finish + machine_.comm_time(edge.bytes, c.proc, proc);
+    const double arrival = c.finish + edge_comm_time(e, c.proc, proc);
     if (arrival < best) {
       best = arrival;
       best_copy = &c;
@@ -81,17 +184,80 @@ double BuildState::edge_arrival(graph::EdgeId e, ProcId proc,
 
 double BuildState::data_ready(TaskId t, ProcId proc,
                               TaskId* critical_parent) const {
+  const std::size_t row =
+      static_cast<std::size_t>(t) * static_cast<std::size_t>(num_procs_);
+  if (!drt_valid_[t]) {
+    // Edge-outer recompute: for each processor the edges are still
+    // visited in in-edge order and the running maximum uses the same
+    // strict >, so both the values and the critical-parent tie-breaks
+    // match the processor-outer formulation — while each edge (and its
+    // producer's copies) is fetched once instead of once per processor.
+    double* vals = &drt_cache_[row];
+    TaskId* crit = &drt_critical_[row];
+    for (ProcId p = 0; p < num_procs_; ++p) {
+      vals[p] = 0.0;
+      crit[p] = graph::kNoTask;
+    }
+    for (graph::EdgeId e : graph_.in_edges(t)) {
+      const graph::Edge& edge = graph_.edge(e);
+      const auto& copies = copies_[edge.from];
+      BANGER_ASSERT(!copies.empty(), "predecessor not yet placed");
+      const double wire = edge_wire_[e];
+      if (copies.size() == 1) {
+        const Copy& c = copies.front();
+        const int* hop_row = &hop_matrix_[static_cast<std::size_t>(c.proc) *
+                                          static_cast<std::size_t>(num_procs_)];
+        for (ProcId p = 0; p < num_procs_; ++p) {
+          const int h = hop_row[p];
+          const double comm =
+              h <= 0 ? 0.0
+                     : (store_and_forward_
+                            ? h * (msg_startup_ + wire)
+                            : msg_startup_ + wire + (h - 1) * per_hop_latency_);
+          const double arrival = c.finish + comm;
+          if (arrival > vals[p]) {
+            vals[p] = arrival;
+            crit[p] = edge.from;
+          }
+        }
+      } else {
+        for (ProcId p = 0; p < num_procs_; ++p) {
+          const double arrival = edge_arrival(e, p);
+          if (arrival > vals[p]) {
+            vals[p] = arrival;
+            crit[p] = edge.from;
+          }
+        }
+      }
+    }
+    drt_valid_[t] = 1;
+  }
+  if (critical_parent != nullptr) {
+    *critical_parent = drt_critical_[row + static_cast<std::size_t>(proc)];
+  }
+  return drt_cache_[row + static_cast<std::size_t>(proc)];
+}
+
+double BuildState::data_ready_one(TaskId t, ProcId proc) const {
+  if (drt_valid_[t]) {
+    return drt_cache_[static_cast<std::size_t>(t) *
+                          static_cast<std::size_t>(num_procs_) +
+                      static_cast<std::size_t>(proc)];
+  }
   double ready = 0.0;
-  TaskId critical = graph::kNoTask;
   for (graph::EdgeId e : graph_.in_edges(t)) {
     const double arrival = edge_arrival(e, proc);
-    if (arrival > ready) {
-      ready = arrival;
-      critical = graph_.edge(e).from;
-    }
+    if (arrival > ready) ready = arrival;
   }
-  if (critical_parent != nullptr) *critical_parent = critical;
   return ready;
+}
+
+void BuildState::invalidate_successors(TaskId t) {
+  for (graph::EdgeId e : graph_.out_edges(t)) {
+    const TaskId succ = graph_.edge(e).to;
+    drt_valid_[succ] = 0;
+    ++pred_epochs_[succ];
+  }
 }
 
 void BuildState::commit(TaskId t, ProcId proc, double start, bool duplicate) {
@@ -99,6 +265,7 @@ void BuildState::commit(TaskId t, ProcId proc, double start, bool duplicate) {
   timeline_.occupy(proc, start, dur);
   copies_[t].push_back({proc, start, start + dur});
   placements_.push_back({t, proc, start, start + dur, duplicate});
+  invalidate_successors(t);
 }
 
 void BuildState::commit_fixed(TaskId t, ProcId proc, double start,
@@ -107,6 +274,7 @@ void BuildState::commit_fixed(TaskId t, ProcId proc, double start,
   timeline_.occupy(proc, start, finish - start);
   copies_[t].push_back({proc, start, finish});
   placements_.push_back({t, proc, start, finish, duplicate});
+  invalidate_successors(t);
 }
 
 Schedule BuildState::finish(const std::string& scheduler_name) const {
@@ -128,8 +296,7 @@ Schedule BuildState::finish(const std::string& scheduler_name) const {
         m.from = winner->proc;
         m.to = p.proc;
         m.send = winner->finish;
-        m.arrive = winner->finish + machine_.comm_time(graph_.edge(e).bytes,
-                                                       winner->proc, p.proc);
+        m.arrive = winner->finish + edge_comm_time(e, winner->proc, p.proc);
         schedule.add_message(m);
       }
     }
@@ -204,25 +371,19 @@ Schedule schedule_fixed_assignment(const TaskGraph& graph,
   // Dynamic ready list: among ready tasks pick the highest priority and
   // place it on its assigned processor at the earliest feasible time.
   std::vector<std::size_t> remaining_preds(graph.num_tasks());
-  std::vector<TaskId> ready;
+  ReadyQueue ready(priority);
   for (TaskId t = 0; t < graph.num_tasks(); ++t) {
     remaining_preds[t] = graph.in_edges(t).size();
-    if (remaining_preds[t] == 0) ready.push_back(t);
+    if (remaining_preds[t] == 0) ready.push(t);
   }
 
   std::size_t scheduled = 0;
   while (!ready.empty()) {
-    auto it = std::max_element(
-        ready.begin(), ready.end(), [&](TaskId a, TaskId b) {
-          if (priority[a] != priority[b]) return priority[a] < priority[b];
-          return a > b;  // prefer the smaller id
-        });
-    const TaskId t = *it;
-    ready.erase(it);
+    const TaskId t = ready.pop();
 
     const ProcId p = assignment[t];
     const double dur = state.duration(t, p);
-    const double ready_time = state.data_ready(t, p);
+    const double ready_time = state.data_ready_one(t, p);
     const double start =
         state.timeline().earliest_slot(p, ready_time, dur, insertion);
     state.commit(t, p, start, /*duplicate=*/false);
@@ -230,7 +391,7 @@ Schedule schedule_fixed_assignment(const TaskGraph& graph,
 
     for (graph::EdgeId e : graph.out_edges(t)) {
       const TaskId succ = graph.edge(e).to;
-      if (--remaining_preds[succ] == 0) ready.push_back(succ);
+      if (--remaining_preds[succ] == 0) ready.push(succ);
     }
   }
   if (scheduled != graph.num_tasks()) {

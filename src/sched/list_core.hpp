@@ -6,9 +6,28 @@
 // turns a fixed task->processor assignment into a feasible timed
 // schedule. Exposed as a real header (not an anonymous namespace) so the
 // tests can exercise the machinery directly.
+//
+// Performance notes (the scheduler hot path):
+//   - BuildState memoises per-(task, processor) data-ready times and
+//     invalidates a task's row only when a copy of one of its
+//     predecessors is committed, so ETF/DLS no longer re-walk every
+//     in-edge of every ready task each round.
+//   - Change epochs (per task-row and per timeline lane) let callers
+//     cache derived values such as earliest-start times and refresh
+//     exactly the stale entries.
+//   - Timeline lanes carry a gap index (multiset of free-gap lengths)
+//     plus a binary search over interval end times, so insertion-mode
+//     earliest_slot no longer scans the full lane.
+//   - Communication costs are answered from a precomputed hop matrix
+//     and per-edge wire times via the machine's comm_time_hops formula.
+// Every fast path reproduces the exact arithmetic (and tie-breaking) of
+// the straightforward implementation: schedules are byte-identical.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <limits>
+#include <set>
 #include <vector>
 
 #include "sched/scheduler.hpp"
@@ -25,8 +44,26 @@ class Timeline {
   /// Earliest time >= `ready` at which an uninterrupted slot of length
   /// `duration` exists on `proc`. With `insertion` false, only the region
   /// after the last occupied interval is considered.
+  ///
+  /// Inlined fast paths cover the common cases — append-only mode, an
+  /// empty lane, and "no free gap in the lane can hold `duration`" (a
+  /// gap of length g admits a task iff duration <= g + 1e-12, so a
+  /// single cached max-gap answers that test); only lanes with a
+  /// candidate gap fall through to the interval scan.
   [[nodiscard]] double earliest_slot(ProcId proc, double ready,
-                                     double duration, bool insertion) const;
+                                     double duration, bool insertion) const {
+    const auto& lane = lanes_[static_cast<std::size_t>(proc)];
+    if (!insertion) {
+      const double tail = lane.empty() ? 0.0 : lane.back().second;
+      return std::max(ready, tail);
+    }
+    if (lane.empty()) return std::max(0.0, ready);
+    if (duration > max_gap_[static_cast<std::size_t>(proc)] + 1e-12) {
+      return std::max(std::max(0.0, ready),
+                      tails_[static_cast<std::size_t>(proc)]);
+    }
+    return gap_scan(proc, ready, duration);
+  }
 
   /// Marks [start, start+duration) occupied on `proc`. The caller must
   /// have obtained `start` from earliest_slot (overlap is a logic error).
@@ -42,8 +79,52 @@ class Timeline {
   [[nodiscard]] const std::vector<std::pair<double, double>>& lane(
       ProcId proc) const;
 
+  /// Monotonic change counter for one lane; bumped by every occupy().
+  /// Lets callers detect exactly which cached per-lane results went
+  /// stale.
+  [[nodiscard]] std::uint64_t lane_epoch(ProcId proc) const {
+    return lane_epochs_[static_cast<std::size_t>(proc)];
+  }
+
+  /// Bounds [start, finish) of the interval most recently occupied on
+  /// `proc`. Meaningful only when lane_epoch(proc) > 0. In insertion
+  /// mode a cached earliest_slot answer is unaffected by that single
+  /// occupation when the slot ends at or before its start (the scan's
+  /// prefix and first-fit gap are unchanged) or starts at or after its
+  /// finish (the interval only shrinks gaps that already rejected every
+  /// earlier fit, and contributes at most `finish` to the running
+  /// candidate) — which lets callers skip recomputation after a commit.
+  [[nodiscard]] double last_occupy_start(ProcId proc) const {
+    return last_starts_[static_cast<std::size_t>(proc)];
+  }
+  [[nodiscard]] double last_occupy_finish(ProcId proc) const {
+    return last_finishes_[static_cast<std::size_t>(proc)];
+  }
+
  private:
+  /// Left-to-right scan over the lane's intervals, entered only when
+  /// the gap index says some gap could hold the slot.
+  [[nodiscard]] double gap_scan(ProcId proc, double ready,
+                                double duration) const;
+
   std::vector<std::vector<std::pair<double, double>>> lanes_;
+  /// Per lane: lengths of all finite free gaps (before the first
+  /// interval and between consecutive intervals). The region after the
+  /// last interval is unbounded and deliberately not indexed. Used for
+  /// an early "nothing fits, append at the tail" answer.
+  std::vector<std::multiset<double>> gaps_;
+  /// Per lane: largest entry of gaps_ (-inf when it is empty), kept in
+  /// sync by occupy() so earliest_slot's fast path avoids tree walks.
+  std::vector<double> max_gap_;
+  /// Per lane: maximum finish over all occupied intervals (0 when
+  /// idle) — the value the full left-to-right scan's candidate reaches
+  /// when no gap admits the slot.
+  std::vector<double> tails_;
+  std::vector<std::uint64_t> lane_epochs_;
+  /// Per lane: bounds of the most recent occupation (see
+  /// last_occupy_start / last_occupy_finish).
+  std::vector<double> last_starts_;
+  std::vector<double> last_finishes_;
 };
 
 /// One placed copy of a task during scheduling.
@@ -75,8 +156,34 @@ class BuildState {
   /// currently placed copies of its predecessors (which must all be
   /// placed). Optionally reports which predecessor constrains the result
   /// (the "critical parent") and that parent's best-arrival time.
+  ///
+  /// Answers come from a per-(task, proc) memo that is invalidated when
+  /// a copy of one of t's predecessors is committed — repeated queries
+  /// between commits are O(1).
   [[nodiscard]] double data_ready(TaskId t, ProcId proc,
                                   TaskId* critical_parent = nullptr) const;
+
+  /// Monotonic counter bumped every time a copy of one of t's
+  /// predecessors is committed (i.e. whenever data_ready(t, *) may have
+  /// changed). Starts at 0.
+  [[nodiscard]] std::uint64_t pred_epoch(TaskId t) const {
+    return pred_epochs_[t];
+  }
+
+  /// data_ready for a single processor, without filling the full memo
+  /// row — identical arithmetic. The fixed-assignment scheduler uses
+  /// this (each task only ever starts on its assigned processor, so
+  /// memoising all lanes would be wasted work).
+  [[nodiscard]] double data_ready_one(TaskId t, ProcId proc) const;
+
+  /// Validates t's memo row and returns its per-processor data-ready
+  /// times. The pointer stays valid (and current) until a copy of one
+  /// of t's predecessors commits.
+  [[nodiscard]] const double* data_ready_row(TaskId t) const {
+    if (!drt_valid_[t]) (void)data_ready(t, 0);
+    return &drt_cache_[static_cast<std::size_t>(t) *
+                       static_cast<std::size_t>(num_procs_)];
+  }
 
   /// Arrival time on `proc` of the edge's data from the best copy of the
   /// producer; also reports which copy wins.
@@ -101,12 +208,58 @@ class BuildState {
     return machine_.task_time(graph_.task(t).work, proc);
   }
 
+  /// Communication time for `bytes` between two processors under the
+  /// machine model, answered from the precomputed hop matrix (identical
+  /// arithmetic to machine().comm_time).
+  [[nodiscard]] double comm_time(double bytes, ProcId from, ProcId to) const {
+    const int h = hops(from, to);
+    return h <= 0 ? 0.0 : machine_.comm_time_hops(bytes, h);
+  }
+
+  /// Communication time of graph edge `e` between two processors: the
+  /// hop count comes from the precomputed matrix and the wire time
+  /// (bytes / bandwidth) from a per-edge table, feeding the exact
+  /// formula comm_time_hops evaluates.
+  [[nodiscard]] double edge_comm_time(graph::EdgeId e, ProcId from,
+                                      ProcId to) const {
+    const int h = hops(from, to);
+    if (h <= 0) return 0.0;
+    if (store_and_forward_) {
+      return h * (msg_startup_ + edge_wire_[e]);
+    }
+    return msg_startup_ + edge_wire_[e] + (h - 1) * per_hop_latency_;
+  }
+
  private:
+  [[nodiscard]] int hops(ProcId from, ProcId to) const {
+    return hop_matrix_[static_cast<std::size_t>(from) *
+                           static_cast<std::size_t>(num_procs_) +
+                       static_cast<std::size_t>(to)];
+  }
+
+  void invalidate_successors(TaskId t);
+
   const TaskGraph& graph_;
   const Machine& machine_;
   Timeline timeline_;
+  int num_procs_ = 0;
   std::vector<std::vector<Copy>> copies_;
   std::vector<Placement> placements_;  // in commit order
+
+  // Hoisted communication model: hop matrix, per-edge wire times, and
+  // the scalar parameters of the routing formula.
+  std::vector<int> hop_matrix_;     // row-major num_procs x num_procs
+  std::vector<double> edge_wire_;   // bytes / bandwidth per edge
+  double msg_startup_ = 0.0;
+  double per_hop_latency_ = 0.0;
+  bool store_and_forward_ = true;
+
+  // Data-ready memo: row t holds data_ready(t, p) for every p, plus the
+  // critical parent per processor; recomputed lazily when stale.
+  mutable std::vector<double> drt_cache_;          // [t * num_procs + p]
+  mutable std::vector<TaskId> drt_critical_;       // [t * num_procs + p]
+  mutable std::vector<std::uint8_t> drt_valid_;    // per task row
+  std::vector<std::uint64_t> pred_epochs_;         // per task
 };
 
 /// Computes the earliest-finish-time processor for task `t` over all
@@ -117,6 +270,34 @@ struct ProcChoice {
   double finish = 0.0;
 };
 ProcChoice best_eft(const BuildState& state, TaskId t, bool insertion);
+
+/// Ready list keyed by a static per-task priority: pops the highest
+/// priority, ties broken toward the smallest task id — the same total
+/// order the heuristics' original linear scans used, now O(log n) per
+/// operation. The priority vector must outlive the queue and stay
+/// constant while tasks are enqueued.
+class ReadyQueue {
+ public:
+  explicit ReadyQueue(const std::vector<double>& priority)
+      : priority_(priority) {}
+
+  void push(TaskId t);
+  /// Removes and returns the best task. Precondition: !empty().
+  TaskId pop();
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+ private:
+  [[nodiscard]] bool before(TaskId a, TaskId b) const {
+    if (priority_[a] != priority_[b]) return priority_[a] > priority_[b];
+    return a < b;
+  }
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
+
+  const std::vector<double>& priority_;
+  std::vector<TaskId> heap_;  // binary max-heap under before()
+};
 
 /// Builds a feasible timed schedule from a fixed task->processor map,
 /// releasing tasks in communication-aware b-level order. Used by the

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 
 namespace banger::sched {
 
@@ -24,17 +25,29 @@ double SpeedupCurve::max_speedup() const {
 SpeedupCurve predict_speedup(const TaskGraph& graph,
                              const Scheduler& scheduler,
                              const MachineFactory& factory,
-                             const std::vector<int>& sizes) {
+                             const std::vector<int>& sizes, int jobs) {
+  struct SizeResult {
+    SpeedupPoint point;
+    std::string machine_name;
+  };
+  // Every size is an independent scheduling problem; parallel_map keeps
+  // the points in requested-size order.
+  const std::vector<SizeResult> results = util::parallel_map(
+      sizes, jobs, [&](int procs) {
+        const Machine machine = factory(procs);
+        const Schedule schedule = scheduler.run(graph, machine);
+        schedule.validate(graph, machine);
+        const ScheduleMetrics m = compute_metrics(schedule, graph, machine);
+        return SizeResult{{machine.num_procs(), m.makespan, m.speedup,
+                           m.efficiency, m.procs_used},
+                          machine.name()};
+      });
+
   SpeedupCurve curve;
   curve.scheduler = scheduler.name();
-  for (int procs : sizes) {
-    const Machine machine = factory(procs);
-    if (curve.machine_family.empty()) curve.machine_family = machine.name();
-    const Schedule schedule = scheduler.run(graph, machine);
-    schedule.validate(graph, machine);
-    const ScheduleMetrics m = compute_metrics(schedule, graph, machine);
-    curve.points.push_back({machine.num_procs(), m.makespan, m.speedup,
-                            m.efficiency, m.procs_used});
+  for (const SizeResult& r : results) {
+    if (curve.machine_family.empty()) curve.machine_family = r.machine_name;
+    curve.points.push_back(r.point);
   }
   return curve;
 }

@@ -39,10 +39,13 @@ using MachineFactory = std::function<Machine(int procs)>;
 
 /// Runs `scheduler` over every size, validating each schedule. The
 /// speedup baseline is the serial time on one processor of the same
-/// family (see compute_metrics).
+/// family (see compute_metrics). Sizes are scheduled concurrently when
+/// `jobs` > 1 (<= 0 means util::default_jobs()); the curve is identical
+/// for every worker count. The factory must be safe to call from
+/// multiple threads.
 SpeedupCurve predict_speedup(const TaskGraph& graph,
                              const Scheduler& scheduler,
                              const MachineFactory& factory,
-                             const std::vector<int>& sizes);
+                             const std::vector<int>& sizes, int jobs = 1);
 
 }  // namespace banger::sched

@@ -1,0 +1,127 @@
+#include "util/parallel.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+namespace banger::util {
+
+int default_jobs() {
+  if (const char* env = std::getenv("BANGER_JOBS")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v >= 1 && v <= 1024) {
+      return static_cast<int>(v);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+int resolve_jobs(int jobs) { return jobs >= 1 ? jobs : default_jobs(); }
+
+ThreadPool::ThreadPool(int threads) {
+  const int n = resolve_jobs(threads);
+  workers_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push(std::move(fn));
+    ++in_flight_;
+  }
+  work_ready_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  all_done_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> fn;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained
+      fn = std::move(queue_.front());
+      queue_.pop();
+    }
+    fn();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--in_flight_ == 0) all_done_.notify_all();
+    }
+  }
+}
+
+namespace detail {
+
+void parallel_for_impl(std::size_t n, int jobs,
+                       const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  const int j = resolve_jobs(jobs);
+  if (j <= 1 || n == 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Fixed contiguous chunks, a few per worker so uneven items still
+  // balance. Chunk boundaries depend only on (n, workers), never on
+  // execution timing.
+  const std::size_t workers =
+      std::min<std::size_t>(static_cast<std::size_t>(j), n);
+  const std::size_t chunks = std::min(n, workers * 4);
+  const std::size_t per_chunk = (n + chunks - 1) / chunks;
+
+  // Exception determinism: record the lowest item index that threw and
+  // rethrow that item's exception — independent of thread timing.
+  std::mutex err_mutex;
+  std::exception_ptr first_error;
+  std::atomic<std::size_t> first_error_index{n};
+
+  ThreadPool pool(static_cast<int>(workers));
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t begin = c * per_chunk;
+    const std::size_t end = std::min(n, begin + per_chunk);
+    if (begin >= end) break;
+    pool.submit([&, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        if (i > first_error_index.load(std::memory_order_relaxed)) {
+          // Best-effort early exit; correctness does not depend on it
+          // (only items above the failing index may be skipped).
+          continue;
+        }
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(err_mutex);
+          if (i < first_error_index.load(std::memory_order_relaxed)) {
+            first_error = std::current_exception();
+            first_error_index.store(i, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  pool.wait_idle();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace detail
+
+}  // namespace banger::util

@@ -1,0 +1,103 @@
+// banger/util/parallel.hpp
+//
+// Intra-process parallelism for batch workloads: a small fixed-size
+// thread pool plus deterministic `parallel_for` / `parallel_map`
+// helpers. The design follows the partition-then-parallelize shape:
+// callers split work into independent items, each item writes only its
+// own result slot, and results are merged in item order — so the output
+// is bit-identical no matter how many worker threads ran (jobs=1 runs
+// everything inline on the caller's thread with no pool at all).
+//
+// There is deliberately no work stealing and no task graph here: every
+// consumer in the library (scheduler bake-offs, annealing restarts,
+// fault Monte Carlo, parameter sweeps) is embarrassingly parallel, and a
+// mutex-guarded queue is already far from the bottleneck when each item
+// runs a full scheduling pass.
+#pragma once
+
+#include <condition_variable>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace banger::util {
+
+/// Number of worker threads to use when the caller asks for "default":
+/// the BANGER_JOBS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency() (at least 1).
+int default_jobs();
+
+/// Clamps a user-supplied jobs knob: values < 1 mean "default".
+int resolve_jobs(int jobs);
+
+/// Fixed pool of worker threads consuming a FIFO queue of closures.
+/// Construction spawns the workers; destruction drains nothing — it
+/// stops accepting work, wakes everyone, and joins. Submitted closures
+/// must not throw (the helpers below wrap user functions and capture
+/// exceptions per item instead).
+class ThreadPool {
+ public:
+  /// `threads` < 1 selects default_jobs().
+  explicit ThreadPool(int threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Enqueues one closure. Never blocks (unbounded queue).
+  void submit(std::function<void()> fn);
+
+  /// Blocks until every submitted closure has finished executing.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable all_done_;
+  std::queue<std::function<void()>> queue_;
+  std::size_t in_flight_ = 0;  // queued + executing
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+namespace detail {
+
+/// Runs fn(0..n-1) across the pool in fixed contiguous chunks. The
+/// first exception thrown (by lowest item index, deterministically) is
+/// rethrown on the caller's thread after all items finished or were
+/// skipped. jobs <= 1 executes inline.
+void parallel_for_impl(std::size_t n, int jobs,
+                       const std::function<void(std::size_t)>& fn);
+
+}  // namespace detail
+
+/// Deterministic parallel loop: calls fn(i) for i in [0, n). Results
+/// must be communicated by writing to per-index slots. `jobs` < 1 means
+/// default_jobs(); 1 runs inline on the calling thread.
+template <typename Fn>
+void parallel_for(std::size_t n, int jobs, Fn&& fn) {
+  detail::parallel_for_impl(n, jobs, std::function<void(std::size_t)>(fn));
+}
+
+/// Deterministic parallel map: returns {fn(items[0]), fn(items[1]), ...}
+/// in input order regardless of jobs. Requires R to be default- and
+/// move-constructible.
+template <typename T, typename Fn,
+          typename R = std::invoke_result_t<Fn&, const T&>>
+std::vector<R> parallel_map(const std::vector<T>& items, int jobs, Fn&& fn) {
+  std::vector<R> results(items.size());
+  parallel_for(items.size(), jobs,
+               [&](std::size_t i) { results[i] = fn(items[i]); });
+  return results;
+}
+
+}  // namespace banger::util

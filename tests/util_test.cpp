@@ -1,9 +1,14 @@
-// Unit tests for banger::util — strings, rng, table, error.
+// Unit tests for banger::util — strings, rng, table, error, parallel.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
 
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -158,6 +163,97 @@ TEST(Error, CodeNames) {
   EXPECT_EQ(to_string(ErrorCode::Graph), "graph");
   EXPECT_EQ(to_string(ErrorCode::Machine), "machine");
   EXPECT_EQ(to_string(ErrorCode::Runtime), "runtime");
+}
+
+TEST(Parallel, DefaultJobsIsPositiveAndHonoursEnv) {
+  EXPECT_GE(default_jobs(), 1);
+  ::setenv("BANGER_JOBS", "3", 1);
+  EXPECT_EQ(default_jobs(), 3);
+  ::setenv("BANGER_JOBS", "not-a-number", 1);
+  EXPECT_GE(default_jobs(), 1);  // ignored, falls back to hw concurrency
+  ::unsetenv("BANGER_JOBS");
+  EXPECT_EQ(resolve_jobs(4), 4);
+  EXPECT_EQ(resolve_jobs(0), default_jobs());
+  EXPECT_EQ(resolve_jobs(-7), default_jobs());
+}
+
+TEST(Parallel, ThreadPoolRunsEverySubmittedClosure) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+  // The pool stays usable after an idle wait.
+  pool.submit([&count] { count.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 101);
+}
+
+TEST(Parallel, ParallelForCoversEveryIndexExactlyOnce) {
+  for (int jobs : {1, 2, 8}) {
+    std::vector<std::atomic<int>> hits(257);
+    parallel_for(hits.size(), jobs,
+                 [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(Parallel, ParallelMapPreservesInputOrder) {
+  std::vector<int> items(1000);
+  std::iota(items.begin(), items.end(), 0);
+  for (int jobs : {1, 3, 16}) {
+    const auto squares =
+        parallel_map(items, jobs, [](int v) { return v * v; });
+    ASSERT_EQ(squares.size(), items.size());
+    for (int v : items) {
+      EXPECT_EQ(squares[static_cast<std::size_t>(v)], v * v);
+    }
+  }
+}
+
+TEST(Parallel, ParallelMapHandlesEmptyAndSingleItem) {
+  const std::vector<int> empty;
+  EXPECT_TRUE(parallel_map(empty, 8, [](int v) { return v; }).empty());
+  const std::vector<int> one{42};
+  EXPECT_EQ(parallel_map(one, 8, [](int v) { return v + 1; }).front(), 43);
+}
+
+TEST(Parallel, ExceptionFromLowestIndexWinsDeterministically) {
+  // Items 100 and 700 both throw; the lowest index's exception must be
+  // the one rethrown, for every worker count.
+  for (int jobs : {1, 2, 8}) {
+    try {
+      parallel_for(1000, jobs, [](std::size_t i) {
+        if (i == 100 || i == 700) {
+          throw std::runtime_error("item " + std::to_string(i));
+        }
+      });
+      FAIL() << "expected an exception (jobs=" << jobs << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "item 100") << "jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Parallel, ItemsBelowThrowingIndexAllRun) {
+  // Guarantee: an exception at index k never suppresses items < k.
+  std::vector<std::atomic<int>> hits(400);
+  try {
+    parallel_for(hits.size(), 8, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 399) throw std::runtime_error("tail");
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error&) {
+  }
+  for (std::size_t i = 0; i < 399; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,132 @@
+// bench_to_json — converts google-benchmark CSV output into the compact
+// BENCH_sched.json artifact CI archives: one record per benchmark with
+// ns/op and items/sec. Usage:
+//
+//   perf_micro --benchmark_format=csv | bench_to_json > BENCH_sched.json
+//   bench_to_json results.csv BENCH_sched.json
+//
+// Reads the named file (or stdin when absent / "-"), writes the named
+// output (or stdout). Exits 1 on malformed input.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/// Splits one CSV line, honouring double-quoted fields (google-benchmark
+/// quotes names and counter headers; it never emits embedded quotes).
+std::vector<std::string> split_csv(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (char ch : line) {
+    if (ch == '"') {
+      quoted = !quoted;
+    } else if (ch == ',' && !quoted) {
+      fields.push_back(field);
+      field.clear();
+    } else {
+      field += ch;
+    }
+  }
+  fields.push_back(field);
+  return fields;
+}
+
+double to_ns(double value, const std::string& unit) {
+  if (unit == "us") return value * 1e3;
+  if (unit == "ms") return value * 1e6;
+  if (unit == "s") return value * 1e9;
+  return value;  // ns (google-benchmark's default)
+}
+
+/// JSON string escaping for benchmark names (/, digits, letters only in
+/// practice, but be safe).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char ch : s) {
+    if (ch == '"' || ch == '\\') out += '\\';
+    out += ch;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (argc > 1 && std::string(argv[1]) != "-") {
+    file.open(argv[1]);
+    if (!file) {
+      std::fprintf(stderr, "bench_to_json: cannot read `%s`\n", argv[1]);
+      return 1;
+    }
+    in = &file;
+  }
+
+  // Find the header row (google-benchmark prints context lines first
+  // when stderr is merged; the header always starts with "name,").
+  std::string line;
+  std::vector<std::string> header;
+  while (std::getline(*in, line)) {
+    if (line.rfind("name,", 0) == 0) {
+      header = split_csv(line);
+      break;
+    }
+  }
+  if (header.empty()) {
+    std::fprintf(stderr, "bench_to_json: no CSV header found\n");
+    return 1;
+  }
+  auto column = [&](const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return i;
+    }
+    return header.size();
+  };
+  const std::size_t col_name = column("name");
+  const std::size_t col_iters = column("iterations");
+  const std::size_t col_real = column("real_time");
+  const std::size_t col_cpu = column("cpu_time");
+  const std::size_t col_unit = column("time_unit");
+  const std::size_t col_items = column("items_per_second");
+
+  std::ostringstream out;
+  out << "{\n  \"benchmarks\": [\n";
+  bool first = true;
+  while (std::getline(*in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    if (fields.size() <= col_cpu || fields[col_name].empty()) continue;
+    const std::string& unit =
+        col_unit < fields.size() ? fields[col_unit] : "ns";
+    if (!first) out << ",\n";
+    first = false;
+    out << "    {\"name\": \"" << json_escape(fields[col_name]) << "\""
+        << ", \"iterations\": " << fields[col_iters]
+        << ", \"real_ns_per_op\": "
+        << to_ns(std::stod(fields[col_real]), unit)
+        << ", \"cpu_ns_per_op\": " << to_ns(std::stod(fields[col_cpu]), unit);
+    if (col_items < fields.size() && !fields[col_items].empty()) {
+      out << ", \"items_per_sec\": " << fields[col_items];
+    }
+    out << "}";
+  }
+  out << "\n  ]\n}\n";
+
+  if (argc > 2) {
+    std::ofstream dst(argv[2]);
+    if (!dst) {
+      std::fprintf(stderr, "bench_to_json: cannot write `%s`\n", argv[2]);
+      return 1;
+    }
+    dst << out.str();
+  } else {
+    std::cout << out.str();
+  }
+  return 0;
+}
