@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "graph/serialize.hpp"
+#include "obs/trace.hpp"
 #include "pits/interp.hpp"
 #include "sched/compare.hpp"
 #include "sched/heuristics.hpp"
@@ -56,6 +57,40 @@ void BM_ScheduleEtf(benchmark::State& state) {
                           static_cast<int64_t>(g.num_tasks()));
 }
 BENCHMARK(BM_ScheduleEtf)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+// Paired runs measuring the observability tax on the scheduler hot
+// path: BM_Sched has no recorder installed (the default), while
+// BM_SchedTraced schedules under an active TraceRecorder. The disabled
+// case should track BM_Sched within run-to-run noise, since every
+// instrumentation site reduces to one relaxed atomic load.
+void BM_Sched(benchmark::State& state) {
+  const auto g = sized_graph(static_cast<int>(state.range(0)));
+  const auto m = cube8();
+  sched::EtfScheduler etf;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(etf.run(g, m));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_Sched)->Arg(1024);
+
+void BM_SchedTraced(benchmark::State& state) {
+  const auto g = sized_graph(static_cast<int>(state.range(0)));
+  const auto m = cube8();
+  sched::EtfScheduler etf;
+  obs::TraceRecorder rec;
+  obs::ScopedRecorder scope(rec);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(etf.run(g, m));
+    state.PauseTiming();
+    rec.clear();  // keep memory flat across iterations
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(g.num_tasks()));
+}
+BENCHMARK(BM_SchedTraced)->Arg(1024);
 
 void BM_ScheduleDsh(benchmark::State& state) {
   const auto g = sized_graph(static_cast<int>(state.range(0)));

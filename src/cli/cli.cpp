@@ -1,8 +1,9 @@
 #include "cli/cli.hpp"
 
-#include <charconv>
 #include <fstream>
+#include <limits>
 #include <map>
+#include <optional>
 #include <ostream>
 #include <sstream>
 
@@ -17,6 +18,7 @@
 #include "core/project.hpp"
 #include "graph/serialize.hpp"
 #include "machine/serialize.hpp"
+#include "obs/trace.hpp"
 #include "pits/interp.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -44,10 +46,32 @@ struct Options {
   bool json = false;              ///< --json for lint
   int jobs = 0;    ///< --jobs worker threads (0 = BANGER_JOBS or all cores)
   int trials = 1;  ///< --trials Monte Carlo runs for faults
+  std::string metrics_file;  ///< --metrics: write flat metrics JSON here
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
-  fail(ErrorCode::Generic, message + "\n" + usage());
+  // ErrorCode::Usage maps to exit status 2 (see run()).
+  fail(ErrorCode::Usage, message + "\n" + usage());
+}
+
+/// Single checked parser for every numeric flag: rejects non-numeric
+/// text, trailing junk, overflow, and values below `min_value`, naming
+/// the offending flag and value in the diagnostic.
+std::int64_t numeric_flag(const std::string& flag, std::string_view value,
+                          std::int64_t min_value) {
+  std::int64_t v = 0;
+  if (!util::parse_int64(value, v)) {
+    usage_error("option " + flag + " expects an integer, got `" +
+                std::string(value) + "`");
+  }
+  // All numeric flags fit comfortably in int; anything bigger is a typo.
+  constexpr std::int64_t kMax = std::numeric_limits<int>::max();
+  if (v < min_value || v > kMax) {
+    usage_error("option " + flag + " expects a value in [" +
+                std::to_string(min_value) + ", " + std::to_string(kMax) +
+                "], got `" + std::string(value) + "`");
+  }
+  return v;
 }
 
 Options parse_options(const std::vector<std::string>& args,
@@ -68,18 +92,15 @@ Options parse_options(const std::vector<std::string>& args,
           o.format != "json" && o.format != "sarif") {
         usage_error("unknown format `" + o.format + "`");
       }
-    } else if (a == "-o" || a == "--output") {
+    } else if (a == "-o" || a == "--output" || a == "--out") {
       o.output_file = next();
+    } else if (a == "--metrics") {
+      o.metrics_file = next();
     } else if (a == "--sizes") {
       o.sizes.clear();
       for (auto part : util::split(next(), ',')) {
-        int v = 0;
-        auto t = util::trim(part);
-        auto [p, ec] = std::from_chars(t.data(), t.data() + t.size(), v);
-        if (ec != std::errc{} || p != t.data() + t.size() || v < 1) {
-          usage_error("bad --sizes entry `" + std::string(t) + "`");
-        }
-        o.sizes.push_back(v);
+        o.sizes.push_back(
+            static_cast<int>(numeric_flag("--sizes", util::trim(part), 1)));
       }
       if (o.sizes.empty()) usage_error("--sizes needs at least one size");
     } else if (a == "--input") {
@@ -106,24 +127,11 @@ Options parse_options(const std::vector<std::string>& args,
     } else if (a == "--contention") {
       o.contention = true;
     } else if (a == "--events") {
-      const std::string& v = next();
-      o.events = static_cast<std::size_t>(std::stoul(v));
+      o.events = static_cast<std::size_t>(numeric_flag("--events", next(), 0));
     } else if (a == "--jobs") {
-      const std::string& v = next();
-      int jobs = 0;
-      auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), jobs);
-      if (ec != std::errc{} || p != v.data() + v.size() || jobs < 1) {
-        usage_error("--jobs expects a positive integer, got `" + v + "`");
-      }
-      o.jobs = jobs;
+      o.jobs = static_cast<int>(numeric_flag("--jobs", next(), 1));
     } else if (a == "--trials") {
-      const std::string& v = next();
-      int trials = 0;
-      auto [p, ec] = std::from_chars(v.data(), v.data() + v.size(), trials);
-      if (ec != std::errc{} || p != v.data() + v.size() || trials < 1) {
-        usage_error("--trials expects a positive integer, got `" + v + "`");
-      }
-      o.trials = trials;
+      o.trials = static_cast<int>(numeric_flag("--trials", next(), 1));
     } else if (!a.empty() && a[0] == '-') {
       usage_error("unknown option `" + a + "`");
     } else {
@@ -395,6 +403,56 @@ int cmd_faults(const Options& o, std::ostream& out) {
   return 0;
 }
 
+int cmd_trace(const Options& o, std::ostream& out) {
+  // One Perfetto-loadable artifact: the planned schedule, the simulated
+  // replay (with fault overlays when a plan is given), the scheduler's
+  // internal rounds, and — under a fault plan — the recovery pipeline.
+  // Only deterministic clock domains are exported, so the file is
+  // byte-identical for any --jobs value.
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  const auto& graph = project.flattened().graph;
+
+  // Reuse the ambient recorder when --metrics already installed one, so
+  // the metrics file sees this command's counters too.
+  obs::TraceRecorder local;
+  obs::TraceRecorder* rec = obs::current();
+  std::optional<obs::ScopedRecorder> scope;
+  if (rec == nullptr) {
+    rec = &local;
+    scope.emplace(local);
+  }
+
+  const auto& schedule = project.schedule(o.scheduler);
+  viz::record_schedule(*rec, schedule, graph);
+
+  sim::SimOptions sim_opts;
+  sim_opts.link_contention = o.contention;
+  if (!o.fault_plan_file.empty()) {
+    const fault::FaultPlan plan = fault::FaultPlan::load(o.fault_plan_file);
+    core::FaultRunOptions fopts;
+    fopts.sim = sim_opts;
+    const auto report = core::run_with_faults(graph, project.machine(),
+                                              schedule, plan, fopts);
+    sim::SimResult replay = report.faulty;
+    replay.events = report.events;  // includes repair/re-exec events
+    viz::record_sim(*rec, replay, graph);
+  } else {
+    viz::record_sim(*rec, sim::simulate(graph, project.machine(), schedule,
+                                        sim_opts),
+                    graph);
+  }
+
+  obs::ExportOptions export_opts;
+  export_opts.include_wall = false;  // determinism over wall-clock noise
+  write_or_print(rec->to_chrome_json(export_opts), o, out);
+  if (!o.output_file.empty()) {
+    out << "wrote " << rec->size() << " trace events to `" << o.output_file
+        << "` (load in https://ui.perfetto.dev)\n";
+  }
+  return 0;
+}
+
 int cmd_report(const Options& o, std::ostream& out) {
   // One self-contained artifact: summary, lint, schedule, utilisation,
   // speedup, heuristic comparison — markdown by default, --format html
@@ -604,6 +662,10 @@ std::string usage() {
       "  schedule <design> <machine>           Gantt chart / table / SVG\n"
       "  speedup  <design> <machine>           speedup prediction\n"
       "  simulate <design> <machine>           discrete-event replay\n"
+      "  trace    <design> <machine>           Perfetto/Chrome trace JSON of\n"
+      "                                        schedule + replay + scheduler\n"
+      "                                        internals (+ recovery with\n"
+      "                                        --fault-plan); --out FILE\n"
       "  faults   <design> <machine>           crash injection + repair report\n"
       "  trial    <design>                     sequential trial run\n"
       "  run      <design> <machine>           threaded execution\n"
@@ -637,7 +699,11 @@ std::string usage() {
       "                     (default: BANGER_JOBS env or all cores; results\n"
       "                     are identical for every value)\n"
       "  --trials N         faults: Monte Carlo over N seed-varied runs\n"
-      "  -o FILE            write main artifact to FILE\n";
+      "  --metrics FILE     write a flat JSON metrics summary of the command\n"
+      "                     (scheduler rounds, cache hits, sim/exec/recovery\n"
+      "                     counters) to FILE\n"
+      "  -o, --out FILE     write main artifact to FILE\n"
+      "exit status: 0 success, 1 user error, 2 usage error\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
@@ -649,30 +715,55 @@ int run(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   try {
     const Options options = parse_options(args, 1);
-    if (command == "info") return cmd_info(options, out);
-    if (command == "validate") return cmd_validate(options, out);
-    if (command == "flatten") return cmd_flatten(options, out);
-    if (command == "dot") return cmd_dot(options, out);
-    if (command == "topo") return cmd_topo(options, out);
-    if (command == "schedule") return cmd_schedule(options, out);
-    if (command == "speedup") return cmd_speedup(options, out);
-    if (command == "simulate") return cmd_simulate(options, out);
-    if (command == "faults") return cmd_faults(options, out);
-    if (command == "trial") return cmd_trial(options, out);
-    if (command == "run") return cmd_run(options, out);
-    if (command == "report") return cmd_report(options, out);
-    if (command == "explain") return cmd_explain(options, out);
-    if (command == "grain") return cmd_grain(options, out);
-    if (command == "split") return cmd_split(options, out);
-    if (command == "lint") return cmd_lint(options, out);
-    if (command == "check") return cmd_check(options, out);
-    if (command == "compare") return cmd_compare(options, out);
-    if (command == "codegen") return cmd_codegen(options, out);
-    err << "banger: unknown command `" << command << "`\n" << usage();
-    return 2;
+
+    // --metrics installs an ambient recorder around the whole command;
+    // every instrumented layer it exercises contributes counters.
+    std::optional<obs::TraceRecorder> metrics_rec;
+    std::optional<obs::ScopedRecorder> metrics_scope;
+    if (!options.metrics_file.empty()) {
+      metrics_rec.emplace();
+      metrics_scope.emplace(*metrics_rec);
+    }
+
+    auto dispatch = [&]() -> int {
+      if (command == "info") return cmd_info(options, out);
+      if (command == "validate") return cmd_validate(options, out);
+      if (command == "flatten") return cmd_flatten(options, out);
+      if (command == "dot") return cmd_dot(options, out);
+      if (command == "topo") return cmd_topo(options, out);
+      if (command == "schedule") return cmd_schedule(options, out);
+      if (command == "speedup") return cmd_speedup(options, out);
+      if (command == "simulate") return cmd_simulate(options, out);
+      if (command == "trace") return cmd_trace(options, out);
+      if (command == "faults") return cmd_faults(options, out);
+      if (command == "trial") return cmd_trial(options, out);
+      if (command == "run") return cmd_run(options, out);
+      if (command == "report") return cmd_report(options, out);
+      if (command == "explain") return cmd_explain(options, out);
+      if (command == "grain") return cmd_grain(options, out);
+      if (command == "split") return cmd_split(options, out);
+      if (command == "lint") return cmd_lint(options, out);
+      if (command == "check") return cmd_check(options, out);
+      if (command == "compare") return cmd_compare(options, out);
+      if (command == "codegen") return cmd_codegen(options, out);
+      err << "banger: unknown command `" << command << "`\n" << usage();
+      return 2;
+    };
+    const int code = dispatch();
+
+    if (metrics_rec) {
+      metrics_scope.reset();
+      std::ofstream file(options.metrics_file);
+      if (!file) {
+        fail(ErrorCode::Io,
+             "cannot write `" + options.metrics_file + "`");
+      }
+      file << metrics_rec->metrics_json();
+    }
+    return code;
   } catch (const Error& e) {
     err << "banger: " << e.what() << "\n";
-    return 1;
+    return e.code() == ErrorCode::Usage ? 2 : 1;
   } catch (const std::exception& e) {
     err << "banger: " << e.what() << "\n";
     return 1;

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/parallel.hpp"
 #include "util/strings.hpp"
 
@@ -60,12 +61,18 @@ FaultRunReport run_with_faults(const graph::TaskGraph& graph,
   }
   report.events = report.faulty.events;
 
+  obs::TraceRecorder* rec = obs::current();
+  if (rec) rec->bump("recovery.runs");
+
   if (report.faulty.complete) {
     // Slowdowns / message faults may stretch the run, but nothing was
     // stranded, so no repair pass is needed.
     report.degraded_makespan = report.faulty.makespan;
     report.recovery_overhead =
         report.degraded_makespan - report.baseline_makespan;
+    if (rec) {
+      rec->bump("recovery.overhead_seconds", report.recovery_overhead);
+    }
     return report;
   }
 
@@ -133,6 +140,37 @@ FaultRunReport run_with_faults(const graph::TaskGraph& graph,
                    [](const sim::SimEvent& a, const sim::SimEvent& b) {
                      return a.time < b.time;
                    });
+
+  if (rec) {
+    // The recovery pipeline on its own track, in model time: detection
+    // runs until the crash epoch `now`, then repair and resume overlay
+    // the rebuilt frontier. tids separate the phases so they stack.
+    using obs::Domain;
+    rec->span(Domain::Virtual, obs::kTrackRecovery, 0, 0.0, now, "detect",
+              "recovery",
+              "\"dead_procs\": " + std::to_string(request.dead.size()));
+    rec->span(Domain::Virtual, obs::kTrackRecovery, 1, now,
+              report.repair.makespan, "repair", "recovery",
+              "\"new_placements\": " +
+                  std::to_string(report.repair.new_placements.size()) +
+                  ", \"reexecuted\": " +
+                  std::to_string(report.repair.reexecuted.size()));
+    rec->span(Domain::Virtual, obs::kTrackRecovery, 2, now,
+              report.degraded_makespan, "resume", "recovery");
+    for (const fault::CrashFault& c : plan.crashes()) {
+      if (c.at <= now + 1e-12) {
+        rec->instant(Domain::Virtual, obs::kTrackRecovery, 0, c.at,
+                     "crash proc " + std::to_string(c.proc), "fault",
+                     "\"proc\": " + std::to_string(c.proc));
+      }
+    }
+    rec->bump("recovery.crashed_runs");
+    rec->bump("recovery.overhead_seconds", report.recovery_overhead);
+    rec->bump("recovery.lost_seconds", report.lost_seconds);
+    rec->bump("recovery.reexec_seconds", report.reexec_seconds);
+    rec->bump("recovery.new_placements",
+              static_cast<double>(report.repair.new_placements.size()));
+  }
   return report;
 }
 

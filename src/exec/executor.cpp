@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -195,6 +196,7 @@ RunResult run_sequential(const FlattenResult& flat,
   const auto t0 = Clock::now();
 
   RunResult result;
+  obs::TraceRecorder* rec = obs::current();
   std::vector<std::optional<Env>> task_outputs(flat.graph.num_tasks());
   for (TaskId t : flat.graph.topo_order()) {
     Env env = bind_inputs(flat, t, inputs, task_outputs);
@@ -206,10 +208,19 @@ RunResult run_sequential(const FlattenResult& flat,
         run_task(flat, compiled[t], t, std::move(env), options,
                  &result.transcript);
     run.wall_finish = seconds_since(t0);
+    if (rec) {
+      rec->span(obs::Domain::Wall, obs::kTrackExec, 0, run.wall_start,
+                run.wall_finish, flat.graph.task(t).name, "task");
+      rec->bump("exec.tasks");
+    }
     result.runs.push_back(run);
   }
   collect_stores(flat, task_outputs, inputs, result);
   result.wall_seconds = seconds_since(t0);
+  if (rec) {
+    rec->bump("exec.runs");
+    rec->bump("exec.wall_seconds", result.wall_seconds);
+  }
   return result;
 }
 
@@ -254,10 +265,24 @@ RunResult Executor::run(const Schedule& schedule,
   std::condition_variable cv;
   std::vector<std::optional<Env>> task_outputs(g.num_tasks());
   std::vector<bool> completed(g.num_tasks(), false);
+  // Where and when each task's primary copy completed (for the trace
+  // layer's cross-processor flow arrows). Guarded by `mutex`.
+  std::vector<ProcId> completed_on(g.num_tasks(), -1);
+  std::vector<double> completed_at(g.num_tasks(), 0.0);
   std::size_t completed_count = 0;
   std::vector<sched::Placement> orphans;  // stranded lanes of dead workers
   bool failed = false;
-  std::exception_ptr first_error;
+  // Every worker-thread failure, in arrival order. The first one is
+  // rethrown after the join with its processor attached; the rest are
+  // preserved in the trace layer instead of being dropped.
+  struct WorkerFailure {
+    ProcId proc = -1;
+    ErrorCode code = ErrorCode::Runtime;
+    std::string message;
+    SourcePos pos;
+  };
+  std::vector<WorkerFailure> failures;
+  obs::TraceRecorder* rec = obs::current();
   RunResult result;
   const auto t0 = Clock::now();
   const auto poll =
@@ -311,11 +336,38 @@ RunResult Executor::run(const Schedule& schedule,
         run_task(flat_, compiled[t], t, std::move(env), options, &transcript);
     run.wall_finish = seconds_since(t0);
 
+    if (rec) {
+      std::string args = "\"proc\": " + std::to_string(proc);
+      if (pl.duplicate) args += ", \"duplicate\": true";
+      if (rescued) args += ", \"rescued\": true";
+      rec->span(obs::Domain::Wall, obs::kTrackExec, proc, run.wall_start,
+                run.wall_finish, g.task(t).name, "task", args);
+      rec->bump("exec.tasks");
+      // Cross-processor input flows: one arrow per in-edge whose
+      // producer finished on another processor (the executor's moral
+      // equivalent of a message send).
+      std::lock_guard lock(mutex);
+      for (graph::EdgeId e : g.in_edges(t)) {
+        const TaskId from = g.edge(e).from;
+        if (completed_on[from] < 0 || completed_on[from] == proc) continue;
+        const std::string name = "edge" + std::to_string(e);
+        rec->flow_point(obs::Domain::Wall, obs::kTrackExec,
+                        completed_on[from], completed_at[from], true,
+                        static_cast<int>(e), name, "msg");
+        rec->flow_point(obs::Domain::Wall, obs::kTrackExec, proc,
+                        run.wall_start, false, static_cast<int>(e), name,
+                        "msg");
+        rec->bump("exec.messages");
+      }
+    }
+
     std::lock_guard lock(mutex);
     if (failed) return;
     if (!completed[t]) {
       task_outputs[t] = std::move(outputs);
       completed[t] = true;
+      completed_on[t] = proc;
+      completed_at[t] = run.wall_finish;
       ++completed_count;
       result.transcript += transcript;
     } else if (task_outputs[t].has_value() && !(*task_outputs[t] == outputs)) {
@@ -329,6 +381,24 @@ RunResult Executor::run(const Schedule& schedule,
       result.recovery_overhead_seconds += run.wall_finish - run.wall_start;
     }
     result.runs.push_back(run);
+    cv.notify_all();
+  };
+
+  // Structured failure path: record what died where (trace layer +
+  // failure list) instead of swallowing the exception anonymously; the
+  // first failure is rethrown after the join.
+  auto worker_failed = [&](ProcId proc, ErrorCode code, std::string message,
+                           SourcePos pos) {
+    if (rec) {
+      rec->instant(obs::Domain::Wall, obs::kTrackExec, proc,
+                   seconds_since(t0), "worker failure", "error",
+                   "\"proc\": " + std::to_string(proc) + ", \"message\": \"" +
+                       obs::json_escape(message) + "\"");
+      rec->bump("exec.worker_failures");
+    }
+    std::lock_guard lock(mutex);
+    failures.push_back({proc, code, std::move(message), pos});
+    failed = true;
     cv.notify_all();
   };
 
@@ -390,13 +460,13 @@ RunResult Executor::run(const Schedule& schedule,
           cv.wait_for(lock, poll);
         }
       }
+    } catch (const Error& e) {
+      worker_failed(proc, e.code(), e.message(), e.pos());
+    } catch (const std::exception& e) {
+      worker_failed(proc, ErrorCode::Runtime, e.what(), {});
     } catch (...) {
-      std::lock_guard lock(mutex);
-      if (!failed) {
-        failed = true;
-        first_error = std::current_exception();
-      }
-      cv.notify_all();
+      worker_failed(proc, ErrorCode::Runtime,
+                    "non-standard exception in worker thread", {});
     }
   };
 
@@ -410,7 +480,18 @@ RunResult Executor::run(const Schedule& schedule,
     }
   }  // join
 
-  if (failed) std::rethrow_exception(first_error);
+  if (failed) {
+    BANGER_ASSERT(!failures.empty(), "failed set without a recorded failure");
+    const WorkerFailure& first = failures.front();
+    std::string message =
+        "worker " + std::to_string(first.proc) + ": " + first.message;
+    if (failures.size() > 1) {
+      message += " (and " + std::to_string(failures.size() - 1) +
+                 " more worker failure" + (failures.size() > 2 ? "s" : "") +
+                 ")";
+    }
+    fail(first.code, std::move(message), first.pos);
+  }
   if (plan != nullptr && completed_count != g.num_tasks()) {
     fail(ErrorCode::Runtime,
          "all capable workers crashed: " +
@@ -424,6 +505,13 @@ RunResult Executor::run(const Schedule& schedule,
             });
   collect_stores(flat_, task_outputs, inputs, result);
   result.wall_seconds = seconds_since(t0);
+  if (rec) {
+    rec->bump("exec.runs");
+    rec->bump("exec.wall_seconds", result.wall_seconds);
+    rec->bump("exec.workers_died", static_cast<double>(result.workers_died));
+    rec->bump("exec.tasks_rescued",
+              static_cast<double>(result.tasks_rescued));
+  }
   return result;
 }
 

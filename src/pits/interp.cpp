@@ -410,20 +410,28 @@ class Interp {
     for (std::size_t i = 0; i < call.args.size(); ++i) {
       frame.emplace(def.params[i], eval(*call.args[i]));
     }
-    Env* saved = scope_;
+    // RAII frame guard: scope and depth must unwind on *any* exit, but
+    // the error itself must escape intact — a blanket catch here used to
+    // discard which formula the failure happened in.
+    struct FrameGuard {
+      Interp& interp;
+      Env* saved;
+      ~FrameGuard() {
+        interp.scope_ = saved;
+        --interp.formula_depth_;
+      }
+    } guard{*this, scope_};
     scope_ = &frame;
-    Value result;
     try {
       tick(pos);
-      result = eval(*def.body);
-    } catch (...) {
-      scope_ = saved;
-      --formula_depth_;
-      throw;
+      return eval(*def.body);
+    } catch (const Error& e) {
+      // Attribute the failure to the innermost formula, once, keeping
+      // the original code and position so callers can still classify it.
+      if (e.message().find(" in formula `") != std::string::npos) throw;
+      fail(e.code(), e.message() + " in formula `" + def.name + "`",
+           e.pos().valid() ? e.pos() : pos);
     }
-    scope_ = saved;
-    --formula_depth_;
-    return result;
   }
 
   Env& env_;

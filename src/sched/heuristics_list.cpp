@@ -14,6 +14,7 @@
 #include <algorithm>
 #include <optional>
 
+#include "obs/trace.hpp"
 #include "sched/heuristics.hpp"
 #include "sched/list_core.hpp"
 #include "util/error.hpp"
@@ -21,6 +22,35 @@
 namespace banger::sched {
 
 namespace {
+
+/// Observability for one scheduler run. The recorder pointer is hoisted
+/// out of the pick loop (one relaxed atomic load per run); every use is
+/// behind a null check so the disabled path costs one predictable
+/// branch per round. Counters live in Domain::Logical (x axis = round
+/// index) so traces stay deterministic for any thread count.
+struct DriveObs {
+  obs::TraceRecorder* rec = obs::current();
+  std::size_t rounds = 0;
+
+  void round(const std::string& name, std::size_t ready_depth) {
+    if (rec) {
+      rec->counter(obs::Domain::Logical, obs::kTrackScheduler, 0,
+                   static_cast<double>(rounds), "sched." + name + ".ready",
+                   static_cast<double>(ready_depth));
+    }
+    ++rounds;
+  }
+
+  void done(const std::string& name, std::size_t scheduled) {
+    if (!rec) return;
+    rec->span(obs::Domain::Logical, obs::kTrackScheduler, 0, 0.0,
+              static_cast<double>(rounds), "sched." + name, "sched",
+              "\"tasks\": " + std::to_string(scheduled));
+    rec->bump("sched." + name + ".runs");
+    rec->bump("sched." + name + ".rounds", static_cast<double>(rounds));
+    rec->bump("sched." + name + ".tasks", static_cast<double>(scheduled));
+  }
+};
 
 /// What a pick step decided: which ready-list entry to schedule and —
 /// for heuristics whose pick already evaluated processors — the
@@ -46,8 +76,10 @@ Schedule drive(const TaskGraph& graph, const Machine& machine,
     if (remaining[t] == 0) ready.push_back(t);
   }
 
+  DriveObs dobs;
   std::size_t scheduled = 0;
   while (!ready.empty()) {
+    dobs.round(name, ready.size());
     const PickDecision decision = pick(state, ready);
     const TaskId t = ready[decision.index];
     ready.erase(ready.begin() + static_cast<std::ptrdiff_t>(decision.index));
@@ -65,6 +97,7 @@ Schedule drive(const TaskGraph& graph, const Machine& machine,
   if (scheduled != graph.num_tasks()) {
     fail(ErrorCode::Schedule, "task graph contains a cycle");
   }
+  dobs.done(name, scheduled);
   return state.finish(name);
 }
 
@@ -82,8 +115,10 @@ Schedule drive_static(const TaskGraph& graph, const Machine& machine,
     if (remaining[t] == 0) ready.push(t);
   }
 
+  DriveObs dobs;
   std::size_t scheduled = 0;
   while (!ready.empty()) {
+    dobs.round(name, ready.size());
     const TaskId t = ready.pop();
     const ProcChoice choice = place(state, t);
     state.commit(t, choice.proc, choice.start, /*duplicate=*/false);
@@ -97,6 +132,7 @@ Schedule drive_static(const TaskGraph& graph, const Machine& machine,
   if (scheduled != graph.num_tasks()) {
     fail(ErrorCode::Schedule, "task graph contains a cycle");
   }
+  dobs.done(name, scheduled);
   return state.finish(name);
 }
 
@@ -148,6 +184,19 @@ class StartCache {
     }
   }
 
+  /// Cache-effectiveness tally for the observability layer: how many
+  /// rows recomputed in full vs stayed hot, and how many individual
+  /// slots the quick-rejects saved. Pure bookkeeping — never feeds back
+  /// into scheduling decisions.
+  struct Stats {
+    std::uint64_t full_rows = 0;         ///< rows recomputed end to end
+    std::uint64_t rows_hot = 0;          ///< rows served from cache
+    std::uint64_t slots_recomputed = 0;  ///< earliest_slot() calls
+    std::uint64_t slots_skipped = 0;     ///< slots held by a skip proof
+  };
+
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+
   /// Brings t's row up to date for this round and returns its
   /// per-processor earliest starts. Callers scan the row immediately,
   /// while it is hot.
@@ -156,6 +205,8 @@ class StartCache {
     const std::size_t row =
         static_cast<std::size_t>(t) * static_cast<std::size_t>(num_procs_);
     if (pred_seen_[t] != state_.pred_epoch(t)) {
+      ++stats_.full_rows;
+      stats_.slots_recomputed += static_cast<std::uint64_t>(num_procs_);
       const double* ready_row = state_.data_ready_row(t);
       for (ProcId q = 0; q < num_procs_; ++q) {
         const std::size_t s = row + static_cast<std::size_t>(q);
@@ -164,16 +215,21 @@ class StartCache {
             timeline.earliest_slot(q, ready_row[q], dur_[s], insertion_);
       }
       pred_seen_[t] = state_.pred_epoch(t);
-    } else if (!changed_.empty()) {
-      const double* ready_row = state_.data_ready_row(t);
-      for (const ChangedLane& lane : changed_) {
-        const std::size_t s = row + static_cast<std::size_t>(lane.proc);
-        if (start_[s] + dur_[s] <= lane.skip_before + 1e-12 ||
-            start_[s] >= lane.skip_after) {
-          continue;
+    } else {
+      ++stats_.rows_hot;
+      if (!changed_.empty()) {
+        const double* ready_row = state_.data_ready_row(t);
+        for (const ChangedLane& lane : changed_) {
+          const std::size_t s = row + static_cast<std::size_t>(lane.proc);
+          if (start_[s] + dur_[s] <= lane.skip_before + 1e-12 ||
+              start_[s] >= lane.skip_after) {
+            ++stats_.slots_skipped;
+            continue;
+          }
+          ++stats_.slots_recomputed;
+          start_[s] = timeline.earliest_slot(lane.proc, ready_row[lane.proc],
+                                             dur_[s], insertion_);
         }
-        start_[s] = timeline.earliest_slot(lane.proc, ready_row[lane.proc],
-                                           dur_[s], insertion_);
       }
     }
     return &start_[row];
@@ -202,7 +258,23 @@ class StartCache {
   std::vector<std::uint64_t> pred_seen_;  // per task
   std::vector<std::uint64_t> lane_seen_;  // per lane, at last refresh
   std::vector<ChangedLane> changed_;      // lanes stale this round
+  Stats stats_;
 };
+
+/// Publishes a run's StartCache hit/miss tally as `sched.<name>.cache.*`
+/// metrics on the ambient recorder (no-op when tracing is off).
+void publish_cache_stats(const std::string& name,
+                         const std::optional<StartCache>& cache) {
+  obs::TraceRecorder* rec = obs::current();
+  if (!rec || !cache) return;
+  const StartCache::Stats& s = cache->stats();
+  const std::string prefix = "sched." + name + ".cache.";
+  rec->bump(prefix + "full_rows", static_cast<double>(s.full_rows));
+  rec->bump(prefix + "rows_hot", static_cast<double>(s.rows_hot));
+  rec->bump(prefix + "slots_recomputed",
+            static_cast<double>(s.slots_recomputed));
+  rec->bump(prefix + "slots_skipped", static_cast<double>(s.slots_skipped));
+}
 
 }  // namespace
 
@@ -222,7 +294,7 @@ Schedule EtfScheduler::run(const TaskGraph& graph,
   // pick step already determines the processor, so the decision carries
   // it to the driver.
   std::optional<StartCache> cache;
-  return drive(
+  Schedule schedule = drive(
       graph, machine, name(),
       [&](const BuildState& state, const std::vector<TaskId>& ready) {
         if (!cache) cache.emplace(state, opts_.insertion);
@@ -262,6 +334,8 @@ Schedule EtfScheduler::run(const TaskGraph& graph,
         BANGER_ASSERT(false, "etf pick always carries the choice");
         return {};
       });
+  publish_cache_stats(name(), cache);
+  return schedule;
 }
 
 Schedule HlfetScheduler::run(const TaskGraph& graph,
@@ -290,7 +364,7 @@ Schedule DlsScheduler::run(const TaskGraph& graph,
                            const Machine& machine) const {
   const auto level = comp_levels(graph, machine);
   std::optional<StartCache> cache;
-  return drive(
+  Schedule schedule = drive(
       graph, machine, name(),
       [&](const BuildState& state, const std::vector<TaskId>& ready) {
         if (!cache) cache.emplace(state, opts_.insertion);
@@ -327,6 +401,8 @@ Schedule DlsScheduler::run(const TaskGraph& graph,
         BANGER_ASSERT(false, "dls pick always carries the choice");
         return {};
       });
+  publish_cache_stats(name(), cache);
+  return schedule;
 }
 
 }  // namespace banger::sched

@@ -6,6 +6,7 @@
 #include <queue>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
 
@@ -330,6 +331,19 @@ SimResult simulate(const TaskGraph& graph, const Machine& machine,
                    [](const SimEvent& a, const SimEvent& b) {
                      return a.time < b.time;
                    });
+
+  // Observability: accumulate-only metrics, so concurrent simulations
+  // (fault Monte Carlo trials) still sum to a deterministic total.
+  if (obs::TraceRecorder* rec = obs::current()) {
+    rec->bump("sim.runs");
+    rec->bump("sim.messages", static_cast<double>(result.num_messages));
+    rec->bump("sim.link_seconds", result.total_link_time);
+    rec->bump("sim.makespan_total", result.makespan);
+    if (plan != nullptr) {
+      rec->bump("sim.copies_killed", static_cast<double>(result.killed.size()));
+      if (!result.complete) rec->bump("sim.incomplete_runs");
+    }
+  }
   return result;
 }
 

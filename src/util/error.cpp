@@ -36,6 +36,7 @@ std::string_view to_string(ErrorCode code) noexcept {
     case ErrorCode::Runtime: return "runtime";
     case ErrorCode::Io: return "io";
     case ErrorCode::Limit: return "limit";
+    case ErrorCode::Usage: return "usage";
   }
   return "unknown";
 }

@@ -26,6 +26,7 @@ enum class ErrorCode : std::uint8_t {
   Runtime,       ///< PITS runtime error (division by zero, bad index).
   Io,            ///< File could not be read or written.
   Limit,         ///< A configured limit was exceeded (step count, memory).
+  Usage,         ///< Invalid command-line usage (bad flag or flag value).
 };
 
 /// Returns a stable lowercase name for an error code ("parse", "graph", ...).

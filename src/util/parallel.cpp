@@ -20,11 +20,11 @@ int default_jobs() {
 
 int resolve_jobs(int jobs) { return jobs >= 1 ? jobs : default_jobs(); }
 
-ThreadPool::ThreadPool(int threads) {
+ThreadPool::ThreadPool(int threads) : rec_(obs::current()) {
   const int n = resolve_jobs(threads);
   workers_.reserve(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -38,9 +38,10 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> fn) {
+  Job job{std::move(fn), rec_ ? rec_->wall_now() : 0.0};
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    queue_.push(std::move(fn));
+    queue_.push(std::move(job));
     ++in_flight_;
   }
   work_ready_.notify_one();
@@ -51,17 +52,30 @@ void ThreadPool::wait_idle() {
   all_done_.wait(lock, [this] { return in_flight_ == 0; });
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker) {
   for (;;) {
-    std::function<void()> fn;
+    Job job;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ and drained
-      fn = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop();
     }
-    fn();
+    if (rec_) {
+      const double start = rec_->wall_now();
+      const double wait = start - job.enqueued;
+      job.fn();
+      const double end = rec_->wall_now();
+      rec_->span(obs::Domain::Wall, obs::kTrackPool, worker, start, end,
+                 "pool.task", "pool",
+                 "\"queue_wait\": " + obs::json_number(wait));
+      rec_->bump("pool.tasks");
+      rec_->bump("pool.busy_seconds", end - start);
+      rec_->bump("pool.queue_wait_seconds", wait);
+    } else {
+      job.fn();
+    }
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (--in_flight_ == 0) all_done_.notify_all();

@@ -23,6 +23,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/trace.hpp"
+
 namespace banger::util {
 
 /// Number of worker threads to use when the caller asks for "default":
@@ -58,15 +60,28 @@ class ThreadPool {
   void wait_idle();
 
  private:
-  void worker_loop();
+  /// A queued closure plus its enqueue time (for the observability
+  /// layer's queue-wait accounting; 0 when tracing is off).
+  struct Job {
+    std::function<void()> fn;
+    double enqueued = 0.0;
+  };
+
+  void worker_loop(int worker);
 
   std::mutex mutex_;
   std::condition_variable work_ready_;
   std::condition_variable all_done_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Job> queue_;
   std::size_t in_flight_ = 0;  // queued + executing
   bool stopping_ = false;
   std::vector<std::thread> workers_;
+  // Ambient recorder, captured once at construction (pools are created
+  // per batch, inside any ScopedRecorder that should observe them).
+  // Workers emit Domain::Wall spans on obs::kTrackPool — inherently
+  // nondeterministic timings, which is why deterministic exports drop
+  // the Wall domain.
+  obs::TraceRecorder* rec_ = nullptr;
 };
 
 namespace detail {

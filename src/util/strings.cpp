@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -100,6 +101,27 @@ std::string pad_right(std::string_view s, std::size_t width) {
   std::string out(s);
   if (out.size() < width) out.append(width - out.size(), ' ');
   return out;
+}
+
+bool parse_int64(std::string_view s, std::int64_t& out) noexcept {
+  s = trim(s);
+  if (s.empty()) return false;
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  out = value;
+  return true;
+}
+
+bool parse_double(std::string_view s, double& out) noexcept {
+  s = trim(s);
+  if (s.empty()) return false;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) return false;
+  if (!std::isfinite(value)) return false;
+  out = value;
+  return true;
 }
 
 }  // namespace banger::util

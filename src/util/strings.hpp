@@ -5,6 +5,7 @@
 // allocates unless it must return an owning string.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -40,5 +41,14 @@ std::string format_double(double v, int max_digits = 6);
 /// Left/right pads `s` with spaces to at least `width` columns.
 std::string pad_left(std::string_view s, std::size_t width);
 std::string pad_right(std::string_view s, std::size_t width);
+
+/// Strictly parses a whole string as a decimal integer: optional sign,
+/// digits only, no trailing junk, no overflow. Returns false (leaving
+/// `out` untouched) on any violation — callers own the diagnostic.
+bool parse_int64(std::string_view s, std::int64_t& out) noexcept;
+
+/// Strictly parses a whole string as a finite double (no trailing
+/// junk, no inf/nan). Returns false on any violation.
+bool parse_double(std::string_view s, double& out) noexcept;
 
 }  // namespace banger::util

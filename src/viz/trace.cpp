@@ -1,99 +1,101 @@
 #include "viz/trace.hpp"
 
-#include <sstream>
-
 namespace banger::viz {
 
 namespace {
 
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    out += c;
-  }
-  return out;
-}
+using obs::Domain;
 
-long long micros(double seconds) {
-  return static_cast<long long>(seconds * 1e6);
-}
-
-void duration_event(std::ostringstream& out, bool& first,
-                    const std::string& name, int tid, double start,
-                    double end, const std::string& extra_args = {}) {
-  if (!first) out << ",\n";
-  first = false;
-  out << "  {\"name\": \"" << json_escape(name)
-      << "\", \"cat\": \"task\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << tid
-      << ", \"ts\": " << micros(start) << ", \"dur\": "
-      << micros(end - start) << ", \"args\": {" << extra_args << "}}";
-}
-
-void flow_event(std::ostringstream& out, bool& first, char phase, int id,
-                int tid, double ts, const std::string& name) {
-  if (!first) out << ",\n";
-  first = false;
-  out << "  {\"name\": \"" << json_escape(name)
-      << "\", \"cat\": \"msg\", \"ph\": \"" << phase
-      << "\", \"id\": " << id << ", \"pid\": 1, \"tid\": " << tid
-      << ", \"ts\": " << micros(ts) << "}";
+std::string fault_args(const sim::SimEvent& e) {
+  std::string args = "\"proc\": " + std::to_string(e.proc);
+  if (e.task != graph::kNoTask)
+    args += ", \"task\": " + std::to_string(e.task);
+  if (e.kind == sim::EventKind::MsgDrop || e.kind == sim::EventKind::MsgRetry)
+    args += ", \"edge\": " + std::to_string(e.edge);
+  return args;
 }
 
 }  // namespace
 
-std::string to_chrome_trace(const sched::Schedule& schedule,
-                            const graph::TaskGraph& graph) {
-  std::ostringstream out;
-  out << "[\n";
-  bool first = true;
+void record_schedule(obs::TraceRecorder& rec, const sched::Schedule& schedule,
+                     const graph::TaskGraph& graph, int pid) {
   for (const sched::Placement& p : schedule.placements()) {
-    duration_event(out, first, graph.task(p.task).name, p.proc, p.start,
-                   p.finish,
-                   p.duplicate ? "\"duplicate\": true" : "");
+    rec.span(Domain::Virtual, pid, p.proc, p.start, p.finish,
+             graph.task(p.task).name, "task",
+             p.duplicate ? "\"duplicate\": true" : "");
   }
   int flow_id = 0;
   for (const sched::Message& m : schedule.messages()) {
     const std::string name =
         "msg:" + graph.task(graph.edge(m.edge).from).name + "->" +
         graph.task(graph.edge(m.edge).to).name;
-    flow_event(out, first, 's', flow_id, m.from, m.send, name);
-    flow_event(out, first, 'f', flow_id, m.to, m.arrive, name);
+    rec.flow_point(Domain::Virtual, pid, m.from, m.send, true, flow_id, name,
+                   "msg");
+    rec.flow_point(Domain::Virtual, pid, m.to, m.arrive, false, flow_id, name,
+                   "msg");
     ++flow_id;
   }
-  out << "\n]\n";
-  return out.str();
 }
 
-std::string to_chrome_trace(const sim::SimResult& result,
-                            const graph::TaskGraph& graph) {
-  std::ostringstream out;
-  out << "[\n";
-  bool first = true;
+void record_sim(obs::TraceRecorder& rec, const sim::SimResult& result,
+                const graph::TaskGraph& graph, int pid) {
   for (graph::TaskId t = 0; t < result.tasks.size(); ++t) {
     const sim::TaskTiming& timing = result.tasks[t];
-    duration_event(out, first, graph.task(t).name, timing.proc, timing.start,
-                   timing.finish);
+    if (timing.proc < 0) continue;  // never finished under a fault plan
+    rec.span(Domain::Virtual, pid, timing.proc, timing.start, timing.finish,
+             graph.task(t).name, "task");
   }
   // Message send/arrive pairs from the event log, matched by edge.
   int flow_id = 0;
   for (std::size_t i = 0; i < result.events.size(); ++i) {
     const sim::SimEvent& e = result.events[i];
-    if (e.kind != sim::EventKind::MsgSend) continue;
-    for (std::size_t j = i + 1; j < result.events.size(); ++j) {
-      const sim::SimEvent& a = result.events[j];
-      if (a.kind == sim::EventKind::MsgArrive && a.edge == e.edge &&
-          a.task == e.task) {
-        const std::string name = "edge" + std::to_string(e.edge);
-        flow_event(out, first, 's', flow_id, e.proc, e.time, name);
-        flow_event(out, first, 'f', flow_id, a.proc, a.time, name);
-        ++flow_id;
+    switch (e.kind) {
+      case sim::EventKind::MsgSend:
+        for (std::size_t j = i + 1; j < result.events.size(); ++j) {
+          const sim::SimEvent& a = result.events[j];
+          if (a.kind == sim::EventKind::MsgArrive && a.edge == e.edge &&
+              a.task == e.task) {
+            const std::string name = "edge" + std::to_string(e.edge);
+            rec.flow_point(Domain::Virtual, pid, e.proc, e.time, true, flow_id,
+                           name, "msg");
+            rec.flow_point(Domain::Virtual, pid, a.proc, a.time, false,
+                           flow_id, name, "msg");
+            ++flow_id;
+            break;
+          }
+        }
         break;
-      }
+      case sim::EventKind::ProcCrash:
+      case sim::EventKind::TaskKill:
+      case sim::EventKind::MsgDrop:
+      case sim::EventKind::MsgRetry:
+      case sim::EventKind::TaskReexec:
+        rec.instant(Domain::Virtual, pid, e.proc, e.time,
+                    std::string(sim::to_string(e.kind)), "fault",
+                    fault_args(e));
+        break;
+      default:
+        break;
     }
   }
-  out << "\n]\n";
-  return out.str();
+}
+
+std::string to_chrome_trace(const sched::Schedule& schedule,
+                            const graph::TaskGraph& graph) {
+  obs::TraceRecorder rec;
+  record_schedule(rec, schedule, graph);
+  obs::ExportOptions opts;
+  opts.metadata = false;
+  return rec.to_chrome_json(opts);
+}
+
+std::string to_chrome_trace(const sim::SimResult& result,
+                            const graph::TaskGraph& graph) {
+  obs::TraceRecorder rec;
+  record_sim(rec, result, graph);
+  obs::ExportOptions opts;
+  opts.metadata = false;
+  return rec.to_chrome_json(opts);
 }
 
 }  // namespace banger::viz

@@ -5,23 +5,45 @@
 // "instant feedback through graphical displays and animations" principle
 // calls for. Processors become trace threads, task executions become
 // duration events, and messages become flow arrows.
+//
+// The rendering itself lives in obs::TraceRecorder; this header maps
+// schedules and simulation results onto recorder tracks so they can be
+// composed with the scheduler/executor/recovery instrumentation into
+// one artifact (`banger trace`), or exported alone via the legacy
+// to_chrome_trace() wrappers.
 #pragma once
 
 #include <string>
 
+#include "obs/trace.hpp"
 #include "sched/schedule.hpp"
 #include "sim/simulator.hpp"
 
 namespace banger::viz {
 
-/// The planned schedule as a trace: one duration event per placement,
-/// one flow arrow per recorded message. Times are exported in
-/// microseconds (Chrome's unit) at 1s = 1e6 us.
+/// Records the planned schedule onto `pid`: one duration event per
+/// placement (tid = processor), one flow arrow per planned message.
+/// All events are in obs::Domain::Virtual (model seconds).
+void record_schedule(obs::TraceRecorder& rec, const sched::Schedule& schedule,
+                     const graph::TaskGraph& graph,
+                     int pid = obs::kTrackPlanned);
+
+/// Records a simulation's replay onto `pid`: per-task duration events
+/// from the simulated timings (tasks that never finished under a fault
+/// plan are skipped), flow arrows for matched MsgSend/MsgArrive pairs,
+/// and instant events for fault occurrences (crashes, kills, drops,
+/// retries, re-executions).
+void record_sim(obs::TraceRecorder& rec, const sim::SimResult& result,
+                const graph::TaskGraph& graph, int pid = obs::kTrackReplay);
+
+/// The planned schedule as a standalone trace: one duration event per
+/// placement, one flow arrow per recorded message. Times are exported
+/// in microseconds (Chrome's unit) at 1s = 1e6 us.
 std::string to_chrome_trace(const sched::Schedule& schedule,
                             const graph::TaskGraph& graph);
 
-/// A simulation's actual event log as a trace (uses the simulated task
-/// timings; message hops appear as instant events on the hop processor).
+/// A simulation's actual event log as a standalone trace (uses the
+/// simulated task timings; fault events appear as instants).
 std::string to_chrome_trace(const sim::SimResult& result,
                             const graph::TaskGraph& graph);
 

@@ -152,7 +152,9 @@ TEST_F(CliFiles, Speedup) {
 TEST_F(CliFiles, SpeedupRejectsBadSizes) {
   const auto r = invoke(
       {"speedup", design_path_, machine_path_, "--sizes", "1,zero"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--sizes"), std::string::npos);
+  EXPECT_NE(r.err.find("zero"), std::string::npos);
 }
 
 TEST_F(CliFiles, Simulate) {
@@ -314,13 +316,13 @@ TEST_F(CliFiles, HtmlReport) {
 
 TEST_F(CliFiles, BadOptionIsUsageError) {
   const auto r = invoke({"info", design_path_, "--bogus"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("unknown option"), std::string::npos);
 }
 
 TEST_F(CliFiles, BadInputSyntax) {
   const auto r = invoke({"trial", design_path_, "--input", "no_equals"});
-  EXPECT_EQ(r.code, 1);
+  EXPECT_EQ(r.code, 2);
 }
 
 }  // namespace

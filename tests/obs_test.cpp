@@ -1,0 +1,448 @@
+// Observability tests: TraceRecorder semantics, Chrome-trace export
+// determinism, the `banger trace` / --metrics CLI surface, and
+// regression coverage for the error-handling bugfix sweep.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.hpp"
+#include "exec/executor.hpp"
+#include "graph/serialize.hpp"
+#include "obs/trace.hpp"
+#include "pits/interp.hpp"
+#include "sched/heuristics.hpp"
+#include "util/error.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger {
+namespace {
+
+using obs::Domain;
+using obs::ScopedRecorder;
+using obs::TraceRecorder;
+
+// ---------------------------------------------------------------------------
+// A tiny recursive-descent JSON checker. It accepts exactly the JSON
+// grammar (objects, arrays, strings, numbers, true/false/null) and is
+// used to assert that every exported artifact is well-formed without
+// pulling in a JSON library.
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!expect(':')) return false;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek('}')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek(']')) return true;
+      if (!expect(',')) return false;
+    }
+  }
+  bool string() {
+    if (!expect('"')) return false;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    return expect('"');
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* word) {
+    for (const char* p = word; *p; ++p) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+      ++pos_;
+    }
+    return true;
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  bool peek(char c) {
+    if (pos_ < s_.size() && s_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  bool expect(char c) { return peek(c); }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+std::size_t count_of(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// TraceRecorder unit behaviour.
+
+TEST(Recorder, DisabledByDefault) {
+  EXPECT_EQ(obs::current(), nullptr);
+}
+
+TEST(Recorder, ScopedInstallAndNestedRestore) {
+  TraceRecorder outer;
+  {
+    ScopedRecorder a(outer);
+    EXPECT_EQ(obs::current(), &outer);
+    TraceRecorder inner;
+    {
+      ScopedRecorder b(inner);
+      EXPECT_EQ(obs::current(), &inner);
+    }
+    EXPECT_EQ(obs::current(), &outer);
+  }
+  EXPECT_EQ(obs::current(), nullptr);
+}
+
+TEST(Recorder, RecordsAndClears) {
+  TraceRecorder rec;
+  rec.span(Domain::Virtual, obs::kTrackExec, 0, 1.0, 2.0, "work", "task");
+  rec.instant(Domain::Virtual, obs::kTrackExec, 0, 1.5, "mark", "fault");
+  rec.counter(Domain::Logical, obs::kTrackScheduler, 0, 3, "depth", 4.0);
+  EXPECT_EQ(rec.size(), 3u);
+  rec.clear();
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(Recorder, MetricsAccumulate) {
+  TraceRecorder rec;
+  rec.bump("runs");
+  rec.bump("runs");
+  rec.bump("seconds", 2.5);
+  rec.set_metric("gauge", 7.0);
+  EXPECT_DOUBLE_EQ(rec.metric("runs"), 2.0);
+  EXPECT_DOUBLE_EQ(rec.metric("seconds"), 2.5);
+  EXPECT_DOUBLE_EQ(rec.metric("gauge"), 7.0);
+  EXPECT_DOUBLE_EQ(rec.metric("missing"), 0.0);
+}
+
+TEST(Recorder, ExportSortsByTimestampThenSequence) {
+  TraceRecorder rec;
+  rec.span(Domain::Virtual, obs::kTrackExec, 0, 5.0, 6.0, "late", "task");
+  rec.span(Domain::Virtual, obs::kTrackExec, 0, 1.0, 2.0, "early", "task");
+  rec.span(Domain::Virtual, obs::kTrackExec, 0, 1.0, 3.0, "early2", "task");
+  obs::ExportOptions opts;
+  opts.metadata = false;
+  const std::string json = rec.to_chrome_json(opts);
+  const auto early = json.find("\"early\"");
+  const auto early2 = json.find("\"early2\"");
+  const auto late = json.find("\"late\"");
+  ASSERT_NE(early, std::string::npos);
+  ASSERT_NE(early2, std::string::npos);
+  ASSERT_NE(late, std::string::npos);
+  EXPECT_LT(early, early2);  // equal ts: insertion sequence breaks the tie
+  EXPECT_LT(early2, late);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST(Recorder, WallEventsCanBeExcluded) {
+  TraceRecorder rec;
+  rec.span(Domain::Wall, obs::kTrackPool, 0, 0.0, 1.0, "wallspan", "pool");
+  rec.span(Domain::Virtual, obs::kTrackExec, 0, 0.0, 1.0, "virtspan", "task");
+  obs::ExportOptions opts;
+  opts.include_wall = false;
+  const std::string json = rec.to_chrome_json(opts);
+  EXPECT_EQ(json.find("wallspan"), std::string::npos);
+  EXPECT_NE(json.find("virtspan"), std::string::npos);
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+}
+
+TEST(Recorder, MetricsJsonIsSortedAndValid) {
+  TraceRecorder rec;
+  rec.bump("zeta", 1.0);
+  rec.bump("alpha", 2.0);
+  const std::string json = rec.metrics_json();
+  EXPECT_TRUE(JsonChecker(json).valid()) << json;
+  EXPECT_LT(json.find("alpha"), json.find("zeta"));
+  TraceRecorder empty;
+  EXPECT_TRUE(JsonChecker(empty.metrics_json()).valid());
+}
+
+// ---------------------------------------------------------------------------
+// CLI-level fixtures: drive `banger` exactly as a shell user would.
+
+struct CliResult {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliResult invoke(std::vector<std::string> args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  CliResult r;
+  r.code = cli::run(args, out, err);
+  r.out = out.str();
+  r.err = err.str();
+  return r;
+}
+
+class ObsCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    design_path_ = testing::TempDir() + "/obs_lu.pitl";
+    machine_path_ = testing::TempDir() + "/obs_cube.machine";
+    fault_path_ = testing::TempDir() + "/obs_crash.fault";
+    graph::save_design(workloads::lu3x3_design(), design_path_);
+    std::ofstream(machine_path_) << "machine cube4\n"
+                                    "topology hypercube dim=2\n"
+                                    "speed 1\n"
+                                    "message_startup 0.05\n"
+                                    "bandwidth 512\n";
+    std::ofstream(fault_path_) << "faultplan crashy seed=11\n"
+                                  "crash proc=1 at=0.5\n";
+  }
+  std::string design_path_;
+  std::string machine_path_;
+  std::string fault_path_;
+};
+
+TEST_F(ObsCli, TraceIsValidJsonWithAllLayers) {
+  const auto r = invoke({"trace", design_path_, machine_path_});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_TRUE(JsonChecker(r.out).valid());
+  // Planned schedule + simulated replay tracks, plus the scheduler's
+  // internal counters, all land in one artifact.
+  EXPECT_NE(r.out.find("planned schedule"), std::string::npos);
+  EXPECT_NE(r.out.find("executor replay (simulated)"), std::string::npos);
+  EXPECT_NE(r.out.find("\"sched."), std::string::npos);
+  EXPECT_NE(r.out.find("\"cat\": \"task\""), std::string::npos);
+  EXPECT_NE(r.out.find("\"ph\": \"M\""), std::string::npos);
+}
+
+TEST_F(ObsCli, TraceIsByteIdenticalAcrossJobs) {
+  const auto a = invoke({"trace", design_path_, machine_path_,
+                         "--jobs", "1"});
+  const auto b = invoke({"trace", design_path_, machine_path_,
+                         "--jobs", "8"});
+  ASSERT_EQ(a.code, 0) << a.err;
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_EQ(a.out, b.out);
+}
+
+TEST_F(ObsCli, FaultTraceShowsRecoveryPhasesDeterministically) {
+  const auto a = invoke({"trace", design_path_, machine_path_,
+                         "--fault-plan", fault_path_, "--jobs", "1"});
+  const auto b = invoke({"trace", design_path_, machine_path_,
+                         "--fault-plan", fault_path_, "--jobs", "8"});
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_TRUE(JsonChecker(a.out).valid());
+  EXPECT_NE(a.out.find("\"detect\""), std::string::npos);
+  EXPECT_NE(a.out.find("\"repair\""), std::string::npos);
+  EXPECT_NE(a.out.find("\"resume\""), std::string::npos);
+  EXPECT_NE(a.out.find("\"cat\": \"fault\""), std::string::npos);
+}
+
+TEST_F(ObsCli, TraceWritesFileWithPerfettoHint) {
+  const std::string out_path = testing::TempDir() + "/obs_trace.json";
+  const auto r = invoke({"trace", design_path_, machine_path_,
+                         "--out", out_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("ui.perfetto.dev"), std::string::npos);
+  std::ifstream in(out_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_TRUE(JsonChecker(body.str()).valid());
+}
+
+TEST_F(ObsCli, MetricsFlagWritesFlatSummary) {
+  const std::string metrics_path = testing::TempDir() + "/obs_metrics.json";
+  const auto r = invoke({"simulate", design_path_, machine_path_,
+                         "--metrics", metrics_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_TRUE(JsonChecker(body.str()).valid()) << body.str();
+  EXPECT_NE(body.str().find("\"sim.runs\""), std::string::npos);
+}
+
+TEST_F(ObsCli, MetricsCaptureFaultRecoveryCounters) {
+  const std::string metrics_path = testing::TempDir() + "/obs_fmetrics.json";
+  const auto r = invoke({"faults", design_path_, machine_path_,
+                         "--fault-plan", fault_path_,
+                         "--metrics", metrics_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  std::ifstream in(metrics_path);
+  std::stringstream body;
+  body << in.rdbuf();
+  EXPECT_NE(body.str().find("\"recovery.runs\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix regression: numeric CLI flags are validated, usage errors
+// name the flag and the offending value, and exit with status 2.
+
+TEST_F(ObsCli, EventsFlagRejectsNonNumeric) {
+  const auto r = invoke({"simulate", design_path_, machine_path_,
+                         "--events", "abc"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--events"), std::string::npos);
+  EXPECT_NE(r.err.find("abc"), std::string::npos);
+}
+
+TEST_F(ObsCli, EventsFlagRejectsNegative) {
+  const auto r = invoke({"simulate", design_path_, machine_path_,
+                         "--events", "-3"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--events"), std::string::npos);
+}
+
+TEST_F(ObsCli, JobsFlagRejectsZero) {
+  const auto r = invoke({"faults", design_path_, machine_path_,
+                         "--fault-plan", fault_path_, "--jobs", "0"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--jobs"), std::string::npos);
+}
+
+TEST_F(ObsCli, TrialsFlagRejectsGarbage) {
+  const auto r = invoke({"faults", design_path_, machine_path_,
+                         "--fault-plan", fault_path_, "--trials", "many"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--trials"), std::string::npos);
+  EXPECT_NE(r.err.find("many"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix regression: worker-thread failures in the parallel executor
+// surface the original diagnostic (task name, error code) instead of
+// being swallowed by a bare catch.
+
+TEST(ExecutorFailure, WorkerErrorKeepsCodeAndTaskName) {
+  auto flat = workloads::lu3x3_design().flatten();
+  machine::MachineParams params;
+  params.processor_speed = 1.0;
+  params.message_startup = 0.01;
+  params.bytes_per_second = 1e6;
+  exec::Machine machine(machine::Topology::fully_connected(3), params);
+  const auto schedule = sched::MhScheduler().run(flat.graph, machine);
+
+  std::map<std::string, pits::Value> inputs = {
+      // Zero pivot makes task fan1 divide by zero.
+      {"A", pits::Value(pits::Vector{0, 3, 2, 8, 8, 5, 4, 7, 9})},
+      {"b", pits::Value(pits::Vector{16, 39, 45})}};
+
+  TraceRecorder rec;
+  ScopedRecorder scope(rec);
+  exec::Executor executor(flat, machine);
+  try {
+    (void)executor.run(schedule, inputs);
+    FAIL() << "expected the zero-pivot error to propagate";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Runtime);
+    const std::string what = e.what();
+    EXPECT_NE(what.find("worker"), std::string::npos) << what;
+    EXPECT_NE(what.find("fan1"), std::string::npos) << what;
+  }
+  EXPECT_GE(rec.metric("exec.worker_failures"), 1.0);
+}
+
+// ---------------------------------------------------------------------------
+// Bugfix regression: formula evaluation errors carry the innermost
+// formula name and the original diagnostic instead of a blind rethrow.
+
+TEST(FormulaDiagnostics, ErrorNamesTheInnermostFormulaOnce) {
+  const char* src =
+      "formula inner(x) := x / 0\n"
+      "formula outer(x) := inner(x) + 1\n"
+      "y := outer(3)";
+  try {
+    pits::Env env;
+    pits::Program::parse(src).execute(env);
+    FAIL() << "expected division by zero";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Runtime);
+    const std::string message = e.message();
+    EXPECT_NE(message.find("in formula `inner`"), std::string::npos)
+        << message;
+    // Attribution happens once, at the innermost frame, not per level.
+    EXPECT_EQ(count_of(message, " in formula `"), 1u) << message;
+  }
+}
+
+TEST(FormulaDiagnostics, NameErrorsKeepTheirCode) {
+  try {
+    pits::Env env;
+    pits::Program::parse("formula f(x) := x + nosuchvar\ny := f(1)")
+        .execute(env);
+    FAIL() << "expected a name error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Name);
+    EXPECT_NE(e.message().find("nosuchvar"), std::string::npos);
+    EXPECT_NE(e.message().find("in formula `f`"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace banger
