@@ -3,6 +3,7 @@
 // simulator event rate, flattening, parsing.
 #include <benchmark/benchmark.h>
 
+#include "exec/executor.hpp"
 #include "graph/serialize.hpp"
 #include "obs/trace.hpp"
 #include "pits/interp.hpp"
@@ -10,6 +11,7 @@
 #include "sched/heuristics.hpp"
 #include "sim/simulator.hpp"
 #include "util/parallel.hpp"
+#include "util/rng.hpp"
 #include "workloads/graphs.hpp"
 #include "workloads/lu.hpp"
 
@@ -193,6 +195,127 @@ void BM_PitsVectorOps(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PitsVectorOps);
+
+// Deterministic PITS-heavy workload: `statements` generated assignments
+// over 48 scalar variables (guarded division, builtin calls, branches),
+// amplified by an outer repeat so execution dominates dispatch. Seeded
+// Rng, no wall-clock — the same source every run, so the committed
+// BENCH_pits.json numbers are reproducible.
+std::string pits_heavy_source(int statements) {
+  banger::util::Rng rng(2026);
+  constexpr int kVars = 48;
+  std::string src;
+  for (int i = 0; i < kVars; ++i) {
+    src += "x" + std::to_string(i) + " := " +
+           std::to_string(0.37 * i + 1.0) + "\n";
+  }
+  src += "repeat 100 times\n";
+  auto var = [&]() { return "x" + std::to_string(rng.next_below(kVars)); };
+  for (int i = 0; i < statements; ++i) {
+    const std::string a = var();
+    const std::string b = var();
+    const std::string c = var();
+    const std::string d = var();
+    switch (rng.next_below(6)) {
+      case 0:
+        src += "  " + a + " := (" + b + " + " + c + ") * 0.5\n";
+        break;
+      case 1:
+        src += "  " + a + " := " + b + " - " + c + " + " +
+               std::to_string(rng.uniform_int(1, 9)) + "\n";
+        break;
+      case 2:
+        src += "  " + a + " := (" + b + " * " + c + ") / (" + d + " * " + d +
+               " + 7)\n";
+        break;
+      case 3:
+        src += "  " + a + " := abs(" + b + " - " + c + ") + 1\n";
+        break;
+      case 4:
+        src += "  " + a + " := min(" + b + ", " + c + ") + max(" + c + ", " +
+               d + ") * 0.25\n";
+        break;
+      default:
+        src += "  if " + b + " > " + c + " then\n    " + a + " := " + a +
+               " * 0.75 + 1\n  end\n";
+        break;
+    }
+  }
+  src += "end\n";
+  return src;
+}
+
+void BM_PitsCompile(benchmark::State& state) {
+  const std::string src = pits_heavy_source(1024);
+  for (auto _ : state) {
+    // Fresh Program each iteration: parse + bytecode lowering.
+    auto program = pits::Program::parse(src);
+    program.precompile();
+    benchmark::DoNotOptimize(program);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(src.size()));
+}
+BENCHMARK(BM_PitsCompile);
+
+// The headline pair: one 1024-statement routine, identical semantics,
+// executed by the bytecode VM vs the tree-walking reference.
+void BM_PitsExecVm(benchmark::State& state) {
+  const auto program = pits::Program::parse(pits_heavy_source(1024));
+  program.precompile();
+  pits::ExecOptions opts;
+  opts.engine = pits::ExecOptions::Engine::Vm;
+  for (auto _ : state) {
+    pits::Env env;
+    program.execute(env, opts);
+    benchmark::DoNotOptimize(env);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * 100);
+}
+BENCHMARK(BM_PitsExecVm);
+
+void BM_PitsExecWalk(benchmark::State& state) {
+  const auto program = pits::Program::parse(pits_heavy_source(1024));
+  pits::ExecOptions opts;
+  opts.engine = pits::ExecOptions::Engine::Walk;
+  for (auto _ : state) {
+    pits::Env env;
+    program.execute(env, opts);
+    benchmark::DoNotOptimize(env);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * 100);
+}
+BENCHMARK(BM_PitsExecWalk);
+
+// Whole-run view: the LU design end to end (flatten result reused, so
+// this measures compile_all + task execution + store routing) on each
+// engine. The PITS share of a real run is modest; the pair bounds the
+// end-to-end win.
+void BM_ExecRunVm(benchmark::State& state) {
+  const auto flat = workloads::lu3x3_design().flatten();
+  const std::map<std::string, pits::Value> inputs = {
+      {"A", pits::Value(pits::Vector{4, 3, 2, 8, 8, 5, 4, 7, 9})},
+      {"b", pits::Value(pits::Vector{16, 39, 45})}};
+  exec::RunOptions opts;
+  opts.pits.engine = pits::ExecOptions::Engine::Vm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::run_sequential(flat, inputs, opts));
+  }
+}
+BENCHMARK(BM_ExecRunVm);
+
+void BM_ExecRunWalk(benchmark::State& state) {
+  const auto flat = workloads::lu3x3_design().flatten();
+  const std::map<std::string, pits::Value> inputs = {
+      {"A", pits::Value(pits::Vector{4, 3, 2, 8, 8, 5, 4, 7, 9})},
+      {"b", pits::Value(pits::Vector{16, 39, 45})}};
+  exec::RunOptions opts;
+  opts.pits.engine = pits::ExecOptions::Engine::Walk;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::run_sequential(flat, inputs, opts));
+  }
+}
+BENCHMARK(BM_ExecRunWalk);
 
 void BM_FlattenLu(benchmark::State& state) {
   const auto design = workloads::lu3x3_design();

@@ -104,6 +104,7 @@ void CalculatorPanel::declare_local(const std::string& name) {
 }
 
 void CalculatorPanel::append(std::string_view piece, bool keyword_spacing) {
+  parsed_cache_.reset();
   undo_.push_back(text_.size());
   if (keyword_spacing && !text_.empty() && text_.back() != '\n' &&
       text_.back() != ' ' && text_.back() != '(') {
@@ -115,6 +116,7 @@ void CalculatorPanel::append(std::string_view piece, bool keyword_spacing) {
 void CalculatorPanel::press(Key key) {
   const std::string_view cap = keycap(key);
   if (key == Key::Enter) {
+    parsed_cache_.reset();
     undo_.push_back(text_.size());
     text_ += '\n';
     return;
@@ -125,6 +127,7 @@ void CalculatorPanel::press(Key key) {
   if (digit) {
     // Digits chain without spaces but separate from preceding words and
     // operator glyphs ("x := 12.5", not "x :=12.5").
+    parsed_cache_.reset();
     undo_.push_back(text_.size());
     const char prev = text_.empty() ? '\n' : text_.back();
     const bool glue = std::isdigit(static_cast<unsigned char>(prev)) != 0 ||
@@ -167,31 +170,43 @@ void CalculatorPanel::press_variable(const std::string& name) {
 }
 
 void CalculatorPanel::type(std::string_view text) {
+  parsed_cache_.reset();
   undo_.push_back(text_.size());
   text_ += text;
 }
 
 void CalculatorPanel::backspace() {
   if (undo_.empty()) return;
+  parsed_cache_.reset();
   text_.resize(undo_.back());
   undo_.pop_back();
 }
 
 void CalculatorPanel::clear() {
+  parsed_cache_.reset();
   text_.clear();
   undo_.clear();
 }
 
 void CalculatorPanel::set_program_text(std::string text) {
+  parsed_cache_.reset();
   text_ = std::move(text);
   undo_.clear();
 }
 
+const pits::Program& CalculatorPanel::parsed() const {
+  if (!parsed_cache_) {
+    parsed_cache_ =
+        std::make_shared<const pits::Program>(pits::Program::parse(text_));
+  }
+  return *parsed_cache_;
+}
+
 std::vector<std::string> CalculatorPanel::lint() const {
   std::vector<std::string> issues;
-  pits::Program program;
+  const pits::Program* program = nullptr;
   try {
-    program = pits::Program::parse(text_);
+    program = &parsed();
   } catch (const Error& e) {
     issues.push_back(e.what());
     return issues;
@@ -203,12 +218,12 @@ std::vector<std::string> CalculatorPanel::lint() const {
     };
     return in(inputs_) || in(outputs_) || in(locals_);
   };
-  for (const std::string& name : program.inputs()) {
+  for (const std::string& name : program->inputs()) {
     if (!declared(name)) {
       issues.push_back("reads `" + name + "`, which is in no variable window");
     }
   }
-  const auto assigned = program.outputs();
+  const auto assigned = program->outputs();
   for (const std::string& out : outputs_) {
     if (std::find(assigned.begin(), assigned.end(), out) == assigned.end()) {
       issues.push_back("output `" + out + "` is never assigned");
@@ -225,7 +240,7 @@ TrialResult CalculatorPanel::trial_run(const pits::Env& input_values,
   opts.out = &transcript;
   result.env = input_values;
   try {
-    pits::Program::parse(text_).execute(result.env, opts);
+    parsed().execute(result.env, opts);
     result.ok = true;
   } catch (const Error& e) {
     result.ok = false;

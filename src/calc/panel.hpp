@@ -9,6 +9,7 @@
 // what a user would click.
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -113,6 +114,11 @@ class CalculatorPanel {
 
  private:
   void append(std::string_view piece, bool keyword_spacing);
+  /// Parses the program window on demand. The result is cached until the
+  /// text changes, so lint() and repeated trial runs (the "=" key is the
+  /// panel's hot path) parse and compile the routine once instead of per
+  /// press. Throws Error{Parse} on malformed text (never cached).
+  [[nodiscard]] const pits::Program& parsed() const;
 
   std::string name_;
   std::vector<std::string> inputs_;
@@ -120,6 +126,7 @@ class CalculatorPanel {
   std::vector<std::string> locals_;
   std::string text_;
   std::vector<std::size_t> undo_;  ///< text length before each keystroke
+  mutable std::shared_ptr<const pits::Program> parsed_cache_;
 };
 
 }  // namespace banger::calc

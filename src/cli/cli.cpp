@@ -38,6 +38,7 @@ struct Options {
   std::string output_file;
   std::vector<int> sizes{1, 2, 4, 8};
   std::map<std::string, pits::Value> inputs;
+  pits::ExecOptions::Engine pits_engine = pits::ExecOptions::Engine::Auto;
   bool contention = false;
   std::size_t events = 20;
   std::string task;             ///< --task filter for explain
@@ -112,6 +113,16 @@ Options parse_options(const std::vector<std::string>& args,
       const std::string var = kv.substr(0, eq);
       // The value is a PITS expression: numbers, vectors, formulas.
       o.inputs[var] = pits::eval_expression(kv.substr(eq + 1), {});
+    } else if (a == "--pits-engine") {
+      const std::string& engine = next();
+      if (engine == "vm") {
+        o.pits_engine = pits::ExecOptions::Engine::Vm;
+      } else if (engine == "walk") {
+        o.pits_engine = pits::ExecOptions::Engine::Walk;
+      } else {
+        usage_error("--pits-engine expects `vm` or `walk`, got `" + engine +
+                    "`");
+      }
     } else if (a == "--task") {
       o.task = next();
     } else if (a == "--fault-plan") {
@@ -323,7 +334,9 @@ void print_run_result(const exec::RunResult& result, std::ostream& out) {
 
 int cmd_trial(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
-  print_run_result(project.trial_run(o.inputs), out);
+  exec::RunOptions run_opts;
+  run_opts.pits.engine = o.pits_engine;
+  print_run_result(project.trial_run(o.inputs, run_opts), out);
   return 0;
 }
 
@@ -331,6 +344,7 @@ int cmd_run(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
   project.set_machine(load_machine_arg(o, 1));
   exec::RunOptions run_opts;
+  run_opts.pits.engine = o.pits_engine;
   fault::FaultPlan plan;
   if (!o.fault_plan_file.empty()) {
     plan = fault::FaultPlan::load(o.fault_plan_file);
@@ -699,6 +713,9 @@ std::string usage() {
       "                     (default: BANGER_JOBS env or all cores; results\n"
       "                     are identical for every value)\n"
       "  --trials N         faults: Monte Carlo over N seed-varied runs\n"
+      "  --pits-engine E    run/trial: PITS execution engine, `vm` (default)\n"
+      "                     or `walk` (reference tree-walker); results are\n"
+      "                     identical either way\n"
       "  --metrics FILE     write a flat JSON metrics summary of the command\n"
       "                     (scheduler rounds, cache hits, sim/exec/recovery\n"
       "                     counters) to FILE\n"

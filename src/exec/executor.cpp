@@ -61,6 +61,9 @@ std::vector<CompiledTask> compile_all(const FlattenResult& flat) {
     }
     try {
       out[t].program = pits::Program::parse(task.pits);
+      // Lower to bytecode up front: worker threads then share the cached
+      // chunk instead of racing to compile on first execution.
+      out[t].program.precompile();
       out[t].runnable = true;
     } catch (const Error& e) {
       fail(e.code(), "in task `" + task.name + "`: " + e.message(), e.pos());

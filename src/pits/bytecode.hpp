@@ -1,0 +1,145 @@
+// banger/pits/bytecode.hpp
+//
+// Register bytecode for PITS routines. The tree-walk interpreter in
+// interp.cpp resolves every variable through a std::map on every read;
+// the compiler in compile.cpp interns each name to a dense frame slot
+// once, folds constant subexpressions into a pool, and lowers loops and
+// calls to direct opcodes so the VM in vm.cpp touches the Env map only
+// at entry/exit. Semantics are bit-for-bit those of the tree-walker —
+// same step accounting, same error codes/messages/positions, same
+// print/trace transcripts, same rand() stream — which the differential
+// fuzz suite (tests/pits_vm_test.cpp) enforces.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pits/ast.hpp"
+#include "pits/interp.hpp"
+#include "pits/value.hpp"
+
+namespace banger::pits {
+struct Builtin;
+}  // namespace banger::pits
+
+namespace banger::pits::bc {
+
+// One opcode per operation the tree-walker performs between two Env
+// touches. Operand conventions: `a` is usually the destination
+// register, `b`/`c` sources, `d` a jump target / resume index / count.
+// `pos` is the source position any error raised by the instruction
+// carries, chosen to match the tree-walker exactly.
+enum class Op : std::uint8_t {
+  LoadConst,   // r[a] = consts[b]
+  Move,        // r[a] = r[b] (moved when flag kTempB)
+  CheckVar,    // slot a unbound: materialize constant or throw Name error
+  Neg,         // r[a] = -r[b] (scalar/vector; string errors)
+  NotOp,       // r[a] = r[b] truthy ? 0 : 1
+  Truthy,      // r[a] = r[b] truthy ? 1 : 0
+  Add, Sub, Mul, Div, Mod, Pow,   // r[a] = r[b] op r[c] with broadcast
+  CmpEq, CmpNe, Lt, Le, Gt, Ge,   // r[a] = comparison as 0/1
+  NewVector,   // r[a] = empty vector reserved to d elements
+  PushScalar,  // r[a].vector += scalar r[b] ("expected a number" at pos)
+  CheckIndexable,  // r[a] must be a vector ("cannot index a ...")
+  IndexLoad,   // r[a] = r[b][r[c]] (integer + range checks at pos)
+  Jump,        // ip = d
+  JumpIfFalsy,   // if !truthy(r[b]) ip = d
+  JumpIfTruthy,  // if truthy(r[b]) ip = d
+  Tick,        // statement step accounting against ExecOptions::step_limit
+  FinishAssign,   // mark slot a bound; echo to the trace stream
+  IndexedCheck,   // slot a must be a bound vector (indexed assignment)
+  IndexedStore,   // r[a][r[b]] = scalar r[c]
+  ToScalar,    // r[a] = as_scalar(r[b]) — for-loop bound coercion
+  ForInit,     // step r[a] must be nonzero
+  ForNext,     // counter r[a] vs bound r[b] by sign of step r[c]; exits to d
+  SetLoopVar,  // slot a = scalar counter r[b] (never traced)
+  ForStep,     // counter r[a] += step r[c]; ip = d
+  RepeatInit,  // r[a]=0, r[b]=validated count from r[c]
+  RepeatNext,  // if !(r[a] < r[b]) ip = d; else tick, ++r[a]
+  CallOp,      // r[a] = call sites[b]; args inline before resume point d
+  DefFormula,  // register formulas[b] in the runtime formula table
+  ErrAlways,   // throw Error{code a, messages[b]} — statically doomed code
+  Halt,        // return from the routine
+};
+
+// Operand-liveness flags: a flagged source register is a dead temporary
+// after this instruction, so vector payloads may be moved or mutated in
+// place instead of copied. Named slots are never flagged.
+inline constexpr std::uint8_t kTempB = 1U;
+inline constexpr std::uint8_t kTempC = 2U;
+
+struct Instr {
+  Op op = Op::Halt;
+  std::uint8_t flags = 0;
+  std::uint16_t a = 0;
+  std::uint16_t b = 0;
+  std::uint16_t c = 0;
+  std::int32_t d = 0;
+  SourcePos pos;
+};
+
+// Argument expressions compile to an inline code range executed only
+// after the callee is resolved and its arity checked — the
+// tree-walker's evaluation order.
+struct ArgRange {
+  std::uint32_t begin = 0;  ///< first instruction of the argument
+  std::uint32_t end = 0;    ///< one past the last
+  std::uint16_t reg = 0;    ///< register holding the result
+  std::uint8_t temp = 0;    ///< 1 = result may be moved out
+};
+
+struct CallSite {
+  std::uint16_t name = 0;   ///< names[] index of the callee
+  const Builtin* builtin = nullptr;  ///< pre-resolved; null if unknown
+  std::int32_t formula = -1;  ///< runtime formula-table index, -1 if never a formula
+  std::vector<ArgRange> args;
+};
+
+// One compiled body: the routine's top level or one formula.
+struct Code {
+  std::vector<Instr> ins;
+  std::vector<CallSite> sites;
+  std::uint16_t num_regs = 0;
+};
+
+struct Formula {
+  std::uint16_t name = 0;  ///< names[] index
+  std::int32_t table = 0;  ///< runtime formula-table index it registers under
+  std::vector<std::uint16_t> param_reg;  ///< frame register per declared param
+  std::vector<std::uint8_t> param_bind;  ///< 0 for duplicate params (first wins)
+  std::uint16_t result = 0;  ///< register holding the body's value
+  Code code;
+};
+
+// Metadata for a named top-level slot. Slots occupy the low registers
+// of the main frame; `const_value` backs CheckVar materialization for
+// calculator constants (pi, e, ...) that the Env may shadow at entry.
+struct VarInfo {
+  std::uint16_t name = 0;  ///< names[] index
+  bool has_const = false;
+  double const_value = 0.0;
+};
+
+struct Chunk {
+  Code main;
+  std::vector<Formula> formulas;
+  std::vector<Value> consts;
+  std::vector<std::string> names;
+  std::vector<std::string> messages;  ///< ErrAlways texts
+  std::vector<VarInfo> vars;          ///< named slots, in slot order
+  std::uint32_t num_formula_names = 0;  ///< runtime formula-table size
+  std::uint32_t folded = 0;  ///< subexpressions folded into the pool
+};
+
+/// Compiles a parsed routine. Total for any parseable AST — statically
+/// invalid-but-conditionally-executed code lowers to runtime-faulting
+/// instructions. Throws Error{Limit} only for routines exceeding the
+/// 16-bit register/name space (the caller falls back to the walker).
+Chunk compile(const Block& body);
+
+/// Runs a compiled routine with tree-walker-identical semantics. The
+/// chunk is immutable and safely shared across concurrent runs.
+void run(const Chunk& chunk, Env& env, const ExecOptions& options);
+
+}  // namespace banger::pits::bc

@@ -1,0 +1,949 @@
+// banger/pits/compile.cpp
+//
+// Single-pass AST -> bytecode compiler. Three jobs:
+//   1. Symbol interning: a pre-pass assigns every top-level variable a
+//      dense frame slot, so the VM reads registers where the tree-walker
+//      did std::map lookups. Calculator constants the Env might shadow
+//      (a task input named `pi`) resolve through CheckVar at run time.
+//   2. Constant folding into a deduplicated pool — only where the
+//      tree-walker could not have raised an error (division by zero,
+//      string negation, ... stay as runtime instructions).
+//   3. Direct opcodes for control flow: repeat/for lower to fused
+//      counter instructions that carry the per-iteration step-limit
+//      tick, and `when`/`and`/`or` lower to jumps so only the selected
+//      operand executes, exactly like the tree-walker's short-circuit.
+//
+// Compilation is total: code that can only fail (calling an unknown
+// name, shadowing a builtin with a formula) compiles to an instruction
+// that raises the tree-walker's error when — and only when — reached.
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "pits/builtins.hpp"
+#include "pits/bytecode.hpp"
+
+// Instructions are emitted with designated initializers naming only the
+// operands an opcode uses; every Instr field carries a default member
+// initializer, so the "missing initializer" diagnostic is noise here.
+#if defined(__GNUC__)
+#pragma GCC diagnostic ignored "-Wmissing-field-initializers"
+#endif
+
+namespace banger::pits::bc {
+
+namespace {
+
+// Registers, pool indices, and name indices are 16-bit; a routine that
+// exhausts them (unreachable for human-written programs) makes the
+// caller fall back to the tree-walker.
+constexpr std::size_t kMaxIndex = 60000;
+
+[[noreturn]] void overflow() {
+  fail(ErrorCode::Limit, "PITS routine too large to compile");
+}
+
+/// Scalar arithmetic foldable only when the tree-walker could not have
+/// raised: division/mod by zero and NaN-from-real pow stay runtime.
+std::optional<double> fold_scalar_op(BinOp op, double a, double b) {
+  switch (op) {
+    case BinOp::Add: return a + b;
+    case BinOp::Sub: return a - b;
+    case BinOp::Mul: return a * b;
+    case BinOp::Div:
+      if (b == 0) return std::nullopt;
+      return a / b;
+    case BinOp::Mod:
+      if (b == 0) return std::nullopt;
+      return std::fmod(a, b);
+    case BinOp::Pow: {
+      const double r = std::pow(a, b);
+      if (std::isnan(r) && !std::isnan(a) && !std::isnan(b)) {
+        return std::nullopt;
+      }
+      return r;
+    }
+    default: return std::nullopt;
+  }
+}
+
+Op arith_op(BinOp op) {
+  switch (op) {
+    case BinOp::Add: return Op::Add;
+    case BinOp::Sub: return Op::Sub;
+    case BinOp::Mul: return Op::Mul;
+    case BinOp::Div: return Op::Div;
+    case BinOp::Mod: return Op::Mod;
+    case BinOp::Pow: return Op::Pow;
+    case BinOp::Eq: return Op::CmpEq;
+    case BinOp::Ne: return Op::CmpNe;
+    case BinOp::Lt: return Op::Lt;
+    case BinOp::Le: return Op::Le;
+    case BinOp::Gt: return Op::Gt;
+    case BinOp::Ge: return Op::Ge;
+    default: BANGER_ASSERT(false, "logical op has no direct opcode");
+  }
+}
+
+/// A compiled operand: the register holding the value and whether that
+/// register is a dead temporary after one use (movable by the consumer).
+struct Operand {
+  std::uint16_t reg = 0;
+  bool temp = false;
+};
+
+/// Per-body compile state: the instruction stream under construction
+/// plus a stack-disciplined temp allocator and, for the routine's top
+/// level, the must-be-bound set that lets CheckVar instructions be
+/// elided on re-reads.
+struct Frame {
+  Code code;
+  std::uint16_t next_temp = 0;
+  std::uint16_t high_water = 0;
+  bool in_formula = false;
+  const std::map<std::string, std::uint16_t>* params = nullptr;
+  /// readable[slot]: every execution path reaching the instruction now
+  /// being emitted has already bound or checked the slot.
+  std::vector<char> readable;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(const Block& body) {
+    collect_block(body);
+    Frame f;
+    f.next_temp = static_cast<std::uint16_t>(chunk_.vars.size());
+    f.high_water = f.next_temp;
+    f.readable.assign(chunk_.vars.size(), 0);
+    compile_block(f, body);
+    emit(f, {.op = Op::Halt});
+    f.code.num_regs = f.high_water;
+    chunk_.main = std::move(f.code);
+    chunk_.num_formula_names =
+        static_cast<std::uint32_t>(formula_table_of_.size());
+  }
+
+  Chunk take() { return std::move(chunk_); }
+
+ private:
+  // ---- interning ----------------------------------------------------
+
+  std::uint16_t name_id(const std::string& s) {
+    if (auto it = name_ids_.find(s); it != name_ids_.end()) return it->second;
+    if (chunk_.names.size() >= kMaxIndex) overflow();
+    const auto id = static_cast<std::uint16_t>(chunk_.names.size());
+    chunk_.names.push_back(s);
+    name_ids_.emplace(s, id);
+    return id;
+  }
+
+  std::uint16_t const_id(Value v) {
+    if (chunk_.consts.size() >= kMaxIndex) overflow();
+    const auto next = static_cast<std::uint16_t>(chunk_.consts.size());
+    if (v.is_scalar()) {
+      // Dedup by bit pattern: -0.0 and 0.0 display differently, and NaN
+      // never compares equal to itself.
+      std::uint64_t bits = 0;
+      const double d = v.as_scalar();
+      std::memcpy(&bits, &d, sizeof bits);
+      if (auto [it, inserted] = scalar_ids_.emplace(bits, next); !inserted) {
+        return it->second;
+      }
+    } else if (v.is_string()) {
+      if (auto [it, inserted] = string_ids_.emplace(v.as_string(), next);
+          !inserted) {
+        return it->second;
+      }
+    }
+    chunk_.consts.push_back(std::move(v));
+    return next;
+  }
+
+  std::uint16_t message_id(std::string s) {
+    if (auto it = message_ids_.find(s); it != message_ids_.end()) {
+      return it->second;
+    }
+    if (chunk_.messages.size() >= kMaxIndex) overflow();
+    const auto id = static_cast<std::uint16_t>(chunk_.messages.size());
+    message_ids_.emplace(s, id);
+    chunk_.messages.push_back(std::move(s));
+    return id;
+  }
+
+  std::uint16_t slot(const std::string& name) {
+    if (auto it = slot_of_.find(name); it != slot_of_.end()) return it->second;
+    if (chunk_.vars.size() >= kMaxIndex) overflow();
+    const auto id = static_cast<std::uint16_t>(chunk_.vars.size());
+    VarInfo vi;
+    vi.name = name_id(name);
+    if (auto c = constants().find(name); c != constants().end()) {
+      vi.has_const = true;
+      vi.const_value = c->second;
+    }
+    chunk_.vars.push_back(vi);
+    slot_of_.emplace(name, id);
+    return id;
+  }
+
+  // ---- pre-pass: slot + formula-name collection ----------------------
+
+  void collect_block(const Block& block) {
+    for (const StmtPtr& s : block) collect_stmt(*s);
+  }
+
+  void collect_stmt(const Stmt& s) {
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, AssignStmt>) {
+            slot(node.target);
+            if (node.index) collect_expr(*node.index);
+            collect_expr(*node.value);
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            for (const auto& arm : node.arms) {
+              collect_expr(*arm.cond);
+              collect_block(arm.body);
+            }
+            collect_block(node.else_body);
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            collect_expr(*node.cond);
+            collect_block(node.body);
+          } else if constexpr (std::is_same_v<T, RepeatStmt>) {
+            collect_expr(*node.count);
+            collect_block(node.body);
+          } else if constexpr (std::is_same_v<T, ForStmt>) {
+            slot(node.var);
+            collect_expr(*node.from);
+            collect_expr(*node.to);
+            if (node.step) collect_expr(*node.step);
+            collect_block(node.body);
+          } else if constexpr (std::is_same_v<T, FormulaDef>) {
+            // Formula bodies see only their parameters and constants —
+            // no top-level slots. Doomed names (shadowing a builtin)
+            // still get a table entry; it just never becomes live.
+            if (!formula_table_of_.contains(node.name)) {
+              const auto idx =
+                  static_cast<std::int32_t>(formula_table_of_.size());
+              formula_table_of_.emplace(node.name, idx);
+            }
+          } else if constexpr (std::is_same_v<T, ExprStmt>) {
+            collect_expr(*node.expr);
+          }
+        },
+        s.node);
+  }
+
+  void collect_expr(const Expr& e) {
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, VarRef>) {
+            slot(node.name);
+          } else if constexpr (std::is_same_v<T, VectorLit>) {
+            for (const auto& el : node.elements) collect_expr(*el);
+          } else if constexpr (std::is_same_v<T, Unary>) {
+            collect_expr(*node.operand);
+          } else if constexpr (std::is_same_v<T, Binary>) {
+            collect_expr(*node.lhs);
+            collect_expr(*node.rhs);
+          } else if constexpr (std::is_same_v<T, Index>) {
+            collect_expr(*node.base);
+            collect_expr(*node.index);
+          } else if constexpr (std::is_same_v<T, Call>) {
+            for (const auto& a : node.args) collect_expr(*a);
+          }
+        },
+        e.node);
+  }
+
+  // ---- constant folding ----------------------------------------------
+
+  static bool is_literal(const Expr& e) {
+    return std::holds_alternative<NumberLit>(e.node) ||
+           std::holds_alternative<StringLit>(e.node);
+  }
+
+  std::optional<Value> fold(const Expr& e, const Frame& f) const {
+    return std::visit(
+        [&](const auto& node) -> std::optional<Value> {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, NumberLit>) {
+            return Value(node.value);
+          } else if constexpr (std::is_same_v<T, StringLit>) {
+            return Value(node.value);
+          } else if constexpr (std::is_same_v<T, VarRef>) {
+            // Top-level constants never fold: the Env may bind the same
+            // name at entry ("pi" as a task input shadows the button).
+            // Formula frames hold only parameters, so there a non-param
+            // constant is compile-time known.
+            if (!f.in_formula) return std::nullopt;
+            if (f.params->contains(node.name)) return std::nullopt;
+            if (auto c = constants().find(node.name); c != constants().end()) {
+              return Value(c->second);
+            }
+            return std::nullopt;
+          } else if constexpr (std::is_same_v<T, VectorLit>) {
+            Vector out;
+            out.reserve(node.elements.size());
+            for (const auto& el : node.elements) {
+              auto v = fold(*el, f);
+              if (!v || !v->is_scalar()) return std::nullopt;
+              out.push_back(v->as_scalar());
+            }
+            return Value(std::move(out));
+          } else if constexpr (std::is_same_v<T, Unary>) {
+            auto v = fold(*node.operand, f);
+            if (!v) return std::nullopt;
+            if (node.op == UnOp::Not) return Value(v->truthy() ? 0.0 : 1.0);
+            if (v->is_scalar()) return Value(-v->as_scalar());
+            if (v->is_vector()) {
+              Vector out = v->as_vector();
+              for (double& x : out) x = -x;
+              return Value(std::move(out));
+            }
+            return std::nullopt;  // negating a string errors at run time
+          } else if constexpr (std::is_same_v<T, Binary>) {
+            return fold_binary(node, f);
+          } else if constexpr (std::is_same_v<T, Index>) {
+            auto base = fold(*node.base, f);
+            auto idx = fold(*node.index, f);
+            if (!base || !idx || !base->is_vector() || !idx->is_scalar()) {
+              return std::nullopt;
+            }
+            const double raw = idx->as_scalar();
+            const Vector& v = base->as_vector();
+            if (std::floor(raw) != raw || raw < 0 ||
+                raw >= static_cast<double>(v.size())) {
+              return std::nullopt;
+            }
+            return Value(v[static_cast<std::size_t>(raw)]);
+          } else {
+            return std::nullopt;  // calls never fold (rand, print, formulas)
+          }
+        },
+        e.node);
+  }
+
+  std::optional<Value> fold_binary(const Binary& node, const Frame& f) const {
+    auto lhs = fold(*node.lhs, f);
+    if (!lhs) return std::nullopt;
+    // Short-circuit folds drop the unevaluated side entirely, exactly
+    // like the tree-walker never evaluates it.
+    if (node.op == BinOp::And && !lhs->truthy()) return Value(0.0);
+    if (node.op == BinOp::Or && lhs->truthy()) return Value(1.0);
+    auto rhs = fold(*node.rhs, f);
+    if (!rhs) return std::nullopt;
+    switch (node.op) {
+      case BinOp::And:
+      case BinOp::Or:
+        return Value(rhs->truthy() ? 1.0 : 0.0);
+      case BinOp::Eq: return Value(lhs->equals(*rhs) ? 1.0 : 0.0);
+      case BinOp::Ne: return Value(lhs->equals(*rhs) ? 0.0 : 1.0);
+      case BinOp::Lt:
+      case BinOp::Le:
+      case BinOp::Gt:
+      case BinOp::Ge: {
+        double cmp = 0;
+        if (lhs->is_scalar() && rhs->is_scalar()) {
+          const double a = lhs->as_scalar();
+          const double b = rhs->as_scalar();
+          cmp = a < b ? -1 : (a > b ? 1 : 0);
+        } else if (lhs->is_string() && rhs->is_string()) {
+          const int c = lhs->as_string().compare(rhs->as_string());
+          cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+        } else {
+          return std::nullopt;  // mixed-type ordering errors at run time
+        }
+        switch (node.op) {
+          case BinOp::Lt: return Value(cmp < 0 ? 1.0 : 0.0);
+          case BinOp::Le: return Value(cmp <= 0 ? 1.0 : 0.0);
+          case BinOp::Gt: return Value(cmp > 0 ? 1.0 : 0.0);
+          default: return Value(cmp >= 0 ? 1.0 : 0.0);
+        }
+      }
+      default: break;
+    }
+    if (lhs->is_string() || rhs->is_string()) {
+      if (node.op == BinOp::Add && lhs->is_string() && rhs->is_string()) {
+        return Value(lhs->as_string() + rhs->as_string());
+      }
+      return std::nullopt;  // string arithmetic errors at run time
+    }
+    return fold_arith(node.op, *lhs, *rhs);
+  }
+
+  static std::optional<Value> fold_arith(BinOp op, const Value& lhs,
+                                         const Value& rhs) {
+    if (lhs.is_scalar() && rhs.is_scalar()) {
+      auto r = fold_scalar_op(op, lhs.as_scalar(), rhs.as_scalar());
+      if (!r) return std::nullopt;
+      return Value(*r);
+    }
+    if (lhs.is_vector() && rhs.is_vector()) {
+      const Vector& a = lhs.as_vector();
+      const Vector& b = rhs.as_vector();
+      if (a.size() != b.size()) return std::nullopt;
+      Vector out(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        auto r = fold_scalar_op(op, a[i], b[i]);
+        if (!r) return std::nullopt;
+        out[i] = *r;
+      }
+      return Value(std::move(out));
+    }
+    if (lhs.is_scalar() && rhs.is_vector()) {
+      const double a = lhs.as_scalar();
+      Vector out = rhs.as_vector();
+      for (double& x : out) {
+        auto r = fold_scalar_op(op, a, x);
+        if (!r) return std::nullopt;
+        x = *r;
+      }
+      return Value(std::move(out));
+    }
+    if (lhs.is_vector() && rhs.is_scalar()) {
+      const double b = rhs.as_scalar();
+      Vector out = lhs.as_vector();
+      for (double& x : out) {
+        auto r = fold_scalar_op(op, x, b);
+        if (!r) return std::nullopt;
+        x = *r;
+      }
+      return Value(std::move(out));
+    }
+    return std::nullopt;
+  }
+
+  // ---- emission helpers ----------------------------------------------
+
+  static std::size_t emit(Frame& f, Instr in) {
+    f.code.ins.push_back(in);
+    return f.code.ins.size() - 1;
+  }
+
+  static void patch(Frame& f, std::size_t at) {
+    f.code.ins[at].d = static_cast<std::int32_t>(f.code.ins.size());
+  }
+
+  static std::uint16_t alloc(Frame& f) {
+    if (f.next_temp >= kMaxIndex) overflow();
+    const std::uint16_t r = f.next_temp++;
+    f.high_water = std::max(f.high_water, f.next_temp);
+    return r;
+  }
+
+  /// Destination register for an expression: the caller-requested one,
+  /// or a fresh temp.
+  static std::uint16_t dst_reg(Frame& f, int want) {
+    return want >= 0 ? static_cast<std::uint16_t>(want) : alloc(f);
+  }
+
+  static std::uint8_t temp_flags(const Operand& b) {
+    return b.temp ? kTempB : 0;
+  }
+  static std::uint8_t temp_flags(const Operand& b, const Operand& c) {
+    // A register may only be moved/mutated when it holds a dead temp
+    // and is not also the other operand (v + v reads one slot twice).
+    std::uint8_t flags = 0;
+    if (b.temp && b.reg != c.reg) flags |= kTempB;
+    if (c.temp && c.reg != b.reg) flags |= kTempC;
+    return flags;
+  }
+
+  // ---- expressions ---------------------------------------------------
+
+  /// Compiles `e`; the result lands in register `want` (>= 0) or in a
+  /// register of the compiler's choosing (want < 0 — either a fresh
+  /// temp or, for a plain variable read, the variable's own slot with
+  /// no copy at all). Every case writes its destination only as its
+  /// final action, so `x := f(x, x + 1)` style self-references read the
+  /// old value throughout.
+  Operand compile_expr(Frame& f, const Expr& e, int want) {
+    if (auto v = fold(e, f)) {
+      if (!is_literal(e)) ++chunk_.folded;
+      const std::uint16_t dst = dst_reg(f, want);
+      emit(f, {.op = Op::LoadConst,
+               .a = dst,
+               .b = const_id(std::move(*v)),
+               .pos = e.pos});
+      return {dst, want < 0};
+    }
+    return std::visit(
+        [&](const auto& node) -> Operand {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, NumberLit> ||
+                        std::is_same_v<T, StringLit>) {
+            BANGER_ASSERT(false, "literals always fold");
+          } else if constexpr (std::is_same_v<T, VarRef>) {
+            return compile_var(f, node, e.pos, want);
+          } else if constexpr (std::is_same_v<T, VectorLit>) {
+            return compile_vector_lit(f, node, e.pos, want);
+          } else if constexpr (std::is_same_v<T, Unary>) {
+            const std::uint16_t mark = f.next_temp;
+            const Operand v = compile_expr(f, *node.operand, -1);
+            f.next_temp = mark;
+            const std::uint16_t dst = dst_reg(f, want);
+            emit(f, {.op = node.op == UnOp::Not ? Op::NotOp : Op::Neg,
+                     .flags = temp_flags(v),
+                     .a = dst,
+                     .b = v.reg,
+                     .pos = e.pos});
+            return {dst, want < 0};
+          } else if constexpr (std::is_same_v<T, Binary>) {
+            return compile_binary(f, node, e.pos, want);
+          } else if constexpr (std::is_same_v<T, Index>) {
+            const std::uint16_t mark = f.next_temp;
+            const Operand base = compile_expr(f, *node.base, -1);
+            emit(f, {.op = Op::CheckIndexable, .a = base.reg, .pos = e.pos});
+            const Operand idx = compile_expr(f, *node.index, -1);
+            f.next_temp = mark;
+            const std::uint16_t dst = dst_reg(f, want);
+            emit(f, {.op = Op::IndexLoad,
+                     .a = dst,
+                     .b = base.reg,
+                     .c = idx.reg,
+                     .pos = node.index->pos});
+            return {dst, want < 0};
+          } else if constexpr (std::is_same_v<T, Call>) {
+            return compile_call(f, node, e.pos, want);
+          }
+        },
+        e.node);
+  }
+
+  Operand compile_var(Frame& f, const VarRef& node, SourcePos pos, int want) {
+    if (f.in_formula) {
+      if (auto it = f.params->find(node.name); it != f.params->end()) {
+        return move_to_want(f, {it->second, false}, want);
+      }
+      // Not a parameter, not a constant (those folded): the read can
+      // only fail, so it lowers to the tree-walker's error.
+      return emit_error(f, ErrorCode::Name,
+                        "undefined variable `" + node.name + "`", pos, want);
+    }
+    const std::uint16_t s = slot_of_.at(node.name);
+    if (!f.readable[s]) {
+      emit(f, {.op = Op::CheckVar, .a = s, .pos = pos});
+      f.readable[s] = 1;
+    }
+    return move_to_want(f, {s, false}, want);
+  }
+
+  /// Routes a value already living in a register to the requested
+  /// destination (a copy for named slots, a move for temps).
+  Operand move_to_want(Frame& f, Operand r, int want) {
+    if (want < 0 || r.reg == static_cast<std::uint16_t>(want)) return r;
+    emit(f, {.op = Op::Move,
+             .flags = temp_flags(r),
+             .a = static_cast<std::uint16_t>(want),
+             .b = r.reg});
+    return {static_cast<std::uint16_t>(want), false};
+  }
+
+  Operand emit_error(Frame& f, ErrorCode code, std::string msg, SourcePos pos,
+                     int want) {
+    emit(f, {.op = Op::ErrAlways,
+             .a = static_cast<std::uint16_t>(code),
+             .b = message_id(std::move(msg)),
+             .pos = pos});
+    return {dst_reg(f, want), want < 0};
+  }
+
+  Operand compile_vector_lit(Frame& f, const VectorLit& node, SourcePos pos,
+                             int want) {
+    // Always built in a fresh temp: elements may read the assignment
+    // target (`v := [v[1], v[0]]`), so the destination slot must keep
+    // its old value until the vector is complete.
+    const std::uint16_t mark = f.next_temp;
+    const std::uint16_t vec = alloc(f);
+    emit(f, {.op = Op::NewVector,
+             .a = vec,
+             .d = static_cast<std::int32_t>(node.elements.size()),
+             .pos = pos});
+    for (const auto& el : node.elements) {
+      const std::uint16_t inner = f.next_temp;
+      const Operand r = compile_expr(f, *el, -1);
+      emit(f, {.op = Op::PushScalar, .a = vec, .b = r.reg, .pos = el->pos});
+      f.next_temp = inner;
+    }
+    if (want >= 0) {
+      emit(f, {.op = Op::Move,
+               .flags = kTempB,
+               .a = static_cast<std::uint16_t>(want),
+               .b = vec});
+      f.next_temp = mark;
+      return {static_cast<std::uint16_t>(want), false};
+    }
+    return {vec, true};
+  }
+
+  Operand compile_binary(Frame& f, const Binary& node, SourcePos pos,
+                         int want) {
+    if (node.op == BinOp::And || node.op == BinOp::Or) {
+      return compile_logical(f, node, want);
+    }
+    const std::uint16_t mark = f.next_temp;
+    const Operand lhs = compile_expr(f, *node.lhs, -1);
+    const Operand rhs = compile_expr(f, *node.rhs, -1);
+    f.next_temp = mark;
+    const std::uint16_t dst = dst_reg(f, want);
+    emit(f, {.op = arith_op(node.op),
+             .flags = temp_flags(lhs, rhs),
+             .a = dst,
+             .b = lhs.reg,
+             .c = rhs.reg,
+             .pos = pos});
+    return {dst, want < 0};
+  }
+
+  Operand compile_logical(Frame& f, const Binary& node, int want) {
+    const bool is_and = node.op == BinOp::And;
+    if (auto lv = fold(*node.lhs, f)) {
+      // Constant lhs: either the whole expression is decided (the other
+      // side is *dropped*, matching the tree-walker never evaluating
+      // it), or the result is just truthy(rhs).
+      ++chunk_.folded;
+      if (lv->truthy() == is_and) {
+        const std::uint16_t mark = f.next_temp;
+        const Operand r = compile_expr(f, *node.rhs, -1);
+        f.next_temp = mark;
+        const std::uint16_t dst = dst_reg(f, want);
+        emit(f, {.op = Op::Truthy,
+                 .flags = temp_flags(r),
+                 .a = dst,
+                 .b = r.reg});
+        return {dst, want < 0};
+      }
+      const std::uint16_t dst = dst_reg(f, want);
+      emit(f, {.op = Op::LoadConst,
+               .a = dst,
+               .b = const_id(Value(is_and ? 0.0 : 1.0))});
+      return {dst, want < 0};
+    }
+    const std::uint16_t mark = f.next_temp;
+    const Operand lhs = compile_expr(f, *node.lhs, -1);
+    const std::size_t skip = emit(
+        f, {.op = is_and ? Op::JumpIfFalsy : Op::JumpIfTruthy, .b = lhs.reg});
+    f.next_temp = mark;
+    // The rhs runs only when the lhs did not decide the result, so any
+    // CheckVar inside it proves nothing for code after the expression.
+    std::vector<char> saved = f.readable;
+    const Operand rhs = compile_expr(f, *node.rhs, -1);
+    f.readable = std::move(saved);
+    f.next_temp = mark;
+    const std::uint16_t dst = dst_reg(f, want);
+    emit(f, {.op = Op::Truthy, .flags = temp_flags(rhs), .a = dst, .b = rhs.reg});
+    const std::size_t done = emit(f, {.op = Op::Jump});
+    patch(f, skip);
+    emit(f, {.op = Op::LoadConst,
+             .a = dst,
+             .b = const_id(Value(is_and ? 0.0 : 1.0))});
+    patch(f, done);
+    return {dst, want < 0};
+  }
+
+  Operand compile_call(Frame& f, const Call& node, SourcePos pos, int want) {
+    if (node.callee == "when") return compile_when(f, node, pos, want);
+    if (f.code.sites.size() >= kMaxIndex) overflow();
+
+    CallSite site;
+    site.name = name_id(node.callee);
+    site.builtin = BuiltinRegistry::instance().find(node.callee);
+    if (auto it = formula_table_of_.find(node.callee);
+        it != formula_table_of_.end()) {
+      site.formula = it->second;
+    }
+    const auto site_idx = static_cast<std::uint16_t>(f.code.sites.size());
+    f.code.sites.emplace_back();
+
+    const std::uint16_t mark = f.next_temp;
+    const std::uint16_t dst = dst_reg(f, want);
+    const std::size_t call_at = emit(
+        f, {.op = Op::CallOp, .a = dst, .b = site_idx, .pos = pos});
+    // Argument code is embedded after the call instruction; the VM runs
+    // each range only after resolving the callee and checking arity
+    // (the tree-walker's order), then resumes at `d`.
+    for (const auto& a : node.args) {
+      const std::uint16_t areg = alloc(f);
+      const std::uint16_t inner = f.next_temp;
+      ArgRange ar;
+      ar.begin = static_cast<std::uint32_t>(f.code.ins.size());
+      ar.reg = areg;
+      ar.temp = 1;
+      compile_expr(f, *a, areg);
+      ar.end = static_cast<std::uint32_t>(f.code.ins.size());
+      site.args.push_back(ar);
+      f.next_temp = inner;
+    }
+    patch(f, call_at);
+    f.code.sites[site_idx] = std::move(site);
+    f.next_temp = want >= 0 ? mark : static_cast<std::uint16_t>(dst + 1);
+    return {dst, want < 0};
+  }
+
+  Operand compile_when(Frame& f, const Call& node, SourcePos pos, int want) {
+    if (node.args.size() != 3) {
+      return emit_error(f, ErrorCode::Type,
+                        "when() expects (condition, then, else)", pos, want);
+    }
+    const std::uint16_t mark = f.next_temp;
+    const Operand cond = compile_expr(f, *node.args[0], -1);
+    const std::size_t to_else =
+        emit(f, {.op = Op::JumpIfFalsy, .b = cond.reg});
+    f.next_temp = mark;
+    const std::uint16_t dst = dst_reg(f, want);
+    // Each arm executes on its own path; CheckVar knowledge survives
+    // the join only when proven on both.
+    const std::vector<char> before = f.readable;
+    compile_expr(f, *node.args[1], dst);
+    std::vector<char> after_then = std::move(f.readable);
+    const std::size_t done = emit(f, {.op = Op::Jump});
+    patch(f, to_else);
+    f.readable = before;
+    compile_expr(f, *node.args[2], dst);
+    patch(f, done);
+    intersect(f.readable, after_then);
+    f.next_temp = want >= 0 ? mark : static_cast<std::uint16_t>(dst + 1);
+    return {dst, want < 0};
+  }
+
+  static void intersect(std::vector<char>& into, const std::vector<char>& other) {
+    for (std::size_t i = 0; i < into.size(); ++i) {
+      into[i] = static_cast<char>(into[i] != 0 && other[i] != 0);
+    }
+  }
+
+  // ---- statements ----------------------------------------------------
+
+  void compile_block(Frame& f, const Block& block) {
+    for (const StmtPtr& s : block) compile_stmt(f, *s);
+  }
+
+  void compile_stmt(Frame& f, const Stmt& s) {
+    emit(f, {.op = Op::Tick, .pos = s.pos});
+    std::visit(
+        [&](const auto& node) {
+          using T = std::decay_t<decltype(node)>;
+          if constexpr (std::is_same_v<T, AssignStmt>) {
+            compile_assign(f, node, s.pos);
+          } else if constexpr (std::is_same_v<T, IfStmt>) {
+            compile_if(f, node);
+          } else if constexpr (std::is_same_v<T, WhileStmt>) {
+            compile_while(f, node, s.pos);
+          } else if constexpr (std::is_same_v<T, RepeatStmt>) {
+            compile_repeat(f, node, s.pos);
+          } else if constexpr (std::is_same_v<T, ForStmt>) {
+            compile_for(f, node, s.pos);
+          } else if constexpr (std::is_same_v<T, ReturnStmt>) {
+            emit(f, {.op = Op::Halt, .pos = s.pos});
+          } else if constexpr (std::is_same_v<T, FormulaDef>) {
+            compile_formula_def(f, node, s.pos);
+          } else if constexpr (std::is_same_v<T, ExprStmt>) {
+            const std::uint16_t mark = f.next_temp;
+            compile_expr(f, *node.expr, -1);
+            f.next_temp = mark;
+          }
+        },
+        s.node);
+  }
+
+  void compile_assign(Frame& f, const AssignStmt& node, SourcePos pos) {
+    const std::uint16_t target = slot_of_.at(node.target);
+    const std::uint16_t mark = f.next_temp;
+    if (node.index) {
+      // Value first, then target checks, then index — the tree-walker's
+      // evaluation order, so error precedence matches.
+      const Operand value = compile_expr(f, *node.value, -1);
+      emit(f, {.op = Op::IndexedCheck, .a = target, .pos = pos});
+      f.readable[target] = 1;
+      const Operand idx = compile_expr(f, *node.index, -1);
+      emit(f, {.op = Op::IndexedStore,
+               .a = target,
+               .b = idx.reg,
+               .c = value.reg,
+               .pos = node.index->pos});
+    } else {
+      compile_expr(f, *node.value, target);
+      f.readable[target] = 1;
+    }
+    f.next_temp = mark;
+    emit(f, {.op = Op::FinishAssign, .a = target, .pos = pos});
+  }
+
+  void compile_if(Frame& f, const IfStmt& node) {
+    std::vector<std::size_t> done_jumps;
+    std::vector<std::vector<char>> ends;
+    for (const auto& arm : node.arms) {
+      const std::uint16_t mark = f.next_temp;
+      const Operand cond = compile_expr(f, *arm.cond, -1);
+      f.next_temp = mark;
+      const std::size_t to_next =
+          emit(f, {.op = Op::JumpIfFalsy, .b = cond.reg});
+      const std::vector<char> at_cond = f.readable;
+      compile_block(f, arm.body);
+      ends.push_back(std::move(f.readable));
+      done_jumps.push_back(emit(f, {.op = Op::Jump}));
+      patch(f, to_next);
+      f.readable = at_cond;
+    }
+    compile_block(f, node.else_body);
+    for (const std::size_t j : done_jumps) patch(f, j);
+    for (const auto& end : ends) intersect(f.readable, end);
+  }
+
+  void compile_while(Frame& f, const WhileStmt& node, SourcePos pos) {
+    const auto head = static_cast<std::int32_t>(f.code.ins.size());
+    const std::uint16_t mark = f.next_temp;
+    const Operand cond = compile_expr(f, *node.cond, -1);
+    f.next_temp = mark;
+    const std::size_t exit_jump =
+        emit(f, {.op = Op::JumpIfFalsy, .b = cond.reg, .pos = pos});
+    // The condition always runs at least once, so its CheckVar facts
+    // survive the loop; the body may run zero times, so its don't.
+    const std::vector<char> at_cond = f.readable;
+    emit(f, {.op = Op::Tick, .pos = pos});
+    compile_block(f, node.body);
+    emit(f, {.op = Op::Jump, .d = head, .pos = pos});
+    patch(f, exit_jump);
+    f.readable = at_cond;
+  }
+
+  void compile_repeat(Frame& f, const RepeatStmt& node, SourcePos pos) {
+    const std::uint16_t mark = f.next_temp;
+    const std::uint16_t counter = alloc(f);
+    const std::uint16_t limit = alloc(f);
+    const Operand count = compile_expr(f, *node.count, -1);
+    emit(f, {.op = Op::RepeatInit,
+             .a = counter,
+             .b = limit,
+             .c = count.reg,
+             .pos = pos});
+    f.next_temp = static_cast<std::uint16_t>(limit + 1);
+    const auto head = static_cast<std::int32_t>(f.code.ins.size());
+    const std::size_t exit_jump =
+        emit(f, {.op = Op::RepeatNext, .a = counter, .b = limit, .pos = pos});
+    const std::vector<char> at_head = f.readable;
+    compile_block(f, node.body);
+    emit(f, {.op = Op::Jump, .d = head, .pos = pos});
+    patch(f, exit_jump);
+    f.readable = at_head;
+    f.next_temp = mark;
+  }
+
+  void compile_for(Frame& f, const ForStmt& node, SourcePos pos) {
+    const std::uint16_t target = slot_of_.at(node.var);
+    const std::uint16_t mark = f.next_temp;
+    const std::uint16_t counter = alloc(f);
+    const std::uint16_t limit = alloc(f);
+    const std::uint16_t step = alloc(f);
+    // from/to/step evaluate once, each coerced to a scalar immediately
+    // (interleaved with evaluation, like the tree-walker's as_scalar).
+    compile_bound(f, *node.from, counter);
+    compile_bound(f, *node.to, limit);
+    if (node.step) {
+      compile_bound(f, *node.step, step);
+    } else {
+      emit(f, {.op = Op::LoadConst, .a = step, .b = const_id(Value(1.0))});
+    }
+    emit(f, {.op = Op::ForInit, .a = step, .pos = pos});
+    const auto head = static_cast<std::int32_t>(f.code.ins.size());
+    const std::size_t exit_jump = emit(f, {.op = Op::ForNext,
+                                           .a = counter,
+                                           .b = limit,
+                                           .c = step,
+                                           .pos = pos});
+    emit(f, {.op = Op::SetLoopVar, .a = target, .b = counter, .pos = pos});
+    const std::vector<char> at_head = f.readable;
+    f.readable[target] = 1;
+    compile_block(f, node.body);
+    emit(f, {.op = Op::ForStep, .a = counter, .c = step, .d = head});
+    patch(f, exit_jump);
+    // Zero iterations leave the loop variable unbound.
+    f.readable = at_head;
+    f.next_temp = mark;
+  }
+
+  void compile_bound(Frame& f, const Expr& e, std::uint16_t into) {
+    const std::uint16_t inner = f.next_temp;
+    const Operand r = compile_expr(f, e, -1);
+    emit(f, {.op = Op::ToScalar, .a = into, .b = r.reg, .pos = e.pos});
+    f.next_temp = inner;
+  }
+
+  void compile_formula_def(Frame& f, const FormulaDef& node, SourcePos pos) {
+    // The tree-walker validates the name every time the definition
+    // executes; all three checks are static, so a doomed definition
+    // lowers to its error and a valid one to a table registration.
+    if (node.name == "when") {
+      emit_error(f, ErrorCode::Name, "`when` is the conditional special form",
+                 pos, 0);
+      return;
+    }
+    if (BuiltinRegistry::instance().find(node.name) != nullptr) {
+      emit_error(f, ErrorCode::Name,
+                 "formula `" + node.name + "` would shadow a calculator button",
+                 pos, 0);
+      return;
+    }
+    if (constants().contains(node.name)) {
+      emit_error(f, ErrorCode::Name,
+                 "formula `" + node.name + "` would shadow a constant", pos, 0);
+      return;
+    }
+    if (chunk_.formulas.size() >= kMaxIndex) overflow();
+    const auto idx = static_cast<std::uint16_t>(chunk_.formulas.size());
+    chunk_.formulas.push_back(compile_formula(node));
+    emit(f, {.op = Op::DefFormula, .b = idx, .pos = pos});
+  }
+
+  Formula compile_formula(const FormulaDef& def) {
+    Formula fo;
+    fo.name = name_id(def.name);
+    fo.table = formula_table_of_.at(def.name);
+    std::map<std::string, std::uint16_t> params;
+    std::uint16_t next_reg = 0;
+    for (const std::string& p : def.params) {
+      if (auto it = params.find(p); it != params.end()) {
+        // Duplicate parameter: the tree-walker's emplace keeps the
+        // first binding; later arguments still evaluate, then drop.
+        fo.param_reg.push_back(it->second);
+        fo.param_bind.push_back(0);
+      } else {
+        params.emplace(p, next_reg);
+        fo.param_reg.push_back(next_reg);
+        fo.param_bind.push_back(1);
+        ++next_reg;
+      }
+    }
+    Frame ff;
+    ff.in_formula = true;
+    ff.params = &params;
+    ff.next_temp = next_reg;
+    ff.high_water = next_reg;
+    const Operand result = compile_expr(ff, *def.body, -1);
+    fo.result = result.reg;
+    ff.code.num_regs = ff.high_water;
+    fo.code = std::move(ff.code);
+    return fo;
+  }
+
+  Chunk chunk_;
+  std::map<std::string, std::uint16_t> name_ids_;
+  std::map<std::uint64_t, std::uint16_t> scalar_ids_;
+  std::map<std::string, std::uint16_t> string_ids_;
+  std::map<std::string, std::uint16_t> message_ids_;
+  std::map<std::string, std::uint16_t> slot_of_;
+  std::map<std::string, std::int32_t> formula_table_of_;
+};
+
+}  // namespace
+
+Chunk compile(const Block& body) { return Compiler(body).take(); }
+
+}  // namespace banger::pits::bc

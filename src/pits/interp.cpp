@@ -2,8 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <mutex>
+#include <string_view>
 
+#include "obs/trace.hpp"
 #include "pits/builtins.hpp"
+#include "pits/bytecode.hpp"
 #include "util/rng.hpp"
 
 namespace banger::pits {
@@ -214,7 +219,8 @@ class Interp {
     }
     Value v = eval(*node.operand);
     if (v.is_vector()) {
-      Vector out = v.as_vector();
+      // `v` is a dead local: negate its buffer in place of a copy.
+      Vector out = std::move(v.as_vector());
       for (double& x : out) x = -x;
       return Value(std::move(out));
     }
@@ -310,36 +316,39 @@ class Interp {
     }
   }
 
-  Value arith(BinOp op, const Value& lhs, const Value& rhs, SourcePos pos) {
+  // `lhs`/`rhs` are the caller's dead locals, so vector payloads are
+  // reused in place instead of copied — element order and error
+  // precedence are unchanged.
+  Value arith(BinOp op, Value& lhs, Value& rhs, SourcePos pos) {
     if (lhs.is_scalar() && rhs.is_scalar()) {
       return Value(scalar_op(op, lhs.as_scalar(), rhs.as_scalar(), pos));
     }
     if (lhs.is_vector() && rhs.is_vector()) {
-      const Vector& a = lhs.as_vector();
       const Vector& b = rhs.as_vector();
-      if (a.size() != b.size()) {
+      if (lhs.as_vector().size() != b.size()) {
         error(ErrorCode::Type,
               "elementwise `" + std::string(to_string(op)) +
-                  "` on vectors of lengths " + std::to_string(a.size()) +
-                  " and " + std::to_string(b.size()),
+                  "` on vectors of lengths " +
+                  std::to_string(lhs.as_vector().size()) + " and " +
+                  std::to_string(b.size()),
               pos);
       }
-      Vector out(a.size());
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        out[i] = scalar_op(op, a[i], b[i], pos);
+      Vector out = std::move(lhs.as_vector());
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = scalar_op(op, out[i], b[i], pos);
       }
       return Value(std::move(out));
     }
     // scalar <op> vector broadcast.
     if (lhs.is_scalar() && rhs.is_vector()) {
       const double a = lhs.as_scalar();
-      Vector out = rhs.as_vector();
+      Vector out = std::move(rhs.as_vector());
       for (double& x : out) x = scalar_op(op, a, x, pos);
       return Value(std::move(out));
     }
     if (lhs.is_vector() && rhs.is_scalar()) {
       const double b = rhs.as_scalar();
-      Vector out = lhs.as_vector();
+      Vector out = std::move(lhs.as_vector());
       for (double& x : out) x = scalar_op(op, x, b, pos);
       return Value(std::move(out));
     }
@@ -444,16 +453,79 @@ class Interp {
   std::uint64_t steps_ = 0;
 };
 
-}  // namespace
-
-Program Program::parse(std::string_view source) {
-  auto body = std::make_shared<Block>(parse_block(source));
-  Program p;
-  p.body_ = std::move(body);
-  return p;
+ExecOptions::Engine default_engine() {
+  static const ExecOptions::Engine resolved = [] {
+    const char* v = std::getenv("BANGER_PITS_ENGINE");
+    if (v != nullptr && std::string_view(v) == "walk") {
+      return ExecOptions::Engine::Walk;
+    }
+    return ExecOptions::Engine::Vm;
+  }();
+  return resolved;
 }
 
+}  // namespace
+
+/// Bytecode cache shared by all copies of a Program: compiled at most
+/// once (std::call_once), then read concurrently without locking. A
+/// null chunk after initialization means the routine exceeded the
+/// compact ISA limits and the tree-walker serves every run.
+struct Program::Compiled {
+  std::once_flag once;
+  std::shared_ptr<const bc::Chunk> chunk;
+};
+
+Program::Program()
+    : body_(std::make_shared<Block>()),
+      compiled_(std::make_shared<Compiled>()) {}
+
+Program::Program(std::shared_ptr<const Block> body)
+    : body_(std::move(body)), compiled_(std::make_shared<Compiled>()) {}
+
+Program Program::parse(std::string_view source) {
+  if (obs::TraceRecorder* rec = obs::current()) rec->bump("pits.parse");
+  return Program(std::make_shared<Block>(parse_block(source)));
+}
+
+std::shared_ptr<const bc::Chunk> Program::compiled_chunk() const {
+  std::call_once(compiled_->once, [&] {
+    try {
+      auto chunk = std::make_shared<const bc::Chunk>(bc::compile(*body_));
+      if (obs::TraceRecorder* rec = obs::current()) {
+        rec->bump("pits.compile.count");
+        rec->bump("pits.compile.slots",
+                  static_cast<double>(chunk->vars.size()));
+        rec->bump("pits.compile.consts",
+                  static_cast<double>(chunk->consts.size()));
+        rec->bump("pits.compile.folded", static_cast<double>(chunk->folded));
+        std::size_t instructions = chunk->main.ins.size();
+        for (const auto& fo : chunk->formulas) {
+          instructions += fo.code.ins.size();
+        }
+        rec->bump("pits.compile.instructions",
+                  static_cast<double>(instructions));
+      }
+      compiled_->chunk = std::move(chunk);
+    } catch (const Error&) {
+      // Routine exceeds the 16-bit ISA limits; keep chunk null and let
+      // the tree-walker serve every execution.
+    }
+  });
+  return compiled_->chunk;
+}
+
+void Program::precompile() const { (void)compiled_chunk(); }
+
 void Program::execute(Env& env, const ExecOptions& options) const {
+  ExecOptions::Engine engine = options.engine;
+  if (engine == ExecOptions::Engine::Auto) engine = default_engine();
+  if (engine == ExecOptions::Engine::Vm) {
+    if (auto chunk = compiled_chunk(); chunk != nullptr) {
+      bc::run(*chunk, env, options);
+      return;
+    }
+  }
+  if (obs::TraceRecorder* rec = obs::current()) rec->bump("pits.walk.runs");
   Interp interp(env, options);
   interp.run(*body_);
 }

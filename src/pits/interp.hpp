@@ -23,6 +23,13 @@ namespace banger::pits {
 using Env = std::map<std::string, Value>;
 
 struct ExecOptions {
+  /// Which execution engine runs the routine. Both are observably
+  /// identical (same results, transcripts, errors, rand() stream); the
+  /// tree-walker is kept as the reference oracle for differential
+  /// testing. Auto resolves via the BANGER_PITS_ENGINE environment
+  /// variable ("walk" selects the tree-walker), defaulting to the VM.
+  enum class Engine : std::uint8_t { Auto, Vm, Walk };
+
   /// Abort with Error{Limit} after this many evaluated statements —
   /// non-programmers write infinite loops, and instant feedback must not
   /// hang the environment.
@@ -34,12 +41,21 @@ struct ExecOptions {
   /// Single-step trace: every assignment is echoed as
   /// "line N: var = value" (the calculator's step mode). Null disables.
   std::ostream* trace = nullptr;
+  Engine engine = Engine::Auto;
 };
 
-/// An immutable, shareable parsed routine.
+namespace bc {
+struct Chunk;
+}  // namespace bc
+
+/// An immutable, shareable parsed routine. The first execution (or an
+/// explicit precompile()) lowers the AST to register bytecode once; the
+/// compiled form is cached behind a thread-safe once-init and shared by
+/// all copies of the Program, so the executor, the calculator panel,
+/// and the codegen reference path reuse one compilation.
 class Program {
  public:
-  Program() : body_(std::make_shared<Block>()) {}
+  Program();
 
   /// Parses PITS source; throws Error{Parse} with positions.
   static Program parse(std::string_view source);
@@ -51,6 +67,10 @@ class Program {
   /// zero, bad index, unknown name...), Error{Type}, or Error{Limit}.
   void execute(Env& env, const ExecOptions& options = {}) const;
 
+  /// Compiles to bytecode now instead of on first execute(). Idempotent,
+  /// thread-safe, and cheap when already compiled.
+  void precompile() const;
+
   /// Canonical source text (pretty-printed AST).
   [[nodiscard]] std::string to_source() const { return pits::to_source(*body_); }
 
@@ -61,9 +81,16 @@ class Program {
   [[nodiscard]] std::vector<std::string> outputs() const;
 
  private:
-  explicit Program(std::shared_ptr<const Block> body)
-      : body_(std::move(body)) {}
+  struct Compiled;  // once-initialized bytecode cache, defined in interp.cpp
+
+  explicit Program(std::shared_ptr<const Block> body);
+
+  /// The cached chunk, compiling on first use; null when the routine
+  /// exceeds the compact ISA limits (the walker then takes over).
+  [[nodiscard]] std::shared_ptr<const bc::Chunk> compiled_chunk() const;
+
   std::shared_ptr<const Block> body_;
+  std::shared_ptr<Compiled> compiled_;
 };
 
 /// Convenience: parse and evaluate a single expression against an

@@ -46,6 +46,24 @@ class Value {
   [[nodiscard]] Vector& as_vector();
   [[nodiscard]] const Str& as_string() const;
 
+  /// Non-throwing accessors for the execution-engine hot paths: one
+  /// variant probe, nullptr on mismatch, no Error construction.
+  [[nodiscard]] const Scalar* scalar_if() const noexcept {
+    return std::get_if<Scalar>(&data_);
+  }
+  [[nodiscard]] Scalar* scalar_if() noexcept {
+    return std::get_if<Scalar>(&data_);
+  }
+  [[nodiscard]] const Vector* vector_if() const noexcept {
+    return std::get_if<Vector>(&data_);
+  }
+  [[nodiscard]] Vector* vector_if() noexcept {
+    return std::get_if<Vector>(&data_);
+  }
+  [[nodiscard]] const Str* string_if() const noexcept {
+    return std::get_if<Str>(&data_);
+  }
+
   /// Truthiness: nonzero scalar / nonempty vector / nonempty string.
   [[nodiscard]] bool truthy() const noexcept;
 

@@ -1,0 +1,661 @@
+// banger/pits/vm.cpp
+//
+// The register VM. One frame of Values per body (routine top level or
+// formula call), allocation-free per instruction on the scalar paths;
+// the Env map is touched only at entry (move inputs into slots) and
+// exit (move bound slots back — including on the error path, since a
+// trial run surfaces the partially-updated environment).
+//
+// Every observable behaviour — step accounting, error codes, messages,
+// positions, print/trace transcripts, the rand() stream — must match
+// the tree-walk interpreter exactly; tests/pits_vm_test.cpp compares
+// the two engines byte for byte.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/trace.hpp"
+#include "pits/builtins.hpp"
+#include "pits/bytecode.hpp"
+#include "util/rng.hpp"
+
+namespace banger::pits::bc {
+
+namespace {
+
+// Slot binding states for the top-level frame. A const-materialized
+// slot reads like a bound one but is not written back to the Env, and
+// indexed assignment still treats it as undefined — both matching the
+// tree-walker, where constants never enter the Env.
+constexpr std::uint8_t kUnbound = 0;
+constexpr std::uint8_t kBound = 1;
+constexpr std::uint8_t kConstMaterialized = 2;
+
+BinOp bin_op_of(Op op) {
+  switch (op) {
+    case Op::Add: return BinOp::Add;
+    case Op::Sub: return BinOp::Sub;
+    case Op::Mul: return BinOp::Mul;
+    case Op::Div: return BinOp::Div;
+    case Op::Mod: return BinOp::Mod;
+    case Op::Pow: return BinOp::Pow;
+    case Op::Lt: return BinOp::Lt;
+    case Op::Le: return BinOp::Le;
+    case Op::Gt: return BinOp::Gt;
+    default: return BinOp::Ge;
+  }
+}
+
+class Vm {
+ public:
+  Vm(const Chunk& chunk, const ExecOptions& options)
+      : chunk_(chunk),
+        options_(options),
+        rng_(options.seed),
+        formula_table_(chunk.num_formula_names, -1) {
+    ctx_.rng = &rng_;
+    ctx_.out = options.out;
+  }
+
+  void run(Env& env) {
+    std::vector<Value> regs(chunk_.main.num_regs);
+    std::vector<std::uint8_t> states(chunk_.vars.size(), kUnbound);
+    for (std::size_t i = 0; i < chunk_.vars.size(); ++i) {
+      if (auto it = env.find(chunk_.names[chunk_.vars[i].name]);
+          it != env.end()) {
+        regs[i] = std::move(it->second);
+        states[i] = kBound;
+      }
+    }
+    try {
+      exec(chunk_.main, regs, &states, 0,
+           static_cast<std::uint32_t>(chunk_.main.ins.size()));
+    } catch (...) {
+      write_back(env, regs, states);
+      report();
+      throw;
+    }
+    write_back(env, regs, states);
+    report();
+  }
+
+ private:
+  void write_back(Env& env, std::vector<Value>& regs,
+                  const std::vector<std::uint8_t>& states) {
+    for (std::size_t i = 0; i < chunk_.vars.size(); ++i) {
+      if (states[i] == kBound) {
+        env[chunk_.names[chunk_.vars[i].name]] = std::move(regs[i]);
+      }
+    }
+  }
+
+  void report() const {
+    if (obs::TraceRecorder* rec = obs::current()) {
+      rec->bump("pits.vm.runs");
+      rec->bump("pits.vm.instructions", static_cast<double>(retired_));
+    }
+  }
+
+  [[noreturn]] static void error(ErrorCode code, const std::string& msg,
+                                 SourcePos pos) {
+    fail(code, msg, pos);
+  }
+
+  void tick(SourcePos pos) {
+    if (++steps_ > options_.step_limit) {
+      error(ErrorCode::Limit,
+            "step limit of " + std::to_string(options_.step_limit) +
+                " exceeded (infinite loop?)",
+            pos);
+    }
+  }
+
+  const std::string& var_name(std::uint16_t slot) const {
+    return chunk_.names[chunk_.vars[slot].name];
+  }
+
+  static std::size_t index_of(const Value& idx, std::size_t size,
+                              SourcePos pos) {
+    const double raw = idx.as_scalar();
+    if (std::floor(raw) != raw) {
+      error(ErrorCode::Runtime, "index must be an integer", pos);
+    }
+    if (raw < 0 || raw >= static_cast<double>(size)) {
+      error(ErrorCode::Runtime,
+            "index " + std::to_string(static_cast<long long>(raw)) +
+                " out of range [0," + std::to_string(size) + ")",
+            pos);
+    }
+    return static_cast<std::size_t>(raw);
+  }
+
+  /// Writes a scalar result without a full variant assignment when the
+  /// destination already holds a scalar — the overwhelmingly common case
+  /// in straight-line arithmetic, where each register keeps its type.
+  static void set_scalar(Value& dst, double x) {
+    if (Scalar* p = dst.scalar_if()) {
+      *p = x;
+    } else {
+      dst = Value(x);
+    }
+  }
+
+  /// Scalar-scalar fast path for Add..Pow, dispatched with a
+  /// compile-time operator so scalar_op folds to a single instruction.
+  /// Returns false (leaving dst untouched) when either operand is not a
+  /// scalar; the caller then takes the general arith() route.
+  template <BinOp kOp>
+  bool fast_arith(const Instr& in, std::vector<Value>& regs) {
+    const Scalar* a = regs[in.b].scalar_if();
+    const Scalar* b = regs[in.c].scalar_if();
+    if (a == nullptr || b == nullptr) return false;
+    set_scalar(regs[in.a], scalar_op(kOp, *a, *b, in.pos));
+    return true;
+  }
+
+  /// Scalar-scalar ordering fast path for Lt/Le/Gt/Ge.
+  template <typename Cmp>
+  bool fast_compare(const Instr& in, std::vector<Value>& regs, Cmp cmp) {
+    const Scalar* a = regs[in.b].scalar_if();
+    const Scalar* b = regs[in.c].scalar_if();
+    if (a == nullptr || b == nullptr) return false;
+    set_scalar(regs[in.a], cmp(*a, *b) ? 1.0 : 0.0);
+    return true;
+  }
+
+  static double scalar_op(BinOp op, double a, double b, SourcePos pos) {
+    switch (op) {
+      case BinOp::Add: return a + b;
+      case BinOp::Sub: return a - b;
+      case BinOp::Mul: return a * b;
+      case BinOp::Div:
+        if (b == 0) error(ErrorCode::Runtime, "division by zero", pos);
+        return a / b;
+      case BinOp::Mod:
+        if (b == 0) error(ErrorCode::Runtime, "mod by zero", pos);
+        return std::fmod(a, b);
+      case BinOp::Pow: {
+        const double r = std::pow(a, b);
+        if (std::isnan(r) && !std::isnan(a) && !std::isnan(b)) {
+          error(ErrorCode::Runtime, "invalid power (negative base?)", pos);
+        }
+        return r;
+      }
+      default:
+        BANGER_ASSERT(false, "unreachable arithmetic op");
+    }
+  }
+
+  static Value compare(Op op, const Value& lhs, const Value& rhs,
+                       SourcePos pos) {
+    double cmp = 0;
+    if (lhs.is_scalar() && rhs.is_scalar()) {
+      const double a = lhs.as_scalar();
+      const double b = rhs.as_scalar();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else if (lhs.is_string() && rhs.is_string()) {
+      const int c = lhs.as_string().compare(rhs.as_string());
+      cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+    } else {
+      error(ErrorCode::Type,
+            "cannot order a " + std::string(lhs.type_name()) + " against a " +
+                std::string(rhs.type_name()),
+            pos);
+    }
+    switch (op) {
+      case Op::Lt: return Value(cmp < 0 ? 1.0 : 0.0);
+      case Op::Le: return Value(cmp <= 0 ? 1.0 : 0.0);
+      case Op::Gt: return Value(cmp > 0 ? 1.0 : 0.0);
+      default: return Value(cmp >= 0 ? 1.0 : 0.0);
+    }
+  }
+
+  /// Add..Pow with broadcast. A flagged operand register holds a dead
+  /// temp whose vector payload is reused in place of a fresh copy; the
+  /// result is assigned to the destination last, so aliasing dst with
+  /// either operand is safe and errors leave dst untouched.
+  static Value arith(const Instr& in, std::vector<Value>& regs) {
+    const BinOp op = bin_op_of(in.op);
+    Value& lhs = regs[in.b];
+    Value& rhs = regs[in.c];
+    // Scalar-scalar fast path: one variant probe per operand. Strings
+    // cannot be involved here, so hoisting it past the string check is
+    // behaviour-preserving.
+    if (const Scalar* a = lhs.scalar_if()) {
+      if (const Scalar* b = rhs.scalar_if()) {
+        return Value(scalar_op(op, *a, *b, in.pos));
+      }
+    }
+    if (lhs.is_string() || rhs.is_string()) {
+      if (op == BinOp::Add && lhs.is_string() && rhs.is_string()) {
+        return Value(lhs.as_string() + rhs.as_string());
+      }
+      error(ErrorCode::Type,
+            "operator `" + std::string(to_string(op)) +
+                "` is not defined for strings",
+            in.pos);
+    }
+    if (lhs.is_vector() && rhs.is_vector()) {
+      if (lhs.as_vector().size() != rhs.as_vector().size()) {
+        error(ErrorCode::Type,
+              "elementwise `" + std::string(to_string(op)) +
+                  "` on vectors of lengths " +
+                  std::to_string(lhs.as_vector().size()) + " and " +
+                  std::to_string(rhs.as_vector().size()),
+              in.pos);
+      }
+      if ((in.flags & kTempB) != 0) {
+        Vector out = std::move(lhs.as_vector());
+        const Vector& b = rhs.as_vector();
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          out[i] = scalar_op(op, out[i], b[i], in.pos);
+        }
+        return Value(std::move(out));
+      }
+      const Vector& a = lhs.as_vector();
+      if ((in.flags & kTempC) != 0) {
+        Vector out = std::move(rhs.as_vector());
+        for (std::size_t i = 0; i < out.size(); ++i) {
+          out[i] = scalar_op(op, a[i], out[i], in.pos);
+        }
+        return Value(std::move(out));
+      }
+      const Vector& b = rhs.as_vector();
+      Vector out(a.size());
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        out[i] = scalar_op(op, a[i], b[i], in.pos);
+      }
+      return Value(std::move(out));
+    }
+    if (lhs.is_scalar() && rhs.is_vector()) {
+      const double a = lhs.as_scalar();
+      Vector out = (in.flags & kTempC) != 0 ? std::move(rhs.as_vector())
+                                            : rhs.as_vector();
+      for (double& x : out) x = scalar_op(op, a, x, in.pos);
+      return Value(std::move(out));
+    }
+    if (lhs.is_vector() && rhs.is_scalar()) {
+      const double b = rhs.as_scalar();
+      Vector out = (in.flags & kTempB) != 0 ? std::move(lhs.as_vector())
+                                            : lhs.as_vector();
+      for (double& x : out) x = scalar_op(op, x, b, in.pos);
+      return Value(std::move(out));
+    }
+    error(ErrorCode::Type,
+          "operator `" + std::string(to_string(op)) + "` on a " +
+              std::string(lhs.type_name()) + " and a " +
+              std::string(rhs.type_name()),
+          in.pos);
+  }
+
+  /// Executes code[from, to). `states` is non-null only for the
+  /// top-level frame (formula frames hold just parameters, all bound
+  /// by construction). Argument ranges recurse through here; Halt only
+  /// appears at statement level, so it unwinds the top frame directly.
+  void exec(const Code& code, std::vector<Value>& regs,
+            std::vector<std::uint8_t>* states, std::uint32_t from,
+            std::uint32_t to) {
+    for (std::uint32_t ip = from; ip < to;) {
+      const Instr& in = code.ins[ip];
+      ++retired_;
+      switch (in.op) {
+        case Op::LoadConst: {
+          const Value& c = chunk_.consts[in.b];
+          if (const Scalar* s = c.scalar_if()) {
+            set_scalar(regs[in.a], *s);
+          } else {
+            regs[in.a] = c;
+          }
+          break;
+        }
+        case Op::Move:
+          if (in.a != in.b) {
+            if (const Scalar* s = regs[in.b].scalar_if()) {
+              set_scalar(regs[in.a], *s);
+            } else if ((in.flags & kTempB) != 0) {
+              regs[in.a] = std::move(regs[in.b]);
+            } else {
+              regs[in.a] = regs[in.b];
+            }
+          }
+          break;
+        case Op::CheckVar: {
+          std::uint8_t& st = (*states)[in.a];
+          if (st == kUnbound) {
+            const VarInfo& vi = chunk_.vars[in.a];
+            if (!vi.has_const) {
+              error(ErrorCode::Name,
+                    "undefined variable `" + var_name(in.a) + "`", in.pos);
+            }
+            regs[in.a] = Value(vi.const_value);
+            st = kConstMaterialized;
+          }
+          break;
+        }
+        case Op::Neg: {
+          Value& v = regs[in.b];
+          if (v.is_vector()) {
+            Vector out = (in.flags & kTempB) != 0 ? std::move(v.as_vector())
+                                                  : v.as_vector();
+            for (double& x : out) x = -x;
+            regs[in.a] = Value(std::move(out));
+          } else if (v.is_string()) {
+            error(ErrorCode::Type, "cannot negate a string", in.pos);
+          } else {
+            regs[in.a] = Value(-v.as_scalar());
+          }
+          break;
+        }
+        case Op::NotOp:
+          set_scalar(regs[in.a], regs[in.b].truthy() ? 0.0 : 1.0);
+          break;
+        case Op::Truthy:
+          set_scalar(regs[in.a], regs[in.b].truthy() ? 1.0 : 0.0);
+          break;
+        case Op::Add:
+          if (!fast_arith<BinOp::Add>(in, regs)) regs[in.a] = arith(in, regs);
+          break;
+        case Op::Sub:
+          if (!fast_arith<BinOp::Sub>(in, regs)) regs[in.a] = arith(in, regs);
+          break;
+        case Op::Mul:
+          if (!fast_arith<BinOp::Mul>(in, regs)) regs[in.a] = arith(in, regs);
+          break;
+        case Op::Div:
+          if (!fast_arith<BinOp::Div>(in, regs)) regs[in.a] = arith(in, regs);
+          break;
+        case Op::Mod:
+          if (!fast_arith<BinOp::Mod>(in, regs)) regs[in.a] = arith(in, regs);
+          break;
+        case Op::Pow:
+          if (!fast_arith<BinOp::Pow>(in, regs)) regs[in.a] = arith(in, regs);
+          break;
+        case Op::CmpEq:
+          set_scalar(regs[in.a], regs[in.b].equals(regs[in.c]) ? 1.0 : 0.0);
+          break;
+        case Op::CmpNe:
+          set_scalar(regs[in.a], regs[in.b].equals(regs[in.c]) ? 0.0 : 1.0);
+          break;
+        case Op::Lt:
+          if (!fast_compare(in, regs, [](double a, double b) { return a < b; }))
+            regs[in.a] = compare(in.op, regs[in.b], regs[in.c], in.pos);
+          break;
+        case Op::Le:
+          if (!fast_compare(in, regs,
+                            [](double a, double b) { return a <= b; }))
+            regs[in.a] = compare(in.op, regs[in.b], regs[in.c], in.pos);
+          break;
+        case Op::Gt:
+          if (!fast_compare(in, regs, [](double a, double b) { return a > b; }))
+            regs[in.a] = compare(in.op, regs[in.b], regs[in.c], in.pos);
+          break;
+        case Op::Ge:
+          if (!fast_compare(in, regs,
+                            [](double a, double b) { return a >= b; }))
+            regs[in.a] = compare(in.op, regs[in.b], regs[in.c], in.pos);
+          break;
+        case Op::NewVector: {
+          Vector v;
+          v.reserve(static_cast<std::size_t>(in.d));
+          regs[in.a] = Value(std::move(v));
+          break;
+        }
+        case Op::PushScalar: {
+          const Value& el = regs[in.b];
+          if (!el.is_scalar()) {
+            error(ErrorCode::Type,
+                  "expected a number, got a " + std::string(el.type_name()),
+                  in.pos);
+          }
+          regs[in.a].as_vector().push_back(el.as_scalar());
+          break;
+        }
+        case Op::CheckIndexable:
+          if (!regs[in.a].is_vector()) {
+            error(ErrorCode::Type,
+                  "cannot index a " + std::string(regs[in.a].type_name()),
+                  in.pos);
+          }
+          break;
+        case Op::IndexLoad: {
+          const Vector& v = regs[in.b].as_vector();
+          const double x = v[index_of(regs[in.c], v.size(), in.pos)];
+          set_scalar(regs[in.a], x);
+          break;
+        }
+        case Op::Jump:
+          ip = static_cast<std::uint32_t>(in.d);
+          continue;
+        case Op::JumpIfFalsy:
+          if (!regs[in.b].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::JumpIfTruthy:
+          if (regs[in.b].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::Tick:
+          tick(in.pos);
+          break;
+        case Op::FinishAssign:
+          (*states)[in.a] = kBound;
+          if (options_.trace != nullptr) {
+            *options_.trace << "line " << in.pos.line << ": " << var_name(in.a)
+                            << " = " << regs[in.a].to_display() << "\n";
+          }
+          break;
+        case Op::IndexedCheck: {
+          if ((*states)[in.a] != kBound) {
+            error(ErrorCode::Name,
+                  "indexed assignment to undefined variable `" +
+                      var_name(in.a) + "`",
+                  in.pos);
+          }
+          if (!regs[in.a].is_vector()) {
+            error(ErrorCode::Type, "`" + var_name(in.a) + "` is not a vector",
+                  in.pos);
+          }
+          break;
+        }
+        case Op::IndexedStore: {
+          Vector& vec = regs[in.a].as_vector();
+          const std::size_t i = index_of(regs[in.b], vec.size(), in.pos);
+          vec[i] = regs[in.c].as_scalar();
+          break;
+        }
+        case Op::ToScalar:
+          set_scalar(regs[in.a], regs[in.b].as_scalar());
+          break;
+        case Op::ForInit:
+          if (regs[in.a].as_scalar() == 0) {
+            error(ErrorCode::Runtime, "for loop with zero step", in.pos);
+          }
+          break;
+        case Op::ForNext: {
+          const double x = regs[in.a].as_scalar();
+          const double limit = regs[in.b].as_scalar();
+          const double step = regs[in.c].as_scalar();
+          if (!(step > 0 ? x <= limit + 1e-12 : x >= limit - 1e-12)) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          tick(in.pos);
+          break;
+        }
+        case Op::SetLoopVar:
+          set_scalar(regs[in.a], regs[in.b].as_scalar());
+          (*states)[in.a] = kBound;
+          break;
+        case Op::ForStep:
+          set_scalar(regs[in.a],
+                     regs[in.a].as_scalar() + regs[in.c].as_scalar());
+          ip = static_cast<std::uint32_t>(in.d);
+          continue;
+        case Op::RepeatInit: {
+          const double n = regs[in.c].as_scalar();
+          if (n < 0 || std::floor(n) != n) {
+            error(ErrorCode::Runtime,
+                  "repeat count must be a non-negative integer", in.pos);
+          }
+          set_scalar(regs[in.a], 0.0);
+          set_scalar(regs[in.b], n);
+          break;
+        }
+        case Op::RepeatNext: {
+          const double k = regs[in.a].as_scalar();
+          if (!(k < regs[in.b].as_scalar())) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          tick(in.pos);
+          set_scalar(regs[in.a], k + 1);
+          break;
+        }
+        case Op::CallOp:
+          regs[in.a] = call_site(code, code.sites[in.b], regs, states, in);
+          ip = static_cast<std::uint32_t>(in.d);
+          continue;
+        case Op::DefFormula: {
+          const Formula& fo = chunk_.formulas[in.b];
+          formula_table_[static_cast<std::size_t>(fo.table)] =
+              static_cast<std::int32_t>(in.b);
+          break;
+        }
+        case Op::ErrAlways:
+          error(static_cast<ErrorCode>(in.a), chunk_.messages[in.b], in.pos);
+        case Op::Halt:
+          return;
+      }
+      ++ip;
+    }
+  }
+
+  Value call_site(const Code& code, const CallSite& site,
+                  std::vector<Value>& regs, std::vector<std::uint8_t>* states,
+                  const Instr& in) {
+    const std::string& callee = chunk_.names[site.name];
+    // Formula lookup precedes builtins, like the tree-walker's scope
+    // order; the table is populated dynamically by DefFormula, so a
+    // call before the definition falls through exactly as it should.
+    if (site.formula >= 0) {
+      const std::int32_t fi =
+          formula_table_[static_cast<std::size_t>(site.formula)];
+      if (fi >= 0) {
+        return call_formula(chunk_.formulas[static_cast<std::size_t>(fi)],
+                            site, code, regs, states, callee, in.pos);
+      }
+    }
+    const Builtin* fn = site.builtin;
+    if (fn == nullptr) {
+      error(ErrorCode::Name, "unknown function `" + callee + "`", in.pos);
+    }
+    const int n = static_cast<int>(site.args.size());
+    if (n < fn->min_args || (fn->max_args >= 0 && n > fn->max_args)) {
+      error(ErrorCode::Type,
+            "`" + callee + "` expects " + std::to_string(fn->min_args) +
+                (fn->max_args == fn->min_args
+                     ? ""
+                     : (fn->max_args < 0
+                            ? "+"
+                            : ".." + std::to_string(fn->max_args))) +
+                " arguments, got " + std::to_string(n),
+            in.pos);
+    }
+    // Argument buffers are pooled per nesting depth: a routine dominated
+    // by builtin calls would otherwise pay one heap allocation per call.
+    // The pool is indexed (not referenced) across the argument loop —
+    // nested calls inside an argument expression may grow the pool.
+    const std::size_t slot = call_pool_used_++;
+    if (slot == call_pool_.size()) call_pool_.emplace_back();
+    struct PoolGuard {
+      std::size_t& used;
+      ~PoolGuard() { --used; }
+    } guard{call_pool_used_};
+    call_pool_[slot].clear();
+    call_pool_[slot].reserve(site.args.size());
+    for (const ArgRange& ar : site.args) {
+      exec(code, regs, states, ar.begin, ar.end);
+      if (ar.temp != 0) {
+        call_pool_[slot].push_back(std::move(regs[ar.reg]));
+      } else {
+        call_pool_[slot].push_back(regs[ar.reg]);
+      }
+    }
+    try {
+      return fn->fn(call_pool_[slot], ctx_);
+    } catch (const Error& e) {
+      fail(e.code(), e.message() + " in `" + callee + "`", in.pos);
+    }
+  }
+
+  Value call_formula(const Formula& fo, const CallSite& site,
+                     const Code& caller, std::vector<Value>& regs,
+                     std::vector<std::uint8_t>* states,
+                     const std::string& name, SourcePos pos) {
+    if (site.args.size() != fo.param_reg.size()) {
+      error(ErrorCode::Type,
+            "formula `" + name + "` expects " +
+                std::to_string(fo.param_reg.size()) + " arguments, got " +
+                std::to_string(site.args.size()),
+            pos);
+    }
+    if (++formula_depth_ > 256) {
+      --formula_depth_;
+      error(ErrorCode::Limit,
+            "formula recursion deeper than 256 (`" + name + "`)", pos);
+    }
+    struct DepthGuard {
+      int& depth;
+      ~DepthGuard() { --depth; }
+    } guard{formula_depth_};
+    // Arguments evaluate in the caller's frame — errors there are not
+    // attributed to this formula (only the body's are, below).
+    std::vector<Value> frame(fo.code.num_regs);
+    for (std::size_t i = 0; i < site.args.size(); ++i) {
+      const ArgRange& ar = site.args[i];
+      exec(caller, regs, states, ar.begin, ar.end);
+      if (fo.param_bind[i] != 0) {
+        frame[fo.param_reg[i]] = ar.temp != 0 ? std::move(regs[ar.reg])
+                                              : regs[ar.reg];
+      }
+    }
+    try {
+      tick(pos);
+      exec(fo.code, frame, nullptr, 0,
+           static_cast<std::uint32_t>(fo.code.ins.size()));
+      return std::move(frame[fo.result]);
+    } catch (const Error& e) {
+      // Attribute the failure to the innermost formula, once, keeping
+      // the original code and position so callers can still classify it.
+      if (e.message().find(" in formula `") != std::string::npos) throw;
+      fail(e.code(), e.message() + " in formula `" + name + "`",
+           e.pos().valid() ? e.pos() : pos);
+    }
+  }
+
+  const Chunk& chunk_;
+  const ExecOptions& options_;
+  util::Rng rng_;
+  BuiltinContext ctx_;
+  std::vector<std::int32_t> formula_table_;
+  std::vector<std::vector<Value>> call_pool_;
+  std::size_t call_pool_used_ = 0;
+  int formula_depth_ = 0;
+  std::uint64_t steps_ = 0;
+  std::uint64_t retired_ = 0;
+};
+
+}  // namespace
+
+void run(const Chunk& chunk, Env& env, const ExecOptions& options) {
+  Vm vm(chunk, options);
+  vm.run(env);
+}
+
+}  // namespace banger::pits::bc

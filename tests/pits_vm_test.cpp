@@ -1,0 +1,410 @@
+// Differential testing of the PITS bytecode VM against the tree-walking
+// reference interpreter. The two engines must be observably identical:
+// same final environments, same print/trace transcripts, same error
+// codes, messages, and positions, same step-limit aborts — for random
+// programs, for the shipped design corpus, and under concurrency.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "calc/panel.hpp"
+#include "graph/serialize.hpp"
+#include "obs/trace.hpp"
+#include "pits/interp.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "workloads/designs.hpp"
+#include "workloads/lu.hpp"
+
+namespace banger::pits {
+namespace {
+
+/// Everything observable about one execution.
+struct Outcome {
+  bool ok = false;
+  std::string error;       ///< full what() — code, message, position
+  std::string env;         ///< "name=value;" for every binding
+  std::string transcript;  ///< print() output
+  std::string trace;       ///< single-step trace lines
+};
+
+Outcome run_with(const std::string& src, ExecOptions::Engine engine,
+                 const Env& inputs, std::uint64_t step_limit = 200000) {
+  Outcome out;
+  std::ostringstream transcript;
+  std::ostringstream trace;
+  ExecOptions opts;
+  opts.engine = engine;
+  opts.step_limit = step_limit;
+  opts.out = &transcript;
+  opts.trace = &trace;
+  Env env = inputs;
+  try {
+    Program::parse(src).execute(env, opts);
+    out.ok = true;
+  } catch (const Error& e) {
+    out.ok = false;
+    out.error = e.what();
+  }
+  for (const auto& [name, value] : env) {
+    out.env += name + "=" + value.to_display() + ";";
+  }
+  out.transcript = transcript.str();
+  out.trace = trace.str();
+  return out;
+}
+
+/// EXPECT both engines observe exactly the same thing.
+void expect_identical(const std::string& src, const Env& inputs = {},
+                      std::uint64_t step_limit = 200000) {
+  const Outcome vm = run_with(src, ExecOptions::Engine::Vm, inputs, step_limit);
+  const Outcome walk =
+      run_with(src, ExecOptions::Engine::Walk, inputs, step_limit);
+  EXPECT_EQ(vm.ok, walk.ok) << src;
+  EXPECT_EQ(vm.error, walk.error) << src;
+  EXPECT_EQ(vm.env, walk.env) << src;
+  EXPECT_EQ(vm.transcript, walk.transcript) << src;
+  EXPECT_EQ(vm.trace, walk.trace) << src;
+}
+
+// ---------------------------------------------------------------------------
+// Hand-picked semantics: each case exercises a VM path whose error text,
+// evaluation order, or value flow could plausibly drift from the walker.
+
+TEST(PitsVmDifferential, CoreSemantics) {
+  const char* cases[] = {
+      // Slot read/write, self-referential assignment, constant shadowing.
+      "x := 1\nx := x + x\ny := x * x\n",
+      "pi := 10\narea := pi * 4\n",
+      "e := 0\nwhile e < 3 do\n  e := e + 1\nend\n",
+      // Vectors: literals, indexing, indexed assignment, broadcasting.
+      "v := [1, 2, 3]\nv[1] := v[0] + v[2]\ns := sum(v)\n",
+      "v := [1, 2, 3]\nw := v * 2 + [10, 20, 30]\n",
+      "v := zeros(4)\nfor i := 0 to 3 do\n  v[i] := i * i\nend\n",
+      // Strings: concat, print, display.
+      "s := \"a\" + \"b\"\nprint(s)\nprint(1 + 1)\n",
+      // Formulas: nesting, recursion, duplicate params, attribution.
+      "formula sq(x) := x * x\nformula hy(a, b) := sqrt(sq(a) + sq(b))\n"
+      "h := hy(3, 4)\n",
+      "formula fib(n) := when(n <= 1, n, fib(n - 1) + fib(n - 2))\n"
+      "f := fib(10)\n",
+      "formula bad(x) := 1 / (x - x)\ny := bad(3)\n",
+      // when: lazy arms (only the selected side runs).
+      "x := 0\ny := when(1 < 2, 5, 1 / x)\n",
+      "x := 0\ny := when(1 > 2, 1 / x, 7)\n",
+      // rand() stream must be reproduced exactly by both engines.
+      "a := rand()\nb := rand()\nrepeat 3 times\n  c := rand()\nend\n",
+      // Errors: undefined names, bad index, type mismatch, div by zero.
+      "y := nope + 1\n",
+      "v := [1, 2]\nx := v[5]\n",
+      "v := [1, 2]\nv[0.5] := 1\n",
+      "x := 3\nx[0] := 1\n",
+      "y := 1 / 0\n",
+      "y := 5 mod 0\n",
+      "y := (0 - 2) ^ 0.5\n",
+      "y := \"a\" * 2\n",
+      "y := [1] < [2]\n",
+      // Builtin arity + error wrapping.
+      "y := sqrt()\n",
+      "y := sqrt(1, 2)\n",
+      "y := unknown_fn(1)\n",
+      "y := sqrt(0 - 1)\n",
+      // for loops: fractional steps, negative steps, zero step error.
+      "s := 0\nfor x := 0 to 1 step 0.25 do\n  s := s + x\nend\n",
+      "s := 0\nfor x := 5 to 1 step 0 - 1 do\n  s := s + x\nend\n",
+      "for x := 0 to 1 step 0 do\n  y := 1\nend\n",
+      // repeat: non-integer and negative counts are errors.
+      "repeat 2.5 times\n  x := 1\nend\n",
+      "repeat 0 - 1 times\n  x := 1\nend\n",
+      // return stops the routine mid-way.
+      "x := 1\nif x > 0 then\n  return\nend\nx := 99\n",
+  };
+  for (const char* src : cases) expect_identical(src);
+}
+
+TEST(PitsVmDifferential, InputsFlowThrough) {
+  Env inputs;
+  inputs["a"] = 3.0;
+  inputs["v"] = Vector{1.0, 2.0, 3.0};
+  inputs["label"] = Str("run");
+  expect_identical("b := a * 2\nw := v + 1\nprint(label)\n", inputs);
+  // An input may shadow a constant: the VM must not fold `pi` here.
+  Env shadow;
+  shadow["pi"] = 100.0;
+  expect_identical("x := pi + 1\n", shadow);
+}
+
+TEST(PitsVmDifferential, StepLimitAbortsIdentically) {
+  // Loop-heavy program; sweep tight limits so the abort lands on every
+  // kind of tick site (statement, loop back-edge, formula call).
+  const std::string src =
+      "formula inc(x) := x + 1\n"
+      "s := 0\n"
+      "for i := 1 to 6 do\n"
+      "  repeat 3 times\n"
+      "    s := inc(s)\n"
+      "  end\n"
+      "end\n"
+      "while s > 0 do\n"
+      "  s := s - 1\n"
+      "end\n";
+  for (std::uint64_t limit = 1; limit <= 120; ++limit) {
+    expect_identical(src, {}, limit);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Randomized differential fuzzing. A richer generator than the
+// robustness fuzzer: strings, vectors, builtins, formulas, print — every
+// program is run on both engines and all observables compared.
+
+class DiffGen {
+ public:
+  explicit DiffGen(std::uint64_t seed) : rng_(seed) {}
+
+  std::string program(int statements) {
+    std::string out =
+        "v0 := 1\nv1 := 2.5\nv2 := -3\nv3 := 0.5\nw := [1, 2, 3, 4]\n"
+        "formula fa(x) := x * 2 + 1\n"
+        "formula fb(a, b) := when(a > b, a - b, b - a)\n";
+    for (int i = 0; i < statements; ++i) out += statement(2);
+    return out;
+  }
+
+ private:
+  std::string scalar_expr(int depth) {
+    if (depth <= 0 || rng_.chance(0.25)) {
+      switch (rng_.next_below(5)) {
+        case 0: return std::to_string(rng_.uniform_int(1, 9));
+        case 1: return "v" + std::to_string(rng_.next_below(4));
+        case 2: return "w[" + std::to_string(rng_.next_below(4)) + "]";
+        case 3: return "pi";
+        default: return "rand()";
+      }
+    }
+    switch (rng_.next_below(10)) {
+      case 0:
+        return "(" + scalar_expr(depth - 1) + " + " + scalar_expr(depth - 1) +
+               ")";
+      case 1:
+        return "(" + scalar_expr(depth - 1) + " * " + scalar_expr(depth - 1) +
+               ")";
+      case 2:
+        // Division is sometimes by zero: a legal typed error, and both
+        // engines must report it identically.
+        return "(" + scalar_expr(depth - 1) + " / (" +
+               scalar_expr(depth - 1) + " - 2))";
+      case 3: return "abs(" + scalar_expr(depth - 1) + ")";
+      case 4:
+        return "min(" + scalar_expr(depth - 1) + ", " +
+               scalar_expr(depth - 1) + ")";
+      case 5:
+        return "when(" + scalar_expr(depth - 1) + " > 0, " +
+               scalar_expr(depth - 1) + ", " + scalar_expr(depth - 1) + ")";
+      case 6: return "fa(" + scalar_expr(depth - 1) + ")";
+      case 7:
+        return "fb(" + scalar_expr(depth - 1) + ", " +
+               scalar_expr(depth - 1) + ")";
+      case 8: return "sum(w)";
+      default:
+        return "(" + scalar_expr(depth - 1) + " - " + scalar_expr(depth - 1) +
+               ")";
+    }
+  }
+
+  std::string statement(int depth) {
+    switch (rng_.next_below(depth > 0 ? 9 : 3)) {
+      case 0:
+        return "v" + std::to_string(rng_.next_below(4)) + " := " +
+               scalar_expr(2) + "\n";
+      case 1:
+        return "w[" + std::to_string(rng_.next_below(4)) + "] := " +
+               scalar_expr(2) + "\n";
+      case 2:
+        return "print(" + scalar_expr(1) + ")\n";
+      case 3: {
+        std::string body;
+        const int n = 1 + static_cast<int>(rng_.next_below(2));
+        for (int i = 0; i < n; ++i) body += "  " + statement(depth - 1);
+        return "if " + scalar_expr(1) + " > " + scalar_expr(1) + " then\n" +
+               body + "end\n";
+      }
+      case 4: {
+        std::string body = "  " + statement(depth - 1);
+        return "repeat " + std::to_string(rng_.next_below(4)) + " times\n" +
+               body + "end\n";
+      }
+      case 5: {
+        std::string body = "  " + statement(depth - 1);
+        return "for it := 0 to " + std::to_string(rng_.next_below(5)) +
+               " do\n" + body + "end\n";
+      }
+      case 6:
+        return "w := w " + std::string(rng_.chance(0.5) ? "+" : "*") + " " +
+               scalar_expr(1) + "\n";
+      case 7:
+        return "msg := \"s\" + str(" + scalar_expr(1) + ")\n";
+      default: {
+        return "cnt := " + std::to_string(rng_.next_below(4)) +
+               "\nwhile cnt > 0 do\n  cnt := cnt - 1\n  " +
+               statement(depth - 1) + "end\n";
+      }
+    }
+  }
+
+  util::Rng rng_;
+};
+
+class PitsVmFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PitsVmFuzz, EnginesObservablyIdentical) {
+  DiffGen gen(GetParam());
+  expect_identical(gen.program(8));
+}
+
+TEST_P(PitsVmFuzz, EnginesIdenticalUnderTightStepLimits) {
+  DiffGen gen(GetParam() ^ 0x11f7ull);
+  const std::string src = gen.program(6);
+  for (std::uint64_t limit : {1U, 3U, 10U, 31U, 100U}) {
+    expect_identical(src, {}, limit);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PitsVmFuzz,
+                         ::testing::Range<std::uint64_t>(1, 81));
+
+// ---------------------------------------------------------------------------
+// Shipped corpus: every PITS routine of every bundled design must behave
+// identically on both engines, with scalar and with vector inputs.
+
+void expect_corpus_identical(const graph::Design& design) {
+  const auto flat = design.flatten();
+  for (graph::TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
+    const graph::Task& task = flat.graph.task(t);
+    if (task.pits.empty()) continue;
+    Program program;
+    ASSERT_NO_THROW(program = Program::parse(task.pits)) << task.name;
+    Env scalars;
+    Env vectors;
+    double k = 2.0;
+    for (const std::string& in : program.inputs()) {
+      scalars[in] = k;
+      vectors[in] = Vector{k, k + 1, k + 2};
+      k += 0.5;
+    }
+    expect_identical(task.pits, scalars);
+    expect_identical(task.pits, vectors);
+  }
+}
+
+TEST(PitsVmCorpus, WorkloadDesigns) {
+  expect_corpus_identical(workloads::lu3x3_design());
+  expect_corpus_identical(workloads::montecarlo_design(3, 64));
+  expect_corpus_identical(workloads::signal_pipeline_design(2));
+  expect_corpus_identical(workloads::polyeval_design(3));
+  expect_corpus_identical(workloads::heat_design(2, 3, 4, 0.1));
+}
+
+TEST(PitsVmCorpus, SampleDesigns) {
+  namespace fs = std::filesystem;
+  fs::path dir = fs::current_path();
+  fs::path found;
+  while (true) {
+    if (fs::exists(dir / "samples" / "sqrt_fanout.pitl")) {
+      found = dir / "samples";
+      break;
+    }
+    if (dir == dir.parent_path()) break;
+    dir = dir.parent_path();
+  }
+  if (found.empty()) GTEST_SKIP() << "samples/ not found from cwd";
+  for (const auto& entry : fs::directory_iterator(found)) {
+    if (entry.path().extension() != ".pitl") continue;
+    expect_corpus_identical(graph::load_design(entry.path().string()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: one shared Program executed from many threads must give
+// every thread the sequential answer (the compiled-chunk cache is
+// once-init and read-only after publication; run under TSan in CI).
+
+TEST(PitsVmConcurrency, SharedProgramAcrossThreads) {
+  const std::string src =
+      "formula sq(x) := x * x\n"
+      "s := 0\n"
+      "for i := 1 to 32 do\n"
+      "  s := s + sq(i) + rand()\n"
+      "end\n"
+      "v := [1, 2, 3] * s\n";
+  const Program program = Program::parse(src);
+
+  const Outcome expected =
+      run_with(src, ExecOptions::Engine::Vm, {});
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&]() {
+      for (int i = 0; i < 32; ++i) {
+        Env env;
+        ExecOptions opts;
+        opts.engine = ExecOptions::Engine::Vm;
+        program.execute(env, opts);
+        std::string state;
+        for (const auto& [name, value] : env) {
+          state += name + "=" + value.to_display() + ";";
+        }
+        if (state != expected.env) mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// The calculator panel caches its parsed program: repeated trial runs and
+// lints of unchanged text must not re-parse; any edit must invalidate.
+
+TEST(PanelParseCache, TrialRunsReuseOneParse) {
+  obs::TraceRecorder rec;
+  obs::ScopedRecorder scope(rec);
+
+  calc::CalculatorPanel panel("cache");
+  panel.declare_input("x");
+  panel.declare_output("y");
+  panel.type("y := x * 2\n");
+
+  Env inputs;
+  inputs["x"] = 4.0;
+  const double before = rec.metric("pits.parse");
+  for (int i = 0; i < 5; ++i) {
+    const auto result = panel.trial_run(inputs);
+    ASSERT_TRUE(result.ok) << result.error;
+    EXPECT_EQ(result.env.at("y"), Value(8.0));
+  }
+  (void)panel.lint();
+  EXPECT_EQ(rec.metric("pits.parse") - before, 1.0)
+      << "unchanged text must parse exactly once";
+
+  // Every text mutation path invalidates.
+  panel.press(calc::Key::Enter);
+  (void)panel.trial_run(inputs);
+  panel.backspace();
+  (void)panel.trial_run(inputs);
+  panel.type("y := x + 1\n");
+  const auto edited = panel.trial_run(inputs);
+  ASSERT_TRUE(edited.ok) << edited.error;
+  EXPECT_EQ(edited.env.at("y"), Value(5.0));
+  EXPECT_EQ(rec.metric("pits.parse") - before, 4.0)
+      << "each edit re-parses once";
+}
+
+}  // namespace
+}  // namespace banger::pits
