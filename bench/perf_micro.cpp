@@ -9,9 +9,12 @@
 #include "pits/interp.hpp"
 #include "sched/compare.hpp"
 #include "sched/heuristics.hpp"
+#include "serve/json.hpp"
+#include "serve/server.hpp"
 #include "sim/simulator.hpp"
 #include "util/parallel.hpp"
 #include "util/rng.hpp"
+#include "workloads/designs.hpp"
 #include "workloads/graphs.hpp"
 #include "workloads/lu.hpp"
 
@@ -347,6 +350,93 @@ void BM_TopologyHops(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TopologyHops);
+
+// SERVE — cold-vs-cached request latency through the design service on
+// a ~1024-task workload. Cold issues each request against a fresh
+// Server (every artifact parsed, flattened, scheduled, rendered from
+// scratch); cached replays the identical request against a warmed
+// Server, so only the content-hash lookup and envelope assembly remain.
+// The cached/cold ratio is the headline number BENCH_serve.json pins.
+
+/// The 32x32 heat rod: 1024 update tasks plus scatter/gather.
+const std::string& serve_heat_design() {
+  static const std::string text =
+      graph::to_pitl(workloads::heat_design(32, 32, 4));
+  return text;
+}
+
+const char* serve_machine_text() {
+  return "machine cube8\n"
+         "topology hypercube dim=3\n"
+         "speed 1\n"
+         "message_startup 0.1\n"
+         "bandwidth 1000\n";
+}
+
+std::string serve_schedule_request() {
+  serve::Json req = serve::Json::object();
+  req.add("id", serve::Json::number(1));
+  req.add("op", serve::Json::string("schedule"));
+  req.add("design", serve::Json::string(serve_heat_design()));
+  req.add("machine", serve::Json::string(serve_machine_text()));
+  return req.dump();
+}
+
+std::string serve_trial_request() {
+  // The rod input store: segments * cells = 128 initial temperatures.
+  std::string rod = "[";
+  for (int i = 0; i < 128; ++i) {
+    if (i > 0) rod += ",";
+    rod += (i % 16 == 0) ? "100" : "0";
+  }
+  rod += "]";
+  serve::Json inputs = serve::Json::object();
+  inputs.add("rod", serve::Json::string(rod));
+  serve::Json req = serve::Json::object();
+  req.add("id", serve::Json::number(1));
+  req.add("op", serve::Json::string("trial"));
+  req.add("design", serve::Json::string(serve_heat_design()));
+  req.add("inputs", std::move(inputs));
+  return req.dump();
+}
+
+void BM_ServeScheduleCold(benchmark::State& state) {
+  const std::string request = serve_schedule_request();
+  for (auto _ : state) {
+    serve::Server server;
+    benchmark::DoNotOptimize(server.handle_line(request));
+  }
+}
+BENCHMARK(BM_ServeScheduleCold);
+
+void BM_ServeScheduleCached(benchmark::State& state) {
+  const std::string request = serve_schedule_request();
+  serve::Server server;
+  benchmark::DoNotOptimize(server.handle_line(request));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(request));
+  }
+}
+BENCHMARK(BM_ServeScheduleCached);
+
+void BM_ServeTrialCold(benchmark::State& state) {
+  const std::string request = serve_trial_request();
+  for (auto _ : state) {
+    serve::Server server;
+    benchmark::DoNotOptimize(server.handle_line(request));
+  }
+}
+BENCHMARK(BM_ServeTrialCold);
+
+void BM_ServeTrialCached(benchmark::State& state) {
+  const std::string request = serve_trial_request();
+  serve::Server server;
+  benchmark::DoNotOptimize(server.handle_line(request));  // warm
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server.handle_line(request));
+  }
+}
+BENCHMARK(BM_ServeTrialCached);
 
 }  // namespace
 

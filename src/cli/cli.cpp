@@ -1,6 +1,8 @@
 #include "cli/cli.hpp"
 
 #include <fstream>
+#include <iostream>
+#include <istream>
 #include <limits>
 #include <map>
 #include <optional>
@@ -20,6 +22,8 @@
 #include "machine/serialize.hpp"
 #include "obs/trace.hpp"
 #include "pits/interp.hpp"
+#include "serve/render.hpp"
+#include "serve/server.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 #include "viz/charts.hpp"
@@ -48,6 +52,12 @@ struct Options {
   int jobs = 0;    ///< --jobs worker threads (0 = BANGER_JOBS or all cores)
   int trials = 1;  ///< --trials Monte Carlo runs for faults
   std::string metrics_file;  ///< --metrics: write flat metrics JSON here
+  // ---- serve options
+  int port = -1;            ///< --port: TCP listen port (-1 = stdio mode)
+  int max_inflight = 256;   ///< --max-inflight admission-control slots
+  int deadline_ms = 0;      ///< --deadline-ms per-request deadline (0 = off)
+  int cache_cap = 256;      ///< --cache-cap artifact cache entries
+  bool serve_once = false;  ///< --once: answer one request and exit
 };
 
 [[noreturn]] void usage_error(const std::string& message) {
@@ -141,6 +151,23 @@ Options parse_options(const std::vector<std::string>& args,
       o.events = static_cast<std::size_t>(numeric_flag("--events", next(), 0));
     } else if (a == "--jobs") {
       o.jobs = static_cast<int>(numeric_flag("--jobs", next(), 1));
+    } else if (a == "--port") {
+      const std::string& value = next();
+      o.port = static_cast<int>(numeric_flag("--port", value, 0));
+      if (o.port > 65535) {
+        usage_error("option --port expects a port in [0, 65535], got `" +
+                    value + "`");
+      }
+    } else if (a == "--max-inflight") {
+      o.max_inflight =
+          static_cast<int>(numeric_flag("--max-inflight", next(), 1));
+    } else if (a == "--deadline-ms") {
+      o.deadline_ms =
+          static_cast<int>(numeric_flag("--deadline-ms", next(), 0));
+    } else if (a == "--cache-cap") {
+      o.cache_cap = static_cast<int>(numeric_flag("--cache-cap", next(), 1));
+    } else if (a == "--once") {
+      o.serve_once = true;
     } else if (a == "--trials") {
       o.trials = static_cast<int>(numeric_flag("--trials", next(), 1));
     } else if (!a.empty() && a[0] == '-') {
@@ -247,31 +274,14 @@ int cmd_topo(const Options& o, std::ostream& out) {
 int cmd_schedule(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
   project.set_machine(load_machine_arg(o, 1));
-  const auto& schedule = project.schedule(o.scheduler);
-  const auto metrics = project.metrics(o.scheduler);
-  if (o.format == "svg") {
-    write_or_print(viz::render_gantt_svg(schedule, project.flattened().graph),
-                   o, out);
-    return 0;
-  }
-  if (o.format == "trace") {
-    write_or_print(viz::to_chrome_trace(schedule, project.flattened().graph),
-                   o, out);
-    return 0;
-  }
-  if (o.format == "table") {
-    write_or_print(viz::schedule_table(schedule, project.flattened().graph),
-                   o, out);
-  } else {
-    write_or_print(viz::render_gantt(schedule, project.flattened().graph), o,
-                   out);
-  }
-  out << "makespan " << util::format_double(metrics.makespan, 6)
-      << "  speedup " << util::format_double(metrics.speedup, 4)
-      << "  efficiency " << util::format_double(metrics.efficiency, 4)
-      << "  procs used " << metrics.procs_used << "/" << metrics.procs
-      << "\n";
-  out << viz::render_utilization(schedule);
+  // Shared with the serve daemon's `schedule` op — the service promises
+  // responses byte-identical to this command.
+  const auto r =
+      serve::render_schedule(project.schedule(o.scheduler),
+                             project.flattened().graph, project.machine(),
+                             o.format);
+  write_or_print(r.artifact, o, out);
+  out << r.trailer;
   return 0;
 }
 
@@ -321,22 +331,14 @@ int cmd_simulate(const Options& o, std::ostream& out) {
   return 0;
 }
 
-void print_run_result(const exec::RunResult& result, std::ostream& out) {
-  for (const auto& [name, value] : result.outputs) {
-    out << name << " = " << value.to_display() << "\n";
-  }
-  if (!result.transcript.empty()) {
-    out << "--- transcript ---\n" << result.transcript;
-  }
-  out << "(" << result.runs.size() << " task executions, wall "
-      << util::format_double(result.wall_seconds, 4) << "s)\n";
-}
-
 int cmd_trial(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
   exec::RunOptions run_opts;
   run_opts.pits.engine = o.pits_engine;
-  print_run_result(project.trial_run(o.inputs, run_opts), out);
+  // No wall clock in trial output: the sequential reference run is
+  // fully deterministic, and serve caches/replays the same bytes.
+  out << serve::render_run_result(project.trial_run(o.inputs, run_opts),
+                                  /*include_wall=*/false);
   return 0;
 }
 
@@ -351,7 +353,7 @@ int cmd_run(const Options& o, std::ostream& out) {
     run_opts.faults = &plan;
   }
   const auto result = project.run(o.inputs, o.scheduler, run_opts);
-  print_run_result(result, out);
+  out << serve::render_run_result(result, /*include_wall=*/true);
   if (run_opts.faults != nullptr) {
     out << "fault plan `" << plan.name() << "`: " << result.workers_died
         << " workers died, " << result.tasks_rescued
@@ -422,46 +424,25 @@ int cmd_trace(const Options& o, std::ostream& out) {
   // replay (with fault overlays when a plan is given), the scheduler's
   // internal rounds, and — under a fault plan — the recovery pipeline.
   // Only deterministic clock domains are exported, so the file is
-  // byte-identical for any --jobs value.
+  // byte-identical for any --jobs value. Rendering is shared with the
+  // serve daemon's `trace` op; the ambient recorder is reused when
+  // --metrics installed one, so the metrics file sees this command's
+  // counters too.
   Project project = load_project(o, 0);
   project.set_machine(load_machine_arg(o, 1));
-  const auto& graph = project.flattened().graph;
-
-  // Reuse the ambient recorder when --metrics already installed one, so
-  // the metrics file sees this command's counters too.
-  obs::TraceRecorder local;
-  obs::TraceRecorder* rec = obs::current();
-  std::optional<obs::ScopedRecorder> scope;
-  if (rec == nullptr) {
-    rec = &local;
-    scope.emplace(local);
-  }
-
-  const auto& schedule = project.schedule(o.scheduler);
-  viz::record_schedule(*rec, schedule, graph);
 
   sim::SimOptions sim_opts;
   sim_opts.link_contention = o.contention;
+  std::optional<fault::FaultPlan> plan;
   if (!o.fault_plan_file.empty()) {
-    const fault::FaultPlan plan = fault::FaultPlan::load(o.fault_plan_file);
-    core::FaultRunOptions fopts;
-    fopts.sim = sim_opts;
-    const auto report = core::run_with_faults(graph, project.machine(),
-                                              schedule, plan, fopts);
-    sim::SimResult replay = report.faulty;
-    replay.events = report.events;  // includes repair/re-exec events
-    viz::record_sim(*rec, replay, graph);
-  } else {
-    viz::record_sim(*rec, sim::simulate(graph, project.machine(), schedule,
-                                        sim_opts),
-                    graph);
+    plan = fault::FaultPlan::load(o.fault_plan_file);
   }
-
-  obs::ExportOptions export_opts;
-  export_opts.include_wall = false;  // determinism over wall-clock noise
-  write_or_print(rec->to_chrome_json(export_opts), o, out);
+  const auto r = serve::render_trace(
+      project.flattened().graph, project.machine(), o.scheduler, sim_opts,
+      plan ? &*plan : nullptr, obs::current());
+  write_or_print(r.artifact, o, out);
   if (!o.output_file.empty()) {
-    out << "wrote " << rec->size() << " trace events to `" << o.output_file
+    out << "wrote " << r.events << " trace events to `" << o.output_file
         << "` (load in https://ui.perfetto.dev)\n";
   }
   return 0;
@@ -616,22 +597,12 @@ int cmd_lint(const Options& o, std::ostream& out) {
 
 int cmd_check(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
-  const auto diagnostics =
-      analyze::analyze_design(project.design(), analyze::AnalyzeOptions{});
-  analyze::EmitOptions emit;
-  emit.file = o.positional[0];
-  std::string rendered;
-  if (o.format == "json") {
-    rendered = analyze::emit_json(diagnostics, emit);
-  } else if (o.format == "sarif") {
-    rendered = analyze::emit_sarif(diagnostics, emit);
-  } else {
-    rendered = analyze::emit_text(diagnostics, emit);
-  }
-  write_or_print(rendered, o, out);
-  const auto threshold = o.fail_on == "warning" ? analyze::Severity::Warning
-                                                : analyze::Severity::Error;
-  return analyze::has_severity(diagnostics, threshold) ? 1 : 0;
+  // Shared with the serve daemon's `check` op (pass the same `file`
+  // label there for byte-identical diagnostics).
+  const auto r = serve::render_check(project.design(), o.format, o.fail_on,
+                                     o.positional[0]);
+  write_or_print(r.text, o, out);
+  return r.exit_code;
 }
 
 int cmd_compare(const Options& o, std::ostream& out) {
@@ -653,6 +624,25 @@ int cmd_compare(const Options& o, std::ostream& out) {
   }
   out << table.to_string();
   return 0;
+}
+
+int cmd_serve(const Options& o, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  serve::ServeOptions sopts;
+  sopts.jobs = o.jobs;
+  sopts.max_inflight = o.max_inflight;
+  sopts.deadline_ms = o.deadline_ms;
+  sopts.cache_capacity = static_cast<std::size_t>(o.cache_cap);
+  serve::Server server(sopts);
+  if (o.serve_once) {
+    // Smoke-test mode: answer exactly one request from stdin and exit.
+    std::string line;
+    if (!std::getline(in, line)) return 0;
+    out << server.handle_line(line) << "\n";
+    return 0;
+  }
+  if (o.port >= 0) return server.serve_tcp(o.port, err);
+  return server.serve_stream(in, out);
 }
 
 int cmd_codegen(const Options& o, std::ostream& out) {
@@ -697,6 +687,12 @@ std::string usage() {
       "  explain  <design> <machine>           placement rationale per task\n"
       "  report   <design> <machine>           one artifact of it all\n"
       "                                        (--format html for a browser page)\n"
+      "  serve                                 long-lived design service:\n"
+      "                                        JSON-lines requests on stdin\n"
+      "                                        (or --port N for TCP), answered\n"
+      "                                        concurrently with a content-\n"
+      "                                        hashed artifact cache; --once\n"
+      "                                        answers a single request\n"
       "options:\n"
       "  --scheduler NAME   mh|mcp|etf|hlfet|dls|dsh|cluster|serial|...\n"
       "  --input VAR=EXPR   bind an input store (PITS expression)\n"
@@ -719,12 +715,24 @@ std::string usage() {
       "  --metrics FILE     write a flat JSON metrics summary of the command\n"
       "                     (scheduler rounds, cache hits, sim/exec/recovery\n"
       "                     counters) to FILE\n"
+      "  --port N           serve: listen on 127.0.0.1:N (0 = ephemeral;\n"
+      "                     default: stdio JSON-lines mode)\n"
+      "  --max-inflight N   serve: shed requests beyond N in flight (def 256)\n"
+      "  --deadline-ms N    serve: shed requests queued longer than N ms\n"
+      "  --cache-cap N      serve: artifact cache entries before LRU\n"
+      "                     eviction (default 256)\n"
+      "  --once             serve: answer one request and exit\n"
       "  -o, --out FILE     write main artifact to FILE\n"
       "exit status: 0 success, 1 user error, 2 usage error\n";
 }
 
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err) {
+  return run(args, std::cin, out, err);
+}
+
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err) {
   if (args.empty() || args[0] == "help" || args[0] == "--help") {
     out << usage();
     return args.empty() ? 2 : 0;
@@ -763,6 +771,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       if (command == "check") return cmd_check(options, out);
       if (command == "compare") return cmd_compare(options, out);
       if (command == "codegen") return cmd_codegen(options, out);
+      if (command == "serve") return cmd_serve(options, in, out, err);
       err << "banger: unknown command `" << command << "`\n" << usage();
       return 2;
     };

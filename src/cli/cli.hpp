@@ -17,6 +17,7 @@
 //   banger trial <design> [--input v=expr]...     sequential trial run
 //   banger run <design> <machine> [options]       threaded execution
 //   banger codegen <design> <machine> [options]   emit C++ to stdout/-o
+//   banger serve [--port N | --once] [options]    JSON-lines design service
 //
 // Common options: --scheduler NAME, --input VAR=PITS_EXPR (repeatable),
 // --sizes 1,2,4, --contention, --events N, --format gantt|table|svg,
@@ -32,6 +33,12 @@ namespace banger::cli {
 /// Executes one CLI invocation. `args` excludes the program name.
 /// Returns the process exit code (0 success, 1 user error, 2 usage).
 /// Never throws: user-level Errors are rendered on `err`.
+/// `in` feeds commands that read requests (`banger serve` in stdio
+/// mode); every other command ignores it.
+int run(const std::vector<std::string>& args, std::istream& in,
+        std::ostream& out, std::ostream& err);
+
+/// Convenience overload reading from std::cin.
 int run(const std::vector<std::string>& args, std::ostream& out,
         std::ostream& err);
 

@@ -25,12 +25,7 @@ std::string mangle(const std::string& var) { return "v_" + var; }
 /// Same per-task seed derivation as the executor, so generated programs
 /// and interpreted runs agree on rand() streams.
 std::uint64_t seed_for(const std::string& task_name, std::uint64_t base) {
-  std::uint64_t h = 1469598103934665603ull ^ base;
-  for (char c : task_name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
+  return util::fnv1a64(task_name, 1469598103934665603ull ^ base);
 }
 
 std::string cpp_string_literal(const std::string& s) {

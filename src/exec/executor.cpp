@@ -24,14 +24,11 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Stable per-task seed so duplicate copies (and re-runs) agree.
+/// Stable per-task seed so duplicate copies (and re-runs) agree. The
+/// seed basis is historical (a truncated FNV offset basis) and must
+/// stay verbatim: generated programs embed these values.
 std::uint64_t seed_for(const std::string& task_name, std::uint64_t base) {
-  std::uint64_t h = 1469598103934665603ull ^ base;
-  for (char c : task_name) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
+  return util::fnv1a64(task_name, 1469598103934665603ull ^ base);
 }
 
 /// Does this (possibly comma-joined) edge variable list carry `var`?
@@ -406,6 +403,11 @@ RunResult Executor::run(const Schedule& schedule,
   };
 
   auto worker = [&](ProcId proc) {
+    // The ambient recorder is thread-local: adopt the launching
+    // thread's recorder so PITS engine counters bumped inside task
+    // routines land in the same place they would for a sequential run.
+    std::optional<obs::ScopedRecorder> ambient;
+    if (rec != nullptr) ambient.emplace(*rec);
     try {
       const auto& lane = lanes[static_cast<std::size_t>(proc)];
       std::optional<double> crash_at;

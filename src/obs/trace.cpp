@@ -9,7 +9,12 @@ namespace banger::obs {
 
 namespace {
 
-std::atomic<TraceRecorder*> g_current{nullptr};
+// Per-thread ambient recorder. Thread-local (not process-global) so a
+// concurrent server can trace one request in isolation while neighbours
+// on other threads keep recording into the service-wide recorder.
+// ThreadPool and the executor re-install the submitting thread's
+// recorder on their workers, preserving the old global-feeling flow.
+thread_local TraceRecorder* t_current = nullptr;
 
 // Chrome trace timestamps are integer microseconds.  Virtual/Wall
 // domains carry seconds; Logical carries raw ticks exported verbatim.
@@ -26,6 +31,7 @@ const char* track_label(int pid) {
     case kTrackScheduler: return "scheduler";
     case kTrackRecovery: return "recovery";
     case kTrackPool: return "thread pool";
+    case kTrackServe: return "serve";
     default: return "track";
   }
 }
@@ -149,6 +155,11 @@ double TraceRecorder::metric(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = metrics_.find(name);
   return it == metrics_.end() ? 0.0 : it->second;
+}
+
+std::map<std::string, double> TraceRecorder::metrics_snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metrics_;
 }
 
 double TraceRecorder::wall_now() const {
@@ -287,15 +298,12 @@ std::string TraceRecorder::metrics_json() const {
   return out.str();
 }
 
-TraceRecorder* current() {
-  return g_current.load(std::memory_order_relaxed);
+TraceRecorder* current() { return t_current; }
+
+ScopedRecorder::ScopedRecorder(TraceRecorder& rec) : prev_(t_current) {
+  t_current = &rec;
 }
 
-ScopedRecorder::ScopedRecorder(TraceRecorder& rec)
-    : prev_(g_current.exchange(&rec, std::memory_order_relaxed)) {}
-
-ScopedRecorder::~ScopedRecorder() {
-  g_current.store(prev_, std::memory_order_relaxed);
-}
+ScopedRecorder::~ScopedRecorder() { t_current = prev_; }
 
 }  // namespace banger::obs

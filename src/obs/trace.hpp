@@ -55,6 +55,7 @@ inline constexpr int kTrackExec = 3;       ///< real executor (Wall)
 inline constexpr int kTrackScheduler = 4;  ///< scheduler internals (Logical)
 inline constexpr int kTrackRecovery = 5;   ///< fault recovery (Virtual)
 inline constexpr int kTrackPool = 6;       ///< thread pool (Wall)
+inline constexpr int kTrackServe = 7;      ///< serve request handling (Wall)
 
 struct TraceEvent {
   enum class Kind : std::uint8_t { Span, Instant, Counter, FlowStart, FlowEnd };
@@ -119,6 +120,10 @@ class TraceRecorder {
   /// Read a metric back (0 if never touched).
   double metric(const std::string& name) const;
 
+  /// A copy of the whole metrics map (the data behind metrics_json) —
+  /// the serve `stats` endpoint embeds it as a structured object.
+  std::map<std::string, double> metrics_snapshot() const;
+
   /// Wall-clock seconds since this recorder was constructed
   /// (steady-clock based; use for Domain::Wall timestamps).
   double wall_now() const;
@@ -140,12 +145,18 @@ class TraceRecorder {
   std::chrono::steady_clock::time_point epoch_;
 };
 
-/// The ambient recorder for this process, or nullptr when tracing is
-/// disabled.  Instrumented code hoists this out of hot loops.
+/// The ambient recorder for the *current thread*, or nullptr when
+/// tracing is disabled.  Instrumented code hoists this out of hot
+/// loops.  The ambient is thread-local so concurrent serve requests can
+/// each trace into their own recorder without cross-talk; helpers that
+/// fan work out to other threads (util::ThreadPool, the executor)
+/// capture the caller's recorder and install it on their workers, so
+/// single-recorder flows behave exactly as if the ambient were global.
 TraceRecorder* current();
 
-/// Installs `rec` as the ambient recorder for the lifetime of the
-/// object, restoring the previous recorder on destruction.
+/// Installs `rec` as the calling thread's ambient recorder for the
+/// lifetime of the object, restoring the previous recorder on
+/// destruction.
 class ScopedRecorder {
  public:
   explicit ScopedRecorder(TraceRecorder& rec);

@@ -1,0 +1,85 @@
+#include "serve/cache.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace banger::serve {
+
+ArtifactCache::ArtifactCache(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void ArtifactCache::note(const char* which, const std::string& kind) const {
+  if (obs::TraceRecorder* rec = obs::current()) {
+    rec->bump("serve.cache." + kind + "." + which);
+  }
+}
+
+std::shared_ptr<const void> ArtifactCache::lookup(
+    const CacheKey& key,
+    const std::function<std::shared_ptr<const void>()>& build) {
+  std::promise<std::shared_ptr<const void>> promise;
+  std::shared_future<std::shared_ptr<const void>> future;
+  bool builder = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      lru_.splice(lru_.begin(), lru_, it->second.lru);
+      future = it->second.artifact;
+    } else {
+      ++stats_.misses;
+      builder = true;
+      future = promise.get_future().share();
+      lru_.push_front(key);
+      entries_.emplace(key, Entry{future, false, lru_.begin()});
+      // Evict from the cold end, skipping entries still being built —
+      // their builder thread will mark them ready (or erase them).
+      while (entries_.size() > capacity_) {
+        bool evicted = false;
+        for (auto victim = lru_.rbegin(); victim != lru_.rend(); ++victim) {
+          auto vit = entries_.find(*victim);
+          if (vit == entries_.end() || !vit->second.ready) continue;
+          lru_.erase(vit->second.lru);
+          entries_.erase(vit);
+          ++stats_.evictions;
+          evicted = true;
+          break;
+        }
+        if (!evicted) break;  // everything in flight; allow the overshoot
+      }
+    }
+  }
+  note(builder ? "miss" : "hit", key.kind);
+
+  if (!builder) return future.get();
+
+  try {
+    std::shared_ptr<const void> artifact = build();
+    promise.set_value(artifact);
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) it->second.ready = true;
+    return artifact;
+  } catch (...) {
+    promise.set_exception(std::current_exception());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      auto it = entries_.find(key);
+      if (it != entries_.end()) {
+        lru_.erase(it->second.lru);
+        entries_.erase(it);
+      }
+    }
+    throw;
+  }
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.entries = entries_.size();
+  return s;
+}
+
+}  // namespace banger::serve

@@ -1,0 +1,461 @@
+#include "serve/server.hpp"
+
+#include <cstdio>
+#include <initializer_list>
+#include <istream>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "graph/serialize.hpp"
+#include "machine/serialize.hpp"
+#include "pits/interp.hpp"
+#include "serve/render.hpp"
+#include "util/net.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+
+namespace banger::serve {
+
+namespace {
+
+/// A parsed, validated, flattened design — the unit every design-taking
+/// op shares through the cache.
+struct DesignArtifact {
+  graph::Design design;
+  graph::FlattenResult flat;
+};
+
+// Unit separator: cannot appear in JSON string payloads' semantics, so
+// joined cache keys never collide across field boundaries.
+constexpr char kSep = '\x1f';
+
+std::string join_key(std::initializer_list<std::string_view> parts) {
+  std::string key;
+  for (const auto part : parts) {
+    key += part;
+    key += kSep;
+  }
+  return key;
+}
+
+std::string hex64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::shared_ptr<const DesignArtifact> design_artifact(
+    ArtifactCache& cache, const std::string& text) {
+  const CacheKey key{"design", util::fnv1a64(text)};
+  return cache.get_or_build<DesignArtifact>(key, [&] {
+    graph::Design design = graph::parse_design(text);
+    design.validate();
+    graph::FlattenResult flat = design.flatten();
+    return std::make_shared<const DesignArtifact>(
+        DesignArtifact{std::move(design), std::move(flat)});
+  });
+}
+
+std::shared_ptr<const machine::Machine> machine_artifact(
+    ArtifactCache& cache, const std::string& text) {
+  const CacheKey key{"machine", util::fnv1a64(text)};
+  return cache.get_or_build<machine::Machine>(key, [&] {
+    return std::make_shared<const machine::Machine>(
+        machine::parse_machine(text));
+  });
+}
+
+std::shared_ptr<const sched::Schedule> schedule_artifact(
+    ArtifactCache& cache, const std::string& design_text,
+    const std::string& machine_text, const std::string& heuristic,
+    const DesignArtifact& design, const machine::Machine& machine) {
+  const CacheKey key{
+      "schedule",
+      util::fnv1a64(join_key({design_text, machine_text, heuristic}))};
+  return cache.get_or_build<sched::Schedule>(key, [&] {
+    const auto scheduler = sched::make_scheduler(heuristic);
+    sched::Schedule schedule = scheduler->run(design.flat.graph, machine);
+    schedule.validate(design.flat.graph, machine);
+    return std::make_shared<const sched::Schedule>(std::move(schedule));
+  });
+}
+
+}  // namespace
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)), cache_(options_.cache_capacity) {
+  if (options_.max_inflight < 1) options_.max_inflight = 1;
+  if (options_.recorder != nullptr) {
+    rec_ = options_.recorder;
+  } else {
+    own_rec_.emplace();
+    rec_ = &*own_rec_;
+  }
+  clock_ = options_.clock ? options_.clock
+                          : std::function<double()>(
+                                [this] { return rec_->wall_now(); });
+}
+
+bool Server::try_acquire_slot() {
+  int current = inflight_.load();
+  while (current < options_.max_inflight) {
+    if (inflight_.compare_exchange_weak(current, current + 1)) return true;
+  }
+  return false;
+}
+
+void Server::release_slot() { inflight_.fetch_sub(1); }
+
+std::string Server::resolve(const Request& req, bool want_machine) const {
+  if (want_machine) {
+    if (!req.machine.empty()) return req.machine;
+    if (!req.machine_ref.empty()) {
+      return sessions_.get(req.machine_ref, "machine").text;
+    }
+    fail(ErrorCode::Usage,
+         "op `" + req.op + "` needs `machine` text or a `machine_ref`");
+  }
+  if (!req.design.empty()) return req.design;
+  if (!req.design_ref.empty()) {
+    return sessions_.get(req.design_ref, "design").text;
+  }
+  fail(ErrorCode::Usage,
+       "op `" + req.op + "` needs `design` text or a `design_ref`");
+}
+
+Server::Rendered Server::respond(const Request& req) {
+  if (req.op == "schedule") {
+    const std::string design_text = resolve(req, false);
+    const std::string machine_text = resolve(req, true);
+    const std::string format = req.format.empty() ? "gantt" : req.format;
+    if (format != "gantt" && format != "table" && format != "svg" &&
+        format != "trace") {
+      fail(ErrorCode::Usage, "unknown schedule format `" + format + "`");
+    }
+    const CacheKey key{
+        "response", util::fnv1a64(join_key({"schedule", design_text,
+                                            machine_text, req.scheduler,
+                                            format}))};
+    const auto rendered = cache_.get_or_build<Rendered>(key, [&] {
+      const auto design = design_artifact(cache_, design_text);
+      const auto machine = machine_artifact(cache_, machine_text);
+      const auto schedule =
+          schedule_artifact(cache_, design_text, machine_text, req.scheduler,
+                            *design, *machine);
+      const ScheduleRender r =
+          render_schedule(*schedule, design->flat.graph, *machine, format);
+      return std::make_shared<const Rendered>(
+          Rendered{r.artifact + r.trailer, 0});
+    });
+    return *rendered;
+  }
+
+  if (req.op == "trial") {
+    if (!req.machine.empty() || !req.machine_ref.empty()) {
+      fail(ErrorCode::Usage,
+           "op `trial` runs sequentially; it does not take a machine");
+    }
+    const std::string design_text = resolve(req, false);
+    std::string inputs_key;
+    for (const auto& [var, expr] : req.inputs) {
+      inputs_key += var;
+      inputs_key += '=';
+      inputs_key += expr;
+      inputs_key += kSep;
+    }
+    const CacheKey key{
+        "response",
+        util::fnv1a64(join_key({"trial", design_text, req.engine}) +
+                      inputs_key)};
+    const auto rendered = cache_.get_or_build<Rendered>(key, [&] {
+      const auto design = design_artifact(cache_, design_text);
+      std::map<std::string, pits::Value> inputs;
+      for (const auto& [var, expr] : req.inputs) {
+        inputs[var] = pits::eval_expression(expr, {});
+      }
+      exec::RunOptions run_opts;
+      if (req.engine == "vm") {
+        run_opts.pits.engine = pits::ExecOptions::Engine::Vm;
+      } else if (req.engine == "walk") {
+        run_opts.pits.engine = pits::ExecOptions::Engine::Walk;
+      }
+      const auto result = exec::run_sequential(design->flat, inputs, run_opts);
+      return std::make_shared<const Rendered>(
+          Rendered{render_run_result(result, /*include_wall=*/false), 0});
+    });
+    return *rendered;
+  }
+
+  if (req.op == "check") {
+    const std::string design_text = resolve(req, false);
+    const std::string format = req.format.empty() ? "text" : req.format;
+    if (format != "text" && format != "json" && format != "sarif") {
+      fail(ErrorCode::Usage, "unknown check format `" + format + "`");
+    }
+    const std::string file =
+        !req.file.empty() ? req.file
+        : !req.design_ref.empty() ? req.design_ref
+                                  : std::string("<design>");
+    const CacheKey key{
+        "response", util::fnv1a64(join_key(
+                        {"check", design_text, format, req.fail_on, file}))};
+    const auto rendered = cache_.get_or_build<Rendered>(key, [&] {
+      const auto design = design_artifact(cache_, design_text);
+      const CheckRender r =
+          render_check(design->design, format, req.fail_on, file);
+      return std::make_shared<const Rendered>(Rendered{r.text, r.exit_code});
+    });
+    return *rendered;
+  }
+
+  if (req.op == "trace") {
+    const std::string design_text = resolve(req, false);
+    const std::string machine_text = resolve(req, true);
+    const CacheKey key{
+        "response",
+        util::fnv1a64(join_key({"trace", design_text, machine_text,
+                                req.scheduler,
+                                req.contention ? "1" : "0"}))};
+    const auto rendered = cache_.get_or_build<Rendered>(key, [&] {
+      const auto design = design_artifact(cache_, design_text);
+      const auto machine = machine_artifact(cache_, machine_text);
+      sim::SimOptions sim_opts;
+      sim_opts.link_contention = req.contention;
+      // A private recorder inside render_trace keeps the artifact free
+      // of other requests' events — the reason the ambient recorder is
+      // thread-local.
+      const TraceRender r =
+          render_trace(design->flat.graph, *machine, req.scheduler, sim_opts,
+                       /*plan=*/nullptr, /*reuse=*/nullptr);
+      return std::make_shared<const Rendered>(Rendered{r.artifact, 0});
+    });
+    return *rendered;
+  }
+
+  fail(ErrorCode::Usage,
+       "unknown op `" + req.op +
+           "` (ping|upload|schedule|trial|check|trace|stats|shutdown)");
+}
+
+Json Server::dispatch(const Request& req) {
+  if (req.op == "ping") {
+    Json r = ok_envelope(req.id, req.op, 0);
+    r.add("output", Json::string("pong"));
+    return r;
+  }
+
+  if (req.op == "shutdown") {
+    request_shutdown();
+    Json r = ok_envelope(req.id, req.op, 0);
+    r.add("output", Json::string("shutting down"));
+    return r;
+  }
+
+  if (req.op == "upload") {
+    if (req.name.empty()) {
+      fail(ErrorCode::Usage, "op `upload` needs a `name`");
+    }
+    if (req.kind != "design" && req.kind != "machine") {
+      fail(ErrorCode::Usage,
+           "op `upload` needs `kind` of `design` or `machine`, got `" +
+               req.kind + "`");
+    }
+    if (req.text.empty()) {
+      fail(ErrorCode::Usage, "op `upload` needs the payload in `text`");
+    }
+    // Validate (and warm the cache) before storing: a payload that does
+    // not parse must never become referenceable.
+    if (req.kind == "design") {
+      design_artifact(cache_, req.text);
+    } else {
+      machine_artifact(cache_, req.text);
+    }
+    const std::uint64_t hash = sessions_.put(req.name, req.kind, req.text);
+    Json r = ok_envelope(req.id, req.op, 0);
+    r.add("name", Json::string(req.name));
+    r.add("kind", Json::string(req.kind));
+    r.add("hash", Json::string(hex64(hash)));
+    return r;
+  }
+
+  if (req.op == "stats") {
+    Json r = ok_envelope(req.id, req.op, 0);
+    Json stats = Json::object();
+    const ArtifactCache::Stats cs = cache_.stats();
+    Json cache = Json::object();
+    cache.add("hits", Json::number(static_cast<double>(cs.hits)));
+    cache.add("misses", Json::number(static_cast<double>(cs.misses)));
+    cache.add("evictions", Json::number(static_cast<double>(cs.evictions)));
+    cache.add("entries", Json::number(static_cast<double>(cs.entries)));
+    cache.add("capacity",
+              Json::number(static_cast<double>(cache_.capacity())));
+    stats.add("cache", std::move(cache));
+    stats.add("sessions",
+              Json::number(static_cast<double>(sessions_.size())));
+    stats.add("inflight", Json::number(inflight_.load()));
+    Json metrics = Json::object();
+    for (const auto& [name, value] : rec_->metrics_snapshot()) {
+      metrics.add(name, Json::number(value));
+    }
+    stats.add("metrics", std::move(metrics));
+    r.add("stats", std::move(stats));
+    return r;
+  }
+
+  const Rendered rendered = respond(req);
+  Json r = ok_envelope(req.id, req.op, rendered.exit_code);
+  r.add("output", Json::string(rendered.output));
+  return r;
+}
+
+std::string Server::handle_line(const std::string& line) {
+  return handle_line(line, now());
+}
+
+std::string Server::handle_line(const std::string& line, double arrival) {
+  // Handlers may run on pool workers or foreign threads; make the
+  // service recorder ambient so every instrumented layer underneath
+  // (scheduler, executor, cache) lands its counters here.
+  obs::ScopedRecorder scope(*rec_);
+  Json id;
+  std::string op;
+  try {
+    const Json doc = Json::parse(line);
+    const Request req = parse_request(doc);
+    id = req.id;
+    op = req.op;
+    rec_->bump("serve.requests");
+    if (options_.deadline_ms > 0) {
+      const double waited_ms = (now() - arrival) * 1000.0;
+      if (waited_ms > options_.deadline_ms) {
+        rec_->bump("serve.shed");
+        return error_response(
+                   id, op, "limit",
+                   "deadline exceeded: request waited " +
+                       obs::json_number(waited_ms) + " ms (deadline " +
+                       std::to_string(options_.deadline_ms) + " ms)",
+                   1)
+            .dump();
+      }
+    }
+    const double start = rec_->wall_now();
+    Json resp = dispatch(req);
+    rec_->span(obs::Domain::Wall, obs::kTrackServe, 0, start,
+               rec_->wall_now(), "serve." + op, "serve", "");
+    rec_->bump("serve.ok");
+    return resp.dump();
+  } catch (const Error& e) {
+    rec_->bump("serve.errors");
+    return error_response(id, op, e).dump();
+  } catch (const std::exception& e) {
+    rec_->bump("serve.errors");
+    return error_response(id, op, "error", e.what(), 1).dump();
+  }
+}
+
+int Server::serve_stream(std::istream& in, std::ostream& out) {
+  obs::ScopedRecorder scope(*rec_);
+  // The pool is constructed under the installed recorder, so workers
+  // adopt it as their ambient too.
+  util::ThreadPool pool(options_.jobs);
+
+  // Responses leave in request order no matter which worker finishes
+  // first: each request gets a sequence number at read time and a
+  // reorder buffer drains contiguously.
+  std::mutex emit_mu;
+  std::map<std::uint64_t, std::string> done;
+  std::uint64_t next_emit = 0;
+  auto emit = [&](std::uint64_t seq, std::string response) {
+    std::lock_guard<std::mutex> lock(emit_mu);
+    done.emplace(seq, std::move(response));
+    for (auto it = done.find(next_emit); it != done.end();
+         it = done.find(next_emit)) {
+      out << it->second << '\n';
+      out.flush();
+      done.erase(it);
+      ++next_emit;
+    }
+  };
+
+  std::string line;
+  std::uint64_t seq = 0;
+  bool stop = false;
+  while (!stop && !shutdown_requested() && std::getline(in, line)) {
+    if (line.empty()) continue;
+    const std::uint64_t s = seq++;
+
+    // Best-effort sniff of id/op so overload shedding and shutdown can
+    // answer without occupying a worker; malformed lines still go to a
+    // worker for the full diagnostic envelope.
+    Json id;
+    std::string op;
+    try {
+      const Json doc = Json::parse(line);
+      if (const Json* found = doc.find("op"); found && found->is_string()) {
+        op = found->as_string();
+      }
+      if (const Json* found = doc.find("id")) id = *found;
+    } catch (const Error&) {
+    }
+
+    if (op == "shutdown") {
+      emit(s, handle_line(line));
+      stop = true;
+      continue;
+    }
+
+    if (!try_acquire_slot()) {
+      rec_->bump("serve.requests");
+      rec_->bump("serve.shed");
+      emit(s, error_response(id, op, "limit",
+                             "server overloaded: " +
+                                 std::to_string(options_.max_inflight) +
+                                 " requests already in flight",
+                             1)
+                  .dump());
+      continue;
+    }
+
+    const double arrival = now();
+    pool.submit([this, s, line, arrival, &emit] {
+      std::string response = handle_line(line, arrival);
+      release_slot();
+      emit(s, std::move(response));
+    });
+  }
+  pool.wait_idle();
+  return 0;
+}
+
+int Server::serve_tcp(int port, std::ostream& log) {
+  const int listen_fd = util::tcp_listen(port);
+  bound_port_.store(util::tcp_local_port(listen_fd));
+  log << "banger serve: listening on 127.0.0.1:" << bound_port_.load()
+      << "\n";
+  log.flush();
+
+  std::vector<std::thread> connections;
+  while (!shutdown_requested()) {
+    const int fd = util::tcp_accept(listen_fd, /*timeout_ms=*/100);
+    if (fd < 0) continue;  // timeout: re-check the shutdown flag
+    connections.emplace_back([this, fd] {
+      util::FdStreamBuf buf(fd);
+      std::iostream io(&buf);
+      serve_stream(io, io);
+      io.flush();
+      util::close_fd(fd);
+    });
+  }
+  for (std::thread& t : connections) t.join();
+  util::close_fd(listen_fd);
+  bound_port_.store(-1);
+  return 0;
+}
+
+}  // namespace banger::serve

@@ -1,0 +1,43 @@
+// banger/serve/session.hpp
+//
+// Named payload store for multi-tenant sessions. A client uploads a
+// design or machine once (`{"op":"upload","name":"lu","kind":"design",
+// "text":"..."}`) and later requests reference it by name instead of
+// resending the text. The store only keeps raw text plus its content
+// hash — parsing and schedule derivation stay in the ArtifactCache, so
+// two clients uploading identical text under different names still
+// share every derived artifact.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace banger::serve {
+
+struct SessionEntry {
+  std::string kind;  // "design" | "machine"
+  std::string text;
+  std::uint64_t hash = 0;
+};
+
+class SessionStore {
+ public:
+  /// Inserts or replaces a named payload; returns its content hash.
+  std::uint64_t put(const std::string& name, const std::string& kind,
+                    const std::string& text);
+
+  /// Looks up a named payload. Throws Error{Name} when `name` is
+  /// unknown and Error{Type} when it holds the wrong kind.
+  [[nodiscard]] SessionEntry get(const std::string& name,
+                                 const std::string& kind) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, SessionEntry> entries_;
+};
+
+}  // namespace banger::serve

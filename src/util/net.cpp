@@ -1,0 +1,140 @@
+#include "util/net.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.hpp"
+
+namespace banger::util {
+
+namespace {
+
+[[noreturn]] void io_fail(const std::string& what) {
+  fail(ErrorCode::Io, what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+int tcp_listen(int port, int backlog) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) io_fail("socket");
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close_fd(fd);
+    io_fail("bind port " + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) {
+    close_fd(fd);
+    io_fail("listen");
+  }
+  return fd;
+}
+
+int tcp_local_port(int fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    io_fail("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+int tcp_accept(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r == 0) return -1;  // timeout
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      io_fail("poll");
+    }
+    const int conn = ::accept(fd, nullptr, nullptr);
+    if (conn >= 0) return conn;
+    if (errno == EINTR || errno == ECONNABORTED) continue;
+    io_fail("accept");
+  }
+}
+
+int tcp_connect(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) io_fail("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close_fd(fd);
+    fail(ErrorCode::Io, "invalid IPv4 address `" + host + "`");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    close_fd(fd);
+    io_fail("connect " + host + ":" + std::to_string(port));
+  }
+  return fd;
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+FdStreamBuf::FdStreamBuf(int fd) : fd_(fd) {
+  setg(in_, in_, in_);
+  setp(out_, out_ + sizeof out_);
+}
+
+FdStreamBuf::~FdStreamBuf() { flush_out(); }
+
+bool FdStreamBuf::flush_out() noexcept {
+  const char* p = pbase();
+  std::size_t left = static_cast<std::size_t>(pptr() - pbase());
+  while (left > 0) {
+    const ssize_t n = ::write(fd_, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  setp(out_, out_ + sizeof out_);
+  return true;
+}
+
+FdStreamBuf::int_type FdStreamBuf::underflow() {
+  if (gptr() < egptr()) return traits_type::to_int_type(*gptr());
+  // A request/response protocol: everything written so far must be on
+  // the wire before we block waiting for the peer.
+  if (!flush_out()) return traits_type::eof();
+  for (;;) {
+    const ssize_t n = ::read(fd_, in_, sizeof in_);
+    if (n > 0) {
+      setg(in_, in_, in_ + n);
+      return traits_type::to_int_type(*gptr());
+    }
+    if (n == 0) return traits_type::eof();
+    if (errno != EINTR) return traits_type::eof();
+  }
+}
+
+FdStreamBuf::int_type FdStreamBuf::overflow(int_type ch) {
+  if (!flush_out()) return traits_type::eof();
+  if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+    *pptr() = traits_type::to_char_type(ch);
+    pbump(1);
+  }
+  return traits_type::not_eof(ch);
+}
+
+int FdStreamBuf::sync() { return flush_out() ? 0 : -1; }
+
+}  // namespace banger::util

@@ -1,0 +1,60 @@
+// banger/util/net.hpp
+//
+// Minimal POSIX TCP helpers for the serve daemon: bind/listen, accept
+// with a poll timeout (so the accept loop can notice a shutdown flag),
+// client connect, and a std::streambuf over a connected socket so the
+// per-connection protocol loop is the same std::istream/std::ostream
+// code that serves stdio mode. IPv4 loopback-oriented: the service is a
+// local design assistant, not an internet-facing endpoint.
+#pragma once
+
+#include <streambuf>
+#include <string>
+
+namespace banger::util {
+
+/// Binds and listens on 127.0.0.1:`port` (0 picks an ephemeral port).
+/// Returns the listening fd; throws Error{Io} on failure.
+int tcp_listen(int port, int backlog = 16);
+
+/// The locally bound port of a listening fd (resolves port 0).
+int tcp_local_port(int fd);
+
+/// Accepts one connection, waiting at most `timeout_ms` (-1 blocks).
+/// Returns the connected fd, or -1 on timeout. Throws Error{Io} on a
+/// socket error.
+int tcp_accept(int fd, int timeout_ms);
+
+/// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+/// Returns the connected fd; throws Error{Io} on failure.
+int tcp_connect(const std::string& host, int port);
+
+/// close(2) that tolerates already-closed fds.
+void close_fd(int fd) noexcept;
+
+/// Buffered read/write streambuf over a file descriptor. Wrap it in
+/// std::iostream to speak a line protocol over a socket. sync() flushes;
+/// the destructor flushes best-effort but does not close the fd (the
+/// owner does, after the streams are gone).
+class FdStreamBuf : public std::streambuf {
+ public:
+  explicit FdStreamBuf(int fd);
+  ~FdStreamBuf() override;
+
+  FdStreamBuf(const FdStreamBuf&) = delete;
+  FdStreamBuf& operator=(const FdStreamBuf&) = delete;
+
+ protected:
+  int_type underflow() override;
+  int_type overflow(int_type ch) override;
+  int sync() override;
+
+ private:
+  bool flush_out() noexcept;
+
+  int fd_;
+  char in_[4096];
+  char out_[4096];
+};
+
+}  // namespace banger::util

@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 namespace banger::util {
@@ -53,6 +54,11 @@ void ThreadPool::wait_idle() {
 }
 
 void ThreadPool::worker_loop(int worker) {
+  // The ambient recorder is thread-local; adopt the constructing
+  // thread's recorder so closures observe the same ambient they would
+  // have seen running inline (counters, nested ScopedRecorder, ...).
+  std::optional<obs::ScopedRecorder> ambient;
+  if (rec_ != nullptr) ambient.emplace(*rec_);
   for (;;) {
     Job job;
     {

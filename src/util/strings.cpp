@@ -103,6 +103,22 @@ std::string pad_right(std::string_view s, std::size_t width) {
   return out;
 }
 
+std::uint64_t fnv1a64(std::string_view s, std::uint64_t seed) noexcept {
+  std::uint64_t h = seed;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::string fnv1a64_hex(std::string_view s) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(fnv1a64(s)));
+  return buf;
+}
+
 bool parse_int64(std::string_view s, std::int64_t& out) noexcept {
   s = trim(s);
   if (s.empty()) return false;

@@ -42,6 +42,20 @@ std::string format_double(double v, int max_digits = 6);
 std::string pad_left(std::string_view s, std::size_t width);
 std::string pad_right(std::string_view s, std::size_t width);
 
+/// FNV-1a 64-bit offset basis: the seed every hash starts from. Exposed
+/// so derived hashes (e.g. the executor's per-task rand() seeds) can mix
+/// extra state into the basis while sharing one implementation.
+inline constexpr std::uint64_t kFnvOffsetBasis = 0xcbf29ce484222325ull;
+
+/// FNV-1a 64-bit over the bytes of `s`, starting from `seed`. The
+/// content-address used by the serve artifact cache and by the schedule
+/// golden manifests.
+std::uint64_t fnv1a64(std::string_view s,
+                      std::uint64_t seed = kFnvOffsetBasis) noexcept;
+
+/// fnv1a64 rendered as 16 lowercase hex digits.
+std::string fnv1a64_hex(std::string_view s);
+
 /// Strictly parses a whole string as a decimal integer: optional sign,
 /// digits only, no trailing junk, no overflow. Returns false (leaving
 /// `out` untouched) on any violation — callers own the diagnostic.

@@ -8,6 +8,7 @@
 #include "cli/cli.hpp"
 #include "graph/serialize.hpp"
 #include "machine/serialize.hpp"
+#include "serve/json.hpp"
 #include "workloads/lu.hpp"
 
 namespace banger::cli {
@@ -323,6 +324,78 @@ TEST_F(CliFiles, BadOptionIsUsageError) {
 TEST_F(CliFiles, BadInputSyntax) {
   const auto r = invoke({"trial", design_path_, "--input", "no_equals"});
   EXPECT_EQ(r.code, 2);
+}
+
+TEST(Cli, ServeFlagValidationNamesFlagAndValue) {
+  struct Case {
+    std::vector<std::string> args;
+    const char* flag;
+    const char* value;
+  };
+  const Case cases[] = {
+      {{"serve", "--port", "70000"}, "--port", "70000"},
+      {{"serve", "--port", "abc"}, "--port", "abc"},
+      {{"serve", "--max-inflight", "0"}, "--max-inflight", "0"},
+      {{"serve", "--deadline-ms", "-1"}, "--deadline-ms", "-1"},
+      {{"serve", "--cache-cap", "0"}, "--cache-cap", "0"},
+  };
+  for (const auto& c : cases) {
+    const auto r = invoke(c.args);
+    EXPECT_EQ(r.code, 2) << c.flag;
+    EXPECT_NE(r.err.find(c.flag), std::string::npos) << r.err;
+    EXPECT_NE(r.err.find(c.value), std::string::npos) << r.err;
+  }
+}
+
+TEST(Cli, ServeOnceAnswersOneRequest) {
+  std::istringstream in("{\"id\":1,\"op\":\"ping\"}\n");
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run({"serve", "--once"}, in, out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  EXPECT_NE(out.str().find("\"output\":\"pong\""), std::string::npos)
+      << out.str();
+  EXPECT_EQ(out.str().back(), '\n');
+}
+
+TEST_F(CliFiles, ServeStdioStreamMatchesCli) {
+  // End-to-end through the CLI entry point: a two-request stdio
+  // session whose schedule response must carry the same bytes as the
+  // one-shot `banger schedule` command.
+  const auto one_shot = invoke({"schedule", design_path_, machine_path_});
+  ASSERT_EQ(one_shot.code, 0) << one_shot.err;
+
+  std::ifstream design(design_path_);
+  std::stringstream design_text;
+  design_text << design.rdbuf();
+  std::ostringstream request;
+  request << "{\"id\":1,\"op\":\"ping\"}\n"
+          << "{\"id\":2,\"op\":\"schedule\",\"design\":";
+  // Reuse the serve JSON writer for correct escaping.
+  request << serve::Json::string(design_text.str()).dump()
+          << ",\"machine\":"
+          << serve::Json::string(
+                 "machine cube4\n"
+                 "topology hypercube dim=2\n"
+                 "speed 1\n"
+                 "message_startup 0.05\n"
+                 "bandwidth 512\n")
+                 .dump()
+          << "}\n";
+  std::istringstream in(request.str());
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = run({"serve"}, in, out, err);
+  EXPECT_EQ(code, 0) << err.str();
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_NE(line.find("pong"), std::string::npos);
+  ASSERT_TRUE(std::getline(lines, line));
+  const serve::Json resp = serve::Json::parse(line);
+  const serve::Json* output = resp.find("output");
+  ASSERT_NE(output, nullptr) << line;
+  EXPECT_EQ(output->as_string(), one_shot.out);
 }
 
 }  // namespace

@@ -25,6 +25,7 @@
 #include "sched/serialize.hpp"
 #include "sched/speedup.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 #include "workloads/graphs.hpp"
 #include "workloads/lu.hpp"
 
@@ -88,17 +89,10 @@ std::string read_file(const std::string& path) {
   return buf.str();
 }
 
-/// FNV-1a 64-bit — matches the hash manifest generator.
+/// FNV-1a 64-bit — matches the hash manifest generator (now the shared
+/// util implementation the serve artifact cache keys with).
 std::string fnv1a_hex(const std::string& data) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (unsigned char c : data) {
-    h ^= c;
-    h *= 0x100000001b3ull;
-  }
-  char buf[17];
-  std::snprintf(buf, sizeof buf, "%016llx",
-                static_cast<unsigned long long>(h));
-  return buf;
+  return util::fnv1a64_hex(data);
 }
 
 class SchedGolden : public ::testing::Test {

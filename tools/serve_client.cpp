@@ -1,0 +1,70 @@
+// serve_client — minimal line-oriented client for `banger serve --port`.
+//
+// Sends newline-delimited JSON requests to a running banger serve
+// daemon and prints one response line per request. Usage:
+//
+//   serve_client HOST PORT [FILE]
+//
+// Reads requests from FILE (or stdin when absent / "-"); each input
+// line must be one JSON request object, exactly what `banger serve`
+// accepts on stdin. Exits 1 on connection failure or malformed usage,
+// 0 otherwise — per-request failures are reported by the server inside
+// the response envelopes, not by this process's exit code.
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "util/error.hpp"
+#include "util/net.hpp"
+
+int main(int argc, char** argv) {
+  using namespace banger;
+  if (argc < 3 || argc > 4) {
+    std::cerr << "usage: serve_client HOST PORT [FILE]\n";
+    return 1;
+  }
+  const std::string host = argv[1];
+  int port = 0;
+  try {
+    port = std::stoi(argv[2]);
+  } catch (...) {
+    std::cerr << "serve_client: PORT must be a number, got `" << argv[2]
+              << "`\n";
+    return 1;
+  }
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  if (argc == 4 && std::string(argv[3]) != "-") {
+    file.open(argv[3], std::ios::binary);
+    if (!file.is_open()) {
+      std::cerr << "serve_client: cannot open " << argv[3] << "\n";
+      return 1;
+    }
+    in = &file;
+  }
+
+  try {
+    const int fd = util::tcp_connect(host, port);
+    util::FdStreamBuf buf(fd);
+    std::iostream io(&buf);
+    std::string line;
+    while (std::getline(*in, line)) {
+      if (line.empty()) continue;
+      io << line << "\n";
+      io.flush();
+      std::string response;
+      if (!std::getline(io, response)) {
+        std::cerr << "serve_client: connection closed by server\n";
+        util::close_fd(fd);
+        return 1;
+      }
+      std::cout << response << "\n";
+    }
+    util::close_fd(fd);
+  } catch (const Error& e) {
+    std::cerr << "serve_client: " << e.what() << "\n";
+    return 1;
+  }
+  return 0;
+}
