@@ -3,6 +3,8 @@
 // simulator event rate, flattening, parsing.
 #include <benchmark/benchmark.h>
 
+#include "analyze/absint.hpp"
+
 #include "exec/executor.hpp"
 #include "graph/serialize.hpp"
 #include "obs/trace.hpp"
@@ -262,8 +264,26 @@ void BM_PitsCompile(benchmark::State& state) {
 BENCHMARK(BM_PitsCompile);
 
 // The headline pair: one 1024-statement routine, identical semantics,
-// executed by the bytecode VM vs the tree-walking reference.
+// executed by the bytecode VM vs the tree-walking reference. The VM
+// compiles with abstract-interpretation facts (check elision + tick
+// batching), matching what the executor and calculator panel do.
 void BM_PitsExecVm(benchmark::State& state) {
+  const auto program = pits::Program::parse(pits_heavy_source(1024));
+  analyze::precompile_optimized(program);
+  pits::ExecOptions opts;
+  opts.engine = pits::ExecOptions::Engine::Vm;
+  for (auto _ : state) {
+    pits::Env env;
+    program.execute(env, opts);
+    benchmark::DoNotOptimize(env);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024 * 100);
+}
+BENCHMARK(BM_PitsExecVm);
+
+// Ablation: the same routine compiled without analysis facts — the gap
+// to BM_PitsExecVm is what the proofs buy at run time.
+void BM_PitsExecVmNoElide(benchmark::State& state) {
   const auto program = pits::Program::parse(pits_heavy_source(1024));
   program.precompile();
   pits::ExecOptions opts;
@@ -275,7 +295,7 @@ void BM_PitsExecVm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 1024 * 100);
 }
-BENCHMARK(BM_PitsExecVm);
+BENCHMARK(BM_PitsExecVmNoElide);
 
 void BM_PitsExecWalk(benchmark::State& state) {
   const auto program = pits::Program::parse(pits_heavy_source(1024));

@@ -1,5 +1,8 @@
 #include "analyze/analyze.hpp"
 
+#include <map>
+
+#include "analyze/absint.hpp"
 #include "util/strings.hpp"
 
 namespace banger::analyze {
@@ -14,6 +17,7 @@ std::vector<Diagnostic> analyze_design(const graph::Design& design,
   }
 
   if (options.pits_rules) {
+    std::map<graph::TaskId, ShapeSummary> summaries;
     for (graph::TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
       const graph::Task& task = flat.graph.task(t);
       if (util::trim(task.pits).empty()) continue;
@@ -30,6 +34,15 @@ std::vector<Diagnostic> analyze_design(const graph::Design& design,
       ctx.pits_line = task.pits_line;
       ctx.pits_indent = task.pits_indent;
       analyze_routine(body, ctx, diagnostics);
+      if (options.absint_rules) {
+        // Runs after the dataflow pass on purpose: the interval engine
+        // both defers to its reports (BAN104/105/108 win over BAN30x at
+        // the same spot) and prunes BAN101s it proves false.
+        summaries[t] = run_absint_rules(body, ctx, diagnostics);
+      }
+    }
+    if (options.absint_rules) {
+      run_shape_rules(flat, summaries, diagnostics);
     }
   }
 

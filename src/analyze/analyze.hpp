@@ -12,6 +12,11 @@
 //               folding (guaranteed div/mod-by-zero, out-of-range vector
 //               indices), unknown functions, arity mismatches, trivially
 //               non-terminating loops;
+//   absint      (BAN301-BAN306): abstract interpretation over each
+//               routine (analyze/absint.hpp) — interval-proven division
+//               by zero and out-of-bounds indices, dead branches,
+//               non-terminating loops, elementwise length mismatches,
+//               plus graph-level producer/consumer shape checking;
 //   determinacy (BAN201-BAN203): races over the flattened task graph —
 //               unordered writers to a store, readers unordered with
 //               writers (var-aliased stores), schedule-dependent output
@@ -33,6 +38,10 @@ struct AnalyzeOptions {
   /// `banger check` runs everything.
   bool interface_rules = true;
   bool pits_rules = true;
+  /// Abstract-interpretation layer (BAN301-BAN306); runs per routine
+  /// after the dataflow layer and once more across the task graph.
+  /// Requires pits_rules-style parsing, so it is gated on pits_rules.
+  bool absint_rules = true;
   bool determinacy_rules = true;
 
   /// BAN002: complain about tasks whose PITS body is empty (skeleton

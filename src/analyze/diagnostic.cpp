@@ -40,6 +40,13 @@ const std::vector<DiagnosticRule>& diagnostic_rules() {
       {"BAN201", Severity::Error, "write-write race: unordered writers to a read store"},
       {"BAN202", Severity::Warning, "read-write conflict: reader unordered with a writer"},
       {"BAN203", Severity::Warning, "output store merge order is schedule-dependent"},
+      // Abstract-interpretation rules (interval/shape proofs).
+      {"BAN301", Severity::Error, "division or mod by a divisor proven zero"},
+      {"BAN302", Severity::Error, "vector index proven out of range or non-integer"},
+      {"BAN303", Severity::Warning, "branch condition has a proven constant outcome"},
+      {"BAN304", Severity::Warning, "while loop proven non-terminating"},
+      {"BAN305", Severity::Error, "elementwise operation on vectors of proven different lengths"},
+      {"BAN306", Severity::Warning, "producer/consumer shape mismatch across the task graph"},
   };
   return rules;
 }

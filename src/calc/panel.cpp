@@ -4,6 +4,7 @@
 #include <cctype>
 #include <sstream>
 
+#include "analyze/absint.hpp"
 #include "pits/builtins.hpp"
 #include "util/strings.hpp"
 
@@ -198,6 +199,9 @@ const pits::Program& CalculatorPanel::parsed() const {
   if (!parsed_cache_) {
     parsed_cache_ =
         std::make_shared<const pits::Program>(pits::Program::parse(text_));
+    // Trial runs get the same analysis-optimised bytecode as the
+    // executor, so "=" previews and whole-program runs agree on speed.
+    analyze::precompile_optimized(*parsed_cache_);
   }
   return *parsed_cache_;
 }

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <thread>
 
+#include "analyze/absint.hpp"
 #include "obs/trace.hpp"
 #include "util/error.hpp"
 #include "util/strings.hpp"
@@ -59,8 +60,10 @@ std::vector<CompiledTask> compile_all(const FlattenResult& flat) {
     try {
       out[t].program = pits::Program::parse(task.pits);
       // Lower to bytecode up front: worker threads then share the cached
-      // chunk instead of racing to compile on first execution.
-      out[t].program.precompile();
+      // chunk instead of racing to compile on first execution. The
+      // abstract interpreter supplies proofs that let the compiler
+      // elide bounds/binding checks and batch statement ticks.
+      analyze::precompile_optimized(out[t].program);
       out[t].runnable = true;
     } catch (const Error& e) {
       fail(e.code(), "in task `" + task.name + "`: " + e.message(), e.pos());

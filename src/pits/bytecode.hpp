@@ -47,6 +47,7 @@ enum class Op : std::uint8_t {
   JumpIfFalsy,   // if !truthy(r[b]) ip = d
   JumpIfTruthy,  // if truthy(r[b]) ip = d
   Tick,        // statement step accounting against ExecOptions::step_limit
+  TickN,       // d pre-counted statement ticks at once; runs[a] on slow path
   FinishAssign,   // mark slot a bound; echo to the trace stream
   IndexedCheck,   // slot a must be a bound vector (indexed assignment)
   IndexedStore,   // r[a][r[b]] = scalar r[c]
@@ -68,6 +69,14 @@ enum class Op : std::uint8_t {
 // place instead of copied. Named slots are never flagged.
 inline constexpr std::uint8_t kTempB = 1U;
 inline constexpr std::uint8_t kTempC = 2U;
+
+// Analysis-elision flags (facts-guided compiles only).
+// kNoCheck on IndexLoad/IndexedStore: the index is proven an in-bounds
+// integer (and the stored value a scalar), so the checks are skipped.
+// kNoTick on ForNext/RepeatNext: the iteration tick was absorbed into
+// the loop body's leading TickN.
+inline constexpr std::uint8_t kNoCheck = 4U;
+inline constexpr std::uint8_t kNoTick = 8U;
 
 struct Instr {
   Op op = Op::Halt;
@@ -121,6 +130,18 @@ struct VarInfo {
   double const_value = 0.0;
 };
 
+// Slow-path metadata for one TickN instruction: per batched statement,
+// its source position (the tick the walker would charge) and the main
+// instruction range that executes it. `bounds` has one more entry than
+// `pos`; range j is [bounds[j], bounds[j+1]). Only consulted when the
+// fast path sees the step limit inside the batch, so the limit error
+// carries the exact statement position and partial effects the walker
+// would produce.
+struct StmtRun {
+  std::vector<std::uint32_t> bounds;
+  std::vector<SourcePos> pos;
+};
+
 struct Chunk {
   Code main;
   std::vector<Formula> formulas;
@@ -128,15 +149,23 @@ struct Chunk {
   std::vector<std::string> names;
   std::vector<std::string> messages;  ///< ErrAlways texts
   std::vector<VarInfo> vars;          ///< named slots, in slot order
+  std::vector<StmtRun> runs;          ///< TickN slow-path tables
   std::uint32_t num_formula_names = 0;  ///< runtime formula-table size
   std::uint32_t folded = 0;  ///< subexpressions folded into the pool
+  std::uint32_t elided = 0;  ///< checks removed under AnalysisFacts
 };
+
+struct AnalysisFacts;
 
 /// Compiles a parsed routine. Total for any parseable AST — statically
 /// invalid-but-conditionally-executed code lowers to runtime-faulting
 /// instructions. Throws Error{Limit} only for routines exceeding the
 /// 16-bit register/name space (the caller falls back to the walker).
-Chunk compile(const Block& body);
+/// With `facts` (proofs from the abstract interpreter in
+/// src/analyze/absint.cpp), statement ticks batch into TickN, proven
+/// in-bounds index sites drop their checks, and proven-bound reads
+/// drop CheckVar — observable behavior is unchanged.
+Chunk compile(const Block& body, const AnalysisFacts* facts = nullptr);
 
 /// Runs a compiled routine with tree-walker-identical semantics. The
 /// chunk is immutable and safely shared across concurrent runs.

@@ -28,6 +28,7 @@
 
 #include "pits/builtins.hpp"
 #include "pits/bytecode.hpp"
+#include "pits/facts.hpp"
 
 // Instructions are emitted with designated initializers naming only the
 // operands an opcode uses; every Instr field carries a default member
@@ -115,7 +116,8 @@ struct Frame {
 
 class Compiler {
  public:
-  explicit Compiler(const Block& body) {
+  explicit Compiler(const Block& body, const AnalysisFacts* facts)
+      : facts_(facts) {
     collect_block(body);
     Frame f;
     f.next_temp = static_cast<std::uint16_t>(chunk_.vars.size());
@@ -498,13 +500,20 @@ class Compiler {
           } else if constexpr (std::is_same_v<T, Binary>) {
             return compile_binary(f, node, e.pos, want);
           } else if constexpr (std::is_same_v<T, Index>) {
+            const bool safe =
+                facts_ != nullptr && facts_->safe_index.contains(&e);
             const std::uint16_t mark = f.next_temp;
             const Operand base = compile_expr(f, *node.base, -1);
-            emit(f, {.op = Op::CheckIndexable, .a = base.reg, .pos = e.pos});
+            if (safe) {
+              chunk_.elided += 1;
+            } else {
+              emit(f, {.op = Op::CheckIndexable, .a = base.reg, .pos = e.pos});
+            }
             const Operand idx = compile_expr(f, *node.index, -1);
             f.next_temp = mark;
             const std::uint16_t dst = dst_reg(f, want);
             emit(f, {.op = Op::IndexLoad,
+                     .flags = safe ? kNoCheck : std::uint8_t{0},
                      .a = dst,
                      .b = base.reg,
                      .c = idx.reg,
@@ -529,7 +538,13 @@ class Compiler {
     }
     const std::uint16_t s = slot_of_.at(node.name);
     if (!f.readable[s]) {
-      emit(f, {.op = Op::CheckVar, .a = s, .pos = pos});
+      if (facts_ != nullptr && facts_->bound_reads.contains(&node)) {
+        // Proven assigned on every path: the slot is live without a
+        // check, and stays so for the rest of this path.
+        chunk_.elided += 1;
+      } else {
+        emit(f, {.op = Op::CheckVar, .a = s, .pos = pos});
+      }
       f.readable[s] = 1;
     }
     return move_to_want(f, {s, false}, want);
@@ -721,12 +736,98 @@ class Compiler {
 
   // ---- statements ----------------------------------------------------
 
+  /// A loop-iteration tick absorbed into the body's leading TickN,
+  /// with an optional instruction (for-loop SetLoopVar) that belongs
+  /// between that tick and the first statement.
+  struct PendingTick {
+    SourcePos pos;
+    bool has_prologue = false;
+    Instr prologue;
+  };
+
   void compile_block(Frame& f, const Block& block) {
-    for (const StmtPtr& s : block) compile_stmt(f, *s);
+    if (facts_ == nullptr) {
+      for (const StmtPtr& s : block) compile_stmt(f, *s);
+      return;
+    }
+    compile_batched(f, block, nullptr);
+  }
+
+  /// Safe in the middle of a TickN batch: straight-line statements the
+  /// interpreter proved consume exactly one tick (no loop iterations,
+  /// no possible formula call). Statements that may raise errors still
+  /// qualify — on the batched fast path neither engine reaches the
+  /// step limit inside the run, so errors surface identically.
+  [[nodiscard]] bool batchable(const Stmt& s) const {
+    if (!facts_->single_tick.contains(&s)) return false;
+    return std::holds_alternative<AssignStmt>(s.node) ||
+           std::holds_alternative<ExprStmt>(s.node) ||
+           std::holds_alternative<FormulaDef>(s.node);
+  }
+
+  /// Lowers a block, replacing each maximal run of batchable
+  /// statements — plus at most one trailing statement of any
+  /// non-return kind, whose own nested ticks stay dynamic and follow
+  /// its batched leading tick — with a single TickN.
+  void compile_batched(Frame& f, const Block& block,
+                       const PendingTick* pending) {
+    std::size_t i = 0;
+    bool lead = pending != nullptr;
+    while (lead || i < block.size()) {
+      std::size_t j = i;
+      while (j < block.size() && batchable(*block[j])) ++j;
+      std::size_t end = j;
+      if (j < block.size() &&
+          !std::holds_alternative<ReturnStmt>(block[j]->node) &&
+          (lead ? 1 : 0) + (j - i) >= 1) {
+        end = j + 1;  // absorb the trailing statement's leading tick
+      }
+      const std::size_t count = (lead ? 1 : 0) + (end - i);
+      if (count < 2) {
+        if (lead) {
+          emit(f, {.op = Op::Tick, .pos = pending->pos});
+          if (pending->has_prologue) emit(f, pending->prologue);
+          lead = false;
+        }
+        if (i < block.size()) compile_stmt(f, *block[i++]);
+        continue;
+      }
+      emit_batch(f, block, i, end, lead ? pending : nullptr);
+      lead = false;
+      i = end;
+    }
+  }
+
+  void emit_batch(Frame& f, const Block& block, std::size_t i,
+                  std::size_t end, const PendingTick* pending) {
+    if (chunk_.runs.size() >= kMaxIndex) overflow();
+    const auto run_idx = static_cast<std::uint16_t>(chunk_.runs.size());
+    chunk_.runs.emplace_back();  // reserve the slot; nested batches append
+    const std::size_t count = (pending != nullptr ? 1 : 0) + (end - i);
+    emit(f, {.op = Op::TickN,
+             .a = run_idx,
+             .d = static_cast<std::int32_t>(count)});
+    StmtRun run;
+    run.bounds.push_back(static_cast<std::uint32_t>(f.code.ins.size()));
+    if (pending != nullptr) {
+      run.pos.push_back(pending->pos);
+      if (pending->has_prologue) emit(f, pending->prologue);
+      run.bounds.push_back(static_cast<std::uint32_t>(f.code.ins.size()));
+    }
+    for (std::size_t k = i; k < end; ++k) {
+      run.pos.push_back(block[k]->pos);
+      compile_stmt_body(f, *block[k]);
+      run.bounds.push_back(static_cast<std::uint32_t>(f.code.ins.size()));
+    }
+    chunk_.runs[run_idx] = std::move(run);
   }
 
   void compile_stmt(Frame& f, const Stmt& s) {
     emit(f, {.op = Op::Tick, .pos = s.pos});
+    compile_stmt_body(f, s);
+  }
+
+  void compile_stmt_body(Frame& f, const Stmt& s) {
     std::visit(
         [&](const auto& node) {
           using T = std::decay_t<decltype(node)>;
@@ -757,13 +858,20 @@ class Compiler {
     const std::uint16_t target = slot_of_.at(node.target);
     const std::uint16_t mark = f.next_temp;
     if (node.index) {
+      const bool safe = facts_ != nullptr &&
+                        facts_->safe_indexed_store.contains(&node);
       // Value first, then target checks, then index — the tree-walker's
       // evaluation order, so error precedence matches.
       const Operand value = compile_expr(f, *node.value, -1);
-      emit(f, {.op = Op::IndexedCheck, .a = target, .pos = pos});
+      if (safe) {
+        chunk_.elided += 1;
+      } else {
+        emit(f, {.op = Op::IndexedCheck, .a = target, .pos = pos});
+      }
       f.readable[target] = 1;
       const Operand idx = compile_expr(f, *node.index, -1);
       emit(f, {.op = Op::IndexedStore,
+               .flags = safe ? kNoCheck : std::uint8_t{0},
                .a = target,
                .b = idx.reg,
                .c = value.reg,
@@ -807,8 +915,13 @@ class Compiler {
     // The condition always runs at least once, so its CheckVar facts
     // survive the loop; the body may run zero times, so its don't.
     const std::vector<char> at_cond = f.readable;
-    emit(f, {.op = Op::Tick, .pos = pos});
-    compile_block(f, node.body);
+    if (facts_ != nullptr) {
+      const PendingTick iter{pos};
+      compile_batched(f, node.body, &iter);
+    } else {
+      emit(f, {.op = Op::Tick, .pos = pos});
+      compile_block(f, node.body);
+    }
     emit(f, {.op = Op::Jump, .d = head, .pos = pos});
     patch(f, exit_jump);
     f.readable = at_cond;
@@ -827,9 +940,18 @@ class Compiler {
     f.next_temp = static_cast<std::uint16_t>(limit + 1);
     const auto head = static_cast<std::int32_t>(f.code.ins.size());
     const std::size_t exit_jump =
-        emit(f, {.op = Op::RepeatNext, .a = counter, .b = limit, .pos = pos});
+        emit(f, {.op = Op::RepeatNext,
+                 .flags = facts_ != nullptr ? kNoTick : std::uint8_t{0},
+                 .a = counter,
+                 .b = limit,
+                 .pos = pos});
     const std::vector<char> at_head = f.readable;
-    compile_block(f, node.body);
+    if (facts_ != nullptr) {
+      const PendingTick iter{pos};
+      compile_batched(f, node.body, &iter);
+    } else {
+      compile_block(f, node.body);
+    }
     emit(f, {.op = Op::Jump, .d = head, .pos = pos});
     patch(f, exit_jump);
     f.readable = at_head;
@@ -853,15 +975,28 @@ class Compiler {
     }
     emit(f, {.op = Op::ForInit, .a = step, .pos = pos});
     const auto head = static_cast<std::int32_t>(f.code.ins.size());
-    const std::size_t exit_jump = emit(f, {.op = Op::ForNext,
-                                           .a = counter,
-                                           .b = limit,
-                                           .c = step,
-                                           .pos = pos});
-    emit(f, {.op = Op::SetLoopVar, .a = target, .b = counter, .pos = pos});
+    const std::size_t exit_jump =
+        emit(f, {.op = Op::ForNext,
+                 .flags = facts_ != nullptr ? kNoTick : std::uint8_t{0},
+                 .a = counter,
+                 .b = limit,
+                 .c = step,
+                 .pos = pos});
     const std::vector<char> at_head = f.readable;
     f.readable[target] = 1;
-    compile_block(f, node.body);
+    if (facts_ != nullptr) {
+      // The iteration tick precedes the loop-variable bind (the walker
+      // aborts a limit hit before binding), so SetLoopVar rides in the
+      // batch as the tick's prologue.
+      PendingTick iter{pos};
+      iter.has_prologue = true;
+      iter.prologue = {.op = Op::SetLoopVar, .a = target, .b = counter,
+                       .pos = pos};
+      compile_batched(f, node.body, &iter);
+    } else {
+      emit(f, {.op = Op::SetLoopVar, .a = target, .b = counter, .pos = pos});
+      compile_block(f, node.body);
+    }
     emit(f, {.op = Op::ForStep, .a = counter, .c = step, .d = head});
     patch(f, exit_jump);
     // Zero iterations leave the loop variable unbound.
@@ -934,6 +1069,7 @@ class Compiler {
   }
 
   Chunk chunk_;
+  const AnalysisFacts* facts_ = nullptr;
   std::map<std::string, std::uint16_t> name_ids_;
   std::map<std::uint64_t, std::uint16_t> scalar_ids_;
   std::map<std::string, std::uint16_t> string_ids_;
@@ -944,6 +1080,9 @@ class Compiler {
 
 }  // namespace
 
-Chunk compile(const Block& body) { return Compiler(body).take(); }
+Chunk compile(const Block& body, const AnalysisFacts* facts) {
+  if (facts != nullptr && facts->empty()) facts = nullptr;
+  return Compiler(body, facts).take();
+}
 
 }  // namespace banger::pits::bc

@@ -1,0 +1,50 @@
+// banger/pits/facts.hpp
+//
+// Proven-safe sites handed from the abstract interpreter
+// (src/analyze/absint.cpp) to the bytecode compiler
+// (src/pits/compile.cpp). Both sides walk the same shared AST
+// (pits::Program keeps its Block alive behind a shared_ptr), so facts
+// are keyed by node address: a Stmt* or Expr* identifies the exact
+// site the proof covers. Every fact must be context-free — sound for
+// ANY entry environment, with free variables treated as possibly
+// unbound values of any type — because a compiled chunk is shared
+// across executions with arbitrary Envs.
+#pragma once
+
+#include <unordered_set>
+
+namespace banger::pits::bc {
+
+struct AnalysisFacts {
+  /// Stmt* of statements proven to consume exactly one step tick: no
+  /// nested loop iterations, and no call that could resolve to a
+  /// user formula (formula calls tick dynamically). Eligible for
+  /// TickN batching. Statements that may raise errors still qualify:
+  /// on the batched fast path neither engine hits the step limit
+  /// inside the run, so the error surfaces identically.
+  std::unordered_set<const void*> single_tick;
+
+  /// Expr* of Index nodes whose base is proven a bound vector and
+  /// whose index is proven a non-NaN integer within [0, len) for
+  /// every possible length. Elides CheckIndexable and the per-access
+  /// integer/range checks in IndexLoad.
+  std::unordered_set<const void*> safe_index;
+
+  /// AssignStmt* of indexed assignments where the target is proven a
+  /// bound vector, the index proven in-bounds as above, and the
+  /// assigned value proven scalar. Elides IndexedCheck and the
+  /// IndexedStore checks.
+  std::unordered_set<const void*> safe_indexed_store;
+
+  /// VarRef* of reads proven definitely-assigned on every path (by an
+  /// actual assignment, not constant materialization). Elides
+  /// CheckVar beyond the compiler's own straight-line tracking.
+  std::unordered_set<const void*> bound_reads;
+
+  [[nodiscard]] bool empty() const {
+    return single_tick.empty() && safe_index.empty() &&
+           safe_indexed_store.empty() && bound_reads.empty();
+  }
+};
+
+}  // namespace banger::pits::bc

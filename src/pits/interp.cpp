@@ -487,10 +487,12 @@ Program Program::parse(std::string_view source) {
   return Program(std::make_shared<Block>(parse_block(source)));
 }
 
-std::shared_ptr<const bc::Chunk> Program::compiled_chunk() const {
+std::shared_ptr<const bc::Chunk> Program::compiled_chunk(
+    const bc::AnalysisFacts* facts) const {
   std::call_once(compiled_->once, [&] {
     try {
-      auto chunk = std::make_shared<const bc::Chunk>(bc::compile(*body_));
+      auto chunk =
+          std::make_shared<const bc::Chunk>(bc::compile(*body_, facts));
       if (obs::TraceRecorder* rec = obs::current()) {
         rec->bump("pits.compile.count");
         rec->bump("pits.compile.slots",
@@ -498,6 +500,7 @@ std::shared_ptr<const bc::Chunk> Program::compiled_chunk() const {
         rec->bump("pits.compile.consts",
                   static_cast<double>(chunk->consts.size()));
         rec->bump("pits.compile.folded", static_cast<double>(chunk->folded));
+        rec->bump("pits.compile.elided", static_cast<double>(chunk->elided));
         std::size_t instructions = chunk->main.ins.size();
         for (const auto& fo : chunk->formulas) {
           instructions += fo.code.ins.size();
@@ -515,6 +518,10 @@ std::shared_ptr<const bc::Chunk> Program::compiled_chunk() const {
 }
 
 void Program::precompile() const { (void)compiled_chunk(); }
+
+void Program::precompile(const bc::AnalysisFacts& facts) const {
+  (void)compiled_chunk(&facts);
+}
 
 void Program::execute(Env& env, const ExecOptions& options) const {
   ExecOptions::Engine engine = options.engine;

@@ -46,6 +46,7 @@ struct ExecOptions {
 
 namespace bc {
 struct Chunk;
+struct AnalysisFacts;
 }  // namespace bc
 
 /// An immutable, shareable parsed routine. The first execution (or an
@@ -71,6 +72,13 @@ class Program {
   /// thread-safe, and cheap when already compiled.
   void precompile() const;
 
+  /// Compiles now with analysis facts (src/analyze/absint.hpp) guiding
+  /// check elision and statement-tick batching. The compiled form is
+  /// once-initialized, so only the first compilation of this Program
+  /// (across all copies) takes effect; later calls are no-ops either
+  /// way. Elided chunks stay observably identical to the walker.
+  void precompile(const bc::AnalysisFacts& facts) const;
+
   /// Canonical source text (pretty-printed AST).
   [[nodiscard]] std::string to_source() const { return pits::to_source(*body_); }
 
@@ -87,7 +95,9 @@ class Program {
 
   /// The cached chunk, compiling on first use; null when the routine
   /// exceeds the compact ISA limits (the walker then takes over).
-  [[nodiscard]] std::shared_ptr<const bc::Chunk> compiled_chunk() const;
+  /// `facts` is consulted only by the compiling call.
+  [[nodiscard]] std::shared_ptr<const bc::Chunk> compiled_chunk(
+      const bc::AnalysisFacts* facts = nullptr) const;
 
   std::shared_ptr<const Block> body_;
   std::shared_ptr<Compiled> compiled_;

@@ -421,8 +421,19 @@ class Vm {
           break;
         case Op::IndexLoad: {
           const Vector& v = regs[in.b].as_vector();
-          const double x = v[index_of(regs[in.c], v.size(), in.pos)];
-          set_scalar(regs[in.a], x);
+          std::size_t i;
+          if ((in.flags & kNoCheck) != 0) {
+            // Index proven an in-bounds integer by the abstract
+            // interpreter; the differential suite guards the proof.
+            const Scalar* x = regs[in.c].scalar_if();
+            BANGER_ASSERT(x != nullptr && *x >= 0 &&
+                              *x < static_cast<double>(v.size()),
+                          "absint in-bounds proof violated");
+            i = static_cast<std::size_t>(*x);
+          } else {
+            i = index_of(regs[in.c], v.size(), in.pos);
+          }
+          set_scalar(regs[in.a], v[i]);
           break;
         }
         case Op::Jump:
@@ -443,6 +454,23 @@ class Vm {
         case Op::Tick:
           tick(in.pos);
           break;
+        case Op::TickN: {
+          const auto n = static_cast<std::uint64_t>(in.d);
+          if (n <= options_.step_limit - steps_) {
+            steps_ += n;  // whole batch fits: one addition for n ticks
+            break;
+          }
+          // The limit lands inside this batch: replay statement by
+          // statement so the Limit error carries the exact statement
+          // position and partial effects the walker would produce.
+          const StmtRun& run = chunk_.runs[in.a];
+          for (std::size_t j = 0; j < run.pos.size(); ++j) {
+            tick(run.pos[j]);
+            exec(code, regs, states, run.bounds[j], run.bounds[j + 1]);
+          }
+          ip = run.bounds.back();
+          continue;
+        }
         case Op::FinishAssign:
           (*states)[in.a] = kBound;
           if (options_.trace != nullptr) {
@@ -465,6 +493,15 @@ class Vm {
         }
         case Op::IndexedStore: {
           Vector& vec = regs[in.a].as_vector();
+          if ((in.flags & kNoCheck) != 0) {
+            const Scalar* x = regs[in.b].scalar_if();
+            const Scalar* v = regs[in.c].scalar_if();
+            BANGER_ASSERT(x != nullptr && v != nullptr && *x >= 0 &&
+                              *x < static_cast<double>(vec.size()),
+                          "absint indexed-store proof violated");
+            vec[static_cast<std::size_t>(*x)] = *v;
+            break;
+          }
           const std::size_t i = index_of(regs[in.b], vec.size(), in.pos);
           vec[i] = regs[in.c].as_scalar();
           break;
@@ -485,7 +522,9 @@ class Vm {
             ip = static_cast<std::uint32_t>(in.d);
             continue;
           }
-          tick(in.pos);
+          // kNoTick: the iteration tick was absorbed into the body's
+          // leading TickN (which also carries SetLoopVar).
+          if ((in.flags & kNoTick) == 0) tick(in.pos);
           break;
         }
         case Op::SetLoopVar:
@@ -513,7 +552,7 @@ class Vm {
             ip = static_cast<std::uint32_t>(in.d);
             continue;
           }
-          tick(in.pos);
+          if ((in.flags & kNoTick) == 0) tick(in.pos);
           set_scalar(regs[in.a], k + 1);
           break;
         }

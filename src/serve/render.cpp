@@ -73,6 +73,13 @@ CheckRender render_check(const graph::Design& design,
   const auto threshold = fail_on == "warning" ? analyze::Severity::Warning
                                               : analyze::Severity::Error;
   r.exit_code = analyze::has_severity(diagnostics, threshold) ? 1 : 0;
+  for (const analyze::Diagnostic& d : diagnostics) {
+    switch (d.severity) {
+      case analyze::Severity::Error: ++r.errors; break;
+      case analyze::Severity::Warning: ++r.warnings; break;
+      case analyze::Severity::Note: ++r.notes; break;
+    }
+  }
   return r;
 }
 

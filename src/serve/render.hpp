@@ -40,10 +40,15 @@ std::string render_run_result(const exec::RunResult& result,
 
 /// `banger check` output plus its exit status (1 when diagnostics at or
 /// above the --fail-on threshold exist). `file_label` is the file name
-/// stamped into diagnostics; `format` is text|json|sarif.
+/// stamped into diagnostics; `format` is text|json|sarif. The severity
+/// counts back the structured `summary` object in serve responses and
+/// match the trailer of the text format.
 struct CheckRender {
   std::string text;
   int exit_code = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t notes = 0;
 };
 CheckRender render_check(const graph::Design& design,
                          const std::string& format,

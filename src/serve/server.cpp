@@ -209,7 +209,9 @@ Server::Rendered Server::respond(const Request& req) {
       const auto design = design_artifact(cache_, design_text);
       const CheckRender r =
           render_check(design->design, format, req.fail_on, file);
-      return std::make_shared<const Rendered>(Rendered{r.text, r.exit_code});
+      return std::make_shared<const Rendered>(Rendered{
+          r.text, r.exit_code, /*has_summary=*/true, r.errors, r.warnings,
+          r.notes});
     });
     return *rendered;
   }
@@ -311,6 +313,16 @@ Json Server::dispatch(const Request& req) {
   const Rendered rendered = respond(req);
   Json r = ok_envelope(req.id, req.op, rendered.exit_code);
   r.add("output", Json::string(rendered.output));
+  if (rendered.has_summary) {
+    // Machine-readable severity counts: clients branch on these instead
+    // of parsing the "N error(s), M warning(s)" text trailer.
+    Json summary = Json::object();
+    summary.add("errors", Json::number(static_cast<double>(rendered.errors)));
+    summary.add("warnings",
+                Json::number(static_cast<double>(rendered.warnings)));
+    summary.add("notes", Json::number(static_cast<double>(rendered.notes)));
+    r.add("summary", std::move(summary));
+  }
   return r;
 }
 

@@ -94,9 +94,15 @@ class Server {
  private:
   /// A rendered text payload plus the CLI-equivalent exit status; what
   /// the response cache stores (the envelope around it varies by id).
+  /// `check` responses also carry their severity counts so the envelope
+  /// can expose a structured summary next to the formatted output.
   struct Rendered {
     std::string output;
     int exit_code = 0;
+    bool has_summary = false;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::size_t notes = 0;
   };
 
   Json dispatch(const Request& req);

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "analyze/absint.hpp"
 #include "calc/panel.hpp"
 #include "graph/serialize.hpp"
 #include "obs/trace.hpp"
@@ -34,7 +35,8 @@ struct Outcome {
 };
 
 Outcome run_with(const std::string& src, ExecOptions::Engine engine,
-                 const Env& inputs, std::uint64_t step_limit = 200000) {
+                 const Env& inputs, std::uint64_t step_limit = 200000,
+                 bool with_facts = false) {
   Outcome out;
   std::ostringstream transcript;
   std::ostringstream trace;
@@ -45,7 +47,9 @@ Outcome run_with(const std::string& src, ExecOptions::Engine engine,
   opts.trace = &trace;
   Env env = inputs;
   try {
-    Program::parse(src).execute(env, opts);
+    const Program program = Program::parse(src);
+    if (with_facts) analyze::precompile_optimized(program);
+    program.execute(env, opts);
     out.ok = true;
   } catch (const Error& e) {
     out.ok = false;
@@ -59,17 +63,25 @@ Outcome run_with(const std::string& src, ExecOptions::Engine engine,
   return out;
 }
 
-/// EXPECT both engines observe exactly the same thing.
+/// EXPECT all three executions observe exactly the same thing: the
+/// tree-walker (reference), the plain VM, and the VM compiled with
+/// abstract-interpretation facts (check elision + tick batching). Any
+/// unsound analysis fact shows up here as a three-way divergence.
 void expect_identical(const std::string& src, const Env& inputs = {},
                       std::uint64_t step_limit = 200000) {
-  const Outcome vm = run_with(src, ExecOptions::Engine::Vm, inputs, step_limit);
   const Outcome walk =
       run_with(src, ExecOptions::Engine::Walk, inputs, step_limit);
-  EXPECT_EQ(vm.ok, walk.ok) << src;
-  EXPECT_EQ(vm.error, walk.error) << src;
-  EXPECT_EQ(vm.env, walk.env) << src;
-  EXPECT_EQ(vm.transcript, walk.transcript) << src;
-  EXPECT_EQ(vm.trace, walk.trace) << src;
+  const Outcome vm = run_with(src, ExecOptions::Engine::Vm, inputs, step_limit);
+  const Outcome elided = run_with(src, ExecOptions::Engine::Vm, inputs,
+                                  step_limit, /*with_facts=*/true);
+  for (const Outcome* got : {&vm, &elided}) {
+    const char* label = got == &vm ? "vm" : "vm+facts";
+    EXPECT_EQ(got->ok, walk.ok) << label << ": " << src;
+    EXPECT_EQ(got->error, walk.error) << label << ": " << src;
+    EXPECT_EQ(got->env, walk.env) << label << ": " << src;
+    EXPECT_EQ(got->transcript, walk.transcript) << label << ": " << src;
+    EXPECT_EQ(got->trace, walk.trace) << label << ": " << src;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -123,6 +135,41 @@ TEST(PitsVmDifferential, CoreSemantics) {
       "repeat 0 - 1 times\n  x := 1\nend\n",
       // return stops the routine mid-way.
       "x := 1\nif x > 0 then\n  return\nend\nx := 99\n",
+  };
+  for (const char* src : cases) expect_identical(src);
+}
+
+TEST(PitsVmDifferential, ElisionCandidates) {
+  // Programs where the abstract interpreter proves enough to elide
+  // checks or batch ticks — and near-misses where it must not. The
+  // facts-compiled VM has to stay byte-identical either way.
+  const char* cases[] = {
+      // Proven in-bounds loop over a known-length vector (kNoCheck).
+      "v := zeros(4)\nfor i := 0 to 3 do\n  v[i] := v[i] + i\nend\ns := "
+      "sum(v)\n",
+      // Near miss: the last iteration is out of range; the error text
+      // and position must match the walker exactly.
+      "v := zeros(3)\nfor i := 0 to 3 do\n  v[i] := 1\nend\n",
+      // Proven-bound reads (CheckVar elision) across branches.
+      "x := 1\nif x > 0 then\n  y := x\nelse\n  y := 0 - x\nend\nz := y\n",
+      // Straight-line scalar chain: fully tick-batched.
+      "a := 1\nb := a + 1\nc := b * 2\nd := c - a\ne := d / 2\n",
+      // A user formula shadowing a builtin: calls must not be treated
+      // as the builtin model.
+      "formula sqrt(x) := x + 100\ny := sqrt(4)\n",
+      // Formula defined conditionally: registration is path-dependent.
+      "x := 1\nif x > 0 then\n  formula g(a) := a * 2\nend\ny := g(3)\n",
+      // NaN flows through ordering (NaN orders as equal in compare).
+      "x := ln(0 - 1)\nif x <= 5 then\n  y := 1\nelse\n  y := 2\nend\n",
+      "x := ln(0 - 1)\nif x < 5 then\n  y := 1\nelse\n  y := 2\nend\n",
+      // Indexed store with non-integer index must keep its check.
+      "v := zeros(4)\ni := 1.5\nv[i * 2] := 7\n",
+      // repeat over a proven count batches; error counts must not.
+      "s := 0\nrepeat 5 times\n  s := s + 1\nend\n",
+      "n := 2.5\nrepeat n times\n  s := 1\nend\n",
+      // while with a proven-true condition plus return still terminates.
+      "s := 0\nwhile 1 do\n  s := s + 1\n  if s > 3 then\n    return\n  "
+      "end\nend\n",
   };
   for (const char* src : cases) expect_identical(src);
 }
