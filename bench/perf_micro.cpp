@@ -327,6 +327,31 @@ void BM_ExecRunVm(benchmark::State& state) {
 }
 BENCHMARK(BM_ExecRunVm);
 
+// Batched trials through run_trials: the design is planned and compiled
+// once, then N input sets run against reused slot frames. items/s is
+// trials per second — divide into BM_ExecRunVm's one-shot time to see
+// the amortisation win at each batch size.
+void BM_ExecRunBatch(benchmark::State& state) {
+  const auto flat = workloads::lu3x3_design().flatten();
+  const int n = static_cast<int>(state.range(0));
+  std::vector<std::map<std::string, pits::Value>> inputs;
+  inputs.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    // Vary b so trials are distinct work, deterministically.
+    const double d = static_cast<double>(i % 7);
+    inputs.push_back(
+        {{"A", pits::Value(pits::Vector{4, 3, 2, 8, 8, 5, 4, 7, 9})},
+         {"b", pits::Value(pits::Vector{16 + d, 39, 45 - d})}});
+  }
+  exec::RunOptions opts;
+  opts.pits.engine = pits::ExecOptions::Engine::Vm;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(exec::run_trials(flat, inputs, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExecRunBatch)->Arg(1)->Arg(64)->Arg(4096);
+
 void BM_ExecRunWalk(benchmark::State& state) {
   const auto flat = workloads::lu3x3_design().flatten();
   const std::map<std::string, pits::Value> inputs = {
@@ -457,6 +482,42 @@ void BM_ServeTrialCached(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ServeTrialCached);
+
+/// One `inputs_batch` request carrying `trials` distinct rod inputs.
+std::string serve_trial_batch_request(int trials) {
+  serve::Json batch = serve::Json::array();
+  for (int t = 0; t < trials; ++t) {
+    std::string rod = "[";
+    for (int i = 0; i < 128; ++i) {
+      if (i > 0) rod += ",";
+      rod += (i % 16 == t % 16) ? "100" : "0";
+    }
+    rod += "]";
+    serve::Json inputs = serve::Json::object();
+    inputs.add("rod", serve::Json::string(rod));
+    batch.push(std::move(inputs));
+  }
+  serve::Json req = serve::Json::object();
+  req.add("id", serve::Json::number(1));
+  req.add("op", serve::Json::string("trial"));
+  req.add("design", serve::Json::string(serve_heat_design()));
+  req.add("inputs_batch", std::move(batch));
+  return req.dump();
+}
+
+// A 256-trial batch against a fresh server each iteration: the design
+// is parsed, planned and compiled once per request, so per-trial time
+// should sit far below BM_ServeTrialCold. items/s is trials per second.
+void BM_ServeTrialBatch(benchmark::State& state) {
+  constexpr int kTrials = 256;
+  const std::string request = serve_trial_batch_request(kTrials);
+  for (auto _ : state) {
+    serve::Server server;
+    benchmark::DoNotOptimize(server.handle_line(request));
+  }
+  state.SetItemsProcessed(state.iterations() * kTrials);
+}
+BENCHMARK(BM_ServeTrialBatch);
 
 }  // namespace
 

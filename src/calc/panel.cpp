@@ -254,6 +254,43 @@ TrialResult CalculatorPanel::trial_run(const pits::Env& input_values,
   return result;
 }
 
+std::vector<TrialResult> CalculatorPanel::trial_sweep(
+    const std::vector<pits::Env>& input_sets,
+    const pits::ExecOptions& options) const {
+  std::vector<TrialResult> results;
+  results.reserve(input_sets.size());
+  // Hoist the parse: a malformed routine fails every trial with the same
+  // message (what per-trial trial_run calls would report), without
+  // re-raising per input set.
+  const pits::Program* program = nullptr;
+  try {
+    program = &parsed();
+  } catch (const Error& e) {
+    for (std::size_t i = 0; i < input_sets.size(); ++i) {
+      TrialResult& r = results.emplace_back();
+      r.error = e.what();
+    }
+    return results;
+  }
+  std::ostringstream transcript;
+  for (const pits::Env& inputs : input_sets) {
+    TrialResult& result = results.emplace_back();
+    transcript.str(std::string());
+    pits::ExecOptions opts = options;
+    opts.out = &transcript;
+    result.env = inputs;
+    try {
+      program->execute(result.env, opts);
+      result.ok = true;
+    } catch (const Error& e) {
+      result.ok = false;
+      result.error = e.what();
+    }
+    result.transcript = transcript.str();
+  }
+  return results;
+}
+
 graph::Node CalculatorPanel::to_node(double work) const {
   graph::Node node;
   node.kind = graph::NodeKind::Task;

@@ -103,6 +103,14 @@ class CalculatorPanel {
   [[nodiscard]] TrialResult trial_run(const pits::Env& input_values,
                                       const pits::ExecOptions& options = {}) const;
 
+  /// Batched "=" presses: one trial per input binding set, in order.
+  /// Parses and compiles the routine once for the whole sweep (the GUI's
+  /// parameter-sweep gesture), so per-trial cost is execution only. Each
+  /// element is exactly what trial_run would have returned.
+  [[nodiscard]] std::vector<TrialResult> trial_sweep(
+      const std::vector<pits::Env>& input_sets,
+      const pits::ExecOptions& options = {}) const;
+
   /// Exports the panel's state as a PITL task node.
   [[nodiscard]] graph::Node to_node(double work = 1.0) const;
   /// Loads a PITL task node into the panel.

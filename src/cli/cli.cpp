@@ -42,6 +42,7 @@ struct Options {
   std::string output_file;
   std::vector<int> sizes{1, 2, 4, 8};
   std::map<std::string, pits::Value> inputs;
+  std::string inputs_file;  ///< --inputs FILE: batched trials, one per line
   pits::ExecOptions::Engine pits_engine = pits::ExecOptions::Engine::Auto;
   bool contention = false;
   std::size_t events = 20;
@@ -123,6 +124,8 @@ Options parse_options(const std::vector<std::string>& args,
       const std::string var = kv.substr(0, eq);
       // The value is a PITS expression: numbers, vectors, formulas.
       o.inputs[var] = pits::eval_expression(kv.substr(eq + 1), {});
+    } else if (a == "--inputs") {
+      o.inputs_file = next();
     } else if (a == "--pits-engine") {
       const std::string& engine = next();
       if (engine == "vm") {
@@ -331,10 +334,51 @@ int cmd_simulate(const Options& o, std::ostream& out) {
   return 0;
 }
 
+/// Parses a `--inputs FILE` batch: one trial per line, `VAR=EXPR` pairs
+/// separated by `;`. Blank lines and `#` comments are skipped. An empty
+/// pair list is a valid trial (a run with no external inputs).
+std::vector<std::map<std::string, pits::Value>> load_trial_inputs(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) fail(ErrorCode::Io, "cannot open `" + path + "` for reading");
+  std::vector<std::map<std::string, pits::Value>> batch;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view trimmed = util::trim(line);
+    if (trimmed.empty() || trimmed.front() == '#') continue;
+    auto& trial = batch.emplace_back();
+    for (auto part : util::split(trimmed, ';')) {
+      const std::string_view pair = util::trim(part);
+      if (pair.empty()) continue;
+      const auto eq = pair.find('=');
+      if (eq == std::string_view::npos) {
+        fail(ErrorCode::Usage,
+             "`" + path + "` line " + std::to_string(line_no) +
+                 ": expected VAR=EXPR, got `" + std::string(pair) + "`");
+      }
+      const std::string var{util::trim(pair.substr(0, eq))};
+      trial[var] = pits::eval_expression(std::string(pair.substr(eq + 1)), {});
+    }
+  }
+  return batch;
+}
+
 int cmd_trial(const Options& o, std::ostream& out) {
   Project project = load_project(o, 0);
   exec::RunOptions run_opts;
   run_opts.pits.engine = o.pits_engine;
+  if (!o.inputs_file.empty()) {
+    if (!o.inputs.empty()) {
+      usage_error("give either --input VAR=EXPR or --inputs FILE, not both");
+    }
+    const auto batch = load_trial_inputs(o.inputs_file);
+    const serve::TrialBatchRender r =
+        serve::render_trial_batch(project.trial_runs(batch, run_opts, o.jobs));
+    out << r.text;
+    return r.exit_code;
+  }
   // No wall clock in trial output: the sequential reference run is
   // fully deterministic, and serve caches/replays the same bytes.
   out << serve::render_run_result(project.trial_run(o.inputs, run_opts),
@@ -671,7 +715,8 @@ std::string usage() {
       "                                        internals (+ recovery with\n"
       "                                        --fault-plan); --out FILE\n"
       "  faults   <design> <machine>           crash injection + repair report\n"
-      "  trial    <design>                     sequential trial run\n"
+      "  trial    <design>                     sequential trial run; --inputs\n"
+      "                                        FILE batches many trials\n"
       "  run      <design> <machine>           threaded execution\n"
       "  codegen  <design> <machine>           emit standalone C++\n"
       "  lint     <design.pitl>                interface diagnostics\n"
@@ -696,6 +741,9 @@ std::string usage() {
       "options:\n"
       "  --scheduler NAME   mh|mcp|etf|hlfet|dls|dsh|cluster|serial|...\n"
       "  --input VAR=EXPR   bind an input store (PITS expression)\n"
+      "  --inputs FILE      trial: batched runs, one trial per line of\n"
+      "                     `VAR=EXPR; VAR=EXPR` pairs (# comments allowed);\n"
+      "                     compiles once, exits 1 if any trial fails\n"
       "  --sizes 1,2,4,8    processor counts for speedup\n"
       "  --format F         gantt|table|svg|trace (schedule);\n"
       "                     text|json|sarif (check)\n"
@@ -706,6 +754,7 @@ std::string usage() {
       "                     faults defaults to a busiest-proc crash)\n"
       "  --events N         simulation events to print\n"
       "  --jobs N           worker threads for compare/speedup/faults/report\n"
+      "                     and batched trial --inputs runs\n"
       "                     (default: BANGER_JOBS env or all cores; results\n"
       "                     are identical for every value)\n"
       "  --trials N         faults: Monte Carlo over N seed-varied runs\n"

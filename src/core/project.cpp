@@ -101,6 +101,12 @@ exec::RunResult Project::trial_run(
   return exec::run_sequential(flat_, inputs, options);
 }
 
+std::vector<exec::TrialOutcome> Project::trial_runs(
+    const std::vector<std::map<std::string, pits::Value>>& inputs,
+    const exec::RunOptions& options, int jobs) const {
+  return exec::run_trials(flat_, inputs, options, jobs);
+}
+
 exec::RunResult Project::run(const std::map<std::string, pits::Value>& inputs,
                              const std::string& heuristic,
                              const exec::RunOptions& options) const {

@@ -73,6 +73,15 @@ class Project {
       const std::map<std::string, pits::Value>& inputs,
       const exec::RunOptions& options = {}) const;
 
+  /// Batched trial runs: one sequential run per input map, in order,
+  /// amortising parse/analysis/compilation and reusing execution frames
+  /// across the batch (see exec::run_trials). Each outcome is
+  /// byte-identical to the matching one-shot trial_run, including
+  /// errors; `jobs` fans trials across threads deterministically.
+  [[nodiscard]] std::vector<exec::TrialOutcome> trial_runs(
+      const std::vector<std::map<std::string, pits::Value>>& inputs,
+      const exec::RunOptions& options = {}, int jobs = 1) const;
+
   /// Real parallel execution on host threads following a schedule.
   [[nodiscard]] exec::RunResult run(
       const std::map<std::string, pits::Value>& inputs,

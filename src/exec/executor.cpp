@@ -5,12 +5,15 @@
 #include <condition_variable>
 #include <mutex>
 #include <optional>
-#include <sstream>
+#include <ostream>
+#include <streambuf>
 #include <thread>
 
 #include "analyze/absint.hpp"
 #include "obs/trace.hpp"
+#include "pits/bytecode.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/strings.hpp"
 
 namespace banger::exec {
@@ -40,147 +43,449 @@ bool edge_carries(const std::string& edge_var, const std::string& var) {
   return false;
 }
 
-struct CompiledTask {
+// ---- compiled-routine cache -----------------------------------------
+//
+// Parsing, abstract interpretation, and bytecode compilation used to
+// happen once per run; on the trial hot path they dwarfed execution
+// itself. The cache is process-wide and keyed by routine source text,
+// so repeated runs of a design (or many designs sharing routines) pay
+// for the front end exactly once. Parse/compile failures are not
+// cached: they re-raise per run, exactly as before.
+
+struct CachedProgram {
+  std::string source;
   pits::Program program;
-  bool runnable = false;
+  std::shared_ptr<const pits::bc::Chunk> chunk;  ///< null -> walker only
 };
 
-std::vector<CompiledTask> compile_all(const FlattenResult& flat) {
-  std::vector<CompiledTask> out(flat.graph.num_tasks());
-  for (TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
-    const graph::Task& task = flat.graph.task(t);
+class ProgramCache {
+ public:
+  CachedProgram get(const std::string& source) {
+    const std::uint64_t key = util::fnv1a64(source);
+    {
+      std::lock_guard lock(mutex_);
+      if (auto it = map_.find(key); it != map_.end()) {
+        for (const CachedProgram& entry : it->second) {
+          if (entry.source == source) return entry;
+        }
+      }
+    }
+    // Compile outside the lock; concurrent first-compilers of the same
+    // source do redundant work, never wrong work.
+    CachedProgram entry;
+    entry.source = source;
+    entry.program = pits::Program::parse(source);
+    // The abstract interpreter supplies proofs that let the compiler
+    // elide bounds/binding checks and batch statement ticks.
+    analyze::precompile_optimized(entry.program);
+    entry.chunk = entry.program.compiled_chunk();
+    std::lock_guard lock(mutex_);
+    if (size_ >= kCap) {  // crude but bounded: drop everything, rebuild
+      map_.clear();
+      size_ = 0;
+    }
+    map_[key].push_back(entry);
+    ++size_;
+    return entry;
+  }
+
+ private:
+  // Must comfortably hold the largest bundled design (the 32x32 heat
+  // workload carries ~1k distinct routines); a design bigger than this
+  // recompiles per run instead of growing without bound.
+  static constexpr std::size_t kCap = 4096;
+  std::mutex mutex_;
+  std::map<std::uint64_t, std::vector<CachedProgram>> map_;
+  std::size_t size_ = 0;
+};
+
+ProgramCache& program_cache() {
+  static ProgramCache cache;
+  return cache;
+}
+
+// ---- design plans ----------------------------------------------------
+//
+// Everything about a run that does not depend on input values is
+// resolved once per run into index-based plans: which predecessor (and
+// which of its outputs) feeds each task input, which chunk slot each
+// variable lives in, which writer supplies each store. The per-task hot
+// path then binds VM registers directly instead of building a
+// std::map<std::string, Value> environment per task.
+
+/// Per-trial task outputs, in Task::outputs declaration order.
+using TaskOutputs = std::vector<Value>;
+using ExternalInputs = std::map<std::string, Value>;
+
+/// How one declared input of a task receives its value. Resolution
+/// order mirrors the historical bind_inputs: a labelled in-edge whose
+/// producer declares the variable, then any producing predecessor, then
+/// an external input store; anything else is an error raised when the
+/// task is reached (not at plan time — earlier tasks' runtime errors
+/// must still win).
+struct InputBinding {
+  enum class Kind : std::uint8_t { Producer, External, Nothing };
+  Kind kind = Kind::Nothing;
+  std::uint32_t var = 0;  ///< index into Task::inputs
+  TaskId producer = graph::kNoTask;
+  std::uint32_t producer_out = 0;  ///< index into the producer's outputs
+  std::int32_t slot = -1;          ///< chunk slot, -1 when not in the chunk
+  /// True when this binding is the only reference to the producer's
+  /// value (no other consumer, no pass-through re-resolve, no store
+  /// writer), so resolving may move it out instead of copying.
+  bool take = false;
+};
+
+struct OutputPlan {
+  std::int32_t slot = -1;        ///< chunk slot, -1 when not in the chunk
+  std::int32_t pass_input = -1;  ///< binding index for input pass-through
+};
+
+struct TaskPlan {
+  pits::Program program;
+  std::shared_ptr<const pits::bc::Chunk> chunk;
+  bool runnable = false;
+  /// False when a variable repeats in Task::outputs: collection then
+  /// copies values instead of moving them out of the frame.
+  bool unique_outputs = true;
+  std::vector<InputBinding> inputs;
+  std::vector<OutputPlan> outputs;
+};
+
+struct StoreWriter {
+  TaskId task = graph::kNoTask;
+  std::uint32_t out = 0;  ///< index into the writer's outputs
+};
+
+struct DesignPlan {
+  std::vector<TaskPlan> tasks;
+  /// Per flat.stores entry: writers that actually declare the store's
+  /// variable, in writer order (the last one present wins).
+  std::vector<std::vector<StoreWriter>> store_writers;
+  /// True when the resolved PITS engine is the VM (slot-frame path).
+  bool vm_engine = false;
+};
+
+std::optional<std::uint32_t> output_index(const graph::Task& task,
+                                          const std::string& var) {
+  for (std::size_t i = 0; i < task.outputs.size(); ++i) {
+    if (task.outputs[i] == var) return static_cast<std::uint32_t>(i);
+  }
+  return std::nullopt;
+}
+
+DesignPlan build_plan(const FlattenResult& flat, const RunOptions& options) {
+  const graph::TaskGraph& g = flat.graph;
+  DesignPlan plan;
+  plan.vm_engine = pits::resolve_engine(options.pits.engine) ==
+                   pits::ExecOptions::Engine::Vm;
+  plan.tasks.resize(g.num_tasks());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    const graph::Task& task = g.task(t);
+    TaskPlan& tp = plan.tasks[t];
     if (util::trim(task.pits).empty()) {
       if (!task.outputs.empty()) {
         fail(ErrorCode::Runtime,
              "task `" + task.name +
                  "` declares outputs but has no PITS routine");
       }
-      continue;  // pure synchronisation node: legal no-op
+      // Pure synchronisation node: legal no-op (inputs still bind).
+    } else {
+      try {
+        CachedProgram cached = program_cache().get(task.pits);
+        tp.program = std::move(cached.program);
+        tp.chunk = std::move(cached.chunk);
+        tp.runnable = true;
+      } catch (const Error& e) {
+        fail(e.code(), "in task `" + task.name + "`: " + e.message(),
+             e.pos());
+      }
     }
-    try {
-      out[t].program = pits::Program::parse(task.pits);
-      // Lower to bytecode up front: worker threads then share the cached
-      // chunk instead of racing to compile on first execution. The
-      // abstract interpreter supplies proofs that let the compiler
-      // elide bounds/binding checks and batch statement ticks.
-      analyze::precompile_optimized(out[t].program);
-      out[t].runnable = true;
-    } catch (const Error& e) {
-      fail(e.code(), "in task `" + task.name + "`: " + e.message(), e.pos());
+    const pits::bc::Chunk* chunk =
+        plan.vm_engine ? tp.chunk.get() : nullptr;
+    auto slot_of = [&](const std::string& var) -> std::int32_t {
+      if (chunk == nullptr) return -1;
+      for (std::size_t s = 0; s < chunk->vars.size(); ++s) {
+        if (chunk->names[chunk->vars[s].name] == var) {
+          return static_cast<std::int32_t>(s);
+        }
+      }
+      return -1;
+    };
+    tp.inputs.reserve(task.inputs.size());
+    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
+      const std::string& var = task.inputs[i];
+      InputBinding b;
+      b.var = static_cast<std::uint32_t>(i);
+      b.slot = slot_of(var);
+      bool bound = false;
+      // 1. A predecessor whose edge is labelled with this variable and
+      // whose task declares it (a task's produced environment is exactly
+      // its declared outputs, so the check is static).
+      for (graph::EdgeId e : g.in_edges(t)) {
+        const graph::Edge& edge = g.edge(e);
+        if (!edge_carries(edge.var, var)) continue;
+        if (auto out = output_index(g.task(edge.from), var)) {
+          b.kind = InputBinding::Kind::Producer;
+          b.producer = edge.from;
+          b.producer_out = *out;
+          bound = true;
+          break;
+        }
+      }
+      // 2. Unlabelled precedence edge from a predecessor that declares
+      // the variable as an output (synthetic graphs wire values this way).
+      if (!bound) {
+        for (graph::EdgeId e : g.in_edges(t)) {
+          const graph::Edge& edge = g.edge(e);
+          if (auto out = output_index(g.task(edge.from), var)) {
+            b.kind = InputBinding::Kind::Producer;
+            b.producer = edge.from;
+            b.producer_out = *out;
+            bound = true;
+            break;
+          }
+        }
+      }
+      // 3. An external input store of that variable.
+      if (!bound) {
+        if (const graph::FlatStore* store = flat.find_store(var);
+            store != nullptr && store->writers.empty()) {
+          b.kind = InputBinding::Kind::External;
+        }
+        // else Kind::Nothing: errors when (and only when) the task runs.
+      }
+      tp.inputs.push_back(b);
+    }
+    tp.outputs.reserve(task.outputs.size());
+    for (std::size_t i = 0; i < task.outputs.size(); ++i) {
+      const std::string& var = task.outputs[i];
+      OutputPlan op;
+      op.slot = slot_of(var);
+      for (std::size_t j = 0; j < task.inputs.size(); ++j) {
+        if (task.inputs[j] == var) {
+          op.pass_input = static_cast<std::int32_t>(j);
+          break;
+        }
+      }
+      if (*output_index(task, var) != i) tp.unique_outputs = false;
+      tp.outputs.push_back(op);
     }
   }
-  return out;
+  plan.store_writers.resize(flat.stores.size());
+  for (std::size_t s = 0; s < flat.stores.size(); ++s) {
+    for (TaskId w : flat.stores[s].writers) {
+      if (auto out = output_index(g.task(w), flat.stores[s].var)) {
+        plan.store_writers[s].push_back({w, *out});
+      }
+    }
+  }
+  // Count every read of each produced value — consumer bindings,
+  // pass-through re-resolves at collection time, and store writers.
+  // A value read exactly once can be moved to its consumer instead of
+  // copied, which matters when tasks hand large vectors down a chain.
+  std::vector<std::vector<std::uint32_t>> uses(g.num_tasks());
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    uses[t].assign(g.task(t).outputs.size(), 0);
+  }
+  auto count_use = [&](const InputBinding& b) {
+    if (b.kind == InputBinding::Kind::Producer &&
+        b.producer_out < uses[b.producer].size()) {
+      ++uses[b.producer][b.producer_out];
+    }
+  };
+  for (const TaskPlan& tp : plan.tasks) {
+    for (const InputBinding& b : tp.inputs) count_use(b);
+    for (const OutputPlan& op : tp.outputs) {
+      if (op.pass_input >= 0) {
+        count_use(tp.inputs[static_cast<std::size_t>(op.pass_input)]);
+      }
+    }
+  }
+  for (const auto& writers : plan.store_writers) {
+    for (const StoreWriter& w : writers) {
+      if (w.out < uses[w.task].size()) ++uses[w.task][w.out];
+    }
+  }
+  for (TaskPlan& tp : plan.tasks) {
+    for (InputBinding& b : tp.inputs) {
+      b.take = b.kind == InputBinding::Kind::Producer &&
+               b.producer_out < uses[b.producer].size() &&
+               uses[b.producer][b.producer_out] == 1;
+    }
+  }
+  return plan;
 }
 
-/// Binds the inputs of task `t` from predecessor outputs / input stores.
-Env bind_inputs(const FlattenResult& flat, TaskId t,
-                const std::map<std::string, Value>& external,
-                const std::vector<std::optional<Env>>& task_outputs) {
-  const graph::TaskGraph& g = flat.graph;
-  const graph::Task& task = g.task(t);
-  Env env;
-  for (const std::string& var : task.inputs) {
-    bool bound = false;
-    // 1. A predecessor whose edge is labelled with this variable.
-    for (graph::EdgeId e : g.in_edges(t)) {
-      const graph::Edge& edge = g.edge(e);
-      if (!edge_carries(edge.var, var)) continue;
-      const auto& produced = task_outputs[edge.from];
-      BANGER_ASSERT(produced.has_value(), "predecessor not yet executed");
-      auto it = produced->find(var);
-      if (it != produced->end()) {
-        env[var] = it->second;
-        bound = true;
-        break;
-      }
+// ---- per-thread execution scratch ------------------------------------
+
+/// Append-only streambuf over a pooled std::string: print() output
+/// lands in a reusable buffer instead of a fresh ostringstream per task.
+class TranscriptBuf final : public std::streambuf {
+ public:
+  std::string text;
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      text.push_back(traits_type::to_char_type(ch));
     }
-    if (bound) continue;
-    // 2. Unlabelled precedence edge from a predecessor that declares the
-    // variable as an output (synthetic graphs wire values this way).
-    for (graph::EdgeId e : g.in_edges(t)) {
-      const graph::Edge& edge = g.edge(e);
-      const auto& produced = task_outputs[edge.from];
+    return traits_type::not_eof(ch);
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    text.append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+};
+
+/// Reusable per-thread execution state: the VM register frame and the
+/// transcript buffer keep their capacity across tasks and trials.
+struct TaskScratch {
+  pits::bc::Frame frame;
+  TranscriptBuf transcript;
+  std::ostream transcript_stream{&transcript};
+};
+
+/// Resolves one input value. Producer outputs are stable once written
+/// (each task's slot is assigned exactly once, before any dependant
+/// binds), so reads need no lock beyond the caller's ordering.
+Value resolve_binding(const graph::Task& task, const InputBinding& b,
+                      const ExternalInputs& external,
+                      std::vector<std::optional<TaskOutputs>>& outs) {
+  switch (b.kind) {
+    case InputBinding::Kind::Producer: {
+      auto& produced = outs[b.producer];
       BANGER_ASSERT(produced.has_value(), "predecessor not yet executed");
-      auto it = produced->find(var);
-      if (it != produced->end()) {
-        env[var] = it->second;
-        bound = true;
-        break;
-      }
+      Value& v = (*produced)[b.producer_out];
+      if (b.take) return std::move(v);
+      return v;
     }
-    if (bound) continue;
-    // 2. An external input store of that variable.
-    if (const graph::FlatStore* store = flat.find_store(var);
-        store != nullptr && store->writers.empty()) {
-      auto it = external.find(store->var);
+    case InputBinding::Kind::External: {
+      auto it = external.find(task.inputs[b.var]);
       if (it == external.end()) {
         fail(ErrorCode::Runtime, "no value supplied for input store `" +
-                                     store->var + "` needed by task `" +
-                                     task.name + "`");
+                                     task.inputs[b.var] +
+                                     "` needed by task `" + task.name + "`");
       }
-      env[var] = it->second;
-      continue;
+      return it->second;
     }
-    fail(ErrorCode::Runtime, "input `" + var + "` of task `" + task.name +
-                                 "` is bound to nothing");
+    case InputBinding::Kind::Nothing:
+      break;
   }
-  return env;
+  fail(ErrorCode::Runtime, "input `" + task.inputs[b.var] + "` of task `" +
+                               task.name + "` is bound to nothing");
 }
 
-/// Runs one task, returning its declared outputs.
-Env run_task(const FlattenResult& flat, const CompiledTask& compiled,
-             TaskId t, Env env, const RunOptions& options,
-             std::string* transcript) {
+/// Resolves task `t`'s inputs. Slot path (VM engine + compiled chunk):
+/// binds values straight into scratch.frame. Walker path: fills `env`.
+/// Returns true when the slot path is active.
+bool bind_task(const FlattenResult& flat, const DesignPlan& plan, TaskId t,
+               const ExternalInputs& external,
+               std::vector<std::optional<TaskOutputs>>& outs,
+               TaskScratch& scratch, Env& env) {
   const graph::Task& task = flat.graph.task(t);
-  Env outputs;
-  if (!compiled.runnable) return outputs;
+  const TaskPlan& tp = plan.tasks[t];
+  const bool slots = plan.vm_engine && tp.chunk != nullptr;
+  if (slots) scratch.frame.prepare(*tp.chunk);
+  for (const InputBinding& b : tp.inputs) {
+    Value v = resolve_binding(task, b, external, outs);
+    if (slots) {
+      if (b.slot >= 0) {
+        scratch.frame.bind(static_cast<std::uint16_t>(b.slot), std::move(v));
+      }
+      // Inputs the routine never mentions have no slot; pass-through
+      // outputs re-resolve them at collection time.
+    } else {
+      env[task.inputs[b.var]] = std::move(v);
+    }
+  }
+  return slots;
+}
 
-  std::ostringstream local;
+/// Executes task `t` after bind_task and collects its declared outputs,
+/// in declaration order. `env` is consumed (walker path only).
+TaskOutputs execute_task(const FlattenResult& flat, const DesignPlan& plan,
+                         TaskId t, bool slots, Env env, TaskScratch& scratch,
+                         const RunOptions& options,
+                         const ExternalInputs& external,
+                         std::vector<std::optional<TaskOutputs>>& outs,
+                         std::string* transcript) {
+  const graph::Task& task = flat.graph.task(t);
+  const TaskPlan& tp = plan.tasks[t];
+  TaskOutputs outputs;
+  if (!tp.runnable) return outputs;
+
+  const bool capture = transcript != nullptr && options.capture_transcript;
+  scratch.transcript.text.clear();
   pits::ExecOptions exec_opts = options.pits;
   exec_opts.seed = seed_for(task.name, options.pits.seed);
-  exec_opts.out = options.capture_transcript ? &local : nullptr;
+  exec_opts.out = capture ? &scratch.transcript_stream : nullptr;
   try {
-    compiled.program.execute(env, exec_opts);
+    if (slots) {
+      pits::bc::run_frame(*tp.chunk, scratch.frame, exec_opts);
+    } else {
+      tp.program.execute(env, exec_opts);
+    }
   } catch (const Error& e) {
     fail(e.code(), "in task `" + task.name + "`: " + e.message(), e.pos());
   }
-  for (const std::string& var : task.outputs) {
-    auto it = env.find(var);
-    if (it == env.end()) {
-      fail(ErrorCode::Runtime, "task `" + task.name +
-                                   "` never assigned its output `" + var +
-                                   "`");
+  outputs.reserve(task.outputs.size());
+  for (std::size_t i = 0; i < task.outputs.size(); ++i) {
+    const OutputPlan& op = tp.outputs[i];
+    if (slots) {
+      if (op.slot >= 0 &&
+          scratch.frame.states[static_cast<std::size_t>(op.slot)] ==
+              pits::bc::kSlotBound) {
+        if (tp.unique_outputs) {
+          outputs.push_back(
+              std::move(scratch.frame.regs[static_cast<std::size_t>(op.slot)]));
+        } else {
+          outputs.push_back(
+              scratch.frame.regs[static_cast<std::size_t>(op.slot)]);
+        }
+        continue;
+      }
+      if (op.pass_input >= 0) {
+        // Declared output the routine never assigns but receives as an
+        // input: the walker's environment carries it through verbatim.
+        outputs.push_back(resolve_binding(
+            task, tp.inputs[static_cast<std::size_t>(op.pass_input)],
+            external, outs));
+        continue;
+      }
+    } else {
+      if (auto it = env.find(task.outputs[i]); it != env.end()) {
+        outputs.push_back(it->second);
+        continue;
+      }
     }
-    outputs.emplace(var, it->second);
+    fail(ErrorCode::Runtime, "task `" + task.name +
+                                 "` never assigned its output `" +
+                                 task.outputs[i] + "`");
   }
-  if (transcript != nullptr && options.capture_transcript) {
-    const std::string text = local.str();
-    if (!text.empty()) {
-      *transcript += "[" + task.name + "]\n" + text;
-    }
+  if (capture && !scratch.transcript.text.empty()) {
+    *transcript += "[" + task.name + "]\n" + scratch.transcript.text;
   }
   return outputs;
 }
 
 /// Collects final store values (writer with the latest position wins; in
 /// practice designs have a single writer per store).
-void collect_stores(const FlattenResult& flat,
-                    const std::vector<std::optional<Env>>& task_outputs,
-                    const std::map<std::string, Value>& external,
-                    RunResult& result) {
-  for (const graph::FlatStore& store : flat.stores) {
+void collect_stores(const FlattenResult& flat, const DesignPlan& plan,
+                    const std::vector<std::optional<TaskOutputs>>& task_outputs,
+                    const ExternalInputs& external, RunResult& result) {
+  for (std::size_t s = 0; s < flat.stores.size(); ++s) {
+    const graph::FlatStore& store = flat.stores[s];
     if (store.writers.empty()) {
       if (auto it = external.find(store.var); it != external.end()) {
         result.stores[store.var] = it->second;
       }
       continue;
     }
-    for (TaskId w : store.writers) {
-      const auto& produced = task_outputs[w];
+    for (const StoreWriter& w : plan.store_writers[s]) {
+      const auto& produced = task_outputs[w.task];
       if (!produced) continue;
-      if (auto it = produced->find(store.var); it != produced->end()) {
-        result.stores[store.var] = it->second;
-      }
+      result.stores[store.var] = (*produced)[w.out];
     }
     if (store.readers.empty()) {
       if (auto it = result.stores.find(store.var); it != result.stores.end()) {
@@ -195,21 +500,24 @@ void collect_stores(const FlattenResult& flat,
 RunResult run_sequential(const FlattenResult& flat,
                          const std::map<std::string, pits::Value>& inputs,
                          const RunOptions& options) {
-  const auto compiled = compile_all(flat);
+  const DesignPlan plan = build_plan(flat, options);
   const auto t0 = Clock::now();
 
   RunResult result;
   obs::TraceRecorder* rec = obs::current();
-  std::vector<std::optional<Env>> task_outputs(flat.graph.num_tasks());
+  TaskScratch scratch;
+  std::vector<std::optional<TaskOutputs>> task_outputs(flat.graph.num_tasks());
   for (TaskId t : flat.graph.topo_order()) {
-    Env env = bind_inputs(flat, t, inputs, task_outputs);
+    Env env;
+    const bool slots =
+        bind_task(flat, plan, t, inputs, task_outputs, scratch, env);
     TaskRun run;
     run.task = t;
     run.proc = 0;
     run.wall_start = seconds_since(t0);
     task_outputs[t] =
-        run_task(flat, compiled[t], t, std::move(env), options,
-                 &result.transcript);
+        execute_task(flat, plan, t, slots, std::move(env), scratch, options,
+                     inputs, task_outputs, &result.transcript);
     run.wall_finish = seconds_since(t0);
     if (rec) {
       rec->span(obs::Domain::Wall, obs::kTrackExec, 0, run.wall_start,
@@ -218,13 +526,76 @@ RunResult run_sequential(const FlattenResult& flat,
     }
     result.runs.push_back(run);
   }
-  collect_stores(flat, task_outputs, inputs, result);
+  collect_stores(flat, plan, task_outputs, inputs, result);
   result.wall_seconds = seconds_since(t0);
   if (rec) {
     rec->bump("exec.runs");
     rec->bump("exec.wall_seconds", result.wall_seconds);
   }
   return result;
+}
+
+std::vector<TrialOutcome> run_trials(
+    const FlattenResult& flat,
+    const std::vector<std::map<std::string, pits::Value>>& inputs,
+    const RunOptions& options, int jobs) {
+  const DesignPlan plan = build_plan(flat, options);
+  const std::vector<TaskId> order = flat.graph.topo_order();
+  obs::TraceRecorder* rec = obs::current();
+
+  auto one_trial = [&](const ExternalInputs& external,
+                       TaskScratch& scratch) -> TrialOutcome {
+    TrialOutcome out;
+    try {
+      const auto t0 = Clock::now();
+      RunResult result;
+      std::vector<std::optional<TaskOutputs>> task_outputs(
+          flat.graph.num_tasks());
+      for (TaskId t : order) {
+        Env env;
+        const bool slots =
+            bind_task(flat, plan, t, external, task_outputs, scratch, env);
+        TaskRun run;
+        run.task = t;
+        run.proc = 0;
+        run.wall_start = seconds_since(t0);
+        task_outputs[t] =
+            execute_task(flat, plan, t, slots, std::move(env), scratch,
+                         options, external, task_outputs, &result.transcript);
+        run.wall_finish = seconds_since(t0);
+        result.runs.push_back(run);
+      }
+      collect_stores(flat, plan, task_outputs, external, result);
+      result.wall_seconds = seconds_since(t0);
+      out.ok = true;
+      out.result = std::move(result);
+    } catch (const Error& e) {
+      // Exactly what the one-shot run would have thrown for this input;
+      // neighbouring trials are unaffected.
+      out.error_code = e.code();
+      out.error = e.message();
+      out.error_pos = e.pos();
+    }
+    return out;
+  };
+
+  std::vector<TrialOutcome> results(inputs.size());
+  if (jobs == 1) {
+    TaskScratch scratch;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      results[i] = one_trial(inputs[i], scratch);
+    }
+  } else {
+    util::parallel_for(inputs.size(), jobs, [&](std::size_t i) {
+      static thread_local TaskScratch scratch;
+      results[i] = one_trial(inputs[i], scratch);
+    });
+  }
+  if (rec) {
+    rec->bump("exec.trial_batches");
+    rec->bump("exec.trials", static_cast<double>(inputs.size()));
+  }
+  return results;
 }
 
 Executor::Executor(const FlattenResult& flat, const Machine& machine)
@@ -237,7 +608,7 @@ RunResult Executor::run(const Schedule& schedule,
   if (schedule.num_procs() != machine_.num_procs()) {
     fail(ErrorCode::Schedule, "schedule/machine processor count mismatch");
   }
-  const auto compiled = compile_all(flat_);
+  const DesignPlan design = build_plan(flat_, options);
 
   // Per-processor lanes in schedule order.
   std::vector<std::vector<sched::Placement>> lanes(
@@ -266,7 +637,7 @@ RunResult Executor::run(const Schedule& schedule,
   // Shared state.
   std::mutex mutex;
   std::condition_variable cv;
-  std::vector<std::optional<Env>> task_outputs(g.num_tasks());
+  std::vector<std::optional<TaskOutputs>> task_outputs(g.num_tasks());
   std::vector<bool> completed(g.num_tasks(), false);
   // Where and when each task's primary copy completed (for the trace
   // layer's cross-processor flow arrows). Guarded by `mutex`.
@@ -319,13 +690,14 @@ RunResult Executor::run(const Schedule& schedule,
   // Runs one placement on `proc` (predecessors must already be complete)
   // and records the outcome.
   auto execute_placement = [&](const sched::Placement& pl, ProcId proc,
-                               bool rescued) {
+                               bool rescued, TaskScratch& scratch) {
     const TaskId t = pl.task;
     Env env;
+    bool slots = false;
     {
       std::lock_guard lock(mutex);
       if (failed) return;
-      env = bind_inputs(flat_, t, inputs, task_outputs);
+      slots = bind_task(flat_, design, t, inputs, task_outputs, scratch, env);
     }
 
     TaskRun run;
@@ -335,8 +707,9 @@ RunResult Executor::run(const Schedule& schedule,
     run.rescued = rescued;
     run.wall_start = seconds_since(t0);
     std::string transcript;
-    Env outputs =
-        run_task(flat_, compiled[t], t, std::move(env), options, &transcript);
+    TaskOutputs outputs =
+        execute_task(flat_, design, t, slots, std::move(env), scratch,
+                     options, inputs, task_outputs, &transcript);
     run.wall_finish = seconds_since(t0);
 
     if (rec) {
@@ -411,6 +784,7 @@ RunResult Executor::run(const Schedule& schedule,
     // routines land in the same place they would for a sequential run.
     std::optional<obs::ScopedRecorder> ambient;
     if (rec != nullptr) ambient.emplace(*rec);
+    TaskScratch scratch;
     try {
       const auto& lane = lanes[static_cast<std::size_t>(proc)];
       std::optional<double> crash_at;
@@ -442,7 +816,7 @@ RunResult Executor::run(const Schedule& schedule,
               if (preds_done(pl.task)) break;
               if (auto orphan = claim_orphan()) {
                 lock.unlock();
-                execute_placement(*orphan, proc, /*rescued=*/true);
+                execute_placement(*orphan, proc, /*rescued=*/true, scratch);
                 lock.lock();
                 continue;
               }
@@ -450,7 +824,7 @@ RunResult Executor::run(const Schedule& schedule,
             }
           }
         }
-        execute_placement(pl, proc, /*rescued=*/false);
+        execute_placement(pl, proc, /*rescued=*/false, scratch);
       }
 
       // Own lane done: survivors drain the orphan queue until the whole
@@ -461,7 +835,7 @@ RunResult Executor::run(const Schedule& schedule,
           if (failed || completed_count == g.num_tasks()) return;
           if (auto orphan = claim_orphan()) {
             lock.unlock();
-            execute_placement(*orphan, proc, /*rescued=*/true);
+            execute_placement(*orphan, proc, /*rescued=*/true, scratch);
             lock.lock();
             continue;
           }
@@ -511,7 +885,7 @@ RunResult Executor::run(const Schedule& schedule,
             [](const TaskRun& a, const TaskRun& b) {
               return a.wall_start < b.wall_start;
             });
-  collect_stores(flat_, task_outputs, inputs, result);
+  collect_stores(flat_, design, task_outputs, inputs, result);
   result.wall_seconds = seconds_since(t0);
   if (rec) {
     rec->bump("exec.runs");

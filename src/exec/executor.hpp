@@ -24,6 +24,7 @@
 #include "graph/design.hpp"
 #include "pits/interp.hpp"
 #include "sched/schedule.hpp"
+#include "util/error.hpp"
 
 namespace banger::exec {
 
@@ -80,6 +81,30 @@ struct RunResult {
 RunResult run_sequential(const FlattenResult& flat,
                          const std::map<std::string, pits::Value>& inputs,
                          const RunOptions& options = {});
+
+/// Outcome of one trial in a batched run: either a full RunResult or
+/// exactly the error the equivalent one-shot run_sequential would have
+/// thrown for that input (code, message, position). Erroring inputs
+/// mid-batch do not disturb their neighbours.
+struct TrialOutcome {
+  bool ok = false;
+  RunResult result;
+  ErrorCode error_code = ErrorCode::Runtime;
+  std::string error;
+  SourcePos error_pos;
+};
+
+/// Batched trial runs: executes the design once per input map, in input
+/// order, amortising parse/analysis/compilation and reusing VM register
+/// frames and transcript buffers across the whole batch. Per-trial
+/// stores/outputs/transcript are byte-identical to run_sequential on the
+/// same input. `jobs` fans trials across the shared thread pool with a
+/// deterministic order-preserving merge (1 = inline on the caller,
+/// < 1 = util::default_jobs()); results are identical for any value.
+std::vector<TrialOutcome> run_trials(
+    const FlattenResult& flat,
+    const std::vector<std::map<std::string, pits::Value>>& inputs,
+    const RunOptions& options = {}, int jobs = 1);
 
 /// Parallel execution honouring a schedule's placement and lane order.
 class Executor {

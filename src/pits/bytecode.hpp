@@ -62,6 +62,14 @@ enum class Op : std::uint8_t {
   DefFormula,  // register formulas[b] in the runtime formula table
   ErrAlways,   // throw Error{code a, messages[b]} — statically doomed code
   Halt,        // return from the routine
+  // ---- fused superinstructions (peephole pass over the stream above).
+  // Each is observably identical to the pair it replaces: same result
+  // registers written, same errors at the same positions, same ticks.
+  AddK, SubK, MulK, DivK, ModK, PowK,  // r[a] = r[b] op consts[c] (scalar)
+  LtK, LeK, GtK, GeK, EqK, NeK,        // r[a] = r[b] cmp consts[c] as 0/1
+  LtBr, LeBr, GtBr, GeBr, EqBr, NeBr,  // r[a] = r[b] cmp r[c]; falsy -> ip=d
+  LtKBr, LeKBr, GtKBr, GeKBr,          // r[a] = r[b] cmp consts[c];
+  EqKBr, NeKBr,                        //   falsy -> ip=d
 };
 
 // Operand-liveness flags: a flagged source register is a dead temporary
@@ -77,6 +85,13 @@ inline constexpr std::uint8_t kTempC = 2U;
 // the loop body's leading TickN.
 inline constexpr std::uint8_t kNoCheck = 4U;
 inline constexpr std::uint8_t kNoTick = 8U;
+
+// Store fusion (peephole): the instruction's destination `a` is a named
+// slot and an adjacent FinishAssign was folded into it — after the
+// instruction succeeds, the slot is marked bound and the assignment is
+// echoed to the trace stream, exactly where the standalone FinishAssign
+// would have done both.
+inline constexpr std::uint8_t kFinish = 16U;
 
 struct Instr {
   Op op = Op::Halt;
@@ -110,6 +125,10 @@ struct Code {
   std::vector<Instr> ins;
   std::vector<CallSite> sites;
   std::uint16_t num_regs = 0;
+  /// First non-named register: main-frame slots (or formula parameters)
+  /// occupy [0, first_temp). The peephole pass may only elide writes to
+  /// registers at or above this boundary.
+  std::uint16_t first_temp = 0;
 };
 
 struct Formula {
@@ -153,6 +172,7 @@ struct Chunk {
   std::uint32_t num_formula_names = 0;  ///< runtime formula-table size
   std::uint32_t folded = 0;  ///< subexpressions folded into the pool
   std::uint32_t elided = 0;  ///< checks removed under AnalysisFacts
+  std::uint32_t fused = 0;   ///< instruction pairs merged by the peephole
 };
 
 struct AnalysisFacts;
@@ -170,5 +190,41 @@ Chunk compile(const Block& body, const AnalysisFacts* facts = nullptr);
 /// Runs a compiled routine with tree-walker-identical semantics. The
 /// chunk is immutable and safely shared across concurrent runs.
 void run(const Chunk& chunk, Env& env, const ExecOptions& options);
+
+// Slot binding states for the top-level frame (see Frame). A
+// const-materialized slot reads like a bound one but never writes back
+// to the caller, matching the tree-walker where calculator constants
+// never enter the Env.
+inline constexpr std::uint8_t kSlotUnbound = 0;
+inline constexpr std::uint8_t kSlotBound = 1;
+inline constexpr std::uint8_t kSlotConst = 2;
+
+/// A reusable top-level register frame: the Env-free entry point for
+/// callers (the batched executor) that already know which chunk slot
+/// each value belongs in. Reusing one Frame across runs keeps register
+/// and vector capacity warm instead of reallocating per task.
+struct Frame {
+  std::vector<Value> regs;
+  std::vector<std::uint8_t> states;
+
+  /// Sizes the frame for `chunk` and marks every slot unbound. Stale
+  /// register payloads are intentionally kept (never read before
+  /// written); call bind() for each input afterwards.
+  void prepare(const Chunk& chunk) {
+    if (regs.size() < chunk.main.num_regs) regs.resize(chunk.main.num_regs);
+    states.assign(chunk.vars.size(), kSlotUnbound);
+  }
+
+  void bind(std::uint16_t slot, Value v) {
+    regs[slot] = std::move(v);
+    states[slot] = kSlotBound;
+  }
+};
+
+/// Runs a compiled routine against a caller-prepared Frame instead of an
+/// Env map — identical semantics, errors, transcripts, and rand stream
+/// to run(); only the entry/exit marshalling differs. On return (success
+/// or error unwind) bound slots hold the routine's final values.
+void run_frame(const Chunk& chunk, Frame& frame, const ExecOptions& options);
 
 }  // namespace banger::pits::bc

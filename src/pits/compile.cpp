@@ -126,6 +126,7 @@ class Compiler {
     compile_block(f, body);
     emit(f, {.op = Op::Halt});
     f.code.num_regs = f.high_water;
+    f.code.first_temp = static_cast<std::uint16_t>(chunk_.vars.size());
     chunk_.main = std::move(f.code);
     chunk_.num_formula_names =
         static_cast<std::uint32_t>(formula_table_of_.size());
@@ -1064,6 +1065,7 @@ class Compiler {
     const Operand result = compile_expr(ff, *def.body, -1);
     fo.result = result.reg;
     ff.code.num_regs = ff.high_water;
+    ff.code.first_temp = next_reg;
     fo.code = std::move(ff.code);
     return fo;
   }
@@ -1078,11 +1080,283 @@ class Compiler {
   std::map<std::string, std::int32_t> formula_table_of_;
 };
 
+// ---- peephole fusion -------------------------------------------------
+//
+// Merges adjacent instruction pairs into the fused superinstructions at
+// the tail of the Op enum. Every fusion is observably identical to the
+// pair it replaces (same registers written, same errors at the same
+// positions, same trace output, same ticks) — only dispatch overhead is
+// removed. A pair is fusable only when no control flow can enter
+// between its two halves, so the pass first computes the leader set:
+// every instruction index some other instruction (or call-site argument
+// range, or TickN slow-path table) can transfer to.
+
+/// True when `op` interprets `d` as an instruction index that must be
+/// remapped after instructions are removed.
+bool reads_target(Op op) {
+  switch (op) {
+    case Op::Jump:
+    case Op::JumpIfFalsy:
+    case Op::JumpIfTruthy:
+    case Op::ForNext:
+    case Op::ForStep:
+    case Op::RepeatNext:
+    case Op::CallOp:
+    case Op::LtBr:
+    case Op::LeBr:
+    case Op::GtBr:
+    case Op::GeBr:
+    case Op::EqBr:
+    case Op::NeBr:
+    case Op::LtKBr:
+    case Op::LeKBr:
+    case Op::GtKBr:
+    case Op::GeKBr:
+    case Op::EqKBr:
+    case Op::NeKBr:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Ops whose destination `a` may absorb an adjacent FinishAssign via the
+/// kFinish flag. All reach the VM's shared epilogue on success (no
+/// `continue` paths) and fully write r[a] before it runs.
+bool finish_fusable(Op op) {
+  switch (op) {
+    case Op::LoadConst:
+    case Op::Move:
+    case Op::Neg:
+    case Op::NotOp:
+    case Op::Truthy:
+    case Op::Add:
+    case Op::Sub:
+    case Op::Mul:
+    case Op::Div:
+    case Op::Mod:
+    case Op::Pow:
+    case Op::CmpEq:
+    case Op::CmpNe:
+    case Op::Lt:
+    case Op::Le:
+    case Op::Gt:
+    case Op::Ge:
+    case Op::IndexLoad:
+    case Op::AddK:
+    case Op::SubK:
+    case Op::MulK:
+    case Op::DivK:
+    case Op::ModK:
+    case Op::PowK:
+    case Op::LtK:
+    case Op::LeK:
+    case Op::GtK:
+    case Op::GeK:
+    case Op::EqK:
+    case Op::NeK:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Branch form of a compare op, or `op` itself when there is none.
+Op branch_form(Op op) {
+  switch (op) {
+    case Op::Lt: return Op::LtBr;
+    case Op::Le: return Op::LeBr;
+    case Op::Gt: return Op::GtBr;
+    case Op::Ge: return Op::GeBr;
+    case Op::CmpEq: return Op::EqBr;
+    case Op::CmpNe: return Op::NeBr;
+    case Op::LtK: return Op::LtKBr;
+    case Op::LeK: return Op::LeKBr;
+    case Op::GtK: return Op::GtKBr;
+    case Op::GeK: return Op::GeKBr;
+    case Op::EqK: return Op::EqKBr;
+    case Op::NeK: return Op::NeKBr;
+    default: return op;
+  }
+}
+
+/// Const-operand form of a binary op, or `op` itself when there is none.
+Op const_form(Op op) {
+  switch (op) {
+    case Op::Add: return Op::AddK;
+    case Op::Sub: return Op::SubK;
+    case Op::Mul: return Op::MulK;
+    case Op::Div: return Op::DivK;
+    case Op::Mod: return Op::ModK;
+    case Op::Pow: return Op::PowK;
+    case Op::Lt: return Op::LtK;
+    case Op::Le: return Op::LeK;
+    case Op::Gt: return Op::GtK;
+    case Op::Ge: return Op::GeK;
+    case Op::CmpEq: return Op::EqK;
+    case Op::CmpNe: return Op::NeK;
+    default: return op;
+  }
+}
+
+/// Attempts to fuse the adjacent pair (cur, next). Returns the single
+/// replacement instruction, or nullopt when the pair must stay split.
+std::optional<Instr> try_fuse(const Instr& cur, const Instr& next,
+                              std::uint16_t first_temp,
+                              const std::vector<Value>& consts) {
+  // Store fusion: value-producing instruction + FinishAssign on the
+  // same slot. The trace echo prints only the line number, so the pair
+  // must agree on it (FinishAssign carries the statement position, the
+  // value op its expression position).
+  if (next.op == Op::FinishAssign && cur.a == next.a &&
+      cur.pos.line == next.pos.line && (cur.flags & kFinish) == 0 &&
+      finish_fusable(cur.op)) {
+    Instr out = cur;
+    out.flags = static_cast<std::uint8_t>(out.flags | kFinish);
+    return out;
+  }
+  // Compare + branch-if-falsy. The fused op still writes the 0/1
+  // result register (`when` arms and formula results read it), then
+  // branches — only the dispatch is saved, so no liveness proof is
+  // needed. A kFinish carrier stays split: the epilogue must run
+  // before the branch, and taken branches skip it.
+  if (next.op == Op::JumpIfFalsy && next.b == cur.a &&
+      (cur.flags & kFinish) == 0) {
+    if (const Op br = branch_form(cur.op); br != cur.op) {
+      Instr out = cur;
+      out.op = br;
+      out.d = next.d;
+      return out;
+    }
+  }
+  // Const operand: LoadConst into a temporary consumed immediately by
+  // a binary arith/compare. Eliding the register write is safe only
+  // for temps (named slots outlive the expression) holding scalars
+  // (vector consts may be moved out of the pool under kTempC, which a
+  // pool-indexed operand must never do). Swapping a const left operand
+  // to the right is legal only where the operation — including its
+  // error messages — is symmetric: Add/Mul (type errors name the
+  // non-scalar operand regardless of side) and Eq/Ne (equals() is
+  // total and symmetric). Lt..Ge order their message operands, and
+  // Sub/Div/Mod/Pow are not commutative.
+  if (cur.op == Op::LoadConst && cur.a >= first_temp &&
+      consts[cur.b].scalar_if() != nullptr && next.b != next.c) {
+    if (const Op k = const_form(next.op); k != next.op) {
+      const std::uint16_t t = cur.a;
+      std::uint16_t src = 0;
+      bool swapped = false;
+      if (next.c == t && next.b != t) {
+        src = next.b;
+      } else if (next.b == t && next.c != t &&
+                 (next.op == Op::Add || next.op == Op::Mul ||
+                  next.op == Op::CmpEq || next.op == Op::CmpNe)) {
+        src = next.c;
+        swapped = true;
+      } else {
+        return std::nullopt;
+      }
+      Instr out = next;
+      out.op = k;
+      out.b = src;
+      out.c = cur.b;  // const-pool index
+      std::uint8_t fl = next.flags & kFinish;
+      if (!swapped) {
+        fl = static_cast<std::uint8_t>(fl | (next.flags & kTempB));
+      } else if ((next.flags & kTempC) != 0) {
+        fl = static_cast<std::uint8_t>(fl | kTempB);
+      }
+      out.flags = fl;
+      return out;
+    }
+  }
+  return std::nullopt;
+}
+
+/// One fusion pass over `code`. Returns true when anything fused (the
+/// caller iterates to a fixpoint — e.g. LoadConst+Lt fuses to LtK in
+/// one pass, LtK+JumpIfFalsy to LtKBr in the next).
+bool fuse_pass(Chunk& chunk, Code& code, bool top_level) {
+  const std::size_t n = code.ins.size();
+  if (n < 2) return false;
+  // Leader set: indices control flow (or an argument range / TickN
+  // slow-path bound) can transfer to. ins[i+1] being a leader vetoes
+  // fusing (i, i+1).
+  std::vector<char> leader(n + 1, 0);
+  leader[0] = 1;
+  leader[n] = 1;
+  for (const Instr& in : code.ins) {
+    if (reads_target(in.op)) leader[static_cast<std::size_t>(in.d)] = 1;
+  }
+  for (const CallSite& site : code.sites) {
+    for (const ArgRange& ar : site.args) {
+      leader[ar.begin] = 1;
+      leader[ar.end] = 1;
+    }
+  }
+  if (top_level) {
+    for (const StmtRun& run : chunk.runs) {
+      for (const std::uint32_t b : run.bounds) leader[b] = 1;
+    }
+  }
+
+  std::vector<Instr> out;
+  out.reserve(n);
+  std::vector<std::uint32_t> map(n + 1, 0);
+  bool changed = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    map[i] = static_cast<std::uint32_t>(out.size());
+    if (i + 1 < n && leader[i + 1] == 0) {
+      if (auto fused = try_fuse(code.ins[i], code.ins[i + 1],
+                                code.first_temp, chunk.consts)) {
+        out.push_back(*fused);
+        map[i + 1] = map[i];  // dead index: nothing targets a non-leader
+        ++i;
+        ++chunk.fused;
+        changed = true;
+        continue;
+      }
+    }
+    out.push_back(code.ins[i]);
+  }
+  map[n] = static_cast<std::uint32_t>(out.size());
+  if (!changed) return false;
+
+  for (Instr& in : out) {
+    if (reads_target(in.op)) {
+      in.d = static_cast<std::int32_t>(map[static_cast<std::size_t>(in.d)]);
+    }
+  }
+  for (CallSite& site : code.sites) {
+    for (ArgRange& ar : site.args) {
+      ar.begin = map[ar.begin];
+      ar.end = map[ar.end];
+    }
+  }
+  if (top_level) {
+    for (StmtRun& run : chunk.runs) {
+      for (std::uint32_t& b : run.bounds) b = map[b];
+    }
+  }
+  code.ins = std::move(out);
+  return true;
+}
+
+void peephole(Chunk& chunk) {
+  while (fuse_pass(chunk, chunk.main, /*top_level=*/true)) {
+  }
+  for (Formula& fo : chunk.formulas) {
+    while (fuse_pass(chunk, fo.code, /*top_level=*/false)) {
+    }
+  }
+}
+
 }  // namespace
 
 Chunk compile(const Block& body, const AnalysisFacts* facts) {
   if (facts != nullptr && facts->empty()) facts = nullptr;
-  return Compiler(body, facts).take();
+  Chunk chunk = Compiler(body, facts).take();
+  peephole(chunk);
+  return chunk;
 }
 
 }  // namespace banger::pits::bc

@@ -523,9 +523,12 @@ void Program::precompile(const bc::AnalysisFacts& facts) const {
   (void)compiled_chunk(&facts);
 }
 
+ExecOptions::Engine resolve_engine(ExecOptions::Engine engine) {
+  return engine == ExecOptions::Engine::Auto ? default_engine() : engine;
+}
+
 void Program::execute(Env& env, const ExecOptions& options) const {
-  ExecOptions::Engine engine = options.engine;
-  if (engine == ExecOptions::Engine::Auto) engine = default_engine();
+  const ExecOptions::Engine engine = resolve_engine(options.engine);
   if (engine == ExecOptions::Engine::Vm) {
     if (auto chunk = compiled_chunk(); chunk != nullptr) {
       bc::run(*chunk, env, options);

@@ -88,20 +88,27 @@ class Program {
   /// Variables the routine assigns — the candidate outputs.
   [[nodiscard]] std::vector<std::string> outputs() const;
 
+  /// The cached chunk, compiling on first use; null when the routine
+  /// exceeds the compact ISA limits (the walker then takes over).
+  /// `facts` is consulted only by the compiling call. Callers that
+  /// drive the VM directly (the executor's slot-frame hot path) hold
+  /// the shared_ptr and run bc::run_frame against it.
+  [[nodiscard]] std::shared_ptr<const bc::Chunk> compiled_chunk(
+      const bc::AnalysisFacts* facts = nullptr) const;
+
  private:
   struct Compiled;  // once-initialized bytecode cache, defined in interp.cpp
 
   explicit Program(std::shared_ptr<const Block> body);
 
-  /// The cached chunk, compiling on first use; null when the routine
-  /// exceeds the compact ISA limits (the walker then takes over).
-  /// `facts` is consulted only by the compiling call.
-  [[nodiscard]] std::shared_ptr<const bc::Chunk> compiled_chunk(
-      const bc::AnalysisFacts* facts = nullptr) const;
-
   std::shared_ptr<const Block> body_;
   std::shared_ptr<Compiled> compiled_;
 };
+
+/// Resolves Engine::Auto to the concrete engine execute() would use
+/// (BANGER_PITS_ENGINE, read once per process); returns other values
+/// unchanged. Lets callers pick a VM-only fast path up front.
+[[nodiscard]] ExecOptions::Engine resolve_engine(ExecOptions::Engine engine);
 
 /// Convenience: parse and evaluate a single expression against an
 /// environment (the calculator's display line).

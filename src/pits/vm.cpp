@@ -28,25 +28,11 @@ namespace {
 // Slot binding states for the top-level frame. A const-materialized
 // slot reads like a bound one but is not written back to the Env, and
 // indexed assignment still treats it as undefined — both matching the
-// tree-walker, where constants never enter the Env.
-constexpr std::uint8_t kUnbound = 0;
-constexpr std::uint8_t kBound = 1;
-constexpr std::uint8_t kConstMaterialized = 2;
-
-BinOp bin_op_of(Op op) {
-  switch (op) {
-    case Op::Add: return BinOp::Add;
-    case Op::Sub: return BinOp::Sub;
-    case Op::Mul: return BinOp::Mul;
-    case Op::Div: return BinOp::Div;
-    case Op::Mod: return BinOp::Mod;
-    case Op::Pow: return BinOp::Pow;
-    case Op::Lt: return BinOp::Lt;
-    case Op::Le: return BinOp::Le;
-    case Op::Gt: return BinOp::Gt;
-    default: return BinOp::Ge;
-  }
-}
+// tree-walker, where constants never enter the Env. The values are the
+// public bc::kSlot* constants so Frame callers can pre-bind slots.
+constexpr std::uint8_t kUnbound = kSlotUnbound;
+constexpr std::uint8_t kBound = kSlotBound;
+constexpr std::uint8_t kConstMaterialized = kSlotConst;
 
 class Vm {
  public:
@@ -78,6 +64,20 @@ class Vm {
       throw;
     }
     write_back(env, regs, states);
+    report();
+  }
+
+  /// Env-free entry: the caller pre-bound input slots in `f` and reads
+  /// outputs straight out of the frame afterwards; everything between
+  /// is byte-identical to run().
+  void run_frame(Frame& f) {
+    try {
+      exec(chunk_.main, f.regs, &f.states, 0,
+           static_cast<std::uint32_t>(chunk_.main.ins.size()));
+    } catch (...) {
+      report();
+      throw;
+    }
     report();
   }
 
@@ -212,12 +212,104 @@ class Vm {
     }
   }
 
+  /// Vector-vector elementwise kernel; `o` may exactly alias `a` or `b`
+  /// (a move-reused temp). Add/Sub/Mul are branch-free tight loops the
+  /// compiler auto-vectorizes; Div/Mod hoist the zero probe out of the
+  /// loop into a vectorizable any-zero reduction (the walker's error
+  /// message does not depend on the element index, so raising it before
+  /// the divide loop is observably identical — the partially-written
+  /// output is discarded by the unwind either way); Pow keeps its
+  /// per-element NaN probe.
+  template <BinOp kOp>
+  static void vec_kernel(double* o, const double* a, const double* b,
+                         std::size_t n, SourcePos pos) {
+    if constexpr (kOp == BinOp::Add) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = a[i] + b[i];
+    } else if constexpr (kOp == BinOp::Sub) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = a[i] - b[i];
+    } else if constexpr (kOp == BinOp::Mul) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = a[i] * b[i];
+    } else if constexpr (kOp == BinOp::Div || kOp == BinOp::Mod) {
+      int zero = 0;
+      for (std::size_t i = 0; i < n; ++i) zero |= (b[i] == 0 ? 1 : 0);
+      if (zero != 0) {
+        error(ErrorCode::Runtime,
+              kOp == BinOp::Div ? "division by zero" : "mod by zero", pos);
+      }
+      if constexpr (kOp == BinOp::Div) {
+        for (std::size_t i = 0; i < n; ++i) o[i] = a[i] / b[i];
+      } else {
+        for (std::size_t i = 0; i < n; ++i) o[i] = std::fmod(a[i], b[i]);
+      }
+    } else {  // Pow
+      for (std::size_t i = 0; i < n; ++i) {
+        o[i] = scalar_op(BinOp::Pow, a[i], b[i], pos);
+      }
+    }
+  }
+
+  /// In-place scalar-on-the-left broadcast: o[i] = k op o[i].
+  template <BinOp kOp>
+  static void scl_vec_kernel(double k, double* o, std::size_t n,
+                             SourcePos pos) {
+    if constexpr (kOp == BinOp::Add) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = k + o[i];
+    } else if constexpr (kOp == BinOp::Sub) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = k - o[i];
+    } else if constexpr (kOp == BinOp::Mul) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = k * o[i];
+    } else if constexpr (kOp == BinOp::Div || kOp == BinOp::Mod) {
+      int zero = 0;
+      for (std::size_t i = 0; i < n; ++i) zero |= (o[i] == 0 ? 1 : 0);
+      if (zero != 0) {
+        error(ErrorCode::Runtime,
+              kOp == BinOp::Div ? "division by zero" : "mod by zero", pos);
+      }
+      if constexpr (kOp == BinOp::Div) {
+        for (std::size_t i = 0; i < n; ++i) o[i] = k / o[i];
+      } else {
+        for (std::size_t i = 0; i < n; ++i) o[i] = std::fmod(k, o[i]);
+      }
+    } else {  // Pow
+      for (std::size_t i = 0; i < n; ++i) {
+        o[i] = scalar_op(BinOp::Pow, k, o[i], pos);
+      }
+    }
+  }
+
+  /// In-place scalar-on-the-right broadcast: o[i] = o[i] op k.
+  template <BinOp kOp>
+  static void vec_scl_kernel(double* o, std::size_t n, double k,
+                             SourcePos pos) {
+    if constexpr (kOp == BinOp::Add) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = o[i] + k;
+    } else if constexpr (kOp == BinOp::Sub) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = o[i] - k;
+    } else if constexpr (kOp == BinOp::Mul) {
+      for (std::size_t i = 0; i < n; ++i) o[i] = o[i] * k;
+    } else if constexpr (kOp == BinOp::Div || kOp == BinOp::Mod) {
+      if (k == 0 && n > 0) {
+        error(ErrorCode::Runtime,
+              kOp == BinOp::Div ? "division by zero" : "mod by zero", pos);
+      }
+      if constexpr (kOp == BinOp::Div) {
+        for (std::size_t i = 0; i < n; ++i) o[i] = o[i] / k;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) o[i] = std::fmod(o[i], k);
+      }
+    } else {  // Pow
+      for (std::size_t i = 0; i < n; ++i) {
+        o[i] = scalar_op(BinOp::Pow, o[i], k, pos);
+      }
+    }
+  }
+
   /// Add..Pow with broadcast. A flagged operand register holds a dead
   /// temp whose vector payload is reused in place of a fresh copy; the
   /// result is assigned to the destination last, so aliasing dst with
   /// either operand is safe and errors leave dst untouched.
+  template <BinOp kOp>
   static Value arith(const Instr& in, std::vector<Value>& regs) {
-    const BinOp op = bin_op_of(in.op);
     Value& lhs = regs[in.b];
     Value& rhs = regs[in.c];
     // Scalar-scalar fast path: one variant probe per operand. Strings
@@ -225,22 +317,22 @@ class Vm {
     // behaviour-preserving.
     if (const Scalar* a = lhs.scalar_if()) {
       if (const Scalar* b = rhs.scalar_if()) {
-        return Value(scalar_op(op, *a, *b, in.pos));
+        return Value(scalar_op(kOp, *a, *b, in.pos));
       }
     }
     if (lhs.is_string() || rhs.is_string()) {
-      if (op == BinOp::Add && lhs.is_string() && rhs.is_string()) {
+      if (kOp == BinOp::Add && lhs.is_string() && rhs.is_string()) {
         return Value(lhs.as_string() + rhs.as_string());
       }
       error(ErrorCode::Type,
-            "operator `" + std::string(to_string(op)) +
+            "operator `" + std::string(to_string(kOp)) +
                 "` is not defined for strings",
             in.pos);
     }
     if (lhs.is_vector() && rhs.is_vector()) {
       if (lhs.as_vector().size() != rhs.as_vector().size()) {
         error(ErrorCode::Type,
-              "elementwise `" + std::string(to_string(op)) +
+              "elementwise `" + std::string(to_string(kOp)) +
                   "` on vectors of lengths " +
                   std::to_string(lhs.as_vector().size()) + " and " +
                   std::to_string(rhs.as_vector().size()),
@@ -248,46 +340,78 @@ class Vm {
       }
       if ((in.flags & kTempB) != 0) {
         Vector out = std::move(lhs.as_vector());
-        const Vector& b = rhs.as_vector();
-        for (std::size_t i = 0; i < out.size(); ++i) {
-          out[i] = scalar_op(op, out[i], b[i], in.pos);
-        }
+        vec_kernel<kOp>(out.data(), out.data(), rhs.as_vector().data(),
+                        out.size(), in.pos);
         return Value(std::move(out));
       }
       const Vector& a = lhs.as_vector();
       if ((in.flags & kTempC) != 0) {
         Vector out = std::move(rhs.as_vector());
-        for (std::size_t i = 0; i < out.size(); ++i) {
-          out[i] = scalar_op(op, a[i], out[i], in.pos);
-        }
+        vec_kernel<kOp>(out.data(), a.data(), out.data(), out.size(), in.pos);
         return Value(std::move(out));
       }
       const Vector& b = rhs.as_vector();
       Vector out(a.size());
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        out[i] = scalar_op(op, a[i], b[i], in.pos);
-      }
+      vec_kernel<kOp>(out.data(), a.data(), b.data(), out.size(), in.pos);
       return Value(std::move(out));
     }
     if (lhs.is_scalar() && rhs.is_vector()) {
       const double a = lhs.as_scalar();
       Vector out = (in.flags & kTempC) != 0 ? std::move(rhs.as_vector())
                                             : rhs.as_vector();
-      for (double& x : out) x = scalar_op(op, a, x, in.pos);
+      scl_vec_kernel<kOp>(a, out.data(), out.size(), in.pos);
       return Value(std::move(out));
     }
     if (lhs.is_vector() && rhs.is_scalar()) {
       const double b = rhs.as_scalar();
       Vector out = (in.flags & kTempB) != 0 ? std::move(lhs.as_vector())
                                             : lhs.as_vector();
-      for (double& x : out) x = scalar_op(op, x, b, in.pos);
+      vec_scl_kernel<kOp>(out.data(), out.size(), b, in.pos);
       return Value(std::move(out));
     }
     error(ErrorCode::Type,
-          "operator `" + std::string(to_string(op)) + "` on a " +
+          "operator `" + std::string(to_string(kOp)) + "` on a " +
               std::string(lhs.type_name()) + " and a " +
               std::string(rhs.type_name()),
           in.pos);
+  }
+
+  /// The AddK..PowK fused forms: rhs is a scalar const pool entry, so
+  /// the type dispatch collapses to one probe of the left operand. For
+  /// the commutative ops (Add/Mul) the peephole also folds const-lhs
+  /// pairs through here with the operands swapped; results and error
+  /// messages are identical either way (the walker's string/type errors
+  /// for these shapes do not depend on operand order).
+  template <BinOp kOp>
+  void arith_k(const Instr& in, std::vector<Value>& regs) {
+    const double k = *chunk_.consts[in.c].scalar_if();
+    Value& lhs = regs[in.b];
+    if (const Scalar* a = lhs.scalar_if()) {
+      set_scalar(regs[in.a], scalar_op(kOp, *a, k, in.pos));
+      return;
+    }
+    if (lhs.is_string()) {
+      error(ErrorCode::Type,
+            "operator `" + std::string(to_string(kOp)) +
+                "` is not defined for strings",
+            in.pos);
+    }
+    Vector out = (in.flags & kTempB) != 0 ? std::move(lhs.as_vector())
+                                          : lhs.as_vector();
+    vec_scl_kernel<kOp>(out.data(), out.size(), k, in.pos);
+    regs[in.a] = Value(std::move(out));
+  }
+
+  /// The LtK..GeK fused forms: rhs is a scalar const pool entry.
+  template <typename Cmp>
+  void compare_k(const Instr& in, std::vector<Value>& regs, Op base,
+                 Cmp cmp) {
+    const Value& k = chunk_.consts[in.c];
+    if (const Scalar* a = regs[in.b].scalar_if()) {
+      set_scalar(regs[in.a], cmp(*a, *k.scalar_if()) ? 1.0 : 0.0);
+      return;
+    }
+    regs[in.a] = compare(base, regs[in.b], k, in.pos);
   }
 
   /// Executes code[from, to). `states` is non-null only for the
@@ -355,22 +479,56 @@ class Vm {
           set_scalar(regs[in.a], regs[in.b].truthy() ? 1.0 : 0.0);
           break;
         case Op::Add:
-          if (!fast_arith<BinOp::Add>(in, regs)) regs[in.a] = arith(in, regs);
+          if (!fast_arith<BinOp::Add>(in, regs))
+            regs[in.a] = arith<BinOp::Add>(in, regs);
           break;
         case Op::Sub:
-          if (!fast_arith<BinOp::Sub>(in, regs)) regs[in.a] = arith(in, regs);
+          if (!fast_arith<BinOp::Sub>(in, regs))
+            regs[in.a] = arith<BinOp::Sub>(in, regs);
           break;
         case Op::Mul:
-          if (!fast_arith<BinOp::Mul>(in, regs)) regs[in.a] = arith(in, regs);
+          if (!fast_arith<BinOp::Mul>(in, regs))
+            regs[in.a] = arith<BinOp::Mul>(in, regs);
           break;
         case Op::Div:
-          if (!fast_arith<BinOp::Div>(in, regs)) regs[in.a] = arith(in, regs);
+          if (!fast_arith<BinOp::Div>(in, regs))
+            regs[in.a] = arith<BinOp::Div>(in, regs);
           break;
         case Op::Mod:
-          if (!fast_arith<BinOp::Mod>(in, regs)) regs[in.a] = arith(in, regs);
+          if (!fast_arith<BinOp::Mod>(in, regs))
+            regs[in.a] = arith<BinOp::Mod>(in, regs);
           break;
         case Op::Pow:
-          if (!fast_arith<BinOp::Pow>(in, regs)) regs[in.a] = arith(in, regs);
+          if (!fast_arith<BinOp::Pow>(in, regs))
+            regs[in.a] = arith<BinOp::Pow>(in, regs);
+          break;
+        case Op::AddK: arith_k<BinOp::Add>(in, regs); break;
+        case Op::SubK: arith_k<BinOp::Sub>(in, regs); break;
+        case Op::MulK: arith_k<BinOp::Mul>(in, regs); break;
+        case Op::DivK: arith_k<BinOp::Div>(in, regs); break;
+        case Op::ModK: arith_k<BinOp::Mod>(in, regs); break;
+        case Op::PowK: arith_k<BinOp::Pow>(in, regs); break;
+        case Op::LtK:
+          compare_k(in, regs, Op::Lt, [](double a, double b) { return a < b; });
+          break;
+        case Op::LeK:
+          compare_k(in, regs, Op::Le,
+                    [](double a, double b) { return a <= b; });
+          break;
+        case Op::GtK:
+          compare_k(in, regs, Op::Gt, [](double a, double b) { return a > b; });
+          break;
+        case Op::GeK:
+          compare_k(in, regs, Op::Ge,
+                    [](double a, double b) { return a >= b; });
+          break;
+        case Op::EqK:
+          set_scalar(regs[in.a],
+                     regs[in.b].equals(chunk_.consts[in.c]) ? 1.0 : 0.0);
+          break;
+        case Op::NeK:
+          set_scalar(regs[in.a],
+                     regs[in.b].equals(chunk_.consts[in.c]) ? 0.0 : 1.0);
           break;
         case Op::CmpEq:
           set_scalar(regs[in.a], regs[in.b].equals(regs[in.c]) ? 1.0 : 0.0);
@@ -395,6 +553,104 @@ class Vm {
           if (!fast_compare(in, regs,
                             [](double a, double b) { return a >= b; }))
             regs[in.a] = compare(in.op, regs[in.b], regs[in.c], in.pos);
+          break;
+        // Fused compare+branch: the comparison executes exactly as the
+        // standalone op (including writing its 0/1 result register, so
+        // any later read still sees it), then the folded JumpIfFalsy
+        // fires on the value just computed.
+        case Op::LtBr:
+          if (!fast_compare(in, regs, [](double a, double b) { return a < b; }))
+            regs[in.a] = compare(Op::Lt, regs[in.b], regs[in.c], in.pos);
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::LeBr:
+          if (!fast_compare(in, regs,
+                            [](double a, double b) { return a <= b; }))
+            regs[in.a] = compare(Op::Le, regs[in.b], regs[in.c], in.pos);
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::GtBr:
+          if (!fast_compare(in, regs, [](double a, double b) { return a > b; }))
+            regs[in.a] = compare(Op::Gt, regs[in.b], regs[in.c], in.pos);
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::GeBr:
+          if (!fast_compare(in, regs,
+                            [](double a, double b) { return a >= b; }))
+            regs[in.a] = compare(Op::Ge, regs[in.b], regs[in.c], in.pos);
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::EqBr:
+          set_scalar(regs[in.a], regs[in.b].equals(regs[in.c]) ? 1.0 : 0.0);
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::NeBr:
+          set_scalar(regs[in.a], regs[in.b].equals(regs[in.c]) ? 0.0 : 1.0);
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::LtKBr:
+          compare_k(in, regs, Op::Lt, [](double a, double b) { return a < b; });
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::LeKBr:
+          compare_k(in, regs, Op::Le,
+                    [](double a, double b) { return a <= b; });
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::GtKBr:
+          compare_k(in, regs, Op::Gt, [](double a, double b) { return a > b; });
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::GeKBr:
+          compare_k(in, regs, Op::Ge,
+                    [](double a, double b) { return a >= b; });
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::EqKBr:
+          set_scalar(regs[in.a],
+                     regs[in.b].equals(chunk_.consts[in.c]) ? 1.0 : 0.0);
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
+          break;
+        case Op::NeKBr:
+          set_scalar(regs[in.a],
+                     regs[in.b].equals(chunk_.consts[in.c]) ? 0.0 : 1.0);
+          if (!regs[in.a].truthy()) {
+            ip = static_cast<std::uint32_t>(in.d);
+            continue;
+          }
           break;
         case Op::NewVector: {
           Vector v;
@@ -571,6 +827,17 @@ class Vm {
         case Op::Halt:
           return;
       }
+      // Store fusion epilogue: a folded FinishAssign fires only after
+      // the carrying instruction succeeded, exactly where the standalone
+      // instruction sat. The peephole fuses only same-line pairs, so the
+      // trace echo prints the same line number the walker does.
+      if ((in.flags & kFinish) != 0) {
+        (*states)[in.a] = kBound;
+        if (options_.trace != nullptr) {
+          *options_.trace << "line " << in.pos.line << ": " << var_name(in.a)
+                          << " = " << regs[in.a].to_display() << "\n";
+        }
+      }
       ++ip;
     }
   }
@@ -695,6 +962,11 @@ class Vm {
 void run(const Chunk& chunk, Env& env, const ExecOptions& options) {
   Vm vm(chunk, options);
   vm.run(env);
+}
+
+void run_frame(const Chunk& chunk, Frame& frame, const ExecOptions& options) {
+  Vm vm(chunk, options);
+  vm.run_frame(frame);
 }
 
 }  // namespace banger::pits::bc

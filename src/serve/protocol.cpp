@@ -24,6 +24,22 @@ bool expect_bool(const std::string& key, const Json& v) {
   return v.as_bool();
 }
 
+/// One VAR -> EXPR binding object (the `inputs` shape, also each
+/// element of `inputs_batch`).
+std::map<std::string, std::string> parse_inputs_object(const Json& value) {
+  std::map<std::string, std::string> out;
+  for (const auto& [var, expr] : value.as_object()) {
+    if (expr.is_string()) {
+      out[var] = expr.as_string();
+    } else if (expr.kind() == Json::Kind::Number) {
+      out[var] = obs::json_number(expr.as_number());
+    } else {
+      usage("input `" + var + "` expects a string expression or number");
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 Request parse_request(const Json& doc) {
@@ -75,14 +91,19 @@ Request parse_request(const Json& doc) {
       if (!value.is_object()) {
         usage("request field `inputs` expects an object of VAR -> EXPR");
       }
-      for (const auto& [var, expr] : value.as_object()) {
-        if (expr.is_string()) {
-          req.inputs[var] = expr.as_string();
-        } else if (expr.kind() == Json::Kind::Number) {
-          req.inputs[var] = obs::json_number(expr.as_number());
-        } else {
-          usage("input `" + var + "` expects a string expression or number");
+      req.inputs = parse_inputs_object(value);
+    } else if (key == "inputs_batch") {
+      if (value.kind() != Json::Kind::Array) {
+        usage("request field `inputs_batch` expects an array of "
+              "VAR -> EXPR objects");
+      }
+      req.has_inputs_batch = true;
+      for (const Json& trial : value.as_array()) {
+        if (!trial.is_object()) {
+          usage("each `inputs_batch` entry expects an object of "
+                "VAR -> EXPR");
         }
+        req.inputs_batch.push_back(parse_inputs_object(trial));
       }
     } else {
       usage("unknown request field `" + key + "`");
@@ -97,6 +118,9 @@ Request parse_request(const Json& doc) {
   }
   if (!req.machine.empty() && !req.machine_ref.empty()) {
     usage("give either `machine` or `machine_ref`, not both");
+  }
+  if (!req.inputs.empty() && req.has_inputs_batch) {
+    usage("give either `inputs` or `inputs_batch`, not both");
   }
   return req;
 }

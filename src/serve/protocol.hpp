@@ -18,6 +18,7 @@
 
 #include <map>
 #include <string>
+#include <vector>
 
 #include "serve/json.hpp"
 #include "util/error.hpp"
@@ -40,6 +41,11 @@ struct Request {
   std::string kind;             ///< upload: design|machine
   std::string text;             ///< upload: payload text
   std::map<std::string, std::string> inputs;  ///< trial: store -> PITS expr
+  /// trial batch envelope: one store -> expr object per trial, executed
+  /// in order by a single request (one cache entry, one admission slot).
+  /// Mutually exclusive with `inputs`.
+  std::vector<std::map<std::string, std::string>> inputs_batch;
+  bool has_inputs_batch = false;  ///< `inputs_batch` key present (may be [])
   bool contention = false;      ///< trace: per-link queueing
 };
 

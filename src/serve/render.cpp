@@ -54,6 +54,31 @@ std::string render_run_result(const exec::RunResult& result,
   return out;
 }
 
+TrialBatchRender render_trial_batch(
+    const std::vector<exec::TrialOutcome>& outcomes) {
+  TrialBatchRender r;
+  const std::string total = std::to_string(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const exec::TrialOutcome& trial = outcomes[i];
+    r.text += "=== trial " + std::to_string(i + 1) + " of " + total +
+              " ===\n";
+    if (trial.ok) {
+      r.text += render_run_result(trial.result, /*include_wall=*/false);
+      continue;
+    }
+    r.text +=
+        "error[" + std::string(to_string(trial.error_code)) + "]: " +
+        trial.error;
+    if (trial.error_pos.valid()) {
+      r.text += " (line " + std::to_string(trial.error_pos.line) +
+                ", column " + std::to_string(trial.error_pos.column) + ")";
+    }
+    r.text += "\n";
+    r.exit_code = 1;
+  }
+  return r;
+}
+
 CheckRender render_check(const graph::Design& design,
                          const std::string& format,
                          const std::string& fail_on,

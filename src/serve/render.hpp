@@ -38,6 +38,17 @@ ScheduleRender render_schedule(const sched::Schedule& schedule,
 std::string render_run_result(const exec::RunResult& result,
                               bool include_wall);
 
+/// Batched trial output, shared by `banger trial --inputs` and the
+/// serve batch envelope: one `=== trial K of N ===` block per input in
+/// order, each the one-shot rendering (or the error the one-shot run
+/// would have raised). `exit_code` is 1 when any trial failed.
+struct TrialBatchRender {
+  std::string text;
+  int exit_code = 0;
+};
+TrialBatchRender render_trial_batch(
+    const std::vector<exec::TrialOutcome>& outcomes);
+
 /// `banger check` output plus its exit status (1 when diagnostics at or
 /// above the --fail-on threshold exist). `file_label` is the file name
 /// stamped into diagnostics; `format` is text|json|sarif. The severity

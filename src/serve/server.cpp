@@ -162,6 +162,52 @@ Server::Rendered Server::respond(const Request& req) {
            "op `trial` runs sequentially; it does not take a machine");
     }
     const std::string design_text = resolve(req, false);
+    const auto engine_of = [&req] {
+      exec::RunOptions run_opts;
+      if (req.engine == "vm") {
+        run_opts.pits.engine = pits::ExecOptions::Engine::Vm;
+      } else if (req.engine == "walk") {
+        run_opts.pits.engine = pits::ExecOptions::Engine::Walk;
+      }
+      return run_opts;
+    };
+    if (req.has_inputs_batch) {
+      // Batch envelope: the whole batch is one request — one admission
+      // slot, one cache entry keyed over every trial's inputs in order.
+      std::string inputs_key;
+      for (const auto& trial : req.inputs_batch) {
+        for (const auto& [var, expr] : trial) {
+          inputs_key += var;
+          inputs_key += '=';
+          inputs_key += expr;
+          inputs_key += kSep;
+        }
+        inputs_key += kSep;  // trial boundary
+      }
+      const CacheKey key{
+          "response",
+          util::fnv1a64(join_key({"trial_batch", design_text, req.engine}) +
+                        inputs_key)};
+      const auto rendered = cache_.get_or_build<Rendered>(key, [&] {
+        const auto design = design_artifact(cache_, design_text);
+        std::vector<std::map<std::string, pits::Value>> inputs;
+        inputs.reserve(req.inputs_batch.size());
+        for (const auto& trial : req.inputs_batch) {
+          auto& values = inputs.emplace_back();
+          for (const auto& [var, expr] : trial) {
+            values[var] = pits::eval_expression(expr, {});
+          }
+        }
+        // jobs=1: concurrency belongs to the request loop, not inside a
+        // single cached build (which would multiply threads per slot).
+        const auto outcomes =
+            exec::run_trials(design->flat, inputs, engine_of(), /*jobs=*/1);
+        const TrialBatchRender r = render_trial_batch(outcomes);
+        return std::make_shared<const Rendered>(
+            Rendered{r.text, r.exit_code});
+      });
+      return *rendered;
+    }
     std::string inputs_key;
     for (const auto& [var, expr] : req.inputs) {
       inputs_key += var;
@@ -179,13 +225,8 @@ Server::Rendered Server::respond(const Request& req) {
       for (const auto& [var, expr] : req.inputs) {
         inputs[var] = pits::eval_expression(expr, {});
       }
-      exec::RunOptions run_opts;
-      if (req.engine == "vm") {
-        run_opts.pits.engine = pits::ExecOptions::Engine::Vm;
-      } else if (req.engine == "walk") {
-        run_opts.pits.engine = pits::ExecOptions::Engine::Walk;
-      }
-      const auto result = exec::run_sequential(design->flat, inputs, run_opts);
+      const auto result =
+          exec::run_sequential(design->flat, inputs, engine_of());
       return std::make_shared<const Rendered>(
           Rendered{render_run_result(result, /*include_wall=*/false), 0});
     });

@@ -111,6 +111,64 @@ TEST(Panel, TrialRunSquareRoot) {
   EXPECT_NEAR(result.env.at("x").as_scalar(), std::sqrt(2.0), 1e-12);
 }
 
+TEST(Panel, TrialSweepMatchesPerTrialRuns) {
+  // The parameter-sweep gesture: many "=" presses over different inputs,
+  // parsed once, each element exactly what trial_run would return.
+  CalculatorPanel panel("SquareRoot");
+  panel.declare_input("a");
+  panel.declare_output("x");
+  panel.set_program_text(
+      "guess := a / 2\n"
+      "i := 0\n"
+      "while i < 20 do\n"
+      "  guess := 0.5 * (guess + a / guess)\n"
+      "  i := i + 1\n"
+      "end\n"
+      "x := guess\n"
+      "print(x)\n");
+  std::vector<pits::Env> sweep;
+  for (double a : {2.0, 9.0, 0.0, 144.0}) {
+    sweep.push_back({{"a", pits::Value(a)}});
+  }
+  const auto results = panel.trial_sweep(sweep);
+  ASSERT_EQ(results.size(), sweep.size());
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const auto one = panel.trial_run(sweep[i]);
+    EXPECT_EQ(results[i].ok, one.ok) << i;
+    EXPECT_EQ(results[i].error, one.error) << i;
+    EXPECT_EQ(results[i].transcript, one.transcript) << i;
+    EXPECT_EQ(results[i].env, one.env) << i;
+  }
+}
+
+TEST(Panel, TrialSweepErrorsStayPerTrial) {
+  CalculatorPanel panel;
+  panel.declare_input("d");
+  panel.declare_output("y");
+  panel.set_program_text("y := 1 / d\n");
+  const std::vector<pits::Env> sweep = {{{"d", pits::Value(2.0)}},
+                                        {{"d", pits::Value(0.0)}},
+                                        {{"d", pits::Value(4.0)}}};
+  const auto results = panel.trial_sweep(sweep);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].ok);
+  EXPECT_FALSE(results[1].ok);
+  EXPECT_NE(results[1].error.find("division by zero"), std::string::npos);
+  EXPECT_TRUE(results[2].ok);
+  EXPECT_EQ(results[2].env.at("y"), pits::Value(0.25));
+}
+
+TEST(Panel, TrialSweepParseErrorFailsEveryTrial) {
+  CalculatorPanel panel;
+  panel.set_program_text("x := (\n");
+  const auto results = panel.trial_sweep({{}, {}});
+  ASSERT_EQ(results.size(), 2u);
+  for (const auto& r : results) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
 TEST(Panel, TrialRunReportsErrorsInsteadOfThrowing) {
   CalculatorPanel panel;
   panel.set_program_text("x := 1 / 0\n");

@@ -194,6 +194,56 @@ TEST_F(CliFiles, InputsAreFullPitsExpressions) {
   EXPECT_NE(r.out.find("x = [1, 2, 3]"), std::string::npos);
 }
 
+TEST_F(CliFiles, TrialBatchFromInputsFile) {
+  const std::string inputs_path = testing::TempDir() + "/cli_trials.txt";
+  std::ofstream(inputs_path)
+      << "# one trial per line\n"
+      << "A=[4,3,2,8,8,5,4,7,9]; b=[16,39,45]\n"
+      << "\n"
+      << "A=[4,3,2,8,8,5,4,7,9]; b=[32,78,90]\n";
+  const auto r = invoke({"trial", design_path_, "--inputs", inputs_path});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("=== trial 1 of 2 ==="), std::string::npos);
+  EXPECT_NE(r.out.find("=== trial 2 of 2 ==="), std::string::npos);
+  EXPECT_NE(r.out.find("x = [1, 2, 3]"), std::string::npos);
+  EXPECT_NE(r.out.find("x = [2, 4, 6]"), std::string::npos);
+
+  // Each block is byte-identical to the equivalent one-shot run.
+  const auto one = invoke({"trial", design_path_, "--input",
+                           "A=[4,3,2,8,8,5,4,7,9]", "--input",
+                           "b=[16,39,45]"});
+  EXPECT_NE(r.out.find(one.out), std::string::npos);
+}
+
+TEST_F(CliFiles, TrialBatchFailingTrialExitsOne) {
+  const std::string inputs_path = testing::TempDir() + "/cli_trials_err.txt";
+  std::ofstream(inputs_path)
+      << "A=[4,3,2,8,8,5,4,7,9]; b=[16,39,45]\n"
+      << "A=[0,3,2,8,8,5,4,7,9]; b=[16,39,45]\n";  // zero pivot
+  const auto r = invoke({"trial", design_path_, "--inputs", inputs_path});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.out.find("x = [1, 2, 3]"), std::string::npos);
+  EXPECT_NE(r.out.find("error[runtime]:"), std::string::npos);
+}
+
+TEST_F(CliFiles, TrialBatchRejectsMalformedLine) {
+  const std::string inputs_path = testing::TempDir() + "/cli_trials_bad.txt";
+  std::ofstream(inputs_path) << "A=[1]; nonsense\n";
+  const auto r = invoke({"trial", design_path_, "--inputs", inputs_path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("VAR=EXPR"), std::string::npos);
+  EXPECT_NE(r.err.find("line 1"), std::string::npos);
+}
+
+TEST_F(CliFiles, TrialInputAndInputsFileAreExclusive) {
+  const std::string inputs_path = testing::TempDir() + "/cli_trials_x.txt";
+  std::ofstream(inputs_path) << "A=[1]\n";
+  const auto r = invoke({"trial", design_path_, "--input", "A=[1]",
+                         "--inputs", inputs_path});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("not both"), std::string::npos);
+}
+
 TEST_F(CliFiles, TrialMissingInputFails) {
   const auto r = invoke({"trial", design_path_});
   EXPECT_EQ(r.code, 1);

@@ -161,6 +161,34 @@ TEST_P(PitsFuzz, RoundTrippedProgramBehavesIdentically) {
   EXPECT_EQ(final_state(src), final_state(printed)) << src;
 }
 
+TEST_P(PitsFuzz, FusedVmMatchesWalker) {
+  // The peephole pass always runs, so the VM side of this differential
+  // executes fused superinstructions; the walker is the oracle. Random
+  // programs hit fusion shapes (const operands, loop-head compares) the
+  // hand-picked suites might miss.
+  ProgramGen gen(GetParam() ^ 0xf05edull);
+  const std::string src = gen.program(6);
+  auto outcome = [&](ExecOptions::Engine engine) -> std::string {
+    ExecOptions opts;
+    opts.step_limit = 200000;
+    opts.engine = engine;
+    Env env;
+    try {
+      Program::parse(src).execute(env, opts);
+    } catch (const Error& e) {
+      return std::string("error: ") + e.what();
+    }
+    std::string state;
+    for (const auto& [name, value] : env) {
+      state += name + "=" + value.to_display() + ";";
+    }
+    return state;
+  };
+  EXPECT_EQ(outcome(ExecOptions::Engine::Vm),
+            outcome(ExecOptions::Engine::Walk))
+      << src;
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PitsFuzz,
                          ::testing::Range<std::uint64_t>(1, 61));
 

@@ -16,6 +16,7 @@
 #include "calc/panel.hpp"
 #include "graph/serialize.hpp"
 #include "obs/trace.hpp"
+#include "pits/bytecode.hpp"
 #include "pits/interp.hpp"
 #include "util/error.hpp"
 #include "util/rng.hpp"
@@ -374,6 +375,83 @@ TEST(PitsVmCorpus, SampleDesigns) {
     if (entry.path().extension() != ".pitl") continue;
     expect_corpus_identical(graph::load_design(entry.path().string()));
   }
+}
+
+// ---------------------------------------------------------------------------
+// Superinstruction fusion: the peephole pass is always on, so every
+// differential test above already runs fused code — these tests pin that
+// the fusion actually fires on the patterns it was built for, and that
+// the fused programs stay observably identical to the walker.
+
+std::size_t count_ops(const bc::Code& code, bc::Op lo, bc::Op hi) {
+  std::size_t n = 0;
+  for (const auto& instr : code.ins) {
+    if (instr.op >= lo && instr.op <= hi) ++n;
+  }
+  return n;
+}
+
+TEST(PitsVmFusion, ConstOperandsFuseToKForms) {
+  // x * 1.01 + 2: both constants should fold into AddK/MulK operands
+  // rather than LoadConst + Add/Mul pairs.
+  const std::string src =
+      "x := 1\n"
+      "repeat 10 times\n"
+      "  x := x * 1.01 + 2\n"
+      "end\n";
+  const Program program = Program::parse(src);
+  const auto chunk = program.compiled_chunk();
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_GT(chunk->fused, 0u);
+  EXPECT_GT(count_ops(chunk->main, bc::Op::AddK, bc::Op::PowK), 0u);
+  expect_identical(src);
+}
+
+TEST(PitsVmFusion, CompareBranchFusesInLoopHeads) {
+  // `while i < 100` compiles to compare + JumpIfFalsy; the peephole
+  // merges them into a single const-compare-branch.
+  const std::string src =
+      "i := 0\n"
+      "s := 0\n"
+      "while i < 100 do\n"
+      "  s := s + i\n"
+      "  i := i + 1\n"
+      "end\n";
+  const Program program = Program::parse(src);
+  const auto chunk = program.compiled_chunk();
+  ASSERT_NE(chunk, nullptr);
+  EXPECT_GT(chunk->fused, 0u);
+  EXPECT_GT(count_ops(chunk->main, bc::Op::LtBr, bc::Op::NeKBr), 0u);
+  expect_identical(src);
+}
+
+TEST(PitsVmFusion, CorpusRoutinesFuse) {
+  // Every LU task body should give the peephole something to merge;
+  // the differential corpus test already proves the results agree.
+  std::size_t total = 0;
+  const auto flat = workloads::lu3x3_design().flatten();
+  for (graph::TaskId t = 0; t < flat.graph.num_tasks(); ++t) {
+    const graph::Task& task = flat.graph.task(t);
+    if (task.pits.empty()) continue;
+    const Program program = Program::parse(task.pits);
+    const auto chunk = program.compiled_chunk();
+    if (chunk != nullptr) total += chunk->fused;
+  }
+  EXPECT_GT(total, 0u);
+}
+
+TEST(PitsVmFusion, TraceAndErrorsSurviveFusion) {
+  // kFinish epilogues must echo assignments in trace mode exactly as
+  // the walker does, and faulting fused ops must keep the walker's
+  // message and position.
+  const char* cases[] = {
+      "x := 2\ny := x + 1\nz := y * 3\n",
+      "i := 0\nwhile i < 3 do\n  i := i + 1\nend\n",
+      "x := 0\ny := 1 / (x + 0)\n",         // DivK by zero mid-fusion
+      "v := [1, 2]\ni := 5\nx := v[i]\n",   // fused index feed
+      "x := 1\ny := x mod 0\n",             // ModK error text
+  };
+  for (const char* src : cases) expect_identical(src);
 }
 
 // ---------------------------------------------------------------------------

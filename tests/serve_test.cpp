@@ -469,6 +469,90 @@ TEST_F(ServeVsCli, TrialMatchesCliByteForByte) {
             std::string::npos);
 }
 
+TEST_F(ServeVsCli, TrialBatchMatchesCliByteForByte) {
+  // Three trials — two solvable, one zero-pivot failure in the middle —
+  // through `banger trial --inputs FILE` and the serve `inputs_batch`
+  // envelope. Output text AND exit code (1: a trial failed) must match.
+  const std::string inputs_path = testing::TempDir() + "/serve_trials.txt";
+  std::ofstream(inputs_path)
+      << "# batch corpus\n"
+      << "A=[4,3,2,8,8,5,4,7,9]; b=[16,39,45]\n"
+      << "A=[0,3,2,8,8,5,4,7,9]; b=[16,39,45]\n"
+      << "A=[4,3,2,8,8,5,4,7,9]; b=[32,78,90]\n";
+  int cli_exit = -1;
+  const std::string expected =
+      cli({"trial", design_path_, "--inputs", inputs_path}, &cli_exit);
+  EXPECT_EQ(cli_exit, 1);
+
+  // The same three trials as the file, in the same order.
+  const auto make_batch = [] {
+    const std::pair<const char*, const char*> trials[] = {
+        {"[4,3,2,8,8,5,4,7,9]", "[16,39,45]"},
+        {"[0,3,2,8,8,5,4,7,9]", "[16,39,45]"},
+        {"[4,3,2,8,8,5,4,7,9]", "[32,78,90]"},
+    };
+    Json batch = Json::array();
+    for (const auto& [a, b] : trials) {
+      Json inputs = Json::object();
+      inputs.add("A", Json::string(a));
+      inputs.add("b", Json::string(b));
+      batch.push(std::move(inputs));
+    }
+    return batch;
+  };
+  Server server;
+  const Json resp = Json::parse(server.handle_line(
+      request({{"op", Json::string("trial")},
+               {"design", Json::string(lu_design_text())},
+               {"inputs_batch", make_batch()}})));
+  // The request itself succeeded; the nonzero exit mirrors the CLI
+  // (same contract as `check` with diagnostics).
+  ASSERT_TRUE(field(resp, "ok").as_bool()) << resp.dump();
+  EXPECT_EQ(field(resp, "exit").as_number(), 1);
+  EXPECT_EQ(field(resp, "output").as_string(), expected);
+  EXPECT_NE(field(resp, "output").as_string().find("=== trial 1 of 3 ==="),
+            std::string::npos);
+
+  // Replay: a batch is one cache entry, so the hit returns the same
+  // bytes (and still the batch exit code).
+  const Json again = Json::parse(server.handle_line(
+      request({{"op", Json::string("trial")},
+               {"design", Json::string(lu_design_text())},
+               {"inputs_batch", make_batch()}})));
+  EXPECT_EQ(field(again, "output").as_string(), expected);
+  EXPECT_EQ(field(again, "exit").as_number(), 1);
+}
+
+TEST(ServeProtocol, InputsAndBatchAreMutuallyExclusive) {
+  Json inputs = Json::object();
+  inputs.add("x", Json::string("1"));
+  Json batch = Json::array();
+  Json trial = Json::object();
+  trial.add("x", Json::string("2"));
+  batch.push(std::move(trial));
+  Json doc = Json::object();
+  doc.add("op", Json::string("trial"));
+  doc.add("design", Json::string("design d\ntask t\nend\n"));
+  doc.add("inputs", std::move(inputs));
+  doc.add("inputs_batch", std::move(batch));
+  try {
+    (void)parse_request(doc);
+    FAIL() << "expected usage error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::Usage);
+    EXPECT_NE(std::string(e.what()).find("inputs_batch"), std::string::npos);
+  }
+}
+
+TEST(ServeProtocol, BatchEntriesMustBeObjects) {
+  Json batch = Json::array();
+  batch.push(Json::string("x=1"));
+  Json doc = Json::object();
+  doc.add("op", Json::string("trial"));
+  doc.add("inputs_batch", std::move(batch));
+  EXPECT_THROW((void)parse_request(doc), Error);
+}
+
 TEST_F(ServeVsCli, CheckMatchesCliIncludingExitCode) {
   Server server;
   for (const char* format : {"text", "json", "sarif"}) {

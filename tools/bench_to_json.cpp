@@ -4,17 +4,43 @@
 //
 //   perf_micro --benchmark_format=csv | bench_to_json > BENCH_sched.json
 //   bench_to_json results.csv BENCH_sched.json
+//   perf_micro --benchmark_format=csv | bench_to_json --check BENCH_pits.json
 //
 // Reads the named file (or stdin when absent / "-"), writes the named
 // output (or stdout). Exits 1 on malformed input.
+//
+// `--check BASELINE.json [CSV]` is the CI perf-smoke guard: it compares
+// the fresh CSV against a committed baseline produced by this tool.
+// Because CI machines differ from the machine that recorded the
+// baseline, raw ns/op is not comparable; the guard first normalises by
+// the MEDIAN new/old ratio across every benchmark present in both runs
+// (the machine-speed factor), then fails — exit 1 — if any *hot*
+// benchmark (the named VM / executor / serve paths below) is more than
+// 25% slower per op than the normalised baseline. A uniform slowdown
+// (slower CI box) passes; a hot path regressing against its peers fails.
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 namespace {
+
+/// The regression-guarded hot paths. Keep in sync with
+/// docs/performance.md; names must match the benchmark output exactly.
+const char* const kHotBenchmarks[] = {
+    "BM_PitsExecVm",
+    "BM_PitsCompile",
+    "BM_ExecRunVm",
+    "BM_ExecRunBatch/4096",
+    "BM_ServeTrialCached",
+    "BM_ServeTrialBatch",
+};
+
+constexpr double kMaxRegression = 1.25;  // fail above +25% per op
 
 /// Splits one CSV line, honouring double-quoted fields (google-benchmark
 /// quotes names and counter headers; it never emits embedded quotes).
@@ -54,9 +80,147 @@ std::string json_escape(const std::string& s) {
   return out;
 }
 
+/// name -> cpu_ns_per_op parsed from a google-benchmark CSV stream.
+/// Returns false when no header row is found.
+bool parse_csv(std::istream& in, std::map<std::string, double>& out) {
+  std::string line;
+  std::vector<std::string> header;
+  while (std::getline(in, line)) {
+    if (line.rfind("name,", 0) == 0) {
+      header = split_csv(line);
+      break;
+    }
+  }
+  if (header.empty()) return false;
+  auto column = [&](const std::string& name) -> std::size_t {
+    for (std::size_t i = 0; i < header.size(); ++i) {
+      if (header[i] == name) return i;
+    }
+    return header.size();
+  };
+  const std::size_t col_name = column("name");
+  const std::size_t col_cpu = column("cpu_time");
+  const std::size_t col_unit = column("time_unit");
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv(line);
+    if (fields.size() <= col_cpu || fields[col_name].empty()) continue;
+    const std::string& unit =
+        col_unit < fields.size() ? fields[col_unit] : "ns";
+    out[fields[col_name]] = to_ns(std::stod(fields[col_cpu]), unit);
+  }
+  return true;
+}
+
+/// name -> cpu_ns_per_op from a BENCH_*.json file this tool wrote. The
+/// format is fixed (one record per line, fields in emit order), so a
+/// line scan is exact — no general JSON parser needed.
+bool parse_baseline(const std::string& path,
+                    std::map<std::string, double>& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto name_key = line.find("\"name\": \"");
+    if (name_key == std::string::npos) continue;
+    const auto name_begin = name_key + 9;
+    const auto name_end = line.find('"', name_begin);
+    if (name_end == std::string::npos) continue;
+    const auto cpu_key = line.find("\"cpu_ns_per_op\": ", name_end);
+    if (cpu_key == std::string::npos) continue;
+    std::string name = line.substr(name_begin, name_end - name_begin);
+    // Undo json_escape (only " and \ are ever escaped).
+    std::string unescaped;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+      if (name[i] == '\\' && i + 1 < name.size()) ++i;
+      unescaped += name[i];
+    }
+    out[unescaped] = std::stod(line.substr(cpu_key + 17));
+  }
+  return !out.empty();
+}
+
+int run_check(const std::string& baseline_path, std::istream& in) {
+  std::map<std::string, double> baseline;
+  if (!parse_baseline(baseline_path, baseline)) {
+    std::fprintf(stderr, "bench_to_json: cannot read baseline `%s`\n",
+                 baseline_path.c_str());
+    return 1;
+  }
+  std::map<std::string, double> fresh;
+  if (!parse_csv(in, fresh)) {
+    std::fprintf(stderr, "bench_to_json: no CSV header found\n");
+    return 1;
+  }
+
+  // Machine-speed factor: median new/old ratio over the shared set.
+  std::vector<double> ratios;
+  for (const auto& [name, ns] : fresh) {
+    const auto it = baseline.find(name);
+    if (it != baseline.end() && it->second > 0) {
+      ratios.push_back(ns / it->second);
+    }
+  }
+  if (ratios.size() < 3) {
+    std::fprintf(stderr,
+                 "bench_to_json: only %zu benchmarks shared with the "
+                 "baseline; need at least 3 to normalise\n",
+                 ratios.size());
+    return 1;
+  }
+  std::sort(ratios.begin(), ratios.end());
+  const double median = ratios[ratios.size() / 2];
+
+  int failures = 0;
+  std::printf("perf-smoke vs %s (machine factor %.3fx)\n",
+              baseline_path.c_str(), median);
+  for (const char* hot : kHotBenchmarks) {
+    const auto base = baseline.find(hot);
+    const auto now = fresh.find(hot);
+    if (base == baseline.end() || now == fresh.end()) {
+      std::printf("  %-24s SKIP (missing from %s)\n", hot,
+                  base == baseline.end() ? "baseline" : "fresh run");
+      continue;
+    }
+    const double normalized = (now->second / base->second) / median;
+    const bool bad = normalized > kMaxRegression;
+    std::printf("  %-24s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", hot,
+                base->second, now->second, (normalized - 1.0) * 100.0,
+                bad ? "FAIL" : "ok");
+    if (bad) ++failures;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_to_json: %d hot benchmark(s) regressed more than "
+                 "%.0f%% per op\n",
+                 failures, (kMaxRegression - 1.0) * 100.0);
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "--check") {
+    if (argc < 3) {
+      std::fprintf(stderr,
+                   "usage: bench_to_json --check BASELINE.json [CSV]\n");
+      return 1;
+    }
+    std::ifstream file;
+    std::istream* in = &std::cin;
+    if (argc > 3 && std::string(argv[3]) != "-") {
+      file.open(argv[3]);
+      if (!file) {
+        std::fprintf(stderr, "bench_to_json: cannot read `%s`\n", argv[3]);
+        return 1;
+      }
+      in = &file;
+    }
+    return run_check(argv[2], *in);
+  }
+
   std::ifstream file;
   std::istream* in = &std::cin;
   if (argc > 1 && std::string(argv[1]) != "-") {
