@@ -80,6 +80,14 @@ class ProgramCache {
     analyze::precompile_optimized(entry.program);
     entry.chunk = entry.program.compiled_chunk();
     std::lock_guard lock(mutex_);
+    // Double-checked insert: a concurrent first-compiler may have won
+    // the race; reuse its entry instead of inserting a duplicate that
+    // inflates size_ toward kCap.
+    if (auto it = map_.find(key); it != map_.end()) {
+      for (const CachedProgram& existing : it->second) {
+        if (existing.source == source) return existing;
+      }
+    }
     if (size_ >= kCap) {  // crude but bounded: drop everything, rebuild
       map_.clear();
       size_ = 0;
@@ -174,7 +182,14 @@ std::optional<std::uint32_t> output_index(const graph::Task& task,
   return std::nullopt;
 }
 
-DesignPlan build_plan(const FlattenResult& flat, const RunOptions& options) {
+/// `allow_take` enables the sole-use move optimization below. It is only
+/// sound when every task executes exactly once (run_sequential /
+/// run_trials): a scheduled run re-binds the same producer value for
+/// duplicate copies and fault rescues, and its duplicate cross-check
+/// compares fresh outputs against the stored value — a consumer that
+/// moved the value out breaks both.
+DesignPlan build_plan(const FlattenResult& flat, const RunOptions& options,
+                      bool allow_take) {
   const graph::TaskGraph& g = flat.graph;
   DesignPlan plan;
   plan.vm_engine = pits::resolve_engine(options.pits.engine) ==
@@ -284,34 +299,36 @@ DesignPlan build_plan(const FlattenResult& flat, const RunOptions& options) {
   // pass-through re-resolves at collection time, and store writers.
   // A value read exactly once can be moved to its consumer instead of
   // copied, which matters when tasks hand large vectors down a chain.
-  std::vector<std::vector<std::uint32_t>> uses(g.num_tasks());
-  for (TaskId t = 0; t < g.num_tasks(); ++t) {
-    uses[t].assign(g.task(t).outputs.size(), 0);
-  }
-  auto count_use = [&](const InputBinding& b) {
-    if (b.kind == InputBinding::Kind::Producer &&
-        b.producer_out < uses[b.producer].size()) {
-      ++uses[b.producer][b.producer_out];
+  if (allow_take) {
+    std::vector<std::vector<std::uint32_t>> uses(g.num_tasks());
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      uses[t].assign(g.task(t).outputs.size(), 0);
     }
-  };
-  for (const TaskPlan& tp : plan.tasks) {
-    for (const InputBinding& b : tp.inputs) count_use(b);
-    for (const OutputPlan& op : tp.outputs) {
-      if (op.pass_input >= 0) {
-        count_use(tp.inputs[static_cast<std::size_t>(op.pass_input)]);
+    auto count_use = [&](const InputBinding& b) {
+      if (b.kind == InputBinding::Kind::Producer &&
+          b.producer_out < uses[b.producer].size()) {
+        ++uses[b.producer][b.producer_out];
+      }
+    };
+    for (const TaskPlan& tp : plan.tasks) {
+      for (const InputBinding& b : tp.inputs) count_use(b);
+      for (const OutputPlan& op : tp.outputs) {
+        if (op.pass_input >= 0) {
+          count_use(tp.inputs[static_cast<std::size_t>(op.pass_input)]);
+        }
       }
     }
-  }
-  for (const auto& writers : plan.store_writers) {
-    for (const StoreWriter& w : writers) {
-      if (w.out < uses[w.task].size()) ++uses[w.task][w.out];
+    for (const auto& writers : plan.store_writers) {
+      for (const StoreWriter& w : writers) {
+        if (w.out < uses[w.task].size()) ++uses[w.task][w.out];
+      }
     }
-  }
-  for (TaskPlan& tp : plan.tasks) {
-    for (InputBinding& b : tp.inputs) {
-      b.take = b.kind == InputBinding::Kind::Producer &&
-               b.producer_out < uses[b.producer].size() &&
-               uses[b.producer][b.producer_out] == 1;
+    for (TaskPlan& tp : plan.tasks) {
+      for (InputBinding& b : tp.inputs) {
+        b.take = b.kind == InputBinding::Kind::Producer &&
+                 b.producer_out < uses[b.producer].size() &&
+                 uses[b.producer][b.producer_out] == 1;
+      }
     }
   }
   return plan;
@@ -500,7 +517,7 @@ void collect_stores(const FlattenResult& flat, const DesignPlan& plan,
 RunResult run_sequential(const FlattenResult& flat,
                          const std::map<std::string, pits::Value>& inputs,
                          const RunOptions& options) {
-  const DesignPlan plan = build_plan(flat, options);
+  const DesignPlan plan = build_plan(flat, options, /*allow_take=*/true);
   const auto t0 = Clock::now();
 
   RunResult result;
@@ -539,7 +556,7 @@ std::vector<TrialOutcome> run_trials(
     const FlattenResult& flat,
     const std::vector<std::map<std::string, pits::Value>>& inputs,
     const RunOptions& options, int jobs) {
-  const DesignPlan plan = build_plan(flat, options);
+  const DesignPlan plan = build_plan(flat, options, /*allow_take=*/true);
   const std::vector<TaskId> order = flat.graph.topo_order();
   obs::TraceRecorder* rec = obs::current();
 
@@ -608,7 +625,10 @@ RunResult Executor::run(const Schedule& schedule,
   if (schedule.num_procs() != machine_.num_procs()) {
     fail(ErrorCode::Schedule, "schedule/machine processor count mismatch");
   }
-  const DesignPlan design = build_plan(flat_, options);
+  // Moves are unsafe here: schedule duplicates and fault rescues bind
+  // the same producer output more than once, and the duplicate
+  // cross-check below compares against the stored value.
+  const DesignPlan design = build_plan(flat_, options, /*allow_take=*/false);
 
   // Per-processor lanes in schedule order.
   std::vector<std::vector<sched::Placement>> lanes(

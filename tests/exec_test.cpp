@@ -262,6 +262,56 @@ TEST(Parallel, ManualDuplicateScheduleCrossChecks) {
   }
 }
 
+TEST(Parallel, DuplicateCopiesDoNotMoveSharedVectorInputs) {
+  // Regression: the sole-use move optimization must stay disabled in
+  // scheduled runs. `mid` is the only consumer of `src`'s vector, so a
+  // one-shot plan would mark the binding take=true — but here two
+  // copies of `mid` bind it, and whichever binds second would read a
+  // moved-from (empty) vector: an out-of-bounds error or a spurious
+  // "duplicate copies produced different outputs" failure.
+  graph::TaskGraph g;
+  graph::Task src;
+  src.name = "src";
+  src.work = 1;
+  src.pits = "v := zeros(3)\nfor i := 0 to 2 do\n  v[i] := i + 1\nend\n";
+  src.outputs = {"v"};
+  const graph::TaskId t_src = g.add_task(std::move(src));
+  graph::Task mid;
+  mid.name = "mid";
+  mid.work = 1;
+  mid.inputs = {"v"};
+  mid.pits = "w := v[0] + v[1] + v[2]\n";
+  mid.outputs = {"w"};
+  const graph::TaskId t_mid = g.add_task(std::move(mid));
+  graph::Task sink;
+  sink.name = "sink";
+  sink.work = 1;
+  sink.inputs = {"w"};
+  sink.pits = "r := w * 2\n";
+  sink.outputs = {"r"};
+  const graph::TaskId t_sink = g.add_task(std::move(sink));
+  g.add_edge(t_src, t_mid, 8.0, "v");
+  g.add_edge(t_mid, t_sink, 8.0, "w");
+  auto flat = workloads::as_flatten(std::move(g));
+
+  auto m = make_machine(2);
+  const double d = m.task_time(1.0, 0);
+  const double gap = 0.02;  // > cross-processor message time for 8 bytes
+  sched::Schedule schedule(2, "manual");
+  schedule.place(t_src, 0, 0.0, d);
+  schedule.place(t_mid, 0, d + gap, 2 * d + gap);
+  schedule.place(t_mid, 1, d + gap, 2 * d + gap, /*duplicate=*/true);
+  schedule.place(t_sink, 1, 2 * d + gap, 3 * d + gap);
+  schedule.validate(flat.graph, m);
+  ASSERT_EQ(schedule.num_duplicates(), 1);
+
+  Executor executor(flat, m);
+  for (int round = 0; round < 10; ++round) {
+    const auto result = executor.run(schedule, {});
+    EXPECT_EQ(result.runs.size(), 4u);  // both copies of mid ran and agreed
+  }
+}
+
 TEST(Parallel, TranscriptCapturedOnce) {
   graph::TaskGraph g;
   graph::Task t;

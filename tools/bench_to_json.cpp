@@ -62,6 +62,21 @@ std::vector<std::string> split_csv(const std::string& line) {
   return fields;
 }
 
+/// std::stod without the exceptions: false (and untouched `out`) on
+/// malformed or empty text, so callers can report the offending line
+/// and exit 1 instead of dying on an uncaught std::invalid_argument.
+bool parse_num(const std::string& text, double& out) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(text, &consumed);
+    if (consumed == 0) return false;
+    out = value;
+    return true;
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
 double to_ns(double value, const std::string& unit) {
   if (unit == "us") return value * 1e3;
   if (unit == "ms") return value * 1e6;
@@ -81,7 +96,8 @@ std::string json_escape(const std::string& s) {
 }
 
 /// name -> cpu_ns_per_op parsed from a google-benchmark CSV stream.
-/// Returns false when no header row is found.
+/// Reports its own error (missing header, malformed number) to stderr
+/// and returns false.
 bool parse_csv(std::istream& in, std::map<std::string, double>& out) {
   std::string line;
   std::vector<std::string> header;
@@ -91,7 +107,10 @@ bool parse_csv(std::istream& in, std::map<std::string, double>& out) {
       break;
     }
   }
-  if (header.empty()) return false;
+  if (header.empty()) {
+    std::fprintf(stderr, "bench_to_json: no CSV header found\n");
+    return false;
+  }
   auto column = [&](const std::string& name) -> std::size_t {
     for (std::size_t i = 0; i < header.size(); ++i) {
       if (header[i] == name) return i;
@@ -107,18 +126,31 @@ bool parse_csv(std::istream& in, std::map<std::string, double>& out) {
     if (fields.size() <= col_cpu || fields[col_name].empty()) continue;
     const std::string& unit =
         col_unit < fields.size() ? fields[col_unit] : "ns";
-    out[fields[col_name]] = to_ns(std::stod(fields[col_cpu]), unit);
+    double cpu = 0;
+    if (!parse_num(fields[col_cpu], cpu)) {
+      std::fprintf(stderr,
+                   "bench_to_json: malformed cpu_time in CSV line: %s\n",
+                   line.c_str());
+      return false;
+    }
+    out[fields[col_name]] = to_ns(cpu, unit);
   }
   return true;
 }
 
 /// name -> cpu_ns_per_op from a BENCH_*.json file this tool wrote. The
 /// format is fixed (one record per line, fields in emit order), so a
-/// line scan is exact — no general JSON parser needed.
+/// line scan is exact — no general JSON parser needed. Reports its own
+/// error (unreadable file, malformed number, no records) to stderr and
+/// returns false.
 bool parse_baseline(const std::string& path,
                     std::map<std::string, double>& out) {
   std::ifstream in(path);
-  if (!in) return false;
+  if (!in) {
+    std::fprintf(stderr, "bench_to_json: cannot read baseline `%s`\n",
+                 path.c_str());
+    return false;
+  }
   std::string line;
   while (std::getline(in, line)) {
     const auto name_key = line.find("\"name\": \"");
@@ -135,23 +167,29 @@ bool parse_baseline(const std::string& path,
       if (name[i] == '\\' && i + 1 < name.size()) ++i;
       unescaped += name[i];
     }
-    out[unescaped] = std::stod(line.substr(cpu_key + 17));
+    double cpu = 0;
+    if (!parse_num(line.substr(cpu_key + 17), cpu)) {
+      std::fprintf(stderr,
+                   "bench_to_json: malformed cpu_ns_per_op in baseline "
+                   "`%s` line: %s\n",
+                   path.c_str(), line.c_str());
+      return false;
+    }
+    out[unescaped] = cpu;
   }
-  return !out.empty();
+  if (out.empty()) {
+    std::fprintf(stderr, "bench_to_json: no records in baseline `%s`\n",
+                 path.c_str());
+    return false;
+  }
+  return true;
 }
 
 int run_check(const std::string& baseline_path, std::istream& in) {
   std::map<std::string, double> baseline;
-  if (!parse_baseline(baseline_path, baseline)) {
-    std::fprintf(stderr, "bench_to_json: cannot read baseline `%s`\n",
-                 baseline_path.c_str());
-    return 1;
-  }
+  if (!parse_baseline(baseline_path, baseline)) return 1;
   std::map<std::string, double> fresh;
-  if (!parse_csv(in, fresh)) {
-    std::fprintf(stderr, "bench_to_json: no CSV header found\n");
-    return 1;
-  }
+  if (!parse_csv(in, fresh)) return 1;
 
   // Machine-speed factor: median new/old ratio over the shared set.
   std::vector<double> ratios;
@@ -268,13 +306,20 @@ int main(int argc, char** argv) {
     if (fields.size() <= col_cpu || fields[col_name].empty()) continue;
     const std::string& unit =
         col_unit < fields.size() ? fields[col_unit] : "ns";
+    double real = 0;
+    double cpu = 0;
+    if (!parse_num(fields[col_real], real) ||
+        !parse_num(fields[col_cpu], cpu)) {
+      std::fprintf(stderr, "bench_to_json: malformed timing in CSV line: %s\n",
+                   line.c_str());
+      return 1;
+    }
     if (!first) out << ",\n";
     first = false;
     out << "    {\"name\": \"" << json_escape(fields[col_name]) << "\""
         << ", \"iterations\": " << fields[col_iters]
-        << ", \"real_ns_per_op\": "
-        << to_ns(std::stod(fields[col_real]), unit)
-        << ", \"cpu_ns_per_op\": " << to_ns(std::stod(fields[col_cpu]), unit);
+        << ", \"real_ns_per_op\": " << to_ns(real, unit)
+        << ", \"cpu_ns_per_op\": " << to_ns(cpu, unit);
     if (col_items < fields.size() && !fields[col_items].empty()) {
       out << ", \"items_per_sec\": " << fields[col_items];
     }
