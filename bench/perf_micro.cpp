@@ -6,6 +6,7 @@
 #include "analyze/absint.hpp"
 
 #include "exec/executor.hpp"
+#include "exec/stream.hpp"
 #include "graph/serialize.hpp"
 #include "obs/trace.hpp"
 #include "pits/interp.hpp"
@@ -351,6 +352,67 @@ void BM_ExecRunBatch(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * n);
 }
 BENCHMARK(BM_ExecRunBatch)->Arg(1)->Arg(64)->Arg(4096);
+
+namespace {
+machine::Machine stream_bench_machine(int procs) {
+  machine::MachineParams params;
+  params.processor_speed = 1.0;
+  params.message_startup = 0.01;
+  params.bytes_per_second = 1e6;
+  return machine::Machine(machine::Topology::fully_connected(procs), params);
+}
+
+std::vector<std::map<std::string, pits::Value>> stream_bench_batches(int n) {
+  std::vector<std::map<std::string, pits::Value>> batches;
+  batches.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    const double d = static_cast<double>(i % 7);
+    batches.push_back(
+        {{"A", pits::Value(pits::Vector{4, 3, 2, 8, 8, 5, 4, 7, 9})},
+         {"b", pits::Value(pits::Vector{16 + d, 39, 45 - d})}});
+  }
+  return batches;
+}
+}  // namespace
+
+// The per-batch baseline for streaming: each batch pays the full
+// scheduled-run setup (executor construction, plan, compile) before
+// executing — what a loop of one-shot `banger run` calls costs.
+void BM_ExecPerBatchRun(benchmark::State& state) {
+  const auto flat = workloads::lu3x3_design().flatten();
+  const auto m = stream_bench_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  const int n = static_cast<int>(state.range(0));
+  const auto batches = stream_bench_batches(n);
+  for (auto _ : state) {
+    for (const auto& inputs : batches) {
+      exec::Executor executor(flat, m);
+      benchmark::DoNotOptimize(executor.run(schedule, inputs));
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExecPerBatchRun)->Arg(64);
+
+// Streaming execution over the same schedule: the plan is compiled
+// once, workers stay up, and batches flow through bounded queues.
+// items/s is batches per second — compare against BM_ExecPerBatchRun
+// to see the setup amortisation win.
+void BM_ExecStream(benchmark::State& state) {
+  const auto flat = workloads::lu3x3_design().flatten();
+  const auto m = stream_bench_machine(3);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  const int n = static_cast<int>(state.range(0));
+  const auto batches = stream_bench_batches(n);
+  exec::StreamOptions opts;
+  opts.jobs = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        exec::run_stream(flat, schedule, m, batches, opts));
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_ExecStream)->Arg(64)->Arg(1024);
 
 void BM_ExecRunWalk(benchmark::State& state) {
   const auto flat = workloads::lu3x3_design().flatten();

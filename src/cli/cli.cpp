@@ -51,6 +51,7 @@ struct Options {
   std::string fail_on = "error";  ///< --fail-on threshold for check
   bool json = false;              ///< --json for lint
   int jobs = 0;    ///< --jobs worker threads (0 = BANGER_JOBS or all cores)
+  int queue_cap = 8;  ///< --queue-cap stream inter-stage queue capacity
   int trials = 1;  ///< --trials Monte Carlo runs for faults
   std::string metrics_file;  ///< --metrics: write flat metrics JSON here
   // ---- serve options
@@ -154,6 +155,8 @@ Options parse_options(const std::vector<std::string>& args,
       o.events = static_cast<std::size_t>(numeric_flag("--events", next(), 0));
     } else if (a == "--jobs") {
       o.jobs = static_cast<int>(numeric_flag("--jobs", next(), 1));
+    } else if (a == "--queue-cap") {
+      o.queue_cap = static_cast<int>(numeric_flag("--queue-cap", next(), 1));
     } else if (a == "--port") {
       const std::string& value = next();
       o.port = static_cast<int>(numeric_flag("--port", value, 0));
@@ -405,6 +408,30 @@ int cmd_run(const Options& o, std::ostream& out) {
         << util::format_double(result.recovery_overhead_seconds, 4) << "s\n";
   }
   return 0;
+}
+
+int cmd_stream(const Options& o, std::ostream& out, std::ostream& err) {
+  Project project = load_project(o, 0);
+  project.set_machine(load_machine_arg(o, 1));
+  if (o.inputs_file.empty()) {
+    usage_error("stream needs --inputs FILE (one batch per line)");
+  }
+  if (!o.inputs.empty()) {
+    usage_error("give stream batches via --inputs FILE, not --input");
+  }
+  const auto batches = load_trial_inputs(o.inputs_file);
+  exec::StreamOptions stream_opts;
+  stream_opts.run.pits.engine = o.pits_engine;
+  stream_opts.queue_capacity = static_cast<std::size_t>(o.queue_cap);
+  stream_opts.jobs = o.jobs;
+  const auto result = project.run_stream(batches, o.scheduler, stream_opts);
+  // Batch output on stdout stays byte-identical to running each batch
+  // through `banger run`; the execution report goes to stderr.
+  const serve::TrialBatchRender r =
+      serve::render_stream_batches(result.outcomes);
+  out << r.text;
+  err << result.report.render();
+  return r.exit_code;
 }
 
 int cmd_faults(const Options& o, std::ostream& out) {
@@ -718,6 +745,12 @@ std::string usage() {
       "  trial    <design>                     sequential trial run; --inputs\n"
       "                                        FILE batches many trials\n"
       "  run      <design> <machine>           threaded execution\n"
+      "  stream   <design> <machine>           pipeline execution over a\n"
+      "                                        stream of input batches\n"
+      "                                        (--inputs FILE, one batch per\n"
+      "                                        line); per-batch output on\n"
+      "                                        stdout, execution report on\n"
+      "                                        stderr\n"
       "  codegen  <design> <machine>           emit standalone C++\n"
       "  lint     <design.pitl>                interface diagnostics\n"
       "                                        (--json for machine output;\n"
@@ -741,7 +774,7 @@ std::string usage() {
       "options:\n"
       "  --scheduler NAME   mh|mcp|etf|hlfet|dls|dsh|cluster|serial|...\n"
       "  --input VAR=EXPR   bind an input store (PITS expression)\n"
-      "  --inputs FILE      trial: batched runs, one trial per line of\n"
+      "  --inputs FILE      trial/stream: batched runs, one trial per line of\n"
       "                     `VAR=EXPR; VAR=EXPR` pairs (# comments allowed);\n"
       "                     compiles once, exits 1 if any trial fails\n"
       "  --sizes 1,2,4,8    processor counts for speedup\n"
@@ -758,6 +791,8 @@ std::string usage() {
       "                     (default: BANGER_JOBS env or all cores; results\n"
       "                     are identical for every value)\n"
       "  --trials N         faults: Monte Carlo over N seed-varied runs\n"
+      "  --queue-cap N      stream: bounded inter-stage queue capacity in\n"
+      "                     packets (default 8); backpressure, never loss\n"
       "  --pits-engine E    run/trial: PITS execution engine, `vm` (default)\n"
       "                     or `walk` (reference tree-walker); results are\n"
       "                     identical either way\n"
@@ -812,6 +847,7 @@ int run(const std::vector<std::string>& args, std::istream& in,
       if (command == "faults") return cmd_faults(options, out);
       if (command == "trial") return cmd_trial(options, out);
       if (command == "run") return cmd_run(options, out);
+      if (command == "stream") return cmd_stream(options, out, err);
       if (command == "report") return cmd_report(options, out);
       if (command == "explain") return cmd_explain(options, out);
       if (command == "grain") return cmd_grain(options, out);

@@ -114,6 +114,13 @@ exec::RunResult Project::run(const std::map<std::string, pits::Value>& inputs,
   return executor.run(schedule(heuristic), inputs, options);
 }
 
+exec::StreamResult Project::run_stream(
+    const std::vector<std::map<std::string, pits::Value>>& batches,
+    const std::string& heuristic, const exec::StreamOptions& options) const {
+  return exec::run_stream(flat_, schedule(heuristic), machine(), batches,
+                          options);
+}
+
 std::string Project::generate_code(
     const std::map<std::string, pits::Value>& inputs,
     const std::string& heuristic,

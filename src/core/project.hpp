@@ -17,6 +17,7 @@
 
 #include "codegen/codegen.hpp"
 #include "exec/executor.hpp"
+#include "exec/stream.hpp"
 #include "graph/design.hpp"
 #include "machine/machine.hpp"
 #include "sched/scheduler.hpp"
@@ -87,6 +88,16 @@ class Project {
       const std::map<std::string, pits::Value>& inputs,
       const std::string& heuristic = "mh",
       const exec::RunOptions& options = {}) const;
+
+  /// Streaming (pipeline) execution: runs the scheduled graph
+  /// continuously over a sequence of input batches through persistent
+  /// stages on bounded queues (see exec::run_stream). Each outcome is
+  /// byte-identical to the matching one-shot run(); the report carries
+  /// per-block and per-queue statistics.
+  [[nodiscard]] exec::StreamResult run_stream(
+      const std::vector<std::map<std::string, pits::Value>>& batches,
+      const std::string& heuristic = "mh",
+      const exec::StreamOptions& options = {}) const;
 
   /// Step 4d: emit the standalone C++ program.
   [[nodiscard]] std::string generate_code(

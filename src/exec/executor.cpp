@@ -3,13 +3,12 @@
 #include <algorithm>
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
 #include <optional>
-#include <ostream>
-#include <streambuf>
 #include <thread>
 
-#include "analyze/absint.hpp"
+#include "exec/plan.hpp"
 #include "obs/trace.hpp"
 #include "pits/bytecode.hpp"
 #include "util/error.hpp"
@@ -28,496 +27,12 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-/// Stable per-task seed so duplicate copies (and re-runs) agree. The
-/// seed basis is historical (a truncated FNV offset basis) and must
-/// stay verbatim: generated programs embed these values.
-std::uint64_t seed_for(const std::string& task_name, std::uint64_t base) {
-  return util::fnv1a64(task_name, 1469598103934665603ull ^ base);
-}
-
-/// Does this (possibly comma-joined) edge variable list carry `var`?
-bool edge_carries(const std::string& edge_var, const std::string& var) {
-  for (auto part : util::split(edge_var, ',')) {
-    if (util::trim(part) == var) return true;
-  }
-  return false;
-}
-
-// ---- compiled-routine cache -----------------------------------------
-//
-// Parsing, abstract interpretation, and bytecode compilation used to
-// happen once per run; on the trial hot path they dwarfed execution
-// itself. The cache is process-wide and keyed by routine source text,
-// so repeated runs of a design (or many designs sharing routines) pay
-// for the front end exactly once. Parse/compile failures are not
-// cached: they re-raise per run, exactly as before.
-
-struct CachedProgram {
-  std::string source;
-  pits::Program program;
-  std::shared_ptr<const pits::bc::Chunk> chunk;  ///< null -> walker only
-};
-
-class ProgramCache {
- public:
-  CachedProgram get(const std::string& source) {
-    const std::uint64_t key = util::fnv1a64(source);
-    {
-      std::lock_guard lock(mutex_);
-      if (auto it = map_.find(key); it != map_.end()) {
-        for (const CachedProgram& entry : it->second) {
-          if (entry.source == source) return entry;
-        }
-      }
-    }
-    // Compile outside the lock; concurrent first-compilers of the same
-    // source do redundant work, never wrong work.
-    CachedProgram entry;
-    entry.source = source;
-    entry.program = pits::Program::parse(source);
-    // The abstract interpreter supplies proofs that let the compiler
-    // elide bounds/binding checks and batch statement ticks.
-    analyze::precompile_optimized(entry.program);
-    entry.chunk = entry.program.compiled_chunk();
-    std::lock_guard lock(mutex_);
-    // Double-checked insert: a concurrent first-compiler may have won
-    // the race; reuse its entry instead of inserting a duplicate that
-    // inflates size_ toward kCap.
-    if (auto it = map_.find(key); it != map_.end()) {
-      for (const CachedProgram& existing : it->second) {
-        if (existing.source == source) return existing;
-      }
-    }
-    if (size_ >= kCap) {  // crude but bounded: drop everything, rebuild
-      map_.clear();
-      size_ = 0;
-    }
-    map_[key].push_back(entry);
-    ++size_;
-    return entry;
-  }
-
- private:
-  // Must comfortably hold the largest bundled design (the 32x32 heat
-  // workload carries ~1k distinct routines); a design bigger than this
-  // recompiles per run instead of growing without bound.
-  static constexpr std::size_t kCap = 4096;
-  std::mutex mutex_;
-  std::map<std::uint64_t, std::vector<CachedProgram>> map_;
-  std::size_t size_ = 0;
-};
-
-ProgramCache& program_cache() {
-  static ProgramCache cache;
-  return cache;
-}
-
-// ---- design plans ----------------------------------------------------
-//
-// Everything about a run that does not depend on input values is
-// resolved once per run into index-based plans: which predecessor (and
-// which of its outputs) feeds each task input, which chunk slot each
-// variable lives in, which writer supplies each store. The per-task hot
-// path then binds VM registers directly instead of building a
-// std::map<std::string, Value> environment per task.
-
-/// Per-trial task outputs, in Task::outputs declaration order.
-using TaskOutputs = std::vector<Value>;
-using ExternalInputs = std::map<std::string, Value>;
-
-/// How one declared input of a task receives its value. Resolution
-/// order mirrors the historical bind_inputs: a labelled in-edge whose
-/// producer declares the variable, then any producing predecessor, then
-/// an external input store; anything else is an error raised when the
-/// task is reached (not at plan time — earlier tasks' runtime errors
-/// must still win).
-struct InputBinding {
-  enum class Kind : std::uint8_t { Producer, External, Nothing };
-  Kind kind = Kind::Nothing;
-  std::uint32_t var = 0;  ///< index into Task::inputs
-  TaskId producer = graph::kNoTask;
-  std::uint32_t producer_out = 0;  ///< index into the producer's outputs
-  std::int32_t slot = -1;          ///< chunk slot, -1 when not in the chunk
-  /// True when this binding is the only reference to the producer's
-  /// value (no other consumer, no pass-through re-resolve, no store
-  /// writer), so resolving may move it out instead of copying.
-  bool take = false;
-};
-
-struct OutputPlan {
-  std::int32_t slot = -1;        ///< chunk slot, -1 when not in the chunk
-  std::int32_t pass_input = -1;  ///< binding index for input pass-through
-};
-
-struct TaskPlan {
-  pits::Program program;
-  std::shared_ptr<const pits::bc::Chunk> chunk;
-  bool runnable = false;
-  /// False when a variable repeats in Task::outputs: collection then
-  /// copies values instead of moving them out of the frame.
-  bool unique_outputs = true;
-  std::vector<InputBinding> inputs;
-  std::vector<OutputPlan> outputs;
-};
-
-struct StoreWriter {
-  TaskId task = graph::kNoTask;
-  std::uint32_t out = 0;  ///< index into the writer's outputs
-};
-
-struct DesignPlan {
-  std::vector<TaskPlan> tasks;
-  /// Per flat.stores entry: writers that actually declare the store's
-  /// variable, in writer order (the last one present wins).
-  std::vector<std::vector<StoreWriter>> store_writers;
-  /// True when the resolved PITS engine is the VM (slot-frame path).
-  bool vm_engine = false;
-};
-
-std::optional<std::uint32_t> output_index(const graph::Task& task,
-                                          const std::string& var) {
-  for (std::size_t i = 0; i < task.outputs.size(); ++i) {
-    if (task.outputs[i] == var) return static_cast<std::uint32_t>(i);
-  }
-  return std::nullopt;
-}
-
-/// `allow_take` enables the sole-use move optimization below. It is only
-/// sound when every task executes exactly once (run_sequential /
-/// run_trials): a scheduled run re-binds the same producer value for
-/// duplicate copies and fault rescues, and its duplicate cross-check
-/// compares fresh outputs against the stored value — a consumer that
-/// moved the value out breaks both.
-DesignPlan build_plan(const FlattenResult& flat, const RunOptions& options,
-                      bool allow_take) {
-  const graph::TaskGraph& g = flat.graph;
-  DesignPlan plan;
-  plan.vm_engine = pits::resolve_engine(options.pits.engine) ==
-                   pits::ExecOptions::Engine::Vm;
-  plan.tasks.resize(g.num_tasks());
-  for (TaskId t = 0; t < g.num_tasks(); ++t) {
-    const graph::Task& task = g.task(t);
-    TaskPlan& tp = plan.tasks[t];
-    if (util::trim(task.pits).empty()) {
-      if (!task.outputs.empty()) {
-        fail(ErrorCode::Runtime,
-             "task `" + task.name +
-                 "` declares outputs but has no PITS routine");
-      }
-      // Pure synchronisation node: legal no-op (inputs still bind).
-    } else {
-      try {
-        CachedProgram cached = program_cache().get(task.pits);
-        tp.program = std::move(cached.program);
-        tp.chunk = std::move(cached.chunk);
-        tp.runnable = true;
-      } catch (const Error& e) {
-        fail(e.code(), "in task `" + task.name + "`: " + e.message(),
-             e.pos());
-      }
-    }
-    const pits::bc::Chunk* chunk =
-        plan.vm_engine ? tp.chunk.get() : nullptr;
-    auto slot_of = [&](const std::string& var) -> std::int32_t {
-      if (chunk == nullptr) return -1;
-      for (std::size_t s = 0; s < chunk->vars.size(); ++s) {
-        if (chunk->names[chunk->vars[s].name] == var) {
-          return static_cast<std::int32_t>(s);
-        }
-      }
-      return -1;
-    };
-    tp.inputs.reserve(task.inputs.size());
-    for (std::size_t i = 0; i < task.inputs.size(); ++i) {
-      const std::string& var = task.inputs[i];
-      InputBinding b;
-      b.var = static_cast<std::uint32_t>(i);
-      b.slot = slot_of(var);
-      bool bound = false;
-      // 1. A predecessor whose edge is labelled with this variable and
-      // whose task declares it (a task's produced environment is exactly
-      // its declared outputs, so the check is static).
-      for (graph::EdgeId e : g.in_edges(t)) {
-        const graph::Edge& edge = g.edge(e);
-        if (!edge_carries(edge.var, var)) continue;
-        if (auto out = output_index(g.task(edge.from), var)) {
-          b.kind = InputBinding::Kind::Producer;
-          b.producer = edge.from;
-          b.producer_out = *out;
-          bound = true;
-          break;
-        }
-      }
-      // 2. Unlabelled precedence edge from a predecessor that declares
-      // the variable as an output (synthetic graphs wire values this way).
-      if (!bound) {
-        for (graph::EdgeId e : g.in_edges(t)) {
-          const graph::Edge& edge = g.edge(e);
-          if (auto out = output_index(g.task(edge.from), var)) {
-            b.kind = InputBinding::Kind::Producer;
-            b.producer = edge.from;
-            b.producer_out = *out;
-            bound = true;
-            break;
-          }
-        }
-      }
-      // 3. An external input store of that variable.
-      if (!bound) {
-        if (const graph::FlatStore* store = flat.find_store(var);
-            store != nullptr && store->writers.empty()) {
-          b.kind = InputBinding::Kind::External;
-        }
-        // else Kind::Nothing: errors when (and only when) the task runs.
-      }
-      tp.inputs.push_back(b);
-    }
-    tp.outputs.reserve(task.outputs.size());
-    for (std::size_t i = 0; i < task.outputs.size(); ++i) {
-      const std::string& var = task.outputs[i];
-      OutputPlan op;
-      op.slot = slot_of(var);
-      for (std::size_t j = 0; j < task.inputs.size(); ++j) {
-        if (task.inputs[j] == var) {
-          op.pass_input = static_cast<std::int32_t>(j);
-          break;
-        }
-      }
-      if (*output_index(task, var) != i) tp.unique_outputs = false;
-      tp.outputs.push_back(op);
-    }
-  }
-  plan.store_writers.resize(flat.stores.size());
-  for (std::size_t s = 0; s < flat.stores.size(); ++s) {
-    for (TaskId w : flat.stores[s].writers) {
-      if (auto out = output_index(g.task(w), flat.stores[s].var)) {
-        plan.store_writers[s].push_back({w, *out});
-      }
-    }
-  }
-  // Count every read of each produced value — consumer bindings,
-  // pass-through re-resolves at collection time, and store writers.
-  // A value read exactly once can be moved to its consumer instead of
-  // copied, which matters when tasks hand large vectors down a chain.
-  if (allow_take) {
-    std::vector<std::vector<std::uint32_t>> uses(g.num_tasks());
-    for (TaskId t = 0; t < g.num_tasks(); ++t) {
-      uses[t].assign(g.task(t).outputs.size(), 0);
-    }
-    auto count_use = [&](const InputBinding& b) {
-      if (b.kind == InputBinding::Kind::Producer &&
-          b.producer_out < uses[b.producer].size()) {
-        ++uses[b.producer][b.producer_out];
-      }
-    };
-    for (const TaskPlan& tp : plan.tasks) {
-      for (const InputBinding& b : tp.inputs) count_use(b);
-      for (const OutputPlan& op : tp.outputs) {
-        if (op.pass_input >= 0) {
-          count_use(tp.inputs[static_cast<std::size_t>(op.pass_input)]);
-        }
-      }
-    }
-    for (const auto& writers : plan.store_writers) {
-      for (const StoreWriter& w : writers) {
-        if (w.out < uses[w.task].size()) ++uses[w.task][w.out];
-      }
-    }
-    for (TaskPlan& tp : plan.tasks) {
-      for (InputBinding& b : tp.inputs) {
-        b.take = b.kind == InputBinding::Kind::Producer &&
-                 b.producer_out < uses[b.producer].size() &&
-                 uses[b.producer][b.producer_out] == 1;
-      }
-    }
-  }
-  return plan;
-}
-
-// ---- per-thread execution scratch ------------------------------------
-
-/// Append-only streambuf over a pooled std::string: print() output
-/// lands in a reusable buffer instead of a fresh ostringstream per task.
-class TranscriptBuf final : public std::streambuf {
- public:
-  std::string text;
-
- protected:
-  int_type overflow(int_type ch) override {
-    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
-      text.push_back(traits_type::to_char_type(ch));
-    }
-    return traits_type::not_eof(ch);
-  }
-  std::streamsize xsputn(const char* s, std::streamsize n) override {
-    text.append(s, static_cast<std::size_t>(n));
-    return n;
-  }
-};
-
-/// Reusable per-thread execution state: the VM register frame and the
-/// transcript buffer keep their capacity across tasks and trials.
-struct TaskScratch {
-  pits::bc::Frame frame;
-  TranscriptBuf transcript;
-  std::ostream transcript_stream{&transcript};
-};
-
-/// Resolves one input value. Producer outputs are stable once written
-/// (each task's slot is assigned exactly once, before any dependant
-/// binds), so reads need no lock beyond the caller's ordering.
-Value resolve_binding(const graph::Task& task, const InputBinding& b,
-                      const ExternalInputs& external,
-                      std::vector<std::optional<TaskOutputs>>& outs) {
-  switch (b.kind) {
-    case InputBinding::Kind::Producer: {
-      auto& produced = outs[b.producer];
-      BANGER_ASSERT(produced.has_value(), "predecessor not yet executed");
-      Value& v = (*produced)[b.producer_out];
-      if (b.take) return std::move(v);
-      return v;
-    }
-    case InputBinding::Kind::External: {
-      auto it = external.find(task.inputs[b.var]);
-      if (it == external.end()) {
-        fail(ErrorCode::Runtime, "no value supplied for input store `" +
-                                     task.inputs[b.var] +
-                                     "` needed by task `" + task.name + "`");
-      }
-      return it->second;
-    }
-    case InputBinding::Kind::Nothing:
-      break;
-  }
-  fail(ErrorCode::Runtime, "input `" + task.inputs[b.var] + "` of task `" +
-                               task.name + "` is bound to nothing");
-}
-
-/// Resolves task `t`'s inputs. Slot path (VM engine + compiled chunk):
-/// binds values straight into scratch.frame. Walker path: fills `env`.
-/// Returns true when the slot path is active.
-bool bind_task(const FlattenResult& flat, const DesignPlan& plan, TaskId t,
-               const ExternalInputs& external,
-               std::vector<std::optional<TaskOutputs>>& outs,
-               TaskScratch& scratch, Env& env) {
-  const graph::Task& task = flat.graph.task(t);
-  const TaskPlan& tp = plan.tasks[t];
-  const bool slots = plan.vm_engine && tp.chunk != nullptr;
-  if (slots) scratch.frame.prepare(*tp.chunk);
-  for (const InputBinding& b : tp.inputs) {
-    Value v = resolve_binding(task, b, external, outs);
-    if (slots) {
-      if (b.slot >= 0) {
-        scratch.frame.bind(static_cast<std::uint16_t>(b.slot), std::move(v));
-      }
-      // Inputs the routine never mentions have no slot; pass-through
-      // outputs re-resolve them at collection time.
-    } else {
-      env[task.inputs[b.var]] = std::move(v);
-    }
-  }
-  return slots;
-}
-
-/// Executes task `t` after bind_task and collects its declared outputs,
-/// in declaration order. `env` is consumed (walker path only).
-TaskOutputs execute_task(const FlattenResult& flat, const DesignPlan& plan,
-                         TaskId t, bool slots, Env env, TaskScratch& scratch,
-                         const RunOptions& options,
-                         const ExternalInputs& external,
-                         std::vector<std::optional<TaskOutputs>>& outs,
-                         std::string* transcript) {
-  const graph::Task& task = flat.graph.task(t);
-  const TaskPlan& tp = plan.tasks[t];
-  TaskOutputs outputs;
-  if (!tp.runnable) return outputs;
-
-  const bool capture = transcript != nullptr && options.capture_transcript;
-  scratch.transcript.text.clear();
-  pits::ExecOptions exec_opts = options.pits;
-  exec_opts.seed = seed_for(task.name, options.pits.seed);
-  exec_opts.out = capture ? &scratch.transcript_stream : nullptr;
-  try {
-    if (slots) {
-      pits::bc::run_frame(*tp.chunk, scratch.frame, exec_opts);
-    } else {
-      tp.program.execute(env, exec_opts);
-    }
-  } catch (const Error& e) {
-    fail(e.code(), "in task `" + task.name + "`: " + e.message(), e.pos());
-  }
-  outputs.reserve(task.outputs.size());
-  for (std::size_t i = 0; i < task.outputs.size(); ++i) {
-    const OutputPlan& op = tp.outputs[i];
-    if (slots) {
-      if (op.slot >= 0 &&
-          scratch.frame.states[static_cast<std::size_t>(op.slot)] ==
-              pits::bc::kSlotBound) {
-        if (tp.unique_outputs) {
-          outputs.push_back(
-              std::move(scratch.frame.regs[static_cast<std::size_t>(op.slot)]));
-        } else {
-          outputs.push_back(
-              scratch.frame.regs[static_cast<std::size_t>(op.slot)]);
-        }
-        continue;
-      }
-      if (op.pass_input >= 0) {
-        // Declared output the routine never assigns but receives as an
-        // input: the walker's environment carries it through verbatim.
-        outputs.push_back(resolve_binding(
-            task, tp.inputs[static_cast<std::size_t>(op.pass_input)],
-            external, outs));
-        continue;
-      }
-    } else {
-      if (auto it = env.find(task.outputs[i]); it != env.end()) {
-        outputs.push_back(it->second);
-        continue;
-      }
-    }
-    fail(ErrorCode::Runtime, "task `" + task.name +
-                                 "` never assigned its output `" +
-                                 task.outputs[i] + "`");
-  }
-  if (capture && !scratch.transcript.text.empty()) {
-    *transcript += "[" + task.name + "]\n" + scratch.transcript.text;
-  }
-  return outputs;
-}
-
-/// Collects final store values (writer with the latest position wins; in
-/// practice designs have a single writer per store).
-void collect_stores(const FlattenResult& flat, const DesignPlan& plan,
-                    const std::vector<std::optional<TaskOutputs>>& task_outputs,
-                    const ExternalInputs& external, RunResult& result) {
-  for (std::size_t s = 0; s < flat.stores.size(); ++s) {
-    const graph::FlatStore& store = flat.stores[s];
-    if (store.writers.empty()) {
-      if (auto it = external.find(store.var); it != external.end()) {
-        result.stores[store.var] = it->second;
-      }
-      continue;
-    }
-    for (const StoreWriter& w : plan.store_writers[s]) {
-      const auto& produced = task_outputs[w.task];
-      if (!produced) continue;
-      result.stores[store.var] = (*produced)[w.out];
-    }
-    if (store.readers.empty()) {
-      if (auto it = result.stores.find(store.var); it != result.stores.end()) {
-        result.outputs[store.var] = it->second;
-      }
-    }
-  }
-}
-
 }  // namespace
 
 RunResult run_sequential(const FlattenResult& flat,
                          const std::map<std::string, pits::Value>& inputs,
                          const RunOptions& options) {
-  const DesignPlan plan = build_plan(flat, options, /*allow_take=*/true);
+  const DesignPlan plan = build_plan(flat, options, TakePlan{});
   const auto t0 = Clock::now();
 
   RunResult result;
@@ -556,7 +71,7 @@ std::vector<TrialOutcome> run_trials(
     const FlattenResult& flat,
     const std::vector<std::map<std::string, pits::Value>>& inputs,
     const RunOptions& options, int jobs) {
-  const DesignPlan plan = build_plan(flat, options, /*allow_take=*/true);
+  const DesignPlan plan = build_plan(flat, options, TakePlan{});
   const std::vector<TaskId> order = flat.graph.topo_order();
   obs::TraceRecorder* rec = obs::current();
 
@@ -625,17 +140,20 @@ RunResult Executor::run(const Schedule& schedule,
   if (schedule.num_procs() != machine_.num_procs()) {
     fail(ErrorCode::Schedule, "schedule/machine processor count mismatch");
   }
-  // Moves are unsafe here: schedule duplicates and fault rescues bind
-  // the same producer output more than once, and the duplicate
-  // cross-check below compares against the stored value.
-  const DesignPlan design = build_plan(flat_, options, /*allow_take=*/false);
+  const fault::FaultPlan* plan =
+      (options.faults != nullptr && !options.faults->empty()) ? options.faults
+                                                              : nullptr;
+  if (plan != nullptr) plan->validate(machine_.num_procs());
+
+  // Takes are counted per scheduled run: duplicate copies re-bind the
+  // same producer value and the duplicate cross-check below re-reads it,
+  // both reflected in the use counts; an active fault plan disables
+  // moves entirely (rescue re-binds are unpredictable).
+  const DesignPlan design =
+      build_plan(flat_, options, TakePlan{true, &schedule, plan != nullptr});
 
   // Per-processor lanes in schedule order.
-  std::vector<std::vector<sched::Placement>> lanes(
-      static_cast<std::size_t>(machine_.num_procs()));
-  for (ProcId p = 0; p < machine_.num_procs(); ++p) {
-    lanes[static_cast<std::size_t>(p)] = schedule.lane(p);
-  }
+  std::vector<std::vector<sched::Placement>> lanes = schedule.lanes();
   {
     std::vector<int> seen(g.num_tasks(), 0);
     for (const auto& lane : lanes)
@@ -649,11 +167,6 @@ RunResult Executor::run(const Schedule& schedule,
     }
   }
 
-  const fault::FaultPlan* plan =
-      (options.faults != nullptr && !options.faults->empty()) ? options.faults
-                                                              : nullptr;
-  if (plan != nullptr) plan->validate(machine_.num_procs());
-
   // Shared state.
   std::mutex mutex;
   std::condition_variable cv;
@@ -666,6 +179,11 @@ RunResult Executor::run(const Schedule& schedule,
   std::size_t completed_count = 0;
   std::vector<sched::Placement> orphans;  // stranded lanes of dead workers
   bool failed = false;
+  // Bumped (with a broadcast) on every state change a waiting worker
+  // could care about — completion, failure, worker death — so idle
+  // workers wake immediately instead of discovering progress at the
+  // next rescue-poll tick. Guarded by `mutex`.
+  std::uint64_t activity = 0;
   // Every worker-thread failure, in arrival order. The first one is
   // rethrown after the join with its processor attached; the rest are
   // preserved in the trace layer instead of being dropped.
@@ -679,6 +197,9 @@ RunResult Executor::run(const Schedule& schedule,
   obs::TraceRecorder* rec = obs::current();
   RunResult result;
   const auto t0 = Clock::now();
+  // Pure fallback under a fault plan: orphan adoptability can change
+  // with time-based crash schedules, so idle rescuers still rescan at
+  // this cadence even with no new activity.
   const auto poll =
       std::chrono::duration<double>(std::max(1e-4, options.rescue_poll_seconds));
 
@@ -777,6 +298,7 @@ RunResult Executor::run(const Schedule& schedule,
       result.recovery_overhead_seconds += run.wall_finish - run.wall_start;
     }
     result.runs.push_back(run);
+    ++activity;
     cv.notify_all();
   };
 
@@ -795,6 +317,7 @@ RunResult Executor::run(const Schedule& schedule,
     std::lock_guard lock(mutex);
     failures.push_back({proc, code, std::move(message), pos});
     failed = true;
+    ++activity;
     cv.notify_all();
   };
 
@@ -819,6 +342,7 @@ RunResult Executor::run(const Schedule& schedule,
           ++result.workers_died;
           orphans.insert(orphans.end(), lane.begin() + static_cast<std::ptrdiff_t>(i),
                          lane.end());
+          ++activity;
           cv.notify_all();
           return;
         }
@@ -840,7 +364,12 @@ RunResult Executor::run(const Schedule& schedule,
                 lock.lock();
                 continue;
               }
-              cv.wait_for(lock, poll);
+              // Sleep until something happens (a completion may unblock
+              // this task or make an orphan adoptable); the timeout is
+              // only the fault-plan rescan fallback.
+              const std::uint64_t seen = activity;
+              cv.wait_for(lock, poll,
+                          [&] { return failed || activity != seen; });
             }
           }
         }
@@ -859,7 +388,8 @@ RunResult Executor::run(const Schedule& schedule,
             lock.lock();
             continue;
           }
-          cv.wait_for(lock, poll);
+          const std::uint64_t seen = activity;
+          cv.wait_for(lock, poll, [&] { return failed || activity != seen; });
         }
       }
     } catch (const Error& e) {

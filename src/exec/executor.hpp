@@ -46,8 +46,10 @@ struct RunOptions {
   /// regardless of wall-clock jitter). Surviving workers adopt the dead
   /// worker's stranded tasks. Not owned; must outlive run().
   const fault::FaultPlan* faults = nullptr;
-  /// How long an idle worker sleeps between rescue scans when a fault
-  /// plan is active.
+  /// Fault-plan rescan fallback only: completion and failure always
+  /// notify waiting workers immediately, so this bounds how long an
+  /// idle rescuer can sleep before re-scanning the orphan queue even
+  /// when nothing new has happened.
   double rescue_poll_seconds = 0.01;
 };
 

@@ -1,0 +1,312 @@
+// banger/exec/plan.hpp
+//
+// Internal machinery shared by the batch executor (executor.cpp) and the
+// streaming executor (stream.cpp): the process-wide compiled-routine
+// cache and the per-design execution plan — which predecessor (and which
+// of its outputs) feeds each task input, which chunk slot each variable
+// lives in, which writer supplies each store — resolved once so the
+// per-task hot path binds VM registers directly instead of building a
+// std::map environment per task.
+//
+// Not part of the public exec API (include exec/executor.hpp or
+// exec/stream.hpp instead), but a real header so the two execution modes
+// and the white-box tests share one implementation.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <streambuf>
+#include <string>
+#include <vector>
+
+#include "exec/executor.hpp"
+#include "pits/bytecode.hpp"
+#include "sched/schedule.hpp"
+#include "util/strings.hpp"
+
+namespace banger::exec {
+
+/// Per-trial task outputs, in Task::outputs declaration order.
+using TaskOutputs = std::vector<pits::Value>;
+using ExternalInputs = std::map<std::string, pits::Value>;
+
+/// Stable per-task seed so duplicate copies (and re-runs) agree. The
+/// seed basis is historical (a truncated FNV offset basis) and must
+/// stay verbatim: generated programs embed these values.
+inline std::uint64_t seed_for(const std::string& task_name,
+                              std::uint64_t base) {
+  return util::fnv1a64(task_name, 1469598103934665603ull ^ base);
+}
+
+// ---- compiled-routine cache -----------------------------------------
+//
+// Parsing, abstract interpretation, and bytecode compilation used to
+// happen once per run; on the trial hot path they dwarfed execution
+// itself. The cache is process-wide and keyed by routine source text,
+// so repeated runs of a design (or many designs sharing routines) pay
+// for the front end exactly once. Parse/compile failures are not
+// cached: they re-raise per run, exactly as before.
+
+struct CachedProgram {
+  std::string source;
+  pits::Program program;
+  std::shared_ptr<const pits::bc::Chunk> chunk;  ///< null -> walker only
+};
+
+/// Segmented (two-generation) LRU: entries live in a `hot` shard; when
+/// it fills, the previous generation (`cold`) is dropped and hot becomes
+/// cold. Anything touched at least once per generation is promoted back
+/// to hot and survives indefinitely, so a long-lived serve/stream
+/// process under cap pressure evicts only routines it stopped using —
+/// it never recompiles its whole working set at once the way the old
+/// clear-everything policy did.
+class ProgramCache {
+ public:
+  /// `cap` is per generation; worst-case residency is 2*cap entries.
+  /// The default comfortably holds the largest bundled design (the
+  /// 32x32 heat workload carries ~1k distinct routines).
+  explicit ProgramCache(std::size_t cap = 4096) : cap_(cap ? cap : 1) {}
+
+  CachedProgram get(const std::string& source);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;       ///< compiles (first sight of a source)
+    std::uint64_t evictions = 0;    ///< entries dropped at generation flips
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  // FNV key -> entries (collision chain compares full source text).
+  using Shard = std::map<std::uint64_t, std::vector<CachedProgram>>;
+
+  /// Mutex held. Inserts into `hot`, flipping generations when full.
+  void insert_hot_locked(std::uint64_t key, const CachedProgram& entry);
+
+  std::size_t cap_;
+  mutable std::mutex mutex_;
+  Shard hot_;
+  Shard cold_;
+  std::size_t hot_size_ = 0;
+  std::size_t cold_size_ = 0;
+  Stats stats_;
+};
+
+/// The process-wide instance every execution mode shares.
+ProgramCache& program_cache();
+
+// ---- design plans ----------------------------------------------------
+
+/// How one declared input of a task receives its value. Resolution
+/// order mirrors the historical bind_inputs: a labelled in-edge whose
+/// producer declares the variable, then any producing predecessor, then
+/// an external input store; anything else is an error raised when the
+/// task is reached (not at plan time — earlier tasks' runtime errors
+/// must still win).
+struct InputBinding {
+  enum class Kind : std::uint8_t { Producer, External, Nothing };
+  Kind kind = Kind::Nothing;
+  std::uint32_t var = 0;  ///< index into Task::inputs
+  graph::TaskId producer = graph::kNoTask;
+  std::uint32_t producer_out = 0;  ///< index into the producer's outputs
+  std::int32_t slot = -1;          ///< chunk slot, -1 when not in the chunk
+  /// True when this binding is the only read of the producer's value
+  /// across the whole run (no other consumer binding — scheduled
+  /// duplicates included — no pass-through re-resolve, no store writer,
+  /// no duplicate cross-check), so resolving may move it out instead of
+  /// copying.
+  bool take = false;
+};
+
+struct OutputPlan {
+  std::int32_t slot = -1;        ///< chunk slot, -1 when not in the chunk
+  std::int32_t pass_input = -1;  ///< binding index for input pass-through
+};
+
+struct TaskPlan {
+  pits::Program program;
+  std::shared_ptr<const pits::bc::Chunk> chunk;
+  bool runnable = false;
+  /// False when a variable repeats in Task::outputs: collection then
+  /// copies values instead of moving them out of the frame.
+  bool unique_outputs = true;
+  std::vector<InputBinding> inputs;
+  std::vector<OutputPlan> outputs;
+};
+
+struct StoreWriter {
+  graph::TaskId task = graph::kNoTask;
+  std::uint32_t out = 0;  ///< index into the writer's outputs
+};
+
+struct DesignPlan {
+  std::vector<TaskPlan> tasks;
+  /// Per flat.stores entry: writers that actually declare the store's
+  /// variable, in writer order (the last one present wins).
+  std::vector<std::vector<StoreWriter>> store_writers;
+  /// True when the resolved PITS engine is the VM (slot-frame path).
+  bool vm_engine = false;
+};
+
+/// Controls the sole-use move optimization. Moving a produced value to
+/// its consumer (instead of copying) is sound only when that value is
+/// read exactly once over the whole run, so the counting must reflect
+/// how often each task actually executes:
+///   - schedule == nullptr: every task runs exactly once
+///     (run_sequential / run_trials).
+///   - schedule != nullptr: each consumer binding is counted once per
+///     scheduled placement of the consumer (duplicate copies re-bind the
+///     same producer value), and every output of a task with duplicate
+///     placements gains one extra use for the executor's duplicate
+///     cross-check, which compares fresh outputs against the stored
+///     value.
+///   - faults: a fault plan makes rescue re-binds possible, so every
+///     consumer binding is counted twice — which disables all takes.
+struct TakePlan {
+  bool allow = true;
+  const sched::Schedule* schedule = nullptr;
+  bool faults = false;
+};
+
+DesignPlan build_plan(const FlattenResult& flat, const RunOptions& options,
+                      const TakePlan& takes);
+
+// ---- per-thread execution scratch ------------------------------------
+
+/// Append-only streambuf over a pooled std::string: print() output
+/// lands in a reusable buffer instead of a fresh ostringstream per task.
+class TranscriptBuf final : public std::streambuf {
+ public:
+  std::string text;
+
+ protected:
+  int_type overflow(int_type ch) override {
+    if (!traits_type::eq_int_type(ch, traits_type::eof())) {
+      text.push_back(traits_type::to_char_type(ch));
+    }
+    return traits_type::not_eof(ch);
+  }
+  std::streamsize xsputn(const char* s, std::streamsize n) override {
+    text.append(s, static_cast<std::size_t>(n));
+    return n;
+  }
+};
+
+/// Reusable per-thread execution state: the VM register frame and the
+/// transcript buffer keep their capacity across tasks and trials.
+struct TaskScratch {
+  pits::bc::Frame frame;
+  TranscriptBuf transcript;
+  std::ostream transcript_stream{&transcript};
+};
+
+/// The exact diagnostics the historical bind path raised, factored out
+/// so the streaming executor reports byte-identical bind errors.
+[[noreturn]] void fail_missing_external(const graph::Task& task,
+                                        std::uint32_t var);
+[[noreturn]] void fail_bound_to_nothing(const graph::Task& task,
+                                        std::uint32_t var);
+
+/// Resolves one input value. Producer outputs are stable once written
+/// (each task's slot is assigned exactly once, before any dependant
+/// binds), so reads need no lock beyond the caller's ordering.
+pits::Value resolve_binding(const graph::Task& task, const InputBinding& b,
+                            const ExternalInputs& external,
+                            std::vector<std::optional<TaskOutputs>>& outs);
+
+/// Resolves task `t`'s inputs. Slot path (VM engine + compiled chunk):
+/// binds values straight into scratch.frame. Walker path: fills `env`.
+/// Returns true when the slot path is active.
+bool bind_task(const FlattenResult& flat, const DesignPlan& plan,
+               graph::TaskId t, const ExternalInputs& external,
+               std::vector<std::optional<TaskOutputs>>& outs,
+               TaskScratch& scratch, pits::Env& env);
+
+/// Executes task `t` after binding and collects its declared outputs in
+/// declaration order. `env` is consumed (walker path only). Declared
+/// outputs the routine never assigns but receives as inputs are
+/// re-resolved through `pass` (a callable taking the InputBinding and
+/// returning the value) — the batch executor re-reads the producer's
+/// stored outputs, the streaming executor its gathered packets.
+template <class PassThrough>
+TaskOutputs execute_task_with(const FlattenResult& flat,
+                              const DesignPlan& plan, graph::TaskId t,
+                              bool slots, pits::Env env, TaskScratch& scratch,
+                              const RunOptions& options, PassThrough&& pass,
+                              std::string* transcript) {
+  const graph::Task& task = flat.graph.task(t);
+  const TaskPlan& tp = plan.tasks[t];
+  TaskOutputs outputs;
+  if (!tp.runnable) return outputs;
+
+  const bool capture = transcript != nullptr && options.capture_transcript;
+  scratch.transcript.text.clear();
+  pits::ExecOptions exec_opts = options.pits;
+  exec_opts.seed = seed_for(task.name, options.pits.seed);
+  exec_opts.out = capture ? &scratch.transcript_stream : nullptr;
+  try {
+    if (slots) {
+      pits::bc::run_frame(*tp.chunk, scratch.frame, exec_opts);
+    } else {
+      tp.program.execute(env, exec_opts);
+    }
+  } catch (const Error& e) {
+    fail(e.code(), "in task `" + task.name + "`: " + e.message(), e.pos());
+  }
+  outputs.reserve(task.outputs.size());
+  for (std::size_t i = 0; i < task.outputs.size(); ++i) {
+    const OutputPlan& op = tp.outputs[i];
+    if (slots) {
+      if (op.slot >= 0 &&
+          scratch.frame.states[static_cast<std::size_t>(op.slot)] ==
+              pits::bc::kSlotBound) {
+        if (tp.unique_outputs) {
+          outputs.push_back(std::move(
+              scratch.frame.regs[static_cast<std::size_t>(op.slot)]));
+        } else {
+          outputs.push_back(
+              scratch.frame.regs[static_cast<std::size_t>(op.slot)]);
+        }
+        continue;
+      }
+      if (op.pass_input >= 0) {
+        outputs.push_back(
+            pass(tp.inputs[static_cast<std::size_t>(op.pass_input)]));
+        continue;
+      }
+    } else {
+      if (auto it = env.find(task.outputs[i]); it != env.end()) {
+        outputs.push_back(it->second);
+        continue;
+      }
+    }
+    fail(ErrorCode::Runtime, "task `" + task.name +
+                                 "` never assigned its output `" +
+                                 task.outputs[i] + "`");
+  }
+  if (capture && !scratch.transcript.text.empty()) {
+    *transcript += "[" + task.name + "]\n" + scratch.transcript.text;
+  }
+  return outputs;
+}
+
+/// execute_task_with specialised to the batch executors' pass-through:
+/// re-resolve from the producer's stored outputs.
+TaskOutputs execute_task(const FlattenResult& flat, const DesignPlan& plan,
+                         graph::TaskId t, bool slots, pits::Env env,
+                         TaskScratch& scratch, const RunOptions& options,
+                         const ExternalInputs& external,
+                         std::vector<std::optional<TaskOutputs>>& outs,
+                         std::string* transcript);
+
+/// Collects final store values (writer with the latest position wins; in
+/// practice designs have a single writer per store).
+void collect_stores(const FlattenResult& flat, const DesignPlan& plan,
+                    const std::vector<std::optional<TaskOutputs>>& task_outputs,
+                    const ExternalInputs& external, RunResult& result);
+
+}  // namespace banger::exec

@@ -1,0 +1,992 @@
+// Streaming executor: persistent pipeline stages over bounded SPSC
+// queues. See stream.hpp for the contract.
+//
+// Topology. Each scheduled placement (primary and duplicate copies
+// alike) becomes a persistent *stage*; the placements on one processor,
+// in deterministic schedule order, form a *lane*. Worker threads own
+// lanes round-robin and drive them with a cooperative, non-blocking
+// state machine (gather -> execute -> push -> complete), so fewer
+// threads than processors still make progress and can never deadlock on
+// their own queues.
+//
+// Value flow. For every producer-bound input of a stage, one source
+// copy of the producer is chosen with the schedule validator's own
+// arrival criterion (copy.finish + comm_time <= consumer.start): a
+// same-lane earlier copy becomes a direct local read, any other becomes
+// a dedicated bounded SPSC queue. Because sources respect the in-batch
+// schedule order, the pipeline is deadlock-free for any queue capacity
+// >= 1: order blocked stages by (batch, schedule time) — the least one
+// waits on a producer that is already runnable, or on a queue slot its
+// consumer is guaranteed to free, by induction on that order.
+//
+// Invariant. Every stage delivers exactly one packet per out-queue per
+// batch and always reaches completion — on success, on task error
+// (packets carry ok=false), and on skip (an upstream stage of the batch
+// failed). Queues therefore never misalign across batches and
+// downstream stages always unblock.
+//
+// Wakeups use an eventcount: a generation counter bumped (with a
+// broadcast) after any round of progress; a worker snapshots the
+// counter before scanning its lanes and sleeps only if the scan made no
+// progress and the counter is unchanged — no lost wakeups, no polling.
+#include "exec/stream.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "exec/plan.hpp"
+#include "obs/trace.hpp"
+#include "util/error.hpp"
+#include "util/parallel.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace banger::exec {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using pits::Env;
+using pits::Value;
+
+// Matches sched::Schedule::validate, so any schedule that validates
+// wires up without arrival errors.
+constexpr double kArrivalTolerance = 1e-9;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// One value crossing a queue. ok=false marks an absent value (its
+/// producer failed or skipped); consumers of an absent value skip.
+struct Packet {
+  Value value;
+  bool ok = false;
+};
+
+/// Bounded single-producer single-consumer ring. Each queue links
+/// exactly one producer stage to one consumer stage, and each lane is
+/// driven by exactly one thread, so both ends are single-threaded by
+/// construction. The stats fields are split by owner: the producer
+/// thread writes pushes/occupancy/full_stalls, the consumer thread
+/// writes empty_stalls; they are read only after the workers join.
+class SpscQueue {
+ public:
+  explicit SpscQueue(std::size_t capacity) : ring_(capacity ? capacity : 1) {}
+
+  bool try_push(Packet&& p) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (tail - head >= ring_.size()) return false;
+    ring_[tail % ring_.size()] = std::move(p);
+    tail_.store(tail + 1, std::memory_order_release);
+    ++pushes;
+    const std::uint64_t occ = tail + 1 - head;  // producer's (lagging) view
+    occupancy_sum += static_cast<double>(occ);
+    if (occ > max_occupancy) max_occupancy = occ;
+    return true;
+  }
+
+  bool try_pop(Packet& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    const std::uint64_t tail = tail_.load(std::memory_order_acquire);
+    if (head == tail) return false;
+    out = std::move(ring_[head % ring_.size()]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
+
+  // Producer-side stats.
+  std::uint64_t pushes = 0;
+  std::uint64_t max_occupancy = 0;
+  double occupancy_sum = 0.0;
+  std::uint64_t full_stalls = 0;
+  // Consumer-side stat.
+  std::uint64_t empty_stalls = 0;
+
+ private:
+  std::vector<Packet> ring_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> tail_{0};
+};
+
+/// Where one producer-bound input of a stage comes from. Kind::None
+/// marks bindings the shared plan resolves without a producer
+/// (external stores / nothing) — those are handled at bind time.
+struct StageSource {
+  enum class Kind : std::uint8_t { None, Local, Queue };
+  Kind kind = Kind::None;
+  int queue = -1;        ///< Kind::Queue: index into Impl::queues_
+  int local_stage = -1;  ///< Kind::Local: producer position in this lane
+  std::uint32_t producer_out = 0;
+};
+
+struct StagePush {
+  int queue = -1;
+  std::uint32_t producer_out = 0;
+};
+
+struct Stage {
+  sched::Placement pl;
+  std::size_t order = 0;  ///< canonical (start, proc, duplicate) rank
+  bool primary = false;
+  bool local_needed = false;  ///< some later same-lane stage reads me
+  std::vector<StageSource> sources;   // parallel to the plan's inputs
+  std::vector<bool> keep_after_bind;  // value re-read by a pass-through
+  std::vector<StagePush> pushes;
+  // Stats, owned by the lane's worker thread.
+  std::uint64_t processed = 0;
+  std::uint64_t skipped = 0;
+  double busy_seconds = 0.0;
+};
+
+/// A lane and its cooperative state machine. Everything below `stages`
+/// is owned by the single worker thread driving the lane.
+struct Lane {
+  ProcId proc = -1;
+  std::vector<Stage> stages;
+
+  std::uint64_t batch = 0;  ///< global index of the batch being worked
+  std::size_t stage_idx = 0;
+  bool batch_open = false;
+  std::shared_ptr<const ExternalInputs> inputs;
+  std::vector<std::optional<TaskOutputs>> local;  // per stage position
+  // Current-stage scratch: partial gather, execution result, partial
+  // push. Preserved across no-progress attempts.
+  std::vector<std::optional<Packet>> gathered;
+  std::vector<bool> stall_counted;
+  bool gather_ready = false;
+  bool executed = false;
+  bool exec_ok = false;
+  TaskOutputs outputs;
+  std::string transcript;
+  TaskRun run;
+  bool has_error = false;
+  ErrorCode error_code = ErrorCode::Runtime;
+  std::string error;
+  SourcePos error_pos;
+  std::vector<Packet> pending;
+  std::size_t pending_pos = 0;
+  bool push_stall_counted = false;
+};
+
+/// All mutable per-batch bookkeeping, guarded by Impl::mu.
+struct BatchState {
+  std::shared_ptr<const ExternalInputs> inputs;
+  std::vector<std::optional<TaskOutputs>> task_outputs;  // store writers only
+  std::vector<std::string> transcripts;  // indexed by stage order
+  std::vector<TaskRun> runs;             // indexed by stage order
+  std::size_t remaining = 0;
+  bool has_error = false;
+  ErrorCode error_code = ErrorCode::Runtime;
+  std::string error;
+  SourcePos error_pos;
+  double error_start = 0.0;
+  ProcId error_proc = -1;
+  bool error_dup = false;
+  double started = 0.0;  ///< seconds since stream start at admission
+  bool done = false;
+  TrialOutcome outcome;
+};
+
+}  // namespace
+
+struct StreamExecutor::Impl {
+  const FlattenResult& flat;
+  const Machine& machine;
+  StreamOptions opt;
+  DesignPlan plan;
+  std::vector<bool> writes_store;  // per task: appears in store_writers
+  std::vector<Lane> lanes;
+  std::vector<std::unique_ptr<SpscQueue>> queues;
+  std::vector<std::string> queue_names;
+  std::size_t stage_count = 0;
+  std::size_t threads_n = 1;
+  std::size_t window_cap = 4;
+
+  mutable std::mutex mu;
+  std::condition_variable cv;
+  std::uint64_t gen = 0;
+  std::uint64_t pushed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t window_base = 0;
+  std::deque<BatchState> batches;
+  bool closing = false;
+  bool fatal = false;
+  std::string fatal_msg;
+  Clock::time_point t0;
+  obs::TraceRecorder* rec = nullptr;
+  std::vector<std::jthread> workers;
+  bool finished = false;
+  StreamReport report;
+  // resolve_binding scratch for External/Nothing kinds (never touched).
+  std::vector<std::optional<TaskOutputs>> no_outs;
+
+  Impl(const FlattenResult& f, const Schedule& schedule, const Machine& m,
+       StreamOptions options);
+
+  void wire(const Schedule& schedule);
+  void bump_gen() {
+    {
+      std::lock_guard lock(mu);
+      ++gen;
+    }
+    cv.notify_all();
+  }
+  bool try_advance(Lane& ln, TaskScratch& scratch);
+  void execute_stage(Lane& ln, Stage& st, TaskScratch& scratch);
+  void complete_stage(Lane& ln, Stage& st);
+  void finalize_batch(BatchState& bs);  // mu held
+  void worker_main(std::size_t worker_idx);
+  StreamReport build_report();
+};
+
+StreamExecutor::Impl::Impl(const FlattenResult& f, const Schedule& schedule,
+                           const Machine& m, StreamOptions options)
+    : flat(f), machine(m), opt(std::move(options)) {
+  if (schedule.num_procs() != machine.num_procs()) {
+    fail(ErrorCode::Schedule, "schedule/machine processor count mismatch");
+  }
+  if (opt.run.faults != nullptr && !opt.run.faults->empty()) {
+    fail(ErrorCode::Runtime,
+         "fault plans are not supported in streaming mode");
+  }
+  // The stream manages value lifetimes itself (each consumer owns the
+  // packet it popped), so the plan's sole-use move machinery stays off.
+  plan = build_plan(flat, opt.run, TakePlan{/*allow=*/false});
+  writes_store.assign(flat.graph.num_tasks(), false);
+  for (const auto& writers : plan.store_writers) {
+    for (const StoreWriter& w : writers) writes_store[w.task] = true;
+  }
+  wire(schedule);
+
+  const std::size_t usable_lanes = std::max<std::size_t>(lanes.size(), 1);
+  threads_n = std::min<std::size_t>(
+      static_cast<std::size_t>(util::resolve_jobs(opt.jobs)), usable_lanes);
+  if (threads_n == 0) threads_n = 1;
+  window_cap = opt.window != 0 ? opt.window
+                               : std::max<std::size_t>(2 * threads_n, 4);
+  rec = obs::current();
+  t0 = Clock::now();
+  workers.reserve(lanes.empty() ? 0 : threads_n);
+  if (!lanes.empty()) {
+    for (std::size_t w = 0; w < threads_n; ++w) {
+      workers.emplace_back([this, w] { worker_main(w); });
+    }
+  }
+}
+
+void StreamExecutor::Impl::wire(const Schedule& schedule) {
+  const graph::TaskGraph& g = flat.graph;
+  std::vector<std::vector<sched::Placement>> all = schedule.lanes();
+  for (ProcId p = 0; p < machine.num_procs(); ++p) {
+    const auto& src = all[static_cast<std::size_t>(p)];
+    if (src.empty()) continue;
+    Lane ln;
+    ln.proc = p;
+    ln.stages.reserve(src.size());
+    for (const sched::Placement& pl : src) {
+      Stage st;
+      st.pl = pl;
+      st.primary = !pl.duplicate;
+      ln.stages.push_back(std::move(st));
+    }
+    lanes.push_back(std::move(ln));
+  }
+  // Same validation Executor::run applies.
+  {
+    std::vector<int> seen(g.num_tasks(), 0);
+    for (const Lane& ln : lanes)
+      for (const Stage& st : ln.stages)
+        if (st.primary) ++seen[st.pl.task];
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      if (seen[t] != 1) {
+        fail(ErrorCode::Schedule, "task `" + g.task(t).name +
+                                      "` has no unique primary placement");
+      }
+    }
+  }
+  // Canonical stage order (error canonicalisation, transcript/run
+  // assembly) and the copy lookup used by source selection.
+  std::vector<std::vector<std::pair<int, int>>> stages_of(g.num_tasks());
+  {
+    struct Key {
+      double start;
+      ProcId proc;
+      bool dup;
+      int lane;
+      int pos;
+    };
+    std::vector<Key> keys;
+    for (std::size_t li = 0; li < lanes.size(); ++li) {
+      for (std::size_t si = 0; si < lanes[li].stages.size(); ++si) {
+        const Stage& st = lanes[li].stages[si];
+        keys.push_back({st.pl.start, st.pl.proc, st.pl.duplicate,
+                        static_cast<int>(li), static_cast<int>(si)});
+        stages_of[st.pl.task].push_back(
+            {static_cast<int>(li), static_cast<int>(si)});
+        ++stage_count;
+      }
+    }
+    std::sort(keys.begin(), keys.end(), [](const Key& a, const Key& b) {
+      return std::tie(a.start, a.proc, a.dup, a.lane, a.pos) <
+             std::tie(b.start, b.proc, b.dup, b.lane, b.pos);
+    });
+    for (std::size_t i = 0; i < keys.size(); ++i) {
+      lanes[static_cast<std::size_t>(keys[i].lane)]
+          .stages[static_cast<std::size_t>(keys[i].pos)]
+          .order = i;
+    }
+  }
+  // Source selection per stage per producer-bound input. The chosen copy
+  // must satisfy the validator's arrival criterion against *this* stage,
+  // which is what makes the pipeline deadlock-free.
+  for (std::size_t li = 0; li < lanes.size(); ++li) {
+    Lane& ln = lanes[li];
+    for (std::size_t si = 0; si < ln.stages.size(); ++si) {
+      Stage& st = ln.stages[si];
+      const graph::Task& task = g.task(st.pl.task);
+      const TaskPlan& tp = plan.tasks[st.pl.task];
+      st.sources.assign(tp.inputs.size(), StageSource{});
+      st.keep_after_bind.assign(tp.inputs.size(), false);
+      for (const OutputPlan& op : tp.outputs) {
+        if (op.pass_input >= 0) {
+          st.keep_after_bind[static_cast<std::size_t>(op.pass_input)] = true;
+        }
+      }
+      for (std::size_t bi = 0; bi < tp.inputs.size(); ++bi) {
+        const InputBinding& b = tp.inputs[bi];
+        if (b.kind != InputBinding::Kind::Producer) continue;
+        double bytes = 0.0;
+        for (graph::EdgeId e : g.in_edges(st.pl.task)) {
+          if (g.edge(e).from == b.producer) {
+            bytes = g.edge(e).bytes;
+            break;
+          }
+        }
+        // Prefer a same-lane earlier copy: a direct local read, no
+        // queue, no copy across threads.
+        int best_pos = -1;
+        for (const auto& [plg, pos] : stages_of[b.producer]) {
+          if (static_cast<std::size_t>(plg) != li) continue;
+          if (static_cast<std::size_t>(pos) >= si) continue;
+          const sched::Placement& pp =
+              lanes[static_cast<std::size_t>(plg)]
+                  .stages[static_cast<std::size_t>(pos)]
+                  .pl;
+          if (pp.finish > st.pl.start + kArrivalTolerance) continue;
+          if (best_pos < 0 ||
+              pp.finish < ln.stages[static_cast<std::size_t>(best_pos)]
+                              .pl.finish) {
+            best_pos = pos;
+          }
+        }
+        StageSource src;
+        src.producer_out = b.producer_out;
+        if (best_pos >= 0) {
+          src.kind = StageSource::Kind::Local;
+          src.local_stage = best_pos;
+          ln.stages[static_cast<std::size_t>(best_pos)].local_needed = true;
+        } else {
+          // Any copy whose data arrives in time under the comm model.
+          int q_lane = -1;
+          int q_pos = -1;
+          for (const auto& [plg, pos] : stages_of[b.producer]) {
+            // Same-lane later copies cannot feed us (lane order).
+            if (static_cast<std::size_t>(plg) == li) continue;
+            const sched::Placement& pp =
+                lanes[static_cast<std::size_t>(plg)]
+                    .stages[static_cast<std::size_t>(pos)]
+                    .pl;
+            if (pp.finish + machine.comm_time(bytes, pp.proc, st.pl.proc) >
+                st.pl.start + kArrivalTolerance) {
+              continue;
+            }
+            if (q_lane < 0) {
+              q_lane = plg;
+              q_pos = pos;
+              continue;
+            }
+            const sched::Placement& cur =
+                lanes[static_cast<std::size_t>(q_lane)]
+                    .stages[static_cast<std::size_t>(q_pos)]
+                    .pl;
+            if (std::tie(pp.finish, pp.proc, pp.duplicate) <
+                std::tie(cur.finish, cur.proc, cur.duplicate)) {
+              q_lane = plg;
+              q_pos = pos;
+            }
+          }
+          if (q_lane < 0) {
+            fail(ErrorCode::Schedule,
+                 "no scheduled copy of task `" + g.task(b.producer).name +
+                     "` delivers `" + task.inputs[b.var] + "` to task `" +
+                     task.name + "` by its start time");
+          }
+          src.kind = StageSource::Kind::Queue;
+          src.queue = static_cast<int>(queues.size());
+          queues.push_back(
+              std::make_unique<SpscQueue>(opt.queue_capacity));
+          Stage& prod = lanes[static_cast<std::size_t>(q_lane)]
+                            .stages[static_cast<std::size_t>(q_pos)];
+          prod.pushes.push_back({src.queue, b.producer_out});
+          queue_names.push_back(
+              g.task(b.producer).name + "@" + std::to_string(prod.pl.proc) +
+              "->" + task.name + "@" + std::to_string(st.pl.proc) + ":" +
+              task.inputs[b.var]);
+        }
+        st.sources[bi] = src;
+      }
+    }
+  }
+}
+
+void StreamExecutor::Impl::execute_stage(Lane& ln, Stage& st,
+                                         TaskScratch& scratch) {
+  const graph::TaskGraph& g = flat.graph;
+  const graph::Task& task = g.task(st.pl.task);
+  const TaskPlan& tp = plan.tasks[st.pl.task];
+
+  ln.outputs.clear();
+  ln.transcript.clear();
+  ln.has_error = false;
+  ln.run = TaskRun{};
+  ln.run.task = st.pl.task;
+  ln.run.proc = ln.proc;
+  ln.run.duplicate = st.pl.duplicate;
+
+  bool skip = false;
+  for (std::size_t i = 0; i < st.sources.size(); ++i) {
+    if (st.sources[i].kind != StageSource::Kind::None &&
+        !ln.gathered[i]->ok) {
+      skip = true;
+      break;
+    }
+  }
+  if (skip) {
+    // An upstream stage of this batch failed; propagate absence. The
+    // batch already carries (or will carry) the canonical error.
+    ln.exec_ok = false;
+    ++st.skipped;
+    ln.executed = true;
+  } else {
+    const auto begin = Clock::now();
+    ln.run.wall_start = seconds_since(t0);
+    try {
+      Env env;
+      const bool slots = plan.vm_engine && tp.chunk != nullptr;
+      if (slots) scratch.frame.prepare(*tp.chunk);
+      for (std::size_t i = 0; i < tp.inputs.size(); ++i) {
+        const InputBinding& b = tp.inputs[i];
+        Value v;
+        if (st.sources[i].kind == StageSource::Kind::None) {
+          // External store or nothing: the shared resolver raises the
+          // exact historical diagnostics.
+          v = resolve_binding(task, b, *ln.inputs, no_outs);
+        } else {
+          Packet& pk = *ln.gathered[i];
+          v = st.keep_after_bind[i] ? pk.value : std::move(pk.value);
+        }
+        if (slots) {
+          if (b.slot >= 0) {
+            scratch.frame.bind(static_cast<std::uint16_t>(b.slot),
+                               std::move(v));
+          }
+        } else {
+          env[task.inputs[b.var]] = std::move(v);
+        }
+      }
+      ln.outputs = execute_task_with(
+          flat, plan, st.pl.task, slots, std::move(env), scratch, opt.run,
+          [&](const InputBinding& b) -> Value {
+            if (st.sources[b.var].kind == StageSource::Kind::None) {
+              return resolve_binding(task, b, *ln.inputs, no_outs);
+            }
+            return ln.gathered[b.var]->value;  // kept by keep_after_bind
+          },
+          st.primary ? &ln.transcript : nullptr);
+      ln.exec_ok = true;
+      ++st.processed;
+    } catch (const Error& e) {
+      ln.exec_ok = false;
+      ln.has_error = true;
+      ln.error_code = e.code();
+      ln.error = e.message();
+      ln.error_pos = e.pos();
+    }
+    ln.run.wall_finish = seconds_since(t0);
+    st.busy_seconds += std::chrono::duration<double>(Clock::now() - begin)
+                           .count();
+    ln.executed = true;
+  }
+
+  // Exactly one packet per out-queue per batch, present or absent.
+  ln.pending.clear();
+  ln.pending_pos = 0;
+  ln.push_stall_counted = false;
+  ln.pending.reserve(st.pushes.size());
+  for (const StagePush& sp : st.pushes) {
+    Packet p;
+    p.ok = ln.exec_ok;
+    if (ln.exec_ok) p.value = ln.outputs[sp.producer_out];
+    ln.pending.push_back(std::move(p));
+  }
+}
+
+void StreamExecutor::Impl::complete_stage(Lane& ln, Stage& st) {
+  {
+    std::lock_guard lock(mu);
+    BatchState& bs = batches[static_cast<std::size_t>(ln.batch - window_base)];
+    if (ln.exec_ok) {
+      if (st.primary) {
+        if (writes_store[st.pl.task]) {
+          bs.task_outputs[st.pl.task] = ln.outputs;  // copy; local may read
+        }
+        bs.transcripts[st.order] = std::move(ln.transcript);
+      }
+      bs.runs[st.order] = ln.run;
+    } else if (ln.has_error) {
+      if (!bs.has_error ||
+          std::tie(st.pl.start, st.pl.proc, st.pl.duplicate) <
+              std::tie(bs.error_start, bs.error_proc, bs.error_dup)) {
+        bs.has_error = true;
+        bs.error_code = ln.error_code;
+        bs.error = ln.error;
+        bs.error_pos = ln.error_pos;
+        bs.error_start = st.pl.start;
+        bs.error_proc = st.pl.proc;
+        bs.error_dup = st.pl.duplicate;
+      }
+    }
+    --bs.remaining;
+    if (bs.remaining == 0) finalize_batch(bs);
+    ++gen;
+  }
+  cv.notify_all();
+  // Lane-local storage for later same-lane consumers (outside the lock:
+  // lane state is single-threaded).
+  if (st.local_needed && ln.exec_ok) {
+    ln.local[ln.stage_idx] = std::move(ln.outputs);
+  }
+  ln.outputs.clear();
+}
+
+void StreamExecutor::Impl::finalize_batch(BatchState& bs) {
+  bs.done = true;
+  TrialOutcome& out = bs.outcome;
+  if (bs.has_error) {
+    out.ok = false;
+    out.error_code = bs.error_code;
+    // The exact wrapper Executor::run applies when rethrowing a worker
+    // failure (single-failure case).
+    out.error = "worker " + std::to_string(bs.error_proc) + ": " + bs.error;
+    out.error_pos = bs.error_pos;
+  } else {
+    out.ok = true;
+    RunResult r;
+    r.runs.reserve(bs.runs.size());
+    for (std::size_t i = 0; i < bs.runs.size(); ++i) {
+      r.transcript += bs.transcripts[i];
+      r.runs.push_back(bs.runs[i]);
+    }
+    collect_stores(flat, plan, bs.task_outputs, *bs.inputs, r);
+    r.wall_seconds = seconds_since(t0) - bs.started;
+    out.result = std::move(r);
+  }
+  ++completed;
+  // Free per-batch bookkeeping early; only the outcome must survive
+  // until delivery.
+  bs.task_outputs.clear();
+  bs.transcripts.clear();
+  bs.runs.clear();
+  bs.inputs.reset();
+}
+
+bool StreamExecutor::Impl::try_advance(Lane& ln, TaskScratch& scratch) {
+  if (ln.stages.empty()) return false;
+  bool progress = false;
+  for (;;) {
+    if (!ln.batch_open) {
+      std::lock_guard lock(mu);
+      if (ln.batch >= pushed) return progress;  // nothing admitted yet
+      BatchState& bs =
+          batches[static_cast<std::size_t>(ln.batch - window_base)];
+      ln.inputs = bs.inputs;
+      ln.batch_open = true;
+      ln.stage_idx = 0;
+      ln.local.assign(ln.stages.size(), std::nullopt);
+      progress = true;
+    }
+    Stage& st = ln.stages[ln.stage_idx];
+    if (!ln.executed) {
+      if (!ln.gather_ready) {
+        ln.gathered.assign(st.sources.size(), std::nullopt);
+        ln.stall_counted.assign(st.sources.size(), false);
+        ln.gather_ready = true;
+      }
+      bool all = true;
+      for (std::size_t i = 0; i < st.sources.size(); ++i) {
+        if (ln.gathered[i].has_value()) continue;
+        const StageSource& src = st.sources[i];
+        if (src.kind == StageSource::Kind::None) {
+          ln.gathered[i] = Packet{Value{}, true};
+          continue;
+        }
+        if (src.kind == StageSource::Kind::Local) {
+          const auto& lo =
+              ln.local[static_cast<std::size_t>(src.local_stage)];
+          Packet p;
+          if (lo.has_value()) {
+            p.ok = true;
+            p.value = (*lo)[src.producer_out];
+          }
+          ln.gathered[i] = std::move(p);
+          progress = true;
+          continue;
+        }
+        Packet p;
+        if (queues[static_cast<std::size_t>(src.queue)]->try_pop(p)) {
+          ln.gathered[i] = std::move(p);
+          progress = true;
+        } else {
+          if (!ln.stall_counted[i]) {
+            ++queues[static_cast<std::size_t>(src.queue)]->empty_stalls;
+            ln.stall_counted[i] = true;
+          }
+          all = false;
+        }
+      }
+      if (!all) return progress;
+      execute_stage(ln, st, scratch);
+      progress = true;
+    }
+    while (ln.pending_pos < ln.pending.size()) {
+      const StagePush& sp = st.pushes[ln.pending_pos];
+      if (queues[static_cast<std::size_t>(sp.queue)]->try_push(
+              std::move(ln.pending[ln.pending_pos]))) {
+        ++ln.pending_pos;
+        ln.push_stall_counted = false;
+        progress = true;
+      } else {
+        if (!ln.push_stall_counted) {
+          ++queues[static_cast<std::size_t>(sp.queue)]->full_stalls;
+          ln.push_stall_counted = true;
+        }
+        return progress;
+      }
+    }
+    complete_stage(ln, st);
+    progress = true;
+    ln.executed = false;
+    ln.gather_ready = false;
+    ln.gathered.clear();
+    ln.pending.clear();
+    ln.pending_pos = 0;
+    ++ln.stage_idx;
+    if (ln.stage_idx == ln.stages.size()) {
+      ++ln.batch;
+      ln.batch_open = false;
+      ln.inputs.reset();
+      // Loop: try to open the next batch immediately.
+    }
+  }
+}
+
+void StreamExecutor::Impl::worker_main(std::size_t worker_idx) {
+  // Adopt the launching thread's ambient recorder so PITS engine
+  // counters bumped inside task routines aggregate as usual.
+  std::optional<obs::ScopedRecorder> ambient;
+  if (rec != nullptr) ambient.emplace(*rec);
+  TaskScratch scratch;
+  std::vector<std::size_t> owned;
+  for (std::size_t li = worker_idx; li < lanes.size(); li += threads_n) {
+    owned.push_back(li);
+  }
+  try {
+    for (;;) {
+      std::uint64_t seen = 0;
+      {
+        std::lock_guard lock(mu);
+        seen = gen;  // snapshot BEFORE scanning: no lost wakeups
+      }
+      bool progress = false;
+      for (std::size_t li : owned) {
+        progress = try_advance(lanes[li], scratch) || progress;
+      }
+      if (progress) {
+        bump_gen();  // someone downstream may be sleeping on our pushes
+        continue;
+      }
+      std::unique_lock lock(mu);
+      if (fatal) return;
+      if (closing) {
+        bool idle = true;
+        for (std::size_t li : owned) {
+          if (lanes[li].batch_open || lanes[li].batch < pushed) {
+            idle = false;
+            break;
+          }
+        }
+        if (idle) return;
+      }
+      cv.wait(lock, [&] { return gen != seen || fatal; });
+    }
+  } catch (const std::exception& e) {
+    std::lock_guard lock(mu);
+    fatal = true;
+    fatal_msg = std::string("internal error in stream worker: ") + e.what();
+    ++gen;
+    cv.notify_all();
+  } catch (...) {
+    std::lock_guard lock(mu);
+    fatal = true;
+    fatal_msg = "internal error in stream worker";
+    ++gen;
+    cv.notify_all();
+  }
+}
+
+StreamReport StreamExecutor::Impl::build_report() {
+  StreamReport rep;
+  rep.batches = completed;
+  rep.wall_seconds = seconds_since(t0);
+  rep.threads = lanes.empty() ? 0 : threads_n;
+  // Blocks in canonical stage order.
+  std::vector<const Stage*> ordered(stage_count, nullptr);
+  for (const Lane& ln : lanes) {
+    for (const Stage& st : ln.stages) ordered[st.order] = &st;
+  }
+  for (const Stage* st : ordered) {
+    if (st == nullptr) continue;
+    BlockStats b;
+    b.name = flat.graph.task(st->pl.task).name + "@" +
+             std::to_string(st->pl.proc);
+    if (st->pl.duplicate) b.name += "+dup";
+    b.task = st->pl.task;
+    b.proc = st->pl.proc;
+    b.duplicate = st->pl.duplicate;
+    b.processed = st->processed;
+    b.skipped = st->skipped;
+    b.busy_seconds = st->busy_seconds;
+    b.dead_seconds = std::max(0.0, rep.wall_seconds - st->busy_seconds);
+    rep.blocks.push_back(std::move(b));
+  }
+  for (std::size_t q = 0; q < queues.size(); ++q) {
+    const SpscQueue& sq = *queues[q];
+    QueueStats s;
+    s.name = queue_names[q];
+    s.capacity = sq.capacity();
+    s.pushes = sq.pushes;
+    s.max_occupancy = sq.max_occupancy;
+    s.avg_occupancy =
+        sq.pushes > 0 ? sq.occupancy_sum / static_cast<double>(sq.pushes)
+                      : 0.0;
+    s.full_stalls = sq.full_stalls;
+    s.empty_stalls = sq.empty_stalls;
+    rep.queues.push_back(std::move(s));
+  }
+  return rep;
+}
+
+// ---- StreamReport ----------------------------------------------------
+
+std::string StreamReport::render() const {
+  std::string out = "streaming execution report: " +
+                    std::to_string(batches) + " batch" +
+                    (batches == 1 ? "" : "es") + ", " +
+                    std::to_string(threads) + " thread" +
+                    (threads == 1 ? "" : "s") + ", " +
+                    util::format_double(wall_seconds, 4) + "s wall, " +
+                    util::format_double(batches_per_second(), 6) +
+                    " batches/s\n";
+  if (!blocks.empty()) {
+    util::Table table;
+    table.set_header({"block", "proc", "processed", "skipped", "busy s",
+                      "dead s", "dead %"});
+    for (const BlockStats& b : blocks) {
+      const double dead_pct =
+          wall_seconds > 0.0 ? 100.0 * b.dead_seconds / wall_seconds : 0.0;
+      table.add_row({b.name, std::to_string(b.proc),
+                     std::to_string(b.processed), std::to_string(b.skipped),
+                     util::format_double(b.busy_seconds, 4),
+                     util::format_double(b.dead_seconds, 4),
+                     util::format_double(dead_pct, 4)});
+    }
+    out += table.to_string(2);
+  }
+  if (!queues.empty()) {
+    util::Table table;
+    table.set_header({"queue", "cap", "pushes", "max occ", "avg occ",
+                      "full stalls", "empty stalls"});
+    for (const QueueStats& q : queues) {
+      table.add_row({q.name, std::to_string(q.capacity),
+                     std::to_string(q.pushes),
+                     std::to_string(q.max_occupancy),
+                     util::format_double(q.avg_occupancy, 4),
+                     std::to_string(q.full_stalls),
+                     std::to_string(q.empty_stalls)});
+    }
+    out += table.to_string(2);
+  }
+  return out;
+}
+
+void StreamReport::record(obs::TraceRecorder& rec) const {
+  rec.bump("exec.stream_batches", static_cast<double>(batches));
+  rec.set_metric("stream.batches", static_cast<double>(batches));
+  rec.set_metric("stream.wall_seconds", wall_seconds);
+  rec.set_metric("stream.batches_per_second", batches_per_second());
+  rec.set_metric("stream.threads", static_cast<double>(threads));
+  for (const BlockStats& b : blocks) {
+    const std::string prefix = "stream.block." + b.name;
+    rec.set_metric(prefix + ".processed", static_cast<double>(b.processed));
+    rec.set_metric(prefix + ".skipped", static_cast<double>(b.skipped));
+    rec.set_metric(prefix + ".busy_seconds", b.busy_seconds);
+    rec.set_metric(prefix + ".dead_seconds", b.dead_seconds);
+    rec.set_metric(prefix + ".throughput",
+                   wall_seconds > 0.0
+                       ? static_cast<double>(b.processed) / wall_seconds
+                       : 0.0);
+  }
+  for (const QueueStats& q : queues) {
+    const std::string prefix = "stream.queue." + q.name;
+    rec.set_metric(prefix + ".pushes", static_cast<double>(q.pushes));
+    rec.set_metric(prefix + ".max_occupancy",
+                   static_cast<double>(q.max_occupancy));
+    rec.set_metric(prefix + ".avg_occupancy", q.avg_occupancy);
+    rec.set_metric(prefix + ".full_stalls",
+                   static_cast<double>(q.full_stalls));
+    rec.set_metric(prefix + ".empty_stalls",
+                   static_cast<double>(q.empty_stalls));
+  }
+}
+
+// ---- StreamExecutor --------------------------------------------------
+
+StreamExecutor::StreamExecutor(const FlattenResult& flat,
+                               const Schedule& schedule,
+                               const Machine& machine, StreamOptions options)
+    : impl_(std::make_unique<Impl>(flat, schedule, machine,
+                                   std::move(options))) {}
+
+StreamExecutor::~StreamExecutor() {
+  if (impl_ != nullptr && !impl_->finished) {
+    {
+      std::lock_guard lock(impl_->mu);
+      impl_->closing = true;
+      ++impl_->gen;
+    }
+    impl_->cv.notify_all();
+    impl_->workers.clear();  // join
+  }
+}
+
+void StreamExecutor::push(std::map<std::string, pits::Value> inputs) {
+  Impl& im = *impl_;
+  std::unique_lock lock(im.mu);
+  if (im.closing) fail(ErrorCode::Runtime, "push on a finished stream");
+  im.cv.wait(lock, [&] {
+    return im.fatal || im.pushed - im.completed < im.window_cap;
+  });
+  if (im.fatal) fail(ErrorCode::Runtime, im.fatal_msg);
+  BatchState bs;
+  bs.inputs = std::make_shared<const ExternalInputs>(std::move(inputs));
+  bs.remaining = im.stage_count;
+  bs.task_outputs.resize(im.flat.graph.num_tasks());
+  bs.transcripts.resize(im.stage_count);
+  bs.runs.resize(im.stage_count);
+  bs.started = seconds_since(im.t0);
+  im.batches.push_back(std::move(bs));
+  ++im.pushed;
+  if (im.batches.back().remaining == 0) {
+    // Degenerate pipeline (no stages): the batch is already complete.
+    im.finalize_batch(im.batches.back());
+  }
+  ++im.gen;
+  lock.unlock();
+  im.cv.notify_all();
+}
+
+std::optional<TrialOutcome> StreamExecutor::try_pop() {
+  Impl& im = *impl_;
+  std::lock_guard lock(im.mu);
+  if (im.fatal) fail(ErrorCode::Runtime, im.fatal_msg);
+  if (im.batches.empty() || !im.batches.front().done) return std::nullopt;
+  TrialOutcome out = std::move(im.batches.front().outcome);
+  im.batches.pop_front();
+  ++im.window_base;
+  ++im.delivered;
+  return out;
+}
+
+TrialOutcome StreamExecutor::pop() {
+  Impl& im = *impl_;
+  std::unique_lock lock(im.mu);
+  if (im.pushed == im.delivered) {
+    fail(ErrorCode::Runtime, "pop with no outstanding batch");
+  }
+  im.cv.wait(lock, [&] {
+    return im.fatal || (!im.batches.empty() && im.batches.front().done);
+  });
+  if (im.fatal) fail(ErrorCode::Runtime, im.fatal_msg);
+  TrialOutcome out = std::move(im.batches.front().outcome);
+  im.batches.pop_front();
+  ++im.window_base;
+  ++im.delivered;
+  return out;
+}
+
+std::uint64_t StreamExecutor::outstanding() const {
+  const Impl& im = *impl_;
+  std::lock_guard lock(im.mu);
+  return im.pushed - im.delivered;
+}
+
+StreamReport StreamExecutor::finish() {
+  Impl& im = *impl_;
+  {
+    std::lock_guard lock(im.mu);
+    if (im.finished) return im.report;
+    im.closing = true;
+    ++im.gen;
+  }
+  im.cv.notify_all();
+  im.workers.clear();  // join; workers drain every admitted batch first
+  if (im.fatal) fail(ErrorCode::Runtime, im.fatal_msg);
+  im.report = im.build_report();
+  im.finished = true;
+  if (im.rec != nullptr) im.report.record(*im.rec);
+  return im.report;
+}
+
+StreamResult run_stream(const FlattenResult& flat, const Schedule& schedule,
+                        const Machine& machine,
+                        const std::vector<std::map<std::string, pits::Value>>& batches,
+                        const StreamOptions& options) {
+  StreamExecutor ex(flat, schedule, machine, options);
+  StreamResult out;
+  out.outcomes.reserve(batches.size());
+  for (const auto& batch : batches) {
+    ex.push(batch);  // blocks on backpressure; drained below keeps it short
+    while (auto ready = ex.try_pop()) {
+      out.outcomes.push_back(std::move(*ready));
+    }
+  }
+  while (ex.outstanding() > 0) {
+    out.outcomes.push_back(ex.pop());
+  }
+  out.report = ex.finish();
+  return out;
+}
+
+}  // namespace banger::exec

@@ -57,6 +57,29 @@ std::vector<Placement> Schedule::lane(ProcId proc) const {
   return out;
 }
 
+std::vector<std::vector<Placement>> Schedule::lanes() const {
+  std::vector<std::vector<Placement>> out(
+      static_cast<std::size_t>(std::max(0, num_procs_)));
+  for (const Placement& p : placements_) {
+    if (p.proc >= 0 && p.proc < num_procs_) {
+      out[static_cast<std::size_t>(p.proc)].push_back(p);
+    }
+  }
+  for (auto& lane : out) {
+    std::sort(lane.begin(), lane.end(),
+              [](const Placement& a, const Placement& b) {
+                // Fully deterministic: zero-length placements may share a
+                // start time, and executors that map lanes to persistent
+                // stages need every run to see the same order.
+                if (a.start != b.start) return a.start < b.start;
+                if (a.finish != b.finish) return a.finish < b.finish;
+                if (a.task != b.task) return a.task < b.task;
+                return a.duplicate < b.duplicate;
+              });
+  }
+  return out;
+}
+
 double Schedule::makespan() const noexcept {
   double m = 0.0;
   for (const Placement& p : placements_) m = std::max(m, p.finish);

@@ -73,6 +73,13 @@ class Schedule {
   /// Placements on one processor, sorted by start time.
   [[nodiscard]] std::vector<Placement> lane(ProcId proc) const;
 
+  /// All lanes at once (index = processor), each in a fully
+  /// deterministic order: by start, then finish, task, and duplicate
+  /// flag, so ties between zero-length placements never reorder between
+  /// runs. Executors that turn lanes into persistent pipeline stages
+  /// rely on this stability.
+  [[nodiscard]] std::vector<std::vector<Placement>> lanes() const;
+
   /// Latest finish over all placements (0 for an empty schedule).
   [[nodiscard]] double makespan() const noexcept;
   /// Busy time on a processor.

@@ -105,13 +105,26 @@ Request parse_request(const Json& doc) {
         }
         req.inputs_batch.push_back(parse_inputs_object(trial));
       }
+    } else if (key == "inputs_stream") {
+      if (value.kind() != Json::Kind::Array) {
+        usage("request field `inputs_stream` expects an array of "
+              "VAR -> EXPR objects");
+      }
+      req.has_inputs_stream = true;
+      for (const Json& batch : value.as_array()) {
+        if (!batch.is_object()) {
+          usage("each `inputs_stream` entry expects an object of "
+                "VAR -> EXPR");
+        }
+        req.inputs_stream.push_back(parse_inputs_object(batch));
+      }
     } else {
       usage("unknown request field `" + key + "`");
     }
   }
   if (req.op.empty()) {
     usage("request needs an `op` field "
-          "(ping|upload|schedule|trial|check|trace|stats|shutdown)");
+          "(ping|upload|schedule|trial|stream|check|trace|stats|shutdown)");
   }
   if (!req.design.empty() && !req.design_ref.empty()) {
     usage("give either `design` or `design_ref`, not both");
@@ -121,6 +134,10 @@ Request parse_request(const Json& doc) {
   }
   if (!req.inputs.empty() && req.has_inputs_batch) {
     usage("give either `inputs` or `inputs_batch`, not both");
+  }
+  if (req.has_inputs_stream && (!req.inputs.empty() || req.has_inputs_batch)) {
+    usage("give either `inputs`, `inputs_batch`, or `inputs_stream`, "
+          "not several");
   }
   return req;
 }

@@ -27,7 +27,7 @@ namespace banger::serve {
 
 struct Request {
   Json id;          ///< echoed verbatim in the response (defaults to null)
-  std::string op;   ///< ping|upload|schedule|trial|check|trace|stats|shutdown
+  std::string op;   ///< ping|upload|schedule|trial|stream|check|trace|stats|shutdown
   std::string design;       ///< inline `.pitl` text
   std::string design_ref;   ///< or: name of an uploaded design
   std::string machine;      ///< inline `.machine` text
@@ -46,6 +46,11 @@ struct Request {
   /// Mutually exclusive with `inputs`.
   std::vector<std::map<std::string, std::string>> inputs_batch;
   bool has_inputs_batch = false;  ///< `inputs_batch` key present (may be [])
+  /// stream envelope: one store -> expr object per batch, streamed in
+  /// order through the pipeline executor by a single request. Mutually
+  /// exclusive with `inputs` and `inputs_batch`.
+  std::vector<std::map<std::string, std::string>> inputs_stream;
+  bool has_inputs_stream = false;  ///< `inputs_stream` key present (may be [])
   bool contention = false;      ///< trace: per-link queueing
 };
 

@@ -79,6 +79,31 @@ TrialBatchRender render_trial_batch(
   return r;
 }
 
+TrialBatchRender render_stream_batches(
+    const std::vector<exec::TrialOutcome>& outcomes) {
+  TrialBatchRender r;
+  const std::string total = std::to_string(outcomes.size());
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const exec::TrialOutcome& batch = outcomes[i];
+    r.text += "=== batch " + std::to_string(i + 1) + " of " + total +
+              " ===\n";
+    if (batch.ok) {
+      r.text += render_run_result(batch.result, /*include_wall=*/false);
+      continue;
+    }
+    r.text +=
+        "error[" + std::string(to_string(batch.error_code)) + "]: " +
+        batch.error;
+    if (batch.error_pos.valid()) {
+      r.text += " (line " + std::to_string(batch.error_pos.line) +
+                ", column " + std::to_string(batch.error_pos.column) + ")";
+    }
+    r.text += "\n";
+    r.exit_code = 1;
+  }
+  return r;
+}
+
 CheckRender render_check(const graph::Design& design,
                          const std::string& format,
                          const std::string& fail_on,

@@ -49,6 +49,14 @@ struct TrialBatchRender {
 TrialBatchRender render_trial_batch(
     const std::vector<exec::TrialOutcome>& outcomes);
 
+/// Streaming output, shared by `banger stream --inputs` and the serve
+/// `inputs_stream` envelope: one `=== batch K of N ===` block per input
+/// batch in push order, each rendered exactly like the equivalent
+/// one-shot `banger run` (or the error that run would have raised).
+/// `exit_code` is 1 when any batch failed.
+TrialBatchRender render_stream_batches(
+    const std::vector<exec::TrialOutcome>& outcomes);
+
 /// `banger check` output plus its exit status (1 when diagnostics at or
 /// above the --fail-on threshold exist). `file_label` is the file name
 /// stamped into diagnostics; `format` is text|json|sarif. The severity

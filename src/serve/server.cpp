@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "exec/executor.hpp"
+#include "exec/stream.hpp"
 #include "graph/serialize.hpp"
 #include "machine/serialize.hpp"
 #include "pits/interp.hpp"
@@ -233,6 +234,62 @@ Server::Rendered Server::respond(const Request& req) {
     return *rendered;
   }
 
+  if (req.op == "stream") {
+    if (!req.has_inputs_stream) {
+      fail(ErrorCode::Usage,
+           "op `stream` needs an `inputs_stream` array of batches");
+    }
+    const std::string design_text = resolve(req, false);
+    const std::string machine_text = resolve(req, true);
+    std::string inputs_key;
+    for (const auto& batch : req.inputs_stream) {
+      for (const auto& [var, expr] : batch) {
+        inputs_key += var;
+        inputs_key += '=';
+        inputs_key += expr;
+        inputs_key += kSep;
+      }
+      inputs_key += kSep;  // batch boundary
+    }
+    const CacheKey key{
+        "response",
+        util::fnv1a64(join_key({"stream", design_text, machine_text,
+                                req.scheduler, req.engine}) +
+                      inputs_key)};
+    const auto rendered = cache_.get_or_build<Rendered>(key, [&] {
+      const auto design = design_artifact(cache_, design_text);
+      const auto machine = machine_artifact(cache_, machine_text);
+      const auto schedule =
+          schedule_artifact(cache_, design_text, machine_text, req.scheduler,
+                            *design, *machine);
+      std::vector<std::map<std::string, pits::Value>> batches;
+      batches.reserve(req.inputs_stream.size());
+      for (const auto& batch : req.inputs_stream) {
+        auto& values = batches.emplace_back();
+        for (const auto& [var, expr] : batch) {
+          values[var] = pits::eval_expression(expr, {});
+        }
+      }
+      exec::StreamOptions stream_opts;
+      if (req.engine == "vm") {
+        stream_opts.run.pits.engine = pits::ExecOptions::Engine::Vm;
+      } else if (req.engine == "walk") {
+        stream_opts.run.pits.engine = pits::ExecOptions::Engine::Walk;
+      }
+      // jobs=1: concurrency belongs to the request loop, not inside a
+      // single cached build. One thread drives every lane cooperatively;
+      // outputs are identical for any value.
+      stream_opts.jobs = 1;
+      const exec::StreamResult result = exec::run_stream(
+          design->flat, *schedule, *machine, batches, stream_opts);
+      // Only the deterministic per-batch text enters the response (the
+      // timing-laden execution report lands on the metrics recorder).
+      const TrialBatchRender r = render_stream_batches(result.outcomes);
+      return std::make_shared<const Rendered>(Rendered{r.text, r.exit_code});
+    });
+    return *rendered;
+  }
+
   if (req.op == "check") {
     const std::string design_text = resolve(req, false);
     const std::string format = req.format.empty() ? "text" : req.format;
@@ -283,7 +340,7 @@ Server::Rendered Server::respond(const Request& req) {
 
   fail(ErrorCode::Usage,
        "unknown op `" + req.op +
-           "` (ping|upload|schedule|trial|check|trace|stats|shutdown)");
+           "` (ping|upload|schedule|trial|stream|check|trace|stats|shutdown)");
 }
 
 Json Server::dispatch(const Request& req) {

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "exec/executor.hpp"
+#include "exec/plan.hpp"
 #include "sched/heuristics.hpp"
 #include "workloads/designs.hpp"
 #include "workloads/graphs.hpp"
@@ -350,6 +351,97 @@ TEST(Parallel, StressRepeatedRunsStayDeterministic) {
     const auto result = executor.run(schedule, {});
     ASSERT_EQ(result.outputs.at("pi_est"), reference.outputs.at("pi_est"))
         << "round " << round;
+  }
+}
+
+TEST(ProgramCache, HotEntrySurvivesCapPressure) {
+  // Regression: the old policy cleared the ENTIRE cache at the cap, so
+  // a long-lived serve/stream process recompiled its whole working set
+  // the moment one design too many passed through. The segmented LRU
+  // must keep an entry that stays in use across generation flips.
+  ProgramCache cache(/*cap=*/4);
+  const std::string hot = "x := 1\n";
+  (void)cache.get(hot);  // compile once
+  EXPECT_EQ(cache.stats().misses, 1u);
+  // Flood with cold sources, re-touching the hot entry each round so it
+  // keeps getting promoted back into the hot generation.
+  for (int i = 0; i < 40; ++i) {
+    (void)cache.get("x := " + std::to_string(i + 2) + "\n");
+    (void)cache.get(hot);
+  }
+  const ProgramCache::Stats s = cache.stats();
+  EXPECT_GT(s.evictions, 0u);            // cap pressure really happened
+  EXPECT_EQ(s.misses, 41u);              // hot was never recompiled
+  (void)cache.get(hot);
+  EXPECT_EQ(cache.stats().misses, 41u);  // still cached after the flood
+}
+
+TEST(ProgramCache, ColdEntryIsEvictedUnderPressure) {
+  ProgramCache cache(/*cap=*/2);
+  const std::string once = "y := 7\n";
+  (void)cache.get(once);
+  for (int i = 0; i < 10; ++i) {
+    (void)cache.get("y := " + std::to_string(i + 100) + "\n");
+  }
+  const std::uint64_t before = cache.stats().misses;
+  (void)cache.get(once);  // two generations later: gone, recompiles
+  EXPECT_EQ(cache.stats().misses, before + 1);
+}
+
+TEST(TakePlan, SoleUseMoveReenabledWithoutDuplicates) {
+  // Follow-up to the duplicated-consumer fix: disabling moves for every
+  // scheduled run was overkill. With a schedule where each value is
+  // bound exactly once, the sole-use binding must be a take again.
+  auto g = workloads::chain_graph(3, 1.0, 8.0);
+  workloads::synthesize_pits(g);
+  auto flat = workloads::as_flatten(std::move(g));
+  auto m = make_machine(2);
+  const auto schedule = sched::MhScheduler().run(flat.graph, m);
+  ASSERT_EQ(schedule.num_duplicates(), 0);
+
+  const DesignPlan plan =
+      build_plan(flat, RunOptions{}, TakePlan{true, &schedule, false});
+  bool any_take = false;
+  for (const TaskPlan& tp : plan.tasks) {
+    for (const InputBinding& b : tp.inputs) {
+      any_take = any_take || b.take;
+    }
+  }
+  EXPECT_TRUE(any_take);
+}
+
+TEST(TakePlan, DuplicatedConsumerCountsEveryScheduledCopy) {
+  // The 031c342 scenario, now asserted at the plan level: `mid` has a
+  // duplicate placement, so src->mid is bound twice and must not be a
+  // take — while a schedule without the duplicate may move it.
+  auto g = workloads::chain_graph(3, 1.0, 8.0);
+  workloads::synthesize_pits(g);
+  auto flat = workloads::as_flatten(std::move(g));
+  auto m = make_machine(2);
+  const double d = m.task_time(1.0, 0);
+  const double gap = 0.02;
+  sched::Schedule schedule(2, "manual");
+  schedule.place(0, 0, 0.0, d);
+  schedule.place(1, 0, d + gap, 2 * d + gap);
+  schedule.place(1, 1, d + gap, 2 * d + gap, /*duplicate=*/true);
+  schedule.place(2, 1, 2 * d + 2 * gap, 3 * d + 2 * gap);
+  schedule.validate(flat.graph, m);
+
+  const DesignPlan plan =
+      build_plan(flat, RunOptions{}, TakePlan{true, &schedule, false});
+  // Task 1 (duplicated) reads task 0's value from two copies: no take.
+  for (const InputBinding& b : plan.tasks[1].inputs) {
+    if (b.kind == InputBinding::Kind::Producer) {
+      EXPECT_FALSE(b.take);
+    }
+  }
+  // A fault plan disables takes outright (rescue re-binds).
+  const DesignPlan faulty =
+      build_plan(flat, RunOptions{}, TakePlan{true, &schedule, true});
+  for (const TaskPlan& tp : faulty.tasks) {
+    for (const InputBinding& b : tp.inputs) {
+      EXPECT_FALSE(b.take);
+    }
   }
 }
 

@@ -523,6 +523,48 @@ TEST_F(ServeVsCli, TrialBatchMatchesCliByteForByte) {
   EXPECT_EQ(field(again, "exit").as_number(), 1);
 }
 
+TEST_F(ServeVsCli, StreamMatchesCliByteForByte) {
+  // The serve `stream` op mirrors `banger stream --inputs FILE`: same
+  // batches, same stdout bytes (the execution report goes to stderr in
+  // the CLI and is omitted from the response for cache determinism).
+  const std::string inputs_path = testing::TempDir() + "/serve_stream.txt";
+  std::ofstream(inputs_path)
+      << "A=[4,3,2,8,8,5,4,7,9]; b=[16,39,45]\n"
+      << "A=[4,3,2,8,8,5,4,7,9]; b=[32,78,90]\n";
+  const std::string expected =
+      cli({"stream", design_path_, machine_path_, "--inputs", inputs_path});
+
+  const auto make_stream = [] {
+    const char* rhs[] = {"[16,39,45]", "[32,78,90]"};
+    Json stream = Json::array();
+    for (const char* b : rhs) {
+      Json inputs = Json::object();
+      inputs.add("A", Json::string("[4,3,2,8,8,5,4,7,9]"));
+      inputs.add("b", Json::string(b));
+      stream.push(std::move(inputs));
+    }
+    return stream;
+  };
+  Server server;
+  const Json resp = Json::parse(server.handle_line(
+      request({{"op", Json::string("stream")},
+               {"design", Json::string(lu_design_text())},
+               {"machine", Json::string(kMachineText)},
+               {"inputs_stream", make_stream()}})));
+  ASSERT_TRUE(field(resp, "ok").as_bool()) << resp.dump();
+  EXPECT_EQ(field(resp, "output").as_string(), expected);
+  EXPECT_NE(field(resp, "output").as_string().find("=== batch 1 of 2 ==="),
+            std::string::npos);
+
+  // Replay hits the cache and returns the same bytes.
+  const Json again = Json::parse(server.handle_line(
+      request({{"op", Json::string("stream")},
+               {"design", Json::string(lu_design_text())},
+               {"machine", Json::string(kMachineText)},
+               {"inputs_stream", make_stream()}})));
+  EXPECT_EQ(field(again, "output").as_string(), expected);
+}
+
 TEST(ServeProtocol, InputsAndBatchAreMutuallyExclusive) {
   Json inputs = Json::object();
   inputs.add("x", Json::string("1"));

@@ -36,6 +36,7 @@ const char* const kHotBenchmarks[] = {
     "BM_PitsCompile",
     "BM_ExecRunVm",
     "BM_ExecRunBatch/4096",
+    "BM_ExecStream/1024",
     "BM_ServeTrialCached",
     "BM_ServeTrialBatch",
 };
