@@ -52,7 +52,13 @@ void BM_ScheduleMh(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(g.num_tasks()));
 }
-BENCHMARK(BM_ScheduleMh)->Arg(64)->Arg(256)->Arg(1024);
+BENCHMARK(BM_ScheduleMh)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536);
 
 void BM_ScheduleEtf(benchmark::State& state) {
   const auto g = sized_graph(static_cast<int>(state.range(0)));
@@ -64,7 +70,13 @@ void BM_ScheduleEtf(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(g.num_tasks()));
 }
-BENCHMARK(BM_ScheduleEtf)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_ScheduleEtf)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536);
 
 // Paired runs measuring the observability tax on the scheduler hot
 // path: BM_Sched has no recorder installed (the default), while
@@ -110,7 +122,12 @@ void BM_ScheduleDsh(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(g.num_tasks()));
 }
-BENCHMARK(BM_ScheduleDsh)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_ScheduleDsh)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Arg(4096)
+    ->Arg(16384);
 
 // Bake-off of all heuristics on one graph; range(1) is the worker
 // count (0 = all cores), encoded in the benchmark name — a counter

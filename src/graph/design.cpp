@@ -260,6 +260,7 @@ FlattenResult Design::flatten() const {
 
   // ---- Phase 3: storage elimination into the TaskGraph. ----
   FlattenResult result;
+  result.graph.reserve(wnodes.size(), warcs.size());
   std::unordered_map<std::size_t, TaskId> task_of;
   for (std::size_t wi = 0; wi < wnodes.size(); ++wi) {
     const WorkNode& wn = wnodes[wi];

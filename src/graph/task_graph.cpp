@@ -8,6 +8,58 @@
 
 namespace banger::graph {
 
+TaskGraph::TaskGraph(const TaskGraph& other)
+    : tasks_(other.tasks_),
+      edges_(other.edges_),
+      by_name_(other.by_name_),
+      edge_index_(other.edge_index_) {}
+
+TaskGraph& TaskGraph::operator=(const TaskGraph& other) {
+  if (this == &other) return *this;
+  tasks_ = other.tasks_;
+  edges_ = other.edges_;
+  by_name_ = other.by_name_;
+  edge_index_ = other.edge_index_;
+  // Copies drop the arena; it rebuilds on first adjacency query.
+  in_offsets_.clear();
+  out_offsets_.clear();
+  in_ids_.clear();
+  out_ids_.clear();
+  adjacency_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
+TaskGraph::TaskGraph(TaskGraph&& other) noexcept
+    : tasks_(std::move(other.tasks_)),
+      edges_(std::move(other.edges_)),
+      by_name_(std::move(other.by_name_)),
+      edge_index_(std::move(other.edge_index_)),
+      in_offsets_(std::move(other.in_offsets_)),
+      out_offsets_(std::move(other.out_offsets_)),
+      in_ids_(std::move(other.in_ids_)),
+      out_ids_(std::move(other.out_ids_)),
+      adjacency_valid_(
+          other.adjacency_valid_.load(std::memory_order_relaxed)) {
+  other.adjacency_valid_.store(false, std::memory_order_relaxed);
+}
+
+TaskGraph& TaskGraph::operator=(TaskGraph&& other) noexcept {
+  if (this == &other) return *this;
+  tasks_ = std::move(other.tasks_);
+  edges_ = std::move(other.edges_);
+  by_name_ = std::move(other.by_name_);
+  edge_index_ = std::move(other.edge_index_);
+  in_offsets_ = std::move(other.in_offsets_);
+  out_offsets_ = std::move(other.out_offsets_);
+  in_ids_ = std::move(other.in_ids_);
+  out_ids_ = std::move(other.out_ids_);
+  adjacency_valid_.store(
+      other.adjacency_valid_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  other.adjacency_valid_.store(false, std::memory_order_relaxed);
+  return *this;
+}
+
 TaskId TaskGraph::add_task(Task task) {
   if (task.name.empty()) {
     fail(ErrorCode::Name, "task with empty name");
@@ -21,8 +73,12 @@ TaskId TaskGraph::add_task(Task task) {
   const auto id = static_cast<TaskId>(tasks_.size());
   by_name_.emplace(task.name, id);
   tasks_.push_back(std::move(task));
-  in_edges_.emplace_back();
-  out_edges_.emplace_back();
+  // A task without edges has an empty adjacency row; only the offset
+  // arrays grow, so an up-to-date arena merely needs one more entry.
+  if (adjacency_valid_.load(std::memory_order_relaxed)) {
+    in_offsets_.push_back(static_cast<std::uint32_t>(in_ids_.size()));
+    out_offsets_.push_back(static_cast<std::uint32_t>(out_ids_.size()));
+  }
   return id;
 }
 
@@ -46,14 +102,52 @@ EdgeId TaskGraph::add_edge(TaskId from, TaskId to, double bytes,
       if (!e.var.empty()) e.var += ',';
       e.var += var;
     }
-    return it->second;
+    return it->second;  // merged: adjacency unchanged
   }
   const auto id = static_cast<EdgeId>(edges_.size());
   edges_.push_back({from, to, bytes, std::move(var)});
-  out_edges_[from].push_back(id);
-  in_edges_[to].push_back(id);
   edge_index_.emplace(key, id);
+  adjacency_valid_.store(false, std::memory_order_relaxed);
   return id;
+}
+
+void TaskGraph::reserve(std::size_t tasks, std::size_t edges) {
+  tasks_.reserve(tasks);
+  edges_.reserve(edges);
+  by_name_.reserve(tasks);
+  edge_index_.reserve(edges);
+}
+
+void TaskGraph::ensure_adjacency() const {
+  if (adjacency_valid_.load(std::memory_order_acquire)) return;
+  const std::lock_guard<std::mutex> lock(adjacency_mutex_);
+  if (adjacency_valid_.load(std::memory_order_relaxed)) return;
+  const std::size_t n = tasks_.size();
+  in_offsets_.assign(n + 1, 0);
+  out_offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++in_offsets_[e.to + 1];
+    ++out_offsets_[e.from + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    in_offsets_[v + 1] += in_offsets_[v];
+    out_offsets_[v + 1] += out_offsets_[v];
+  }
+  in_ids_.resize(edges_.size());
+  out_ids_.resize(edges_.size());
+  // Fill cursors double as scratch; walking edges in id order makes each
+  // per-task row ascending by edge id — exactly the order the historical
+  // per-task push_back vectors held.
+  std::vector<std::uint32_t> in_cursor(in_offsets_.begin(),
+                                       in_offsets_.end() - 1);
+  std::vector<std::uint32_t> out_cursor(out_offsets_.begin(),
+                                        out_offsets_.end() - 1);
+  for (EdgeId id = 0; id < edges_.size(); ++id) {
+    const Edge& e = edges_[id];
+    in_ids_[in_cursor[e.to]++] = id;
+    out_ids_[out_cursor[e.from]++] = id;
+  }
+  adjacency_valid_.store(true, std::memory_order_release);
 }
 
 const Task& TaskGraph::task(TaskId id) const {
@@ -83,14 +177,18 @@ TaskId TaskGraph::require(const std::string& name) const {
   return *id;
 }
 
-const std::vector<EdgeId>& TaskGraph::in_edges(TaskId id) const {
-  BANGER_ASSERT(id < in_edges_.size(), "task id out of range");
-  return in_edges_[id];
+EdgeSpan TaskGraph::in_edges(TaskId id) const {
+  BANGER_ASSERT(id < tasks_.size(), "task id out of range");
+  ensure_adjacency();
+  return {in_ids_.data() + in_offsets_[id],
+          static_cast<std::size_t>(in_offsets_[id + 1] - in_offsets_[id])};
 }
 
-const std::vector<EdgeId>& TaskGraph::out_edges(TaskId id) const {
-  BANGER_ASSERT(id < out_edges_.size(), "task id out of range");
-  return out_edges_[id];
+EdgeSpan TaskGraph::out_edges(TaskId id) const {
+  BANGER_ASSERT(id < tasks_.size(), "task id out of range");
+  ensure_adjacency();
+  return {out_ids_.data() + out_offsets_[id],
+          static_cast<std::size_t>(out_offsets_[id + 1] - out_offsets_[id])};
 }
 
 std::vector<TaskId> TaskGraph::preds(TaskId id) const {
@@ -110,20 +208,23 @@ std::vector<TaskId> TaskGraph::succs(TaskId id) const {
 }
 
 std::vector<TaskId> TaskGraph::sources() const {
+  ensure_adjacency();
   std::vector<TaskId> out;
   for (TaskId v = 0; v < tasks_.size(); ++v)
-    if (in_edges_[v].empty()) out.push_back(v);
+    if (in_offsets_[v + 1] == in_offsets_[v]) out.push_back(v);
   return out;
 }
 
 std::vector<TaskId> TaskGraph::sinks() const {
+  ensure_adjacency();
   std::vector<TaskId> out;
   for (TaskId v = 0; v < tasks_.size(); ++v)
-    if (out_edges_[v].empty()) out.push_back(v);
+    if (out_offsets_[v + 1] == out_offsets_[v]) out.push_back(v);
   return out;
 }
 
 std::vector<TaskId> TaskGraph::topo_order() const {
+  ensure_adjacency();
   std::vector<std::size_t> indegree(tasks_.size(), 0);
   for (const Edge& e : edges_) ++indegree[e.to];
 
@@ -139,8 +240,9 @@ std::vector<TaskId> TaskGraph::topo_order() const {
     const TaskId v = frontier.top();
     frontier.pop();
     order.push_back(v);
-    for (EdgeId e : out_edges_[v]) {
-      if (--indegree[edges_[e].to] == 0) frontier.push(edges_[e].to);
+    for (std::uint32_t i = out_offsets_[v]; i < out_offsets_[v + 1]; ++i) {
+      const TaskId succ = edges_[out_ids_[i]].to;
+      if (--indegree[succ] == 0) frontier.push(succ);
     }
   }
   if (order.size() != tasks_.size()) {

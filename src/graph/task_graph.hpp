@@ -7,7 +7,9 @@
 // weighted communication edges.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -53,16 +55,70 @@ struct Edge {
   std::string var;
 };
 
+/// Contiguous, read-only view over one task's edge ids inside the CSR
+/// adjacency arena. Iterates in the same order the old per-task vectors
+/// did (ascending edge id == first-insertion order), so every consumer's
+/// tie-breaking is unchanged.
+class EdgeSpan {
+ public:
+  using value_type = EdgeId;
+  using const_iterator = const EdgeId*;
+
+  constexpr EdgeSpan() noexcept = default;
+  constexpr EdgeSpan(const EdgeId* data, std::size_t size) noexcept
+      : data_(data), size_(size) {}
+
+  [[nodiscard]] constexpr const_iterator begin() const noexcept {
+    return data_;
+  }
+  [[nodiscard]] constexpr const_iterator end() const noexcept {
+    return data_ + size_;
+  }
+  [[nodiscard]] constexpr std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] constexpr bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] constexpr EdgeId operator[](std::size_t i) const noexcept {
+    return data_[i];
+  }
+  [[nodiscard]] constexpr EdgeId front() const noexcept { return data_[0]; }
+  [[nodiscard]] constexpr EdgeId back() const noexcept {
+    return data_[size_ - 1];
+  }
+
+ private:
+  const EdgeId* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
 /// Immutable-after-build DAG of primitive tasks. Parallel edges between
 /// the same task pair are merged at insert time (their byte counts add:
 /// two distinct variables both have to travel).
+///
+/// Adjacency lives in a flat CSR arena (one edge-id array + per-task
+/// offsets per direction) instead of a vector-of-vectors, so building
+/// and walking 10^5-10^6-task graphs costs two large allocations rather
+/// than one per task. The arena is rebuilt lazily: add_edge marks it
+/// stale, the first adjacency query rebuilds it in O(V + E).
 class TaskGraph {
  public:
+  TaskGraph() = default;
+  // The lazily-built arena carries an atomic flag and a mutex, so the
+  // copy/move operations are spelled out: copies drop the arena (it is
+  // rebuilt on first query), moves carry it over.
+  TaskGraph(const TaskGraph& other);
+  TaskGraph& operator=(const TaskGraph& other);
+  TaskGraph(TaskGraph&& other) noexcept;
+  TaskGraph& operator=(TaskGraph&& other) noexcept;
+  ~TaskGraph() = default;
+
   TaskId add_task(Task task);
 
   /// Adds (or merges into an existing) edge. Endpoints must exist and
   /// differ.
   EdgeId add_edge(TaskId from, TaskId to, double bytes, std::string var = {});
+
+  /// Pre-sizes the task/edge arrays (builders that know their final
+  /// shape avoid reallocation churn; purely an optimisation).
+  void reserve(std::size_t tasks, std::size_t edges);
 
   [[nodiscard]] std::size_t num_tasks() const noexcept { return tasks_.size(); }
   [[nodiscard]] std::size_t num_edges() const noexcept { return edges_.size(); }
@@ -76,9 +132,11 @@ class TaskGraph {
   [[nodiscard]] std::optional<TaskId> find(const std::string& name) const;
   [[nodiscard]] TaskId require(const std::string& name) const;
 
-  /// Edge ids entering / leaving a task.
-  [[nodiscard]] const std::vector<EdgeId>& in_edges(TaskId id) const;
-  [[nodiscard]] const std::vector<EdgeId>& out_edges(TaskId id) const;
+  /// Edge ids entering / leaving a task, in ascending edge-id order
+  /// (identical to the historical per-task insertion order). The view
+  /// stays valid until the next add_edge.
+  [[nodiscard]] EdgeSpan in_edges(TaskId id) const;
+  [[nodiscard]] EdgeSpan out_edges(TaskId id) const;
 
   /// Predecessor / successor task ids (derived from edges).
   [[nodiscard]] std::vector<TaskId> preds(TaskId id) const;
@@ -98,13 +156,28 @@ class TaskGraph {
   [[nodiscard]] double total_bytes() const noexcept;
 
  private:
+  /// Rebuilds the CSR arrays from edges_ (counting sort by endpoint;
+  /// edge ids come out ascending per task). Thread-safe: concurrent
+  /// readers of an unbuilt arena serialise on a mutex behind a
+  /// double-checked atomic flag, so parallel schedulers may share one
+  /// graph (mutation remains single-threaded, as before).
+  void ensure_adjacency() const;
+
   std::vector<Task> tasks_;
   std::vector<Edge> edges_;
-  std::vector<std::vector<EdgeId>> in_edges_;
-  std::vector<std::vector<EdgeId>> out_edges_;
   std::unordered_map<std::string, TaskId> by_name_;
   // Merge map for parallel edges: (from,to) -> edge id.
   std::unordered_map<std::uint64_t, EdgeId> edge_index_;
+
+  // CSR adjacency arena, rebuilt lazily (mutable: queries are logically
+  // const). offsets have num_tasks()+1 entries; ids hold each edge id
+  // once per direction.
+  mutable std::vector<std::uint32_t> in_offsets_;
+  mutable std::vector<std::uint32_t> out_offsets_;
+  mutable std::vector<EdgeId> in_ids_;
+  mutable std::vector<EdgeId> out_ids_;
+  mutable std::atomic<bool> adjacency_valid_{false};
+  mutable std::mutex adjacency_mutex_;
 };
 
 }  // namespace banger::graph

@@ -7,8 +7,42 @@
 // into idle time on the candidate processor. Duplication trades redundant
 // computation for communication and shines when message costs rival task
 // costs — the regime ablation bench ABL4 sweeps.
+//
+// Performance notes (this file used to copy the candidate processor's
+// whole lane plus a std::map of local finishes for every (task, proc)
+// trial and again around every speculative duplication — O(lane) work
+// per trial and O(log n) map churn inside the recursion):
+//   - One DupScratch lives for the whole run. A trial stamp per task /
+//     per edge turns "clear the map" into "bump a counter": local
+//     duplicate finishes sit in flat arrays valid only when their stamp
+//     matches the current trial, and committed-side edge arrivals are
+//     memoised per trial the first time an in-edge is walked.
+//   - Speculative duplication snapshots nothing. Every tentative
+//     placement pushes one undo record; rejecting a speculation pops
+//     records back to a mark (unstamping the task, erasing its tentative
+//     interval, shrinking the dup list). Accepting costs nothing.
+//   - The candidate lane is never copied. While a trial has no
+//     tentative duplicates, slot queries go straight to the shared
+//     gap-indexed Timeline (fast-path rejects intact); once duplicates
+//     exist, a two-pointer merge walks the committed lane and the small
+//     sorted tentative set — the same left-to-right first-fit scan the
+//     copied lane produced, interval for interval.
+//   - Two sound quick-rejects skip processors that provably cannot beat
+//     the incumbent finish: (1) even an empty-graph start on p — the
+//     earliest slot at ready 0 — already finishes too late; (2) even if
+//     every in-edge were served by a local duplicate (arrival bounded
+//     below by min(committed arrival, producer duration on p)), the
+//     resulting slot still finishes too late. Both bounds are monotone
+//     underestimates of any achievable evaluation, and the incumbent
+//     update keeps the original `<  best - 1e-12` rule, so the chosen
+//     processor — and the schedule — are byte-identical.
+//   - data-ready queries before the first duplicate come from
+//     BuildState's memoised per-(task, proc) row (same in-edge order,
+//     same strict-> tie-break); only trials that actually speculate walk
+//     edges by hand.
 #include <algorithm>
-#include <map>
+#include <utility>
+#include <vector>
 
 #include "sched/heuristics.hpp"
 #include "sched/list_core.hpp"
@@ -18,21 +52,7 @@ namespace banger::sched {
 
 namespace {
 
-using Lane = std::vector<std::pair<double, double>>;
-
-double lane_slot(const Lane& lane, double ready, double duration) {
-  double candidate = std::max(0.0, ready);
-  for (const auto& [s, f] : lane) {
-    if (candidate + duration <= s + 1e-12) return candidate;
-    candidate = std::max(candidate, f);
-  }
-  return candidate;
-}
-
-void lane_occupy(Lane& lane, double start, double duration) {
-  const std::pair<double, double> iv{start, start + duration};
-  lane.insert(std::lower_bound(lane.begin(), lane.end(), iv), iv);
-}
+using Interval = std::pair<double, double>;
 
 /// Tentative evaluation of task `t` on processor `p`, with duplication.
 struct Evaluation {
@@ -43,80 +63,169 @@ struct Evaluation {
   std::vector<std::pair<graph::TaskId, double>> dups;
 };
 
-class DupEvaluator {
+/// Run-lifetime scratch for duplication trials. One instance serves every
+/// (task, processor) trial of a run; begin_trial() advances the stamp that
+/// invalidates all per-trial state in O(1).
+class DupScratch {
  public:
-  DupEvaluator(const BuildState& state, ProcId proc, int max_depth)
+  DupScratch(const BuildState& state, int max_depth)
       : state_(state),
-        proc_(proc),
         max_depth_(max_depth),
-        lane_(state.timeline().lane(proc)) {}
+        local_finish_(state.graph().num_tasks(), 0.0),
+        local_stamp_(state.graph().num_tasks(), 0),
+        edge_arr_(state.graph().num_edges(), 0.0),
+        edge_arr_stamp_(state.graph().num_edges(), 0) {}
 
+  /// Lower bound over every possible evaluation of `t` on `proc` (with or
+  /// without duplication): each in-edge arrives no earlier than the best
+  /// committed arrival unless a local duplicate of the producer serves it,
+  /// and any such duplicate finishes no earlier than its own duration.
+  /// Starts the trial: the edge walk primes the per-trial arrival memo.
+  double ready_lower_bound(TaskId t, ProcId proc) {
+    begin_trial(proc);
+    double lb = 0.0;
+    const TaskGraph& graph = state_.graph();
+    for (graph::EdgeId e : graph.in_edges(t)) {
+      const graph::Edge& edge = graph.edge(e);
+      const double a =
+          std::min(committed_arrival(e), state_.duration(edge.from, proc));
+      if (a > lb) lb = a;
+    }
+    return lb;
+  }
+
+  /// Evaluates `t` on `proc`, speculatively duplicating critical remote
+  /// parents. Control flow — rounds, depth bound, accept-only-on-strict-
+  /// improvement — replicates the original evaluator decision for
+  /// decision. Call ready_lower_bound (or begin_trial) first; the chosen
+  /// duplicates remain readable via dups() until the next trial.
   Evaluation evaluate(TaskId t) {
+    const double dur = state_.duration(t, proc_);
+    auto [ready, crit] = data_ready(t);
+    double start = slot(ready, dur);
     // Walk up from t: while a remote critical parent delays us and
-    // duplicating it helps, keep duplicating.
+    // duplicating it helps, keep duplicating. Each accept carries the
+    // just-computed (ready, crit, start) into the next round, and each
+    // exit path leaves them equal to what a fresh recomputation on the
+    // current tentative state would yield (a rollback restores that
+    // state exactly), so no final recompute is needed.
     for (int round = 0; round < max_depth_; ++round) {
-      auto [ready, crit] = data_ready(t);
-      const double dur = state_.duration(t, proc_);
-      const double start = lane_slot(lane_, ready, dur);
       if (crit == graph::kNoTask || has_local_copy(crit)) break;
 
-      // Snapshot, try the duplication, keep only if t starts earlier.
-      const auto saved_lane = lane_;
-      const auto saved_local = local_finish_;
-      const auto saved_dups = dups_;
+      // Mark, try the duplication, keep only if t starts earlier.
+      const std::size_t mark = undo_.size();
       duplicate(crit, max_depth_ - 1);
       auto [new_ready, new_crit] = data_ready(t);
-      (void)new_crit;
-      const double new_start = lane_slot(lane_, new_ready, dur);
+      const double new_start = slot(new_ready, dur);
       if (new_start + 1e-12 >= start) {
-        lane_ = saved_lane;
-        local_finish_ = saved_local;
-        dups_ = saved_dups;
+        rollback(mark);
         break;
       }
+      ready = new_ready;
+      crit = new_crit;
+      start = new_start;
     }
-    auto [ready, crit] = data_ready(t);
-    (void)crit;
-    const double dur = state_.duration(t, proc_);
-    const double start = lane_slot(lane_, ready, dur);
-    return {proc_, start, start + dur, dups_};
+    return {proc_, start, start + dur, {}};
+  }
+
+  [[nodiscard]] const std::vector<std::pair<TaskId, double>>& dups()
+      const noexcept {
+    return dups_;
+  }
+
+  void begin_trial(ProcId proc) {
+    ++trial_;
+    proc_ = proc;
+    tentative_.clear();
+    dups_.clear();
+    undo_.clear();
   }
 
  private:
   [[nodiscard]] bool has_local_copy(TaskId u) const {
-    if (local_finish_.contains(u)) return true;
+    if (local_stamp_[u] == trial_) return true;
     for (const Copy& c : state_.copies(u)) {
       if (c.proc == proc_) return true;
     }
     return false;
   }
 
+  /// Best arrival on proc_ from the committed copies of e's producer,
+  /// memoised for the duration of the trial (commits only happen between
+  /// trials).
+  double committed_arrival(graph::EdgeId e) {
+    if (edge_arr_stamp_[e] != trial_) {
+      edge_arr_[e] = state_.edge_arrival(e, proc_);
+      edge_arr_stamp_[e] = trial_;
+    }
+    return edge_arr_[e];
+  }
+
   /// Best arrival on proc_ of edge data, considering committed copies and
   /// tentative local duplicates.
-  [[nodiscard]] double arrival(graph::EdgeId e) const {
-    const graph::Edge& edge = state_.graph().edge(e);
-    double best = kInf;
-    if (auto it = local_finish_.find(edge.from); it != local_finish_.end()) {
-      best = it->second;  // same processor: no communication
-    }
-    for (const Copy& c : state_.copies(edge.from)) {
-      best = std::min(best, c.finish + state_.machine().comm_time(
-                                           edge.bytes, c.proc, proc_));
+  double arrival(graph::EdgeId e) {
+    const TaskId from = state_.graph().edge(e).from;
+    double best = committed_arrival(e);
+    if (local_stamp_[from] == trial_) {
+      best = std::min(best, local_finish_[from]);  // local: no communication
     }
     return best;
   }
 
-  [[nodiscard]] std::pair<double, TaskId> data_ready(TaskId t) const {
+  std::pair<double, TaskId> data_ready(TaskId t) {
+    if (undo_.empty()) {
+      // No tentative duplicates: committed copies alone decide, which is
+      // exactly BuildState's memoised row (same in-edge order, strict >).
+      TaskId crit = graph::kNoTask;
+      const double ready = state_.data_ready(t, proc_, &crit);
+      return {ready, crit};
+    }
     double ready = 0.0;
     TaskId crit = graph::kNoTask;
-    for (graph::EdgeId e : state_.graph().in_edges(t)) {
+    const TaskGraph& graph = state_.graph();
+    for (graph::EdgeId e : graph.in_edges(t)) {
       const double a = arrival(e);
       if (a > ready) {
         ready = a;
-        crit = state_.graph().edge(e).from;
+        crit = graph.edge(e).from;
       }
     }
     return {ready, crit};
+  }
+
+  /// Earliest feasible start of a slot of length `duration` at or after
+  /// `ready` on proc_, counting both committed and tentative intervals.
+  double slot(double ready, double duration) {
+    const Timeline& timeline = state_.timeline();
+    if (tentative_.empty()) {
+      return timeline.earliest_slot(proc_, ready, duration, true);
+    }
+    // Two-pointer merge of the committed lane and the tentative set —
+    // the same left-to-right first-fit scan over the union, in interval
+    // order. (Both sequences are disjoint-sorted; ties between equal
+    // intervals cannot change the running candidate.) As in
+    // Timeline::gap_scan, intervals finishing well before `ready` can
+    // neither host the slot nor advance the candidate, so both cursors
+    // skip past them (same 1e-6 margin, immune to boundary slack).
+    const auto& lane = timeline.lane(proc_);
+    double candidate = std::max(0.0, ready);
+    std::size_t i = static_cast<std::size_t>(
+        std::partition_point(lane.begin(), lane.end(),
+                             [&](const Interval& iv) {
+                               return iv.second < ready - 1e-6;
+                             }) -
+        lane.begin());
+    std::size_t j = 0;
+    while (j < tentative_.size() && tentative_[j].second < ready - 1e-6) ++j;
+    while (i < lane.size() || j < tentative_.size()) {
+      const Interval& iv = (j >= tentative_.size() ||
+                            (i < lane.size() && lane[i] <= tentative_[j]))
+                               ? lane[i++]
+                               : tentative_[j++];
+      if (candidate + duration <= iv.first + 1e-12) return candidate;
+      candidate = std::max(candidate, iv.second);
+    }
+    return candidate;
   }
 
   /// Places a tentative duplicate of `u` on proc_, recursively duplicating
@@ -125,34 +234,61 @@ class DupEvaluator {
     if (depth > 0) {
       auto [ready, crit] = data_ready(u);
       if (crit != graph::kNoTask && !has_local_copy(crit)) {
-        const auto saved_lane = lane_;
-        const auto saved_local = local_finish_;
-        const auto saved_dups = dups_;
+        const std::size_t mark = undo_.size();
         duplicate(crit, depth - 1);
         auto [new_ready, nc] = data_ready(u);
         (void)nc;
-        if (new_ready + 1e-12 >= ready) {
-          lane_ = saved_lane;
-          local_finish_ = saved_local;
-          dups_ = saved_dups;
-        }
+        if (new_ready + 1e-12 >= ready) rollback(mark);
       }
     }
     auto [ready, crit] = data_ready(u);
     (void)crit;
     const double dur = state_.duration(u, proc_);
-    const double start = lane_slot(lane_, ready, dur);
-    lane_occupy(lane_, start, dur);
-    local_finish_.emplace(u, start + dur);
+    const double start = slot(ready, dur);
+    const Interval iv{start, start + dur};
+    tentative_.insert(
+        std::lower_bound(tentative_.begin(), tentative_.end(), iv), iv);
+    local_finish_[u] = iv.second;
+    local_stamp_[u] = trial_;
     dups_.emplace_back(u, start);
+    undo_.push_back({u, iv});
   }
 
+  /// Rewinds every tentative placement made since `mark` (undo records,
+  /// dup list, and tentative intervals stay in lockstep: one entry each
+  /// per duplicate()).
+  void rollback(std::size_t mark) {
+    while (undo_.size() > mark) {
+      const UndoEntry& entry = undo_.back();
+      local_stamp_[entry.task] = 0;
+      const auto it = std::lower_bound(tentative_.begin(), tentative_.end(),
+                                       entry.interval);
+      tentative_.erase(it);
+      dups_.pop_back();
+      undo_.pop_back();
+    }
+  }
+
+  struct UndoEntry {
+    TaskId task;
+    Interval interval;
+  };
+
   const BuildState& state_;
-  ProcId proc_;
   int max_depth_;
-  Lane lane_;
-  std::map<TaskId, double> local_finish_;
+  ProcId proc_ = -1;
+  std::uint64_t trial_ = 0;
+
+  // Per-task local duplicate finishes, valid when the stamp matches the
+  // current trial; per-edge committed arrivals memoised the same way.
+  std::vector<double> local_finish_;
+  std::vector<std::uint64_t> local_stamp_;
+  std::vector<double> edge_arr_;
+  std::vector<std::uint64_t> edge_arr_stamp_;
+
+  std::vector<Interval> tentative_;  // sorted tentative intervals on proc_
   std::vector<std::pair<TaskId, double>> dups_;
+  std::vector<UndoEntry> undo_;
 };
 
 }  // namespace
@@ -169,6 +305,8 @@ Schedule DshScheduler::run(const TaskGraph& graph,
     if (remaining[t] == 0) ready.push(t);
   }
 
+  DupScratch scratch(state, opts_.duplication_depth);
+
   std::size_t scheduled = 0;
   while (!ready.empty()) {
     const TaskId t = ready.pop();
@@ -176,9 +314,29 @@ Schedule DshScheduler::run(const TaskGraph& graph,
     Evaluation best;
     best.finish = kInf;
     for (ProcId p = 0; p < machine.num_procs(); ++p) {
-      DupEvaluator eval(state, p, opts_.duplication_depth);
-      Evaluation cand = eval.evaluate(t);
-      if (cand.finish < best.finish - 1e-12) best = std::move(cand);
+      const double dur = state.duration(t, p);
+      // Quick-reject 1: the earliest slot on p with no data constraint at
+      // all already finishes no earlier than the incumbent — nothing this
+      // processor can offer (with or without duplication) would be kept
+      // by the strict-improvement update below. Vacuously false while
+      // best.finish is infinite, so the first processor is never skipped.
+      if (state.timeline().earliest_slot(p, 0.0, dur, true) + dur >=
+          best.finish - 1e-12) {
+        continue;
+      }
+      // Quick-reject 2: even with every in-edge served by an ideal local
+      // duplicate the slot still finishes no earlier than the incumbent.
+      // (Also opens the trial and primes its arrival memo.)
+      const double ready_lb = scratch.ready_lower_bound(t, p);
+      if (state.timeline().earliest_slot(p, ready_lb, dur, true) + dur >=
+          best.finish - 1e-12) {
+        continue;
+      }
+      Evaluation cand = scratch.evaluate(t);
+      if (cand.finish < best.finish - 1e-12) {
+        best = std::move(cand);
+        best.dups = scratch.dups();
+      }
     }
     BANGER_ASSERT(best.proc >= 0, "no processor chosen");
 

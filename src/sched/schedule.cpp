@@ -139,15 +139,19 @@ void Schedule::validate(const TaskGraph& graph, const Machine& machine,
     }
   }
 
-  // No overlap within a lane.
-  for (ProcId p = 0; p < num_procs_; ++p) {
-    auto tasks = lane(p);
-    for (std::size_t i = 1; i < tasks.size(); ++i) {
-      if (tasks[i].start + tolerance < tasks[i - 1].finish) {
-        fail(ErrorCode::Schedule,
-             "tasks `" + graph.task(tasks[i - 1].task).name + "` and `" +
-                 graph.task(tasks[i].task).name + "` overlap on processor " +
-                 std::to_string(p));
+  // No overlap within a lane. One lanes() pass instead of a per-processor
+  // placement scan (which made validation quadratic on large graphs).
+  {
+    const auto all_lanes = lanes();
+    for (ProcId p = 0; p < num_procs_; ++p) {
+      const auto& tasks = all_lanes[static_cast<std::size_t>(p)];
+      for (std::size_t i = 1; i < tasks.size(); ++i) {
+        if (tasks[i].start + tolerance < tasks[i - 1].finish) {
+          fail(ErrorCode::Schedule,
+               "tasks `" + graph.task(tasks[i - 1].task).name + "` and `" +
+                   graph.task(tasks[i].task).name + "` overlap on processor " +
+                   std::to_string(p));
+        }
       }
     }
   }
@@ -165,16 +169,25 @@ void Schedule::validate(const TaskGraph& graph, const Machine& machine,
   }
 
   // Every consumer copy must have all inputs arrive on time from *some*
-  // copy of each producer.
+  // copy of each producer. A single placement pass builds the per-task
+  // copy index (primaries first, then duplicates in placement order — the
+  // same order copies_of returns) that used to be rebuilt per edge.
+  std::vector<std::vector<const Placement*>> by_task(graph.num_tasks());
+  for (const Placement& p : placements_) {
+    if (!p.duplicate) by_task[p.task].push_back(&p);
+  }
+  for (const Placement& p : placements_) {
+    if (p.duplicate) by_task[p.task].push_back(&p);
+  }
   for (const graph::Edge& e : graph.edges()) {
-    const auto producers = copies_of(e.from);
-    for (const Placement& consumer : copies_of(e.to)) {
+    const auto& producers = by_task[e.from];
+    for (const Placement* consumer : by_task[e.to]) {
       bool satisfied = false;
-      for (const Placement& producer : producers) {
+      for (const Placement* producer : producers) {
         const double arrival =
-            producer.finish +
-            machine.comm_time(e.bytes, producer.proc, consumer.proc);
-        if (arrival <= consumer.start + tolerance) {
+            producer->finish +
+            machine.comm_time(e.bytes, producer->proc, consumer->proc);
+        if (arrival <= consumer->start + tolerance) {
           satisfied = true;
           break;
         }
@@ -183,8 +196,8 @@ void Schedule::validate(const TaskGraph& graph, const Machine& machine,
         fail(ErrorCode::Schedule,
              "data for edge `" + graph.task(e.from).name + "` -> `" +
                  graph.task(e.to).name + "` cannot arrive by start of the " +
-                 (consumer.duplicate ? "duplicate" : "primary") + " copy at t=" +
-                 std::to_string(consumer.start));
+                 (consumer->duplicate ? "duplicate" : "primary") +
+                 " copy at t=" + std::to_string(consumer->start));
       }
     }
   }

@@ -210,6 +210,13 @@ TaskGraph random_layered(const RandomGraphSpec& spec) {
   }
   util::Rng rng(spec.seed);
   TaskGraph g;
+  // Nominal shape: layers x width tasks, edge_probability of the full
+  // bipartite wiring between consecutive layers.
+  g.reserve(static_cast<std::size_t>(spec.layers) *
+                static_cast<std::size_t>(spec.width),
+            static_cast<std::size_t>(
+                static_cast<double>(spec.layers) * spec.width * spec.width *
+                spec.edge_probability));
   std::vector<TaskId> prev;
   for (int layer = 0; layer < spec.layers; ++layer) {
     // Layer width varies a little around the nominal width.

@@ -1,0 +1,213 @@
+// tests/reference_dsh.hpp
+//
+// The seed DSH implementation, kept verbatim as a differential oracle for
+// the fast scheduler in src/sched/dsh.cpp — the same role the PITS tree
+// walker plays for the bytecode VM. It is deliberately naive: every
+// (task, processor) trial copies the candidate lane and snapshots a
+// std::map of local duplicate finishes around each speculative
+// duplication. Compiled only into test targets; never link it into the
+// product libraries.
+//
+// The randomized property test in sched_perf_test.cpp byte-compares the
+// schedules of both implementations across random graphs, duplication
+// depths, and heterogeneous machines.
+#pragma once
+
+#include <algorithm>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sched/list_core.hpp"
+#include "sched/scheduler.hpp"
+#include "util/error.hpp"
+
+namespace banger::sched::reference {
+
+namespace detail {
+
+using Lane = std::vector<std::pair<double, double>>;
+
+inline double lane_slot(const Lane& lane, double ready, double duration) {
+  double candidate = std::max(0.0, ready);
+  for (const auto& [s, f] : lane) {
+    if (candidate + duration <= s + 1e-12) return candidate;
+    candidate = std::max(candidate, f);
+  }
+  return candidate;
+}
+
+inline void lane_occupy(Lane& lane, double start, double duration) {
+  const std::pair<double, double> iv{start, start + duration};
+  lane.insert(std::lower_bound(lane.begin(), lane.end(), iv), iv);
+}
+
+/// Tentative evaluation of task `t` on processor `p`, with duplication.
+struct Evaluation {
+  ProcId proc = -1;
+  double start = 0.0;
+  double finish = 0.0;
+  /// Duplicated ancestor copies, in the order they must be committed.
+  std::vector<std::pair<graph::TaskId, double>> dups;
+};
+
+class DupEvaluator {
+ public:
+  DupEvaluator(const BuildState& state, ProcId proc, int max_depth)
+      : state_(state),
+        proc_(proc),
+        max_depth_(max_depth),
+        lane_(state.timeline().lane(proc)) {}
+
+  Evaluation evaluate(TaskId t) {
+    // Walk up from t: while a remote critical parent delays us and
+    // duplicating it helps, keep duplicating.
+    for (int round = 0; round < max_depth_; ++round) {
+      auto [ready, crit] = data_ready(t);
+      const double dur = state_.duration(t, proc_);
+      const double start = lane_slot(lane_, ready, dur);
+      if (crit == graph::kNoTask || has_local_copy(crit)) break;
+
+      // Snapshot, try the duplication, keep only if t starts earlier.
+      const auto saved_lane = lane_;
+      const auto saved_local = local_finish_;
+      const auto saved_dups = dups_;
+      duplicate(crit, max_depth_ - 1);
+      auto [new_ready, new_crit] = data_ready(t);
+      (void)new_crit;
+      const double new_start = lane_slot(lane_, new_ready, dur);
+      if (new_start + 1e-12 >= start) {
+        lane_ = saved_lane;
+        local_finish_ = saved_local;
+        dups_ = saved_dups;
+        break;
+      }
+    }
+    auto [ready, crit] = data_ready(t);
+    (void)crit;
+    const double dur = state_.duration(t, proc_);
+    const double start = lane_slot(lane_, ready, dur);
+    return {proc_, start, start + dur, dups_};
+  }
+
+ private:
+  [[nodiscard]] bool has_local_copy(TaskId u) const {
+    if (local_finish_.contains(u)) return true;
+    for (const Copy& c : state_.copies(u)) {
+      if (c.proc == proc_) return true;
+    }
+    return false;
+  }
+
+  /// Best arrival on proc_ of edge data, considering committed copies and
+  /// tentative local duplicates.
+  [[nodiscard]] double arrival(graph::EdgeId e) const {
+    const graph::Edge& edge = state_.graph().edge(e);
+    double best = kInf;
+    if (auto it = local_finish_.find(edge.from); it != local_finish_.end()) {
+      best = it->second;  // same processor: no communication
+    }
+    for (const Copy& c : state_.copies(edge.from)) {
+      best = std::min(best, c.finish + state_.machine().comm_time(
+                                           edge.bytes, c.proc, proc_));
+    }
+    return best;
+  }
+
+  [[nodiscard]] std::pair<double, TaskId> data_ready(TaskId t) const {
+    double ready = 0.0;
+    TaskId crit = graph::kNoTask;
+    for (graph::EdgeId e : state_.graph().in_edges(t)) {
+      const double a = arrival(e);
+      if (a > ready) {
+        ready = a;
+        crit = state_.graph().edge(e).from;
+      }
+    }
+    return {ready, crit};
+  }
+
+  /// Places a tentative duplicate of `u` on proc_, recursively duplicating
+  /// its own critical ancestors first when that lets `u` start earlier.
+  void duplicate(TaskId u, int depth) {
+    if (depth > 0) {
+      auto [ready, crit] = data_ready(u);
+      if (crit != graph::kNoTask && !has_local_copy(crit)) {
+        const auto saved_lane = lane_;
+        const auto saved_local = local_finish_;
+        const auto saved_dups = dups_;
+        duplicate(crit, depth - 1);
+        auto [new_ready, nc] = data_ready(u);
+        (void)nc;
+        if (new_ready + 1e-12 >= ready) {
+          lane_ = saved_lane;
+          local_finish_ = saved_local;
+          dups_ = saved_dups;
+        }
+      }
+    }
+    auto [ready, crit] = data_ready(u);
+    (void)crit;
+    const double dur = state_.duration(u, proc_);
+    const double start = lane_slot(lane_, ready, dur);
+    lane_occupy(lane_, start, dur);
+    local_finish_.emplace(u, start + dur);
+    dups_.emplace_back(u, start);
+  }
+
+  const BuildState& state_;
+  ProcId proc_;
+  int max_depth_;
+  Lane lane_;
+  std::map<TaskId, double> local_finish_;
+  std::vector<std::pair<TaskId, double>> dups_;
+};
+
+}  // namespace detail
+
+/// Runs the seed DSH. `scheduler_name` defaults to the production name so
+/// the rendered text (which embeds it) is directly comparable.
+inline Schedule reference_dsh(const TaskGraph& graph, const Machine& machine,
+                              const SchedulerOptions& opts = {},
+                              const std::string& scheduler_name = "dsh") {
+  BuildState state(graph, machine);
+  const auto priority = comm_b_levels(graph, machine);
+
+  std::vector<std::size_t> remaining(graph.num_tasks());
+  ReadyQueue ready(priority);
+  for (TaskId t = 0; t < graph.num_tasks(); ++t) {
+    remaining[t] = graph.in_edges(t).size();
+    if (remaining[t] == 0) ready.push(t);
+  }
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const TaskId t = ready.pop();
+
+    detail::Evaluation best;
+    best.finish = kInf;
+    for (ProcId p = 0; p < machine.num_procs(); ++p) {
+      detail::DupEvaluator eval(state, p, opts.duplication_depth);
+      detail::Evaluation cand = eval.evaluate(t);
+      if (cand.finish < best.finish - 1e-12) best = std::move(cand);
+    }
+    BANGER_ASSERT(best.proc >= 0, "no processor chosen");
+
+    for (auto [dup_task, dup_start] : best.dups) {
+      state.commit(dup_task, best.proc, dup_start, /*duplicate=*/true);
+    }
+    state.commit(t, best.proc, best.start, /*duplicate=*/false);
+    ++scheduled;
+
+    for (graph::EdgeId e : graph.out_edges(t)) {
+      const TaskId succ = graph.edge(e).to;
+      if (--remaining[succ] == 0) ready.push(succ);
+    }
+  }
+  if (scheduled != graph.num_tasks()) {
+    fail(ErrorCode::Schedule, "task graph contains a cycle");
+  }
+  return state.finish(scheduler_name);
+}
+
+}  // namespace banger::sched::reference

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <cstdlib>
 #include <filesystem>
@@ -28,6 +29,8 @@
 #include "util/strings.hpp"
 #include "workloads/graphs.hpp"
 #include "workloads/lu.hpp"
+
+#include "reference_dsh.hpp"
 
 namespace banger::sched {
 namespace {
@@ -327,6 +330,80 @@ TEST(TimelineGapIndex, MatchesBruteForceOnRandomPatterns) {
       }
     }
   }
+}
+
+// --- fast DSH vs the seed implementation (differential oracle) ---
+
+/// Randomized property test: the rebuilt DSH (undo log, epoch stamps,
+/// shared timeline) must produce byte-identical schedules to the seed
+/// implementation (tests/reference_dsh.hpp) across graph shapes,
+/// duplication depths 0-3, homogeneous and heterogeneous machines, and
+/// both routing models.
+TEST(DshDifferential, MatchesReferenceOnRandomGraphsAndMachines) {
+  util::Rng rng(20240807);
+  for (int round = 0; round < 16; ++round) {
+    workloads::RandomGraphSpec spec;
+    spec.layers = 2 + static_cast<int>(rng.next_below(8));
+    spec.width = 2 + static_cast<int>(rng.next_below(7));
+    spec.edge_probability = 0.15 + 0.15 * static_cast<double>(rng.next_below(5));
+    spec.work_hi = 1.0 + static_cast<double>(rng.next_below(12));
+    spec.bytes_hi = 8.0 + static_cast<double>(rng.next_below(2000));
+    spec.seed = 1000 + static_cast<std::uint64_t>(round);
+    const auto g = workloads::random_layered(spec);
+
+    machine::MachineParams params;
+    params.processor_speed = 1.0;
+    params.process_startup = rng.chance(0.5) ? 0.0 : 0.05;
+    params.message_startup = 0.05 + 0.05 * static_cast<double>(rng.next_below(4));
+    params.bytes_per_second = rng.chance(0.5) ? 1e3 : 250.0;
+    if (rng.chance(0.4)) {
+      params.routing = machine::Routing::CutThrough;
+      params.per_hop_latency = 0.02;
+    }
+    Machine m = rng.chance(0.5)
+                    ? Machine(machine::Topology::hypercube(3), params)
+                    : Machine(machine::Topology::ring(4), params);
+    if (rng.chance(0.5)) {
+      // Heterogeneous: spread speed factors across the processors.
+      for (ProcId p = 0; p < m.num_procs(); ++p) {
+        m.set_speed_factor(p, 0.5 + 0.25 * static_cast<double>(p % 4));
+      }
+    }
+
+    SchedulerOptions opts;
+    opts.duplication_depth = round % 4;  // exercise depths 0-3
+
+    const auto fast = DshScheduler(opts).run(g, m);
+    const auto ref = reference::reference_dsh(g, m, opts);
+    EXPECT_EQ(to_text(fast, g), to_text(ref, g))
+        << "round " << round << " layers " << spec.layers << " width "
+        << spec.width << " depth " << opts.duplication_depth;
+    fast.validate(g, m);
+  }
+}
+
+// --- scheduler scale: ~65k tasks must stay allocator-churn free ---
+
+TEST(SchedScale, EtfSchedules65kTaskGraphUnderWallBudget) {
+  workloads::RandomGraphSpec spec;
+  spec.layers = 8192;
+  spec.width = 8;
+  spec.seed = 7;
+  const auto g = workloads::random_layered(spec);
+  ASSERT_GE(g.num_tasks(), 65536u);  // layers x width plus source/sink glue
+  const auto m = cube8();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto s = EtfScheduler().run(g, m);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - t0);
+  // Generous budget (CI machines vary widely); catching an accidental
+  // O(n^2) reintroduction, which overshoots it by orders of magnitude.
+  EXPECT_LT(elapsed.count(), 120) << "ETF on 65536 tasks took " <<
+      elapsed.count() << "s";
+
+  s.validate(g, m);
+  EXPECT_EQ(s.placements().size(), g.num_tasks());
 }
 
 }  // namespace

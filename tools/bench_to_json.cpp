@@ -39,6 +39,8 @@ const char* const kHotBenchmarks[] = {
     "BM_ExecStream/1024",
     "BM_ServeTrialCached",
     "BM_ServeTrialBatch",
+    "BM_ScheduleEtf/4096",
+    "BM_ScheduleDsh/4096",
 };
 
 constexpr double kMaxRegression = 1.25;  // fail above +25% per op
